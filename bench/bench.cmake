@@ -1,0 +1,38 @@
+# Bench targets declared from the top level. Binaries land in
+# ${CMAKE_BINARY_DIR}/bench, which contains NOTHING else, so
+# `for b in build/bench/*; do $b; done` runs exactly the harness.
+
+add_library(dbc_bench_common STATIC
+  ${CMAKE_SOURCE_DIR}/bench/bench_common.cc)
+target_include_directories(dbc_bench_common PUBLIC ${CMAKE_SOURCE_DIR}/bench)
+target_link_libraries(dbc_bench_common PUBLIC dbc_dbcatcher dbc_detectors)
+
+function(dbc_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    dbc_bench_common dbc_dbcatcher dbc_detectors dbc_period)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+dbc_bench(bench_fig1_ukpic_example)
+dbc_bench(bench_fig3_ukpic_matrix)
+dbc_bench(bench_fig4_lb_anomaly)
+dbc_bench(bench_fig5_fluctuation)
+dbc_bench(bench_table3_datasets)
+dbc_bench(bench_fig8_mixed_performance)
+dbc_bench(bench_table5_window_sizes)
+dbc_bench(bench_table6_training_time)
+dbc_bench(bench_fig9_irregular)
+dbc_bench(bench_fig10_periodic)
+dbc_bench(bench_table9_drift)
+dbc_bench(bench_table10_ablation)
+dbc_bench(bench_fig11_optimizers)
+
+# Micro-benchmarks (google-benchmark) for the component-time study.
+add_executable(bench_component_time
+  ${CMAKE_SOURCE_DIR}/bench/bench_component_time.cpp)
+target_link_libraries(bench_component_time PRIVATE
+  dbc_bench_common dbc_dbcatcher dbc_detectors benchmark::benchmark)
+set_target_properties(bench_component_time PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

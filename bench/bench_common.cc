@@ -1,0 +1,83 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dbc {
+namespace bench {
+
+BenchDatasets BuildBenchDatasets() {
+  const double scale = BenchScale();
+  const uint64_t seed = BenchSeed();
+
+  BenchDatasets out;
+  // Paper scale is 100/50/50 units and millions of points; the bench default
+  // keeps the 2:1:1 unit ratio at laptop size.
+  DatasetScale tencent;
+  tencent.units = std::max<size_t>(2, static_cast<size_t>(4 * scale));
+  tencent.ticks = std::max<size_t>(400, static_cast<size_t>(1000 * scale));
+  tencent.seed = seed;
+  out.tencent = BuildTencentDataset(tencent);
+
+  DatasetScale synth = tencent;
+  synth.units = std::max<size_t>(2, static_cast<size_t>(2 * scale));
+  synth.ticks = std::max<size_t>(400, static_cast<size_t>(800 * scale));
+  out.sysbench = BuildSysbenchDataset(synth);
+  out.tpcc = BuildTpccDataset(synth);
+  return out;
+}
+
+std::vector<std::string> AllMethodNames() {
+  std::vector<std::string> names = BaselineNames();
+  names.push_back("DBCatcher");
+  return names;
+}
+
+std::unique_ptr<Detector> MakeMethod(const std::string& name) {
+  if (name == "DBCatcher") return std::make_unique<DbCatcher>();
+  return MakeBaselineDetector(name);
+}
+
+MethodResult RunProtocol(const std::string& method, const Dataset& dataset,
+                         int repeats, uint64_t base_seed) {
+  MethodResult result;
+  result.method = method;
+  result.dataset = dataset.name;
+
+  Dataset train, test;
+  dataset.Split(0.5, &train, &test);
+
+  for (int rep = 0; rep < repeats; ++rep) {
+    std::unique_ptr<Detector> detector = MakeMethod(method);
+    Rng rng(base_seed + 977 * static_cast<uint64_t>(rep + 1));
+
+    Stopwatch fit_timer;
+    detector->Fit(train, rng);
+    result.train_seconds.Add(fit_timer.ElapsedSeconds());
+
+    Confusion total;
+    double consumed = 0.0;
+    size_t units = 0;
+    for (const UnitData& unit : test.units) {
+      const UnitVerdicts verdicts = detector->Detect(unit);
+      total.Merge(ScoreVerdicts(unit, verdicts));
+      consumed += verdicts.AverageConsumed();
+      ++units;
+    }
+    result.precision.Add(total.Precision());
+    result.recall.Add(total.Recall());
+    result.f_measure.Add(total.FMeasure());
+    result.window_size.Add(static_cast<double>(detector->WindowSize()));
+    result.avg_consumed.Add(units == 0 ? 0.0
+                                       : consumed / static_cast<double>(units));
+  }
+  return result;
+}
+
+std::string PctCell(const Spread& s) {
+  return TextTable::Pct(s.mean) + " [" + TextTable::Pct(s.min) + ", " +
+         TextTable::Pct(s.max) + "]";
+}
+
+}  // namespace bench
+}  // namespace dbc

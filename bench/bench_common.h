@@ -1,0 +1,67 @@
+// Shared harness for the paper-reproduction benches: dataset construction at
+// the configured scale, the §IV-B train/test protocol, and result tables.
+//
+// Scale knobs (see dbc/common/env.h): DBC_SCALE multiplies unit counts,
+// DBC_REPEATS sets the randomized repetitions (the paper uses 20), DBC_SEED
+// pins the base seed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbc/common/env.h"
+#include "dbc/common/stopwatch.h"
+#include "dbc/common/table.h"
+#include "dbc/datasets/dataset.h"
+#include "dbc/dbcatcher/dbcatcher.h"
+#include "dbc/detectors/registry.h"
+#include "dbc/eval/metrics.h"
+
+namespace dbc {
+namespace bench {
+
+/// The three datasets of Table III at bench scale.
+struct BenchDatasets {
+  Dataset tencent;
+  Dataset sysbench;
+  Dataset tpcc;
+
+  std::vector<const Dataset*> All() const {
+    return {&tencent, &sysbench, &tpcc};
+  }
+};
+
+/// Builds all three datasets at the env-configured scale.
+BenchDatasets BuildBenchDatasets();
+
+/// All six methods in the paper's table order (5 baselines + DBCatcher).
+std::vector<std::string> AllMethodNames();
+
+/// Builds any method by name, including "DBCatcher".
+std::unique_ptr<Detector> MakeMethod(const std::string& name);
+
+/// Aggregated outcome of repeated fit+detect runs of one method on one
+/// dataset.
+struct MethodResult {
+  std::string method;
+  std::string dataset;
+  Spread precision;
+  Spread recall;
+  Spread f_measure;
+  Spread window_size;        // configured window at best train F
+  Spread avg_consumed;       // actual points per verdict (flexible windows)
+  Spread train_seconds;
+};
+
+/// Runs the §IV-B protocol: 50/50 split, Fit on train (timed), Detect on
+/// test, repeated `repeats` times with varying seeds.
+MethodResult RunProtocol(const std::string& method, const Dataset& dataset,
+                         int repeats, uint64_t base_seed);
+
+/// Convenience: "mean [min, max]" percentage cell.
+std::string PctCell(const Spread& s);
+
+}  // namespace bench
+}  // namespace dbc

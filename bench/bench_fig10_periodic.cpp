@@ -1,0 +1,44 @@
+// Fig. 10 + Table VIII reproduction: performance and best-F window sizes on
+// the periodic datasets (Tencent II / Sysbench II / TPCC II).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  const int repeats = dbc::BenchRepeats();
+  std::printf("=== Fig. 10 / Table VIII: periodic datasets (%d repeats)"
+              " ===\n\n",
+              repeats);
+  const dbc::bench::BenchDatasets data = dbc::bench::BuildBenchDatasets();
+  const dbc::Dataset tencent = data.tencent.PeriodicSubset();
+  const dbc::Dataset sysbench = data.sysbench.PeriodicSubset();
+  const dbc::Dataset tpcc = data.tpcc.PeriodicSubset();
+
+  dbc::TextTable windows("Table VIII: best-F window sizes (periodic)");
+  windows.SetHeader({"Model", "Tencent II", "Sysbench II", "TPCC II"});
+  std::vector<std::vector<std::string>> window_rows;
+
+  for (const dbc::Dataset* ds : {&tencent, &sysbench, &tpcc}) {
+    dbc::TextTable table(ds->name + " (test half)");
+    table.SetHeader({"Method", "Precision", "Recall", "F-Measure"});
+    const std::vector<std::string> methods = dbc::bench::AllMethodNames();
+    for (size_t m = 0; m < methods.size(); ++m) {
+      const std::string& method = methods[m];
+      const dbc::bench::MethodResult r =
+          dbc::bench::RunProtocol(method, *ds, repeats, dbc::BenchSeed());
+      table.AddRow({method, dbc::bench::PctCell(r.precision),
+                    dbc::bench::PctCell(r.recall),
+                    dbc::bench::PctCell(r.f_measure)});
+      if (window_rows.size() <= m) window_rows.push_back({method});
+      window_rows[m].push_back(dbc::TextTable::Num(r.window_size.mean, 0));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  for (auto& row : window_rows) windows.AddRow(row);
+  windows.Print();
+  std::printf("\nPaper shape: SR / SR-CNN improve markedly on periodic data"
+              " and FFT/SR window sizes shrink; DBCatcher stays best at"
+              " ~20-point windows.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 4 reproduction: a defective load-balancing strategy maps traffic onto
+// one database; its KPI trends break the UKPIC phenomenon after the change
+// point. Prints per-window best-peer KCD for the affected database before
+// and after the incident.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/dbcatcher/observer.h"
+
+int main() {
+  std::printf("=== Fig. 4: defective load balancing breaks UKPIC ===\n\n");
+
+  dbc::UnitSimConfig config;
+  config.ticks = 600;
+  config.anomalies.kinds = {dbc::AnomalyKind::kLoadBalanceSkew};
+  config.anomalies.target_ratio = 0.12;
+  dbc::Rng rng(dbc::BenchSeed());
+  dbc::IrregularProfileParams params;
+  auto profile = dbc::MakeIrregularProfile(params, rng.Fork(1));
+  const dbc::UnitData unit =
+      dbc::SimulateUnit(config, *profile, false, rng.Fork(2));
+
+  if (unit.events.empty()) {
+    std::printf("no incident scheduled at this seed; rerun with DBC_SEED.\n");
+    return 0;
+  }
+  const dbc::AnomalyEvent& ev = unit.events.front();
+  std::printf("incident: %s on D%zu over ticks [%zu, %zu)\n\n",
+              dbc::AnomalyKindName(ev.kind).c_str(), ev.db + 1, ev.start,
+              ev.end());
+
+  const dbc::DbcatcherConfig dconfig =
+      dbc::DefaultDbcatcherConfig(dbc::kNumKpis);
+  dbc::KcdCache cache;
+  dbc::CorrelationAnalyzer analyzer(unit, dconfig, &cache);
+
+  dbc::TextTable table("best-peer KCD of the affected database, 20-pt windows");
+  table.SetHeader({"window", "state", "RPS", "CPU", "RowsRead", "DataWrites"});
+  const size_t w = 20;
+  const size_t from = ev.start >= 3 * w ? ev.start - 3 * w : 0;
+  const size_t to = std::min(unit.length(), ev.end() + 3 * w);
+  for (size_t t0 = from; t0 + w <= to; t0 += w) {
+    const bool inside = t0 + w > ev.start && t0 < ev.end();
+    auto score = [&](dbc::Kpi kpi) {
+      return dbc::TextTable::Num(
+          analyzer.AggregateScore(dbc::KpiIndex(kpi), ev.db, t0, w), 3);
+    };
+    table.AddRow({"[" + std::to_string(t0) + ", " + std::to_string(t0 + w) + ")",
+                  inside ? "INCIDENT" : "healthy",
+                  score(dbc::Kpi::kRequestsPerSecond),
+                  score(dbc::Kpi::kCpuUtilization),
+                  score(dbc::Kpi::kInnodbRowsRead),
+                  score(dbc::Kpi::kInnodbDataWrites)});
+  }
+  table.Print();
+  std::printf("\nPaper shape: scores collapse inside the incident and recover"
+              " after it.\n");
+  return 0;
+}

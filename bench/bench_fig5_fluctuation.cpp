@@ -1,0 +1,58 @@
+// Fig. 5 reproduction: temporal fluctuations at individual points depress
+// the correlation score of short windows; widening the window (e.g. to ~5
+// minutes) restores it, at the price of detection efficiency. Sweeps the
+// window length on a healthy trace with aggressive fluctuations.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/common/mathutil.h"
+#include "dbc/correlation/kcd.h"
+
+int main() {
+  std::printf("=== Fig. 5: fluctuation impact vs window size ===\n\n");
+
+  dbc::UnitSimConfig config;
+  config.ticks = 2000;
+  config.inject_anomalies = false;
+  config.fluctuations.arrival_rate = 0.02;  // aggressive, to expose the effect
+  config.fluctuations.max_relative = 0.35;
+  dbc::Rng rng(dbc::BenchSeed());
+  dbc::PeriodicProfileParams params;
+  auto profile = dbc::MakePeriodicProfile(params, rng.Fork(1));
+  const dbc::UnitData unit =
+      dbc::SimulateUnit(config, *profile, true, rng.Fork(2));
+
+  dbc::KcdOptions kcd;
+  kcd.max_delay_fraction = 0.25;
+
+  dbc::TextTable table(
+      "healthy-pair KCD vs window length (RPS, all replica pairs)");
+  table.SetHeader({"window (points)", "window (seconds)", "mean KCD",
+                   "5th pct KCD", "pairs below 0.7"});
+  for (size_t w : {6, 12, 20, 30, 45, 60, 90}) {
+    std::vector<double> scores;
+    size_t below = 0;
+    for (size_t t0 = 0; t0 + w <= unit.length(); t0 += w) {
+      for (size_t a = 1; a < 5; ++a) {
+        for (size_t b = a + 1; b < 5; ++b) {
+          const double s = dbc::KcdScore(
+              unit.kpi(a, dbc::Kpi::kRequestsPerSecond).Slice(t0, t0 + w),
+              unit.kpi(b, dbc::Kpi::kRequestsPerSecond).Slice(t0, t0 + w),
+              kcd);
+          scores.push_back(s);
+          below += (s < 0.7);
+        }
+      }
+    }
+    table.AddRow({std::to_string(w), std::to_string(w * 5),
+                  dbc::TextTable::Num(dbc::Mean(scores), 3),
+                  dbc::TextTable::Num(dbc::Quantile(scores, 0.05), 3),
+                  dbc::TextTable::Pct(static_cast<double>(below) /
+                                      static_cast<double>(scores.size()))});
+  }
+  table.Print();
+  std::printf("\nPaper shape: short windows suffer from point fluctuations;"
+              " ~5-minute (60-point) windows absorb them.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Table X reproduction: F-Measure of different correlation measures inside
+// the matrix-measurement (MM) detection pipeline — MM-Pearson, MM-DTW,
+// MM-KCD — plus AMM-KCD (KCD with the flexible time window observation
+// mechanism). Also ablates the KCD lag-scan width (DESIGN.md decision 1).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+struct Variant {
+  std::string label;
+  dbc::CorrelationMeasure measure;
+  bool flexible_window;
+  double max_delay_fraction;
+};
+
+double RunVariant(const Variant& variant, const dbc::Dataset& dataset,
+                  uint64_t seed) {
+  dbc::Dataset train, test;
+  dataset.Split(0.5, &train, &test);
+
+  dbc::DbCatcherOptions options;
+  options.config = dbc::DefaultDbcatcherConfig(dbc::kNumKpis);
+  options.config.measure = variant.measure;
+  options.config.kcd.max_delay_fraction = variant.max_delay_fraction;
+  if (!variant.flexible_window) {
+    // MM variants: no expansion possible.
+    options.config.max_window = options.config.initial_window;
+  }
+  // Force adaptive learning for every variant so each measure gets
+  // thresholds suited to its own score distribution (fair comparison).
+  options.config.retrain_criterion = 1.01;
+  // Pearson/DTW distributions may need thresholds outside [0.6, 0.8].
+  options.ranges.alpha_lo = 0.4;
+  options.ranges.alpha_hi = 0.95;
+
+  dbc::DbCatcher catcher(options);
+  dbc::Rng rng(seed);
+  catcher.Fit(train, rng);
+
+  dbc::Confusion total;
+  for (const dbc::UnitData& unit : test.units) {
+    total.Merge(dbc::ScoreVerdicts(unit, catcher.Detect(unit)));
+  }
+  return total.FMeasure();
+}
+
+}  // namespace
+
+int main() {
+  const int repeats = std::max(1, dbc::BenchRepeats() / 2);
+  std::printf("=== Table X: correlation-measure ablation inside the MM"
+              " pipeline (%d repeats) ===\n\n",
+              repeats);
+  const dbc::bench::BenchDatasets data = dbc::bench::BuildBenchDatasets();
+
+  const Variant variants[] = {
+      {"MM-Pearson", dbc::CorrelationMeasure::kPearson, false, 0.25},
+      {"MM-DTW", dbc::CorrelationMeasure::kDtw, false, 0.25},
+      {"MM-KCD", dbc::CorrelationMeasure::kKcd, false, 0.25},
+      {"AMM-KCD", dbc::CorrelationMeasure::kKcd, true, 0.25},
+  };
+
+  dbc::TextTable table;
+  table.SetHeader({"Model", "Tencent F", "Sysbench F", "TPCC F"});
+  for (const Variant& variant : variants) {
+    std::vector<std::string> row = {variant.label};
+    for (const dbc::Dataset* ds : data.All()) {
+      dbc::Spread f;
+      for (int rep = 0; rep < repeats; ++rep) {
+        f.Add(RunVariant(variant, *ds, dbc::BenchSeed() + 77 * (rep + 1)));
+      }
+      row.push_back(dbc::TextTable::Pct(f.mean));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\nPaper shape: KCD > Pearson > DTW; the flexible window"
+              " (AMM-KCD) adds ~5%% F on top of MM-KCD.\n");
+
+  // Design-decision ablation: the KCD lag-scan width (Eq. 3 scans up to n/2;
+  // deployment delays are a few points).
+  std::printf("\n=== KCD lag-scan width ablation (AMM-KCD on Tencent) ===\n");
+  dbc::TextTable scan;
+  scan.SetHeader({"max_delay_fraction", "Tencent F"});
+  for (double fraction : {0.05, 0.25, 0.5}) {
+    dbc::Spread f;
+    for (int rep = 0; rep < repeats; ++rep) {
+      Variant v{"", dbc::CorrelationMeasure::kKcd, true, fraction};
+      f.Add(RunVariant(v, data.tencent, dbc::BenchSeed() + 99 * (rep + 1)));
+    }
+    scan.AddRow({dbc::TextTable::Num(fraction, 2), dbc::TextTable::Pct(f.mean)});
+  }
+  scan.Print();
+  std::printf("A narrow scan misses real collection delays; a full n/2 scan"
+              " rewards spurious alignments of decorrelated windows.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Case study (paper Fig. 13): resource-consuming tasks mapped to one
+// database.
+//
+// Total Requests stay balanced across the unit, but one database's CPU
+// Utilization and Innodb Rows Read decouple because its requests are far
+// heavier. A per-KPI threshold on raw values would miss this (requests look
+// normal); the cross-database correlation does not.
+#include <cstdio>
+
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/common/table.h"
+#include "dbc/dbcatcher/dbcatcher.h"
+
+int main() {
+  dbc::UnitSimConfig config;
+  config.ticks = 1200;
+  config.anomalies.kinds = {dbc::AnomalyKind::kCpuHog};
+  config.anomalies.target_ratio = 0.05;
+
+  dbc::Rng rng(20230613);
+  dbc::IrregularProfileParams profile_params;
+  auto profile = dbc::MakeIrregularProfile(profile_params, rng.Fork(1));
+  const dbc::UnitData unit = dbc::SimulateUnit(
+      config, *profile, /*profile_is_periodic=*/false, rng.Fork(2));
+
+  std::printf("injected incidents:\n");
+  for (const dbc::AnomalyEvent& ev : unit.events) {
+    std::printf("  %-12s db=%zu  ticks [%zu, %zu)\n",
+                dbc::AnomalyKindName(ev.kind).c_str(), ev.db, ev.start,
+                ev.end());
+  }
+
+  dbc::DbcatcherConfig dconfig = dbc::DefaultDbcatcherConfig(dbc::kNumKpis);
+  dbc::KcdCache cache;
+  dbc::CorrelationAnalyzer analyzer(unit, dconfig, &cache);
+
+  // For every incident window, contrast the KCD of the KPIs the DBAs looked
+  // at in the paper's incident: Total Requests (stays correlated) vs CPU
+  // Utilization and Innodb Rows Read (decorrelate).
+  dbc::TextTable table("KCD during incidents: requests stay correlated, CPU does not");
+  table.SetHeader({"incident window", "db", "TotalRequests KCD",
+                   "CPU KCD", "RowsRead KCD"});
+  for (const dbc::AnomalyEvent& ev : unit.events) {
+    const size_t len = ev.duration;
+    table.AddRow(
+        {"[" + std::to_string(ev.start) + ", " + std::to_string(ev.end()) + ")",
+         std::to_string(ev.db),
+         dbc::TextTable::Num(analyzer.AggregateScore(
+             dbc::KpiIndex(dbc::Kpi::kTotalRequests), ev.db, ev.start, len), 3),
+         dbc::TextTable::Num(analyzer.AggregateScore(
+             dbc::KpiIndex(dbc::Kpi::kCpuUtilization), ev.db, ev.start, len), 3),
+         dbc::TextTable::Num(analyzer.AggregateScore(
+             dbc::KpiIndex(dbc::Kpi::kInnodbRowsRead), ev.db, ev.start, len), 3)});
+  }
+  table.Print();
+
+  const dbc::UnitVerdicts verdicts = dbc::DetectUnit(unit, dconfig);
+  const dbc::Confusion score = dbc::ScoreVerdicts(unit, verdicts);
+  std::printf("\nDBCatcher verdicts on this unit: %s\n",
+              score.ToString().c_str());
+  return 0;
+}

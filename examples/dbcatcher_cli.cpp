@@ -1,0 +1,108 @@
+// Command-line detector: run DBCatcher over a unit trace CSV and print the
+// verdicts with root-cause diagnoses.
+//
+//   dbcatcher_cli <unit.csv> [--window N] [--max-window N] [--alpha X]
+//                 [--theta X] [--tolerance N] [--report]
+//
+// The CSV schema is the one produced by dbc::WriteUnitCsv (per database d:
+// "D<d>.<KPI name>" columns, optional "D<d>.label"). When labels are present
+// the tool also scores itself against them.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dbc/datasets/io.h"
+#include "dbc/dbcatcher/diagnosis.h"
+#include "dbc/dbcatcher/observer.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <unit.csv> [--window N] [--max-window N]"
+               " [--alpha X] [--theta X] [--tolerance N] [--report]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage(argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  dbc::DbcatcherConfig config = dbc::DefaultDbcatcherConfig(dbc::kNumKpis);
+  bool report = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> double {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        std::exit(2);
+      }
+      return std::atof(argv[++i]);
+    };
+    if (arg == "--window") {
+      config.initial_window = static_cast<size_t>(next("--window"));
+    } else if (arg == "--max-window") {
+      config.max_window = static_cast<size_t>(next("--max-window"));
+    } else if (arg == "--alpha") {
+      const double alpha = next("--alpha");
+      config.genome.alpha.assign(dbc::kNumKpis, alpha);
+    } else if (arg == "--theta") {
+      config.genome.theta = next("--theta");
+    } else if (arg == "--tolerance") {
+      config.genome.tolerance = static_cast<int>(next("--tolerance"));
+    } else if (arg == "--report") {
+      report = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const dbc::Result<dbc::UnitData> read = dbc::ReadUnitCsv(path);
+  if (!read.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                 read.status().ToString().c_str());
+    return 1;
+  }
+  const dbc::UnitData& unit = read.value();
+  std::printf("%s: %zu databases, %zu points each (window W=%zu, W_M=%zu)\n",
+              path.c_str(), unit.num_dbs(), unit.length(),
+              config.initial_window, config.max_window);
+
+  dbc::KcdCache cache;
+  dbc::CorrelationAnalyzer analyzer(unit, config, &cache);
+  const dbc::UnitVerdicts verdicts = dbc::DetectUnit(unit, config, &cache);
+
+  size_t abnormal = 0, total = 0;
+  for (size_t db = 0; db < verdicts.per_db.size(); ++db) {
+    for (const dbc::WindowVerdict& v : verdicts.per_db[db]) {
+      ++total;
+      if (!v.abnormal) continue;
+      ++abnormal;
+      std::printf("ABNORMAL  D%zu  [%zu, %zu)  consumed=%zu\n", db + 1,
+                  v.begin, v.end, v.consumed);
+      if (report) {
+        const dbc::DiagnosticReport diag = dbc::Diagnose(
+            analyzer, config, db, v.begin, v.begin + v.consumed);
+        std::printf("%s\n", diag.ToString().c_str());
+      }
+    }
+  }
+  std::printf("%zu of %zu windows abnormal\n", abnormal, total);
+
+  // Self-score when ground-truth labels are present in the CSV.
+  bool has_labels = false;
+  for (const auto& labels : unit.labels) {
+    for (uint8_t l : labels) has_labels |= (l != 0);
+  }
+  if (has_labels) {
+    const dbc::Confusion c = dbc::ScoreVerdicts(unit, verdicts);
+    std::printf("against CSV labels: %s\n", c.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Online detection demo: feed a unit's KPI stream tick by tick through the
+// DbcatcherStream API (Fig. 6's data processing + streaming detection
+// modules) and watch verdicts resolve, including flexible window expansions.
+#include <cstdio>
+
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/dbcatcher/streaming.h"
+
+int main() {
+  // Simulate a unit up front; the stream replays it tick by tick as a stand-
+  // in for a live monitoring feed.
+  dbc::UnitSimConfig config;
+  config.ticks = 800;
+  config.anomalies.target_ratio = 0.05;
+
+  dbc::Rng rng(11);
+  dbc::PeriodicProfileParams profile_params;
+  auto profile = dbc::MakePeriodicProfile(profile_params, rng.Fork(1));
+  const dbc::UnitData unit =
+      dbc::SimulateUnit(config, *profile, true, rng.Fork(2));
+
+  dbc::DbcatcherConfig dconfig = dbc::DefaultDbcatcherConfig(dbc::kNumKpis);
+  dbc::DbcatcherStream stream(dconfig, unit.roles);
+
+  size_t verdict_count = 0, abnormal_count = 0, expanded_count = 0;
+  for (size_t t = 0; t < unit.length(); ++t) {
+    // One collection tick: values[db][kpi].
+    std::vector<std::array<double, dbc::kNumKpis>> tick(unit.num_dbs());
+    for (size_t db = 0; db < unit.num_dbs(); ++db) {
+      for (size_t k = 0; k < dbc::kNumKpis; ++k) {
+        tick[db][k] = unit.kpis[db].row(k)[t];
+      }
+    }
+    stream.Push(tick);
+
+    for (const dbc::StreamVerdict& v : stream.Poll()) {
+      ++verdict_count;
+      if (v.window.consumed > dconfig.initial_window) ++expanded_count;
+      if (v.window.abnormal) {
+        ++abnormal_count;
+        std::printf("t=%4zu  db=%zu  window [%zu, %zu) ABNORMAL"
+                    " (consumed %zu points)\n",
+                    t, v.db, v.window.begin, v.window.end, v.window.consumed);
+      }
+    }
+  }
+  std::printf("\nstream done: %zu verdicts, %zu abnormal, %zu used an"
+              " expanded window\n",
+              verdict_count, abnormal_count, expanded_count);
+  std::printf("ground truth: %zu of %zu (db,tick) points labeled abnormal\n",
+              unit.AbnormalPoints(), unit.num_dbs() * unit.length());
+  return 0;
+}

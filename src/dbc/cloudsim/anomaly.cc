@@ -1,0 +1,318 @@
+#include "dbc/cloudsim/anomaly.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+const std::string& AnomalyKindName(AnomalyKind kind) {
+  static const std::array<std::string, kNumAnomalyKinds> kNames = {
+      "spike",
+      "level-shift",
+      "concept-drift",
+      "lb-skew",
+      "capacity-fragmentation",
+      "cpu-hog",
+      "replication-stall",
+  };
+  return kNames[static_cast<size_t>(kind)];
+}
+
+namespace {
+
+/// Duration range (ticks) per kind; spikes are short, drifts are long.
+void DurationRange(AnomalyKind kind, size_t* lo, size_t* hi) {
+  switch (kind) {
+    case AnomalyKind::kSpike:
+      *lo = 2;
+      *hi = 6;
+      return;
+    case AnomalyKind::kLevelShift:
+      *lo = 25;
+      *hi = 90;
+      return;
+    case AnomalyKind::kConceptDrift:
+      *lo = 60;
+      *hi = 160;
+      return;
+    case AnomalyKind::kLoadBalanceSkew:
+      *lo = 30;
+      *hi = 120;
+      return;
+    case AnomalyKind::kCapacityFragmentation:
+      *lo = 40;
+      *hi = 140;
+      return;
+    case AnomalyKind::kCpuHog:
+      *lo = 20;
+      *hi = 80;
+      return;
+    case AnomalyKind::kReplicationStall:
+      *lo = 15;
+      *hi = 60;
+      return;
+  }
+  *lo = 10;
+  *hi = 40;
+}
+
+}  // namespace
+
+std::vector<AnomalyEvent> ScheduleAnomalies(const AnomalyScheduleConfig& config,
+                                            size_t num_dbs, size_t ticks,
+                                            Rng& rng) {
+  std::vector<AnomalyKind> kinds = config.kinds;
+  if (kinds.empty()) {
+    for (size_t i = 0; i < kNumAnomalyKinds; ++i) {
+      kinds.push_back(static_cast<AnomalyKind>(i));
+    }
+  }
+  std::vector<double> weights = config.kind_weights;
+  if (weights.size() != kinds.size()) {
+    weights.assign(kinds.size(), 1.0);
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      if (kinds[i] == AnomalyKind::kSpike) weights[i] = 4.0;
+    }
+  }
+
+  const double total_points = static_cast<double>(num_dbs * ticks);
+  const double budget = config.target_ratio * total_points;
+
+  std::vector<AnomalyEvent> events;
+  // Per-database occupied intervals (with the min healthy gap) to avoid
+  // overlapping or back-to-back events on one database.
+  std::vector<std::vector<std::pair<size_t, size_t>>> busy(num_dbs);
+
+  double spent = 0.0;
+  size_t attempts = 0;
+  const size_t max_attempts = 50 * (num_dbs * ticks / 100 + 10);
+  while (spent < budget && attempts < max_attempts) {
+    ++attempts;
+    AnomalyEvent ev;
+    ev.kind = kinds[rng.WeightedChoice(weights)];
+    ev.db = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(num_dbs) - 1));
+    size_t lo = 0, hi = 0;
+    DurationRange(ev.kind, &lo, &hi);
+    ev.duration = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+    if (config.head_clearance + ev.duration + 1 >= ticks) continue;
+    ev.start = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(config.head_clearance),
+                       static_cast<int64_t>(ticks - ev.duration - 1)));
+    ev.magnitude = rng.Uniform(0.4, 1.0);
+
+    // Reject overlaps (with gap) on the same database; LB skew also excludes
+    // overlapping any other database's event (a unit-wide disturbance).
+    const size_t gap = config.min_gap;
+    const size_t lo_t = ev.start > gap ? ev.start - gap : 0;
+    const size_t hi_t = ev.end() + gap;
+    bool clash = false;
+    for (size_t db = 0; db < num_dbs && !clash; ++db) {
+      if (db != ev.db && ev.kind != AnomalyKind::kLoadBalanceSkew) continue;
+      for (const auto& [b, e] : busy[db]) {
+        if (lo_t < e && b < hi_t) {
+          clash = true;
+          break;
+        }
+      }
+    }
+    if (clash) continue;
+
+    busy[ev.db].push_back({lo_t, hi_t});
+    events.push_back(ev);
+    spent += static_cast<double>(ev.duration);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const AnomalyEvent& a, const AnomalyEvent& b) {
+              return a.start < b.start;
+            });
+  return events;
+}
+
+AnomalyInjector::AnomalyInjector(std::vector<AnomalyEvent> events,
+                                 size_t num_dbs, Rng rng)
+    : events_(std::move(events)) {
+  (void)num_dbs;
+  states_.reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const AnomalyEvent& ev = events_[i];
+    // The foreign signal is the event's own dynamics: a slow log-domain OU
+    // regime plus fast per-tick noise. It is what the affected KPIs follow
+    // instead of the unit workload.
+    const double sigma = 0.10 + 0.25 * ev.magnitude;
+    EventState st{ev, OuProcess(0.0, 0.05, sigma, rng.Fork(2 * i + 1)),
+                  rng.Fork(2 * i + 2), rng.Bernoulli(0.5) ? 1.0 : -1.0};
+    states_.push_back(std::move(st));
+  }
+}
+
+KpiEffect AnomalyInjector::EffectFor(size_t db, size_t t) {
+  KpiEffect effect;
+  for (EventState& st : states_) {
+    const AnomalyEvent& ev = st.event;
+    if (ev.db != db || !ev.ActiveAt(t)) continue;
+    // Shared pieces: progress through the event and the independent foreign
+    // signal (slow regime x fast per-tick noise) the anomaly follows.
+    const double progress = static_cast<double>(t - ev.start) /
+                            static_cast<double>(std::max<size_t>(1, ev.duration));
+    const double foreign =
+        std::exp(st.foreign.Step() + 0.25 * st.noise.Normal());
+    const double m = ev.magnitude;
+    KpiEffect e;
+
+    // Helper: route `w` of the KPI to the foreign signal at `level` times
+    // the KPI's healthy running mean.
+    auto blend = [&e](Kpi kpi, double w, double level) {
+      e.blend_w[KpiIndex(kpi)] = Clamp(w, 0.0, 1.0);
+      e.blend_factor[KpiIndex(kpi)] = std::max(0.0, level);
+    };
+    static constexpr Kpi kThroughputPath[] = {
+        Kpi::kRequestsPerSecond,   Kpi::kTotalRequests,
+        Kpi::kInnodbRowsRead,      Kpi::kBufferPoolReadRequests,
+        Kpi::kTransactionsPerSecond, Kpi::kCpuUtilization};
+    static constexpr Kpi kWritePath[] = {
+        Kpi::kComInsert,         Kpi::kComUpdate,
+        Kpi::kInnodbRowsInserted, Kpi::kInnodbRowsUpdated,
+        Kpi::kInnodbRowsDeleted, Kpi::kInnodbDataWrites,
+        Kpi::kInnodbDataWritten};
+
+    switch (ev.kind) {
+      case AnomalyKind::kSpike: {
+        // Short, violent multiplier on the throughput path: the spike itself
+        // dominates the window's normalized shape.
+        const double gain =
+            st.direction > 0 ? 1.0 + 2.5 * m * foreign
+                             : 1.0 / (1.0 + 2.0 * m * foreign);
+        for (Kpi kpi : kThroughputPath) e.mult[KpiIndex(kpi)] = gain;
+        break;
+      }
+      case AnomalyKind::kLevelShift: {
+        // Jump to a new regime with its own dynamics: most KPIs follow the
+        // foreign signal at a shifted level instead of the unit workload.
+        const double level =
+            st.direction > 0 ? 1.0 + 1.2 * m : std::max(0.1, 1.0 - 0.7 * m);
+        const double w = 0.7 + 0.25 * m;
+        for (size_t i = 0; i < kNumKpis; ++i) {
+          if (i == KpiIndex(Kpi::kRealCapacity)) continue;
+          e.blend_w[i] = w;
+          e.blend_factor[i] = level * foreign;
+        }
+        break;
+      }
+      case AnomalyKind::kConceptDrift: {
+        // Gradually hand the KPIs over to the foreign regime.
+        const double w = progress * (0.75 + 0.25 * m);
+        for (size_t i = 0; i < kNumKpis; ++i) {
+          if (i == KpiIndex(Kpi::kRealCapacity)) continue;
+          e.blend_w[i] = w;
+          e.blend_factor[i] = (1.0 + 0.8 * m) * foreign;
+        }
+        break;
+      }
+      case AnomalyKind::kLoadBalanceSkew: {
+        // The rate redirection itself is realized through the load balancer
+        // (SkewAt). A defective strategy maps the *expensive* statements to
+        // the target (Fig. 4), so its cost-path KPIs follow the rogue
+        // statement stream rather than the balanced workload.
+        e.cpu_cost_mult = 1.0 + 1.5 * m * foreign;
+        blend(Kpi::kCpuUtilization, 0.6 + 0.35 * m, (1.0 + m) * foreign);
+        blend(Kpi::kInnodbRowsRead, 0.6 + 0.35 * m, (1.0 + m) * foreign);
+        blend(Kpi::kBufferPoolReadRequests, 0.6 + 0.35 * m,
+              (1.0 + m) * foreign);
+        break;
+      }
+      case AnomalyKind::kCapacityFragmentation: {
+        // Churny deletes+inserts with dead space left behind (Fig. 12): the
+        // churn counters follow the rogue maintenance job.
+        e.reclaim = Clamp(1.0 - 0.9 * m, 0.05, 1.0);
+        e.churn_rows_mult = 1.0 + 1.5 * m;  // the job really moves the rows
+        const double w = 0.65 + 0.3 * m;
+        blend(Kpi::kComInsert, w, (1.5 + m) * foreign);
+        blend(Kpi::kInnodbRowsInserted, w, (1.5 + m) * foreign);
+        blend(Kpi::kInnodbRowsDeleted, w, (1.5 + m) * foreign);
+        blend(Kpi::kInnodbDataWrites, w, (1.2 + m) * foreign);
+        blend(Kpi::kInnodbDataWritten, w, (1.2 + m) * foreign);
+        break;
+      }
+      case AnomalyKind::kCpuHog: {
+        // Same request count, far heavier requests (Fig. 13): CPU and the
+        // read path are dominated by the rogue tasks' own demand curve.
+        e.cpu_cost_mult = 1.0 + 3.0 * m * foreign;
+        blend(Kpi::kCpuUtilization, 0.65 + 0.3 * m, (1.3 + m) * foreign);
+        blend(Kpi::kInnodbRowsRead, 0.65 + 0.3 * m, (1.5 + m) * foreign);
+        blend(Kpi::kBufferPoolReadRequests, 0.65 + 0.3 * m,
+              (1.5 + m) * foreign);
+        break;
+      }
+      case AnomalyKind::kReplicationStall: {
+        // Apply thread stalls, then catches up: write-path counters sit at a
+        // near-zero floor for the first 70% of the event and replay the
+        // backlog afterwards.
+        const bool stalled = progress < 0.7;
+        for (Kpi kpi : kWritePath) {
+          if (stalled) {
+            blend(kpi, 0.85 + 0.1 * m, 0.05);
+          } else {
+            blend(kpi, 0.7, (1.5 + m) * foreign);
+          }
+        }
+        break;
+      }
+    }
+    effect.Combine(e);
+  }
+  return effect;
+}
+
+bool AnomalyInjector::SkewAt(size_t t, size_t* target, double* fraction) const {
+  for (const EventState& st : states_) {
+    const AnomalyEvent& ev = st.event;
+    if (ev.kind == AnomalyKind::kLoadBalanceSkew && ev.ActiveAt(t)) {
+      *target = ev.db;
+      *fraction = Clamp(0.3 + 0.6 * ev.magnitude, 0.0, 0.95);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AnomalyInjector::LabelAt(size_t db, size_t t) const {
+  for (const AnomalyEvent& ev : events_) {
+    if (ev.db == db && ev.ActiveAt(t)) return true;
+  }
+  return false;
+}
+
+FluctuationProcess::FluctuationProcess(const FluctuationConfig& config, Rng rng)
+    : config_(config), rng_(rng) {}
+
+KpiEffect FluctuationProcess::Step() {
+  if (remaining_ > 0) {
+    --remaining_;
+    return active_;
+  }
+  if (!rng_.Bernoulli(config_.arrival_rate)) return KpiEffect();
+
+  // Start a new fluctuation: a small multiplier on a few random KPIs.
+  active_ = KpiEffect();
+  const size_t touched = static_cast<size_t>(
+      rng_.UniformInt(1, static_cast<int64_t>(config_.max_kpis)));
+  for (size_t i = 0; i < touched; ++i) {
+    const size_t kpi = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(kNumKpis) - 1));
+    if (kpi == KpiIndex(Kpi::kRealCapacity)) continue;
+    const double rel = rng_.Uniform(0.08, config_.max_relative);
+    active_.mult[kpi] = rng_.Bernoulli(0.5) ? 1.0 + rel : 1.0 - rel;
+  }
+  remaining_ = static_cast<size_t>(
+      rng_.UniformInt(static_cast<int64_t>(config_.min_duration),
+                      static_cast<int64_t>(config_.max_duration)));
+  return active_;
+}
+
+}  // namespace dbc

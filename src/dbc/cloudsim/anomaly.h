@@ -1,0 +1,127 @@
+// Anomaly taxonomy, scheduling, and per-tick effect synthesis.
+//
+// Anomaly types follow §II-C / §V: spike, level shift, concept drift,
+// defective load balancing (Fig. 4), capacity fragmentation (Fig. 12),
+// CPU-hogging resource skew (Fig. 13), and replication stall. Every event
+// targets a single database (the paper only considers single-database
+// failures, §II-C) and carries its own independent "foreign" signal process:
+// a decorrelating time-varying multiplier, because a perfectly constant
+// multiplier would survive min-max normalization and leave UKPIC intact.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dbc/cloudsim/instance_model.h"
+#include "dbc/cloudsim/kpi.h"
+#include "dbc/common/rng.h"
+
+namespace dbc {
+
+/// Kinds of injected abnormal issues.
+enum class AnomalyKind : int {
+  kSpike = 0,
+  kLevelShift,
+  kConceptDrift,
+  kLoadBalanceSkew,
+  kCapacityFragmentation,
+  kCpuHog,
+  kReplicationStall,
+};
+
+/// Number of anomaly kinds.
+inline constexpr size_t kNumAnomalyKinds = 7;
+
+/// Display name ("spike", ...).
+const std::string& AnomalyKindName(AnomalyKind kind);
+
+/// One scheduled abnormal issue on one database.
+struct AnomalyEvent {
+  AnomalyKind kind = AnomalyKind::kSpike;
+  size_t db = 0;
+  size_t start = 0;
+  size_t duration = 1;
+  /// Kind-specific severity in (0, 1].
+  double magnitude = 0.5;
+
+  size_t end() const { return start + duration; }
+  bool ActiveAt(size_t t) const { return t >= start && t < end(); }
+};
+
+/// Injection configuration.
+struct AnomalyScheduleConfig {
+  /// Target fraction of (database, tick) points labeled abnormal.
+  double target_ratio = 0.035;
+  /// Enabled kinds; empty = all kinds.
+  std::vector<AnomalyKind> kinds;
+  /// Relative sampling weight per enabled kind (empty = spikes 4x, others
+  /// 1x — point outliers are by far the most common production anomaly, and
+  /// being short they still contribute only a minority of abnormal points).
+  std::vector<double> kind_weights;
+  /// Ticks kept anomaly-free at the head of the trace (warm-up).
+  size_t head_clearance = 50;
+  /// Minimum healthy gap between events on the same database.
+  size_t min_gap = 40;
+};
+
+/// Draws a non-overlapping event schedule hitting ~target_ratio.
+std::vector<AnomalyEvent> ScheduleAnomalies(const AnomalyScheduleConfig& config,
+                                            size_t num_dbs, size_t ticks,
+                                            Rng& rng);
+
+/// Turns scheduled events into per-tick KpiEffects and point labels.
+class AnomalyInjector {
+ public:
+  AnomalyInjector(std::vector<AnomalyEvent> events, size_t num_dbs, Rng rng);
+
+  /// Effect for database `db` at tick `t` (identity when healthy).
+  KpiEffect EffectFor(size_t db, size_t t);
+
+  /// Active load-balance skew at tick t: returns true and fills target/
+  /// fraction when a kLoadBalanceSkew event is live.
+  bool SkewAt(size_t t, size_t* target, double* fraction) const;
+
+  /// True when `db` is inside any event at `t` (the ground-truth label).
+  bool LabelAt(size_t db, size_t t) const;
+
+  const std::vector<AnomalyEvent>& events() const { return events_; }
+
+ private:
+  struct EventState {
+    AnomalyEvent event;
+    OuProcess foreign;   // independent decorrelating factor (log-domain)
+    Rng noise;           // fast per-tick component of the foreign signal
+    double direction;    // +1 up, -1 down
+  };
+
+  std::vector<EventState> states_;
+  std::vector<AnomalyEvent> events_;
+};
+
+/// Unlabeled temporal fluctuations (§II-D): short, small, self-recovering
+/// deviations from maintenance tasks and imperfect balancing.
+struct FluctuationConfig {
+  double arrival_rate = 0.004;  // events per database per tick
+  size_t min_duration = 1;
+  size_t max_duration = 3;
+  double max_relative = 0.25;   // at most +/-25% on the touched KPIs
+  size_t max_kpis = 3;
+};
+
+/// Per-database fluctuation generator.
+class FluctuationProcess {
+ public:
+  FluctuationProcess(const FluctuationConfig& config, Rng rng);
+
+  /// Effect for the current tick (identity most of the time).
+  KpiEffect Step();
+
+ private:
+  FluctuationConfig config_;
+  Rng rng_;
+  size_t remaining_ = 0;
+  KpiEffect active_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,140 @@
+#include "dbc/cloudsim/instance_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+void KpiEffect::Combine(const KpiEffect& other) {
+  for (size_t i = 0; i < kNumKpis; ++i) {
+    mult[i] *= other.mult[i];
+    add[i] += other.add[i];
+    // Blends do not stack (scheduling keeps same-db events apart); the
+    // stronger blend wins.
+    if (other.blend_w[i] > blend_w[i]) {
+      blend_w[i] = other.blend_w[i];
+      blend_factor[i] = other.blend_factor[i];
+    }
+  }
+  reclaim *= other.reclaim;
+  churn_rows_mult *= other.churn_rows_mult;
+  cpu_cost_mult *= other.cpu_cost_mult;
+}
+
+InstanceModel::InstanceModel(DbRole role, const InstanceModelParams& params,
+                             Rng rng)
+    : role_(role),
+      params_(params),
+      rng_(rng.Fork(1)),
+      primary_rr_mod_(1.0, 0.03, params.primary_rr_sigma * 0.1, rng.Fork(2)),
+      capacity_bytes_(params.initial_capacity_bytes) {}
+
+double InstanceModel::Noise() {
+  return 1.0 + params_.measurement_noise * rng_.Normal();
+}
+
+std::array<double, kNumKpis> InstanceModel::Tick(double rate,
+                                                 const TransactionMix& mix,
+                                                 const KpiEffect& effect) {
+  std::array<double, kNumKpis> kpi{};
+  rate = std::max(0.0, rate);
+
+  // Statement-class throughput (statements/second).
+  const double reads = rate * mix.read;
+  const double inserts = rate * mix.insert;
+  const double updates = rate * mix.update;
+  const double deletes = rate * mix.remove;
+
+  // Row-level activity.
+  const double rows_read = reads * params_.rows_per_select +
+                           updates * params_.rows_per_update +
+                           deletes * params_.rows_per_delete;
+  const double rows_inserted = inserts * params_.rows_per_insert;
+  const double rows_updated = updates * params_.rows_per_update;
+  const double rows_deleted = deletes * params_.rows_per_delete;
+
+  // IO path.
+  const double modified_rows = rows_inserted + rows_updated + rows_deleted;
+  const double data_writes =
+      modified_rows * params_.write_ops_per_row + 2.0;  // + background flush
+  const double data_written = data_writes * params_.bytes_per_write_op;
+  const double bp_requests = rows_read * params_.logical_reads_per_row;
+
+  // CPU saturation: writes cost ~2.2x a point read; anomalous tasks multiply
+  // the per-request cost (Fig. 13).
+  const double weighted_load =
+      (reads + 2.2 * (inserts + updates + deletes)) * effect.cpu_cost_mult;
+  const double capacity = params_.core_capacity * params_.cores;
+  const double utilization =
+      capacity <= 0.0 ? 1.0 : weighted_load / (weighted_load + capacity);
+  const double cpu =
+      params_.base_cpu + (100.0 - params_.base_cpu) * 2.0 *
+                             std::min(0.5, utilization);
+
+  // Capacity integrator: inserts add bytes; deletes reclaim only
+  // `effect.reclaim` of theirs (fragmentation leaves dead space); churn jobs
+  // multiply the physical row work.
+  capacity_bytes_ +=
+      params_.tick_seconds * params_.row_bytes * effect.churn_rows_mult *
+      (rows_inserted - rows_deleted * effect.reclaim);
+  capacity_bytes_ = std::max(capacity_bytes_, 1.0e6);
+
+  // Primary-side decorrelation factor for R-R KPIs (Table II).
+  const double primary_factor =
+      role_ == DbRole::kPrimary
+          ? Clamp(primary_rr_mod_.Step() +
+                      params_.primary_rr_sigma * 0.5 *
+                          std::sin(0.013 * capacity_bytes_ / 1.0e7),
+                  0.4, 1.8)
+          : 1.0;
+
+  kpi[KpiIndex(Kpi::kComInsert)] = inserts * primary_factor;
+  kpi[KpiIndex(Kpi::kComUpdate)] = updates * primary_factor;
+  kpi[KpiIndex(Kpi::kCpuUtilization)] = cpu;
+  kpi[KpiIndex(Kpi::kBufferPoolReadRequests)] = bp_requests;
+  kpi[KpiIndex(Kpi::kInnodbDataWrites)] = data_writes;
+  kpi[KpiIndex(Kpi::kInnodbDataWritten)] = data_written;
+  kpi[KpiIndex(Kpi::kInnodbRowsDeleted)] = rows_deleted * primary_factor;
+  kpi[KpiIndex(Kpi::kInnodbRowsInserted)] = rows_inserted * primary_factor;
+  kpi[KpiIndex(Kpi::kInnodbRowsRead)] = rows_read;
+  kpi[KpiIndex(Kpi::kInnodbRowsUpdated)] = rows_updated;
+  kpi[KpiIndex(Kpi::kRequestsPerSecond)] = rate;
+  kpi[KpiIndex(Kpi::kTotalRequests)] = rate * params_.tick_seconds;
+  kpi[KpiIndex(Kpi::kRealCapacity)] = capacity_bytes_;
+  kpi[KpiIndex(Kpi::kTransactionsPerSecond)] =
+      rate / params_.requests_per_transaction * primary_factor;
+
+  // Track the healthy level of every KPI (anchor for anomaly blends) before
+  // distortions are applied.
+  if (!ema_initialized_) {
+    ema_ = kpi;
+    ema_initialized_ = true;
+  } else {
+    constexpr double kAlpha = 0.05;
+    for (size_t i = 0; i < kNumKpis; ++i) {
+      ema_[i] = (1.0 - kAlpha) * ema_[i] + kAlpha * kpi[i];
+    }
+  }
+
+  // Apply the composed effect (anomalies + fluctuations) and measurement
+  // noise. Real Capacity is a level, not a rate: it takes no multiplicative
+  // measurement noise (monitoring reads the exact tablespace size) but still
+  // honours explicit effect distortions.
+  for (size_t i = 0; i < kNumKpis; ++i) {
+    double v = kpi[i] * effect.mult[i] + effect.add[i];
+    const double w = effect.blend_w[i];
+    if (w > 0.0) {
+      v = (1.0 - w) * v + w * effect.blend_factor[i] * ema_[i];
+    }
+    if (i != KpiIndex(Kpi::kRealCapacity)) v *= Noise();
+    kpi[i] = std::max(0.0, v);
+  }
+  // CPU is a percentage.
+  kpi[KpiIndex(Kpi::kCpuUtilization)] =
+      Clamp(kpi[KpiIndex(Kpi::kCpuUtilization)], 0.0, 100.0);
+  return kpi;
+}
+
+}  // namespace dbc

@@ -1,0 +1,116 @@
+// Per-database KPI generation model.
+//
+// Converts the request rate assigned by the load balancer plus the statement
+// mix into the 14 monitored KPIs of Table II, with:
+//  - statement-class couplings (rows read/inserted/updated/deleted, buffer
+//    pool logical reads, redo write ops/bytes);
+//  - a saturating CPU model (cost per request depends on the mix);
+//  - a capacity integrator (Real Capacity only ever grows; the reclaim
+//    efficiency drops under the fragmentation anomaly of Fig. 12);
+//  - multiplicative measurement noise per KPI;
+//  - primary-specific decorrelation on the R-R KPIs of Table II (the primary
+//    executes original SQL while replicas apply row events, so those
+//    counters only correlate replica-to-replica).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "dbc/cloudsim/kpi.h"
+#include "dbc/cloudsim/profile.h"
+#include "dbc/common/rng.h"
+
+namespace dbc {
+
+/// Role of a database within its unit.
+enum class DbRole { kPrimary, kReplica };
+
+/// Per-tick KPI distortion — the carrier of both anomaly effects and
+/// unlabeled temporal fluctuations.
+///
+/// Two distortion channels exist because they break correlation differently:
+///  - mult/add scale the workload-driven value. A *constant* multiplier
+///    survives the min-max normalization of Eq. 1 (same shape), so it only
+///    decorrelates when it varies within the window (spikes, wiggling
+///    factors).
+///  - blend_w/blend_factor replace a fraction of the value with an
+///    independent "foreign" signal anchored at the KPI's recent level: this
+///    models a database whose dynamics are driven by a different source
+///    (rogue queries, replication apply, churn) and decorrelates robustly.
+struct KpiEffect {
+  std::array<double, kNumKpis> mult;
+  std::array<double, kNumKpis> add;
+  /// Blend weight in [0, 1] per KPI: v <- (1-w)*v + w*blend_factor*ema(v).
+  std::array<double, kNumKpis> blend_w;
+  /// Foreign level relative to the KPI's running mean.
+  std::array<double, kNumKpis> blend_factor;
+  /// Fraction of deleted bytes actually reclaimed (1 = healthy; < 1 grows
+  /// Real Capacity anomalously — the Fig. 12 fragmentation case).
+  double reclaim = 1.0;
+  /// Physical multiplier on the rows actually inserted/deleted (a rogue
+  /// churn job really does the extra row work, so the capacity integrator
+  /// sees it — unlike the KPI read-out blends).
+  double churn_rows_mult = 1.0;
+  /// CPU cost multiplier per request (> 1 = resource-hog workload, Fig. 13).
+  double cpu_cost_mult = 1.0;
+
+  KpiEffect() {
+    mult.fill(1.0);
+    add.fill(0.0);
+    blend_w.fill(0.0);
+    blend_factor.fill(1.0);
+  }
+
+  /// Composes another effect on top of this one.
+  void Combine(const KpiEffect& other);
+};
+
+/// Tuning of the physical model.
+struct InstanceModelParams {
+  double rows_per_select = 8.0;
+  double rows_per_insert = 1.5;
+  double rows_per_update = 1.2;
+  double rows_per_delete = 1.0;
+  double logical_reads_per_row = 1.6;   // buffer pool requests per row read
+  double write_ops_per_row = 0.5;       // redo/ibuf writes per modified row
+  double bytes_per_write_op = 16384.0;  // ~page-sized IO
+  double row_bytes = 220.0;             // average on-disk row footprint
+  double requests_per_transaction = 4.0;
+  /// Request cost scale for the CPU saturation law (requests/second a core
+  /// can absorb at the baseline mix). 4-core instances in the paper.
+  double core_capacity = 2500.0;
+  double cores = 4.0;
+  double base_cpu = 4.0;            // idle/background CPU percent
+  double measurement_noise = 0.012;  // sigma of per-KPI multiplicative noise
+  /// Extra independent modulation amplitude on the primary's R-R KPIs.
+  double primary_rr_sigma = 0.35;
+  double initial_capacity_bytes = 8.0e9;
+  double tick_seconds = 5.0;
+};
+
+/// Stateful per-database KPI generator.
+class InstanceModel {
+ public:
+  InstanceModel(DbRole role, const InstanceModelParams& params, Rng rng);
+
+  /// Produces the 14 KPI values for one tick.
+  std::array<double, kNumKpis> Tick(double rate, const TransactionMix& mix,
+                                    const KpiEffect& effect);
+
+  DbRole role() const { return role_; }
+  double capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  double Noise();
+
+  DbRole role_;
+  InstanceModelParams params_;
+  Rng rng_;
+  OuProcess primary_rr_mod_;  // slow independent factor for the primary
+  double capacity_bytes_;
+  /// Running mean of each KPI's *healthy* value, the anchor for blends.
+  std::array<double, kNumKpis> ema_{};
+  bool ema_initialized_ = false;
+};
+
+}  // namespace dbc

@@ -1,0 +1,70 @@
+#include "dbc/cloudsim/kpi.h"
+
+#include <cassert>
+
+namespace dbc {
+
+const std::array<Kpi, kNumKpis>& AllKpis() {
+  static const std::array<Kpi, kNumKpis> kAll = {
+      Kpi::kComInsert,
+      Kpi::kComUpdate,
+      Kpi::kCpuUtilization,
+      Kpi::kBufferPoolReadRequests,
+      Kpi::kInnodbDataWrites,
+      Kpi::kInnodbDataWritten,
+      Kpi::kInnodbRowsDeleted,
+      Kpi::kInnodbRowsInserted,
+      Kpi::kInnodbRowsRead,
+      Kpi::kInnodbRowsUpdated,
+      Kpi::kRequestsPerSecond,
+      Kpi::kTotalRequests,
+      Kpi::kRealCapacity,
+      Kpi::kTransactionsPerSecond,
+  };
+  return kAll;
+}
+
+const std::string& KpiName(Kpi kpi) {
+  static const std::array<std::string, kNumKpis> kNames = {
+      "Com Insert",
+      "Com Update",
+      "CPU Utilization",
+      "BufferPool Read Requests",
+      "Innodb Data Writes",
+      "Innodb Data Written",
+      "Innodb Rows Deleted",
+      "Innodb Rows Inserted",
+      "Innodb Rows Read",
+      "Innodb Rows Updated",
+      "Requests Per Second",
+      "Total Requests",
+      "Real Capacity",
+      "Transactions Per Second",
+  };
+  return kNames[KpiIndex(kpi)];
+}
+
+KpiCorrelationType KpiCorrelation(Kpi kpi) {
+  switch (kpi) {
+    case Kpi::kComInsert:
+    case Kpi::kComUpdate:
+    case Kpi::kInnodbRowsDeleted:
+    case Kpi::kInnodbRowsInserted:
+    case Kpi::kTransactionsPerSecond:
+      return KpiCorrelationType::kReplicaOnly;
+    case Kpi::kCpuUtilization:
+    case Kpi::kBufferPoolReadRequests:
+    case Kpi::kInnodbDataWrites:
+    case Kpi::kInnodbDataWritten:
+    case Kpi::kInnodbRowsRead:
+    case Kpi::kInnodbRowsUpdated:
+    case Kpi::kRequestsPerSecond:
+    case Kpi::kTotalRequests:
+    case Kpi::kRealCapacity:
+      return KpiCorrelationType::kPrimaryReplica;
+  }
+  assert(false && "unknown KPI");
+  return KpiCorrelationType::kPrimaryReplica;
+}
+
+}  // namespace dbc

@@ -1,0 +1,54 @@
+// The 14 key performance indicators of Table II and their UKPIC correlation
+// types.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace dbc {
+
+/// KPIs monitored per database (paper Table II). The enumerator order fixes
+/// the row order of every KPI matrix in the library.
+enum class Kpi : int {
+  kComInsert = 0,
+  kComUpdate,
+  kCpuUtilization,
+  kBufferPoolReadRequests,
+  kInnodbDataWrites,
+  kInnodbDataWritten,
+  kInnodbRowsDeleted,
+  kInnodbRowsInserted,
+  kInnodbRowsRead,
+  kInnodbRowsUpdated,
+  kRequestsPerSecond,
+  kTotalRequests,
+  kRealCapacity,
+  kTransactionsPerSecond,
+};
+
+/// Number of monitored KPIs.
+inline constexpr size_t kNumKpis = 14;
+
+/// Which database pairs exhibit UKPIC on a KPI (Table II):
+/// - kPrimaryReplica: primary-replica AND replica-replica pairs correlate;
+/// - kReplicaOnly: only replica-replica pairs correlate (write-path counters
+///   observed through replication diverge on the primary).
+enum class KpiCorrelationType {
+  kPrimaryReplica,  // "P-R, R-R" rows of Table II
+  kReplicaOnly,     // "R-R" rows
+};
+
+/// All KPIs in enum order.
+const std::array<Kpi, kNumKpis>& AllKpis();
+
+/// Display name ("CPU Utilization", ...).
+const std::string& KpiName(Kpi kpi);
+
+/// Correlation type from Table II.
+KpiCorrelationType KpiCorrelation(Kpi kpi);
+
+/// Index helper (the enum value).
+inline size_t KpiIndex(Kpi kpi) { return static_cast<size_t>(kpi); }
+
+}  // namespace dbc

@@ -1,0 +1,56 @@
+#include "dbc/cloudsim/load_balancer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dbc {
+
+LoadBalancer::LoadBalancer(const LoadBalancerConfig& config, Rng rng) {
+  assert(config.num_databases > 0);
+  shares_.reserve(config.num_databases);
+  for (size_t i = 0; i < config.num_databases; ++i) {
+    shares_.emplace_back(1.0, config.imbalance_theta, config.imbalance_sigma,
+                         rng.Fork(i + 1));
+  }
+}
+
+std::vector<double> LoadBalancer::Split(double unit_rate) {
+  const size_t n = shares_.size();
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = std::max(0.05, shares_[i].Step());
+    total += weights[i];
+  }
+  for (double& w : weights) w /= total;
+
+  if (skew_target_ >= 0) {
+    // Redirect skew_fraction of everyone else's share to the target.
+    const size_t target = static_cast<size_t>(skew_target_);
+    double moved = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == target) continue;
+      const double delta = weights[i] * skew_fraction_;
+      weights[i] -= delta;
+      moved += delta;
+    }
+    weights[target] += moved;
+  }
+
+  std::vector<double> rates(n);
+  for (size_t i = 0; i < n; ++i) rates[i] = unit_rate * weights[i];
+  return rates;
+}
+
+void LoadBalancer::SetSkew(size_t target, double skew_fraction) {
+  assert(target < shares_.size());
+  skew_target_ = static_cast<int>(target);
+  skew_fraction_ = std::clamp(skew_fraction, 0.0, 1.0);
+}
+
+void LoadBalancer::ClearSkew() {
+  skew_target_ = -1;
+  skew_fraction_ = 0.0;
+}
+
+}  // namespace dbc

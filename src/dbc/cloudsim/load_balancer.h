@@ -1,0 +1,49 @@
+// Unit load balancer: splits the unit workload across databases.
+//
+// Healthy operation keeps per-database shares near 1/N with slowly varying
+// imbalance (absolute balancing is unachievable, §II-D "temporal
+// fluctuations"). A defective strategy (Fig. 4's real incident) skews an
+// adjustable share of traffic onto one database.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dbc/cloudsim/profile.h"
+#include "dbc/common/rng.h"
+
+namespace dbc {
+
+/// Load balancer configuration.
+struct LoadBalancerConfig {
+  size_t num_databases = 5;
+  /// OU noise scale of the per-database share (relative).
+  double imbalance_sigma = 0.01;
+  /// Mean-reversion speed of the share noise.
+  double imbalance_theta = 0.1;
+};
+
+/// Stateful per-tick traffic splitter.
+class LoadBalancer {
+ public:
+  LoadBalancer(const LoadBalancerConfig& config, Rng rng);
+
+  /// Per-database request rates for the current tick given the unit rate.
+  /// Shares always sum to 1.
+  std::vector<double> Split(double unit_rate);
+
+  /// Activates a defective strategy: `skew_fraction` of the other databases'
+  /// traffic is redirected to `target` until ClearSkew().
+  void SetSkew(size_t target, double skew_fraction);
+  void ClearSkew();
+  bool skewed() const { return skew_target_ >= 0; }
+
+  size_t num_databases() const { return shares_.size(); }
+
+ private:
+  std::vector<OuProcess> shares_;
+  int skew_target_ = -1;
+  double skew_fraction_ = 0.0;
+};
+
+}  // namespace dbc

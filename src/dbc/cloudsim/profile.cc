@@ -1,0 +1,311 @@
+#include "dbc/cloudsim/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+double OuProcess::Step() {
+  state_ += theta_ * (mean_ - state_) + sigma_ * rng_.Normal();
+  return state_;
+}
+
+namespace {
+
+/// Diurnal-style profile: base + sinusoid + second harmonic, multiplied by a
+/// slowly varying OU factor. The OLTP mix drifts mildly with the cycle phase
+/// (e-commerce style: more writes near the peak).
+class PeriodicProfile final : public WorkloadProfile {
+ public:
+  PeriodicProfile(const PeriodicProfileParams& params, Rng rng)
+      : params_(params),
+        noise_(1.0, 0.08, params.noise_sigma, rng.Fork(1)) {}
+
+  double RateAt(size_t t) override {
+    const double phase =
+        2.0 * kPi * static_cast<double>(t) / static_cast<double>(params_.period);
+    double rate = params_.base_rate +
+                  params_.amplitude * 0.5 * (1.0 + std::sin(phase)) +
+                  params_.amplitude * params_.second_harmonic * 0.5 *
+                      (1.0 + std::sin(2.0 * phase + 0.7));
+    rate *= Clamp(noise_.Step(), 0.7, 1.3);
+    last_phase_ = phase;
+    return std::max(0.0, rate);
+  }
+
+  TransactionMix MixAt(size_t /*t*/) override {
+    TransactionMix mix;
+    const double peak = 0.5 * (1.0 + std::sin(last_phase_));  // 0..1
+    mix.read = 0.72 - 0.08 * peak;
+    mix.insert = 0.08 + 0.05 * peak;
+    mix.update = 0.14 + 0.03 * peak;
+    mix.remove = 0.04;
+    return mix;
+  }
+
+  std::string Name() const override { return "periodic"; }
+
+ private:
+  PeriodicProfileParams params_;
+  OuProcess noise_;
+  double last_phase_ = 0.0;
+};
+
+/// Bursty mean-reverting profile with plateau shifts: the "extensive
+/// irregular time series" of §I.
+class IrregularProfile final : public WorkloadProfile {
+ public:
+  IrregularProfile(const IrregularProfileParams& params, Rng rng)
+      : params_(params),
+        rng_(rng.Fork(1)),
+        log_noise_(0.0, 0.02, params.walk_sigma, rng.Fork(2)),
+        mix_noise_(0.0, 0.05, 0.02, rng.Fork(3)) {
+    plateau_ = params_.base_rate;
+  }
+
+  double RateAt(size_t /*t*/) override {
+    // Plateau shifts: the tenant re-deploys / changes traffic class.
+    if (rng_.Bernoulli(params_.shift_rate)) {
+      plateau_ *= rng_.Uniform(0.6, 1.6);
+      plateau_ = Clamp(plateau_, 0.2 * params_.base_rate,
+                       4.0 * params_.base_rate);
+    }
+    // Burst arrivals decay geometrically.
+    if (rng_.Bernoulli(params_.burst_rate)) {
+      burst_ = std::max(burst_, rng_.Uniform(0.5, 1.0) * params_.burst_gain);
+    }
+    burst_ *= params_.burst_decay;
+    const double wobble = std::exp(log_noise_.Step());
+    return std::max(0.0, plateau_ * wobble * (1.0 + burst_));
+  }
+
+  TransactionMix MixAt(size_t /*t*/) override {
+    TransactionMix mix;
+    // The drift trades reads against inserts so the class fractions always
+    // sum below 1.
+    const double drift = Clamp(mix_noise_.Step(), -0.08, 0.08);
+    mix.read = 0.68 + drift;
+    mix.insert = 0.1 - drift;
+    mix.update = 0.16;
+    mix.remove = 0.05;
+    return mix;
+  }
+
+  std::string Name() const override { return "irregular"; }
+
+ private:
+  IrregularProfileParams params_;
+  Rng rng_;
+  OuProcess log_noise_;
+  OuProcess mix_noise_;
+  double plateau_ = 0.0;
+  double burst_ = 0.0;
+};
+
+/// Sysbench-shaped profile: the rate tracks the active thread count through
+/// a near-linear scaling law with contention falloff; threads change per
+/// "run" (Table IV Time column) — cycling deterministically for Sysbench II,
+/// resampled randomly for Sysbench I.
+class SysbenchProfile final : public WorkloadProfile {
+ public:
+  SysbenchProfile(const SysbenchParams& params, Rng rng)
+      : params_(params),
+        rng_(rng.Fork(1)),
+        noise_(1.0, 0.1, 0.03, rng.Fork(2)) {
+    // One Table IV "run" lasts time_minutes at the 5s collection interval.
+    run_ticks_ = std::max<size_t>(
+        4, static_cast<size_t>(params.time_minutes * 60.0 / 5.0));
+    threads_ = params.threads;
+  }
+
+  double RateAt(size_t t) override {
+    if (t >= next_change_) {
+      AdvanceRun();
+      next_change_ = t + run_ticks_;
+    }
+    // Throughput law: ~linear in threads with saturation from row contention
+    // (more tables = less contention).
+    const double contention =
+        1.0 + static_cast<double>(threads_) /
+                  (8.0 * static_cast<double>(std::max(1, params_.tables)));
+    const double per_thread = 550.0 / contention;
+    const double rate = per_thread * static_cast<double>(threads_);
+    return std::max(0.0, rate * Clamp(noise_.Step(), 0.85, 1.15));
+  }
+
+  TransactionMix MixAt(size_t /*t*/) override {
+    // oltp_read_write: 14 reads + 2 updates + 1 delete + 1 insert per tx.
+    TransactionMix mix;
+    mix.read = 14.0 / 18.0;
+    mix.update = 2.0 / 18.0;
+    mix.remove = 1.0 / 18.0;
+    mix.insert = 1.0 / 18.0;
+    return mix;
+  }
+
+  std::string Name() const override {
+    return params_.periodic ? "sysbench-II" : "sysbench-I";
+  }
+
+ private:
+  void AdvanceRun() {
+    if (params_.periodic) {
+      // Sysbench II: threads cycle 4-8-16-32.
+      static constexpr int kCycle[] = {4, 8, 16, 32};
+      cycle_pos_ = (cycle_pos_ + 1) % 4;
+      threads_ = kCycle[cycle_pos_];
+    } else {
+      // Sysbench I: resample from the Table IV irregular space.
+      threads_ = static_cast<int>(rng_.UniformInt(4, 64));
+      params_.tables = static_cast<int>(rng_.UniformInt(5, 20));
+      run_ticks_ = std::max<size_t>(
+          4, static_cast<size_t>(rng_.Uniform(0.5, 1.0) * 60.0 / 5.0));
+    }
+  }
+
+  SysbenchParams params_;
+  Rng rng_;
+  OuProcess noise_;
+  size_t run_ticks_;
+  size_t next_change_ = 0;
+  int threads_;
+  int cycle_pos_ = 0;
+};
+
+/// TPC-C-shaped profile: warehouse-limited throughput and the canonical
+/// 45/43/4/4/4 transaction mix mapped onto statement classes.
+class TpccProfile final : public WorkloadProfile {
+ public:
+  TpccProfile(const TpccParams& params, Rng rng)
+      : params_(params),
+        rng_(rng.Fork(1)),
+        noise_(1.0, 0.1, 0.04, rng.Fork(2)) {
+    run_ticks_ = std::max<size_t>(
+        4, static_cast<size_t>(params.time_minutes * 60.0 / 5.0));
+    warmup_ticks_ = static_cast<size_t>(params.warmup_minutes * 60.0 / 5.0);
+    threads_ = params.threads;
+  }
+
+  double RateAt(size_t t) override {
+    if (t >= next_change_) {
+      AdvanceRun();
+      next_change_ = t + run_ticks_;
+    }
+    // Warmup ramps the buffer pool: early ticks of each run are slower.
+    const size_t in_run = t - (next_change_ - run_ticks_);
+    const double warm =
+        warmup_ticks_ == 0
+            ? 1.0
+            : std::min(1.0, 0.5 + 0.5 * static_cast<double>(in_run) /
+                                      static_cast<double>(warmup_ticks_));
+    const double wh_cap = 120.0 * static_cast<double>(params_.warehouses);
+    const double thread_rate = 180.0 * static_cast<double>(threads_);
+    const double rate = std::min(wh_cap, thread_rate) * warm;
+    return std::max(0.0, rate * Clamp(noise_.Step(), 0.85, 1.15));
+  }
+
+  TransactionMix MixAt(size_t /*t*/) override {
+    // NewOrder 45% (insert heavy), Payment 43% (update heavy), OrderStatus /
+    // Delivery / StockLevel 4% each.
+    TransactionMix mix;
+    mix.read = 0.35;
+    mix.insert = 0.3;
+    mix.update = 0.3;
+    mix.remove = 0.04;
+    return mix;
+  }
+
+  std::string Name() const override {
+    return params_.periodic ? "tpcc-II" : "tpcc-I";
+  }
+
+ private:
+  void AdvanceRun() {
+    if (params_.periodic) {
+      static constexpr int kCycle[] = {4, 8, 16, 24};
+      cycle_pos_ = (cycle_pos_ + 1) % 4;
+      threads_ = kCycle[cycle_pos_];
+    } else {
+      threads_ = static_cast<int>(rng_.UniformInt(4, 24));
+      params_.warehouses = static_cast<int>(rng_.UniformInt(5, 20));
+      run_ticks_ = std::max<size_t>(
+          4, static_cast<size_t>(rng_.Uniform(0.5, 1.0) * 60.0 / 5.0));
+    }
+  }
+
+  TpccParams params_;
+  Rng rng_;
+  OuProcess noise_;
+  size_t run_ticks_;
+  size_t warmup_ticks_;
+  size_t next_change_ = 0;
+  int threads_;
+  int cycle_pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadProfile> MakePeriodicProfile(
+    const PeriodicProfileParams& params, Rng rng) {
+  return std::make_unique<PeriodicProfile>(params, rng);
+}
+
+std::unique_ptr<WorkloadProfile> MakeIrregularProfile(
+    const IrregularProfileParams& params, Rng rng) {
+  return std::make_unique<IrregularProfile>(params, rng);
+}
+
+std::unique_ptr<WorkloadProfile> MakeSysbenchProfile(
+    const SysbenchParams& params, Rng rng) {
+  return std::make_unique<SysbenchProfile>(params, rng);
+}
+
+std::unique_ptr<WorkloadProfile> MakeTpccProfile(const TpccParams& params,
+                                                 Rng rng) {
+  return std::make_unique<TpccProfile>(params, rng);
+}
+
+SysbenchParams SampleSysbenchParams(bool periodic, Rng& rng) {
+  SysbenchParams p;
+  p.periodic = periodic;
+  p.items = 100000;
+  if (periodic) {
+    // Sysbench II row of Table IV.
+    p.tables = 10;
+    p.threads = 4;  // cycle start; the profile cycles 4-8-16-32
+    p.time_minutes = 0.5;
+  } else {
+    // Sysbench I row.
+    p.tables = static_cast<int>(rng.UniformInt(5, 20));
+    p.threads = static_cast<int>(rng.UniformInt(4, 64));
+    p.time_minutes = rng.Uniform(0.5, 1.0);
+  }
+  return p;
+}
+
+TpccParams SampleTpccParams(bool periodic, Rng& rng) {
+  TpccParams p;
+  p.periodic = periodic;
+  if (periodic) {
+    // TPCC II row of Table IV.
+    p.warehouses = 10;
+    p.threads = 4;  // cycles 4-8-16-24
+    p.warmup_minutes = 0.5;
+    p.time_minutes = 0.5;
+  } else {
+    // TPCC I row.
+    p.warehouses = static_cast<int>(rng.UniformInt(5, 20));
+    p.threads = static_cast<int>(rng.UniformInt(4, 24));
+    p.warmup_minutes = rng.Uniform(0.5, 1.0);
+    p.time_minutes = rng.Uniform(0.5, 1.0);
+  }
+  return p;
+}
+
+}  // namespace dbc

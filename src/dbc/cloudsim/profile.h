@@ -1,0 +1,117 @@
+// Workload profiles: the unit-level request-rate and transaction-mix curves
+// that drive every database of a unit.
+//
+// The UKPIC phenomenon (§II-B) exists because all databases of a unit serve
+// fractions of ONE upstream workload, so the profile is a property of the
+// unit; the load balancer then splits it. Profiles come in the paper's two
+// flavours — periodic (diurnal-style, 40% of the Tencent dataset) and
+// irregular (bursty/mean-reverting, 60%) — plus sysbench- and TPC-C-shaped
+// profiles built from the parameter spaces of Table IV.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+
+/// Fractions of the four statement classes in the offered load; sums to <= 1
+/// (the remainder is "other" statements such as SELECT ... FOR UPDATE).
+struct TransactionMix {
+  double read = 0.7;
+  double insert = 0.1;
+  double update = 0.15;
+  double remove = 0.05;
+};
+
+/// A unit-level workload: offered requests/second and statement mix per tick.
+class WorkloadProfile {
+ public:
+  virtual ~WorkloadProfile() = default;
+
+  /// Offered unit-wide request rate at tick t (requests/second, >= 0).
+  virtual double RateAt(size_t t) = 0;
+
+  /// Statement mix at tick t.
+  virtual TransactionMix MixAt(size_t t) = 0;
+
+  /// Human-readable profile family ("periodic", "sysbench-II", ...).
+  virtual std::string Name() const = 0;
+};
+
+/// Ornstein-Uhlenbeck mean-reverting noise, the building block of profile
+/// wobble and load-balancer imbalance.
+class OuProcess {
+ public:
+  /// theta = reversion speed per tick, sigma = noise scale per tick.
+  OuProcess(double mean, double theta, double sigma, Rng rng)
+      : mean_(mean), theta_(theta), sigma_(sigma), state_(mean), rng_(rng) {}
+
+  /// Advances one tick and returns the new state.
+  double Step();
+  double state() const { return state_; }
+
+ private:
+  double mean_, theta_, sigma_, state_;
+  Rng rng_;
+};
+
+/// Parameters for the periodic profile family.
+struct PeriodicProfileParams {
+  double base_rate = 2000.0;   // requests/second floor
+  double amplitude = 1500.0;   // main cycle amplitude
+  size_t period = 720;         // main period length in ticks (1h at 5s/point)
+  double second_harmonic = 0.3;  // relative amplitude of the 2nd harmonic
+  double noise_sigma = 0.015;  // multiplicative OU noise scale
+};
+
+/// Parameters for the irregular profile family.
+struct IrregularProfileParams {
+  double base_rate = 2500.0;
+  double walk_sigma = 0.08;    // OU noise scale on the log rate
+  double burst_rate = 0.01;    // burst arrivals per tick (Poisson)
+  double burst_gain = 1.8;     // burst peak multiplier
+  double burst_decay = 0.9;    // per-tick burst decay
+  double shift_rate = 0.002;   // probability of a plateau shift per tick
+};
+
+/// Sysbench oltp_read_write-style run parameters (Table IV).
+struct SysbenchParams {
+  int tables = 10;
+  int threads = 16;
+  int items = 100000;
+  double time_minutes = 0.5;
+  /// true = Sysbench II (threads cycle 4-8-16-32 periodically);
+  /// false = Sysbench I (threads/tables resampled randomly per phase).
+  bool periodic = false;
+};
+
+/// TPC-C-style run parameters (Table IV).
+struct TpccParams {
+  int warehouses = 10;
+  int threads = 16;
+  double warmup_minutes = 0.5;
+  double time_minutes = 0.5;
+  /// true = TPCC II (periodic thread cycling), false = TPCC I.
+  bool periodic = false;
+};
+
+/// Factory helpers. Every profile owns a forked RNG, so two profiles built
+/// from the same parent Rng with different tags are independent.
+std::unique_ptr<WorkloadProfile> MakePeriodicProfile(
+    const PeriodicProfileParams& params, Rng rng);
+std::unique_ptr<WorkloadProfile> MakeIrregularProfile(
+    const IrregularProfileParams& params, Rng rng);
+std::unique_ptr<WorkloadProfile> MakeSysbenchProfile(
+    const SysbenchParams& params, Rng rng);
+std::unique_ptr<WorkloadProfile> MakeTpccProfile(const TpccParams& params,
+                                                 Rng rng);
+
+/// Draws random Table IV parameters for the Sysbench I / II spaces.
+SysbenchParams SampleSysbenchParams(bool periodic, Rng& rng);
+/// Draws random Table IV parameters for the TPCC I / II spaces.
+TpccParams SampleTpccParams(bool periodic, Rng& rng);
+
+}  // namespace dbc

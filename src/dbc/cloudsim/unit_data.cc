@@ -1,0 +1,42 @@
+#include "dbc/cloudsim/unit_data.h"
+
+#include <algorithm>
+
+namespace dbc {
+
+size_t UnitData::AbnormalPoints() const {
+  size_t count = 0;
+  for (const auto& db_labels : labels) {
+    for (uint8_t v : db_labels) count += (v != 0);
+  }
+  return count;
+}
+
+UnitData UnitData::Slice(size_t begin, size_t end) const {
+  UnitData out;
+  out.name = name;
+  out.profile = profile;
+  out.periodic = periodic;
+  out.roles = roles;
+  out.kpis.reserve(kpis.size());
+  out.labels.reserve(labels.size());
+  for (const auto& ms : kpis) out.kpis.push_back(ms.Slice(begin, end));
+  for (const auto& db_labels : labels) {
+    const size_t lo = std::min(begin, db_labels.size());
+    const size_t hi = std::min(end, db_labels.size());
+    out.labels.emplace_back(db_labels.begin() + static_cast<ptrdiff_t>(lo),
+                            db_labels.begin() + static_cast<ptrdiff_t>(hi));
+  }
+  // Keep only events intersecting the slice, rebased to the new origin.
+  for (AnomalyEvent ev : events) {
+    if (ev.end() <= begin || ev.start >= end) continue;
+    const size_t s = std::max(ev.start, begin);
+    const size_t e = std::min(ev.end(), end);
+    ev.start = s - begin;
+    ev.duration = e - s;
+    out.events.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace dbc

@@ -1,0 +1,46 @@
+// The materialized output of simulating one database unit: per-database KPI
+// matrices plus ground-truth point labels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbc/cloudsim/anomaly.h"
+#include "dbc/cloudsim/instance_model.h"
+#include "dbc/ts/series.h"
+
+namespace dbc {
+
+/// KPI traces and labels for one unit over a simulated interval.
+struct UnitData {
+  std::string name;
+  /// Unit workload family ("periodic", "irregular", "sysbench-I", ...).
+  std::string profile;
+  /// True when the unit's workload is periodic (the I/II split of §IV-A-2).
+  bool periodic = false;
+  /// Role per database (index 0 is the primary in this library).
+  std::vector<DbRole> roles;
+  /// kpis[db] holds kNumKpis rows of equal length (one per Kpi, enum order).
+  std::vector<MultiSeries> kpis;
+  /// labels[db][t] == 1 when database `db` is inside an injected anomaly.
+  std::vector<std::vector<uint8_t>> labels;
+  /// The injected schedule (ground truth for case studies / debugging).
+  std::vector<AnomalyEvent> events;
+
+  size_t num_dbs() const { return kpis.size(); }
+  size_t length() const { return kpis.empty() ? 0 : kpis.front().length(); }
+
+  /// Convenience: the series of `kpi` for database `db`.
+  const Series& kpi(size_t db, Kpi k) const {
+    return kpis[db].row(KpiIndex(k));
+  }
+
+  /// Count of labeled abnormal (db, t) points.
+  size_t AbnormalPoints() const;
+
+  /// Returns a copy with every series and label truncated to [begin, end).
+  UnitData Slice(size_t begin, size_t end) const;
+};
+
+}  // namespace dbc

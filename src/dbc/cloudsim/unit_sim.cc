@@ -1,0 +1,103 @@
+#include "dbc/cloudsim/unit_sim.h"
+
+#include <cassert>
+
+#include "dbc/ts/lag.h"
+
+namespace dbc {
+
+UnitData SimulateUnit(const UnitSimConfig& config, WorkloadProfile& profile,
+                      bool profile_is_periodic, Rng rng) {
+  const size_t n = config.num_databases;
+  const size_t ticks = config.ticks;
+  assert(n > 0 && ticks > 0);
+
+  LoadBalancerConfig lb_config = config.lb;
+  lb_config.num_databases = n;
+  LoadBalancer lb(lb_config, rng.Fork(1));
+
+  std::vector<InstanceModel> instances;
+  instances.reserve(n);
+  for (size_t db = 0; db < n; ++db) {
+    instances.emplace_back(db == 0 ? DbRole::kPrimary : DbRole::kReplica,
+                           config.instance, rng.Fork(100 + db));
+  }
+
+  std::vector<AnomalyEvent> schedule;
+  if (config.inject_anomalies) {
+    Rng sched_rng = rng.Fork(2);
+    schedule = ScheduleAnomalies(config.anomalies, n, ticks, sched_rng);
+  }
+  AnomalyInjector injector(schedule, n, rng.Fork(3));
+
+  std::vector<FluctuationProcess> fluctuations;
+  for (size_t db = 0; db < n; ++db) {
+    fluctuations.emplace_back(config.fluctuations, rng.Fork(200 + db));
+  }
+
+  // Raw per-db per-kpi values.
+  std::vector<std::vector<std::vector<double>>> raw(
+      n, std::vector<std::vector<double>>(kNumKpis));
+  for (auto& db_rows : raw) {
+    for (auto& row : db_rows) row.reserve(ticks);
+  }
+  std::vector<std::vector<uint8_t>> labels(n, std::vector<uint8_t>(ticks, 0));
+
+  Rng shared_rng = rng.Fork(5);
+  for (size_t t = 0; t < ticks; ++t) {
+    double unit_rate = profile.RateAt(t);
+    if (config.shared_noise_sigma > 0.0) {
+      unit_rate *=
+          std::max(0.05, 1.0 + config.shared_noise_sigma * shared_rng.Normal());
+    }
+    const TransactionMix mix = profile.MixAt(t);
+
+    size_t skew_target = 0;
+    double skew_fraction = 0.0;
+    if (injector.SkewAt(t, &skew_target, &skew_fraction)) {
+      lb.SetSkew(skew_target, skew_fraction);
+    } else {
+      lb.ClearSkew();
+    }
+    const std::vector<double> rates = lb.Split(unit_rate);
+
+    for (size_t db = 0; db < n; ++db) {
+      KpiEffect effect = injector.EffectFor(db, t);
+      if (config.inject_fluctuations) {
+        effect.Combine(fluctuations[db].Step());
+      }
+      const auto kpi = instances[db].Tick(rates[db], mix, effect);
+      for (size_t k = 0; k < kNumKpis; ++k) raw[db][k].push_back(kpi[k]);
+      labels[db][t] = injector.LabelAt(db, t) ? 1 : 0;
+    }
+  }
+
+  // Collection delays: each database's measurements arrive `delay` points
+  // late (the shift the KCD lag scan must absorb).
+  Rng delay_rng = rng.Fork(4);
+  UnitData out;
+  out.profile = profile.Name();
+  out.periodic = profile_is_periodic;
+  out.roles.reserve(n);
+  out.kpis.reserve(n);
+  for (size_t db = 0; db < n; ++db) {
+    const int delay =
+        config.max_collection_delay == 0
+            ? 0
+            : static_cast<int>(delay_rng.UniformInt(
+                  0, static_cast<int64_t>(config.max_collection_delay)));
+    MultiSeries ms;
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      Series s(std::move(raw[db][k]));
+      if (delay > 0) s = ShiftEdgeFill(s, delay);
+      ms.Add(KpiName(static_cast<Kpi>(k)), std::move(s));
+    }
+    out.roles.push_back(db == 0 ? DbRole::kPrimary : DbRole::kReplica);
+    out.kpis.push_back(std::move(ms));
+  }
+  out.labels = std::move(labels);
+  out.events = schedule;
+  return out;
+}
+
+}  // namespace dbc

@@ -1,0 +1,43 @@
+// Unit simulator: ties profile, load balancer, instance models, fluctuations,
+// anomalies, and collection delays into a full UnitData trace.
+#pragma once
+
+#include <memory>
+
+#include "dbc/cloudsim/anomaly.h"
+#include "dbc/cloudsim/instance_model.h"
+#include "dbc/cloudsim/load_balancer.h"
+#include "dbc/cloudsim/profile.h"
+#include "dbc/cloudsim/unit_data.h"
+#include "dbc/common/rng.h"
+
+namespace dbc {
+
+/// End-to-end configuration for simulating one unit.
+struct UnitSimConfig {
+  size_t num_databases = 5;  // one primary + four replicas (§IV-A-5)
+  size_t ticks = 2000;       // points per KPI series (5s per point)
+  LoadBalancerConfig lb;
+  InstanceModelParams instance;
+  AnomalyScheduleConfig anomalies;
+  FluctuationConfig fluctuations;
+  /// Maximum per-database collection delay in points (point-in-time delay of
+  /// §II-D); each database draws a constant delay in [0, max].
+  size_t max_collection_delay = 3;
+  /// Per-tick multiplicative noise applied to the *unit* rate before the
+  /// load balancer: every database sees the same fast request fluctuation.
+  /// This is the fine-grained structure that makes same-KPI series correlate
+  /// within short windows (the UKPIC carrier of §II-B).
+  double shared_noise_sigma = 0.08;
+  /// Disable anomaly injection entirely (for healthy-trace studies, Fig. 3).
+  bool inject_anomalies = true;
+  /// Disable the unlabeled temporal fluctuations (Fig. 5 ablations).
+  bool inject_fluctuations = true;
+};
+
+/// Simulates one unit driven by `profile`. The profile's Name() and
+/// periodicity flag are recorded in the result.
+UnitData SimulateUnit(const UnitSimConfig& config, WorkloadProfile& profile,
+                      bool profile_is_periodic, Rng rng);
+
+}  // namespace dbc

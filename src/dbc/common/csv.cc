@@ -1,0 +1,74 @@
+#include "dbc/common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dbc {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> CsvTable::Column(size_t index) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    out.push_back(index < row.size() ? row[index] : 0.0);
+  }
+  return out;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (size_t i = 0; i < table.header.size(); ++i) {
+    if (i > 0) out << ',';
+    out << table.header[i];
+  }
+  out << '\n';
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<CsvTable> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  CsvTable table;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty csv: " + path);
+  }
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) table.header.push_back(cell);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    row.reserve(table.header.size());
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (...) {
+        return Status::IoError("non-numeric cell '" + cell + "' in " + path);
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace dbc

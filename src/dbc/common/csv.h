@@ -1,0 +1,31 @@
+// Minimal CSV reading/writing used to export bench series and import traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dbc/common/status.h"
+
+namespace dbc {
+
+/// In-memory CSV table: a header row plus numeric data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cols() const { return header.size(); }
+
+  /// Column index for `name`, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+  /// Copies column `index` out of the table.
+  std::vector<double> Column(size_t index) const;
+};
+
+/// Writes the table to `path`. Overwrites existing files.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+/// Reads a CSV of doubles with a single header line.
+Result<CsvTable> ReadCsv(const std::string& path);
+
+}  // namespace dbc

@@ -1,0 +1,33 @@
+#include "dbc/common/env.h"
+
+#include <cstdlib>
+
+namespace dbc {
+
+int64_t EnvInt(const std::string& name, int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<int64_t>(v);
+}
+
+double EnvDouble(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return v;
+}
+
+double BenchScale() { return EnvDouble("DBC_SCALE", 1.0); }
+
+int BenchRepeats() { return static_cast<int>(EnvInt("DBC_REPEATS", 3)); }
+
+uint64_t BenchSeed() {
+  return static_cast<uint64_t>(EnvInt("DBC_SEED", 20230407));
+}
+
+}  // namespace dbc

@@ -1,0 +1,29 @@
+// Environment-variable knobs for the benchmark harness.
+//
+// Paper-scale datasets are millions of points; the default bench scale is
+// proportionally reduced so `for b in build/bench/*; do $b; done` finishes in
+// minutes. DBC_SCALE / DBC_REPEATS / DBC_SEED raise or pin them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dbc {
+
+/// Integer env var with fallback.
+int64_t EnvInt(const std::string& name, int64_t fallback);
+
+/// Floating-point env var with fallback.
+double EnvDouble(const std::string& name, double fallback);
+
+/// Global scale multiplier for dataset sizes (DBC_SCALE, default 1.0).
+double BenchScale();
+
+/// Number of randomized repetitions per experiment (DBC_REPEATS, default 3;
+/// the paper uses 20).
+int BenchRepeats();
+
+/// Base seed for all experiments (DBC_SEED, default 20230407).
+uint64_t BenchSeed();
+
+}  // namespace dbc

@@ -1,0 +1,50 @@
+// Small numeric helpers shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dbc {
+
+/// Arithmetic mean; 0 for an empty range.
+double Mean(const std::vector<double>& v);
+
+/// Population variance (divides by n); 0 for fewer than 2 points.
+double Variance(const std::vector<double>& v);
+
+/// Population standard deviation.
+double Stddev(const std::vector<double>& v);
+
+/// Euclidean (L2) norm.
+double L2Norm(const std::vector<double>& v);
+
+/// Dot product; requires equal sizes.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Minimum / maximum element; 0 for an empty vector.
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+/// Median (copies and partially sorts); 0 for an empty vector.
+double Median(std::vector<double> v);
+
+/// p-quantile in [0,1] with linear interpolation; copies and sorts.
+double Quantile(std::vector<double> v, double p);
+
+/// Clamps x to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// n evenly spaced points from lo to hi inclusive (n >= 2), or {lo} for n==1.
+std::vector<double> Linspace(double lo, double hi, size_t n);
+
+/// True when |a - b| <= tol * max(1, |a|, |b|).
+bool AlmostEqual(double a, double b, double tol = 1e-9);
+
+/// Next power of two >= n (n >= 1). NextPow2(0) == 1.
+size_t NextPow2(size_t n);
+
+/// Ranks of the elements (average rank for ties), 1-based, as used by the
+/// Spearman coefficient.
+std::vector<double> Ranks(const std::vector<double>& v);
+
+}  // namespace dbc

@@ -1,0 +1,78 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components of the library (simulator noise, genetic
+// algorithm, dataset builders) draw from dbc::Rng so that every experiment is
+// reproducible from a single seed. The engine is xoshiro256++, seeded through
+// splitmix64, following the reference implementations by Blackman & Vigna.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dbc {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+uint64_t SplitMix64(uint64_t& state);
+
+/// xoshiro256++ pseudo-random engine with distribution helpers.
+///
+/// Not thread-safe; create one Rng per thread (see Rng::Fork).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  // UniformRandomBitGenerator interface (usable with <random> adapters).
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Standard normal via Box-Muller (cached spare deviate).
+  double Normal();
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+  /// Exponential with the given rate (lambda > 0).
+  double Exponential(double rate);
+  /// Poisson draw (inversion for small mean, normal approx for large).
+  int64_t Poisson(double mean);
+
+  /// Index in [0, weights.size()) with probability proportional to weights.
+  /// Non-positive weights are treated as zero; if all weights are zero the
+  /// choice is uniform.
+  size_t WeightedChoice(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Deterministically derives an independent child stream. Children with
+  /// different tags never share state with each other or the parent.
+  Rng Fork(uint64_t tag);
+
+ private:
+  uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace dbc

@@ -1,0 +1,68 @@
+#include "dbc/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dbc {
+
+std::string TextTable::ToString() const {
+  // Column widths over header + all rows.
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += ' ';
+      out += cell;
+      out.append(width[i] - cell.size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string sep = "+";
+  for (size_t i = 0; i < cols; ++i) {
+    sep.append(width[i] + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  out += sep;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += sep;
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TextTable::Num(double v, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << v;
+  return ss.str();
+}
+
+std::string TextTable::Pct(double fraction, int precision) {
+  return Num(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace dbc

@@ -1,0 +1,38 @@
+// ASCII table rendering for the benchmark harness, so every bench binary can
+// print rows in the same layout the paper's tables use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dbc {
+
+/// Column-aligned plain-text table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row (column names).
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends a data row (stringified cells).
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table with box-drawing separators.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a double with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+  /// Formats a percentage ("83.1%").
+  static std::string Pct(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,45 @@
+// Fixed-size thread pool for parallelising per-unit detection work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dbc {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; Submit returns a
+/// future for completion/exception propagation. The destructor drains the
+/// queue and joins all workers.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (at least 1; 0 means hardware concurrency).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future completed when the task finishes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dbc

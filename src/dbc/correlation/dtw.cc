@@ -1,0 +1,53 @@
+#include "dbc/correlation/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dbc/ts/normalize.h"
+
+namespace dbc {
+
+double DtwDistance(const std::vector<double>& x, const std::vector<double>& y,
+                   size_t band) {
+  const size_t n = x.size();
+  const size_t m = y.size();
+  if (n == 0 || m == 0) return 0.0;
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  size_t effective_band = band;
+  if (effective_band != 0) {
+    // A path must be able to reach (n, m).
+    const size_t diff = n > m ? n - m : m - n;
+    effective_band = std::max(effective_band, diff);
+  }
+
+  // Two-row DP.
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    size_t jlo = 1, jhi = m;
+    if (effective_band != 0) {
+      jlo = i > effective_band ? i - effective_band : 1;
+      jhi = std::min(m, i + effective_band);
+    }
+    for (size_t j = jlo; j <= jhi; ++j) {
+      const double d = (x[i - 1] - y[j - 1]) * (x[i - 1] - y[j - 1]);
+      const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
+      cur[j] = d + best;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double DtwSimilarity(const Series& x, const Series& y, size_t band) {
+  const Series nx = MinMaxNormalize(x);
+  const Series ny = MinMaxNormalize(y);
+  const double dist = DtwDistance(nx.values(), ny.values(), band);
+  const double denom = static_cast<double>(std::max<size_t>(1, x.size()));
+  return 1.0 / (1.0 + dist / denom);
+}
+
+}  // namespace dbc

@@ -1,0 +1,86 @@
+#include "dbc/correlation/kcd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "dbc/ts/normalize.h"
+
+namespace dbc {
+
+namespace {
+
+/// Centered, L2-normalized inner product of the overlap of x and y at a
+/// non-negative lag s applied to `lead` (x when x lags y): compares
+/// lead[s..n) against follow[0..n-s). Returns 0 when either overlap is
+/// constant.
+double OverlapScore(const std::vector<double>& lead,
+                    const std::vector<double>& follow, size_t s) {
+  const size_t n = lead.size();
+  const size_t len = n - s;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < len; ++i) {
+    mx += lead[i + s];
+    my += follow[i];
+  }
+  mx /= static_cast<double>(len);
+  my /= static_cast<double>(len);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < len; ++i) {
+    const double dx = lead[i + s] - mx;
+    const double dy = follow[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace
+
+KcdResult Kcd(const Series& x, const Series& y, const KcdOptions& options) {
+  assert(x.size() == y.size());
+  KcdResult result;
+  const size_t n = x.size();
+  if (n < options.min_overlap) return result;
+
+  std::vector<double> nx = x.values();
+  std::vector<double> ny = y.values();
+  if (options.normalize) {
+    MinMaxNormalizeInPlace(nx);
+    MinMaxNormalizeInPlace(ny);
+  }
+
+  const size_t max_delay = std::min(
+      n - options.min_overlap,
+      static_cast<size_t>(options.max_delay_fraction * static_cast<double>(n)));
+
+  double best = -2.0;  // below any achievable correlation
+  int best_lag = 0;
+  for (size_t s = 0; s <= max_delay; ++s) {
+    // x lagging y by s.
+    const double fwd = OverlapScore(nx, ny, s);
+    if (fwd > best) {
+      best = fwd;
+      best_lag = static_cast<int>(s);
+    }
+    if (s > 0 && options.scan_negative) {
+      // y lagging x by s.
+      const double bwd = OverlapScore(ny, nx, s);
+      if (bwd > best) {
+        best = bwd;
+        best_lag = -static_cast<int>(s);
+      }
+    }
+  }
+  result.score = best <= -2.0 ? 0.0 : best;
+  result.best_lag = best_lag;
+  return result;
+}
+
+double KcdScore(const Series& x, const Series& y, const KcdOptions& options) {
+  return Kcd(x, y, options).score;
+}
+
+}  // namespace dbc

@@ -1,0 +1,50 @@
+// Key Correlation Distance (KCD) — the paper's core correlation measure
+// (§III-B, Eq. 1-4).
+//
+// Two same-KPI windows from two databases of a unit are min-max normalized
+// (Eq. 1), then scanned over candidate collection delays s (Eq. 2/3): for
+// every lag the overlapping portions are mean-centered, their inner product
+// taken and normalized by the L2 norms of the centered overlaps (Eq. 4). The
+// KCD is the maximum of these normalized scores over all lags — i.e. the best
+// achievable Pearson correlation under a single constant per-window offset,
+// which is exactly the delay model of the cloud collection pipeline (§II-D).
+#pragma once
+
+#include <cstddef>
+
+#include "dbc/ts/series.h"
+
+namespace dbc {
+
+/// Tuning knobs for the KCD computation.
+struct KcdOptions {
+  /// Maximum scanned delay as a fraction of the window length. The paper uses
+  /// s in [1, m] with n = 2m, i.e. 0.5.
+  double max_delay_fraction = 0.5;
+  /// Also scan negative lags (y ahead of x). The collection delay can fall on
+  /// either series, so both directions are scanned by default.
+  bool scan_negative = true;
+  /// Skip Eq. 1 when the caller already normalized the windows.
+  bool normalize = true;
+  /// Overlaps shorter than this are not scored (avoids spurious +/-1 scores
+  /// from two-point overlaps).
+  size_t min_overlap = 4;
+};
+
+/// Outcome of a KCD evaluation.
+struct KcdResult {
+  /// Best normalized correlation over the lag scan, in [-1, 1]. Windows where
+  /// one side is constant yield 0 (no trend information).
+  double score = 0.0;
+  /// Lag (in points) achieving the best score; positive means x lags y.
+  int best_lag = 0;
+};
+
+/// Computes the KCD of two equally sized windows. Requires x.size() ==
+/// y.size(); returns {0, 0} for windows shorter than options.min_overlap.
+KcdResult Kcd(const Series& x, const Series& y, const KcdOptions& options = {});
+
+/// Convenience: score only.
+double KcdScore(const Series& x, const Series& y, const KcdOptions& options = {});
+
+}  // namespace dbc

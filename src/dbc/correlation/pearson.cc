@@ -1,0 +1,36 @@
+#include "dbc/correlation/pearson.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dbc {
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  assert(!x.empty());
+  const size_t n = x.size();
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double PearsonCorrelation(const Series& x, const Series& y) {
+  return PearsonCorrelation(x.values(), y.values());
+}
+
+}  // namespace dbc

@@ -1,0 +1,18 @@
+// Pearson product-moment correlation (paper baseline "MM-Pearson").
+#pragma once
+
+#include <vector>
+
+#include "dbc/ts/series.h"
+
+namespace dbc {
+
+/// Pearson correlation in [-1, 1]; 0 when either input is constant.
+/// Requires equal, non-zero sizes.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Series overload.
+double PearsonCorrelation(const Series& x, const Series& y);
+
+}  // namespace dbc

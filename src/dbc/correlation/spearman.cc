@@ -1,0 +1,17 @@
+#include "dbc/correlation/spearman.h"
+
+#include "dbc/common/mathutil.h"
+#include "dbc/correlation/pearson.h"
+
+namespace dbc {
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  return PearsonCorrelation(Ranks(x), Ranks(y));
+}
+
+double SpearmanCorrelation(const Series& x, const Series& y) {
+  return SpearmanCorrelation(x.values(), y.values());
+}
+
+}  // namespace dbc

@@ -1,0 +1,16 @@
+// Spearman rank correlation (related-work comparator [41]).
+#pragma once
+
+#include <vector>
+
+#include "dbc/ts/series.h"
+
+namespace dbc {
+
+/// Spearman rho in [-1, 1] via Pearson on tie-averaged ranks.
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+double SpearmanCorrelation(const Series& x, const Series& y);
+
+}  // namespace dbc

@@ -1,0 +1,68 @@
+#include "dbc/cs/lsq.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dbc {
+
+std::vector<double> SolveLinearSystem(std::vector<double> a,
+                                      std::vector<double> b, size_t n) {
+  assert(a.size() == n * n && b.size() == n);
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) return {};
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a[pivot * n + c], a[col * n + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double diag = a[col * n + col];
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r * n + c] -= factor * a[col * n + c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= a[ri * n + c] * x[c];
+    x[ri] = acc / a[ri * n + ri];
+  }
+  return x;
+}
+
+std::vector<double> LeastSquares(const std::vector<double>& m, size_t rows,
+                                 size_t cols, const std::vector<double>& y,
+                                 double ridge) {
+  assert(m.size() == rows * cols && y.size() == rows);
+  // Normal equations: (M^T M + ridge I) c = M^T y.
+  std::vector<double> mtm(cols * cols, 0.0);
+  std::vector<double> mty(cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < cols; ++i) {
+      const double mi = m[r * cols + i];
+      if (mi == 0.0) continue;
+      mty[i] += mi * y[r];
+      for (size_t j = i; j < cols; ++j) {
+        mtm[i * cols + j] += mi * m[r * cols + j];
+      }
+    }
+  }
+  for (size_t i = 0; i < cols; ++i) {
+    for (size_t j = 0; j < i; ++j) mtm[i * cols + j] = mtm[j * cols + i];
+    mtm[i * cols + i] += ridge;
+  }
+  return SolveLinearSystem(std::move(mtm), std::move(mty), cols);
+}
+
+}  // namespace dbc

@@ -1,0 +1,20 @@
+// Small dense linear-algebra helpers for the compressed-sensing solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dbc {
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// `a` is row-major n x n and is consumed. Returns empty on singular A.
+std::vector<double> SolveLinearSystem(std::vector<double> a,
+                                      std::vector<double> b, size_t n);
+
+/// Least squares min ||M c - y||_2 via normal equations with Tikhonov damping
+/// `ridge`. M is row-major (rows x cols), rows >= cols expected.
+std::vector<double> LeastSquares(const std::vector<double>& m, size_t rows,
+                                 size_t cols, const std::vector<double>& y,
+                                 double ridge = 1e-10);
+
+}  // namespace dbc

@@ -1,0 +1,113 @@
+#include "dbc/cs/omp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "dbc/cs/lsq.h"
+#include "dbc/fft/dct.h"
+
+namespace dbc {
+
+OmpResult OmpRecover(size_t n, const std::vector<size_t>& indices,
+                     const std::vector<double>& y, const OmpOptions& options) {
+  assert(indices.size() == y.size());
+  assert(!indices.empty());
+  const size_t samples = indices.size();
+
+  size_t sparsity = options.sparsity;
+  if (sparsity == 0) sparsity = std::max<size_t>(4, samples / 4);
+  sparsity = std::min(sparsity, samples);
+  sparsity = std::min(sparsity, n);
+
+  // Band-limited dictionary (see OmpOptions::max_frequency_fraction).
+  const size_t num_atoms = std::max<size_t>(
+      1, std::min(n, static_cast<size_t>(options.max_frequency_fraction *
+                                         static_cast<double>(n))));
+  sparsity = std::min(sparsity, num_atoms);
+
+  // Sampled dictionary: column k holds the k-th DCT basis at the sampled
+  // positions. Precompute column norms for correlation normalization.
+  const size_t nn = num_atoms;
+  std::vector<double> dict(samples * nn);
+  std::vector<double> col_norm(nn, 0.0);
+  for (size_t r = 0; r < samples; ++r) {
+    for (size_t k = 0; k < nn; ++k) {
+      const double v = DctBasis(n, k, indices[r]);
+      dict[r * nn + k] = v;
+      col_norm[k] += v * v;
+    }
+  }
+  for (double& v : col_norm) v = std::sqrt(std::max(v, 1e-12));
+
+  double y_norm = 0.0;
+  for (double v : y) y_norm += v * v;
+  y_norm = std::sqrt(y_norm);
+
+  OmpResult result;
+  std::vector<double> residual = y;
+  std::vector<char> used(nn, 0);
+
+  for (size_t iter = 0; iter < sparsity; ++iter) {
+    // Atom most correlated with the residual.
+    size_t best_k = nn;
+    double best_score = 0.0;
+    for (size_t k = 0; k < nn; ++k) {
+      if (used[k]) continue;
+      double corr = 0.0;
+      for (size_t r = 0; r < samples; ++r) {
+        corr += dict[r * nn + k] * residual[r];
+      }
+      const double score = std::fabs(corr) / col_norm[k];
+      if (score > best_score) {
+        best_score = score;
+        best_k = k;
+      }
+    }
+    if (best_k == nn) break;
+    used[best_k] = 1;
+    result.support.push_back(best_k);
+
+    // Least-squares refit over the support.
+    const size_t s = result.support.size();
+    std::vector<double> sub(samples * s);
+    for (size_t r = 0; r < samples; ++r) {
+      for (size_t j = 0; j < s; ++j) {
+        sub[r * s + j] = dict[r * nn + result.support[j]];
+      }
+    }
+    std::vector<double> coef = LeastSquares(sub, samples, s, y);
+    if (coef.empty()) {
+      // Singular fit: drop the atom and stop.
+      result.support.pop_back();
+      break;
+    }
+    result.coefficients = std::move(coef);
+
+    // Update residual and early-exit check.
+    double res_norm = 0.0;
+    for (size_t r = 0; r < samples; ++r) {
+      double fit = 0.0;
+      for (size_t j = 0; j < s; ++j) {
+        fit += sub[r * s + j] * result.coefficients[j];
+      }
+      residual[r] = y[r] - fit;
+      res_norm += residual[r] * residual[r];
+    }
+    res_norm = std::sqrt(res_norm);
+    if (y_norm > 0.0 && res_norm / y_norm < options.residual_tolerance) break;
+  }
+
+  // Full-length reconstruction from the sparse DCT coefficients.
+  result.reconstruction.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < result.support.size(); ++j) {
+      acc += result.coefficients[j] * DctBasis(n, result.support[j], i);
+    }
+    result.reconstruction[i] = acc;
+  }
+  return result;
+}
+
+}  // namespace dbc

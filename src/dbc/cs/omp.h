@@ -1,0 +1,46 @@
+// Orthogonal Matching Pursuit sparse recovery over a DCT dictionary
+// (compressed sensing, Eldar & Kutyniok [37]).
+//
+// Given measurements of a length-n signal at a subset of positions, OMP
+// greedily selects the DCT atoms most correlated with the residual and
+// re-solves a least-squares fit over the selected support, yielding a sparse
+// frequency-domain representation from which the full signal is
+// reconstructed. JumpStarter scores anomalies by the residual between the
+// observed signal and this "normal shape" reconstruction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dbc {
+
+/// OMP configuration.
+struct OmpOptions {
+  /// Maximum number of atoms (sparsity). 0 means max(4, samples/4).
+  size_t sparsity = 0;
+  /// Early-exit residual threshold (L2 of residual / L2 of y).
+  double residual_tolerance = 1e-3;
+  /// Highest DCT frequency admitted to the dictionary, as a fraction of n.
+  /// Subsampling aliases high frequencies onto low ones (they agree at the
+  /// sampled positions), and the "normal shape" JumpStarter wants is smooth,
+  /// so the dictionary is band-limited by default.
+  double max_frequency_fraction = 0.6;
+};
+
+/// Result of a sparse recovery.
+struct OmpResult {
+  /// Selected DCT atom indices.
+  std::vector<size_t> support;
+  /// Coefficients aligned with `support`.
+  std::vector<double> coefficients;
+  /// Full reconstructed signal of length n.
+  std::vector<double> reconstruction;
+};
+
+/// Recovers a length-n signal from samples y at positions `indices`
+/// (ascending, within [0, n)). Requires indices.size() == y.size() > 0.
+OmpResult OmpRecover(size_t n, const std::vector<size_t>& indices,
+                     const std::vector<double>& y,
+                     const OmpOptions& options = {});
+
+}  // namespace dbc

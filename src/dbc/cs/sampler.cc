@@ -1,0 +1,54 @@
+#include "dbc/cs/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+std::vector<size_t> OutlierResistantSample(const std::vector<double>& x,
+                                           const SamplerOptions& options,
+                                           Rng& rng) {
+  const size_t n = x.size();
+  if (n == 0) return {};
+  const size_t segments = std::max<size_t>(1, std::min(options.segments, n));
+  const size_t target_total = std::max<size_t>(
+      segments, static_cast<size_t>(std::ceil(options.sample_fraction *
+                                              static_cast<double>(n))));
+
+  std::vector<size_t> picked;
+  picked.reserve(target_total);
+  for (size_t seg = 0; seg < segments; ++seg) {
+    const size_t lo = seg * n / segments;
+    const size_t hi = (seg + 1) * n / segments;
+    if (lo >= hi) continue;
+    const size_t len = hi - lo;
+
+    // Rank segment points by deviation from the segment median.
+    std::vector<double> seg_values(x.begin() + static_cast<ptrdiff_t>(lo),
+                                   x.begin() + static_cast<ptrdiff_t>(hi));
+    const double med = Median(seg_values);
+    std::vector<size_t> order(len);
+    for (size_t i = 0; i < len; ++i) order[i] = lo + i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return std::fabs(x[a] - med) < std::fabs(x[b] - med);
+    });
+
+    // Trim the most-deviating tail, then sample uniformly from the keepers.
+    const size_t keep = std::max<size_t>(
+        1, len - static_cast<size_t>(options.outlier_trim *
+                                     static_cast<double>(len)));
+    size_t want = target_total * len / n;
+    want = std::max<size_t>(1, std::min(want, keep));
+    std::vector<size_t> keepers(order.begin(),
+                                order.begin() + static_cast<ptrdiff_t>(keep));
+    rng.Shuffle(keepers);
+    for (size_t i = 0; i < want; ++i) picked.push_back(keepers[i]);
+  }
+  std::sort(picked.begin(), picked.end());
+  picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+  return picked;
+}
+
+}  // namespace dbc

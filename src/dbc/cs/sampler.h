@@ -1,0 +1,32 @@
+// Outlier-resistant segment sampling (JumpStarter, Ma et al. [16]).
+//
+// The window is divided into equal segments; within each segment, points
+// closest to the segment median are preferred so that isolated outliers are
+// unlikely to enter the compressed-sensing measurement set, which keeps the
+// reconstruction anchored to the *normal* shape of the signal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+
+/// Sampling configuration.
+struct SamplerOptions {
+  /// Number of equal segments the window is partitioned into.
+  size_t segments = 4;
+  /// Fraction of window points to sample overall, in (0, 1].
+  double sample_fraction = 0.5;
+  /// Fraction of each segment's most-deviating points that are never sampled.
+  double outlier_trim = 0.25;
+};
+
+/// Returns sorted sample indices into `x` according to the options. At least
+/// one point per segment is sampled; indices are unique.
+std::vector<size_t> OutlierResistantSample(const std::vector<double>& x,
+                                           const SamplerOptions& options,
+                                           Rng& rng);
+
+}  // namespace dbc

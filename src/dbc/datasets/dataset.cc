@@ -1,0 +1,149 @@
+#include "dbc/datasets/dataset.h"
+
+#include <cmath>
+
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+size_t Dataset::TotalPoints() const {
+  size_t total = 0;
+  for (const UnitData& u : units) total += u.num_dbs() * u.length();
+  return total;
+}
+
+size_t Dataset::AbnormalPoints() const {
+  size_t total = 0;
+  for (const UnitData& u : units) total += u.AbnormalPoints();
+  return total;
+}
+
+double Dataset::AbnormalRatio() const {
+  const size_t total = TotalPoints();
+  if (total == 0) return 0.0;
+  return static_cast<double>(AbnormalPoints()) / static_cast<double>(total);
+}
+
+Dataset Dataset::PeriodicSubset() const {
+  Dataset out;
+  out.name = name + " II";
+  for (const UnitData& u : units) {
+    if (u.periodic) out.units.push_back(u);
+  }
+  return out;
+}
+
+Dataset Dataset::IrregularSubset() const {
+  Dataset out;
+  out.name = name + " I";
+  for (const UnitData& u : units) {
+    if (!u.periodic) out.units.push_back(u);
+  }
+  return out;
+}
+
+void Dataset::Split(double fraction, Dataset* train, Dataset* test) const {
+  train->name = name + " (train)";
+  test->name = name + " (test)";
+  train->units.clear();
+  test->units.clear();
+  for (const UnitData& u : units) {
+    const size_t cut =
+        static_cast<size_t>(fraction * static_cast<double>(u.length()));
+    train->units.push_back(u.Slice(0, cut));
+    test->units.push_back(u.Slice(cut, u.length()));
+  }
+}
+
+Series UnitMedianKpi(const UnitData& unit, Kpi kpi) {
+  const size_t ticks = unit.length();
+  std::vector<double> out(ticks);
+  std::vector<double> column(unit.num_dbs());
+  for (size_t t = 0; t < ticks; ++t) {
+    for (size_t db = 0; db < unit.num_dbs(); ++db) {
+      column[db] = unit.kpi(db, kpi)[t];
+    }
+    out[t] = Median(column);
+  }
+  return Series(std::move(out));
+}
+
+namespace {
+
+/// Shared build loop: `periodic_fraction` of units get periodic-family
+/// profiles, the rest irregular-family; `family` picks the profile source.
+enum class Family { kTencent, kSysbench, kTpcc };
+
+Dataset Build(Family family, const std::string& name, double target_ratio,
+              double periodic_fraction, const DatasetScale& scale) {
+  Dataset ds;
+  ds.name = name;
+  Rng root(scale.seed ^ (static_cast<uint64_t>(family) << 32));
+
+  UnitSimConfig config;
+  config.num_databases = scale.num_databases;
+  config.ticks = scale.ticks;
+  config.anomalies.target_ratio = target_ratio;
+
+  const size_t periodic_units = static_cast<size_t>(
+      std::round(periodic_fraction * static_cast<double>(scale.units)));
+
+  for (size_t i = 0; i < scale.units; ++i) {
+    Rng unit_rng = root.Fork(i + 1);
+    const bool periodic = i < periodic_units;
+    std::unique_ptr<WorkloadProfile> profile;
+    switch (family) {
+      case Family::kTencent: {
+        if (periodic) {
+          PeriodicProfileParams p;
+          p.base_rate = unit_rng.Uniform(800.0, 4000.0);
+          p.amplitude = p.base_rate * unit_rng.Uniform(0.4, 1.2);
+          // Keep several cycles inside the trace so the periodicity is a
+          // property of the data, not an artifact cut off by the horizon.
+          const size_t max_period = std::max<size_t>(160, scale.ticks / 4);
+          p.period = static_cast<size_t>(unit_rng.UniformInt(
+              160, static_cast<int64_t>(max_period)));
+          profile = MakePeriodicProfile(p, unit_rng.Fork(11));
+        } else {
+          IrregularProfileParams p;
+          p.base_rate = unit_rng.Uniform(800.0, 4000.0);
+          profile = MakeIrregularProfile(p, unit_rng.Fork(11));
+        }
+        break;
+      }
+      case Family::kSysbench: {
+        SysbenchParams p = SampleSysbenchParams(periodic, unit_rng);
+        profile = MakeSysbenchProfile(p, unit_rng.Fork(11));
+        break;
+      }
+      case Family::kTpcc: {
+        TpccParams p = SampleTpccParams(periodic, unit_rng);
+        profile = MakeTpccProfile(p, unit_rng.Fork(11));
+        break;
+      }
+    }
+    UnitData unit =
+        SimulateUnit(config, *profile, periodic, unit_rng.Fork(12));
+    unit.name = name + "-unit-" + std::to_string(i);
+    ds.units.push_back(std::move(unit));
+  }
+  return ds;
+}
+
+}  // namespace
+
+Dataset BuildTencentDataset(const DatasetScale& scale) {
+  // Table III: 3.11% abnormal; §IV-A-2: 40% periodic / 60% irregular.
+  return Build(Family::kTencent, "Tencent", 0.0311, 0.4, scale);
+}
+
+Dataset BuildSysbenchDataset(const DatasetScale& scale) {
+  return Build(Family::kSysbench, "Sysbench", 0.0421, 0.4, scale);
+}
+
+Dataset BuildTpccDataset(const DatasetScale& scale) {
+  return Build(Family::kTpcc, "TPCC", 0.0406, 0.4, scale);
+}
+
+}  // namespace dbc

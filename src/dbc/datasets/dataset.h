@@ -1,0 +1,65 @@
+// Dataset assembly: collections of simulated units standing in for the
+// paper's Tencent / Sysbench / TPCC datasets (§IV-A-1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dbc/cloudsim/unit_data.h"
+
+namespace dbc {
+
+/// A named collection of simulated units.
+struct Dataset {
+  std::string name;
+  std::vector<UnitData> units;
+
+  size_t num_units() const { return units.size(); }
+
+  /// Total (db, t) measurement points across all units and KPIs is
+  /// units * dbs * ticks * kNumKpis; this returns units * dbs * ticks (the
+  /// label-able points, matching Table III accounting).
+  size_t TotalPoints() const;
+
+  /// Labeled abnormal points.
+  size_t AbnormalPoints() const;
+
+  /// Fraction of abnormal points.
+  double AbnormalRatio() const;
+
+  /// Units whose profile is periodic (the "II" variants of §IV-A-2).
+  Dataset PeriodicSubset() const;
+  /// Units whose profile is irregular (the "I" variants).
+  Dataset IrregularSubset() const;
+
+  /// Splits every unit at `fraction` of its length: first part returned in
+  /// `train`, remainder in `test` (the 50/50 protocol of §IV-B).
+  void Split(double fraction, Dataset* train, Dataset* test) const;
+};
+
+/// Sizing for a dataset build. Defaults are laptop-scale; the paper-scale
+/// values are in comments.
+struct DatasetScale {
+  size_t units = 8;          // paper: 100 (Tencent) / 50 (Sysbench, TPCC)
+  size_t ticks = 1600;       // points per database series
+  size_t num_databases = 5;  // one primary + four replicas
+  uint64_t seed = 20230407;
+};
+
+/// Per-tick median of a KPI across all databases of a unit — a robust
+/// unit-level signal: single-database anomalies (the only kind, §II-C)
+/// cannot move the median of five databases. Used to classify a unit's
+/// workload as periodic or irregular (§IV-A-2).
+Series UnitMedianKpi(const UnitData& unit, Kpi kpi);
+
+/// Tencent-style mixed dataset: 60% irregular units, 40% periodic units
+/// (§IV-A-2), all anomaly kinds, 3.11% target abnormal ratio.
+Dataset BuildTencentDataset(const DatasetScale& scale);
+
+/// Sysbench-style dataset from the Table IV parameter space (4.21% ratio).
+Dataset BuildSysbenchDataset(const DatasetScale& scale);
+
+/// TPCC-style dataset from the Table IV parameter space (4.06% ratio).
+Dataset BuildTpccDataset(const DatasetScale& scale);
+
+}  // namespace dbc

@@ -1,0 +1,98 @@
+#include "dbc/datasets/io.h"
+
+#include <algorithm>
+
+#include "dbc/common/csv.h"
+
+namespace dbc {
+
+namespace {
+
+std::string ColumnName(size_t db, const std::string& suffix) {
+  return "D" + std::to_string(db + 1) + "." + suffix;
+}
+
+}  // namespace
+
+Status WriteUnitCsv(const std::string& path, const UnitData& unit) {
+  CsvTable table;
+  const size_t dbs = unit.num_dbs();
+  const size_t ticks = unit.length();
+  for (size_t db = 0; db < dbs; ++db) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      table.header.push_back(ColumnName(db, KpiName(static_cast<Kpi>(k))));
+    }
+    table.header.push_back(ColumnName(db, "label"));
+  }
+  table.rows.reserve(ticks);
+  for (size_t t = 0; t < ticks; ++t) {
+    std::vector<double> row;
+    row.reserve(table.header.size());
+    for (size_t db = 0; db < dbs; ++db) {
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        row.push_back(unit.kpis[db].row(k)[t]);
+      }
+      row.push_back(db < unit.labels.size() && t < unit.labels[db].size()
+                        ? static_cast<double>(unit.labels[db][t])
+                        : 0.0);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return WriteCsv(path, table);
+}
+
+Result<UnitData> ReadUnitCsv(const std::string& path) {
+  Result<CsvTable> read = ReadCsv(path);
+  if (!read.ok()) return read.status();
+  const CsvTable& table = read.value();
+
+  // Discover databases by probing D<d>.<first KPI> columns.
+  size_t dbs = 0;
+  while (table.ColumnIndex(ColumnName(dbs, KpiName(static_cast<Kpi>(0)))) >=
+         0) {
+    ++dbs;
+  }
+  if (dbs == 0) {
+    return Status::InvalidArgument("no D1.<kpi> columns in " + path);
+  }
+
+  UnitData unit;
+  unit.name = path;
+  const size_t ticks = table.num_rows();
+  for (size_t db = 0; db < dbs; ++db) {
+    MultiSeries ms;
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      const std::string name = KpiName(static_cast<Kpi>(k));
+      const int col = table.ColumnIndex(ColumnName(db, name));
+      if (col < 0) {
+        return Status::InvalidArgument("missing column " +
+                                       ColumnName(db, name) + " in " + path);
+      }
+      ms.Add(name, Series(table.Column(static_cast<size_t>(col))));
+    }
+    unit.kpis.push_back(std::move(ms));
+    unit.roles.push_back(db == 0 ? DbRole::kPrimary : DbRole::kReplica);
+
+    std::vector<uint8_t> labels(ticks, 0);
+    const int label_col = table.ColumnIndex(ColumnName(db, "label"));
+    if (label_col >= 0) {
+      const std::vector<double> raw =
+          table.Column(static_cast<size_t>(label_col));
+      for (size_t t = 0; t < ticks; ++t) labels[t] = raw[t] != 0.0 ? 1 : 0;
+    }
+    unit.labels.push_back(std::move(labels));
+  }
+  return unit;
+}
+
+Status WriteDatasetCsv(const std::string& directory, const Dataset& dataset) {
+  for (const UnitData& unit : dataset.units) {
+    std::string name = unit.name.empty() ? "unit" : unit.name;
+    std::replace(name.begin(), name.end(), '/', '_');
+    const Status status = WriteUnitCsv(directory + "/" + name + ".csv", unit);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbc

@@ -1,0 +1,29 @@
+// CSV serialization of unit traces, so the library runs on real monitoring
+// exports as well as on the simulator (the paper's data comes through the
+// Tencent Cloud monitoring API [32]; a CSV dump is its lowest common
+// denominator).
+//
+// Layout: one CSV per unit. Columns are, per database d (1-based),
+// "D<d>.<kpi name>" for the 14 KPIs in enum order plus "D<d>.label" for the
+// ground-truth point label (0/1, optional — absent columns mean unlabeled).
+#pragma once
+
+#include <string>
+
+#include "dbc/common/status.h"
+#include "dbc/datasets/dataset.h"
+
+namespace dbc {
+
+/// Writes one unit to a CSV file.
+Status WriteUnitCsv(const std::string& path, const UnitData& unit);
+
+/// Reads a unit from a CSV produced by WriteUnitCsv (or hand-assembled with
+/// the same column naming). Role defaults: D1 primary, the rest replicas.
+Result<UnitData> ReadUnitCsv(const std::string& path);
+
+/// Writes every unit of a dataset into `directory` as <name>.csv. The
+/// directory must exist.
+Status WriteDatasetCsv(const std::string& directory, const Dataset& dataset);
+
+}  // namespace dbc

@@ -1,0 +1,58 @@
+// DBCatcher deployment configuration.
+#pragma once
+
+#include <cstddef>
+
+#include "dbc/correlation/kcd.h"
+#include "dbc/optimize/genome.h"
+
+namespace dbc {
+
+/// Pairwise measure used by the correlation matrices. KCD is the paper's
+/// choice; Pearson and DTW are the Table X ablation comparators (MM-Pearson,
+/// MM-DTW).
+enum class CorrelationMeasure { kKcd, kPearson, kDtw };
+
+/// Full configuration of a DBCatcher deployment: the learnable threshold
+/// genome (§III-D) plus the window-observation settings (§III-C) that are
+/// fixed by the operator's real-time requirement.
+struct DbcatcherConfig {
+  /// Pairwise correlation measure (Table X ablation).
+  CorrelationMeasure measure = CorrelationMeasure::kKcd;
+
+  /// Correlation thresholds alpha_i, tolerance threshold theta, and maximum
+  /// tolerance deviation number — learned by the adaptive policy.
+  ThresholdGenome genome;
+
+  /// Initial time window W (points; §III-D suggests 15-25).
+  size_t initial_window = 20;
+  /// Maximum window W_M (45-75).
+  size_t max_window = 60;
+  /// Expansion step Delta; 0 means "same as the initial window" (§III-C).
+  size_t expansion = 0;
+
+  /// KCD measurement options (lag-scan fraction etc).
+  KcdOptions kcd;
+
+  /// A database whose Requests-Per-Second never exceeds this inside the
+  /// window is "existing but not in use" and is skipped (§III-C).
+  double activity_epsilon = 1e-3;
+
+  /// What to do when a database is still "observable" at W_M: false (default)
+  /// resolves to healthy — level-2 deviations that never escalate are treated
+  /// as tolerated fluctuations; true resolves to abnormal.
+  bool escalate_unresolved = false;
+
+  /// Minimum acceptable F-Measure before the adaptive threshold learning
+  /// policy activates (§IV-D-3 uses 75%).
+  double retrain_criterion = 0.75;
+
+  size_t ExpansionStep() const {
+    return expansion == 0 ? initial_window : expansion;
+  }
+};
+
+/// A config with paper-default windows and mid-range thresholds.
+DbcatcherConfig DefaultDbcatcherConfig(size_t num_kpis);
+
+}  // namespace dbc

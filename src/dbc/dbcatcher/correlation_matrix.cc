@@ -1,0 +1,144 @@
+#include "dbc/dbcatcher/correlation_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "dbc/correlation/dtw.h"
+#include "dbc/correlation/pearson.h"
+
+namespace dbc {
+
+namespace {
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+CorrelationMatrix::CorrelationMatrix(size_t n)
+    : n_(n), scores_(n * n, kNan) {
+  for (size_t i = 0; i < n; ++i) scores_[i * n + i] = 1.0;
+}
+
+double CorrelationMatrix::At(size_t i, size_t j) const {
+  assert(i < n_ && j < n_);
+  return scores_[i * n_ + j];
+}
+
+void CorrelationMatrix::Set(size_t i, size_t j, double score) {
+  assert(i < n_ && j < n_);
+  scores_[i * n_ + j] = score;
+  scores_[j * n_ + i] = score;
+}
+
+std::vector<double> CorrelationMatrix::PeerScores(size_t j) const {
+  std::vector<double> out;
+  out.reserve(n_ - 1);
+  for (size_t i = 0; i < n_; ++i) {
+    if (i == j) continue;
+    const double s = At(j, i);
+    if (!std::isnan(s)) out.push_back(s);
+  }
+  return out;
+}
+
+uint64_t KcdCache::Key(size_t kpi, size_t a, size_t b, size_t begin,
+                       size_t len) {
+  if (a > b) std::swap(a, b);
+  // 5 bits kpi | 8 bits a | 8 bits b | 28 bits begin | 15 bits len.
+  return (static_cast<uint64_t>(kpi) << 59) | (static_cast<uint64_t>(a) << 51) |
+         (static_cast<uint64_t>(b) << 43) |
+         (static_cast<uint64_t>(begin & 0xFFFFFFF) << 15) |
+         static_cast<uint64_t>(len & 0x7FFF);
+}
+
+bool KcdCache::Lookup(uint64_t key, double* score) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  *score = it->second;
+  return true;
+}
+
+void KcdCache::Insert(uint64_t key, double score) { map_[key] = score; }
+
+CorrelationAnalyzer::CorrelationAnalyzer(const UnitData& unit,
+                                         const DbcatcherConfig& config,
+                                         KcdCache* cache)
+    : unit_(unit), config_(config), cache_(cache) {}
+
+bool CorrelationAnalyzer::DbActive(size_t db, size_t begin, size_t len) const {
+  const Series& rps = unit_.kpi(db, Kpi::kRequestsPerSecond);
+  const size_t end = std::min(begin + len, rps.size());
+  for (size_t t = begin; t < end; ++t) {
+    if (rps[t] > config_.activity_epsilon) return true;
+  }
+  return false;
+}
+
+bool CorrelationAnalyzer::PairEligible(size_t kpi, size_t a, size_t b,
+                                       size_t begin, size_t len) const {
+  if (a == b) return false;
+  if (KpiCorrelation(static_cast<Kpi>(kpi)) ==
+      KpiCorrelationType::kReplicaOnly) {
+    if (unit_.roles[a] == DbRole::kPrimary ||
+        unit_.roles[b] == DbRole::kPrimary) {
+      return false;
+    }
+  }
+  return DbActive(a, begin, len) && DbActive(b, begin, len);
+}
+
+double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
+                                      size_t begin, size_t len) {
+  const uint64_t key = KcdCache::Key(kpi, a, b, begin, len);
+  double score = 0.0;
+  if (cache_ != nullptr && cache_->Lookup(key, &score)) return score;
+  const Series xa = unit_.kpis[a].row(kpi).Slice(begin, begin + len);
+  const Series xb = unit_.kpis[b].row(kpi).Slice(begin, begin + len);
+  switch (config_.measure) {
+    case CorrelationMeasure::kKcd:
+      score = KcdScore(xa, xb, config_.kcd);
+      break;
+    case CorrelationMeasure::kPearson:
+      // Pearson is scale-free, so Eq. 1 normalization is a no-op here.
+      score = PearsonCorrelation(xa, xb);
+      break;
+    case CorrelationMeasure::kDtw:
+      score = DtwSimilarity(xa, xb, /*band=*/std::max<size_t>(3, len / 8));
+      break;
+  }
+  if (cache_ != nullptr) cache_->Insert(key, score);
+  return score;
+}
+
+CorrelationMatrix CorrelationAnalyzer::Matrix(size_t kpi, size_t begin,
+                                              size_t len) {
+  const size_t n = unit_.num_dbs();
+  CorrelationMatrix cm(n);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      if (!PairEligible(kpi, a, b, begin, len)) continue;
+      cm.Set(a, b, PairScore(kpi, a, b, begin, len));
+    }
+  }
+  return cm;
+}
+
+double CorrelationAnalyzer::AggregateScore(size_t kpi, size_t db, size_t begin,
+                                           size_t len) {
+  if (!DbActive(db, begin, len)) return kNan;
+  if (KpiCorrelation(static_cast<Kpi>(kpi)) ==
+          KpiCorrelationType::kReplicaOnly &&
+      unit_.roles[db] == DbRole::kPrimary) {
+    return kNan;
+  }
+  double best = kNan;
+  const size_t n = unit_.num_dbs();
+  for (size_t peer = 0; peer < n; ++peer) {
+    if (!PairEligible(kpi, db, peer, begin, len)) continue;
+    const double s = PairScore(kpi, db, peer, begin, len);
+    if (std::isnan(best) || s > best) best = s;
+  }
+  return best;
+}
+
+}  // namespace dbc

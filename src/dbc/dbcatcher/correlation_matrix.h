@@ -1,0 +1,90 @@
+// Correlation matrices (Eq. 5) and the per-window correlation analyzer.
+//
+// For a window of the unit's trace, one symmetric N x N matrix per KPI holds
+// the pairwise KCD of the databases. Pair eligibility honours Table II: on
+// "R-R" KPIs the primary's counters reflect replication apply and do not
+// participate; databases that are idle in the window (existing but unused)
+// are excluded entirely (§III-C).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dbc/cloudsim/unit_data.h"
+#include "dbc/correlation/kcd.h"
+#include "dbc/dbcatcher/config.h"
+
+namespace dbc {
+
+/// Symmetric pairwise-score matrix for one KPI over one window. Entries for
+/// ineligible pairs are NaN; the diagonal is 1.
+class CorrelationMatrix {
+ public:
+  explicit CorrelationMatrix(size_t n);
+
+  size_t size() const { return n_; }
+  double At(size_t i, size_t j) const;
+  void Set(size_t i, size_t j, double score);
+
+  /// Scores of database j against every eligible peer (skips NaN entries) —
+  /// the KCDS list of Algorithm 1.
+  std::vector<double> PeerScores(size_t j) const;
+
+ private:
+  size_t n_;
+  std::vector<double> scores_;  // row-major full matrix for simplicity
+};
+
+/// Memo of KCD evaluations keyed by (kpi, pair, window), so the adaptive
+/// threshold search (which replays the same windows under many genomes) pays
+/// for each correlation once. Not thread-safe.
+class KcdCache {
+ public:
+  /// Packs the key; begin/len are bounded by the trace length.
+  static uint64_t Key(size_t kpi, size_t a, size_t b, size_t begin, size_t len);
+
+  bool Lookup(uint64_t key, double* score) const;
+  void Insert(uint64_t key, double score);
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, double> map_;
+};
+
+/// Computes correlation matrices and per-database aggregate scores for
+/// arbitrary windows of one unit.
+class CorrelationAnalyzer {
+ public:
+  /// `cache` may be null. The unit must outlive the analyzer.
+  CorrelationAnalyzer(const UnitData& unit, const DbcatcherConfig& config,
+                      KcdCache* cache = nullptr);
+
+  /// True when database `db` shows activity within [begin, begin+len).
+  bool DbActive(size_t db, size_t begin, size_t len) const;
+
+  /// The CM of Eq. 5 for one KPI over [begin, begin+len).
+  CorrelationMatrix Matrix(size_t kpi, size_t begin, size_t len);
+
+  /// Aggregate correlation of `db` on `kpi` over the window: the best KCD
+  /// against any eligible peer (an abnormal database correlates with *no*
+  /// peer, a healthy one correlates with the other healthy ones). Returns
+  /// NaN when the database does not participate on this KPI (idle, primary
+  /// on an R-R KPI, or no eligible peer).
+  double AggregateScore(size_t kpi, size_t db, size_t begin, size_t len);
+
+  /// Pair eligibility on a KPI per Table II + activity.
+  bool PairEligible(size_t kpi, size_t a, size_t b, size_t begin,
+                    size_t len) const;
+
+  const UnitData& unit() const { return unit_; }
+
+ private:
+  double PairScore(size_t kpi, size_t a, size_t b, size_t begin, size_t len);
+
+  const UnitData& unit_;
+  const DbcatcherConfig& config_;
+  KcdCache* cache_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,98 @@
+#include "dbc/dbcatcher/dbcatcher.h"
+
+#include "dbc/optimize/ga.h"
+
+namespace dbc {
+
+DbCatcher::DbCatcher(DbCatcherOptions options) : options_(std::move(options)) {
+  if (options_.config.genome.alpha.empty()) {
+    options_.config = DefaultDbcatcherConfig(kNumKpis);
+  }
+  if (options_.optimizer == nullptr) {
+    options_.optimizer = std::make_shared<GeneticOptimizer>();
+  }
+}
+
+Confusion DbCatcher::DetectAndRecord(const Dataset& data,
+                                     const ThresholdGenome& genome) {
+  DbcatcherConfig config = options_.config;
+  config.genome = genome;
+  Confusion total;
+  for (size_t u = 0; u < data.units.size(); ++u) {
+    const UnitData& unit = data.units[u];
+    auto& cache = caches_[&unit];
+    if (cache == nullptr) cache = std::make_unique<KcdCache>();
+    const UnitVerdicts verdicts = DetectUnit(unit, config, cache.get());
+    for (size_t db = 0; db < verdicts.per_db.size(); ++db) {
+      for (const WindowVerdict& v : verdicts.per_db[db]) {
+        JudgmentRecord record;
+        record.unit = u;
+        record.db = db;
+        record.begin = v.begin;
+        record.end = v.end;
+        record.predicted_abnormal = v.abnormal;
+        record.labeled_abnormal = WindowTruth(unit.labels[db], v.begin, v.end);
+        feedback_.Record(record);
+        total.Add(record.predicted_abnormal, record.labeled_abnormal);
+      }
+    }
+  }
+  return total;
+}
+
+double DbCatcher::EvaluateGenome(const Dataset& data,
+                                 const ThresholdGenome& genome) {
+  DbcatcherConfig config = options_.config;
+  config.genome = genome;
+  Confusion total;
+  for (const UnitData& unit : data.units) {
+    auto& cache = caches_[&unit];
+    if (cache == nullptr) cache = std::make_unique<KcdCache>();
+    const UnitVerdicts verdicts = DetectUnit(unit, config, cache.get());
+    total.Merge(ScoreVerdicts(unit, verdicts));
+  }
+  return total.FMeasure();
+}
+
+void DbCatcher::Fit(const Dataset& train, Rng& rng) {
+  // Initial thresholds: random within the §III-D ranges (what an operator
+  // deploys before any feedback exists).
+  options_.config.genome =
+      ThresholdGenome::Random(kNumKpis, options_.ranges, rng);
+
+  // Populate the feedback module with judgments under the initial genome.
+  feedback_.Clear();
+  const Confusion initial = DetectAndRecord(train, options_.config.genome);
+
+  // The adaptive policy only activates when the criterion is missed
+  // (§IV-D-3).
+  if (initial.FMeasure() >= options_.config.retrain_criterion) {
+    last_opt_ = OptimizeResult{options_.config.genome, initial.FMeasure(), 1};
+    return;
+  }
+  last_opt_ = options_.optimizer->Optimize(
+      options_.config.genome, options_.ranges,
+      [this, &train](const ThresholdGenome& g) {
+        return EvaluateGenome(train, g);
+      },
+      rng);
+  options_.config.genome = last_opt_.best;
+}
+
+OptimizeResult DbCatcher::Retrain(const Dataset& drifted_train, Rng& rng) {
+  caches_.clear();  // new workload, stale correlations
+  last_opt_ = options_.optimizer->Optimize(
+      options_.config.genome, options_.ranges,
+      [this, &drifted_train](const ThresholdGenome& g) {
+        return EvaluateGenome(drifted_train, g);
+      },
+      rng);
+  options_.config.genome = last_opt_.best;
+  return last_opt_;
+}
+
+UnitVerdicts DbCatcher::Detect(const UnitData& unit) {
+  return DetectUnit(unit, options_.config, nullptr);
+}
+
+}  // namespace dbc

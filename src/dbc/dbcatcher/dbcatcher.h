@@ -1,0 +1,64 @@
+// DBCatcher facade: the full system of Fig. 6 behind the common Detector
+// interface, plus the workload-drift retraining entry point.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "dbc/dbcatcher/config.h"
+#include "dbc/dbcatcher/feedback.h"
+#include "dbc/dbcatcher/observer.h"
+#include "dbc/detectors/detector.h"
+#include "dbc/optimize/optimizer.h"
+
+namespace dbc {
+
+/// Options of the facade beyond DbcatcherConfig.
+struct DbCatcherOptions {
+  DbcatcherConfig config;
+  GenomeRanges ranges;
+  /// Optimizer used by the adaptive threshold learning policy; null = the
+  /// paper's genetic algorithm with default parameters.
+  std::shared_ptr<ThresholdOptimizer> optimizer;
+};
+
+/// The DBCatcher system.
+class DbCatcher final : public Detector {
+ public:
+  explicit DbCatcher(DbCatcherOptions options = {});
+
+  std::string Name() const override { return "DBCatcher"; }
+
+  /// Draws initial thresholds in the §III-D ranges, then runs the adaptive
+  /// threshold learning policy when the initial thresholds miss the
+  /// F-Measure criterion on the training judgments.
+  void Fit(const Dataset& train, Rng& rng) override;
+
+  UnitVerdicts Detect(const UnitData& unit) override;
+  size_t WindowSize() const override { return options_.config.initial_window; }
+
+  /// Workload drift (Table IX): re-runs adaptive learning on the drifted
+  /// workload seeded with the currently deployed genome.
+  OptimizeResult Retrain(const Dataset& drifted_train, Rng& rng);
+
+  const DbcatcherConfig& config() const { return options_.config; }
+  DbcatcherConfig& mutable_config() { return options_.config; }
+  const FeedbackModule& feedback() const { return feedback_; }
+  const OptimizeResult& last_optimization() const { return last_opt_; }
+
+  /// F-Measure of `genome` over the dataset (the fitness the optimizer sees).
+  double EvaluateGenome(const Dataset& data, const ThresholdGenome& genome);
+
+ private:
+  /// Records every (verdict, label) pair into the feedback module.
+  Confusion DetectAndRecord(const Dataset& data,
+                            const ThresholdGenome& genome);
+
+  DbCatcherOptions options_;
+  FeedbackModule feedback_;
+  OptimizeResult last_opt_;
+  /// Per-unit KCD memo, valid while the corresponding UnitData is alive.
+  std::map<const UnitData*, std::unique_ptr<KcdCache>> caches_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,255 @@
+#include "dbc/dbcatcher/diagnosis.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+const std::string& TrendShapeName(TrendShape shape) {
+  static const std::array<std::string, 6> kNames = {
+      "stable", "spike-up", "spike-down", "level-up", "level-down",
+      "drifting"};
+  return kNames[static_cast<size_t>(shape)];
+}
+
+TrendShape ClassifyTrend(const std::vector<double>& window,
+                         const std::vector<double>& context) {
+  if (window.size() < 4 || context.size() < 4) return TrendShape::kStable;
+  const double ctx_med = Median(context);
+  std::vector<double> ctx_dev(context.size());
+  for (size_t i = 0; i < context.size(); ++i) {
+    ctx_dev[i] = std::fabs(context[i] - ctx_med);
+  }
+  // MAD floor: a near-constant context must not turn ordinary noise into
+  // huge z-scores.
+  const double mad =
+      std::max(Median(std::move(ctx_dev)), 0.02 * std::fabs(ctx_med) + 1e-9);
+
+  // Spike: a small number of extreme points, the rest near the context level.
+  size_t extreme_up = 0, extreme_down = 0;
+  for (double v : window) {
+    const double z = (v - ctx_med) / mad;
+    if (z > 8.0) ++extreme_up;
+    if (z < -8.0) ++extreme_down;
+  }
+  const size_t spike_cap = std::max<size_t>(1, window.size() / 4);
+  const double win_med = Median(window);
+  const double level_z = (win_med - ctx_med) / mad;
+  if (extreme_up > 0 && extreme_up <= spike_cap && std::fabs(level_z) < 4.0) {
+    return TrendShape::kSpikeUp;
+  }
+  if (extreme_down > 0 && extreme_down <= spike_cap &&
+      std::fabs(level_z) < 4.0) {
+    return TrendShape::kSpikeDown;
+  }
+
+  // Level shift: the window's median moved.
+  if (level_z > 4.0) return TrendShape::kLevelUp;
+  if (level_z < -4.0) return TrendShape::kLevelDown;
+
+  // Drift: strong monotone trend across the window relative to its spread.
+  const size_t half = window.size() / 2;
+  const double first = Mean(std::vector<double>(window.begin(),
+                                                window.begin() + half));
+  const double second = Mean(std::vector<double>(window.begin() + half,
+                                                 window.end()));
+  if (std::fabs(second - first) > 6.0 * mad) return TrendShape::kDrifting;
+  return TrendShape::kStable;
+}
+
+namespace {
+
+bool Has(const DiagnosticReport& report, Kpi kpi) {
+  for (const KpiFinding& f : report.findings) {
+    if (f.kpi == kpi) return true;
+  }
+  return false;
+}
+
+double FindingRatio(const DiagnosticReport& report, Kpi kpi) {
+  for (const KpiFinding& f : report.findings) {
+    if (f.kpi == kpi) return f.level_ratio;
+  }
+  return 1.0;
+}
+
+/// Capacity growth of `db` in [begin, end) relative to the median growth of
+/// the other databases (growth measured as bytes added over the window).
+double CapacityGrowthVsPeers(const UnitData& unit, size_t db, size_t begin,
+                             size_t end) {
+  end = std::min(end, unit.length());
+  if (end <= begin + 1) return 1.0;
+  auto growth = [&](size_t which) {
+    const Series& cap = unit.kpi(which, Kpi::kRealCapacity);
+    return cap[end - 1] - cap[begin];
+  };
+  std::vector<double> peers;
+  for (size_t other = 0; other < unit.num_dbs(); ++other) {
+    if (other != db) peers.push_back(growth(other));
+  }
+  const double peer_median = Median(std::move(peers));
+  if (std::fabs(peer_median) < 1e-9) return 1.0;
+  return growth(db) / peer_median;
+}
+
+/// Heuristic signature matching against the paper's incident families.
+void RankHypotheses(DiagnosticReport& report) {
+  const bool cpu = Has(report, Kpi::kCpuUtilization);
+  const bool rows_read = Has(report, Kpi::kInnodbRowsRead);
+  const bool bp = Has(report, Kpi::kBufferPoolReadRequests);
+  const bool rps = Has(report, Kpi::kRequestsPerSecond) ||
+                   Has(report, Kpi::kTotalRequests);
+  // Churn means inserts AND deletes deviate *upwards*; a stalled apply
+  // thread flags the same counters but sagging.
+  const bool churn = Has(report, Kpi::kComInsert) &&
+                     Has(report, Kpi::kInnodbRowsDeleted) &&
+                     FindingRatio(report, Kpi::kComInsert) > 1.15 &&
+                     FindingRatio(report, Kpi::kInnodbRowsDeleted) > 1.15;
+  const bool writes_sagging =
+      (Has(report, Kpi::kInnodbDataWrites) &&
+       FindingRatio(report, Kpi::kInnodbDataWrites) < 0.75) ||
+      (Has(report, Kpi::kComInsert) &&
+       FindingRatio(report, Kpi::kComInsert) < 0.75);
+  const bool writes_only =
+      !cpu && !rps &&
+      (Has(report, Kpi::kComInsert) || Has(report, Kpi::kComUpdate) ||
+       Has(report, Kpi::kInnodbDataWrites));
+
+  auto add = [&report](double confidence, const std::string& family,
+                       const std::string& rationale) {
+    if (confidence <= 0.0) return;
+    report.hypotheses.push_back({family, Clamp(confidence, 0.0, 1.0),
+                                 rationale});
+  };
+
+  // Fig. 13: requests balanced, cost path deviating.
+  if ((cpu || rows_read || bp) && !rps) {
+    add(0.3 + 0.2 * cpu + 0.15 * rows_read + 0.15 * bp,
+        "resource-hogging queries",
+        "cost-path KPIs (CPU / rows read / buffer pool) deviate while the"
+        " request counters stay balanced (cf. paper Fig. 13)");
+  }
+  // Fig. 4: request counters themselves deviate -> traffic routing.
+  if (rps) {
+    add(0.45 + 0.15 * cpu,
+        "defective load balancing / traffic skew",
+        "the request counters deviate from the unit trend, pointing at the"
+        " routing layer (cf. paper Fig. 4)");
+  }
+  // Fig. 12: insert+delete churn, or write-path deviation with the database
+  // accumulating bytes faster than its peers (dead space).
+  const double cap_growth = report.capacity_growth_vs_peers;
+  const bool writes_deviate =
+      writes_only || Has(report, Kpi::kInnodbDataWrites) ||
+      Has(report, Kpi::kInnodbDataWritten);
+  if (churn || (writes_deviate && !writes_sagging && cap_growth > 1.25)) {
+    add(0.45 + (churn ? 0.15 : 0.0) + (cap_growth > 1.25 ? 0.3 : 0.0),
+        "storage fragmentation (delete/insert churn)",
+        "write counters surge together and Real Capacity grows faster than"
+        " the peers' — dead space from churn (cf. paper Fig. 12)");
+  }
+  // Replication stall: the write-apply path sags (or deviates without any
+  // churn surge) and the database is not ingesting faster than its peers.
+  if (writes_only && !churn && cap_growth <= 1.25) {
+    add(0.5 + (writes_sagging ? 0.15 : 0.0) + (cap_growth < 0.7 ? 0.1 : 0.0),
+        "replication stall / apply lag",
+        "write-path counters sag while capacity growth does not exceed the"
+        " peers', consistent with a stalled replication apply thread");
+  }
+  if (report.hypotheses.empty() && !report.findings.empty()) {
+    add(0.2, "unclassified single-database deviation",
+        "KPIs decorrelated from the unit without a known signature");
+  }
+  std::sort(report.hypotheses.begin(), report.hypotheses.end(),
+            [](const IncidentHypothesis& a, const IncidentHypothesis& b) {
+              return a.confidence > b.confidence;
+            });
+}
+
+}  // namespace
+
+DiagnosticReport Diagnose(CorrelationAnalyzer& analyzer,
+                          const DbcatcherConfig& config, size_t db,
+                          size_t begin, size_t end) {
+  DiagnosticReport report;
+  report.db = db;
+  report.begin = begin;
+  report.end = end;
+
+  const size_t len = end - begin;
+  const LevelSummary summary =
+      SummarizeLevels(analyzer, db, begin, len, config.genome);
+  report.state = DetermineState(summary, config.genome.tolerance);
+  if (report.state == DbState::kHealthy) return report;
+
+  const UnitData& unit = analyzer.unit();
+  // Growth measured over window + one preceding window: bytes-per-window is
+  // small, so the longer horizon suppresses load-balancer noise.
+  report.capacity_growth_vs_peers = CapacityGrowthVsPeers(
+      unit, db, begin >= len ? begin - len : 0, end);
+  for (size_t kpi = 0; kpi < config.genome.alpha.size(); ++kpi) {
+    const double score = analyzer.AggregateScore(kpi, db, begin, len);
+    if (std::isnan(score)) continue;
+    const CorrelationLevel level =
+        ScoreToLevel(score, config.genome.alpha[kpi], config.genome.theta);
+    if (level == CorrelationLevel::kCorrelated) continue;
+
+    KpiFinding finding;
+    finding.kpi = static_cast<Kpi>(kpi);
+    finding.score = score;
+    finding.level = level;
+
+    const Series& series = unit.kpis[db].row(kpi);
+    const size_t ctx_begin = begin >= len ? begin - len : 0;
+    const std::vector<double> window(
+        series.values().begin() + static_cast<ptrdiff_t>(begin),
+        series.values().begin() + static_cast<ptrdiff_t>(end));
+    const std::vector<double> context(
+        series.values().begin() + static_cast<ptrdiff_t>(ctx_begin),
+        series.values().begin() + static_cast<ptrdiff_t>(begin));
+    finding.shape = ClassifyTrend(window, context);
+    const double ctx_mean = context.empty() ? 0.0 : Mean(context);
+    finding.level_ratio = ctx_mean > 0.0 ? Mean(window) / ctx_mean : 1.0;
+    report.findings.push_back(finding);
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const KpiFinding& a, const KpiFinding& b) {
+              return a.score < b.score;  // most decorrelated first
+            });
+  RankHypotheses(report);
+  return report;
+}
+
+std::string DiagnosticReport::ToString() const {
+  std::ostringstream out;
+  out << "db D" << db + 1 << " window [" << begin << ", " << end << ") ";
+  switch (state) {
+    case DbState::kHealthy:
+      out << "HEALTHY";
+      return out.str();
+    case DbState::kObservable:
+      out << "OBSERVABLE";
+      break;
+    case DbState::kAbnormal:
+      out << "ABNORMAL";
+      break;
+  }
+  out << "\n  deviating KPIs:";
+  for (const KpiFinding& f : findings) {
+    out << "\n    " << KpiName(f.kpi) << "  kcd=" << f.score << "  level-"
+        << static_cast<int>(f.level) << "  " << TrendShapeName(f.shape)
+        << "  x" << f.level_ratio;
+  }
+  out << "\n  hypotheses:";
+  for (const IncidentHypothesis& h : hypotheses) {
+    out << "\n    [" << static_cast<int>(h.confidence * 100.0) << "%] "
+        << h.family << " -- " << h.rationale;
+  }
+  return out.str();
+}
+
+}  // namespace dbc

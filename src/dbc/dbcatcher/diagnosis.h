@@ -1,0 +1,81 @@
+// Diagnostic reports for abnormal verdicts — the first step of the paper's
+// future work ("how can root cause analysis be performed using database KPI
+// time series?", §V).
+//
+// For a window judged abnormal, the report ranks the KPIs by how far they
+// deviated from their peers, classifies each deviating KPI's own trend
+// (spike up/down, level up/down, drifting), and pattern-matches the KPI
+// signature against the known incident families of §II-C / §V (defective
+// load balancing, storage fragmentation, resource-hogging queries,
+// replication stall).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dbc/dbcatcher/correlation_matrix.h"
+#include "dbc/dbcatcher/levels.h"
+
+namespace dbc {
+
+/// Shape of a KPI's own trend within the abnormal window.
+enum class TrendShape {
+  kStable,
+  kSpikeUp,
+  kSpikeDown,
+  kLevelUp,
+  kLevelDown,
+  kDrifting,
+};
+
+/// Display name ("spike-up", ...).
+const std::string& TrendShapeName(TrendShape shape);
+
+/// One deviating KPI in an abnormal window.
+struct KpiFinding {
+  Kpi kpi = Kpi::kRequestsPerSecond;
+  /// Best-peer KCD in the window (the evidence of decorrelation).
+  double score = 1.0;
+  CorrelationLevel level = CorrelationLevel::kCorrelated;
+  TrendShape shape = TrendShape::kStable;
+  /// Window mean relative to the preceding window's mean (1 = unchanged).
+  double level_ratio = 1.0;
+};
+
+/// Hypothesized incident family, ranked by signature match.
+struct IncidentHypothesis {
+  std::string family;
+  double confidence = 0.0;  // [0, 1], heuristic signature match
+  std::string rationale;
+};
+
+/// Full diagnostic report for one (database, window).
+struct DiagnosticReport {
+  size_t db = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  DbState state = DbState::kHealthy;
+  /// Deviating KPIs, most deviating first. Empty when healthy.
+  std::vector<KpiFinding> findings;
+  /// Real Capacity growth of this database within the window relative to the
+  /// median growth of its peers (1 = growing like everyone; > 1 = dead space
+  /// accumulating; < 1 = ingest stalled). Always computed.
+  double capacity_growth_vs_peers = 1.0;
+  /// Incident families ordered by confidence. Empty when healthy.
+  std::vector<IncidentHypothesis> hypotheses;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Classifies the trend of `window` given the preceding context values.
+TrendShape ClassifyTrend(const std::vector<double>& window,
+                         const std::vector<double>& context);
+
+/// Builds the report for database `db` over [begin, end). `analyzer` must be
+/// backed by the same unit the verdict came from.
+DiagnosticReport Diagnose(CorrelationAnalyzer& analyzer,
+                          const DbcatcherConfig& config, size_t db,
+                          size_t begin, size_t end);
+
+}  // namespace dbc

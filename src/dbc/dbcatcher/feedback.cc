@@ -1,0 +1,23 @@
+#include "dbc/dbcatcher/feedback.h"
+
+namespace dbc {
+
+void FeedbackModule::Record(const JudgmentRecord& record) {
+  records_.push_back(record);
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+Confusion FeedbackModule::Recent() const {
+  Confusion c;
+  for (const JudgmentRecord& r : records_) {
+    c.Add(r.predicted_abnormal, r.labeled_abnormal);
+  }
+  return c;
+}
+
+bool FeedbackModule::NeedsRetrain(double criterion, size_t min_records) const {
+  if (records_.size() < min_records) return false;
+  return RecentFMeasure() < criterion;
+}
+
+}  // namespace dbc

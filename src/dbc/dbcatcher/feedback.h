@@ -1,0 +1,49 @@
+// Online feedback module (Fig. 6): stores DBA-labeled judgment records and
+// decides when the adaptive threshold learning policy must run.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "dbc/eval/metrics.h"
+
+namespace dbc {
+
+/// One labeled judgment: what DBCatcher said vs what the DBA marked.
+struct JudgmentRecord {
+  size_t unit = 0;
+  size_t db = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  bool predicted_abnormal = false;
+  bool labeled_abnormal = false;
+};
+
+/// Sliding store of recent judgment records.
+class FeedbackModule {
+ public:
+  /// Keeps at most `capacity` most recent records.
+  explicit FeedbackModule(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Record(const JudgmentRecord& record);
+
+  /// Confusion over the stored records.
+  Confusion Recent() const;
+
+  /// F-Measure of the stored records.
+  double RecentFMeasure() const { return Recent().FMeasure(); }
+
+  /// True when detection performance fell below the criterion (§IV-D-3) and
+  /// there are enough records to judge.
+  bool NeedsRetrain(double criterion, size_t min_records = 64) const;
+
+  size_t size() const { return records_.size(); }
+  const std::deque<JudgmentRecord>& records() const { return records_; }
+  void Clear() { records_.clear(); }
+
+ private:
+  size_t capacity_;
+  std::deque<JudgmentRecord> records_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,59 @@
+#include "dbc/dbcatcher/levels.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dbc {
+
+CorrelationLevel ScoreToLevel(double score, double alpha, double theta) {
+  if (score >= alpha) return CorrelationLevel::kCorrelated;
+  if (score >= alpha - theta) return CorrelationLevel::kSlightDeviation;
+  return CorrelationLevel::kExtremeDeviation;
+}
+
+std::vector<CorrelationLevel> CalculateLevels(const CorrelationMatrix& matrix,
+                                              double alpha, double theta,
+                                              size_t j) {
+  std::vector<CorrelationLevel> levels;
+  const std::vector<double> kcds = matrix.PeerScores(j);
+  levels.reserve(kcds.size());
+  for (double score : kcds) {
+    levels.push_back(ScoreToLevel(score, alpha, theta));
+  }
+  return levels;
+}
+
+LevelSummary SummarizeLevels(CorrelationAnalyzer& analyzer, size_t db,
+                             size_t begin, size_t len,
+                             const ThresholdGenome& genome) {
+  LevelSummary summary;
+  const size_t q = genome.alpha.size();
+  for (size_t kpi = 0; kpi < q; ++kpi) {
+    const double score = analyzer.AggregateScore(kpi, db, begin, len);
+    if (std::isnan(score)) {
+      ++summary.skipped;
+      continue;
+    }
+    switch (ScoreToLevel(score, genome.alpha[kpi], genome.theta)) {
+      case CorrelationLevel::kExtremeDeviation:
+        ++summary.level1;
+        break;
+      case CorrelationLevel::kSlightDeviation:
+        ++summary.level2;
+        break;
+      case CorrelationLevel::kCorrelated:
+        ++summary.level3;
+        break;
+    }
+  }
+  return summary;
+}
+
+DbState DetermineState(const LevelSummary& summary, int tolerance) {
+  if (summary.level1 > 0) return DbState::kAbnormal;
+  if (summary.level2 == 0) return DbState::kHealthy;
+  if (summary.level2 <= tolerance) return DbState::kObservable;
+  return DbState::kAbnormal;
+}
+
+}  // namespace dbc

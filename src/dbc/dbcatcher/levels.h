@@ -1,0 +1,51 @@
+// Correlation levels (Algorithm 1) and the per-window database-state rule
+// (Fig. 7).
+#pragma once
+
+#include <vector>
+
+#include "dbc/dbcatcher/correlation_matrix.h"
+
+namespace dbc {
+
+/// Level of one correlation score (Algorithm 1, Step 2):
+///   level-1 = extreme deviation, level-2 = slight deviation,
+///   level-3 = correlated.
+enum class CorrelationLevel : int {
+  kExtremeDeviation = 1,
+  kSlightDeviation = 2,
+  kCorrelated = 3,
+};
+
+/// ScoreToLevel of Algorithm 1: scores below (alpha - theta) are level-1,
+/// scores in [alpha - theta, alpha) are level-2, scores >= alpha level-3.
+CorrelationLevel ScoreToLevel(double score, double alpha, double theta);
+
+/// Per-database level counts across KPIs for one window.
+struct LevelSummary {
+  int level1 = 0;
+  int level2 = 0;
+  int level3 = 0;
+  /// KPIs this database did not participate in (idle / primary on R-R KPI).
+  int skipped = 0;
+};
+
+/// Database state for one window (Fig. 7). "Observable" is transitional.
+enum class DbState { kHealthy, kObservable, kAbnormal };
+
+/// Literal Algorithm 1: per-peer levels for database j on one KPI matrix.
+std::vector<CorrelationLevel> CalculateLevels(const CorrelationMatrix& matrix,
+                                              double alpha, double theta,
+                                              size_t j);
+
+/// Aggregated per-KPI levels: a database's level on a KPI is derived from its
+/// best peer score (an abnormal database decorrelates from *every* peer).
+LevelSummary SummarizeLevels(CorrelationAnalyzer& analyzer, size_t db,
+                             size_t begin, size_t len,
+                             const ThresholdGenome& genome);
+
+/// Fig. 7 decision: any level-1 -> abnormal; 0 < level-2 count <= tolerance
+/// -> observable; more level-2 than the tolerance -> abnormal; else healthy.
+DbState DetermineState(const LevelSummary& summary, int tolerance);
+
+}  // namespace dbc

@@ -1,0 +1,81 @@
+#include "dbc/dbcatcher/observer.h"
+
+#include <algorithm>
+
+namespace dbc {
+
+Observation ObserveDatabase(CorrelationAnalyzer& analyzer,
+                            const DbcatcherConfig& config, size_t db,
+                            size_t t0, size_t available) {
+  Observation obs;
+  size_t len = config.initial_window;
+  const size_t step = config.ExpansionStep();
+
+  for (;;) {
+    if (t0 + len > available) {
+      // Not enough data: fall back to whatever fits (at least a half
+      // window), flagging the truncation.
+      obs.truncated = true;
+      len = available > t0 ? available - t0 : 0;
+      if (len < std::max<size_t>(4, config.initial_window / 2)) {
+        obs.final_state = DbState::kHealthy;
+        obs.consumed = len;
+        return obs;
+      }
+    }
+    const LevelSummary summary =
+        SummarizeLevels(analyzer, db, t0, len, config.genome);
+    const DbState state = DetermineState(summary, config.genome.tolerance);
+    obs.consumed = len;
+
+    if (state != DbState::kObservable || obs.truncated) {
+      obs.final_state = state;
+      break;
+    }
+    // Observable: expand the window (Fig. 7) unless W_M is reached.
+    if (len + step > config.max_window) {
+      obs.final_state = state;
+      break;
+    }
+    len += step;
+    ++obs.expansions;
+  }
+
+  if (obs.final_state == DbState::kObservable) {
+    obs.final_state = config.escalate_unresolved ? DbState::kAbnormal
+                                                 : DbState::kHealthy;
+  }
+  return obs;
+}
+
+UnitVerdicts DetectUnit(const UnitData& unit, const DbcatcherConfig& config,
+                        KcdCache* cache) {
+  CorrelationAnalyzer analyzer(unit, config, cache);
+  const size_t ticks = unit.length();
+  const size_t w = config.initial_window;
+
+  UnitVerdicts out;
+  out.per_db.resize(unit.num_dbs());
+  if (w == 0 || ticks < w) return out;
+
+  for (size_t t0 = 0; t0 + w <= ticks; t0 += w) {
+    // The base tile is [t0, t0 + w); a short trailing remainder joins the
+    // last tile.
+    size_t tile_end = t0 + w;
+    if (ticks - tile_end < w) tile_end = ticks;
+
+    for (size_t db = 0; db < unit.num_dbs(); ++db) {
+      const Observation obs = ObserveDatabase(analyzer, config, db, t0, ticks);
+      WindowVerdict v;
+      v.begin = t0;
+      v.end = tile_end;
+      v.abnormal = obs.final_state == DbState::kAbnormal;
+      v.consumed = obs.consumed;
+      out.per_db[db].push_back(v);
+    }
+    if (tile_end == ticks) break;
+  }
+  return out;
+}
+
+}  // namespace dbc

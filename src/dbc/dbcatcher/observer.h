@@ -1,0 +1,34 @@
+// Flexible time window observation (§III-C, Fig. 7): a base window that is
+// expanded by Delta whenever the database state is "observable", up to W_M.
+#pragma once
+
+#include "dbc/dbcatcher/levels.h"
+#include "dbc/eval/window_eval.h"
+
+namespace dbc {
+
+/// Outcome of observing one database over one base window.
+struct Observation {
+  DbState final_state = DbState::kHealthy;
+  /// Total points examined (base window + expansions).
+  size_t consumed = 0;
+  /// Number of expansions performed.
+  size_t expansions = 0;
+  /// True when data ran out before the state resolved or W_M was reached.
+  bool truncated = false;
+};
+
+/// Runs the Fig. 7 state machine for database `db` starting at tick `t0`.
+/// `available` is the number of ticks of data that exist (expansion stops at
+/// the data horizon). Uses `analyzer`'s unit and config.
+Observation ObserveDatabase(CorrelationAnalyzer& analyzer,
+                            const DbcatcherConfig& config, size_t db,
+                            size_t t0, size_t available);
+
+/// Offline detection over a full unit trace: tiles the timeline into base
+/// windows of config.initial_window and emits one verdict per (db, tile).
+/// `cache` may be null.
+UnitVerdicts DetectUnit(const UnitData& unit, const DbcatcherConfig& config,
+                        KcdCache* cache = nullptr);
+
+}  // namespace dbc

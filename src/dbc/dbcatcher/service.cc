@@ -1,0 +1,123 @@
+#include "dbc/dbcatcher/service.h"
+
+#include <cassert>
+
+namespace dbc {
+
+MonitoringService::MonitoringService(MonitoringServiceConfig config)
+    : config_(std::move(config)) {
+  if (config_.detector.genome.alpha.empty()) {
+    config_.detector = DefaultDbcatcherConfig(kNumKpis);
+  }
+}
+
+void MonitoringService::RegisterUnit(const std::string& unit,
+                                     std::vector<DbRole> roles) {
+  UnitState state;
+  state.stream =
+      std::make_unique<DbcatcherStream>(config_.detector, std::move(roles));
+  state.feedback = FeedbackModule(config_.feedback_capacity);
+  units_[unit] = std::move(state);
+}
+
+void MonitoringService::Ingest(
+    const std::string& unit,
+    const std::vector<std::array<double, kNumKpis>>& values) {
+  const auto it = units_.find(unit);
+  assert(it != units_.end() && "unit not registered");
+  it->second.stream->Push(values);
+}
+
+std::vector<Alert> MonitoringService::Drain() {
+  std::vector<Alert> alerts;
+  for (auto& [name, state] : units_) {
+    const std::vector<StreamVerdict> verdicts = state.stream->Poll();
+    if (verdicts.empty()) continue;
+    CorrelationAnalyzer analyzer(state.stream->buffer(),
+                                 state.stream->config());
+    for (const StreamVerdict& v : verdicts) {
+      ++state.verdicts;
+      state.pending[{v.db, v.window.begin, v.window.end}] = v.window.abnormal;
+      if (!v.window.abnormal) continue;
+      Alert alert;
+      alert.unit = name;
+      alert.db = v.db;
+      alert.begin = v.window.begin;
+      alert.end = v.window.end;
+      alert.consumed = v.window.consumed;
+      // Diagnose over the window actually judged: expansions widen it past
+      // the base tile.
+      alert.report = Diagnose(analyzer, state.stream->config(), v.db,
+                              v.window.begin,
+                              v.window.begin + v.window.consumed);
+      alerts.push_back(std::move(alert));
+    }
+  }
+  return alerts;
+}
+
+void MonitoringService::Acknowledge(const std::string& unit, size_t db,
+                                    size_t begin, size_t end,
+                                    bool truly_abnormal) {
+  const auto it = units_.find(unit);
+  if (it == units_.end()) return;
+  UnitState& state = it->second;
+  const auto pending = state.pending.find({db, begin, end});
+  if (pending == state.pending.end()) return;
+
+  JudgmentRecord record;
+  record.db = db;
+  record.begin = begin;
+  record.end = end;
+  record.predicted_abnormal = pending->second;
+  record.labeled_abnormal = truly_abnormal;
+  state.feedback.Record(record);
+  state.pending.erase(pending);
+}
+
+bool MonitoringService::NeedsRelearn(const std::string& unit) const {
+  const auto it = units_.find(unit);
+  if (it == units_.end()) return false;
+  return it->second.feedback.NeedsRetrain(config_.retrain_criterion,
+                                          config_.min_feedback_records);
+}
+
+OptimizeResult MonitoringService::RelearnThresholds(
+    const std::string& unit, ThresholdOptimizer& optimizer, Rng& rng) {
+  const auto it = units_.find(unit);
+  assert(it != units_.end() && "unit not registered");
+  UnitState& state = it->second;
+
+  // Fitness: replay the labeled judgment windows under a candidate genome
+  // against the unit's buffered trace. The KCD cache makes every genome
+  // after the first nearly free (the windows are fixed, only thresholds
+  // move).
+  KcdCache cache;
+  const UnitData& trace = state.stream->buffer();
+  DbcatcherConfig candidate_config = state.stream->config();
+  auto fitness = [&](const ThresholdGenome& genome) {
+    candidate_config.genome = genome;
+    CorrelationAnalyzer analyzer(trace, candidate_config, &cache);
+    Confusion confusion;
+    for (const JudgmentRecord& record : state.feedback.records()) {
+      const LevelSummary summary =
+          SummarizeLevels(analyzer, record.db, record.begin,
+                          record.end - record.begin, genome);
+      const DbState db_state = DetermineState(summary, genome.tolerance);
+      confusion.Add(db_state == DbState::kAbnormal, record.labeled_abnormal);
+    }
+    return confusion.FMeasure();
+  };
+
+  OptimizeResult result = optimizer.Optimize(
+      state.stream->config().genome, GenomeRanges{}, fitness, rng);
+  state.stream->SetGenome(result.best);
+  return result;
+}
+
+size_t MonitoringService::VerdictCount(const std::string& unit) const {
+  const auto it = units_.find(unit);
+  return it == units_.end() ? 0 : it->second.verdicts;
+}
+
+}  // namespace dbc

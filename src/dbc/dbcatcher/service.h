@@ -1,0 +1,95 @@
+// Cluster-level monitoring service: one DBCatcher stream per unit, alert
+// aggregation with diagnostics, and online feedback-driven threshold
+// relearning — the deployment shape of Fig. 2 + Fig. 6.
+#pragma once
+
+#include <map>
+#include <tuple>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbc/dbcatcher/diagnosis.h"
+#include "dbc/dbcatcher/feedback.h"
+#include "dbc/dbcatcher/streaming.h"
+#include "dbc/optimize/optimizer.h"
+
+namespace dbc {
+
+/// One alert raised by the service.
+struct Alert {
+  std::string unit;
+  size_t db = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  size_t consumed = 0;
+  DiagnosticReport report;
+};
+
+/// Service configuration.
+struct MonitoringServiceConfig {
+  DbcatcherConfig detector;
+  /// Feedback records kept per unit.
+  size_t feedback_capacity = 4096;
+  /// F-Measure criterion under which relearning triggers (§IV-D-3).
+  double retrain_criterion = 0.75;
+  /// Minimum labeled records before the criterion is evaluated.
+  size_t min_feedback_records = 64;
+};
+
+/// Multi-unit online detection front-end.
+///
+/// Usage: RegisterUnit() per unit, Ingest() each collection tick, Drain()
+/// alerts. DBA labels flow back through AcknowledgeAlert(); when a unit's
+/// recent F-Measure falls below the criterion, RelearnThresholds() runs the
+/// adaptive policy over the unit's recorded judgments.
+class MonitoringService {
+ public:
+  explicit MonitoringService(MonitoringServiceConfig config = {});
+
+  /// Registers a unit with the given database roles. Replaces any unit with
+  /// the same name.
+  void RegisterUnit(const std::string& unit, std::vector<DbRole> roles);
+
+  /// Feeds one tick of KPI vectors (values[db][kpi]) for `unit`.
+  void Ingest(const std::string& unit,
+              const std::vector<std::array<double, kNumKpis>>& values);
+
+  /// Resolves pending windows and returns newly raised abnormal alerts with
+  /// diagnostic reports. Healthy verdicts are recorded silently.
+  std::vector<Alert> Drain();
+
+  /// DBA feedback on a drained verdict: `truly_abnormal` marks the ground
+  /// truth for the (unit, db, window) judgment.
+  void Acknowledge(const std::string& unit, size_t db, size_t begin,
+                   size_t end, bool truly_abnormal);
+
+  /// True when `unit`'s recent feedback misses the criterion.
+  bool NeedsRelearn(const std::string& unit) const;
+
+  /// Runs the adaptive threshold learning policy for `unit` using a fitness
+  /// built from its recorded judgments; installs the resulting genome.
+  /// Returns the optimizer outcome.
+  OptimizeResult RelearnThresholds(const std::string& unit,
+                                   ThresholdOptimizer& optimizer, Rng& rng);
+
+  /// Verdicts recorded so far for a unit (all, not only abnormal).
+  size_t VerdictCount(const std::string& unit) const;
+
+  const MonitoringServiceConfig& config() const { return config_; }
+
+ private:
+  struct UnitState {
+    std::unique_ptr<DbcatcherStream> stream;
+    FeedbackModule feedback;
+    /// Pending (db, window) verdicts awaiting DBA labels, keyed for
+    /// Acknowledge.
+    std::map<std::tuple<size_t, size_t, size_t>, bool> pending;
+    size_t verdicts = 0;
+  };
+
+  MonitoringServiceConfig config_;
+  std::map<std::string, UnitState> units_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,63 @@
+#include "dbc/dbcatcher/streaming.h"
+
+#include <cassert>
+
+namespace dbc {
+
+DbcatcherStream::DbcatcherStream(const DbcatcherConfig& config,
+                                 std::vector<DbRole> roles)
+    : config_(config), roles_(std::move(roles)) {
+  const size_t n = roles_.size();
+  assert(n > 0);
+  next_t0_.assign(n, 0);
+  buffer_.roles = roles_;
+  buffer_.kpis.resize(n);
+  buffer_.labels.assign(n, {});
+  for (size_t db = 0; db < n; ++db) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      buffer_.kpis[db].Add(KpiName(static_cast<Kpi>(k)), Series());
+    }
+  }
+}
+
+void DbcatcherStream::Push(
+    const std::vector<std::array<double, kNumKpis>>& values) {
+  assert(values.size() == roles_.size());
+  for (size_t db = 0; db < values.size(); ++db) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      buffer_.kpis[db].row(k).PushBack(values[db][k]);
+    }
+  }
+  ++ticks_;
+}
+
+std::vector<StreamVerdict> DbcatcherStream::Poll() {
+  std::vector<StreamVerdict> out;
+  const size_t w = config_.initial_window;
+  if (w == 0) return out;
+
+  CorrelationAnalyzer analyzer(buffer_, config_, &cache_);
+  for (size_t db = 0; db < roles_.size(); ++db) {
+    while (next_t0_[db] + w <= ticks_) {
+      const size_t t0 = next_t0_[db];
+      // Run the observer, but only finalize when the state resolved with the
+      // data at hand OR no further expansion is possible; an "observable"
+      // window at the data horizon waits for more pushes.
+      Observation obs = ObserveDatabase(analyzer, config_, db, t0, ticks_);
+      if (obs.truncated) break;  // needs more data to resolve
+
+      StreamVerdict verdict;
+      verdict.db = db;
+      verdict.window.begin = t0;
+      verdict.window.end = t0 + w;
+      verdict.window.consumed = obs.consumed;
+      verdict.window.abnormal = obs.final_state == DbState::kAbnormal;
+      verdict.state = obs.final_state;
+      out.push_back(verdict);
+      next_t0_[db] = t0 + w;
+    }
+  }
+  return out;
+}
+
+}  // namespace dbc

@@ -1,0 +1,68 @@
+// Online streaming front-end (Fig. 6): the data processing module maintains
+// one queue per (database, KPI); the streaming detection module consumes
+// base windows, expanding them on "observable" states, and emits verdicts as
+// soon as enough data has arrived.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "dbc/cloudsim/unit_data.h"
+#include "dbc/dbcatcher/correlation_matrix.h"
+#include "dbc/dbcatcher/observer.h"
+
+namespace dbc {
+
+/// One emitted streaming verdict.
+struct StreamVerdict {
+  size_t db = 0;
+  WindowVerdict window;
+  DbState state = DbState::kHealthy;
+};
+
+/// Incremental DBCatcher over a live KPI feed of one unit.
+///
+/// Push() one tick of all databases' KPI vectors at a time; Poll() drains
+/// verdicts whose windows have resolved. A base window whose state is
+/// "observable" waits for more data (the flexible expansion) before
+/// resolving, so Poll() may trail Push() by up to W_M ticks.
+class DbcatcherStream {
+ public:
+  DbcatcherStream(const DbcatcherConfig& config, std::vector<DbRole> roles);
+
+  /// Appends one collection tick: values[db][kpi].
+  void Push(const std::vector<std::array<double, kNumKpis>>& values);
+
+  /// Returns verdicts finalized since the last Poll.
+  std::vector<StreamVerdict> Poll();
+
+  /// Ticks received so far.
+  size_t ticks() const { return ticks_; }
+
+  /// Updates thresholds on the fly (the online feedback module calls this
+  /// after adaptive learning).
+  void SetGenome(const ThresholdGenome& genome) { config_.genome = genome; }
+
+  const DbcatcherConfig& config() const { return config_; }
+
+  /// The buffered trace (roles + KPI series received so far). Labels are
+  /// empty; callers replaying judgments attach their own ground truth.
+  const UnitData& buffer() const { return buffer_; }
+
+ private:
+  /// Materializes the buffered stream as a UnitData view for the analyzer.
+  void SyncBuffer();
+
+  DbcatcherConfig config_;
+  std::vector<DbRole> roles_;
+  size_t ticks_ = 0;
+  /// Next base-window start per database.
+  std::vector<size_t> next_t0_;
+  /// Buffered trace (grows with the stream; a production deployment would
+  /// trim everything older than W_M).
+  UnitData buffer_;
+  KcdCache cache_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,133 @@
+#include "dbc/detectors/combine.h"
+
+#include <algorithm>
+
+#include "dbc/ts/normalize.h"
+
+namespace dbc {
+
+UnitScores ScoreUnivariate(const UnitData& unit, size_t window,
+                           const SeriesScorer& scorer) {
+  const size_t dbs = unit.num_dbs();
+  const size_t ticks = unit.length();
+  UnitScores scores(kNumKpis,
+                    std::vector<std::vector<double>>(
+                        dbs, std::vector<double>(ticks, 0.0)));
+
+  for (size_t k = 0; k < kNumKpis; ++k) {
+    // Concatenate the min-max normalized same-KPI series across databases.
+    std::vector<double> concat;
+    concat.reserve(dbs * ticks);
+    for (size_t db = 0; db < dbs; ++db) {
+      std::vector<double> v = unit.kpis[db].row(k).values();
+      MinMaxNormalizeInPlace(v);
+      concat.insert(concat.end(), v.begin(), v.end());
+    }
+    const std::vector<double> s = scorer(concat, window);
+    for (size_t db = 0; db < dbs; ++db) {
+      for (size_t t = 0; t < ticks; ++t) {
+        scores[k][db][t] = s[db * ticks + t];
+      }
+    }
+  }
+  return scores;
+}
+
+namespace {
+
+/// Window tiling shared by the verdict builders: returns (begin, end) pairs
+/// covering [0, ticks) with stride `window`; a short trailing remainder is
+/// merged into the previous window.
+std::vector<std::pair<size_t, size_t>> TileWindows(size_t ticks,
+                                                   size_t window) {
+  std::vector<std::pair<size_t, size_t>> tiles;
+  if (ticks == 0 || window == 0) return tiles;
+  size_t begin = 0;
+  while (begin < ticks) {
+    size_t end = std::min(begin + window, ticks);
+    const bool last_short = (ticks - begin) < std::max<size_t>(1, window / 2);
+    if (last_short && !tiles.empty()) {
+      tiles.back().second = ticks;
+      return tiles;
+    }
+    tiles.push_back({begin, end});
+    begin = end;
+  }
+  return tiles;
+}
+
+}  // namespace
+
+UnitVerdicts KofMVerdicts(const UnitScores& scores, size_t window,
+                          double threshold, size_t k) {
+  UnitVerdicts out;
+  if (scores.empty() || scores.front().empty()) return out;
+  const size_t dbs = scores.front().size();
+  const size_t ticks = scores.front().front().size();
+  const auto tiles = TileWindows(ticks, window);
+
+  out.per_db.resize(dbs);
+  for (size_t db = 0; db < dbs; ++db) {
+    out.per_db[db].reserve(tiles.size());
+    for (const auto& [begin, end] : tiles) {
+      size_t kpis_hit = 0;
+      for (size_t kpi = 0; kpi < scores.size(); ++kpi) {
+        const auto& s = scores[kpi][db];
+        for (size_t t = begin; t < end; ++t) {
+          if (s[t] > threshold) {
+            ++kpis_hit;
+            break;
+          }
+        }
+      }
+      WindowVerdict v;
+      v.begin = begin;
+      v.end = end;
+      v.abnormal = kpis_hit >= k;
+      v.consumed = end - begin;
+      out.per_db[db].push_back(v);
+    }
+  }
+  return out;
+}
+
+UnitVerdicts PointScoreVerdicts(const std::vector<std::vector<double>>& scores,
+                                size_t window, double threshold) {
+  UnitVerdicts out;
+  const size_t dbs = scores.size();
+  out.per_db.resize(dbs);
+  if (dbs == 0) return out;
+  const size_t ticks = scores.front().size();
+  const auto tiles = TileWindows(ticks, window);
+  for (size_t db = 0; db < dbs; ++db) {
+    out.per_db[db].reserve(tiles.size());
+    for (const auto& [begin, end] : tiles) {
+      bool abnormal = false;
+      for (size_t t = begin; t < end; ++t) {
+        if (scores[db][t] > threshold) {
+          abnormal = true;
+          break;
+        }
+      }
+      WindowVerdict v;
+      v.begin = begin;
+      v.end = end;
+      v.abnormal = abnormal;
+      v.consumed = end - begin;
+      out.per_db[db].push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<double> FlattenScores(const UnitScores& scores) {
+  std::vector<double> out;
+  for (const auto& kpi : scores) {
+    for (const auto& db : kpi) {
+      out.insert(out.end(), db.begin(), db.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace dbc

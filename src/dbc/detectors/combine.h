@@ -1,0 +1,45 @@
+// Shared machinery for the baseline detectors: the paper's concatenation of
+// same-KPI series across a unit's databases, per-point score containers, and
+// the k-of-M window combination rule (§IV-B).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dbc/cloudsim/unit_data.h"
+#include "dbc/eval/window_eval.h"
+
+namespace dbc {
+
+/// scores[kpi][db][t]: per-point anomaly scores of one unit.
+using UnitScores = std::vector<std::vector<std::vector<double>>>;
+
+/// Scores a 1-D (already normalized) series; `window` is the method's
+/// context length.
+using SeriesScorer =
+    std::function<std::vector<double>(const std::vector<double>&, size_t)>;
+
+/// Min-max normalizes each (kpi, db) series of the unit, concatenates the
+/// same KPI across databases (db-major) as §IV-B prescribes for univariate
+/// methods, scores the concatenation, and splits the scores back per
+/// database.
+UnitScores ScoreUnivariate(const UnitData& unit, size_t window,
+                           const SeriesScorer& scorer);
+
+/// k-of-M rule: tile each database's timeline into windows of `window`
+/// points; a window is abnormal when at least k KPIs contain a point with
+/// score > threshold. A trailing partial window shorter than half `window`
+/// is merged into its predecessor.
+UnitVerdicts KofMVerdicts(const UnitScores& scores, size_t window,
+                          double threshold, size_t k);
+
+/// Single-score variant for multivariate methods: scores[db][t]; a window is
+/// abnormal when any point exceeds the threshold.
+UnitVerdicts PointScoreVerdicts(const std::vector<std::vector<double>>& scores,
+                                size_t window, double threshold);
+
+/// Collects every score value of a score container (for quantile-based
+/// threshold candidates).
+std::vector<double> FlattenScores(const UnitScores& scores);
+
+}  // namespace dbc

@@ -1,0 +1,37 @@
+// Common interface of all anomaly-detection methods under evaluation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dbc/cloudsim/unit_data.h"
+#include "dbc/common/rng.h"
+#include "dbc/datasets/dataset.h"
+#include "dbc/eval/window_eval.h"
+
+namespace dbc {
+
+/// A trainable window-verdict detector. The evaluation protocol (§IV-B) is:
+/// Fit() searches thresholds / window sizes for the best F-Measure on the
+/// training split; Detect() then applies the frozen configuration to test
+/// units.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Method name as used in the paper's tables ("SR-CNN", "DBCatcher", ...).
+  virtual std::string Name() const = 0;
+
+  /// Trains / tunes on the training split.
+  virtual void Fit(const Dataset& train, Rng& rng) = 0;
+
+  /// Emits per-database window verdicts for one test unit.
+  virtual UnitVerdicts Detect(const UnitData& unit) = 0;
+
+  /// The fixed window size selected by Fit (Window-Size metric; for
+  /// DBCatcher this is the *initial* window, expansions are reported through
+  /// WindowVerdict::consumed).
+  virtual size_t WindowSize() const = 0;
+};
+
+}  // namespace dbc

@@ -1,0 +1,65 @@
+#include "dbc/detectors/fft_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbc/fft/fft.h"
+
+namespace dbc {
+
+std::vector<double> FftResidualScores(const std::vector<double>& x,
+                                      size_t window, double keep_fraction) {
+  const size_t n = x.size();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0 || window < 4) return scores;
+
+  for (size_t begin = 0; begin < n; begin += window) {
+    const size_t end = std::min(begin + window, n);
+    const size_t len = end - begin;
+    if (len < 4) break;
+
+    std::vector<Complex> spec = RealFft(
+        std::vector<double>(x.begin() + static_cast<ptrdiff_t>(begin),
+                            x.begin() + static_cast<ptrdiff_t>(end)));
+    // Keep DC plus the lowest keep_fraction of frequencies (two-sided).
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(keep_fraction * static_cast<double>(len) / 2.0));
+    for (size_t f = keep + 1; f + keep < spec.size(); ++f) {
+      spec[f] = Complex(0.0, 0.0);
+    }
+    const std::vector<double> smooth = InverseRealFft(spec);
+
+    // Residual normalized by the tile's residual deviation.
+    double var = 0.0;
+    for (size_t i = 0; i < len; ++i) {
+      const double r = x[begin + i] - smooth[i];
+      var += r * r;
+    }
+    const double sd = std::sqrt(var / static_cast<double>(len)) + 1e-9;
+    for (size_t i = 0; i < len; ++i) {
+      scores[begin + i] = std::fabs(x[begin + i] - smooth[i]) / sd;
+    }
+  }
+  return scores;
+}
+
+void FftDetector::Fit(const Dataset& train, Rng& rng) {
+  (void)rng;  // the grid is deterministic
+  GridSpaces spaces;
+  const double keep = keep_fraction_;
+  config_ = GridSearchUnivariate(
+      train, spaces, [keep](const std::vector<double>& x, size_t w) {
+        return FftResidualScores(x, w, keep);
+      });
+}
+
+UnitVerdicts FftDetector::Detect(const UnitData& unit) {
+  const double keep = keep_fraction_;
+  const UnitScores scores = ScoreUnivariate(
+      unit, config_.window, [keep](const std::vector<double>& x, size_t w) {
+        return FftResidualScores(x, w, keep);
+      });
+  return KofMVerdicts(scores, config_.window, config_.threshold, config_.k);
+}
+
+}  // namespace dbc

@@ -1,0 +1,36 @@
+// FFT baseline (Van Loan [7]): low-pass reconstruction residual scoring.
+//
+// Each window is Fourier-transformed, all but the lowest frequencies are
+// zeroed, and the per-point score is the deviation of the signal from the
+// smooth reconstruction — "the degree of difference between time series
+// points and surrounding points" (§IV-A-4).
+#pragma once
+
+#include "dbc/detectors/detector.h"
+#include "dbc/detectors/grid_search.h"
+
+namespace dbc {
+
+/// Per-point FFT low-pass residual scores of a series, computed per tile of
+/// `window` points. `keep_fraction` of the lowest frequencies survive.
+std::vector<double> FftResidualScores(const std::vector<double>& x,
+                                      size_t window,
+                                      double keep_fraction = 0.15);
+
+/// FFT anomaly detector with the §IV-B univariate protocol.
+class FftDetector final : public Detector {
+ public:
+  explicit FftDetector(double keep_fraction = 0.15)
+      : keep_fraction_(keep_fraction) {}
+
+  std::string Name() const override { return "FFT"; }
+  void Fit(const Dataset& train, Rng& rng) override;
+  UnitVerdicts Detect(const UnitData& unit) override;
+  size_t WindowSize() const override { return config_.window; }
+
+ private:
+  double keep_fraction_;
+  GridFitResult config_;
+};
+
+}  // namespace dbc

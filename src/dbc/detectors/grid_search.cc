@@ -1,0 +1,75 @@
+#include "dbc/detectors/grid_search.h"
+
+#include <algorithm>
+
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+GridFitResult GridSearchUnivariate(const Dataset& train,
+                                   const GridSpaces& spaces,
+                                   const SeriesScorer& scorer) {
+  GridFitResult best;
+  best.train_f = -1.0;
+  for (size_t window : spaces.windows) {
+    // Cache scores for this window across all threshold/k candidates.
+    std::vector<UnitScores> all_scores;
+    all_scores.reserve(train.units.size());
+    std::vector<double> pool;
+    for (const UnitData& unit : train.units) {
+      all_scores.push_back(ScoreUnivariate(unit, window, scorer));
+      const std::vector<double> flat = FlattenScores(all_scores.back());
+      pool.insert(pool.end(), flat.begin(), flat.end());
+    }
+    for (double q : spaces.quantiles) {
+      const double threshold = Quantile(pool, q);
+      for (size_t k : spaces.ks) {
+        Confusion total;
+        for (size_t u = 0; u < train.units.size(); ++u) {
+          const UnitVerdicts verdicts =
+              KofMVerdicts(all_scores[u], window, threshold, k);
+          total.Merge(ScoreVerdicts(train.units[u], verdicts));
+        }
+        const double f = total.FMeasure();
+        if (f > best.train_f) {
+          best = {window, threshold, k, f};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+GridFitResult GridSearchMultivariate(const Dataset& train,
+                                     const GridSpaces& spaces,
+                                     const MultivariateScorer& unit_scorer) {
+  GridFitResult best;
+  best.train_f = -1.0;
+  for (size_t window : spaces.windows) {
+    std::vector<std::vector<std::vector<double>>> all_scores;
+    all_scores.reserve(train.units.size());
+    std::vector<double> pool;
+    for (const UnitData& unit : train.units) {
+      all_scores.push_back(unit_scorer(unit, window));
+      for (const auto& db : all_scores.back()) {
+        pool.insert(pool.end(), db.begin(), db.end());
+      }
+    }
+    for (double q : spaces.quantiles) {
+      const double threshold = Quantile(pool, q);
+      Confusion total;
+      for (size_t u = 0; u < train.units.size(); ++u) {
+        const UnitVerdicts verdicts =
+            PointScoreVerdicts(all_scores[u], window, threshold);
+        total.Merge(ScoreVerdicts(train.units[u], verdicts));
+      }
+      const double f = total.FMeasure();
+      if (f > best.train_f) {
+        best = {window, threshold, /*k=*/1, f};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace dbc

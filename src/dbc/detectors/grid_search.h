@@ -1,0 +1,45 @@
+// Threshold / window / k selection on the training split (§IV-B: "each
+// method uses the training set to randomly search thresholds and Window-size
+// for which the optimal F-Measure can be obtained").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dbc/datasets/dataset.h"
+#include "dbc/detectors/combine.h"
+
+namespace dbc {
+
+/// Selected baseline configuration.
+struct GridFitResult {
+  size_t window = 40;
+  double threshold = 0.5;
+  size_t k = 1;
+  double train_f = 0.0;
+};
+
+/// Grid spaces shared by the baselines.
+struct GridSpaces {
+  std::vector<size_t> windows = {20, 30, 40, 50, 60, 70, 80, 90};
+  /// Score quantiles tried as thresholds.
+  std::vector<double> quantiles = {0.90, 0.95, 0.97, 0.98, 0.99, 0.995, 0.999};
+  std::vector<size_t> ks = {1, 2, 3, 4};
+};
+
+/// Univariate methods: `scorer` maps (concatenated series, window) to
+/// per-point scores; k-of-M combination. Scores are recomputed per candidate
+/// window and cached across (threshold, k).
+GridFitResult GridSearchUnivariate(const Dataset& train,
+                                   const GridSpaces& spaces,
+                                   const SeriesScorer& scorer);
+
+/// Multivariate methods: `unit_scorer` maps (unit, window) to per-db
+/// per-point scores; any-point-over-threshold windows (k is unused).
+using MultivariateScorer = std::function<std::vector<std::vector<double>>(
+    const UnitData&, size_t window)>;
+GridFitResult GridSearchMultivariate(const Dataset& train,
+                                     const GridSpaces& spaces,
+                                     const MultivariateScorer& unit_scorer);
+
+}  // namespace dbc

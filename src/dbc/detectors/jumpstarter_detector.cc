@@ -1,0 +1,86 @@
+#include "dbc/detectors/jumpstarter_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbc/common/mathutil.h"
+#include "dbc/ts/normalize.h"
+
+namespace dbc {
+
+JumpStarterDetector::JumpStarterDetector(JumpStarterConfig config)
+    : config_(config) {}
+
+std::vector<std::vector<double>> JumpStarterDetector::ScoreUnit(
+    const UnitData& unit, size_t window) {
+  const size_t dbs = unit.num_dbs();
+  const size_t ticks = unit.length();
+  std::vector<std::vector<double>> scores(dbs,
+                                          std::vector<double>(ticks, 0.0));
+  if (window < 8) return scores;
+
+  for (size_t db = 0; db < dbs; ++db) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      std::vector<double> x = unit.kpis[db].row(k).values();
+      MinMaxNormalizeInPlace(x);
+      // Deterministic per-(db, kpi) sampling stream: scoring must be
+      // reproducible across the grid search and Detect.
+      Rng rng(config_.scoring_seed ^ (db * 1315423911ULL) ^ (k * 2654435761ULL));
+
+      for (size_t begin = 0; begin < ticks; begin += window) {
+        const size_t end = std::min(begin + window, ticks);
+        const size_t len = end - begin;
+        if (len < 8) break;
+
+        // Reconstruct over the tile PLUS a trailing context window: the
+        // outlier-resistant sampler then anchors on the established regime,
+        // so a sustained in-tile deviation cannot simply be re-fit away.
+        const size_t ctx_begin = begin >= window ? begin - window : 0;
+        const size_t span = end - ctx_begin;
+        const std::vector<double> context(
+            x.begin() + static_cast<ptrdiff_t>(ctx_begin),
+            x.begin() + static_cast<ptrdiff_t>(end));
+
+        const std::vector<size_t> samples =
+            OutlierResistantSample(context, config_.sampler, rng);
+        if (samples.size() < 4) continue;
+        std::vector<double> y(samples.size());
+        for (size_t i = 0; i < samples.size(); ++i) y[i] = context[samples[i]];
+        const OmpResult rec = OmpRecover(span, samples, y, config_.omp);
+
+        // Residual normalized by the context's robust spread.
+        std::vector<double> abs_dev(span);
+        const double med = Median(context);
+        for (size_t i = 0; i < span; ++i) {
+          abs_dev[i] = std::fabs(context[i] - med);
+        }
+        const double mad = Median(std::move(abs_dev)) + 1e-4;
+        const size_t offset = begin - ctx_begin;
+        for (size_t i = offset; i < span; ++i) {
+          const double r =
+              std::fabs(context[i] - rec.reconstruction[i]) / mad;
+          // Mean over KPIs, accumulated incrementally.
+          scores[db][ctx_begin + i] += r / static_cast<double>(kNumKpis);
+        }
+      }
+    }
+  }
+  return scores;
+}
+
+void JumpStarterDetector::Fit(const Dataset& train, Rng& rng) {
+  (void)rng;  // scoring uses its own deterministic streams
+  GridSpaces spaces;
+  spaces.windows = {30, 40, 50, 60, 70};
+  auto scorer = [this](const UnitData& unit, size_t window) {
+    return ScoreUnit(unit, window);
+  };
+  grid_ = GridSearchMultivariate(train, spaces, scorer);
+}
+
+UnitVerdicts JumpStarterDetector::Detect(const UnitData& unit) {
+  return PointScoreVerdicts(ScoreUnit(unit, grid_.window), grid_.window,
+                            grid_.threshold);
+}
+
+}  // namespace dbc

@@ -1,0 +1,42 @@
+// JumpStarter-style baseline (Ma et al. [16]): compressed-sensing
+// reconstruction with outlier-resistant sampling; the anomaly score is the
+// residual between the observed window and its sparse "normal shape"
+// reconstruction.
+#pragma once
+
+#include "dbc/cs/omp.h"
+#include "dbc/cs/sampler.h"
+#include "dbc/detectors/detector.h"
+#include "dbc/detectors/grid_search.h"
+
+namespace dbc {
+
+/// JumpStarter hyperparameters.
+struct JumpStarterConfig {
+  SamplerOptions sampler{/*segments=*/6, /*sample_fraction=*/0.4,
+                         /*outlier_trim=*/0.4};
+  OmpOptions omp;
+  uint64_t scoring_seed = 7;  // sampling inside scoring is seeded per series
+};
+
+/// Compressed-sensing reconstruction detector.
+class JumpStarterDetector final : public Detector {
+ public:
+  explicit JumpStarterDetector(JumpStarterConfig config = {});
+
+  std::string Name() const override { return "JumpStarter"; }
+  void Fit(const Dataset& train, Rng& rng) override;
+  UnitVerdicts Detect(const UnitData& unit) override;
+  size_t WindowSize() const override { return grid_.window; }
+
+ private:
+  /// Per-db scores: mean over KPIs of per-point normalized CS residuals with
+  /// reconstruction tiles of length `window`.
+  std::vector<std::vector<double>> ScoreUnit(const UnitData& unit,
+                                             size_t window);
+
+  JumpStarterConfig config_;
+  GridFitResult grid_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,84 @@
+#include "dbc/detectors/omni_detector.h"
+
+#include <algorithm>
+
+#include "dbc/ts/normalize.h"
+
+namespace dbc {
+
+namespace {
+
+/// One database's KPI matrix as a sequence of normalized 14-dim vectors.
+std::vector<nn::Vec> DbSequence(const UnitData& unit, size_t db) {
+  const size_t ticks = unit.length();
+  std::vector<std::vector<double>> rows(kNumKpis);
+  for (size_t k = 0; k < kNumKpis; ++k) {
+    rows[k] = unit.kpis[db].row(k).values();
+    MinMaxNormalizeInPlace(rows[k]);
+  }
+  std::vector<nn::Vec> seq(ticks, nn::Vec(kNumKpis));
+  for (size_t t = 0; t < ticks; ++t) {
+    for (size_t k = 0; k < kNumKpis; ++k) seq[t][k] = rows[k][t];
+  }
+  return seq;
+}
+
+}  // namespace
+
+OmniDetector::OmniDetector(OmniConfig config) : config_(config) {
+  config_.model.input_dim = kNumKpis;
+}
+
+void OmniDetector::Fit(const Dataset& train, Rng& rng) {
+  model_ = std::make_unique<nn::GruVae>(config_.model, rng);
+
+  // Pre-extract every database's sequence once.
+  std::vector<std::vector<nn::Vec>> sequences;
+  for (const UnitData& unit : train.units) {
+    for (size_t db = 0; db < unit.num_dbs(); ++db) {
+      std::vector<nn::Vec> seq = DbSequence(unit, db);
+      if (seq.size() >= config_.sequence_length) {
+        sequences.push_back(std::move(seq));
+      }
+    }
+  }
+  if (sequences.empty()) return;
+
+  for (size_t iter = 0; iter < config_.train_iterations; ++iter) {
+    const std::vector<nn::Vec>& src = sequences[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(sequences.size()) - 1))];
+    const size_t start = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(src.size() - config_.sequence_length)));
+    const std::vector<nn::Vec> sub(
+        src.begin() + static_cast<ptrdiff_t>(start),
+        src.begin() + static_cast<ptrdiff_t>(start + config_.sequence_length));
+    model_->TrainSequence(sub, rng);
+  }
+
+  // Grid search over verdict window + threshold; scores are window-free, so
+  // cache them per unit.
+  std::map<const UnitData*, std::vector<std::vector<double>>> cache;
+  GridSpaces spaces;
+  auto scorer = [this, &cache](const UnitData& unit, size_t /*window*/) {
+    auto it = cache.find(&unit);
+    if (it == cache.end()) {
+      it = cache.emplace(&unit, ScoreUnit(unit)).first;
+    }
+    return it->second;
+  };
+  grid_ = GridSearchMultivariate(train, spaces, scorer);
+}
+
+std::vector<std::vector<double>> OmniDetector::ScoreUnit(const UnitData& unit) {
+  std::vector<std::vector<double>> scores(unit.num_dbs());
+  for (size_t db = 0; db < unit.num_dbs(); ++db) {
+    scores[db] = model_->Score(DbSequence(unit, db));
+  }
+  return scores;
+}
+
+UnitVerdicts OmniDetector::Detect(const UnitData& unit) {
+  return PointScoreVerdicts(ScoreUnit(unit), grid_.window, grid_.threshold);
+}
+
+}  // namespace dbc

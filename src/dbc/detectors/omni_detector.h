@@ -1,0 +1,41 @@
+// OmniAnomaly-style baseline (Su et al. [15]): GRU + VAE reconstruction
+// probability over the multivariate KPI stream of each database.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "dbc/detectors/detector.h"
+#include "dbc/detectors/grid_search.h"
+#include "dbc/nn/gru_vae.h"
+
+namespace dbc {
+
+/// Training/search hyperparameters for the OmniAnomaly baseline.
+struct OmniConfig {
+  nn::GruVaeConfig model;
+  size_t train_iterations = 900;  // random subsequences sampled for training
+  size_t sequence_length = 50;
+};
+
+/// GRU-VAE reconstruction-error detector.
+class OmniDetector final : public Detector {
+ public:
+  explicit OmniDetector(OmniConfig config = {});
+
+  std::string Name() const override { return "OmniAnomaly"; }
+  void Fit(const Dataset& train, Rng& rng) override;
+  UnitVerdicts Detect(const UnitData& unit) override;
+  size_t WindowSize() const override { return grid_.window; }
+
+ private:
+  /// Per-database reconstruction-error scores (independent of the verdict
+  /// window; cached during the grid search).
+  std::vector<std::vector<double>> ScoreUnit(const UnitData& unit);
+
+  OmniConfig config_;
+  std::unique_ptr<nn::GruVae> model_;
+  GridFitResult grid_;
+};
+
+}  // namespace dbc

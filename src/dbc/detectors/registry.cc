@@ -1,0 +1,26 @@
+#include "dbc/detectors/registry.h"
+
+#include "dbc/detectors/fft_detector.h"
+#include "dbc/detectors/jumpstarter_detector.h"
+#include "dbc/detectors/omni_detector.h"
+#include "dbc/detectors/sr_detector.h"
+#include "dbc/detectors/srcnn_detector.h"
+
+namespace dbc {
+
+std::unique_ptr<Detector> MakeBaselineDetector(const std::string& name) {
+  if (name == "FFT") return std::make_unique<FftDetector>();
+  if (name == "SR") return std::make_unique<SrDetector>();
+  if (name == "SR-CNN") return std::make_unique<SrCnnDetector>();
+  if (name == "OmniAnomaly") return std::make_unique<OmniDetector>();
+  if (name == "JumpStarter") return std::make_unique<JumpStarterDetector>();
+  return nullptr;
+}
+
+const std::vector<std::string>& BaselineNames() {
+  static const std::vector<std::string> kNames = {
+      "FFT", "SR", "SR-CNN", "OmniAnomaly", "JumpStarter"};
+  return kNames;
+}
+
+}  // namespace dbc

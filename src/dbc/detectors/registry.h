@@ -1,0 +1,21 @@
+// Factory for the baseline detectors by paper name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbc/detectors/detector.h"
+
+namespace dbc {
+
+/// Builds a detector by name ("FFT", "SR", "SR-CNN", "OmniAnomaly",
+/// "JumpStarter"). Returns null for unknown names. ("DBCatcher" lives in
+/// dbc_dbcatcher to keep this library free of a dependency cycle; the bench
+/// harness composes both.)
+std::unique_ptr<Detector> MakeBaselineDetector(const std::string& name);
+
+/// The baseline names in the paper's table order.
+const std::vector<std::string>& BaselineNames();
+
+}  // namespace dbc

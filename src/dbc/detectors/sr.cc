@@ -1,0 +1,86 @@
+#include "dbc/detectors/sr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbc/fft/fft.h"
+
+namespace dbc {
+
+std::vector<double> SaliencyMap(const std::vector<double>& window,
+                                const SrOptions& options) {
+  const size_t n_in = window.size();
+  if (n_in < 4) return std::vector<double>(n_in, 0.0);
+
+  // Extend the tail with the SR paper's estimated points: the last point plus
+  // the average slope of the preceding points.
+  std::vector<double> x = window;
+  if (options.extend_points > 0 && n_in >= 2) {
+    const size_t m = std::min<size_t>(n_in - 1, 5);
+    double slope = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      slope += (x[n_in - 1] - x[n_in - 2 - i]) / static_cast<double>(i + 1);
+    }
+    slope /= static_cast<double>(m);
+    const double est = x[n_in - m] + slope * static_cast<double>(m);
+    for (size_t i = 0; i < options.extend_points; ++i) x.push_back(est);
+  }
+  const size_t n = x.size();
+
+  std::vector<Complex> spec = RealFft(x);
+  std::vector<double> log_amp(n);
+  std::vector<double> phase(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double amp = std::abs(spec[i]);
+    log_amp[i] = std::log(amp + 1e-8);
+    phase[i] = std::arg(spec[i]);
+  }
+
+  // Spectral residual: log amplitude minus its moving average.
+  const size_t q = std::max<size_t>(1, options.spectrum_avg);
+  std::vector<double> residual(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= q ? i - q : 0;
+    const size_t hi = std::min(n - 1, i + q);
+    double avg = 0.0;
+    for (size_t j = lo; j <= hi; ++j) avg += log_amp[j];
+    avg /= static_cast<double>(hi - lo + 1);
+    residual[i] = log_amp[i] - avg;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const double amp = std::exp(residual[i]);
+    spec[i] = Complex(amp * std::cos(phase[i]), amp * std::sin(phase[i]));
+  }
+  std::vector<double> sal = InverseRealFft(spec);
+  for (double& v : sal) v = std::fabs(v);
+  sal.resize(n_in);  // drop the estimated tail
+  return sal;
+}
+
+std::vector<double> SpectralResidualScores(const std::vector<double>& x,
+                                           size_t window,
+                                           const SrOptions& options) {
+  const size_t n = x.size();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0 || window < 4) return scores;
+
+  for (size_t begin = 0; begin < n; begin += window) {
+    const size_t end = std::min(begin + window, n);
+    const size_t len = end - begin;
+    if (len < 4) break;
+    const std::vector<double> sal = SaliencyMap(
+        std::vector<double>(x.begin() + static_cast<ptrdiff_t>(begin),
+                            x.begin() + static_cast<ptrdiff_t>(end)),
+        options);
+    double mean = 0.0;
+    for (double v : sal) mean += v;
+    mean /= static_cast<double>(len);
+    for (size_t i = 0; i < len; ++i) {
+      scores[begin + i] = (sal[i] - mean) / (mean + 1e-8);
+    }
+  }
+  return scores;
+}
+
+}  // namespace dbc

@@ -1,0 +1,30 @@
+// Spectral Residual saliency transform (Hou & Zhang [8]), the scoring core
+// of both the SR baseline and SR-CNN.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dbc {
+
+/// SR transform knobs.
+struct SrOptions {
+  /// Moving-average width over the log-amplitude spectrum.
+  size_t spectrum_avg = 3;
+  /// Number of estimated points appended before the transform (the SR paper
+  /// extrapolates the tail so the last real points are not edge-biased).
+  size_t extend_points = 5;
+};
+
+/// Saliency map of one window: inverse transform of (log-amplitude minus its
+/// moving average), same length as the input.
+std::vector<double> SaliencyMap(const std::vector<double>& window,
+                                const SrOptions& options = {});
+
+/// Per-point SR scores of a full series, computed per tile of `window`
+/// points: score = |saliency - mean| / (mean + eps), the SR decision rule.
+std::vector<double> SpectralResidualScores(const std::vector<double>& x,
+                                           size_t window,
+                                           const SrOptions& options = {});
+
+}  // namespace dbc

@@ -1,0 +1,24 @@
+#include "dbc/detectors/sr_detector.h"
+
+namespace dbc {
+
+void SrDetector::Fit(const Dataset& train, Rng& rng) {
+  (void)rng;
+  GridSpaces spaces;
+  const SrOptions options = options_;
+  config_ = GridSearchUnivariate(
+      train, spaces, [options](const std::vector<double>& x, size_t w) {
+        return SpectralResidualScores(x, w, options);
+      });
+}
+
+UnitVerdicts SrDetector::Detect(const UnitData& unit) {
+  const SrOptions options = options_;
+  const UnitScores scores = ScoreUnivariate(
+      unit, config_.window, [options](const std::vector<double>& x, size_t w) {
+        return SpectralResidualScores(x, w, options);
+      });
+  return KofMVerdicts(scores, config_.window, config_.threshold, config_.k);
+}
+
+}  // namespace dbc

@@ -1,0 +1,26 @@
+// SR baseline detector (§IV-A-4): spectral-residual saliency thresholding
+// with the univariate k-of-M protocol.
+#pragma once
+
+#include "dbc/detectors/detector.h"
+#include "dbc/detectors/grid_search.h"
+#include "dbc/detectors/sr.h"
+
+namespace dbc {
+
+/// Spectral Residual anomaly detector.
+class SrDetector final : public Detector {
+ public:
+  explicit SrDetector(SrOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "SR"; }
+  void Fit(const Dataset& train, Rng& rng) override;
+  UnitVerdicts Detect(const UnitData& unit) override;
+  size_t WindowSize() const override { return config_.window; }
+
+ private:
+  SrOptions options_;
+  GridFitResult config_;
+};
+
+}  // namespace dbc

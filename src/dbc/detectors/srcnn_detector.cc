@@ -1,0 +1,132 @@
+#include "dbc/detectors/srcnn_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbc/nn/activations.h"
+#include "dbc/ts/normalize.h"
+
+namespace dbc {
+
+SrCnnDetector::SrCnnDetector(SrCnnConfig config) : config_(config) {}
+
+std::vector<double> SrCnnDetector::CnnScores(
+    const std::vector<double>& saliency) {
+  const size_t t = saliency.size();
+  if (t == 0 || conv1_ == nullptr) return {};
+  nn::Vec h = conv1_->Forward(saliency, t);
+  h = nn::Relu(h);
+  nn::Vec logits = conv2_->Forward(h, t);
+  return nn::Sigmoid(logits);
+}
+
+double SrCnnDetector::TrainSegment(const std::vector<double>& saliency,
+                                   const std::vector<uint8_t>& labels) {
+  const size_t t = saliency.size();
+  adam_->ZeroGrad();
+  nn::Vec h_pre = conv1_->Forward(saliency, t);
+  nn::Vec h = nn::Relu(h_pre);
+  nn::Vec logits = conv2_->Forward(h, t);
+  nn::Vec probs = nn::Sigmoid(logits);
+
+  // Weighted BCE: positives are rare, so up-weight them.
+  double loss = 0.0;
+  nn::Vec dlogits(t);
+  const double pos_weight = 8.0;
+  for (size_t i = 0; i < t; ++i) {
+    const double y = labels[i] ? 1.0 : 0.0;
+    const double w = labels[i] ? pos_weight : 1.0;
+    const double p = std::clamp(probs[i], 1e-7, 1.0 - 1e-7);
+    loss += -w * (y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+    dlogits[i] = w * (p - y) / static_cast<double>(t);
+  }
+  nn::Vec dh = conv2_->Backward(dlogits);
+  for (size_t i = 0; i < dh.size(); ++i) {
+    if (h_pre[i] <= 0.0) dh[i] = 0.0;
+  }
+  conv1_->Backward(dh);
+  adam_->ClipGradNorm(5.0);
+  adam_->Step();
+  return loss / static_cast<double>(t);
+}
+
+void SrCnnDetector::Fit(const Dataset& train, Rng& rng) {
+  conv1_ = std::make_unique<nn::Conv1d>(1, config_.hidden_channels,
+                                        config_.kernel, rng);
+  conv2_ = std::make_unique<nn::Conv1d>(config_.hidden_channels, 1,
+                                        config_.kernel, rng);
+  adam_ = std::make_unique<nn::Adam>(config_.learning_rate);
+  adam_->RegisterLayer(*conv1_);
+  adam_->RegisterLayer(*conv2_);
+
+  // Collect normalized per-(unit, kpi, db) series to sample segments from.
+  std::vector<std::vector<double>> pool;
+  for (const UnitData& unit : train.units) {
+    for (size_t db = 0; db < unit.num_dbs(); ++db) {
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        std::vector<double> v = unit.kpis[db].row(k).values();
+        MinMaxNormalizeInPlace(v);
+        if (v.size() >= config_.segment_length) pool.push_back(std::move(v));
+      }
+    }
+  }
+  if (pool.empty()) return;
+
+  // The SR-CNN recipe: inject synthetic point anomalies into otherwise
+  // normal data, transform to saliency, and learn to spot the injections.
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (size_t seg = 0; seg < config_.train_segments; ++seg) {
+      const std::vector<double>& src =
+          pool[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(pool.size()) - 1))];
+      const size_t start = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(src.size() - config_.segment_length)));
+      std::vector<double> segment(
+          src.begin() + static_cast<ptrdiff_t>(start),
+          src.begin() + static_cast<ptrdiff_t>(start + config_.segment_length));
+      std::vector<uint8_t> labels(segment.size(), 0);
+
+      // Injection: x <- (mean + 2*std) * (1 + noise) at random points.
+      double mean = 0.0, var = 0.0;
+      for (double v : segment) mean += v;
+      mean /= static_cast<double>(segment.size());
+      for (double v : segment) var += (v - mean) * (v - mean);
+      const double sd = std::sqrt(var / static_cast<double>(segment.size()));
+      for (size_t i = 0; i < segment.size(); ++i) {
+        if (!rng.Bernoulli(config_.inject_probability)) continue;
+        segment[i] = (mean + 2.0 * sd + 0.1) * (1.0 + rng.Uniform(0.2, 1.0));
+        labels[i] = 1;
+      }
+
+      // Saliency per SR tile (the same tiling used at inference time).
+      const std::vector<double> saliency = SpectralResidualScores(
+          segment, config_.saliency_window, sr_options_);
+      // Scores can be negative; shift into a stable input range.
+      std::vector<double> input = saliency;
+      for (double& v : input) v = std::max(-1.0, std::min(10.0, v));
+      TrainSegment(input, labels);
+    }
+  }
+
+  // Threshold / window / k selection with the frozen CNN.
+  GridSpaces spaces;
+  spaces.windows = {30, 40, 50, 60, 70};
+  auto scorer = [this](const std::vector<double>& x, size_t w) {
+    std::vector<double> saliency = SpectralResidualScores(x, w, sr_options_);
+    for (double& v : saliency) v = std::max(-1.0, std::min(10.0, v));
+    return CnnScores(saliency);
+  };
+  grid_ = GridSearchUnivariate(train, spaces, scorer);
+}
+
+UnitVerdicts SrCnnDetector::Detect(const UnitData& unit) {
+  auto scorer = [this](const std::vector<double>& x, size_t w) {
+    std::vector<double> saliency = SpectralResidualScores(x, w, sr_options_);
+    for (double& v : saliency) v = std::max(-1.0, std::min(10.0, v));
+    return CnnScores(saliency);
+  };
+  const UnitScores scores = ScoreUnivariate(unit, grid_.window, scorer);
+  return KofMVerdicts(scores, grid_.window, grid_.threshold, grid_.k);
+}
+
+}  // namespace dbc

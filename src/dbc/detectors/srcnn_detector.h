@@ -1,0 +1,54 @@
+// SR-CNN baseline (Ren et al. [14]): a 1-D CNN trained on spectral-residual
+// saliency maps with synthetically injected anomalies, as in the Microsoft
+// anomaly-detection service.
+#pragma once
+
+#include <memory>
+
+#include "dbc/detectors/detector.h"
+#include "dbc/detectors/grid_search.h"
+#include "dbc/detectors/sr.h"
+#include "dbc/nn/conv1d.h"
+#include "dbc/nn/param.h"
+
+namespace dbc {
+
+/// SR-CNN hyperparameters.
+struct SrCnnConfig {
+  size_t hidden_channels = 8;
+  size_t kernel = 9;
+  size_t train_segments = 240;   // random segments sampled for training
+  size_t segment_length = 128;
+  size_t epochs = 5;
+  double inject_probability = 0.02;  // synthetic anomaly rate during training
+  double learning_rate = 5e-3;
+  size_t saliency_window = 40;       // SR tile length used to build training data
+};
+
+/// SR-CNN detector: saliency -> CNN -> per-point anomaly probability.
+class SrCnnDetector final : public Detector {
+ public:
+  explicit SrCnnDetector(SrCnnConfig config = {});
+
+  std::string Name() const override { return "SR-CNN"; }
+  void Fit(const Dataset& train, Rng& rng) override;
+  UnitVerdicts Detect(const UnitData& unit) override;
+  size_t WindowSize() const override { return grid_.window; }
+
+ private:
+  /// CNN forward over a saliency sequence: per-point probability.
+  std::vector<double> CnnScores(const std::vector<double>& saliency);
+
+  /// One SGD step over a labeled segment; returns the mean BCE.
+  double TrainSegment(const std::vector<double>& saliency,
+                      const std::vector<uint8_t>& labels);
+
+  SrCnnConfig config_;
+  SrOptions sr_options_;
+  std::unique_ptr<nn::Conv1d> conv1_;
+  std::unique_ptr<nn::Conv1d> conv2_;
+  std::unique_ptr<nn::Adam> adam_;
+  GridFitResult grid_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,70 @@
+#include "dbc/eval/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dbc {
+
+void Confusion::Add(bool predicted_abnormal, bool truly_abnormal) {
+  if (predicted_abnormal && truly_abnormal) {
+    ++tp;
+  } else if (predicted_abnormal && !truly_abnormal) {
+    ++fp;
+  } else if (!predicted_abnormal && truly_abnormal) {
+    ++fn;
+  } else {
+    ++tn;
+  }
+}
+
+void Confusion::Merge(const Confusion& other) {
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
+}
+
+double Confusion::Precision() const {
+  const size_t denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Confusion::Recall() const {
+  const size_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Confusion::FMeasure() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+std::string Confusion::ToString() const {
+  std::ostringstream ss;
+  ss << "tp=" << tp << " fp=" << fp << " tn=" << tn << " fn=" << fn
+     << " P=" << Precision() << " R=" << Recall() << " F=" << FMeasure();
+  return ss.str();
+}
+
+void Spread::Add(double v) {
+  if (count == 0) {
+    mean = min = max = v;
+  } else {
+    mean = (mean * static_cast<double>(count) + v) /
+           static_cast<double>(count + 1);
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+}
+
+std::string Spread::ToString(int precision) const {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << mean << " [" << min << ", " << max << "]";
+  return ss.str();
+}
+
+}  // namespace dbc

@@ -1,0 +1,43 @@
+// Confusion counting and the Precision / Recall / F-Measure metrics of
+// §IV-A-3.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dbc {
+
+/// TP/FP/TN/FN accumulator over window verdicts.
+struct Confusion {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  void Add(bool predicted_abnormal, bool truly_abnormal);
+  void Merge(const Confusion& other);
+
+  size_t total() const { return tp + fp + tn + fn; }
+
+  /// TP / (TP + FP); 0 when nothing was predicted abnormal.
+  double Precision() const;
+  /// TP / (TP + FN); 0 when nothing is truly abnormal.
+  double Recall() const;
+  /// Harmonic mean of precision and recall.
+  double FMeasure() const;
+
+  std::string ToString() const;
+};
+
+/// Mean / min / max accumulator over repeated experiment runs.
+struct Spread {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+
+  void Add(double v);
+  std::string ToString(int precision = 3) const;
+};
+
+}  // namespace dbc

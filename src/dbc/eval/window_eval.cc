@@ -1,0 +1,39 @@
+#include "dbc/eval/window_eval.h"
+
+#include <algorithm>
+
+namespace dbc {
+
+double UnitVerdicts::AverageConsumed() const {
+  size_t total = 0;
+  size_t count = 0;
+  for (const auto& db : per_db) {
+    for (const WindowVerdict& v : db) {
+      total += v.consumed;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0
+                    : static_cast<double>(total) / static_cast<double>(count);
+}
+
+bool WindowTruth(const std::vector<uint8_t>& labels, size_t begin, size_t end) {
+  end = std::min(end, labels.size());
+  for (size_t t = begin; t < end; ++t) {
+    if (labels[t] != 0) return true;
+  }
+  return false;
+}
+
+Confusion ScoreVerdicts(const UnitData& unit, const UnitVerdicts& verdicts) {
+  Confusion confusion;
+  const size_t dbs = std::min(unit.labels.size(), verdicts.per_db.size());
+  for (size_t db = 0; db < dbs; ++db) {
+    for (const WindowVerdict& v : verdicts.per_db[db]) {
+      confusion.Add(v.abnormal, WindowTruth(unit.labels[db], v.begin, v.end));
+    }
+  }
+  return confusion;
+}
+
+}  // namespace dbc

@@ -1,0 +1,39 @@
+// Window-level verdicts and their comparison against ground-truth labels.
+//
+// Every method ultimately emits per-database, per-time-window "healthy" /
+// "abnormal" verdicts (§IV-A-3: "observable" is only transitional). A window
+// is ground-truth abnormal iff it contains at least one labeled point.
+#pragma once
+
+#include <vector>
+
+#include "dbc/cloudsim/unit_data.h"
+#include "dbc/eval/metrics.h"
+
+namespace dbc {
+
+/// One decided window for one database.
+struct WindowVerdict {
+  size_t begin = 0;  // first covered tick (inclusive)
+  size_t end = 0;    // one past the last covered tick
+  bool abnormal = false;
+  /// Points actually consumed to reach the decision (>= end - begin for the
+  /// flexible-window mechanism; equals it for fixed-window methods).
+  size_t consumed = 0;
+};
+
+/// All verdicts for one unit: per_db[db] is time-ordered.
+struct UnitVerdicts {
+  std::vector<std::vector<WindowVerdict>> per_db;
+
+  /// Average consumed points per verdict (the Window-Size metric, Table V).
+  double AverageConsumed() const;
+};
+
+/// True when any point of labels[begin, end) is abnormal.
+bool WindowTruth(const std::vector<uint8_t>& labels, size_t begin, size_t end);
+
+/// Scores verdicts against the unit's labels.
+Confusion ScoreVerdicts(const UnitData& unit, const UnitVerdicts& verdicts);
+
+}  // namespace dbc

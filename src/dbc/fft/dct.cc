@@ -1,0 +1,43 @@
+#include "dbc/fft/dct.h"
+
+#include <cmath>
+
+namespace dbc {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+double DctBasis(size_t n, size_t k, size_t i) {
+  const double scale =
+      (k == 0) ? std::sqrt(1.0 / static_cast<double>(n))
+               : std::sqrt(2.0 / static_cast<double>(n));
+  return scale * std::cos(kPi * (static_cast<double>(i) + 0.5) *
+                          static_cast<double>(k) / static_cast<double>(n));
+}
+
+std::vector<double> Dct2(const std::vector<double>& x) {
+  const size_t n = x.size();
+  std::vector<double> out(n, 0.0);
+  // Direct O(n^2) evaluation; windows here are tens of points, so this is
+  // cheaper and simpler than the FFT-based factorization.
+  for (size_t k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) acc += x[i] * DctBasis(n, k, i);
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> Dct3(const std::vector<double>& x) {
+  const size_t n = x.size();
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t k = 0; k < n; ++k) acc += x[k] * DctBasis(n, k, i);
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace dbc

@@ -1,0 +1,20 @@
+// Discrete cosine transforms (type II/III), the sparsifying basis used by the
+// JumpStarter-style compressed-sensing reconstruction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dbc {
+
+/// Orthonormal DCT-II of x.
+std::vector<double> Dct2(const std::vector<double>& x);
+
+/// Orthonormal DCT-III (the inverse of Dct2).
+std::vector<double> Dct3(const std::vector<double>& x);
+
+/// Value of the k-th orthonormal DCT basis function at position i for a
+/// signal of length n: the dictionary column entries used by OMP.
+double DctBasis(size_t n, size_t k, size_t i);
+
+}  // namespace dbc

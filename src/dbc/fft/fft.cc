@@ -1,0 +1,119 @@
+#include "dbc/fft/fft.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+bool IsPow2(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+void Fft(std::vector<Complex>& data, bool inverse) {
+  const size_t n = data.size();
+  assert(IsPow2(n));
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+std::vector<Complex> FftAnyLength(const std::vector<Complex>& data, bool inverse) {
+  const size_t n = data.size();
+  if (n == 0) return {};
+  if (IsPow2(n)) {
+    std::vector<Complex> out = data;
+    Fft(out, inverse);
+    return out;
+  }
+
+  // Bluestein: X_k = conj(w_k) * IFFT(FFT(a) .* FFT(b)) where
+  // a_j = x_j * w_j,  b_j = conj(w_j),  w_j = exp(-i*pi*j^2/n) (sign flipped
+  // for the inverse transform).
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Complex> w(n);
+  for (size_t j = 0; j < n; ++j) {
+    // j^2 mod 2n keeps the phase argument small for long inputs.
+    const uint64_t j2 = (static_cast<uint64_t>(j) * j) % (2 * n);
+    const double angle = sign * kPi * static_cast<double>(j2) / static_cast<double>(n);
+    w[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  const size_t m = NextPow2(2 * n - 1);
+  std::vector<Complex> a(m, Complex(0, 0)), b(m, Complex(0, 0));
+  for (size_t j = 0; j < n; ++j) {
+    a[j] = data[j] * w[j];
+    b[j] = std::conj(w[j]);
+  }
+  for (size_t j = 1; j < n; ++j) b[m - j] = std::conj(w[j]);
+
+  Fft(a, /*inverse=*/false);
+  Fft(b, /*inverse=*/false);
+  for (size_t j = 0; j < m; ++j) a[j] *= b[j];
+  Fft(a, /*inverse=*/true);
+
+  std::vector<Complex> out(n);
+  for (size_t j = 0; j < n; ++j) out[j] = a[j] * w[j];
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : out) x *= inv_n;
+  }
+  return out;
+}
+
+std::vector<Complex> RealFft(const std::vector<double>& data) {
+  std::vector<Complex> c(data.size());
+  for (size_t i = 0; i < data.size(); ++i) c[i] = Complex(data[i], 0.0);
+  return FftAnyLength(c, /*inverse=*/false);
+}
+
+std::vector<double> InverseRealFft(const std::vector<Complex>& spectrum) {
+  std::vector<Complex> c = FftAnyLength(spectrum, /*inverse=*/true);
+  std::vector<double> out(c.size());
+  for (size_t i = 0; i < c.size(); ++i) out[i] = c[i].real();
+  return out;
+}
+
+std::vector<double> PowerSpectrum(const std::vector<double>& data) {
+  const size_t n = data.size();
+  if (n == 0) return {};
+  std::vector<Complex> spec = RealFft(data);
+  std::vector<double> out(n / 2 + 1);
+  for (size_t k = 0; k < out.size(); ++k) {
+    out[k] = std::norm(spec[k]) / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace dbc

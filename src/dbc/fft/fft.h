@@ -1,0 +1,36 @@
+// Fast Fourier transforms, implemented from scratch.
+//
+// - iterative radix-2 Cooley-Tukey for power-of-two lengths;
+// - Bluestein's chirp-z algorithm for arbitrary lengths;
+// - real-input helpers and power spectrum.
+//
+// Used by the FFT baseline detector (Van Loan [7]), the Spectral Residual
+// transform (Hou & Zhang [8]), and the periodogram of the RobustPeriod-lite
+// classifier.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace dbc {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 FFT. Requires data.size() to be a power of two
+/// (asserted). `inverse` applies the conjugate transform and 1/n scaling.
+void Fft(std::vector<Complex>& data, bool inverse);
+
+/// FFT of arbitrary length via Bluestein when n is not a power of two.
+/// Returns the transformed sequence (input untouched).
+std::vector<Complex> FftAnyLength(const std::vector<Complex>& data, bool inverse);
+
+/// Forward FFT of a real sequence of arbitrary length.
+std::vector<Complex> RealFft(const std::vector<double>& data);
+
+/// Inverse of RealFft; returns the real parts (imaginary residue dropped).
+std::vector<double> InverseRealFft(const std::vector<Complex>& spectrum);
+
+/// |X_k|^2 / n for k in [0, n/2]: one-sided power spectrum.
+std::vector<double> PowerSpectrum(const std::vector<double>& data);
+
+}  // namespace dbc

@@ -1,0 +1,54 @@
+#include "dbc/nn/activations.h"
+
+#include <cmath>
+
+namespace dbc {
+namespace nn {
+
+double SigmoidScalar(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+Vec Sigmoid(const Vec& x) {
+  Vec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = SigmoidScalar(x[i]);
+  return out;
+}
+
+Vec SigmoidGradFromOutput(const Vec& s) {
+  Vec out(s.size());
+  for (size_t i = 0; i < s.size(); ++i) out[i] = s[i] * (1.0 - s[i]);
+  return out;
+}
+
+Vec Tanh(const Vec& x) {
+  Vec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = std::tanh(x[i]);
+  return out;
+}
+
+Vec TanhGradFromOutput(const Vec& t) {
+  Vec out(t.size());
+  for (size_t i = 0; i < t.size(); ++i) out[i] = 1.0 - t[i] * t[i];
+  return out;
+}
+
+Vec Relu(const Vec& x) {
+  Vec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] > 0.0 ? x[i] : 0.0;
+  return out;
+}
+
+Vec ReluGradFromOutput(const Vec& y) {
+  Vec out(y.size());
+  for (size_t i = 0; i < y.size(); ++i) out[i] = y[i] > 0.0 ? 1.0 : 0.0;
+  return out;
+}
+
+}  // namespace nn
+}  // namespace dbc

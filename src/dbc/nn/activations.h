@@ -1,0 +1,24 @@
+// Element-wise activations and their derivatives.
+#pragma once
+
+#include "dbc/nn/mat.h"
+
+namespace dbc {
+namespace nn {
+
+double SigmoidScalar(double x);
+
+Vec Sigmoid(const Vec& x);
+/// d/dx sigmoid given the *activated* value s: s * (1 - s).
+Vec SigmoidGradFromOutput(const Vec& s);
+
+Vec Tanh(const Vec& x);
+/// d/dx tanh given the activated value t: 1 - t^2.
+Vec TanhGradFromOutput(const Vec& t);
+
+Vec Relu(const Vec& x);
+/// 1 where the pre-activation was positive, else 0 (uses the output sign).
+Vec ReluGradFromOutput(const Vec& y);
+
+}  // namespace nn
+}  // namespace dbc

@@ -1,0 +1,65 @@
+#include "dbc/nn/conv1d.h"
+
+#include <cassert>
+
+namespace dbc {
+namespace nn {
+
+Conv1d::Conv1d(size_t in_channels, size_t out_channels, size_t kernel, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      w_(Mat::Glorot(out_channels, in_channels * kernel, rng)),
+      b_(1, out_channels) {
+  assert(kernel % 2 == 1);
+}
+
+Vec Conv1d::Forward(const Vec& x, size_t t) {
+  assert(x.size() == in_channels_ * t);
+  cached_x_ = x;
+  cached_t_ = t;
+  const long half = static_cast<long>(kernel_ / 2);
+  Vec y(out_channels_ * t, 0.0);
+  for (size_t o = 0; o < out_channels_; ++o) {
+    for (size_t pos = 0; pos < t; ++pos) {
+      double acc = b_.value(0, o);
+      for (size_t c = 0; c < in_channels_; ++c) {
+        for (size_t k = 0; k < kernel_; ++k) {
+          const long src = static_cast<long>(pos) + static_cast<long>(k) - half;
+          if (src < 0 || src >= static_cast<long>(t)) continue;
+          acc += w_.value(o, c * kernel_ + k) *
+                 x[c * t + static_cast<size_t>(src)];
+        }
+      }
+      y[o * t + pos] = acc;
+    }
+  }
+  return y;
+}
+
+Vec Conv1d::Backward(const Vec& dy) {
+  const size_t t = cached_t_;
+  assert(dy.size() == out_channels_ * t);
+  const long half = static_cast<long>(kernel_ / 2);
+  Vec dx(in_channels_ * t, 0.0);
+  for (size_t o = 0; o < out_channels_; ++o) {
+    for (size_t pos = 0; pos < t; ++pos) {
+      const double g = dy[o * t + pos];
+      if (g == 0.0) continue;
+      b_.grad(0, o) += g;
+      for (size_t c = 0; c < in_channels_; ++c) {
+        for (size_t k = 0; k < kernel_; ++k) {
+          const long src = static_cast<long>(pos) + static_cast<long>(k) - half;
+          if (src < 0 || src >= static_cast<long>(t)) continue;
+          const size_t xi = c * t + static_cast<size_t>(src);
+          w_.grad(o, c * kernel_ + k) += g * cached_x_[xi];
+          dx[xi] += g * w_.value(o, c * kernel_ + k);
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace nn
+}  // namespace dbc

@@ -1,0 +1,45 @@
+// 1-D convolution layer (same padding) for the SR-CNN baseline.
+//
+// Signals are channel-major: a (C, T) feature map is a Vec of length C*T with
+// channel c occupying [c*T, (c+1)*T).
+#pragma once
+
+#include <vector>
+
+#include "dbc/nn/param.h"
+
+namespace dbc {
+namespace nn {
+
+/// Conv1D with odd kernel size and zero same-padding: output length equals
+/// input length.
+class Conv1d {
+ public:
+  /// kernel must be odd.
+  Conv1d(size_t in_channels, size_t out_channels, size_t kernel, Rng& rng);
+
+  /// x has length in_channels * t; returns out_channels * t.
+  Vec Forward(const Vec& x, size_t t);
+
+  /// dy has length out_channels * t (for the same t as the last Forward);
+  /// accumulates gradients and returns dL/dx.
+  Vec Backward(const Vec& dy);
+
+  std::vector<Param*> Params() { return {&w_, &b_}; }
+
+  size_t in_channels() const { return in_channels_; }
+  size_t out_channels() const { return out_channels_; }
+  size_t kernel() const { return kernel_; }
+
+ private:
+  size_t in_channels_;
+  size_t out_channels_;
+  size_t kernel_;
+  Param w_;  // (out_channels, in_channels * kernel)
+  Param b_;  // (1, out_channels)
+  Vec cached_x_;
+  size_t cached_t_ = 0;
+};
+
+}  // namespace nn
+}  // namespace dbc

@@ -1,0 +1,22 @@
+#include "dbc/nn/dense.h"
+
+namespace dbc {
+namespace nn {
+
+Vec Dense::Forward(const Vec& x) {
+  cached_x_ = x;
+  Vec y = MatVec(w_.value, x);
+  for (size_t i = 0; i < y.size(); ++i) y[i] += b_.value(0, i);
+  return y;
+}
+
+Vec Dense::Backward(const Vec& dy) { return BackwardWithInput(dy, cached_x_); }
+
+Vec Dense::BackwardWithInput(const Vec& dy, const Vec& x) {
+  AddOuter(w_.grad, dy, x);
+  for (size_t i = 0; i < dy.size(); ++i) b_.grad(0, i) += dy[i];
+  return MatTVec(w_.value, dy);
+}
+
+}  // namespace nn
+}  // namespace dbc

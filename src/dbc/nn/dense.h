@@ -1,0 +1,40 @@
+// Fully connected layer with cached-input backward pass.
+#pragma once
+
+#include <vector>
+
+#include "dbc/nn/param.h"
+
+namespace dbc {
+namespace nn {
+
+/// y = W x + b. Forward caches x for the subsequent Backward; the layer
+/// therefore processes one sample at a time (plain SGD/Adam, no batching).
+class Dense {
+ public:
+  Dense(size_t in, size_t out, Rng& rng)
+      : w_(Mat::Glorot(out, in, rng)), b_(1, out) {}
+
+  Vec Forward(const Vec& x);
+
+  /// Accumulates dW/db from dy and returns dL/dx.
+  Vec Backward(const Vec& dy);
+
+  /// Stateless variant used when the layer is applied many times before the
+  /// backward pass (e.g. once per sequence step): the caller supplies the
+  /// input that produced dy.
+  Vec BackwardWithInput(const Vec& dy, const Vec& x);
+
+  std::vector<Param*> Params() { return {&w_, &b_}; }
+
+  size_t in_dim() const { return w_.value.cols(); }
+  size_t out_dim() const { return w_.value.rows(); }
+
+ private:
+  Param w_;
+  Param b_;
+  Vec cached_x_;
+};
+
+}  // namespace nn
+}  // namespace dbc

@@ -1,0 +1,110 @@
+#include "dbc/nn/gru.h"
+
+#include <cassert>
+
+#include "dbc/nn/activations.h"
+
+namespace dbc {
+namespace nn {
+
+Gru::Gru(size_t input_dim, size_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      wz_(Mat::Glorot(hidden_dim, input_dim, rng)),
+      uz_(Mat::Glorot(hidden_dim, hidden_dim, rng)),
+      bz_(1, hidden_dim),
+      wr_(Mat::Glorot(hidden_dim, input_dim, rng)),
+      ur_(Mat::Glorot(hidden_dim, hidden_dim, rng)),
+      br_(1, hidden_dim),
+      wh_(Mat::Glorot(hidden_dim, input_dim, rng)),
+      uh_(Mat::Glorot(hidden_dim, hidden_dim, rng)),
+      bh_(1, hidden_dim) {}
+
+std::vector<Vec> Gru::ForwardSequence(const std::vector<Vec>& xs) {
+  cache_.clear();
+  cache_.reserve(xs.size());
+  std::vector<Vec> hs;
+  hs.reserve(xs.size());
+  Vec h(hidden_dim_, 0.0);
+  for (const Vec& x : xs) {
+    assert(x.size() == input_dim_);
+    StepCache c;
+    c.x = x;
+    c.h_prev = h;
+
+    Vec az = Add(MatVec(wz_.value, x), MatVec(uz_.value, h));
+    Vec ar = Add(MatVec(wr_.value, x), MatVec(ur_.value, h));
+    for (size_t i = 0; i < hidden_dim_; ++i) {
+      az[i] += bz_.value(0, i);
+      ar[i] += br_.value(0, i);
+    }
+    c.z = Sigmoid(az);
+    c.r = Sigmoid(ar);
+
+    Vec rh = Mul(c.r, h);
+    Vec ag = Add(MatVec(wh_.value, x), MatVec(uh_.value, rh));
+    for (size_t i = 0; i < hidden_dim_; ++i) ag[i] += bh_.value(0, i);
+    c.g = Tanh(ag);
+
+    for (size_t i = 0; i < hidden_dim_; ++i) {
+      h[i] = (1.0 - c.z[i]) * c.h_prev[i] + c.z[i] * c.g[i];
+    }
+    cache_.push_back(std::move(c));
+    hs.push_back(h);
+  }
+  return hs;
+}
+
+std::vector<Vec> Gru::BackwardSequence(const std::vector<Vec>& dh_per_step) {
+  const size_t steps = cache_.size();
+  assert(dh_per_step.size() == steps);
+  std::vector<Vec> dxs(steps, Vec(input_dim_, 0.0));
+  Vec carry(hidden_dim_, 0.0);  // dL/dh_t flowing backwards
+
+  for (size_t ti = steps; ti-- > 0;) {
+    const StepCache& c = cache_[ti];
+    Vec dh = Add(dh_per_step[ti], carry);
+
+    // h_t = (1-z)*h_prev + z*g
+    Vec dz(hidden_dim_), dg(hidden_dim_), dh_prev(hidden_dim_);
+    for (size_t i = 0; i < hidden_dim_; ++i) {
+      dz[i] = dh[i] * (c.g[i] - c.h_prev[i]);
+      dg[i] = dh[i] * c.z[i];
+      dh_prev[i] = dh[i] * (1.0 - c.z[i]);
+    }
+
+    // Candidate: g = tanh(Wh x + Uh (r*h_prev) + bh)
+    Vec dag = Mul(dg, TanhGradFromOutput(c.g));
+    AddOuter(wh_.grad, dag, c.x);
+    Vec rh = Mul(c.r, c.h_prev);
+    AddOuter(uh_.grad, dag, rh);
+    for (size_t i = 0; i < hidden_dim_; ++i) bh_.grad(0, i) += dag[i];
+    Vec drh = MatTVec(uh_.value, dag);
+    Vec dr = Mul(drh, c.h_prev);
+    AddInPlace(dh_prev, Mul(drh, c.r));
+    Vec dx = MatTVec(wh_.value, dag);
+
+    // Update gate: z = sigmoid(...)
+    Vec daz = Mul(dz, SigmoidGradFromOutput(c.z));
+    AddOuter(wz_.grad, daz, c.x);
+    AddOuter(uz_.grad, daz, c.h_prev);
+    for (size_t i = 0; i < hidden_dim_; ++i) bz_.grad(0, i) += daz[i];
+    AddInPlace(dh_prev, MatTVec(uz_.value, daz));
+    AddInPlace(dx, MatTVec(wz_.value, daz));
+
+    // Reset gate: r = sigmoid(...)
+    Vec dar = Mul(dr, SigmoidGradFromOutput(c.r));
+    AddOuter(wr_.grad, dar, c.x);
+    AddOuter(ur_.grad, dar, c.h_prev);
+    for (size_t i = 0; i < hidden_dim_; ++i) br_.grad(0, i) += dar[i];
+    AddInPlace(dh_prev, MatTVec(ur_.value, dar));
+    AddInPlace(dx, MatTVec(wr_.value, dar));
+
+    dxs[ti] = std::move(dx);
+    carry = std::move(dh_prev);
+  }
+  return dxs;
+}
+
+}  // namespace nn
+}  // namespace dbc

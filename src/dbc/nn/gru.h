@@ -1,0 +1,57 @@
+// GRU layer with full backpropagation through time, the temporal backbone of
+// the OmniAnomaly-style baseline (Chung et al. [35]).
+#pragma once
+
+#include <vector>
+
+#include "dbc/nn/param.h"
+
+namespace dbc {
+namespace nn {
+
+/// Gated recurrent unit over a sequence of input vectors.
+///
+///   z_t = sigmoid(Wz x_t + Uz h_{t-1} + bz)
+///   r_t = sigmoid(Wr x_t + Ur h_{t-1} + br)
+///   g_t = tanh  (Wh x_t + Uh (r_t * h_{t-1}) + bh)
+///   h_t = (1 - z_t) * h_{t-1} + z_t * g_t
+///
+/// ForwardSequence caches all per-step intermediates; BackwardSequence
+/// consumes per-step dL/dh_t and accumulates parameter gradients via BPTT.
+class Gru {
+ public:
+  Gru(size_t input_dim, size_t hidden_dim, Rng& rng);
+
+  /// Runs the GRU from h_0 = 0 over xs; returns h_1..h_T (one per input).
+  std::vector<Vec> ForwardSequence(const std::vector<Vec>& xs);
+
+  /// dh_per_step[t] is dL/dh_t from the per-step heads. Accumulates parameter
+  /// gradients; returns dL/dx_t for each step (usually unused).
+  std::vector<Vec> BackwardSequence(const std::vector<Vec>& dh_per_step);
+
+  std::vector<Param*> Params() {
+    return {&wz_, &uz_, &bz_, &wr_, &ur_, &br_, &wh_, &uh_, &bh_};
+  }
+
+  size_t input_dim() const { return input_dim_; }
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  struct StepCache {
+    Vec x;
+    Vec h_prev;
+    Vec z;
+    Vec r;
+    Vec g;  // candidate state (tanh)
+  };
+
+  size_t input_dim_;
+  size_t hidden_dim_;
+  Param wz_, uz_, bz_;
+  Param wr_, ur_, br_;
+  Param wh_, uh_, bh_;
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace nn
+}  // namespace dbc

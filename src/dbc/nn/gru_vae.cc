@@ -1,0 +1,127 @@
+#include "dbc/nn/gru_vae.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dbc/nn/activations.h"
+
+namespace dbc {
+namespace nn {
+
+GruVae::GruVae(const GruVaeConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(config.input_dim, config.hidden_dim, rng),
+      mu_head_(config.hidden_dim, config.latent_dim, rng),
+      logvar_head_(config.hidden_dim, config.latent_dim, rng),
+      dec1_(config.latent_dim, config.hidden_dim, rng),
+      dec2_(config.hidden_dim, config.input_dim, rng),
+      adam_(config.learning_rate) {
+  adam_.RegisterLayer(encoder_);
+  adam_.RegisterLayer(mu_head_);
+  adam_.RegisterLayer(logvar_head_);
+  adam_.RegisterLayer(dec1_);
+  adam_.RegisterLayer(dec2_);
+}
+
+double GruVae::TrainSequence(const std::vector<Vec>& xs, Rng& rng) {
+  if (xs.empty()) return 0.0;
+  adam_.ZeroGrad();
+
+  const std::vector<Vec> hs = encoder_.ForwardSequence(xs);
+  const size_t steps = xs.size();
+  std::vector<StepCache> caches(steps);
+  double total_loss = 0.0;
+
+  // Per-step heads: forward, cache everything needed by backward.
+  for (size_t t = 0; t < steps; ++t) {
+    StepCache& c = caches[t];
+    c.h = hs[t];
+    c.mu = MatVec(mu_head_.Params()[0]->value, c.h);
+    c.logvar = MatVec(logvar_head_.Params()[0]->value, c.h);
+    for (size_t i = 0; i < config_.latent_dim; ++i) {
+      c.mu[i] += mu_head_.Params()[1]->value(0, i);
+      c.logvar[i] += logvar_head_.Params()[1]->value(0, i);
+      // Guard against exploding exp() early in training.
+      if (c.logvar[i] > 8.0) c.logvar[i] = 8.0;
+      if (c.logvar[i] < -8.0) c.logvar[i] = -8.0;
+    }
+    c.eps.resize(config_.latent_dim);
+    c.z.resize(config_.latent_dim);
+    for (size_t i = 0; i < config_.latent_dim; ++i) {
+      c.eps[i] = rng.Normal();
+      c.z[i] = c.mu[i] + c.eps[i] * std::exp(0.5 * c.logvar[i]);
+    }
+    c.dh1_pre = dec1_.Forward(c.z);
+    c.dh1 = Relu(c.dh1_pre);
+    c.xhat = dec2_.Forward(c.dh1);
+
+    // Loss: 0.5*||x - xhat||^2 + beta * KL(q || N(0, I)).
+    double recon = 0.0;
+    for (size_t i = 0; i < config_.input_dim; ++i) {
+      const double d = c.xhat[i] - xs[t][i];
+      recon += 0.5 * d * d;
+    }
+    double kl = 0.0;
+    for (size_t i = 0; i < config_.latent_dim; ++i) {
+      kl += -0.5 * (1.0 + c.logvar[i] - c.mu[i] * c.mu[i] -
+                    std::exp(c.logvar[i]));
+    }
+    total_loss += recon + config_.kl_weight * kl;
+  }
+
+  // Backward: per-step heads produce dL/dh_t; GRU BPTT consumes them all.
+  std::vector<Vec> dh_per_step(steps, Vec(config_.hidden_dim, 0.0));
+  for (size_t t = 0; t < steps; ++t) {
+    StepCache& c = caches[t];
+    Vec dxhat(config_.input_dim);
+    for (size_t i = 0; i < config_.input_dim; ++i) {
+      dxhat[i] = c.xhat[i] - xs[t][i];
+    }
+    Vec ddh1 = dec2_.BackwardWithInput(dxhat, c.dh1);
+    for (size_t i = 0; i < config_.hidden_dim; ++i) {
+      if (c.dh1_pre[i] <= 0.0) ddh1[i] = 0.0;
+    }
+    Vec dz = dec1_.BackwardWithInput(ddh1, c.z);
+
+    // z = mu + eps * exp(0.5*logvar)
+    Vec dmu(config_.latent_dim), dlogvar(config_.latent_dim);
+    for (size_t i = 0; i < config_.latent_dim; ++i) {
+      const double sigma = std::exp(0.5 * c.logvar[i]);
+      dmu[i] = dz[i] + config_.kl_weight * c.mu[i];
+      dlogvar[i] = dz[i] * c.eps[i] * 0.5 * sigma +
+                   config_.kl_weight * 0.5 * (std::exp(c.logvar[i]) - 1.0);
+    }
+    Vec dh = mu_head_.BackwardWithInput(dmu, c.h);
+    AddInPlace(dh, logvar_head_.BackwardWithInput(dlogvar, c.h));
+    dh_per_step[t] = std::move(dh);
+  }
+  encoder_.BackwardSequence(dh_per_step);
+
+  adam_.ClipGradNorm(config_.grad_clip);
+  adam_.Step();
+  return total_loss / static_cast<double>(steps);
+}
+
+std::vector<double> GruVae::Score(const std::vector<Vec>& xs) {
+  std::vector<double> scores(xs.size(), 0.0);
+  if (xs.empty()) return scores;
+  const std::vector<Vec> hs = encoder_.ForwardSequence(xs);
+  for (size_t t = 0; t < xs.size(); ++t) {
+    Vec mu = MatVec(mu_head_.Params()[0]->value, hs[t]);
+    for (size_t i = 0; i < config_.latent_dim; ++i) {
+      mu[i] += mu_head_.Params()[1]->value(0, i);
+    }
+    Vec dh1 = Relu(dec1_.Forward(mu));
+    Vec xhat = dec2_.Forward(dh1);
+    double err = 0.0;
+    for (size_t i = 0; i < config_.input_dim; ++i) {
+      const double d = xhat[i] - xs[t][i];
+      err += d * d;
+    }
+    scores[t] = err / static_cast<double>(config_.input_dim);
+  }
+  return scores;
+}
+
+}  // namespace nn
+}  // namespace dbc

@@ -1,0 +1,59 @@
+// GRU-VAE sequence model — the OmniAnomaly-style substrate (Su et al. [15]).
+//
+// A GRU encoder summarizes the multivariate window up to step t; a diagonal
+// Gaussian latent is sampled by reparameterization and decoded back to a
+// reconstruction of x_t. Training maximizes the ELBO (MSE reconstruction +
+// KL); at inference the per-step anomaly score is the reconstruction error
+// with the latent mean (low reconstruction probability = anomalous).
+#pragma once
+
+#include <vector>
+
+#include "dbc/nn/dense.h"
+#include "dbc/nn/gru.h"
+#include "dbc/nn/param.h"
+
+namespace dbc {
+namespace nn {
+
+/// Architecture/training hyperparameters for the GRU-VAE.
+struct GruVaeConfig {
+  size_t input_dim = 5;
+  size_t hidden_dim = 16;
+  size_t latent_dim = 4;
+  double learning_rate = 1e-2;
+  /// Weight of the KL term in the ELBO.
+  double kl_weight = 0.12;
+  double grad_clip = 5.0;
+};
+
+/// Minimal GRU encoder + Gaussian latent + MLP decoder.
+class GruVae {
+ public:
+  GruVae(const GruVaeConfig& config, Rng& rng);
+
+  /// One gradient step on a window (sequence of input vectors). Returns the
+  /// mean per-step loss (reconstruction + weighted KL).
+  double TrainSequence(const std::vector<Vec>& xs, Rng& rng);
+
+  /// Per-step reconstruction error (mean squared, latent = posterior mean).
+  std::vector<double> Score(const std::vector<Vec>& xs);
+
+  const GruVaeConfig& config() const { return config_; }
+
+ private:
+  struct StepCache {
+    Vec h, mu, logvar, eps, z, dh1_pre, dh1, xhat;
+  };
+
+  GruVaeConfig config_;
+  Gru encoder_;
+  Dense mu_head_;
+  Dense logvar_head_;
+  Dense dec1_;
+  Dense dec2_;
+  Adam adam_;
+};
+
+}  // namespace nn
+}  // namespace dbc

@@ -1,0 +1,75 @@
+#include "dbc/nn/mat.h"
+
+#include <cmath>
+
+namespace dbc {
+namespace nn {
+
+Mat Mat::Glorot(size_t rows, size_t cols, Rng& rng) {
+  Mat m(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : m.d_) v = rng.Uniform(-limit, limit);
+  return m;
+}
+
+Vec MatVec(const Mat& m, const Vec& x) {
+  assert(x.size() == m.cols());
+  Vec y(m.rows(), 0.0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) acc += m(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vec MatTVec(const Mat& m, const Vec& x) {
+  assert(x.size() == m.rows());
+  Vec y(m.cols(), 0.0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) y[c] += m(r, c) * x[r];
+  }
+  return y;
+}
+
+void AddOuter(Mat& grad, const Vec& dy, const Vec& x) {
+  assert(dy.size() == grad.rows() && x.size() == grad.cols());
+  for (size_t r = 0; r < grad.rows(); ++r) {
+    for (size_t c = 0; c < grad.cols(); ++c) grad(r, c) += dy[r] * x[c];
+  }
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a);
+  for (size_t i = 0; i < out.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+Vec Sub(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a);
+  for (size_t i = 0; i < out.size(); ++i) out[i] -= b[i];
+  return out;
+}
+
+Vec Mul(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a);
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Vec Scale(const Vec& a, double k) {
+  Vec out(a);
+  for (double& v : out) v *= k;
+  return out;
+}
+
+void AddInPlace(Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+}  // namespace nn
+}  // namespace dbc

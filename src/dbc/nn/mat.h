@@ -1,0 +1,64 @@
+// Dense matrix/vector primitives for the minimal neural-network substrate.
+//
+// The baselines SR-CNN and OmniAnomaly need small trainable networks (a 1-D
+// CNN and a GRU-VAE). Everything here is CPU double-precision, row-major,
+// and sized for windows of tens of points — clarity over throughput.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+namespace nn {
+
+using Vec = std::vector<double>;
+
+/// Row-major dense matrix.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), d_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return d_.size(); }
+
+  double operator()(size_t r, size_t c) const { return d_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return d_[r * cols_ + c]; }
+
+  Vec& data() { return d_; }
+  const Vec& data() const { return d_; }
+
+  void Fill(double v) { std::fill(d_.begin(), d_.end(), v); }
+
+  /// Glorot-uniform initialization with the layer fan-in/out.
+  static Mat Glorot(size_t rows, size_t cols, Rng& rng);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  Vec d_;
+};
+
+/// y = M x  (x sized cols, result sized rows).
+Vec MatVec(const Mat& m, const Vec& x);
+
+/// y = M^T x (x sized rows, result sized cols).
+Vec MatTVec(const Mat& m, const Vec& x);
+
+/// grad += outer(dy, x): accumulates a rank-1 update into `grad`.
+void AddOuter(Mat& grad, const Vec& dy, const Vec& x);
+
+/// Element-wise helpers.
+Vec Add(const Vec& a, const Vec& b);
+Vec Sub(const Vec& a, const Vec& b);
+Vec Mul(const Vec& a, const Vec& b);
+Vec Scale(const Vec& a, double k);
+void AddInPlace(Vec& a, const Vec& b);
+
+}  // namespace nn
+}  // namespace dbc

@@ -1,0 +1,47 @@
+#include "dbc/nn/param.h"
+
+#include <cmath>
+
+namespace dbc {
+namespace nn {
+
+void Adam::Register(Param* p) {
+  slots_.push_back({p, Vec(p->value.size(), 0.0), Vec(p->value.size(), 0.0)});
+}
+
+void Adam::Step() {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (auto& slot : slots_) {
+    Vec& value = slot.param->value.data();
+    const Vec& grad = slot.param->grad.data();
+    for (size_t i = 0; i < value.size(); ++i) {
+      slot.m[i] = beta1_ * slot.m[i] + (1.0 - beta1_) * grad[i];
+      slot.v[i] = beta2_ * slot.v[i] + (1.0 - beta2_) * grad[i] * grad[i];
+      const double mhat = slot.m[i] / bc1;
+      const double vhat = slot.v[i] / bc2;
+      value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (auto& slot : slots_) slot.param->ZeroGrad();
+}
+
+void Adam::ClipGradNorm(double max_norm) {
+  double total = 0.0;
+  for (const auto& slot : slots_) {
+    for (double g : slot.param->grad.data()) total += g * g;
+  }
+  total = std::sqrt(total);
+  if (total <= max_norm || total == 0.0) return;
+  const double scale = max_norm / total;
+  for (auto& slot : slots_) {
+    for (double& g : slot.param->grad.data()) g *= scale;
+  }
+}
+
+}  // namespace nn
+}  // namespace dbc

@@ -1,0 +1,61 @@
+// Trainable parameter (value + gradient) and the Adam optimizer.
+#pragma once
+
+#include <vector>
+
+#include "dbc/nn/mat.h"
+
+namespace dbc {
+namespace nn {
+
+/// A trainable matrix with its gradient accumulator. Biases are 1-row Mats.
+struct Param {
+  Mat value;
+  Mat grad;
+
+  Param() = default;
+  Param(size_t rows, size_t cols) : value(rows, cols), grad(rows, cols) {}
+  explicit Param(Mat init)
+      : value(std::move(init)), grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+/// Adam optimizer over a set of registered parameters.
+class Adam {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  /// Registers a parameter; the pointer must stay valid for the Adam's life.
+  void Register(Param* p);
+
+  /// Registers every parameter of a layer exposing Params().
+  template <typename Layer>
+  void RegisterLayer(Layer& layer) {
+    for (Param* p : layer.Params()) Register(p);
+  }
+
+  /// Applies one Adam update using the accumulated gradients.
+  void Step();
+
+  /// Clears the gradients of all registered parameters.
+  void ZeroGrad();
+
+  /// Clips the global L2 norm of all gradients to `max_norm` (no-op if under).
+  void ClipGradNorm(double max_norm);
+
+ private:
+  struct Slot {
+    Param* param;
+    Vec m;
+    Vec v;
+  };
+  std::vector<Slot> slots_;
+  double lr_, beta1_, beta2_, eps_;
+  long step_ = 0;
+};
+
+}  // namespace nn
+}  // namespace dbc

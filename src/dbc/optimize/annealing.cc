@@ -1,0 +1,58 @@
+#include "dbc/optimize/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+OptimizeResult AnnealingOptimizer::Optimize(const ThresholdGenome& seed_genome,
+                                            const GenomeRanges& ranges,
+                                            const FitnessFn& fitness,
+                                            Rng& rng) {
+  OptimizeResult result;
+  ThresholdGenome current = seed_genome;
+  double current_fitness = fitness(current);
+  ++result.evaluations;
+  result.best = current;
+  result.best_fitness = current_fitness;
+
+  double temperature = config_.initial_temperature;
+  for (size_t iter = 0; iter < config_.iterations; ++iter) {
+    // Neighbour: perturb one random alpha, occasionally theta / tolerance.
+    ThresholdGenome candidate = current;
+    const size_t which = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(candidate.alpha.size()) + 1));
+    if (which < candidate.alpha.size()) {
+      candidate.alpha[which] =
+          Clamp(candidate.alpha[which] +
+                    rng.Normal(0.0, ranges.learning_rate * 0.7),
+                ranges.alpha_min, ranges.alpha_max);
+    } else if (which == candidate.alpha.size()) {
+      candidate.theta =
+          Clamp(candidate.theta + rng.Normal(0.0, 0.05), ranges.theta_lo,
+                ranges.theta_hi);
+    } else {
+      candidate.tolerance = static_cast<int>(
+          rng.UniformInt(ranges.tolerance_lo, ranges.tolerance_hi));
+    }
+
+    const double candidate_fitness = fitness(candidate);
+    ++result.evaluations;
+    if (candidate_fitness > result.best_fitness) {
+      result.best_fitness = candidate_fitness;
+      result.best = candidate;
+    }
+    const double delta = candidate_fitness - current_fitness;
+    if (delta >= 0.0 ||
+        rng.Bernoulli(std::exp(delta / std::max(1e-6, temperature)))) {
+      current = candidate;
+      current_fitness = candidate_fitness;
+    }
+    temperature *= config_.cooling;
+  }
+  return result;
+}
+
+}  // namespace dbc

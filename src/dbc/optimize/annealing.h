@@ -1,0 +1,30 @@
+// Simulated-annealing comparator for Fig. 11.
+#pragma once
+
+#include "dbc/optimize/optimizer.h"
+
+namespace dbc {
+
+/// SA parameters, budgeted to roughly the same number of fitness evaluations
+/// as the default GA so Fig. 11 compares strategies, not budgets.
+struct SaConfig {
+  size_t iterations = 96;
+  double initial_temperature = 0.2;
+  double cooling = 0.96;
+};
+
+/// Classic Metropolis annealing over the threshold genome.
+class AnnealingOptimizer final : public ThresholdOptimizer {
+ public:
+  explicit AnnealingOptimizer(SaConfig config = {}) : config_(config) {}
+
+  std::string Name() const override { return "SAA"; }
+  OptimizeResult Optimize(const ThresholdGenome& seed_genome,
+                          const GenomeRanges& ranges, const FitnessFn& fitness,
+                          Rng& rng) override;
+
+ private:
+  SaConfig config_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,81 @@
+#include "dbc/optimize/ga.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dbc {
+
+OptimizeResult GeneticOptimizer::Optimize(const ThresholdGenome& seed_genome,
+                                          const GenomeRanges& ranges,
+                                          const FitnessFn& fitness, Rng& rng) {
+  OptimizeResult result;
+  const size_t pop_size = std::max<size_t>(4, config_.population);
+
+  struct Individual {
+    ThresholdGenome genome;
+    double fitness = -1.0;
+  };
+  std::vector<Individual> population;
+  population.push_back({seed_genome, -1.0});
+  while (population.size() < pop_size) {
+    population.push_back(
+        {ThresholdGenome::Random(seed_genome.alpha.size(), ranges, rng), -1.0});
+  }
+
+  auto evaluate = [&](Individual& ind) {
+    if (ind.fitness >= 0.0) return;
+    ind.fitness = fitness(ind.genome);
+    ++result.evaluations;
+    if (ind.fitness > result.best_fitness || result.evaluations == 1) {
+      result.best_fitness = ind.fitness;
+      result.best = ind.genome;
+    }
+  };
+
+  for (size_t iter = 0; iter < config_.iterations; ++iter) {
+    // Get individuals' performance; save the historical best (Alg. 2 lines
+    // 4-8).
+    for (Individual& ind : population) evaluate(ind);
+
+    // Evict poor performers (line 9).
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness > b.fitness;
+              });
+    const size_t keep = std::max<size_t>(
+        2, pop_size - static_cast<size_t>(config_.evict_fraction *
+                                          static_cast<double>(pop_size)));
+    population.resize(keep);
+
+    // Selection proportional to fitness (Eq. 6), then crossover + mutation
+    // to refill the population (lines 10-12).
+    std::vector<double> weights(population.size());
+    for (size_t i = 0; i < population.size(); ++i) {
+      weights[i] = std::max(1e-6, population[i].fitness);
+    }
+    std::vector<Individual> offspring;
+    while (population.size() + offspring.size() < pop_size) {
+      const size_t a = rng.WeightedChoice(weights);
+      size_t b = rng.WeightedChoice(weights);
+      if (b == a) b = (b + 1) % population.size();
+      ThresholdGenome child_a, child_b;
+      ThresholdGenome::Crossover(population[a].genome, population[b].genome,
+                                 &child_a, &child_b, rng);
+      if (rng.Bernoulli(config_.mutation_probability)) {
+        child_a.Mutate(ranges, rng);
+      }
+      if (rng.Bernoulli(config_.mutation_probability)) {
+        child_b.Mutate(ranges, rng);
+      }
+      offspring.push_back({std::move(child_a), -1.0});
+      if (population.size() + offspring.size() < pop_size) {
+        offspring.push_back({std::move(child_b), -1.0});
+      }
+    }
+    for (Individual& ind : offspring) population.push_back(std::move(ind));
+  }
+  for (Individual& ind : population) evaluate(ind);
+  return result;
+}
+
+}  // namespace dbc

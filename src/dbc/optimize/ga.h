@@ -1,0 +1,33 @@
+// Genetic-algorithm threshold learning (Algorithm 2).
+#pragma once
+
+#include "dbc/optimize/optimizer.h"
+
+namespace dbc {
+
+/// GA parameters (M individuals, N iterations of Algorithm 2).
+struct GaConfig {
+  size_t population = 12;
+  size_t iterations = 8;
+  /// Fraction of worst individuals evicted per iteration.
+  double evict_fraction = 0.3;
+  /// Mutation probability beta (§III-D).
+  double mutation_probability = 0.25;
+};
+
+/// Algorithm 2: evaluate, keep the historical best, evict the poor, select
+/// proportionally to fitness (Eq. 6), crossover, mutate.
+class GeneticOptimizer final : public ThresholdOptimizer {
+ public:
+  explicit GeneticOptimizer(GaConfig config = {}) : config_(config) {}
+
+  std::string Name() const override { return "GA"; }
+  OptimizeResult Optimize(const ThresholdGenome& seed_genome,
+                          const GenomeRanges& ranges, const FitnessFn& fitness,
+                          Rng& rng) override;
+
+ private:
+  GaConfig config_;
+};
+
+}  // namespace dbc

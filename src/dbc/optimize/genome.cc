@@ -1,0 +1,67 @@
+#include "dbc/optimize/genome.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+ThresholdGenome ThresholdGenome::Random(size_t num_kpis,
+                                        const GenomeRanges& ranges, Rng& rng) {
+  ThresholdGenome g;
+  g.alpha.resize(num_kpis);
+  for (double& a : g.alpha) a = rng.Uniform(ranges.alpha_lo, ranges.alpha_hi);
+  g.theta = rng.Uniform(ranges.theta_lo, ranges.theta_hi);
+  g.tolerance = static_cast<int>(
+      rng.UniformInt(ranges.tolerance_lo, ranges.tolerance_hi));
+  return g;
+}
+
+void ThresholdGenome::Crossover(const ThresholdGenome& x,
+                                const ThresholdGenome& y,
+                                ThresholdGenome* child_a,
+                                ThresholdGenome* child_b, Rng& rng) {
+  const size_t n = std::min(x.alpha.size(), y.alpha.size());
+  *child_a = x;
+  *child_b = y;
+  if (n >= 2) {
+    // Split point m in (0, n): child_a = x[0..m) + y[m..n), mirrored for b.
+    const size_t m = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(n) - 1));
+    for (size_t i = m; i < n; ++i) {
+      child_a->alpha[i] = y.alpha[i];
+      child_b->alpha[i] = x.alpha[i];
+    }
+  }
+  child_a->theta = rng.Bernoulli(0.5) ? x.theta : y.theta;
+  child_b->theta = rng.Bernoulli(0.5) ? x.theta : y.theta;
+  child_a->tolerance = rng.Bernoulli(0.5) ? x.tolerance : y.tolerance;
+  child_b->tolerance = rng.Bernoulli(0.5) ? x.tolerance : y.tolerance;
+}
+
+void ThresholdGenome::Mutate(const GenomeRanges& ranges, Rng& rng) {
+  for (double& a : alpha) {
+    if (!rng.Bernoulli(0.5)) continue;
+    const double delta =
+        rng.Bernoulli(0.5) ? ranges.learning_rate : -ranges.learning_rate;
+    a = Clamp(a + delta * rng.Uniform(0.3, 1.0), ranges.alpha_min,
+              ranges.alpha_max);
+  }
+  theta = rng.Uniform(ranges.theta_lo, ranges.theta_hi);
+  tolerance = static_cast<int>(
+      rng.UniformInt(ranges.tolerance_lo, ranges.tolerance_hi));
+}
+
+std::string ThresholdGenome::ToString() const {
+  std::ostringstream ss;
+  ss << "alpha=[";
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    if (i > 0) ss << ",";
+    ss << alpha[i];
+  }
+  ss << "] theta=" << theta << " tolerance=" << tolerance;
+  return ss.str();
+}
+
+}  // namespace dbc

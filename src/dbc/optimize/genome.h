@@ -1,0 +1,59 @@
+// Threshold genome — the individuals of the adaptive threshold learning
+// policy (§III-D).
+//
+// "An individual's gene consists of three components: multiple correlation
+// thresholds alpha_i, a tolerance threshold theta, and a maximum tolerance
+// deviation number N." Window sizes are deployment configuration (set by the
+// real-time requirement, §III-C), not learned.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+
+/// Valid ranges for genome components (the initialization ranges of §III-D).
+struct GenomeRanges {
+  double alpha_lo = 0.6;
+  double alpha_hi = 0.8;
+  double theta_lo = 0.1;
+  double theta_hi = 0.3;
+  int tolerance_lo = 0;
+  int tolerance_hi = 3;
+  /// Mutation learning rate Delta (§III-D).
+  double learning_rate = 0.1;
+  /// Hard clamps applied after mutation (thresholds stay meaningful).
+  double alpha_min = 0.2;
+  double alpha_max = 0.98;
+};
+
+/// One individual: per-KPI correlation thresholds + tolerance threshold +
+/// maximum tolerated level-2 deviations.
+struct ThresholdGenome {
+  std::vector<double> alpha;  // one correlation threshold per KPI
+  double theta = 0.2;
+  int tolerance = 2;
+
+  /// Uniform random individual within the ranges.
+  static ThresholdGenome Random(size_t num_kpis, const GenomeRanges& ranges,
+                                Rng& rng);
+
+  /// Paper crossover: a single split point m exchanges the alpha suffixes of
+  /// the two parents; theta and tolerance of each child are picked randomly
+  /// from the parents.
+  static void Crossover(const ThresholdGenome& x, const ThresholdGenome& y,
+                        ThresholdGenome* child_a, ThresholdGenome* child_b,
+                        Rng& rng);
+
+  /// Paper mutation: each alpha randomly moves by +/- learning_rate with the
+  /// mutation handled per-gene; theta and tolerance are re-drawn within their
+  /// ranges.
+  void Mutate(const GenomeRanges& ranges, Rng& rng);
+
+  std::string ToString() const;
+};
+
+}  // namespace dbc

@@ -1,0 +1,36 @@
+// Common interface of the threshold-search strategies compared in Fig. 11:
+// genetic algorithm (the paper's choice), simulated annealing, and random
+// search.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "dbc/optimize/genome.h"
+
+namespace dbc {
+
+/// Detection performance (F-Measure in [0, 1]) of a genome over the recent
+/// judgment records.
+using FitnessFn = std::function<double(const ThresholdGenome&)>;
+
+/// Outcome of a threshold search.
+struct OptimizeResult {
+  ThresholdGenome best;
+  double best_fitness = 0.0;
+  size_t evaluations = 0;
+};
+
+/// A threshold-search strategy.
+class ThresholdOptimizer {
+ public:
+  virtual ~ThresholdOptimizer() = default;
+  virtual std::string Name() const = 0;
+
+  /// Searches from `seed_genome` (the currently deployed thresholds).
+  virtual OptimizeResult Optimize(const ThresholdGenome& seed_genome,
+                                  const GenomeRanges& ranges,
+                                  const FitnessFn& fitness, Rng& rng) = 0;
+};
+
+}  // namespace dbc

@@ -1,0 +1,25 @@
+#include "dbc/optimize/random_search.h"
+
+namespace dbc {
+
+OptimizeResult RandomSearchOptimizer::Optimize(
+    const ThresholdGenome& seed_genome, const GenomeRanges& ranges,
+    const FitnessFn& fitness, Rng& rng) {
+  OptimizeResult result;
+  result.best = seed_genome;
+  result.best_fitness = fitness(seed_genome);
+  ++result.evaluations;
+  for (size_t trial = 1; trial < config_.trials; ++trial) {
+    const ThresholdGenome candidate =
+        ThresholdGenome::Random(seed_genome.alpha.size(), ranges, rng);
+    const double f = fitness(candidate);
+    ++result.evaluations;
+    if (f > result.best_fitness) {
+      result.best_fitness = f;
+      result.best = candidate;
+    }
+  }
+  return result;
+}
+
+}  // namespace dbc

@@ -1,0 +1,28 @@
+// Random-search comparator for Fig. 11.
+#pragma once
+
+#include "dbc/optimize/optimizer.h"
+
+namespace dbc {
+
+/// Budget matched to the default GA/SA.
+struct RandomSearchConfig {
+  size_t trials = 96;
+};
+
+/// Uniform random sampling over the genome ranges.
+class RandomSearchOptimizer final : public ThresholdOptimizer {
+ public:
+  explicit RandomSearchOptimizer(RandomSearchConfig config = {})
+      : config_(config) {}
+
+  std::string Name() const override { return "Random"; }
+  OptimizeResult Optimize(const ThresholdGenome& seed_genome,
+                          const GenomeRanges& ranges, const FitnessFn& fitness,
+                          Rng& rng) override;
+
+ private:
+  RandomSearchConfig config_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,118 @@
+#include "dbc/period/periodicity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbc/fft/fft.h"
+
+namespace dbc {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+double Autocorrelation(const Series& s, size_t lag) {
+  const size_t n = s.size();
+  if (lag >= n || n < 2) return 0.0;
+  const double mean = s.Mean();
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = s[i] - mean;
+    den += d * d;
+  }
+  if (den <= 0.0) return 0.0;
+  for (size_t i = 0; i + lag < n; ++i) {
+    num += (s[i] - mean) * (s[i + lag] - mean);
+  }
+  // Unbiased-style scaling: without the n/(n-lag) factor a perfect period at
+  // a large lag could never reach 1.
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(n - lag);
+  return num / den * scale;
+}
+
+PeriodicityResult ClassifyPeriodicity(const Series& s,
+                                      const PeriodicityOptions& options) {
+  PeriodicityResult result;
+  const size_t n = s.size();
+  if (n < 2 * options.min_period) return result;
+
+  // Detrend (remove mean) and apply a Hann window to limit leakage.
+  const double mean = s.Mean();
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double w =
+        0.5 - 0.5 * std::cos(2.0 * kPi * static_cast<double>(i) /
+                             static_cast<double>(n - 1));
+    x[i] = (s[i] - mean) * w;
+  }
+
+  const std::vector<double> power = PowerSpectrum(x);
+  if (power.size() < 3) return result;
+
+  // Candidate = strongest bin whose implied period is in range. Skip the DC
+  // bin (k = 0).
+  double mean_power = 0.0;
+  for (size_t k = 1; k < power.size(); ++k) mean_power += power[k];
+  mean_power /= static_cast<double>(power.size() - 1);
+  if (mean_power <= 0.0) return result;
+
+  const size_t max_period = std::max(
+      options.min_period,
+      static_cast<size_t>(options.max_period_fraction * static_cast<double>(n)));
+
+  // Candidate bins: significant spectral peaks in descending power order.
+  // Aperiodic but smooth series (OU drift) also put enormous power into the
+  // lowest bins, so a single strongest-bin rule would flag everything; each
+  // candidate must additionally be validated by an autocorrelation peak at
+  // its lag (the RobustPeriod idea of cross-checking two domains).
+  std::vector<size_t> candidates;
+  for (size_t k = 1; k < power.size(); ++k) {
+    const size_t period = n / k;
+    if (period < options.min_period || period > max_period) continue;
+    if (power[k] >= options.power_threshold * mean_power) {
+      candidates.push_back(k);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](size_t a, size_t b) { return power[a] > power[b]; });
+  if (candidates.size() > 8) candidates.resize(8);
+
+  for (size_t k : candidates) {
+    // The periodogram quantizes periods to n/k; scan the full width of the
+    // bin, [2n/(2k+1), 2n/(2k-1)], so true periods between bin centres are
+    // not missed.
+    const size_t lo = std::max<size_t>(options.min_period, 2 * n / (2 * k + 1));
+    const size_t hi = std::min(max_period, k > 0 ? 2 * n / (2 * k - 1) : n - 1);
+    double best_acf = -1.0;
+    size_t best_period = n / k;
+    for (size_t lag = lo; lag <= hi && lag < n; ++lag) {
+      const double acf = Autocorrelation(s, lag);
+      if (acf > best_acf) {
+        best_acf = acf;
+        best_period = lag;
+      }
+    }
+    const double ratio = power[k] / mean_power;
+    // A genuine period shows an ACF *peak*: strong at the period and weaker
+    // at the half period (drifting aperiodic series decay monotonically in
+    // lag instead, so they pass the first test but fail this one).
+    const double acf_half = Autocorrelation(s, std::max<size_t>(1, best_period / 2));
+    const bool peaked = best_acf > acf_half + 0.1;
+    if (best_acf >= options.acf_threshold && peaked) {
+      result.periodic = true;
+      result.period = best_period;
+      result.acf_score = best_acf;
+      result.power_ratio = ratio;
+      return result;
+    }
+    // Remember the strongest rejected candidate for diagnostics.
+    if (ratio > result.power_ratio) {
+      result.power_ratio = ratio;
+      result.acf_score = best_acf;
+    }
+  }
+  return result;
+}
+
+}  // namespace dbc

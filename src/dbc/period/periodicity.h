@@ -1,0 +1,49 @@
+// Periodic-vs-irregular classification of KPI series (RobustPeriod-lite).
+//
+// The paper uses RobustPeriod (Wen et al. [34]) only to split datasets into
+// periodic and irregular subsets based on "Requests Per Second". We keep that
+// role with a classical two-stage detector: a Hann-windowed periodogram finds
+// candidate periods whose power is significant relative to the spectrum
+// (Fisher-g style), and the autocorrelation function validates each candidate
+// (a genuine period shows an ACF peak at its lag).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dbc/ts/series.h"
+
+namespace dbc {
+
+/// Classifier knobs.
+struct PeriodicityOptions {
+  /// Minimum period length (points) worth reporting.
+  size_t min_period = 8;
+  /// Largest period considered, as a fraction of the series length.
+  double max_period_fraction = 0.5;
+  /// Fisher-g style significance: candidate peak power must exceed this
+  /// multiple of the mean spectral power.
+  double power_threshold = 6.0;
+  /// ACF at the candidate lag must exceed this to validate.
+  double acf_threshold = 0.3;
+};
+
+/// Outcome of the periodicity analysis.
+struct PeriodicityResult {
+  bool periodic = false;
+  /// Detected period length in points (0 when none).
+  size_t period = 0;
+  /// ACF value at the detected lag.
+  double acf_score = 0.0;
+  /// Peak spectral power over mean power.
+  double power_ratio = 0.0;
+};
+
+/// Autocorrelation of s at `lag` (mean-removed, normalized by variance).
+double Autocorrelation(const Series& s, size_t lag);
+
+/// Runs the two-stage periodic/irregular classification.
+PeriodicityResult ClassifyPeriodicity(const Series& s,
+                                      const PeriodicityOptions& options = {});
+
+}  // namespace dbc

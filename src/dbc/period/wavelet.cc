@@ -1,0 +1,115 @@
+#include "dbc/period/wavelet.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dbc {
+
+namespace {
+
+/// Scaling (low-pass) filter taps per family; the wavelet filter is the
+/// quadrature mirror: g[k] = (-1)^k h[taps-1-k].
+const std::vector<double>& ScalingFilter(WaveletKind kind) {
+  static const std::vector<double> kHaar = {0.7071067811865476,
+                                            0.7071067811865476};
+  static const std::vector<double> kDb4 = {
+      0.48296291314469025, 0.836516303737469, 0.22414386804185735,
+      -0.12940952255092145};
+  return kind == WaveletKind::kHaar ? kHaar : kDb4;
+}
+
+}  // namespace
+
+WaveletLevel DwtStep(const std::vector<double>& x, WaveletKind kind) {
+  const size_t n = x.size();
+  assert(n % 2 == 0 && n >= 2);
+  const std::vector<double>& h = ScalingFilter(kind);
+  const size_t taps = h.size();
+
+  WaveletLevel out;
+  out.approximation.resize(n / 2);
+  out.detail.resize(n / 2);
+  for (size_t i = 0; i < n / 2; ++i) {
+    double a = 0.0, d = 0.0;
+    for (size_t k = 0; k < taps; ++k) {
+      const double v = x[(2 * i + k) % n];  // periodic extension
+      a += h[k] * v;
+      d += (k % 2 == 0 ? 1.0 : -1.0) * h[taps - 1 - k] * v;
+    }
+    out.approximation[i] = a;
+    out.detail[i] = d;
+  }
+  return out;
+}
+
+std::vector<double> IdwtStep(const WaveletLevel& level, WaveletKind kind) {
+  const size_t half = level.approximation.size();
+  assert(level.detail.size() == half);
+  const std::vector<double>& h = ScalingFilter(kind);
+  const size_t taps = h.size();
+  const size_t n = 2 * half;
+
+  std::vector<double> x(n, 0.0);
+  for (size_t i = 0; i < half; ++i) {
+    for (size_t k = 0; k < taps; ++k) {
+      const size_t pos = (2 * i + k) % n;
+      x[pos] += h[k] * level.approximation[i] +
+                (k % 2 == 0 ? 1.0 : -1.0) * h[taps - 1 - k] * level.detail[i];
+    }
+  }
+  return x;
+}
+
+std::vector<WaveletLevel> WaveletDecompose(const std::vector<double>& x,
+                                           WaveletKind kind,
+                                           size_t max_levels) {
+  std::vector<WaveletLevel> levels;
+  std::vector<double> current = x;
+  if (current.size() % 2 == 1) current.pop_back();
+  while (levels.size() < max_levels && current.size() >= 4) {
+    WaveletLevel level = DwtStep(current, kind);
+    current = level.approximation;
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+std::vector<double> DetailEnergyFractions(
+    const std::vector<WaveletLevel>& levels) {
+  std::vector<double> energy(levels.size(), 0.0);
+  double total = 0.0;
+  for (size_t j = 0; j < levels.size(); ++j) {
+    for (double d : levels[j].detail) energy[j] += d * d;
+    total += energy[j];
+  }
+  if (total > 0.0) {
+    for (double& e : energy) e /= total;
+  }
+  return energy;
+}
+
+Series WaveletDenoise(const Series& s, WaveletKind kind, size_t drop_levels) {
+  std::vector<double> x = s.values();
+  const size_t original = x.size();
+  if (x.size() % 2 == 1) x.pop_back();
+  if (x.size() < 4 || drop_levels == 0) return s;
+
+  // Peel off `drop_levels` levels, zero their details, reconstruct.
+  std::vector<WaveletLevel> peeled;
+  for (size_t j = 0; j < drop_levels && x.size() >= 4 && x.size() % 2 == 0;
+       ++j) {
+    WaveletLevel level = DwtStep(x, kind);
+    x = level.approximation;
+    level.detail.assign(level.detail.size(), 0.0);
+    peeled.push_back(std::move(level));
+  }
+  for (size_t j = peeled.size(); j-- > 0;) {
+    peeled[j].approximation = x;
+    x = IdwtStep(peeled[j], kind);
+  }
+  // Pad back to the original length by repeating the last value.
+  while (x.size() < original) x.push_back(x.back());
+  return Series(std::move(x));
+}
+
+}  // namespace dbc

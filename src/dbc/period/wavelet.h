@@ -1,0 +1,47 @@
+// Discrete wavelet transform substrate (Haar and Daubechies-4), following
+// RobustPeriod's use of a wavelet decomposition to isolate the frequency
+// band that carries a periodicity before testing it (Wen et al. [34]).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dbc/ts/series.h"
+
+namespace dbc {
+
+/// Wavelet family.
+enum class WaveletKind { kHaar, kDb4 };
+
+/// One DWT level: the smooth approximation and the detail coefficients.
+struct WaveletLevel {
+  std::vector<double> approximation;
+  std::vector<double> detail;
+};
+
+/// Single-level DWT with periodic boundary extension. The input length must
+/// be even (callers can drop the final sample).
+WaveletLevel DwtStep(const std::vector<double>& x, WaveletKind kind);
+
+/// Inverse of DwtStep.
+std::vector<double> IdwtStep(const WaveletLevel& level, WaveletKind kind);
+
+/// Multi-level decomposition: levels[0] is the finest detail. Stops when the
+/// approximation is shorter than 4 samples or `max_levels` is reached.
+std::vector<WaveletLevel> WaveletDecompose(const std::vector<double>& x,
+                                           WaveletKind kind,
+                                           size_t max_levels = 8);
+
+/// Energy (sum of squares) of each level's detail coefficients, normalized
+/// to fractions of the total detail energy. RobustPeriod uses the dominant
+/// level to decide which time scale may carry a period: level j covers
+/// periods of roughly 2^j .. 2^(j+1) samples.
+std::vector<double> DetailEnergyFractions(
+    const std::vector<WaveletLevel>& levels);
+
+/// Convenience: the wavelet-denoised series (zero out the finest
+/// `drop_levels` detail bands and reconstruct), used to make the periodicity
+/// test robust to point outliers.
+Series WaveletDenoise(const Series& s, WaveletKind kind, size_t drop_levels);
+
+}  // namespace dbc

@@ -1,0 +1,45 @@
+#include "dbc/ts/lag.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace dbc {
+
+Series ShiftEdgeFill(const Series& s, int lag) {
+  const size_t n = s.size();
+  if (n == 0 || lag == 0) return s;
+  std::vector<double> out(n);
+  if (lag > 0) {
+    const size_t k = std::min<size_t>(static_cast<size_t>(lag), n);
+    for (size_t i = 0; i < k; ++i) out[i] = s[0];
+    for (size_t i = k; i < n; ++i) out[i] = s[i - k];
+  } else {
+    const size_t k = std::min<size_t>(static_cast<size_t>(-lag), n);
+    for (size_t i = 0; i + k < n; ++i) out[i] = s[i + k];
+    for (size_t i = n - k; i < n; ++i) out[i] = s[n - 1];
+  }
+  return Series(std::move(out));
+}
+
+AlignedPair AlignWithLag(const Series& x, const Series& y, int lag) {
+  assert(x.size() == y.size());
+  const size_t n = x.size();
+  const size_t s = std::min<size_t>(static_cast<size_t>(std::abs(lag)), n);
+  AlignedPair out;
+  out.x.reserve(n - s);
+  out.y.reserve(n - s);
+  if (lag >= 0) {
+    for (size_t i = 0; i + s < n; ++i) {
+      out.x.push_back(x[i + s]);
+      out.y.push_back(y[i]);
+    }
+  } else {
+    for (size_t i = 0; i + s < n; ++i) {
+      out.x.push_back(x[i]);
+      out.y.push_back(y[i + s]);
+    }
+  }
+  return out;
+}
+
+}  // namespace dbc

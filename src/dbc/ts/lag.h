@@ -1,0 +1,21 @@
+// Lag/shift utilities for modelling point-in-time collection delays (§II-D).
+#pragma once
+
+#include "dbc/ts/series.h"
+
+namespace dbc {
+
+/// Shifts the series right by `lag` points (lag may be negative for a left
+/// shift). Vacated positions are filled by replicating the edge value, which
+/// mimics a collector that repeats its last reading while delayed.
+Series ShiftEdgeFill(const Series& s, int lag);
+
+/// Overlapping parts of x and y when y lags x by `lag` points (paper Eq. 2):
+/// returns {x[lag..n), y[0..n-lag)} for lag >= 0 and the mirror for lag < 0.
+struct AlignedPair {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+AlignedPair AlignWithLag(const Series& x, const Series& y, int lag);
+
+}  // namespace dbc

@@ -1,0 +1,48 @@
+#include "dbc/ts/normalize.h"
+
+#include <cmath>
+
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+void MinMaxNormalizeInPlace(std::vector<double>& v) {
+  if (v.empty()) return;
+  const double lo = Min(v);
+  const double hi = Max(v);
+  const double range = hi - lo;
+  if (range <= 0.0) {
+    for (double& x : v) x = 0.0;
+    return;
+  }
+  for (double& x : v) x = (x - lo) / range;
+}
+
+Series MinMaxNormalize(const Series& s) {
+  std::vector<double> v = s.values();
+  MinMaxNormalizeInPlace(v);
+  return Series(std::move(v));
+}
+
+Series ZScoreNormalize(const Series& s) {
+  const double mean = s.Mean();
+  const double sd = s.Stddev();
+  std::vector<double> v = s.values();
+  if (sd <= 0.0) {
+    for (double& x : v) x = 0.0;
+  } else {
+    for (double& x : v) x = (x - mean) / sd;
+  }
+  return Series(std::move(v));
+}
+
+Series RobustNormalize(const Series& s) {
+  std::vector<double> v = s.values();
+  const double med = Median(v);
+  const double iqr = Quantile(v, 0.75) - Quantile(v, 0.25);
+  const double denom = iqr > 0.0 ? iqr : 1.0;
+  for (double& x : v) x = (x - med) / denom;
+  return Series(std::move(v));
+}
+
+}  // namespace dbc

@@ -1,0 +1,24 @@
+// Normalization transforms.
+//
+// DBCatcher compares *trends*, not magnitudes, so every window is min-max
+// normalized before correlation (paper Eq. 1).
+#pragma once
+
+#include "dbc/ts/series.h"
+
+namespace dbc {
+
+/// Min-max normalization to [0, 1] (Eq. 1). A constant series maps to all
+/// zeros (its trend carries no information).
+Series MinMaxNormalize(const Series& s);
+
+/// Z-score normalization; a constant series maps to all zeros.
+Series ZScoreNormalize(const Series& s);
+
+/// Robust normalization: (x - median) / IQR, IQR-safe for constants.
+Series RobustNormalize(const Series& s);
+
+/// In-place min-max normalization of a raw vector (Eq. 1).
+void MinMaxNormalizeInPlace(std::vector<double>& v);
+
+}  // namespace dbc

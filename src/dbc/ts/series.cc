@@ -1,0 +1,79 @@
+#include "dbc/ts/series.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dbc/common/mathutil.h"
+
+namespace dbc {
+
+Series Series::Slice(size_t begin, size_t end) const {
+  begin = std::min(begin, values_.size());
+  end = std::min(end, values_.size());
+  if (begin >= end) return Series();
+  return Series(std::vector<double>(values_.begin() + static_cast<ptrdiff_t>(begin),
+                                    values_.begin() + static_cast<ptrdiff_t>(end)));
+}
+
+Series Series::Tail(size_t n) const {
+  if (n >= size()) return *this;
+  return Slice(size() - n, size());
+}
+
+double Series::Mean() const { return dbc::Mean(values_); }
+double Series::Stddev() const { return dbc::Stddev(values_); }
+double Series::Min() const { return dbc::Min(values_); }
+double Series::Max() const { return dbc::Max(values_); }
+double Series::L2Norm() const { return dbc::L2Norm(values_); }
+
+Series Series::Diff() const {
+  if (values_.size() < 2) return Series();
+  std::vector<double> out(values_.size() - 1);
+  for (size_t i = 0; i + 1 < values_.size(); ++i) {
+    out[i] = values_[i + 1] - values_[i];
+  }
+  return Series(std::move(out));
+}
+
+Series Series::operator+(const Series& other) const {
+  assert(size() == other.size());
+  std::vector<double> out(values_);
+  for (size_t i = 0; i < out.size(); ++i) out[i] += other.values_[i];
+  return Series(std::move(out));
+}
+
+Series Series::operator*(double factor) const {
+  std::vector<double> out(values_);
+  for (double& v : out) v *= factor;
+  return Series(std::move(out));
+}
+
+void MultiSeries::Add(std::string name, Series series) {
+  assert(rows_.empty() || series.size() == rows_.front().size());
+  names_.push_back(std::move(name));
+  rows_.push_back(std::move(series));
+}
+
+int MultiSeries::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> MultiSeries::Column(size_t t) const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) out.push_back(row[t]);
+  return out;
+}
+
+MultiSeries MultiSeries::Slice(size_t begin, size_t end) const {
+  MultiSeries out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    out.Add(names_[i], rows_[i].Slice(begin, end));
+  }
+  return out;
+}
+
+}  // namespace dbc

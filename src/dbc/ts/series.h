@@ -1,0 +1,92 @@
+// Core time-series containers.
+//
+// A Series is a uniformly sampled sequence of KPI values (the paper collects
+// one point per 5 seconds). A MultiSeries bundles several Series of equal
+// length, e.g. all 14 KPIs of one database, or the same KPI across the
+// databases of a unit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dbc {
+
+/// Uniformly sampled univariate time series.
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::vector<double> values) : values_(std::move(values)) {}
+  Series(std::initializer_list<double> values) : values_(values) {}
+  Series(size_t n, double fill) : values_(n, fill) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  void PushBack(double v) { values_.push_back(v); }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  /// Copies the half-open range [begin, end). Clamps to bounds.
+  Series Slice(size_t begin, size_t end) const;
+
+  /// Last `n` points (or the whole series when shorter).
+  Series Tail(size_t n) const;
+
+  double Mean() const;
+  double Stddev() const;
+  double Min() const;
+  double Max() const;
+  double L2Norm() const;
+
+  /// First-order difference: out[i] = x[i+1] - x[i] (size n-1).
+  Series Diff() const;
+
+  /// Element-wise sum; requires equal sizes.
+  Series operator+(const Series& other) const;
+  /// Scales every point by `factor`.
+  Series operator*(double factor) const;
+
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// A named bundle of equally long series (the rows of a KPI matrix).
+class MultiSeries {
+ public:
+  MultiSeries() = default;
+
+  /// Appends a row. All rows must have equal length (checked in debug).
+  void Add(std::string name, Series series);
+
+  size_t num_series() const { return rows_.size(); }
+  /// Length of each row (0 when empty).
+  size_t length() const { return rows_.empty() ? 0 : rows_.front().size(); }
+
+  const Series& row(size_t i) const { return rows_[i]; }
+  Series& row(size_t i) { return rows_[i]; }
+  const std::string& name(size_t i) const { return names_[i]; }
+
+  /// Index of the row named `name`, or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Column vector at time t: one value per row.
+  std::vector<double> Column(size_t t) const;
+
+  /// Slices every row to [begin, end).
+  MultiSeries Slice(size_t begin, size_t end) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Series> rows_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,81 @@
+#include "dbc/ts/stats.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dbc {
+
+Series RollingMean(const Series& s, size_t w) {
+  assert(w > 0);
+  std::vector<double> out(s.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    acc += s[i];
+    if (i >= w) acc -= s[i - w];
+    const size_t len = std::min(i + 1, w);
+    out[i] = acc / static_cast<double>(len);
+  }
+  return Series(std::move(out));
+}
+
+Series RollingStddev(const Series& s, size_t w) {
+  assert(w > 0);
+  std::vector<double> out(s.size());
+  double sum = 0.0, sumsq = 0.0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    sum += s[i];
+    sumsq += s[i] * s[i];
+    if (i >= w) {
+      sum -= s[i - w];
+      sumsq -= s[i - w] * s[i - w];
+    }
+    const double len = static_cast<double>(std::min(i + 1, w));
+    const double mean = sum / len;
+    const double var = std::max(0.0, sumsq / len - mean * mean);
+    out[i] = std::sqrt(var);
+  }
+  return Series(std::move(out));
+}
+
+Series Ema(const Series& s, double alpha) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+  std::vector<double> out(s.size());
+  double prev = s.empty() ? 0.0 : s[0];
+  for (size_t i = 0; i < s.size(); ++i) {
+    prev = alpha * s[i] + (1.0 - alpha) * prev;
+    out[i] = prev;
+  }
+  return Series(std::move(out));
+}
+
+void OnlineStats::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Series DownsampleMean(const Series& s, size_t factor) {
+  assert(factor > 0);
+  std::vector<double> out;
+  out.reserve((s.size() + factor - 1) / factor);
+  for (size_t i = 0; i < s.size(); i += factor) {
+    double acc = 0.0;
+    size_t len = 0;
+    for (size_t j = i; j < std::min(i + factor, s.size()); ++j) {
+      acc += s[j];
+      ++len;
+    }
+    out.push_back(acc / static_cast<double>(len));
+  }
+  return Series(std::move(out));
+}
+
+}  // namespace dbc

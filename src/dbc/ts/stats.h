@@ -1,0 +1,38 @@
+// Rolling statistics over series (used by simulators and baselines).
+#pragma once
+
+#include "dbc/ts/series.h"
+
+namespace dbc {
+
+/// Centered-at-the-right rolling mean with window w (out[i] averages
+/// x[max(0,i-w+1) .. i]).
+Series RollingMean(const Series& s, size_t w);
+
+/// Rolling standard deviation with the same alignment as RollingMean.
+Series RollingStddev(const Series& s, size_t w);
+
+/// Exponential moving average with smoothing factor alpha in (0, 1].
+Series Ema(const Series& s, double alpha);
+
+/// Online mean/variance accumulator (Welford).
+class OnlineStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Downsamples by averaging consecutive groups of `factor` points; a partial
+/// trailing group is averaged over its actual length.
+Series DownsampleMean(const Series& s, size_t factor);
+
+}  // namespace dbc

@@ -1,0 +1,13 @@
+#include "dbc/ts/window.h"
+
+namespace dbc {
+
+std::vector<double> RingWindow::Last(size_t n) const {
+  assert(n <= size_);
+  std::vector<double> out(n);
+  const size_t start = size_ - n;
+  for (size_t i = 0; i < n; ++i) out[i] = At(start + i);
+  return out;
+}
+
+}  // namespace dbc

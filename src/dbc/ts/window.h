@@ -1,0 +1,65 @@
+// Bounded ring buffer used by the streaming data-processing module.
+//
+// The data processing module of DBCatcher maintains one queue per (KPI,
+// database); the correlation module reads the most recent W points out of it
+// without copying the whole history.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace dbc {
+
+/// Fixed-capacity ring buffer of doubles. Pushing past capacity overwrites
+/// the oldest value.
+class RingWindow {
+ public:
+  explicit RingWindow(size_t capacity) : buf_(capacity), capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return size_; }
+  bool full() const { return size_ == capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Appends a value, evicting the oldest when full.
+  void Push(double v) {
+    buf_[head_] = v;
+    head_ = (head_ + 1) % capacity_;
+    if (size_ < capacity_) ++size_;
+  }
+
+  /// i-th value from the oldest (0 = oldest). Requires i < size().
+  double At(size_t i) const {
+    assert(i < size_);
+    const size_t oldest = (head_ + capacity_ - size_) % capacity_;
+    return buf_[(oldest + i) % capacity_];
+  }
+
+  /// Most recent value. Requires non-empty.
+  double Back() const {
+    assert(size_ > 0);
+    return buf_[(head_ + capacity_ - 1) % capacity_];
+  }
+
+  /// Copies the last `n` values in chronological order (n <= size()).
+  std::vector<double> Last(size_t n) const;
+
+  /// Copies everything in chronological order.
+  std::vector<double> ToVector() const { return Last(size_); }
+
+  void Clear() {
+    size_ = 0;
+    head_ = 0;
+  }
+
+ private:
+  std::vector<double> buf_;
+  size_t capacity_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dbc

@@ -1,0 +1,376 @@
+// Cloud-database simulator tests: profiles, load balancing, KPI model,
+// anomaly scheduling, and the UKPIC property itself.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/correlation/kcd.h"
+
+namespace dbc {
+namespace {
+
+TEST(KpiTest, FourteenKpisWithNames) {
+  EXPECT_EQ(AllKpis().size(), kNumKpis);
+  EXPECT_EQ(KpiName(Kpi::kCpuUtilization), "CPU Utilization");
+  EXPECT_EQ(KpiName(Kpi::kRealCapacity), "Real Capacity");
+}
+
+TEST(KpiTest, CorrelationTypesMatchTableII) {
+  EXPECT_EQ(KpiCorrelation(Kpi::kComInsert), KpiCorrelationType::kReplicaOnly);
+  EXPECT_EQ(KpiCorrelation(Kpi::kTransactionsPerSecond),
+            KpiCorrelationType::kReplicaOnly);
+  EXPECT_EQ(KpiCorrelation(Kpi::kCpuUtilization),
+            KpiCorrelationType::kPrimaryReplica);
+  EXPECT_EQ(KpiCorrelation(Kpi::kRequestsPerSecond),
+            KpiCorrelationType::kPrimaryReplica);
+}
+
+TEST(OuProcessTest, MeanReverts) {
+  OuProcess ou(10.0, 0.2, 0.1, Rng(3));
+  double last = 0.0;
+  for (int i = 0; i < 500; ++i) last = ou.Step();
+  EXPECT_NEAR(last, 10.0, 2.0);
+}
+
+TEST(ProfileTest, PeriodicRatesPositiveAndCyclic) {
+  PeriodicProfileParams params;
+  params.period = 100;
+  auto profile = MakePeriodicProfile(params, Rng(5));
+  double lo = 1e18, hi = 0.0;
+  for (size_t t = 0; t < 400; ++t) {
+    const double r = profile->RateAt(t);
+    EXPECT_GE(r, 0.0);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_GT(hi, 1.5 * lo);  // a real cycle, not a flat line
+}
+
+TEST(ProfileTest, MixesSumBelowOne) {
+  IrregularProfileParams params;
+  auto profile = MakeIrregularProfile(params, Rng(7));
+  for (size_t t = 0; t < 200; ++t) {
+    profile->RateAt(t);
+    const TransactionMix mix = profile->MixAt(t);
+    EXPECT_GT(mix.read, 0.0);
+    EXPECT_LE(mix.read + mix.insert + mix.update + mix.remove, 1.001);
+  }
+}
+
+TEST(ProfileTest, SysbenchIICyclesThreads) {
+  SysbenchParams params;
+  params.periodic = true;
+  auto profile = MakeSysbenchProfile(params, Rng(9));
+  // Rates over a long horizon must revisit similar levels (cycling), i.e.
+  // the rate range has distinct plateaus rather than a monotone drift.
+  std::vector<double> rates;
+  for (size_t t = 0; t < 400; ++t) rates.push_back(profile->RateAt(t));
+  const double hi = *std::max_element(rates.begin(), rates.end());
+  const double lo = *std::min_element(rates.begin(), rates.end());
+  EXPECT_GT(hi, 2.0 * lo);  // 4 vs 32 threads differ by much more than noise
+  EXPECT_EQ(profile->Name(), "sysbench-II");
+}
+
+TEST(ProfileTest, TableIVSampling) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const SysbenchParams s = SampleSysbenchParams(false, rng);
+    EXPECT_GE(s.tables, 5);
+    EXPECT_LE(s.tables, 20);
+    EXPECT_GE(s.threads, 4);
+    EXPECT_LE(s.threads, 64);
+    const TpccParams t = SampleTpccParams(false, rng);
+    EXPECT_GE(t.warehouses, 5);
+    EXPECT_LE(t.warehouses, 20);
+    EXPECT_GE(t.threads, 4);
+    EXPECT_LE(t.threads, 24);
+  }
+}
+
+TEST(LoadBalancerTest, SharesSumToUnitRate) {
+  LoadBalancerConfig config;
+  config.num_databases = 5;
+  LoadBalancer lb(config, Rng(13));
+  for (int t = 0; t < 100; ++t) {
+    const auto rates = lb.Split(1000.0);
+    ASSERT_EQ(rates.size(), 5u);
+    double total = 0.0;
+    for (double r : rates) {
+      EXPECT_GT(r, 0.0);
+      total += r;
+    }
+    EXPECT_NEAR(total, 1000.0, 1e-9);
+  }
+}
+
+TEST(LoadBalancerTest, HealthySharesStayNearEven) {
+  LoadBalancerConfig config;
+  config.num_databases = 4;
+  LoadBalancer lb(config, Rng(17));
+  for (int t = 0; t < 200; ++t) {
+    for (double r : lb.Split(1000.0)) {
+      EXPECT_NEAR(r, 250.0, 100.0);
+    }
+  }
+}
+
+TEST(LoadBalancerTest, SkewConcentratesTraffic) {
+  LoadBalancerConfig config;
+  config.num_databases = 5;
+  LoadBalancer lb(config, Rng(19));
+  lb.SetSkew(2, 0.8);
+  const auto rates = lb.Split(1000.0);
+  EXPECT_GT(rates[2], 700.0);
+  lb.ClearSkew();
+  EXPECT_FALSE(lb.skewed());
+}
+
+TEST(InstanceModelTest, KpisNonNegativeAndCoupled) {
+  InstanceModelParams params;
+  InstanceModel model(DbRole::kReplica, params, Rng(23));
+  TransactionMix mix;
+  const auto kpi = model.Tick(1000.0, mix, KpiEffect());
+  for (double v : kpi) EXPECT_GE(v, 0.0);
+  // Couplings: total requests = rate * 5s; rows read driven by reads.
+  EXPECT_NEAR(kpi[KpiIndex(Kpi::kTotalRequests)],
+              kpi[KpiIndex(Kpi::kRequestsPerSecond)] * 5.0,
+              kpi[KpiIndex(Kpi::kTotalRequests)] * 0.1);
+  EXPECT_GT(kpi[KpiIndex(Kpi::kInnodbRowsRead)],
+            kpi[KpiIndex(Kpi::kInnodbRowsInserted)]);
+}
+
+TEST(InstanceModelTest, CpuMonotoneInLoadAndBounded) {
+  InstanceModelParams params;
+  InstanceModel model(DbRole::kReplica, params, Rng(29));
+  TransactionMix mix;
+  double prev = -1.0;
+  for (double rate : {100.0, 1000.0, 5000.0, 50000.0}) {
+    const auto kpi = model.Tick(rate, mix, KpiEffect());
+    const double cpu = kpi[KpiIndex(Kpi::kCpuUtilization)];
+    EXPECT_GT(cpu, prev * 0.8);  // allow noise, but trend up
+    EXPECT_LE(cpu, 100.0);
+    prev = cpu;
+  }
+}
+
+TEST(InstanceModelTest, FragmentationGrowsCapacityFaster) {
+  InstanceModelParams params;
+  InstanceModel healthy(DbRole::kReplica, params, Rng(31));
+  InstanceModel fragmented(DbRole::kReplica, params, Rng(31));
+  TransactionMix mix;
+  mix.insert = 0.1;
+  mix.remove = 0.1;  // churn: inserts == deletes
+  KpiEffect frag;
+  frag.reclaim = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    healthy.Tick(2000.0, mix, KpiEffect());
+    fragmented.Tick(2000.0, mix, frag);
+  }
+  EXPECT_GT(fragmented.capacity_bytes(), healthy.capacity_bytes() * 1.001);
+}
+
+TEST(KpiEffectTest, CombineComposes) {
+  KpiEffect a, b;
+  a.mult[0] = 2.0;
+  b.mult[0] = 3.0;
+  b.add[1] = 5.0;
+  a.reclaim = 0.5;
+  b.cpu_cost_mult = 2.0;
+  b.blend_w[2] = 0.7;
+  b.blend_factor[2] = 1.5;
+  a.Combine(b);
+  EXPECT_DOUBLE_EQ(a.mult[0], 6.0);
+  EXPECT_DOUBLE_EQ(a.add[1], 5.0);
+  EXPECT_DOUBLE_EQ(a.reclaim, 0.5);
+  EXPECT_DOUBLE_EQ(a.cpu_cost_mult, 2.0);
+  EXPECT_DOUBLE_EQ(a.blend_w[2], 0.7);
+  EXPECT_DOUBLE_EQ(a.blend_factor[2], 1.5);
+}
+
+TEST(AnomalyScheduleTest, HitsTargetRatioApproximately) {
+  AnomalyScheduleConfig config;
+  config.target_ratio = 0.04;
+  Rng rng(37);
+  const auto events = ScheduleAnomalies(config, 5, 4000, rng);
+  size_t points = 0;
+  for (const auto& ev : events) points += ev.duration;
+  const double ratio = static_cast<double>(points) / (5.0 * 4000.0);
+  EXPECT_GT(ratio, 0.02);
+  EXPECT_LT(ratio, 0.08);
+}
+
+TEST(AnomalyScheduleTest, NoSameDbOverlap) {
+  AnomalyScheduleConfig config;
+  config.target_ratio = 0.08;
+  config.min_gap = 10;
+  Rng rng(41);
+  const auto events = ScheduleAnomalies(config, 3, 3000, rng);
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      if (events[i].db != events[j].db) continue;
+      const bool disjoint = events[i].end() + config.min_gap <= events[j].start ||
+                            events[j].end() + config.min_gap <= events[i].start;
+      EXPECT_TRUE(disjoint) << "events " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(AnomalyInjectorTest, LabelsMatchSchedule) {
+  std::vector<AnomalyEvent> events = {
+      {AnomalyKind::kLevelShift, /*db=*/1, /*start=*/50, /*duration=*/20, 0.8}};
+  AnomalyInjector injector(events, 3, Rng(43));
+  EXPECT_FALSE(injector.LabelAt(1, 49));
+  EXPECT_TRUE(injector.LabelAt(1, 50));
+  EXPECT_TRUE(injector.LabelAt(1, 69));
+  EXPECT_FALSE(injector.LabelAt(1, 70));
+  EXPECT_FALSE(injector.LabelAt(0, 55));
+}
+
+TEST(AnomalyInjectorTest, SkewReported) {
+  std::vector<AnomalyEvent> events = {
+      {AnomalyKind::kLoadBalanceSkew, 2, 10, 30, 0.5}};
+  AnomalyInjector injector(events, 5, Rng(47));
+  size_t target = 99;
+  double fraction = 0.0;
+  EXPECT_TRUE(injector.SkewAt(15, &target, &fraction));
+  EXPECT_EQ(target, 2u);
+  EXPECT_GT(fraction, 0.3);
+  EXPECT_FALSE(injector.SkewAt(45, &target, &fraction));
+}
+
+TEST(FluctuationProcessTest, ShortAndUnlabeled) {
+  FluctuationConfig config;
+  config.arrival_rate = 0.5;  // frequent for the test
+  FluctuationProcess process(config, Rng(53));
+  int active_ticks = 0;
+  for (int t = 0; t < 500; ++t) {
+    const KpiEffect e = process.Step();
+    bool active = false;
+    for (size_t i = 0; i < kNumKpis; ++i) {
+      if (e.mult[i] != 1.0) active = true;
+      // Fluctuations stay small (at most +/- max_relative).
+      EXPECT_GE(e.mult[i], 1.0 - config.max_relative - 1e-9);
+      EXPECT_LE(e.mult[i], 1.0 + config.max_relative + 1e-9);
+    }
+    active_ticks += active;
+  }
+  EXPECT_GT(active_ticks, 50);
+  EXPECT_LT(active_ticks, 500);
+}
+
+TEST(SimulateUnitTest, ShapesAndLabels) {
+  UnitSimConfig config;
+  config.ticks = 600;
+  config.num_databases = 5;
+  PeriodicProfileParams pp;
+  auto profile = MakePeriodicProfile(pp, Rng(59));
+  const UnitData unit = SimulateUnit(config, *profile, true, Rng(61));
+
+  EXPECT_EQ(unit.num_dbs(), 5u);
+  EXPECT_EQ(unit.length(), 600u);
+  EXPECT_EQ(unit.roles[0], DbRole::kPrimary);
+  EXPECT_EQ(unit.roles[1], DbRole::kReplica);
+  EXPECT_TRUE(unit.periodic);
+  for (size_t db = 0; db < 5; ++db) {
+    EXPECT_EQ(unit.kpis[db].num_series(), kNumKpis);
+    EXPECT_EQ(unit.labels[db].size(), 600u);
+  }
+  EXPECT_GT(unit.AbnormalPoints(), 0u);
+}
+
+TEST(SimulateUnitTest, NoAnomaliesWhenDisabled) {
+  UnitSimConfig config;
+  config.ticks = 300;
+  config.inject_anomalies = false;
+  IrregularProfileParams ip;
+  auto profile = MakeIrregularProfile(ip, Rng(67));
+  const UnitData unit = SimulateUnit(config, *profile, false, Rng(71));
+  EXPECT_EQ(unit.AbnormalPoints(), 0u);
+  EXPECT_TRUE(unit.events.empty());
+}
+
+// The central property the whole paper rests on: healthy same-KPI windows of
+// different databases in a unit correlate strongly (UKPIC, §II-B).
+TEST(SimulateUnitTest, UkpicHoldsOnHealthyWindows) {
+  UnitSimConfig config;
+  config.ticks = 400;
+  config.inject_anomalies = false;
+  PeriodicProfileParams pp;
+  auto profile = MakePeriodicProfile(pp, Rng(73));
+  const UnitData unit = SimulateUnit(config, *profile, true, Rng(79));
+
+  KcdOptions kcd;
+  kcd.max_delay_fraction = 0.25;
+  int low = 0, total = 0;
+  for (size_t t0 = 40; t0 + 20 <= 400; t0 += 20) {
+    for (size_t a = 1; a < 5; ++a) {
+      for (size_t b = a + 1; b < 5; ++b) {
+        const double s =
+            KcdScore(unit.kpi(a, Kpi::kRequestsPerSecond).Slice(t0, t0 + 20),
+                     unit.kpi(b, Kpi::kRequestsPerSecond).Slice(t0, t0 + 20),
+                     kcd);
+        ++total;
+        if (s < 0.8) ++low;
+      }
+    }
+  }
+  // At most a few percent of healthy pairs may dip (fluctuations).
+  EXPECT_LT(static_cast<double>(low) / total, 0.05);
+}
+
+TEST(SimulateUnitTest, AnomalyBreaksUkpic) {
+  UnitSimConfig config;
+  config.ticks = 400;
+  config.anomalies.kinds = {AnomalyKind::kLevelShift};
+  config.anomalies.target_ratio = 0.15;
+  IrregularProfileParams ip;
+  auto profile = MakeIrregularProfile(ip, Rng(83));
+  const UnitData unit = SimulateUnit(config, *profile, false, Rng(89));
+  ASSERT_FALSE(unit.events.empty());
+
+  KcdOptions kcd;
+  kcd.max_delay_fraction = 0.25;
+  // During a level shift, the affected db decorrelates from every peer on
+  // Requests Per Second in at least one in-event window.
+  const AnomalyEvent& ev = unit.events.front();
+  ASSERT_GE(ev.duration, 20u);
+  double worst_best_peer = 1.0;
+  for (size_t t0 = ev.start; t0 + 20 <= ev.end(); t0 += 20) {
+    double best = -1.0;
+    for (size_t peer = 0; peer < 5; ++peer) {
+      if (peer == ev.db) continue;
+      best = std::max(
+          best,
+          KcdScore(unit.kpi(ev.db, Kpi::kRequestsPerSecond).Slice(t0, t0 + 20),
+                   unit.kpi(peer, Kpi::kRequestsPerSecond).Slice(t0, t0 + 20),
+                   kcd));
+    }
+    worst_best_peer = std::min(worst_best_peer, best);
+  }
+  EXPECT_LT(worst_best_peer, 0.8);
+}
+
+TEST(UnitDataTest, SliceRebasesEventsAndLabels) {
+  UnitSimConfig config;
+  config.ticks = 300;
+  config.anomalies.target_ratio = 0.1;
+  PeriodicProfileParams pp;
+  auto profile = MakePeriodicProfile(pp, Rng(97));
+  const UnitData unit = SimulateUnit(config, *profile, true, Rng(101));
+  const UnitData sliced = unit.Slice(100, 250);
+  EXPECT_EQ(sliced.length(), 150u);
+  for (const AnomalyEvent& ev : sliced.events) {
+    EXPECT_LT(ev.start, 150u);
+    EXPECT_LE(ev.end(), 150u);
+  }
+  // Labels match the original at the offset.
+  for (size_t db = 0; db < unit.num_dbs(); ++db) {
+    for (size_t t = 0; t < 150; ++t) {
+      EXPECT_EQ(sliced.labels[db][t], unit.labels[db][t + 100]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbc

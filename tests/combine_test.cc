@@ -1,0 +1,104 @@
+// Tests of the baseline plumbing: concatenated univariate scoring and the
+// k-of-M window rule of §IV-B.
+#include "dbc/detectors/combine.h"
+
+#include <gtest/gtest.h>
+
+#include "dbc/cloudsim/unit_sim.h"
+
+namespace dbc {
+namespace {
+
+UnitData TinyUnit(size_t dbs, size_t ticks) {
+  UnitData unit;
+  for (size_t db = 0; db < dbs; ++db) {
+    unit.roles.push_back(db == 0 ? DbRole::kPrimary : DbRole::kReplica);
+    MultiSeries ms;
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      std::vector<double> v(ticks);
+      for (size_t t = 0; t < ticks; ++t) {
+        v[t] = static_cast<double>(db * 1000 + k * 10) +
+               static_cast<double>(t % 7);
+      }
+      ms.Add(KpiName(static_cast<Kpi>(k)), Series(std::move(v)));
+    }
+    unit.kpis.push_back(std::move(ms));
+    unit.labels.emplace_back(ticks, 0);
+  }
+  return unit;
+}
+
+TEST(ScoreUnivariateTest, ShapeAndSplitBack) {
+  const UnitData unit = TinyUnit(3, 50);
+  // Scorer that returns the concatenated index as the score: verifies the
+  // db-major concatenation order and the split-back.
+  const UnitScores scores = ScoreUnivariate(
+      unit, 10, [](const std::vector<double>& x, size_t) {
+        std::vector<double> s(x.size());
+        for (size_t i = 0; i < x.size(); ++i) s[i] = static_cast<double>(i);
+        return s;
+      });
+  ASSERT_EQ(scores.size(), kNumKpis);
+  ASSERT_EQ(scores[0].size(), 3u);
+  ASSERT_EQ(scores[0][0].size(), 50u);
+  EXPECT_DOUBLE_EQ(scores[0][0][0], 0.0);
+  EXPECT_DOUBLE_EQ(scores[0][1][0], 50.0);   // second db starts at offset 50
+  EXPECT_DOUBLE_EQ(scores[0][2][49], 149.0);
+}
+
+TEST(KofMVerdictsTest, RequiresKKpis) {
+  // 2 KPIs, 1 db, 20 ticks; KPI 0 fires in window 0, both KPIs fire in
+  // window 1.
+  UnitScores scores(2, std::vector<std::vector<double>>(
+                           1, std::vector<double>(20, 0.0)));
+  scores[0][0][3] = 1.0;   // window 0
+  scores[0][0][15] = 1.0;  // window 1
+  scores[1][0][17] = 1.0;  // window 1
+  const UnitVerdicts v1 = KofMVerdicts(scores, 10, 0.5, 1);
+  EXPECT_TRUE(v1.per_db[0][0].abnormal);
+  EXPECT_TRUE(v1.per_db[0][1].abnormal);
+  const UnitVerdicts v2 = KofMVerdicts(scores, 10, 0.5, 2);
+  EXPECT_FALSE(v2.per_db[0][0].abnormal);
+  EXPECT_TRUE(v2.per_db[0][1].abnormal);
+}
+
+TEST(KofMVerdictsTest, ThresholdIsStrict) {
+  UnitScores scores(1, std::vector<std::vector<double>>(
+                           1, std::vector<double>(10, 0.5)));
+  EXPECT_FALSE(KofMVerdicts(scores, 10, 0.5, 1).per_db[0][0].abnormal);
+  EXPECT_TRUE(KofMVerdicts(scores, 10, 0.49, 1).per_db[0][0].abnormal);
+}
+
+TEST(KofMVerdictsTest, ShortTailMergesIntoLastWindow) {
+  UnitScores scores(1, std::vector<std::vector<double>>(
+                           1, std::vector<double>(24, 0.0)));
+  const UnitVerdicts v = KofMVerdicts(scores, 10, 0.5, 1);
+  ASSERT_EQ(v.per_db[0].size(), 2u);
+  EXPECT_EQ(v.per_db[0][1].end, 24u);  // 4-tick tail (< half) merged
+
+  // A tail of at least half a window stays its own verdict.
+  UnitScores scores2(1, std::vector<std::vector<double>>(
+                            1, std::vector<double>(25, 0.0)));
+  const UnitVerdicts v2 = KofMVerdicts(scores2, 10, 0.5, 1);
+  ASSERT_EQ(v2.per_db[0].size(), 3u);
+  EXPECT_EQ(v2.per_db[0][2].end, 25u);
+}
+
+TEST(PointScoreVerdictsTest, AnyPointRule) {
+  std::vector<std::vector<double>> scores(2, std::vector<double>(20, 0.0));
+  scores[1][12] = 3.0;
+  const UnitVerdicts v = PointScoreVerdicts(scores, 10, 1.0);
+  EXPECT_FALSE(v.per_db[0][0].abnormal);
+  EXPECT_FALSE(v.per_db[0][1].abnormal);
+  EXPECT_FALSE(v.per_db[1][0].abnormal);
+  EXPECT_TRUE(v.per_db[1][1].abnormal);
+}
+
+TEST(FlattenScoresTest, CountsEveryValue) {
+  UnitScores scores(2, std::vector<std::vector<double>>(
+                           3, std::vector<double>(7, 1.0)));
+  EXPECT_EQ(FlattenScores(scores).size(), 2u * 3u * 7u);
+}
+
+}  // namespace
+}  // namespace dbc

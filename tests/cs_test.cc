@@ -1,0 +1,183 @@
+// Compressed-sensing substrate tests: least squares, OMP recovery, and the
+// outlier-resistant sampler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbc/cs/lsq.h"
+#include "dbc/cs/omp.h"
+#include "dbc/cs/sampler.h"
+#include "dbc/fft/dct.h"
+
+namespace dbc {
+namespace {
+
+TEST(SolveLinearSystemTest, TwoByTwo) {
+  // 2x + y = 5 ; x - y = 1  => x = 2, y = 1.
+  const auto x = SolveLinearSystem({2.0, 1.0, 1.0, -1.0}, {5.0, 1.0}, 2);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, SingularReturnsEmpty) {
+  EXPECT_TRUE(SolveLinearSystem({1.0, 2.0, 2.0, 4.0}, {1.0, 2.0}, 2).empty());
+}
+
+TEST(SolveLinearSystemTest, NeedsPivoting) {
+  // First pivot is zero; without partial pivoting this would divide by 0.
+  const auto x = SolveLinearSystem({0.0, 1.0, 1.0, 0.0}, {3.0, 7.0}, 2);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, ExactFitWhenSquare) {
+  // M = I => c = y.
+  const auto c = LeastSquares({1.0, 0.0, 0.0, 1.0}, 2, 2, {4.0, -2.0});
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 4.0, 1e-6);
+  EXPECT_NEAR(c[1], -2.0, 1e-6);
+}
+
+TEST(LeastSquaresTest, OverdeterminedAverages) {
+  // Fit y = c over 3 observations {1, 2, 3}: least squares gives mean = 2.
+  const auto c = LeastSquares({1.0, 1.0, 1.0}, 3, 1, {1.0, 2.0, 3.0});
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0], 2.0, 1e-9);
+}
+
+TEST(OmpTest, RecoversSparseDctSignalFromSubsamples) {
+  // Signal = combination of 3 DCT atoms; sample half the points.
+  const size_t n = 48;
+  std::vector<double> x(n, 0.0);
+  const std::vector<std::pair<size_t, double>> atoms = {
+      {2, 1.0}, {5, -0.7}, {9, 0.4}};
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [k, coef] : atoms) x[i] += coef * DctBasis(n, k, i);
+  }
+  std::vector<size_t> indices;
+  std::vector<double> y;
+  for (size_t i = 0; i < n; i += 2) {
+    indices.push_back(i);
+    y.push_back(x[i]);
+  }
+  OmpOptions options;
+  options.sparsity = 6;
+  const OmpResult result = OmpRecover(n, indices, y, options);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.reconstruction[i], x[i], 1e-6) << "i=" << i;
+  }
+  // The true support must be found.
+  for (const auto& [k, coef] : atoms) {
+    EXPECT_NE(std::find(result.support.begin(), result.support.end(), k),
+              result.support.end());
+    (void)coef;
+  }
+}
+
+TEST(OmpTest, SmoothSignalReconstructsWell) {
+  const size_t n = 40;
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(0.3 * static_cast<double>(i)) +
+           0.5 * std::cos(0.11 * static_cast<double>(i));
+  }
+  std::vector<size_t> indices;
+  std::vector<double> y;
+  for (size_t i = 0; i < n; i += 2) {
+    indices.push_back(i);
+    y.push_back(x[i]);
+  }
+  const OmpResult result = OmpRecover(n, indices, y);
+  double err = 0.0, energy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    err += (x[i] - result.reconstruction[i]) * (x[i] - result.reconstruction[i]);
+    energy += x[i] * x[i];
+  }
+  EXPECT_LT(err / energy, 0.05);
+}
+
+TEST(OmpTest, OutlierExcludedFromSamplesDoesNotCorruptReconstruction) {
+  // JumpStarter's core trick: if the outlier point is not sampled, the
+  // reconstruction tracks the normal shape and the outlier shows up as a
+  // large residual.
+  const size_t n = 32;
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = std::sin(0.25 * static_cast<double>(i));
+  const size_t outlier = 15;
+  std::vector<double> corrupted = x;
+  corrupted[outlier] = 10.0;
+
+  std::vector<size_t> indices;
+  std::vector<double> y;
+  for (size_t i = 0; i < n; i += 2) {
+    if (i == outlier || i == outlier + 1) continue;
+    indices.push_back(i);
+    y.push_back(corrupted[i]);
+  }
+  const OmpResult result = OmpRecover(n, indices, y);
+  const double residual_at_outlier =
+      std::fabs(corrupted[outlier] - result.reconstruction[outlier]);
+  EXPECT_GT(residual_at_outlier, 5.0);
+  EXPECT_NEAR(result.reconstruction[outlier], x[outlier], 0.5);
+}
+
+TEST(SamplerTest, IndicesSortedUniqueInRange) {
+  Rng rng(5);
+  std::vector<double> x(40);
+  for (double& v : x) v = rng.Uniform(0, 1);
+  SamplerOptions options;
+  const auto idx = OutlierResistantSample(x, options, rng);
+  EXPECT_FALSE(idx.empty());
+  for (size_t i = 1; i < idx.size(); ++i) EXPECT_LT(idx[i - 1], idx[i]);
+  EXPECT_LT(idx.back(), x.size());
+}
+
+TEST(SamplerTest, CoversEverySegment) {
+  Rng rng(7);
+  std::vector<double> x(40, 1.0);
+  SamplerOptions options;
+  options.segments = 4;
+  const auto idx = OutlierResistantSample(x, options, rng);
+  bool seg_hit[4] = {false, false, false, false};
+  for (size_t i : idx) seg_hit[i / 10] = true;
+  for (bool hit : seg_hit) EXPECT_TRUE(hit);
+}
+
+TEST(SamplerTest, AvoidsStrongOutliers) {
+  Rng rng(9);
+  std::vector<double> x(40, 1.0);
+  x[7] = 100.0;
+  x[23] = -50.0;
+  SamplerOptions options;
+  options.outlier_trim = 0.3;
+  int hits = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto idx = OutlierResistantSample(x, options, rng);
+    hits += std::count(idx.begin(), idx.end(), size_t{7});
+    hits += std::count(idx.begin(), idx.end(), size_t{23});
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(SamplerTest, SampleFractionRespectedApproximately) {
+  Rng rng(11);
+  std::vector<double> x(100);
+  for (double& v : x) v = rng.Uniform(0, 1);
+  SamplerOptions options;
+  options.sample_fraction = 0.5;
+  options.outlier_trim = 0.0;
+  const auto idx = OutlierResistantSample(x, options, rng);
+  EXPECT_GE(idx.size(), 40u);
+  EXPECT_LE(idx.size(), 60u);
+}
+
+TEST(SamplerTest, EmptyInput) {
+  Rng rng(13);
+  EXPECT_TRUE(OutlierResistantSample({}, SamplerOptions{}, rng).empty());
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,66 @@
+#include "dbc/common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dbc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CsvTest, WriteReadRoundtrip) {
+  CsvTable table;
+  table.header = {"t", "value"};
+  table.rows = {{0.0, 1.5}, {1.0, -2.25}, {2.0, 1e6}};
+  const std::string path = TempPath("dbc_csv_roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(path, table).ok());
+
+  const Result<CsvTable> read = ReadCsv(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().header, table.header);
+  ASSERT_EQ(read.value().rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(read.value().rows[1][1], -2.25);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ColumnAccess) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(table.ColumnIndex("b"), 1);
+  EXPECT_EQ(table.ColumnIndex("missing"), -1);
+  EXPECT_EQ(table.Column(1), (std::vector<double>{2.0, 4.0}));
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  const Result<CsvTable> read = ReadCsv("/nonexistent/dir/foo.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, NonNumericCellFails) {
+  const std::string path = TempPath("dbc_csv_bad.csv");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("x,y\n1,abc\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, EmptyTableRoundtrip) {
+  CsvTable table;
+  table.header = {"only_header"};
+  const std::string path = TempPath("dbc_csv_empty.csv");
+  ASSERT_TRUE(WriteCsv(path, table).ok());
+  const Result<CsvTable> read = ReadCsv(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().num_rows(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dbc

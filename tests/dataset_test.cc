@@ -1,0 +1,90 @@
+#include "dbc/datasets/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace dbc {
+namespace {
+
+DatasetScale SmallScale() {
+  DatasetScale scale;
+  scale.units = 5;
+  scale.ticks = 400;
+  scale.seed = 7;
+  return scale;
+}
+
+TEST(DatasetBuilderTest, TencentShapeAndRatio) {
+  const Dataset ds = BuildTencentDataset(SmallScale());
+  EXPECT_EQ(ds.name, "Tencent");
+  EXPECT_EQ(ds.num_units(), 5u);
+  EXPECT_EQ(ds.units.front().num_dbs(), 5u);
+  EXPECT_EQ(ds.units.front().length(), 400u);
+  // Table III targets 3.11%; scheduling is stochastic at small scale.
+  EXPECT_GT(ds.AbnormalRatio(), 0.01);
+  EXPECT_LT(ds.AbnormalRatio(), 0.08);
+}
+
+TEST(DatasetBuilderTest, PeriodicFractionMatches) {
+  const Dataset ds = BuildTencentDataset(SmallScale());
+  size_t periodic = 0;
+  for (const UnitData& u : ds.units) periodic += u.periodic;
+  EXPECT_EQ(periodic, 2u);  // 40% of 5
+}
+
+TEST(DatasetBuilderTest, SysbenchAndTpccProfiles) {
+  const Dataset sb = BuildSysbenchDataset(SmallScale());
+  const Dataset tp = BuildTpccDataset(SmallScale());
+  EXPECT_EQ(sb.units.front().profile.substr(0, 8), "sysbench");
+  EXPECT_EQ(tp.units.front().profile.substr(0, 4), "tpcc");
+}
+
+TEST(DatasetBuilderTest, DeterministicForSeed) {
+  const Dataset a = BuildTencentDataset(SmallScale());
+  const Dataset b = BuildTencentDataset(SmallScale());
+  ASSERT_EQ(a.num_units(), b.num_units());
+  EXPECT_DOUBLE_EQ(a.units[0].kpi(0, Kpi::kRequestsPerSecond)[100],
+                   b.units[0].kpi(0, Kpi::kRequestsPerSecond)[100]);
+  EXPECT_EQ(a.AbnormalPoints(), b.AbnormalPoints());
+}
+
+TEST(DatasetBuilderTest, DifferentSeedsDiffer) {
+  DatasetScale s1 = SmallScale();
+  DatasetScale s2 = SmallScale();
+  s2.seed = 8;
+  const Dataset a = BuildTencentDataset(s1);
+  const Dataset b = BuildTencentDataset(s2);
+  EXPECT_NE(a.units[0].kpi(0, Kpi::kRequestsPerSecond)[100],
+            b.units[0].kpi(0, Kpi::kRequestsPerSecond)[100]);
+}
+
+TEST(DatasetTest, SplitHalvesEveryUnit) {
+  const Dataset ds = BuildTencentDataset(SmallScale());
+  Dataset train, test;
+  ds.Split(0.5, &train, &test);
+  ASSERT_EQ(train.num_units(), ds.num_units());
+  ASSERT_EQ(test.num_units(), ds.num_units());
+  EXPECT_EQ(train.units[0].length(), 200u);
+  EXPECT_EQ(test.units[0].length(), 200u);
+  // Train + test label mass equals the original.
+  EXPECT_EQ(train.AbnormalPoints() + test.AbnormalPoints(),
+            ds.AbnormalPoints());
+}
+
+TEST(DatasetTest, SubsetsPartitionUnits) {
+  const Dataset ds = BuildTencentDataset(SmallScale());
+  const Dataset periodic = ds.PeriodicSubset();
+  const Dataset irregular = ds.IrregularSubset();
+  EXPECT_EQ(periodic.num_units() + irregular.num_units(), ds.num_units());
+  for (const UnitData& u : periodic.units) EXPECT_TRUE(u.periodic);
+  for (const UnitData& u : irregular.units) EXPECT_FALSE(u.periodic);
+  EXPECT_EQ(periodic.name, "Tencent II");
+  EXPECT_EQ(irregular.name, "Tencent I");
+}
+
+TEST(DatasetTest, TotalPointsAccounting) {
+  const Dataset ds = BuildTencentDataset(SmallScale());
+  EXPECT_EQ(ds.TotalPoints(), 5u * 5u * 400u);
+}
+
+}  // namespace
+}  // namespace dbc

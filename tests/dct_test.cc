@@ -1,0 +1,68 @@
+#include "dbc/fft/dct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+namespace {
+
+TEST(DctTest, RoundtripDct2Dct3) {
+  Rng rng(5);
+  std::vector<double> x(40);
+  for (double& v : x) v = rng.Uniform(-3.0, 3.0);
+  const std::vector<double> back = Dct3(Dct2(x));
+  ASSERT_EQ(back.size(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+TEST(DctTest, BasisIsOrthonormal) {
+  const size_t n = 16;
+  for (size_t k1 = 0; k1 < n; ++k1) {
+    for (size_t k2 = k1; k2 < n; ++k2) {
+      double dot = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        dot += DctBasis(n, k1, i) * DctBasis(n, k2, i);
+      }
+      EXPECT_NEAR(dot, k1 == k2 ? 1.0 : 0.0, 1e-10)
+          << "k1=" << k1 << " k2=" << k2;
+    }
+  }
+}
+
+TEST(DctTest, ConstantSignalIsPureDc) {
+  std::vector<double> x(12, 2.5);
+  const std::vector<double> spec = Dct2(x);
+  EXPECT_NEAR(spec[0], 2.5 * std::sqrt(12.0), 1e-9);
+  for (size_t k = 1; k < spec.size(); ++k) EXPECT_NEAR(spec[k], 0.0, 1e-9);
+}
+
+TEST(DctTest, EnergyPreserved) {
+  Rng rng(77);
+  std::vector<double> x(25);
+  double energy = 0.0;
+  for (double& v : x) {
+    v = rng.Uniform(-1.0, 1.0);
+    energy += v * v;
+  }
+  const std::vector<double> spec = Dct2(x);
+  double spec_energy = 0.0;
+  for (double v : spec) spec_energy += v * v;
+  EXPECT_NEAR(spec_energy, energy, 1e-9);
+}
+
+TEST(DctTest, CosineIsSparseInDct) {
+  // A pure half-cosine at DCT frequency k concentrates in coefficient k.
+  const size_t n = 32, k = 4;
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = DctBasis(n, k, i);
+  const std::vector<double> spec = Dct2(x);
+  for (size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(spec[j], j == k ? 1.0 : 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,158 @@
+// Baseline detector tests: every method trains on a small dataset and
+// produces meaningfully better-than-chance detections.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/detectors/fft_detector.h"
+#include "dbc/detectors/jumpstarter_detector.h"
+#include "dbc/detectors/omni_detector.h"
+#include "dbc/detectors/registry.h"
+#include "dbc/detectors/sr.h"
+#include "dbc/detectors/sr_detector.h"
+#include "dbc/detectors/srcnn_detector.h"
+
+namespace dbc {
+namespace {
+
+/// Small dataset shared by the end-to-end detector tests.
+class DetectorsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetScale scale;
+    scale.units = 3;
+    scale.ticks = 600;
+    scale.seed = 99;
+    dataset_ = new Dataset(BuildTencentDataset(scale));
+    train_ = new Dataset();
+    test_ = new Dataset();
+    dataset_->Split(0.5, train_, test_);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete train_;
+    delete test_;
+    dataset_ = nullptr;
+    train_ = nullptr;
+    test_ = nullptr;
+  }
+
+  /// Fits and evaluates; returns test F-Measure.
+  static double FitAndScore(Detector& detector, uint64_t seed) {
+    Rng rng(seed);
+    detector.Fit(*train_, rng);
+    Confusion total;
+    for (const UnitData& unit : test_->units) {
+      total.Merge(ScoreVerdicts(unit, detector.Detect(unit)));
+    }
+    return total.FMeasure();
+  }
+
+  static Dataset* dataset_;
+  static Dataset* train_;
+  static Dataset* test_;
+};
+
+Dataset* DetectorsTest::dataset_ = nullptr;
+Dataset* DetectorsTest::train_ = nullptr;
+Dataset* DetectorsTest::test_ = nullptr;
+
+TEST(FftResidualScoresTest, SpikesScoreHigh) {
+  std::vector<double> x(64, 0.0);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.3 * static_cast<double>(i));
+  }
+  x[30] += 5.0;
+  const auto scores = FftResidualScores(x, 32);
+  // The spike point dominates its tile.
+  double max_other = 0.0;
+  for (size_t i = 0; i < 64; ++i) {
+    if (i != 30) max_other = std::max(max_other, scores[i]);
+  }
+  EXPECT_GT(scores[30], max_other);
+}
+
+TEST(SaliencyMapTest, SpikeIsSalient) {
+  std::vector<double> x(64);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.2 * static_cast<double>(i));
+  }
+  x[40] += 4.0;
+  const auto sal = SaliencyMap(x);
+  size_t argmax = 0;
+  for (size_t i = 1; i < sal.size(); ++i) {
+    if (sal[i] > sal[argmax]) argmax = i;
+  }
+  EXPECT_NEAR(static_cast<double>(argmax), 40.0, 2.0);
+}
+
+TEST(SaliencyMapTest, ShortInputSafe) {
+  EXPECT_EQ(SaliencyMap({1.0, 2.0}).size(), 2u);
+}
+
+TEST(SpectralResidualScoresTest, FlatSeriesLowScores) {
+  std::vector<double> x(80, 1.0);
+  const auto scores = SpectralResidualScores(x, 40);
+  for (double s : scores) EXPECT_LT(s, 3.0);
+}
+
+TEST_F(DetectorsTest, FftBeatsChance) {
+  FftDetector detector;
+  const double f = FitAndScore(detector, 1);
+  EXPECT_GT(f, 0.15) << "FFT should beat random guessing";
+  EXPECT_GE(detector.WindowSize(), 20u);
+}
+
+TEST_F(DetectorsTest, SrBeatsChance) {
+  SrDetector detector;
+  EXPECT_GT(FitAndScore(detector, 2), 0.15);
+}
+
+TEST_F(DetectorsTest, SrCnnRunsAndScores) {
+  SrCnnConfig config;
+  config.epochs = 2;
+  config.train_segments = 60;
+  SrCnnDetector detector(config);
+  EXPECT_GT(FitAndScore(detector, 3), 0.1);
+}
+
+TEST_F(DetectorsTest, OmniRunsAndScores) {
+  OmniConfig config;
+  config.train_iterations = 80;
+  OmniDetector detector(config);
+  EXPECT_GT(FitAndScore(detector, 4), 0.1);
+}
+
+TEST_F(DetectorsTest, JumpStarterBeatsChance) {
+  JumpStarterDetector detector;
+  EXPECT_GT(FitAndScore(detector, 5), 0.15);
+}
+
+TEST_F(DetectorsTest, DetectIsDeterministicAfterFit) {
+  JumpStarterDetector detector;
+  Rng rng(7);
+  detector.Fit(*train_, rng);
+  const UnitVerdicts a = detector.Detect(test_->units[0]);
+  const UnitVerdicts b = detector.Detect(test_->units[0]);
+  ASSERT_EQ(a.per_db.size(), b.per_db.size());
+  for (size_t db = 0; db < a.per_db.size(); ++db) {
+    ASSERT_EQ(a.per_db[db].size(), b.per_db[db].size());
+    for (size_t i = 0; i < a.per_db[db].size(); ++i) {
+      EXPECT_EQ(a.per_db[db][i].abnormal, b.per_db[db][i].abnormal);
+    }
+  }
+}
+
+TEST(RegistryTest, BuildsEveryBaseline) {
+  for (const std::string& name : BaselineNames()) {
+    const auto detector = MakeBaselineDetector(name);
+    ASSERT_NE(detector, nullptr) << name;
+    EXPECT_EQ(detector->Name(), name);
+  }
+  EXPECT_EQ(MakeBaselineDetector("Nope"), nullptr);
+}
+
+TEST(RegistryTest, FiveBaselines) { EXPECT_EQ(BaselineNames().size(), 5u); }
+
+}  // namespace
+}  // namespace dbc

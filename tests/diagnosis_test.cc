@@ -1,0 +1,159 @@
+// Diagnostic report tests: trend classification and incident-family
+// signature matching.
+#include "dbc/dbcatcher/diagnosis.h"
+
+#include <gtest/gtest.h>
+
+#include "dbc/cloudsim/unit_sim.h"
+
+namespace dbc {
+namespace {
+
+std::vector<double> Flat(size_t n, double level) {
+  return std::vector<double>(n, level);
+}
+
+TEST(ClassifyTrendTest, StableWindow) {
+  std::vector<double> ctx = Flat(20, 10.0);
+  ctx[3] = 10.4;
+  ctx[9] = 9.6;
+  std::vector<double> win = Flat(20, 10.1);
+  win[5] = 9.8;
+  EXPECT_EQ(ClassifyTrend(win, ctx), TrendShape::kStable);
+}
+
+TEST(ClassifyTrendTest, SpikeUpAndDown) {
+  std::vector<double> ctx = Flat(20, 10.0);
+  for (size_t i = 0; i < ctx.size(); ++i) ctx[i] += 0.1 * (i % 3);
+  std::vector<double> up = ctx;
+  up[7] = 50.0;
+  EXPECT_EQ(ClassifyTrend(up, ctx), TrendShape::kSpikeUp);
+  std::vector<double> down = ctx;
+  down[7] = 0.1;
+  EXPECT_EQ(ClassifyTrend(down, ctx), TrendShape::kSpikeDown);
+}
+
+TEST(ClassifyTrendTest, LevelShifts) {
+  std::vector<double> ctx = Flat(20, 10.0);
+  for (size_t i = 0; i < ctx.size(); ++i) ctx[i] += 0.2 * (i % 2);
+  EXPECT_EQ(ClassifyTrend(Flat(20, 20.0), ctx), TrendShape::kLevelUp);
+  EXPECT_EQ(ClassifyTrend(Flat(20, 2.0), ctx), TrendShape::kLevelDown);
+}
+
+TEST(ClassifyTrendTest, Drift) {
+  std::vector<double> ctx = Flat(20, 10.0);
+  for (size_t i = 0; i < ctx.size(); ++i) ctx[i] += 0.2 * (i % 2);
+  std::vector<double> win(20);
+  // Gentle ramp centered on the context level: no single extreme point, a
+  // small median change, but clearly different window halves.
+  for (size_t i = 0; i < 20; ++i) {
+    win[i] = 8.8 + 0.14 * static_cast<double>(i);
+  }
+  EXPECT_EQ(ClassifyTrend(win, ctx), TrendShape::kDrifting);
+}
+
+TEST(ClassifyTrendTest, ShortInputsAreStable) {
+  EXPECT_EQ(ClassifyTrend({1.0}, {1.0}), TrendShape::kStable);
+}
+
+TEST(TrendShapeNameTest, AllNamed) {
+  EXPECT_EQ(TrendShapeName(TrendShape::kStable), "stable");
+  EXPECT_EQ(TrendShapeName(TrendShape::kDrifting), "drifting");
+}
+
+class DiagnosisTest : public ::testing::Test {
+ protected:
+  /// Simulates a unit with exactly one kind of anomaly and returns the
+  /// report for the first in-event window of the affected database.
+  static DiagnosticReport ReportFor(AnomalyKind kind, uint64_t seed) {
+    for (uint64_t attempt = 0; attempt < 5; ++attempt) {
+      UnitSimConfig config;
+      config.ticks = 1000;
+      config.anomalies.kinds = {kind};
+      config.anomalies.kind_weights = {1.0};
+      config.anomalies.target_ratio = 0.1;
+      Rng rng(seed + attempt);
+      IrregularProfileParams ip;
+      auto profile = MakeIrregularProfile(ip, rng.Fork(1));
+      const UnitData unit = SimulateUnit(config, *profile, false, rng.Fork(2));
+
+      const DbcatcherConfig dconfig = DefaultDbcatcherConfig(kNumKpis);
+      KcdCache cache;
+      CorrelationAnalyzer analyzer(unit, dconfig, &cache);
+      for (const AnomalyEvent& ev : unit.events) {
+        // Any 20-tick tile overlapping the event's core.
+        for (size_t t0 = (ev.start / 20) * 20; t0 + 20 <= ev.end() + 20;
+             t0 += 20) {
+          if (t0 + 20 > unit.length()) break;
+          DiagnosticReport report =
+              Diagnose(analyzer, dconfig, ev.db, t0, t0 + 20);
+          if (report.state == DbState::kAbnormal) return report;
+        }
+      }
+    }
+    return DiagnosticReport{};
+  }
+};
+
+TEST_F(DiagnosisTest, CpuHogBlamesResourceHogs) {
+  const DiagnosticReport report = ReportFor(AnomalyKind::kCpuHog, 41);
+  ASSERT_EQ(report.state, DbState::kAbnormal);
+  ASSERT_FALSE(report.findings.empty());
+  ASSERT_FALSE(report.hypotheses.empty());
+  EXPECT_EQ(report.hypotheses.front().family, "resource-hogging queries");
+}
+
+TEST_F(DiagnosisTest, FragmentationBlamesChurn) {
+  const DiagnosticReport report =
+      ReportFor(AnomalyKind::kCapacityFragmentation, 43);
+  ASSERT_EQ(report.state, DbState::kAbnormal);
+  ASSERT_FALSE(report.hypotheses.empty());
+  EXPECT_NE(report.hypotheses.front().family.find("fragmentation"),
+            std::string::npos);
+}
+
+TEST_F(DiagnosisTest, ReplicationStallBlamesWritePath) {
+  const DiagnosticReport report =
+      ReportFor(AnomalyKind::kReplicationStall, 47);
+  ASSERT_EQ(report.state, DbState::kAbnormal);
+  ASSERT_FALSE(report.hypotheses.empty());
+  EXPECT_NE(report.hypotheses.front().family.find("replication"),
+            std::string::npos);
+}
+
+TEST_F(DiagnosisTest, HealthyWindowEmptyReport) {
+  UnitSimConfig config;
+  config.ticks = 200;
+  config.inject_anomalies = false;
+  Rng rng(53);
+  PeriodicProfileParams pp;
+  auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+  const UnitData unit = SimulateUnit(config, *profile, true, rng.Fork(2));
+  const DbcatcherConfig dconfig = DefaultDbcatcherConfig(kNumKpis);
+  CorrelationAnalyzer analyzer(unit, dconfig);
+  const DiagnosticReport report = Diagnose(analyzer, dconfig, 1, 60, 80);
+  EXPECT_EQ(report.state, DbState::kHealthy);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.hypotheses.empty());
+  EXPECT_NE(report.ToString().find("HEALTHY"), std::string::npos);
+}
+
+TEST_F(DiagnosisTest, FindingsSortedMostDecorrelatedFirst) {
+  const DiagnosticReport report = ReportFor(AnomalyKind::kLevelShift, 59);
+  ASSERT_EQ(report.state, DbState::kAbnormal);
+  for (size_t i = 1; i < report.findings.size(); ++i) {
+    EXPECT_LE(report.findings[i - 1].score, report.findings[i].score);
+  }
+}
+
+TEST_F(DiagnosisTest, ToStringListsKpisAndHypotheses) {
+  const DiagnosticReport report = ReportFor(AnomalyKind::kCpuHog, 61);
+  ASSERT_EQ(report.state, DbState::kAbnormal);
+  const std::string s = report.ToString();
+  EXPECT_NE(s.find("ABNORMAL"), std::string::npos);
+  EXPECT_NE(s.find("deviating KPIs"), std::string::npos);
+  EXPECT_NE(s.find("hypotheses"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,75 @@
+#include "dbc/correlation/dtw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+namespace {
+
+TEST(DtwTest, IdenticalSeriesHasZeroDistance) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(x, x), 0.0);
+}
+
+TEST(DtwTest, WarpAbsorbsTimeShift) {
+  // A shifted copy warps to near-zero cost; Euclidean distance would not.
+  std::vector<double> x(30), y(30);
+  for (size_t i = 0; i < 30; ++i) {
+    x[i] = std::sin(0.4 * static_cast<double>(i));
+    y[i] = std::sin(0.4 * (static_cast<double>(i) - 2.0));
+  }
+  double euclid = 0.0;
+  for (size_t i = 0; i < 30; ++i) euclid += (x[i] - y[i]) * (x[i] - y[i]);
+  EXPECT_LT(DtwDistance(x, y), 0.25 * euclid);
+}
+
+TEST(DtwTest, DifferentLengths) {
+  const std::vector<double> x = {0.0, 1.0, 2.0};
+  const std::vector<double> y = {0.0, 0.5, 1.0, 1.5, 2.0};
+  const double d = DtwDistance(x, y);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+TEST(DtwTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(DtwDistance({}, {1.0}), 0.0);
+}
+
+TEST(DtwTest, BandConstraintNeverBeatsUnconstrained) {
+  Rng rng(3);
+  std::vector<double> x(25), y(25);
+  for (size_t i = 0; i < 25; ++i) {
+    x[i] = rng.Uniform(0, 1);
+    y[i] = rng.Uniform(0, 1);
+  }
+  const double unconstrained = DtwDistance(x, y, 0);
+  const double banded = DtwDistance(x, y, 3);
+  EXPECT_GE(banded, unconstrained - 1e-12);
+}
+
+TEST(DtwTest, SymmetricDistance) {
+  const std::vector<double> x = {1.0, 3.0, 2.0, 5.0};
+  const std::vector<double> y = {2.0, 2.0, 4.0, 4.0};
+  EXPECT_NEAR(DtwDistance(x, y), DtwDistance(y, x), 1e-12);
+}
+
+TEST(DtwSimilarityTest, RangeAndIdentity) {
+  const Series x({1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(DtwSimilarity(x, x), 1.0, 1e-12);
+  const Series y({4.0, 1.0, 3.0, 1.0});
+  const double sim = DtwSimilarity(x, y);
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(DtwSimilarityTest, ScaleInvariantThroughNormalization) {
+  const Series x({1.0, 2.0, 3.0, 2.5, 4.0});
+  const Series scaled = x * 100.0;
+  EXPECT_NEAR(DtwSimilarity(x, scaled), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,61 @@
+#include "dbc/dbcatcher/feedback.h"
+
+#include <gtest/gtest.h>
+
+namespace dbc {
+namespace {
+
+JudgmentRecord Record(bool predicted, bool labeled) {
+  JudgmentRecord r;
+  r.predicted_abnormal = predicted;
+  r.labeled_abnormal = labeled;
+  return r;
+}
+
+TEST(FeedbackModuleTest, AggregatesConfusion) {
+  FeedbackModule fb;
+  fb.Record(Record(true, true));
+  fb.Record(Record(true, false));
+  fb.Record(Record(false, false));
+  const Confusion c = fb.Recent();
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_EQ(fb.size(), 3u);
+}
+
+TEST(FeedbackModuleTest, CapacityEvictsOldest) {
+  FeedbackModule fb(2);
+  fb.Record(Record(true, true));
+  fb.Record(Record(true, true));
+  fb.Record(Record(false, false));
+  EXPECT_EQ(fb.size(), 2u);
+  // The first tp was evicted.
+  EXPECT_EQ(fb.Recent().tp, 1u);
+}
+
+TEST(FeedbackModuleTest, RetrainGatedOnMinRecords) {
+  FeedbackModule fb;
+  // Poor performance but too few records.
+  for (int i = 0; i < 10; ++i) fb.Record(Record(true, false));
+  EXPECT_FALSE(fb.NeedsRetrain(0.75, 64));
+  for (int i = 0; i < 60; ++i) fb.Record(Record(true, false));
+  EXPECT_TRUE(fb.NeedsRetrain(0.75, 64));
+}
+
+TEST(FeedbackModuleTest, NoRetrainWhenPerforming) {
+  FeedbackModule fb;
+  for (int i = 0; i < 100; ++i) fb.Record(Record(i % 10 == 0, i % 10 == 0));
+  EXPECT_DOUBLE_EQ(fb.RecentFMeasure(), 1.0);
+  EXPECT_FALSE(fb.NeedsRetrain(0.75, 64));
+}
+
+TEST(FeedbackModuleTest, ClearEmpties) {
+  FeedbackModule fb;
+  fb.Record(Record(true, true));
+  fb.Clear();
+  EXPECT_EQ(fb.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dbc

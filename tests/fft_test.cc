@@ -1,0 +1,119 @@
+#include "dbc/fft/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  std::vector<Complex> x(8, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  Fft(x, false);
+  for (const Complex& c : x) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ForwardInverseRoundtripPow2) {
+  Rng rng(3);
+  std::vector<Complex> x(64);
+  for (auto& c : x) c = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  std::vector<Complex> y = x;
+  Fft(y, false);
+  Fft(y, true);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-10);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-10);
+  }
+}
+
+// Property: Bluestein (arbitrary n) round-trips and matches Parseval across
+// many lengths, including primes.
+class FftAnyLengthTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftAnyLengthTest, Roundtrip) {
+  const size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Complex> x(n);
+  for (auto& c : x) c = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  const std::vector<Complex> spec = FftAnyLength(x, false);
+  const std::vector<Complex> back = FftAnyLength(spec, true);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-8);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-8);
+  }
+}
+
+TEST_P(FftAnyLengthTest, Parseval) {
+  const size_t n = GetParam();
+  Rng rng(n * 7 + 1);
+  std::vector<Complex> x(n);
+  double time_energy = 0.0;
+  for (auto& c : x) {
+    c = Complex(rng.Uniform(-1, 1), 0.0);
+    time_energy += std::norm(c);
+  }
+  const std::vector<Complex> spec = FftAnyLength(x, false);
+  double freq_energy = 0.0;
+  for (const auto& c : spec) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * std::max(1.0, time_energy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftAnyLengthTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 12, 16, 20, 31, 63,
+                                           64, 100, 127));
+
+TEST(FftAnyLengthTest, MatchesRadix2OnPow2) {
+  Rng rng(9);
+  std::vector<Complex> x(32);
+  for (auto& c : x) c = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  std::vector<Complex> a = x;
+  Fft(a, false);
+  // Force the Bluestein path by asking for length 32 through a prime-length
+  // neighbour comparison: evaluate DFT directly instead.
+  const std::vector<Complex> b = FftAnyLength(x, false);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), 1e-9);
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-9);
+  }
+}
+
+TEST(RealFftTest, SinePeaksAtItsFrequency) {
+  const size_t n = 50;  // non power of two
+  const size_t k = 5;
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * kPi * static_cast<double>(k * i) /
+                    static_cast<double>(n));
+  }
+  const std::vector<double> power = PowerSpectrum(x);
+  size_t argmax = 1;
+  for (size_t i = 1; i < power.size(); ++i) {
+    if (power[i] > power[argmax]) argmax = i;
+  }
+  EXPECT_EQ(argmax, k);
+}
+
+TEST(RealFftTest, InverseRecoversSignal) {
+  Rng rng(21);
+  std::vector<double> x(37);
+  for (double& v : x) v = rng.Uniform(-2.0, 2.0);
+  const std::vector<double> back = InverseRealFft(RealFft(x));
+  ASSERT_EQ(back.size(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+TEST(PowerSpectrumTest, EmptyInput) {
+  EXPECT_TRUE(PowerSpectrum({}).empty());
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,152 @@
+// End-to-end integration tests: simulator -> DBCatcher -> metrics, the
+// adaptive threshold learning loop, and the DBCatcher-vs-baseline ordering
+// the paper's evaluation reports.
+#include <gtest/gtest.h>
+
+#include "dbc/dbcatcher/dbcatcher.h"
+#include "dbc/detectors/registry.h"
+
+namespace dbc {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetScale scale;
+    scale.units = 4;
+    scale.ticks = 800;
+    scale.seed = 31;
+    dataset_ = new Dataset(BuildTencentDataset(scale));
+    train_ = new Dataset();
+    test_ = new Dataset();
+    dataset_->Split(0.5, train_, test_);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete train_;
+    delete test_;
+  }
+
+  static double TestFMeasure(Detector& detector) {
+    Confusion total;
+    for (const UnitData& unit : test_->units) {
+      total.Merge(ScoreVerdicts(unit, detector.Detect(unit)));
+    }
+    return total.FMeasure();
+  }
+
+  static Dataset* dataset_;
+  static Dataset* train_;
+  static Dataset* test_;
+};
+
+Dataset* IntegrationTest::dataset_ = nullptr;
+Dataset* IntegrationTest::train_ = nullptr;
+Dataset* IntegrationTest::test_ = nullptr;
+
+TEST_F(IntegrationTest, DbcatcherAchievesHighFMeasure) {
+  DbCatcher catcher;
+  Rng rng(1);
+  catcher.Fit(*train_, rng);
+  EXPECT_GT(TestFMeasure(catcher), 0.7);
+}
+
+TEST_F(IntegrationTest, FeedbackRecordsAccumulateDuringFit) {
+  DbCatcher catcher;
+  Rng rng(2);
+  catcher.Fit(*train_, rng);
+  EXPECT_GT(catcher.feedback().size(), 100u);
+}
+
+TEST_F(IntegrationTest, AdaptiveLearningActivatesOnlyBelowCriterion) {
+  // With an impossible criterion, the optimizer must always run; with a
+  // trivial criterion, never (beyond the initial evaluation).
+  {
+    DbCatcherOptions options;
+    options.config = DefaultDbcatcherConfig(kNumKpis);
+    options.config.retrain_criterion = 1.01;
+    DbCatcher catcher(options);
+    Rng rng(3);
+    catcher.Fit(*train_, rng);
+    EXPECT_GT(catcher.last_optimization().evaluations, 10u);
+  }
+  {
+    DbCatcherOptions options;
+    options.config = DefaultDbcatcherConfig(kNumKpis);
+    options.config.retrain_criterion = 0.0;
+    DbCatcher catcher(options);
+    Rng rng(4);
+    catcher.Fit(*train_, rng);
+    EXPECT_EQ(catcher.last_optimization().evaluations, 1u);
+  }
+}
+
+TEST_F(IntegrationTest, AdaptiveLearningImprovesBadSeed) {
+  DbCatcherOptions options;
+  options.config = DefaultDbcatcherConfig(kNumKpis);
+  options.config.retrain_criterion = 1.01;  // always optimize
+  DbCatcher catcher(options);
+  Rng rng(5);
+  catcher.Fit(*train_, rng);
+  // The learned genome beats a deliberately bad genome.
+  ThresholdGenome bad;
+  bad.alpha.assign(kNumKpis, 0.98);
+  bad.theta = 0.01;
+  bad.tolerance = 0;
+  EXPECT_GT(catcher.last_optimization().best_fitness,
+            catcher.EvaluateGenome(*train_, bad));
+}
+
+TEST_F(IntegrationTest, RetrainAdaptsToDriftedWorkload) {
+  DbCatcher catcher;
+  Rng rng(6);
+  catcher.Fit(*train_, rng);
+
+  // Drift: a sysbench-style workload replaces the Tencent-style one.
+  DatasetScale scale;
+  scale.units = 3;
+  scale.ticks = 600;
+  scale.seed = 77;
+  const Dataset drifted = BuildSysbenchDataset(scale);
+  Dataset drift_train, drift_test;
+  drifted.Split(0.5, &drift_train, &drift_test);
+
+  const OptimizeResult result = catcher.Retrain(drift_train, rng);
+  EXPECT_GT(result.best_fitness, 0.6);
+  Confusion total;
+  for (const UnitData& unit : drift_test.units) {
+    total.Merge(ScoreVerdicts(unit, catcher.Detect(unit)));
+  }
+  EXPECT_GT(total.FMeasure(), 0.55);
+}
+
+TEST_F(IntegrationTest, DbcatcherBeatsCheapBaselines) {
+  // The paper's headline ordering: DBCatcher above FFT and SR.
+  DbCatcher catcher;
+  Rng rng(7);
+  catcher.Fit(*train_, rng);
+  const double dbcatcher_f = TestFMeasure(catcher);
+
+  for (const std::string& name : {"FFT", "SR"}) {
+    auto baseline = MakeBaselineDetector(name);
+    Rng brng(8);
+    baseline->Fit(*train_, brng);
+    EXPECT_GT(dbcatcher_f, TestFMeasure(*baseline)) << name;
+  }
+}
+
+TEST_F(IntegrationTest, WindowSizeAdvantage) {
+  // Table V's shape: DBCatcher decides on ~20-point windows while FFT needs
+  // a larger window for its best F.
+  DbCatcher catcher;
+  Rng rng(9);
+  catcher.Fit(*train_, rng);
+  auto fft = MakeBaselineDetector("FFT");
+  Rng brng(10);
+  fft->Fit(*train_, brng);
+  EXPECT_LE(catcher.WindowSize(), 25u);
+  EXPECT_GE(fft->WindowSize(), catcher.WindowSize());
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,95 @@
+#include "dbc/datasets/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dbc {
+namespace {
+
+std::string TempDir() {
+  const auto dir = std::filesystem::temp_directory_path() / "dbc_io_test";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+Dataset SmallDataset() {
+  DatasetScale scale;
+  scale.units = 2;
+  scale.ticks = 120;
+  scale.seed = 5;
+  return BuildTencentDataset(scale);
+}
+
+TEST(UnitCsvTest, RoundtripPreservesValuesAndLabels) {
+  const Dataset ds = SmallDataset();
+  const UnitData& unit = ds.units[0];
+  const std::string path = TempDir() + "/unit.csv";
+  ASSERT_TRUE(WriteUnitCsv(path, unit).ok());
+
+  const Result<UnitData> read = ReadUnitCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const UnitData& back = read.value();
+
+  ASSERT_EQ(back.num_dbs(), unit.num_dbs());
+  ASSERT_EQ(back.length(), unit.length());
+  EXPECT_EQ(back.roles[0], DbRole::kPrimary);
+  EXPECT_EQ(back.roles[1], DbRole::kReplica);
+  for (size_t db = 0; db < unit.num_dbs(); ++db) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      for (size_t t = 0; t < unit.length(); t += 17) {
+        // CSV stores full double precision via operator<<; allow tiny slack.
+        EXPECT_NEAR(back.kpis[db].row(k)[t], unit.kpis[db].row(k)[t],
+                    1e-4 * (1.0 + std::abs(unit.kpis[db].row(k)[t])));
+      }
+    }
+    EXPECT_EQ(back.labels[db], unit.labels[db]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(UnitCsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadUnitCsv("/nonexistent/unit.csv").ok());
+}
+
+TEST(UnitCsvTest, WrongSchemaFails) {
+  const std::string path = TempDir() + "/bad.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("a,b\n1,2\n", f);
+  std::fclose(f);
+  const Result<UnitData> read = ReadUnitCsv(path);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, WritesOneFilePerUnit) {
+  const Dataset ds = SmallDataset();
+  const std::string dir = TempDir() + "/ds";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteDatasetCsv(dir, ds).ok());
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    (void)entry;
+  }
+  EXPECT_EQ(files, ds.num_units());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UnitMedianKpiTest, RobustToSingleDbOutlier) {
+  const Dataset ds = SmallDataset();
+  UnitData unit = ds.units[0];
+  // Blow up one database's RPS; the median must barely move.
+  const Series before = UnitMedianKpi(unit, Kpi::kRequestsPerSecond);
+  Series& rps = unit.kpis[2].row(KpiIndex(Kpi::kRequestsPerSecond));
+  for (size_t t = 0; t < rps.size(); ++t) rps[t] *= 100.0;
+  const Series after = UnitMedianKpi(unit, Kpi::kRequestsPerSecond);
+  for (size_t t = 0; t < before.size(); t += 11) {
+    EXPECT_NEAR(after[t], before[t], 0.6 * before[t] + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dbc

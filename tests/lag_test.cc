@@ -1,0 +1,64 @@
+#include "dbc/ts/lag.h"
+
+#include <gtest/gtest.h>
+
+namespace dbc {
+namespace {
+
+TEST(ShiftEdgeFillTest, PositiveLagShiftsRight) {
+  const Series s = ShiftEdgeFill(Series({1.0, 2.0, 3.0, 4.0}), 2);
+  EXPECT_EQ(s.values(), (std::vector<double>{1.0, 1.0, 1.0, 2.0}));
+}
+
+TEST(ShiftEdgeFillTest, NegativeLagShiftsLeft) {
+  const Series s = ShiftEdgeFill(Series({1.0, 2.0, 3.0, 4.0}), -1);
+  EXPECT_EQ(s.values(), (std::vector<double>{2.0, 3.0, 4.0, 4.0}));
+}
+
+TEST(ShiftEdgeFillTest, ZeroLagIdentity) {
+  const Series s({1.0, 2.0});
+  EXPECT_EQ(ShiftEdgeFill(s, 0).values(), s.values());
+}
+
+TEST(ShiftEdgeFillTest, LagBeyondLength) {
+  const Series s = ShiftEdgeFill(Series({1.0, 2.0}), 10);
+  EXPECT_EQ(s.values(), (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(AlignWithLagTest, PositiveLagOverlap) {
+  // Eq. 2: x delayed by s compares x[s..n) against y[0..n-s).
+  const Series x({10.0, 11.0, 12.0, 13.0});
+  const Series y({20.0, 21.0, 22.0, 23.0});
+  const AlignedPair p = AlignWithLag(x, y, 1);
+  EXPECT_EQ(p.x, (std::vector<double>{11.0, 12.0, 13.0}));
+  EXPECT_EQ(p.y, (std::vector<double>{20.0, 21.0, 22.0}));
+}
+
+TEST(AlignWithLagTest, NegativeLagMirrors) {
+  const Series x({10.0, 11.0, 12.0});
+  const Series y({20.0, 21.0, 22.0});
+  const AlignedPair p = AlignWithLag(x, y, -2);
+  EXPECT_EQ(p.x, (std::vector<double>{10.0}));
+  EXPECT_EQ(p.y, (std::vector<double>{22.0}));
+}
+
+TEST(AlignWithLagTest, ZeroLagIsFullOverlap) {
+  const Series x({1.0, 2.0});
+  const Series y({3.0, 4.0});
+  const AlignedPair p = AlignWithLag(x, y, 0);
+  EXPECT_EQ(p.x, x.values());
+  EXPECT_EQ(p.y, y.values());
+}
+
+TEST(LagRoundtripTest, ShiftThenAlignRecoversSignal) {
+  const Series x({1.0, 4.0, 2.0, 8.0, 5.0, 7.0});
+  const Series shifted = ShiftEdgeFill(x, 2);
+  // Aligning the shifted signal (which lags x by 2) recovers the overlap.
+  const AlignedPair p = AlignWithLag(shifted, x, 2);
+  for (size_t i = 0; i < p.x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p.x[i], p.y[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,175 @@
+// Correlation-level mapping (Algorithm 1) and database-state rule (Fig. 7).
+#include "dbc/dbcatcher/levels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/cloudsim/unit_sim.h"
+
+namespace dbc {
+namespace {
+
+TEST(ScoreToLevelTest, ThreeBands) {
+  // alpha = 0.7, theta = 0.2: level-1 below 0.5, level-2 in [0.5, 0.7),
+  // level-3 at or above 0.7.
+  EXPECT_EQ(ScoreToLevel(0.3, 0.7, 0.2), CorrelationLevel::kExtremeDeviation);
+  EXPECT_EQ(ScoreToLevel(0.49, 0.7, 0.2), CorrelationLevel::kExtremeDeviation);
+  EXPECT_EQ(ScoreToLevel(0.5, 0.7, 0.2), CorrelationLevel::kSlightDeviation);
+  EXPECT_EQ(ScoreToLevel(0.69, 0.7, 0.2), CorrelationLevel::kSlightDeviation);
+  EXPECT_EQ(ScoreToLevel(0.7, 0.7, 0.2), CorrelationLevel::kCorrelated);
+  EXPECT_EQ(ScoreToLevel(0.99, 0.7, 0.2), CorrelationLevel::kCorrelated);
+}
+
+TEST(DetermineStateTest, Fig7Rules) {
+  // Any level-1 -> abnormal.
+  EXPECT_EQ(DetermineState({1, 0, 13, 0}, 2), DbState::kAbnormal);
+  EXPECT_EQ(DetermineState({1, 3, 10, 0}, 2), DbState::kAbnormal);
+  // No deviations -> healthy.
+  EXPECT_EQ(DetermineState({0, 0, 14, 0}, 2), DbState::kHealthy);
+  // Level-2 within tolerance -> observable.
+  EXPECT_EQ(DetermineState({0, 1, 13, 0}, 2), DbState::kObservable);
+  EXPECT_EQ(DetermineState({0, 2, 12, 0}, 2), DbState::kObservable);
+  // Level-2 beyond tolerance -> abnormal.
+  EXPECT_EQ(DetermineState({0, 3, 11, 0}, 2), DbState::kAbnormal);
+  // Zero tolerance: any level-2 is too many.
+  EXPECT_EQ(DetermineState({0, 1, 13, 0}, 0), DbState::kAbnormal);
+}
+
+TEST(CorrelationMatrixTest, SymmetricWithNanIneligible) {
+  CorrelationMatrix cm(3);
+  EXPECT_DOUBLE_EQ(cm.At(1, 1), 1.0);
+  EXPECT_TRUE(std::isnan(cm.At(0, 1)));
+  cm.Set(0, 1, 0.8);
+  EXPECT_DOUBLE_EQ(cm.At(0, 1), 0.8);
+  EXPECT_DOUBLE_EQ(cm.At(1, 0), 0.8);
+  const auto peers = cm.PeerScores(0);
+  ASSERT_EQ(peers.size(), 1u);  // the NaN pair (0,2) is skipped
+  EXPECT_DOUBLE_EQ(peers[0], 0.8);
+}
+
+TEST(KcdCacheTest, KeyDistinguishesWindowsAndPairs) {
+  const uint64_t a = KcdCache::Key(1, 0, 2, 100, 20);
+  EXPECT_NE(a, KcdCache::Key(1, 0, 2, 100, 40));
+  EXPECT_NE(a, KcdCache::Key(1, 0, 2, 120, 20));
+  EXPECT_NE(a, KcdCache::Key(1, 0, 3, 100, 20));
+  EXPECT_NE(a, KcdCache::Key(2, 0, 2, 100, 20));
+  // Pair order does not matter.
+  EXPECT_EQ(a, KcdCache::Key(1, 2, 0, 100, 20));
+}
+
+TEST(KcdCacheTest, InsertLookup) {
+  KcdCache cache;
+  double out = 0.0;
+  EXPECT_FALSE(cache.Lookup(42, &out));
+  cache.Insert(42, 0.77);
+  EXPECT_TRUE(cache.Lookup(42, &out));
+  EXPECT_DOUBLE_EQ(out, 0.77);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    UnitSimConfig config;
+    config.ticks = 400;
+    config.inject_anomalies = false;
+    PeriodicProfileParams pp;
+    Rng rng(7);
+    auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+    unit_ = new UnitData(SimulateUnit(config, *profile, true, rng.Fork(2)));
+    config_ = new DbcatcherConfig(DefaultDbcatcherConfig(kNumKpis));
+  }
+  static void TearDownTestSuite() {
+    delete unit_;
+    delete config_;
+    unit_ = nullptr;
+    config_ = nullptr;
+  }
+  static UnitData* unit_;
+  static DbcatcherConfig* config_;
+};
+
+UnitData* AnalyzerTest::unit_ = nullptr;
+DbcatcherConfig* AnalyzerTest::config_ = nullptr;
+
+TEST_F(AnalyzerTest, PrimaryExcludedOnReplicaOnlyKpis) {
+  CorrelationAnalyzer analyzer(*unit_, *config_);
+  const size_t com_insert = KpiIndex(Kpi::kComInsert);  // R-R in Table II
+  EXPECT_FALSE(analyzer.PairEligible(com_insert, 0, 1, 40, 20));
+  EXPECT_TRUE(analyzer.PairEligible(com_insert, 1, 2, 40, 20));
+  EXPECT_TRUE(std::isnan(analyzer.AggregateScore(com_insert, 0, 40, 20)));
+
+  const size_t cpu = KpiIndex(Kpi::kCpuUtilization);  // P-R, R-R
+  EXPECT_TRUE(analyzer.PairEligible(cpu, 0, 1, 40, 20));
+  EXPECT_FALSE(std::isnan(analyzer.AggregateScore(cpu, 0, 40, 20)));
+}
+
+TEST_F(AnalyzerTest, MatrixSymmetricEligibleEntries)  {
+  CorrelationAnalyzer analyzer(*unit_, *config_);
+  const CorrelationMatrix cm =
+      analyzer.Matrix(KpiIndex(Kpi::kRequestsPerSecond), 40, 20);
+  for (size_t a = 0; a < 5; ++a) {
+    for (size_t b = a + 1; b < 5; ++b) {
+      EXPECT_FALSE(std::isnan(cm.At(a, b)));
+      EXPECT_DOUBLE_EQ(cm.At(a, b), cm.At(b, a));
+      EXPECT_LE(cm.At(a, b), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST_F(AnalyzerTest, HealthyAggregateScoresHigh) {
+  CorrelationAnalyzer analyzer(*unit_, *config_);
+  for (size_t db = 1; db < 5; ++db) {
+    const double s =
+        analyzer.AggregateScore(KpiIndex(Kpi::kRequestsPerSecond), db, 100, 20);
+    EXPECT_GT(s, 0.85) << "db=" << db;
+  }
+}
+
+TEST_F(AnalyzerTest, CacheAvoidsRecomputation) {
+  KcdCache cache;
+  CorrelationAnalyzer analyzer(*unit_, *config_, &cache);
+  analyzer.Matrix(0, 40, 20);
+  const size_t after_first = cache.size();
+  EXPECT_GT(after_first, 0u);
+  analyzer.Matrix(0, 40, 20);
+  EXPECT_EQ(cache.size(), after_first);
+}
+
+TEST_F(AnalyzerTest, IdleDatabaseExcluded) {
+  // Zero out one replica's RPS: it must become inactive and excluded.
+  UnitData unit = *unit_;
+  Series& rps = unit.kpis[3].row(KpiIndex(Kpi::kRequestsPerSecond));
+  for (size_t t = 0; t < rps.size(); ++t) rps[t] = 0.0;
+  CorrelationAnalyzer analyzer(unit, *config_);
+  EXPECT_FALSE(analyzer.DbActive(3, 40, 20));
+  EXPECT_TRUE(std::isnan(
+      analyzer.AggregateScore(KpiIndex(Kpi::kRequestsPerSecond), 3, 40, 20)));
+  EXPECT_FALSE(
+      analyzer.PairEligible(KpiIndex(Kpi::kRequestsPerSecond), 1, 3, 40, 20));
+}
+
+TEST_F(AnalyzerTest, CalculateLevelsLiteralForm) {
+  CorrelationAnalyzer analyzer(*unit_, *config_);
+  const CorrelationMatrix cm =
+      analyzer.Matrix(KpiIndex(Kpi::kRequestsPerSecond), 40, 20);
+  const auto levels = CalculateLevels(cm, 0.7, 0.2, 1);
+  EXPECT_EQ(levels.size(), 4u);  // N - 1 peers
+  for (const CorrelationLevel level : levels) {
+    EXPECT_EQ(level, CorrelationLevel::kCorrelated);  // healthy window
+  }
+}
+
+TEST_F(AnalyzerTest, SummarizeCountsAllKpis) {
+  CorrelationAnalyzer analyzer(*unit_, *config_);
+  const LevelSummary s =
+      SummarizeLevels(analyzer, /*db=*/0, 100, 20, config_->genome);
+  // The primary skips the 5 R-R KPIs of Table II.
+  EXPECT_EQ(s.skipped, 5);
+  EXPECT_EQ(s.level1 + s.level2 + s.level3 + s.skipped,
+            static_cast<int>(kNumKpis));
+}
+
+}  // namespace
+}  // namespace dbc

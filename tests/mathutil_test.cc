@@ -1,0 +1,125 @@
+#include "dbc/common/mathutil.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+namespace {
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-5.0}), -5.0);
+}
+
+TEST(VarianceTest, Basic) {
+  EXPECT_DOUBLE_EQ(Variance({1.0, 1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({0.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Variance({7.0}), 0.0);
+}
+
+TEST(StddevTest, MatchesVariance) {
+  const std::vector<double> v = {1.0, 3.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(Stddev(v), std::sqrt(Variance(v)));
+}
+
+TEST(L2NormTest, Pythagoras) {
+  EXPECT_DOUBLE_EQ(L2Norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(L2Norm({}), 0.0);
+}
+
+TEST(DotTest, Orthogonal) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 0.0}, {0.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+}
+
+TEST(MinMaxTest, Basic) {
+  const std::vector<double> v = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 7.0);
+  EXPECT_DOUBLE_EQ(Min({}), 0.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({9.0}), 9.0);
+}
+
+TEST(QuantileTest, Endpoints) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.35), 3.5);
+}
+
+TEST(ClampTest, Basic) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.3, 0.0, 1.0), 0.3);
+}
+
+TEST(LinspaceTest, EndpointsAndCount) {
+  const auto v = Linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_TRUE(Linspace(1.0, 2.0, 0).empty());
+  EXPECT_EQ(Linspace(3.0, 9.0, 1), std::vector<double>{3.0});
+}
+
+TEST(AlmostEqualTest, RelativeTolerance) {
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 + 1.0, 1e-9));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.1, 1e-9));
+  EXPECT_TRUE(AlmostEqual(0.0, 0.0));
+}
+
+TEST(NextPow2Test, Values) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+  EXPECT_EQ(NextPow2(1025), 2048u);
+}
+
+TEST(RanksTest, DistinctValues) {
+  const auto r = Ranks({30.0, 10.0, 20.0});
+  EXPECT_EQ(r, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(RanksTest, TiesGetAverageRank) {
+  const auto r = Ranks({1.0, 2.0, 2.0, 3.0});
+  EXPECT_EQ(r, (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+// Property: quantile is monotone in p for random data.
+class QuantileMonotoneTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneInP) {
+  Rng rng(GetParam());
+  std::vector<double> v(101);
+  for (double& x : v) x = rng.Uniform(-10.0, 10.0);
+  double prev = Quantile(v, 0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double q = Quantile(v, p);
+    EXPECT_GE(q, prev - 1e-12);
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,90 @@
+#include "dbc/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dbc {
+namespace {
+
+TEST(ConfusionTest, AddRoutesToBuckets) {
+  Confusion c;
+  c.Add(true, true);    // tp
+  c.Add(true, false);   // fp
+  c.Add(false, true);   // fn
+  c.Add(false, false);  // tn
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(ConfusionTest, MetricsMatchDefinitions) {
+  Confusion c;
+  c.tp = 8;
+  c.fp = 2;
+  c.fn = 4;
+  c.tn = 86;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.8);
+  EXPECT_DOUBLE_EQ(c.Recall(), 8.0 / 12.0);
+  const double p = 0.8, r = 8.0 / 12.0;
+  EXPECT_DOUBLE_EQ(c.FMeasure(), 2 * p * r / (p + r));
+}
+
+TEST(ConfusionTest, DegenerateCases) {
+  Confusion c;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.FMeasure(), 0.0);
+  c.tn = 100;
+  EXPECT_DOUBLE_EQ(c.FMeasure(), 0.0);
+}
+
+TEST(ConfusionTest, PerfectDetector) {
+  Confusion c;
+  c.tp = 10;
+  c.tn = 90;
+  EXPECT_DOUBLE_EQ(c.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(c.FMeasure(), 1.0);
+}
+
+TEST(ConfusionTest, MergeSums) {
+  Confusion a, b;
+  a.tp = 1;
+  a.fp = 2;
+  b.tp = 3;
+  b.tn = 4;
+  a.Merge(b);
+  EXPECT_EQ(a.tp, 4u);
+  EXPECT_EQ(a.fp, 2u);
+  EXPECT_EQ(a.tn, 4u);
+}
+
+TEST(ConfusionTest, ToStringContainsCounts) {
+  Confusion c;
+  c.tp = 3;
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("tp=3"), std::string::npos);
+}
+
+TEST(SpreadTest, TracksMeanMinMax) {
+  Spread s;
+  s.Add(2.0);
+  s.Add(4.0);
+  s.Add(6.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_EQ(s.count, 3u);
+}
+
+TEST(SpreadTest, SingleValue) {
+  Spread s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+}  // namespace
+}  // namespace dbc

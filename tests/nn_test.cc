@@ -1,0 +1,252 @@
+// Gradient checks (finite differences) and learning smoke tests for the
+// minimal NN substrate behind SR-CNN and OmniAnomaly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/nn/activations.h"
+#include "dbc/nn/conv1d.h"
+#include "dbc/nn/dense.h"
+#include "dbc/nn/gru.h"
+#include "dbc/nn/gru_vae.h"
+
+namespace dbc {
+namespace nn {
+namespace {
+
+TEST(MatTest, MatVecAndTranspose) {
+  Mat m(2, 3);
+  // [[1,2,3],[4,5,6]]
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      m(r, c) = static_cast<double>(r * 3 + c + 1);
+    }
+  }
+  EXPECT_EQ(MatVec(m, {1.0, 1.0, 1.0}), (Vec{6.0, 15.0}));
+  EXPECT_EQ(MatTVec(m, {1.0, 1.0}), (Vec{5.0, 7.0, 9.0}));
+}
+
+TEST(MatTest, AddOuterAccumulates) {
+  Mat g(2, 2);
+  AddOuter(g, {1.0, 2.0}, {3.0, 4.0});
+  AddOuter(g, {1.0, 0.0}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(g(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 8.0);
+}
+
+TEST(ActivationsTest, SigmoidStableForExtremes) {
+  EXPECT_NEAR(SigmoidScalar(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(SigmoidScalar(-100.0), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(SigmoidScalar(0.0), 0.5);
+}
+
+TEST(ActivationsTest, GradsFromOutputs) {
+  const Vec s = Sigmoid({0.0});
+  EXPECT_NEAR(SigmoidGradFromOutput(s)[0], 0.25, 1e-12);
+  const Vec t = Tanh({0.0});
+  EXPECT_NEAR(TanhGradFromOutput(t)[0], 1.0, 1e-12);
+  EXPECT_EQ(ReluGradFromOutput({3.0, 0.0})[0], 1.0);
+  EXPECT_EQ(ReluGradFromOutput({3.0, 0.0})[1], 0.0);
+}
+
+/// Scalar loss L = sum(y) for gradient checking: dL/dy = ones.
+double SumOf(const Vec& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+TEST(DenseTest, GradientMatchesFiniteDifference) {
+  Rng rng(3);
+  Dense layer(4, 3, rng);
+  const Vec x = {0.3, -0.7, 1.2, 0.1};
+
+  layer.Forward(x);
+  layer.Backward(Vec(3, 1.0));
+  Param* w = layer.Params()[0];
+
+  const double eps = 1e-6;
+  for (size_t idx = 0; idx < w->value.size(); idx += 3) {
+    const double original = w->value.data()[idx];
+    w->value.data()[idx] = original + eps;
+    const double up = SumOf(layer.Forward(x));
+    w->value.data()[idx] = original - eps;
+    const double down = SumOf(layer.Forward(x));
+    w->value.data()[idx] = original;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(w->grad.data()[idx], numeric, 1e-5) << "idx=" << idx;
+  }
+}
+
+TEST(DenseTest, BackwardReturnsInputGradient) {
+  Rng rng(5);
+  Dense layer(2, 2, rng);
+  const Vec x = {1.0, -1.0};
+  layer.Forward(x);
+  const Vec dx = layer.Backward({1.0, 1.0});
+  // dx = W^T * dy.
+  Param* w = layer.Params()[0];
+  EXPECT_NEAR(dx[0], w->value(0, 0) + w->value(1, 0), 1e-12);
+  EXPECT_NEAR(dx[1], w->value(0, 1) + w->value(1, 1), 1e-12);
+}
+
+TEST(Conv1dTest, GradientMatchesFiniteDifference) {
+  Rng rng(7);
+  Conv1d conv(2, 2, 3, rng);
+  const size_t t = 6;
+  Vec x(2 * t);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.1 * static_cast<double>(i) - 0.5;
+  }
+
+  conv.Forward(x, t);
+  const Vec dx = conv.Backward(Vec(2 * t, 1.0));
+  Param* w = conv.Params()[0];
+
+  const double eps = 1e-6;
+  for (size_t idx = 0; idx < w->value.size(); ++idx) {
+    const double original = w->value.data()[idx];
+    w->value.data()[idx] = original + eps;
+    const double up = SumOf(conv.Forward(x, t));
+    w->value.data()[idx] = original - eps;
+    const double down = SumOf(conv.Forward(x, t));
+    w->value.data()[idx] = original;
+    EXPECT_NEAR(w->grad.data()[idx], (up - down) / (2 * eps), 1e-5);
+  }
+
+  // Input gradient too.
+  conv.Forward(x, t);
+  for (size_t idx = 0; idx < x.size(); idx += 5) {
+    Vec xp = x, xm = x;
+    xp[idx] += eps;
+    xm[idx] -= eps;
+    const double up = SumOf(conv.Forward(xp, t));
+    const double down = SumOf(conv.Forward(xm, t));
+    EXPECT_NEAR(dx[idx], (up - down) / (2 * eps), 1e-5);
+  }
+}
+
+TEST(GruTest, ForwardShapeAndDeterminism) {
+  Rng rng(11);
+  Gru gru(3, 5, rng);
+  std::vector<Vec> xs = {{1.0, 0.0, -1.0}, {0.5, 0.5, 0.5}};
+  const auto h1 = gru.ForwardSequence(xs);
+  const auto h2 = gru.ForwardSequence(xs);
+  ASSERT_EQ(h1.size(), 2u);
+  ASSERT_EQ(h1[0].size(), 5u);
+  for (size_t t = 0; t < 2; ++t) {
+    for (size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(h1[t][i], h2[t][i]);
+  }
+}
+
+TEST(GruTest, BpttGradientMatchesFiniteDifference) {
+  Rng rng(13);
+  Gru gru(2, 3, rng);
+  std::vector<Vec> xs = {{0.4, -0.2}, {0.1, 0.8}, {-0.5, 0.3}};
+
+  // Loss: sum over all steps of sum(h_t).
+  auto loss = [&]() {
+    double acc = 0.0;
+    for (const Vec& h : gru.ForwardSequence(xs)) acc += SumOf(h);
+    return acc;
+  };
+
+  gru.ForwardSequence(xs);
+  std::vector<Vec> dh(xs.size(), Vec(3, 1.0));
+  gru.BackwardSequence(dh);
+
+  const double eps = 1e-6;
+  for (Param* p : gru.Params()) {
+    for (size_t idx = 0; idx < p->value.size();
+         idx += std::max<size_t>(1, p->value.size() / 4)) {
+      const double original = p->value.data()[idx];
+      p->value.data()[idx] = original + eps;
+      const double up = loss();
+      p->value.data()[idx] = original - eps;
+      const double down = loss();
+      p->value.data()[idx] = original;
+      EXPECT_NEAR(p->grad.data()[idx], (up - down) / (2 * eps), 1e-4);
+    }
+  }
+}
+
+TEST(AdamTest, DecreasesQuadraticLoss) {
+  // Minimize ||w||^2 with Adam: w should shrink toward zero.
+  Param w(1, 4);
+  for (size_t i = 0; i < 4; ++i) w.value(0, i) = 2.0;
+  Adam adam(0.05);
+  adam.Register(&w);
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    for (size_t i = 0; i < 4; ++i) w.grad(0, i) = 2.0 * w.value(0, i);
+    adam.Step();
+  }
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(w.value(0, i), 0.0, 0.05);
+}
+
+TEST(AdamTest, ClipGradNormScales) {
+  Param w(1, 2);
+  Adam adam(0.1);
+  adam.Register(&w);
+  w.grad(0, 0) = 3.0;
+  w.grad(0, 1) = 4.0;  // norm 5
+  adam.ClipGradNorm(1.0);
+  EXPECT_NEAR(w.grad(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(w.grad(0, 1), 0.8, 1e-12);
+}
+
+TEST(GruVaeTest, TrainingReducesReconstructionError) {
+  GruVaeConfig config;
+  config.input_dim = 3;
+  config.hidden_dim = 8;
+  config.latent_dim = 2;
+  config.learning_rate = 5e-3;
+  Rng rng(17);
+  GruVae model(config, rng);
+
+  // A simple repeating pattern the VAE should learn to reconstruct.
+  std::vector<Vec> seq;
+  for (int t = 0; t < 24; ++t) {
+    const double phase = 0.4 * t;
+    seq.push_back({0.5 + 0.4 * std::sin(phase), 0.5 + 0.4 * std::cos(phase),
+                   0.5});
+  }
+  auto mean_score = [&]() {
+    double acc = 0.0;
+    for (double s : model.Score(seq)) acc += s;
+    return acc / static_cast<double>(seq.size());
+  };
+  const double before = mean_score();
+  for (int epoch = 0; epoch < 150; ++epoch) model.TrainSequence(seq, rng);
+  EXPECT_LT(mean_score(), before * 0.7);
+}
+
+TEST(GruVaeTest, AnomalousStepScoresHigherAfterTraining) {
+  GruVaeConfig config;
+  config.input_dim = 2;
+  config.hidden_dim = 8;
+  config.latent_dim = 2;
+  config.learning_rate = 5e-3;
+  Rng rng(19);
+  GruVae model(config, rng);
+  std::vector<Vec> normal;
+  for (int t = 0; t < 20; ++t) {
+    normal.push_back({0.5 + 0.3 * std::sin(0.5 * t),
+                      0.5 + 0.3 * std::sin(0.5 * t + 0.2)});
+  }
+  for (int epoch = 0; epoch < 200; ++epoch) model.TrainSequence(normal, rng);
+
+  std::vector<Vec> with_anomaly = normal;
+  with_anomaly[10] = {3.0, -2.0};  // far outside the learned manifold
+  const auto scores = model.Score(with_anomaly);
+  double normal_mean = 0.0;
+  for (size_t t = 0; t < scores.size(); ++t) {
+    if (t != 10) normal_mean += scores[t];
+  }
+  normal_mean /= static_cast<double>(scores.size() - 1);
+  EXPECT_GT(scores[10], 3.0 * normal_mean);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dbc

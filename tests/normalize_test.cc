@@ -1,0 +1,72 @@
+#include "dbc/ts/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+namespace {
+
+TEST(MinMaxNormalizeTest, MapsToUnitInterval) {
+  const Series s = MinMaxNormalize(Series({2.0, 6.0, 4.0}));
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.5);
+}
+
+TEST(MinMaxNormalizeTest, ConstantSeriesBecomesZeros) {
+  const Series s = MinMaxNormalize(Series({5.0, 5.0, 5.0}));
+  for (double v : s) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MinMaxNormalizeTest, EmptySeries) {
+  EXPECT_TRUE(MinMaxNormalize(Series()).empty());
+}
+
+// Property: min-max normalization is invariant to affine transforms with
+// positive scale — the basis of trend (not magnitude) comparison (Eq. 1).
+class MinMaxInvarianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinMaxInvarianceTest, AffineInvariant) {
+  Rng rng(GetParam());
+  std::vector<double> raw(50);
+  for (double& v : raw) v = rng.Uniform(-3.0, 3.0);
+  const double scale = rng.Uniform(0.1, 100.0);
+  const double offset = rng.Uniform(-50.0, 50.0);
+  std::vector<double> transformed = raw;
+  for (double& v : transformed) v = scale * v + offset;
+
+  const Series a = MinMaxNormalize(Series(raw));
+  const Series b = MinMaxNormalize(Series(std::move(transformed)));
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinMaxInvarianceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ZScoreNormalizeTest, MeanZeroUnitVariance) {
+  const Series s = ZScoreNormalize(Series({1.0, 2.0, 3.0, 4.0}));
+  EXPECT_NEAR(s.Mean(), 0.0, 1e-12);
+  EXPECT_NEAR(s.Stddev(), 1.0, 1e-12);
+}
+
+TEST(ZScoreNormalizeTest, ConstantSeriesBecomesZeros) {
+  const Series s = ZScoreNormalize(Series({3.0, 3.0}));
+  for (double v : s) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RobustNormalizeTest, CentersOnMedian) {
+  const Series s = RobustNormalize(Series({1.0, 2.0, 3.0, 4.0, 100.0}));
+  // Median is 3; the center element maps to 0.
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+}
+
+TEST(MinMaxNormalizeInPlaceTest, MatchesSeriesVersion) {
+  std::vector<double> v = {1.0, 5.0, 3.0};
+  MinMaxNormalizeInPlace(v);
+  const Series s = MinMaxNormalize(Series({1.0, 5.0, 3.0}));
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(v[i], s[i]);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,156 @@
+// Flexible time window observation tests (Fig. 7 state machine).
+#include "dbc/dbcatcher/observer.h"
+
+#include <gtest/gtest.h>
+
+#include "dbc/cloudsim/unit_sim.h"
+
+namespace dbc {
+namespace {
+
+UnitData HealthyUnit(size_t ticks, uint64_t seed) {
+  UnitSimConfig config;
+  config.ticks = ticks;
+  config.inject_anomalies = false;
+  PeriodicProfileParams pp;
+  Rng rng(seed);
+  auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+  return SimulateUnit(config, *profile, true, rng.Fork(2));
+}
+
+TEST(ObserveDatabaseTest, HealthyWindowResolvesImmediately) {
+  const UnitData unit = HealthyUnit(200, 3);
+  const DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  CorrelationAnalyzer analyzer(unit, config);
+  const Observation obs =
+      ObserveDatabase(analyzer, config, /*db=*/1, /*t0=*/60, unit.length());
+  EXPECT_EQ(obs.final_state, DbState::kHealthy);
+  EXPECT_EQ(obs.consumed, config.initial_window);
+  EXPECT_EQ(obs.expansions, 0u);
+}
+
+/// Genome that pushes exactly two KPIs into the level-2 band on healthy data
+/// (healthy KCDs sit around 0.95-0.99, far above the 0.7 default alpha): the
+/// database becomes "observable" without exceeding the tolerance.
+ThresholdGenome TwoObservableKpis() {
+  ThresholdGenome genome;
+  genome.alpha.assign(kNumKpis, 0.7);
+  genome.alpha[KpiIndex(Kpi::kRequestsPerSecond)] = 0.9999;
+  genome.alpha[KpiIndex(Kpi::kTotalRequests)] = 0.9999;
+  genome.theta = 0.3;  // level-2 band [0.6999, 0.9999) swallows healthy scores
+  genome.tolerance = 3;
+  return genome;
+}
+
+TEST(ObserveDatabaseTest, ObservableExpandsWindow) {
+  const UnitData unit = HealthyUnit(300, 5);
+  DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  config.genome = TwoObservableKpis();
+  CorrelationAnalyzer analyzer(unit, config);
+  const Observation obs = ObserveDatabase(analyzer, config, 1, 60, 300);
+  EXPECT_GT(obs.consumed, config.initial_window);
+  EXPECT_GE(obs.expansions, 1u);
+}
+
+TEST(ObserveDatabaseTest, ExpansionCappedAtMaxWindow) {
+  const UnitData unit = HealthyUnit(400, 7);
+  DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  config.genome = TwoObservableKpis();
+  config.initial_window = 20;
+  config.max_window = 60;
+  CorrelationAnalyzer analyzer(unit, config);
+  const Observation obs = ObserveDatabase(analyzer, config, 2, 60, 400);
+  EXPECT_LE(obs.consumed, 60u);
+  EXPECT_LE(obs.expansions, 2u);
+}
+
+TEST(ObserveDatabaseTest, UnresolvedObservableFollowsPolicy) {
+  const UnitData unit = HealthyUnit(400, 9);
+  DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  config.genome = TwoObservableKpis();
+  {
+    CorrelationAnalyzer analyzer(unit, config);
+    config.escalate_unresolved = false;
+    const Observation obs = ObserveDatabase(analyzer, config, 1, 60, 400);
+    EXPECT_EQ(obs.final_state, DbState::kHealthy);
+  }
+  {
+    config.escalate_unresolved = true;
+    CorrelationAnalyzer analyzer(unit, config);
+    const Observation obs = ObserveDatabase(analyzer, config, 1, 60, 400);
+    EXPECT_EQ(obs.final_state, DbState::kAbnormal);
+  }
+}
+
+TEST(ObserveDatabaseTest, DataHorizonTruncates) {
+  const UnitData unit = HealthyUnit(100, 11);
+  DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  CorrelationAnalyzer analyzer(unit, config);
+  // Only 10 ticks of data beyond t0: less than a full base window.
+  const Observation obs = ObserveDatabase(analyzer, config, 1, 90, 100);
+  EXPECT_TRUE(obs.truncated);
+}
+
+TEST(DetectUnitTest, CoversWholeTimeline) {
+  const UnitData unit = HealthyUnit(205, 13);
+  const DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  const UnitVerdicts verdicts = DetectUnit(unit, config);
+  ASSERT_EQ(verdicts.per_db.size(), 5u);
+  for (size_t db = 0; db < 5; ++db) {
+    ASSERT_FALSE(verdicts.per_db[db].empty());
+    EXPECT_EQ(verdicts.per_db[db].front().begin, 0u);
+    // Tiles abut each other and the trailing remainder is absorbed.
+    for (size_t i = 1; i < verdicts.per_db[db].size(); ++i) {
+      EXPECT_EQ(verdicts.per_db[db][i].begin,
+                verdicts.per_db[db][i - 1].end);
+    }
+    EXPECT_EQ(verdicts.per_db[db].back().end, 205u);
+  }
+}
+
+TEST(DetectUnitTest, MostlyHealthyOnCleanTrace) {
+  const UnitData unit = HealthyUnit(400, 17);
+  const DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  const UnitVerdicts verdicts = DetectUnit(unit, config);
+  size_t abnormal = 0, total = 0;
+  for (const auto& db : verdicts.per_db) {
+    for (const WindowVerdict& v : db) {
+      abnormal += v.abnormal;
+      ++total;
+    }
+  }
+  EXPECT_LT(static_cast<double>(abnormal) / static_cast<double>(total), 0.05);
+}
+
+TEST(DetectUnitTest, CatchesInjectedAnomalies) {
+  UnitSimConfig sim_config;
+  sim_config.ticks = 500;
+  sim_config.anomalies.target_ratio = 0.08;
+  PeriodicProfileParams pp;
+  Rng rng(19);
+  auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+  const UnitData unit = SimulateUnit(sim_config, *profile, true, rng.Fork(2));
+
+  const DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  const Confusion c = ScoreVerdicts(unit, DetectUnit(unit, config));
+  EXPECT_GT(c.FMeasure(), 0.5);
+}
+
+TEST(DetectUnitTest, CacheDoesNotChangeResults) {
+  const UnitData unit = HealthyUnit(300, 23);
+  const DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  KcdCache cache;
+  const UnitVerdicts a = DetectUnit(unit, config, &cache);
+  const UnitVerdicts b = DetectUnit(unit, config, &cache);  // from cache
+  const UnitVerdicts c = DetectUnit(unit, config, nullptr);
+  ASSERT_EQ(a.per_db.size(), c.per_db.size());
+  for (size_t db = 0; db < a.per_db.size(); ++db) {
+    for (size_t i = 0; i < a.per_db[db].size(); ++i) {
+      EXPECT_EQ(a.per_db[db][i].abnormal, b.per_db[db][i].abnormal);
+      EXPECT_EQ(a.per_db[db][i].abnormal, c.per_db[db][i].abnormal);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,172 @@
+// Threshold-genome and optimizer tests (Algorithm 2 and the Fig. 11
+// comparators).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/optimize/annealing.h"
+#include "dbc/optimize/ga.h"
+#include "dbc/optimize/random_search.h"
+
+namespace dbc {
+namespace {
+
+GenomeRanges DefaultRanges() { return GenomeRanges{}; }
+
+TEST(GenomeTest, RandomWithinRanges) {
+  Rng rng(3);
+  const GenomeRanges ranges = DefaultRanges();
+  for (int i = 0; i < 50; ++i) {
+    const ThresholdGenome g = ThresholdGenome::Random(14, ranges, rng);
+    ASSERT_EQ(g.alpha.size(), 14u);
+    for (double a : g.alpha) {
+      EXPECT_GE(a, ranges.alpha_lo);
+      EXPECT_LE(a, ranges.alpha_hi);
+    }
+    EXPECT_GE(g.theta, ranges.theta_lo);
+    EXPECT_LE(g.theta, ranges.theta_hi);
+    EXPECT_GE(g.tolerance, ranges.tolerance_lo);
+    EXPECT_LE(g.tolerance, ranges.tolerance_hi);
+  }
+}
+
+TEST(GenomeTest, CrossoverExchangesSuffixes) {
+  Rng rng(5);
+  ThresholdGenome x, y;
+  x.alpha.assign(6, 0.6);
+  y.alpha.assign(6, 0.8);
+  x.theta = 0.1;
+  y.theta = 0.3;
+  ThresholdGenome a, b;
+  ThresholdGenome::Crossover(x, y, &a, &b, rng);
+  // Single split point: a is 0.6-prefix then 0.8-suffix; b mirrors.
+  int switches_a = 0;
+  for (size_t i = 1; i < 6; ++i) {
+    if (a.alpha[i] != a.alpha[i - 1]) ++switches_a;
+    // Children only contain parent values.
+    EXPECT_TRUE(a.alpha[i] == 0.6 || a.alpha[i] == 0.8);
+    EXPECT_TRUE(b.alpha[i] == 0.6 || b.alpha[i] == 0.8);
+    // Mirror property.
+    EXPECT_NE(a.alpha[i], b.alpha[i]);
+  }
+  EXPECT_EQ(switches_a, 1);
+  EXPECT_TRUE(a.theta == 0.1 || a.theta == 0.3);
+}
+
+TEST(GenomeTest, MutationStaysInClampedRange) {
+  Rng rng(7);
+  const GenomeRanges ranges = DefaultRanges();
+  ThresholdGenome g = ThresholdGenome::Random(14, ranges, rng);
+  for (int i = 0; i < 100; ++i) {
+    g.Mutate(ranges, rng);
+    for (double a : g.alpha) {
+      EXPECT_GE(a, ranges.alpha_min);
+      EXPECT_LE(a, ranges.alpha_max);
+    }
+    EXPECT_GE(g.theta, ranges.theta_lo);
+    EXPECT_LE(g.theta, ranges.theta_hi);
+  }
+}
+
+TEST(GenomeTest, ToStringMentionsComponents) {
+  ThresholdGenome g;
+  g.alpha = {0.7};
+  const std::string s = g.ToString();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("theta"), std::string::npos);
+}
+
+/// A smooth synthetic fitness landscape: best when alphas approach 0.75,
+/// theta 0.2, tolerance 1.
+double SyntheticFitness(const ThresholdGenome& g) {
+  double score = 1.0;
+  for (double a : g.alpha) score -= (a - 0.75) * (a - 0.75);
+  score -= 2.0 * (g.theta - 0.2) * (g.theta - 0.2);
+  score -= 0.05 * std::fabs(static_cast<double>(g.tolerance - 1));
+  return std::max(0.0, score);
+}
+
+class OptimizerContractTest
+    : public ::testing::TestWithParam<std::shared_ptr<ThresholdOptimizer>> {};
+
+TEST_P(OptimizerContractTest, ImprovesOverRandomSeedGenome) {
+  Rng rng(11);
+  const GenomeRanges ranges = DefaultRanges();
+  ThresholdGenome seed = ThresholdGenome::Random(8, ranges, rng);
+  // Deliberately bad seed.
+  for (double& a : seed.alpha) a = 0.98;
+  const double seed_fitness = SyntheticFitness(seed);
+
+  const OptimizeResult result =
+      GetParam()->Optimize(seed, ranges, SyntheticFitness, rng);
+  EXPECT_GE(result.best_fitness, seed_fitness);
+  EXPECT_GT(result.evaluations, 10u);
+  EXPECT_NEAR(result.best_fitness, SyntheticFitness(result.best), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptimizers, OptimizerContractTest,
+    ::testing::Values(std::make_shared<GeneticOptimizer>(),
+                      std::make_shared<AnnealingOptimizer>(),
+                      std::make_shared<RandomSearchOptimizer>()));
+
+TEST(GeneticOptimizerTest, FindsNearOptimum) {
+  Rng rng(13);
+  GaConfig config;
+  config.population = 16;
+  config.iterations = 12;
+  GeneticOptimizer ga(config);
+  const ThresholdGenome seed =
+      ThresholdGenome::Random(8, DefaultRanges(), rng);
+  const OptimizeResult result =
+      ga.Optimize(seed, DefaultRanges(), SyntheticFitness, rng);
+  EXPECT_GT(result.best_fitness, 0.95);
+}
+
+TEST(GeneticOptimizerTest, KeepsHistoricalBest) {
+  // A fitness with a rare sharp optimum: the GA must never lose a best-ever
+  // individual even if later generations regress (Alg. 2 line 6).
+  Rng rng(17);
+  int calls = 0;
+  auto fitness = [&calls](const ThresholdGenome& g) {
+    ++calls;
+    return calls == 5 ? 100.0 : SyntheticFitness(g);  // one lucky evaluation
+  };
+  GeneticOptimizer ga;
+  const OptimizeResult result = ga.Optimize(
+      ThresholdGenome::Random(4, DefaultRanges(), rng), DefaultRanges(),
+      fitness, rng);
+  EXPECT_DOUBLE_EQ(result.best_fitness, 100.0);
+}
+
+TEST(OptimizersTest, NamesMatchFig11) {
+  EXPECT_EQ(GeneticOptimizer().Name(), "GA");
+  EXPECT_EQ(AnnealingOptimizer().Name(), "SAA");
+  EXPECT_EQ(RandomSearchOptimizer().Name(), "Random");
+}
+
+TEST(GeneticOptimizerTest, GaOutperformsRandomOnAverage) {
+  // Fig. 11's claim at miniature scale: same budget, GA >= Random on a
+  // smooth landscape, averaged over seeds.
+  double ga_total = 0.0, random_total = 0.0;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(100 + seed);
+    const ThresholdGenome start =
+        ThresholdGenome::Random(12, DefaultRanges(), rng);
+    GaConfig ga_config;
+    GeneticOptimizer ga(ga_config);
+    RandomSearchOptimizer random;
+    Rng rng_a = rng.Fork(1);
+    Rng rng_b = rng.Fork(2);
+    ga_total +=
+        ga.Optimize(start, DefaultRanges(), SyntheticFitness, rng_a)
+            .best_fitness;
+    random_total +=
+        random.Optimize(start, DefaultRanges(), SyntheticFitness, rng_b)
+            .best_fitness;
+  }
+  EXPECT_GE(ga_total, random_total - 0.05);
+}
+
+}  // namespace
+}  // namespace dbc

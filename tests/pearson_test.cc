@@ -1,0 +1,64 @@
+#include "dbc/correlation/pearson.h"
+
+#include <gtest/gtest.h>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+namespace {
+
+TEST(PearsonTest, PerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation(std::vector<double>{1.0, 2.0, 3.0}, std::vector<double>{10.0, 20.0, 30.0}), 1.0,
+              1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation(std::vector<double>{1.0, 2.0, 3.0}, std::vector<double>{3.0, 2.0, 1.0}), -1.0,
+              1e-12);
+}
+
+TEST(PearsonTest, ConstantInputGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(std::vector<double>{1.0, 1.0, 1.0}, std::vector<double>{1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(PearsonTest, SymmetricInArguments) {
+  const std::vector<double> x = {1.0, 4.0, 2.0, 8.0};
+  const std::vector<double> y = {0.5, 3.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), PearsonCorrelation(y, x));
+}
+
+TEST(PearsonTest, BoundedInMinusOneOne) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(20), y(20);
+    for (size_t i = 0; i < x.size(); ++i) {
+      x[i] = rng.Uniform(-5, 5);
+      y[i] = rng.Uniform(-5, 5);
+    }
+    const double r = PearsonCorrelation(x, y);
+    EXPECT_GE(r, -1.0 - 1e-12);
+    EXPECT_LE(r, 1.0 + 1e-12);
+  }
+}
+
+TEST(PearsonTest, AffineInvariance) {
+  Rng rng(11);
+  std::vector<double> x(30), y(30);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = x[i] + 0.3 * rng.Normal();
+  }
+  std::vector<double> x_scaled = x;
+  for (double& v : x_scaled) v = 5.0 * v - 7.0;
+  EXPECT_NEAR(PearsonCorrelation(x, y), PearsonCorrelation(x_scaled, y),
+              1e-12);
+}
+
+TEST(PearsonTest, SeriesOverload) {
+  const Series x({1.0, 2.0, 3.0});
+  const Series y({2.0, 4.0, 6.0});
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dbc

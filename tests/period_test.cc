@@ -1,0 +1,85 @@
+#include "dbc/period/periodicity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Series Sine(size_t n, size_t period, double noise_sigma, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(2.0 * kPi * static_cast<double>(i) /
+                    static_cast<double>(period)) +
+           noise_sigma * rng.Normal();
+  }
+  return Series(std::move(v));
+}
+
+TEST(AutocorrelationTest, PeaksAtPeriod) {
+  const Series s = Sine(400, 40, 0.0, 1);
+  EXPECT_GT(Autocorrelation(s, 40), 0.9);
+  EXPECT_LT(Autocorrelation(s, 20), 0.0);  // anti-phase
+}
+
+TEST(AutocorrelationTest, Degenerate) {
+  EXPECT_DOUBLE_EQ(Autocorrelation(Series({1.0}), 0), 0.0);
+  EXPECT_DOUBLE_EQ(Autocorrelation(Series(10, 3.0), 2), 0.0);  // constant
+}
+
+class PeriodDetectionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PeriodDetectionTest, DetectsSinePeriod) {
+  const size_t period = GetParam();
+  const Series s = Sine(period * 12, period, 0.05, period);
+  const PeriodicityResult r = ClassifyPeriodicity(s);
+  EXPECT_TRUE(r.periodic) << "period=" << period;
+  EXPECT_NEAR(static_cast<double>(r.period), static_cast<double>(period),
+              static_cast<double>(period) * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodDetectionTest,
+                         ::testing::Values(12, 20, 32, 50, 64));
+
+TEST(PeriodDetectionTest, WhiteNoiseIsIrregular) {
+  Rng rng(5);
+  std::vector<double> v(600);
+  for (double& x : v) x = rng.Normal();
+  const PeriodicityResult r = ClassifyPeriodicity(Series(std::move(v)));
+  EXPECT_FALSE(r.periodic);
+}
+
+TEST(PeriodDetectionTest, RandomWalkIsIrregular) {
+  Rng rng(7);
+  std::vector<double> v(600);
+  double x = 0.0;
+  for (double& p : v) {
+    x += rng.Normal();
+    p = x;
+  }
+  const PeriodicityResult r = ClassifyPeriodicity(Series(std::move(v)));
+  EXPECT_FALSE(r.periodic);
+}
+
+TEST(PeriodDetectionTest, NoisyPeriodicStillDetected) {
+  const Series s = Sine(480, 48, 0.3, 11);
+  EXPECT_TRUE(ClassifyPeriodicity(s).periodic);
+}
+
+TEST(PeriodDetectionTest, TooShortSeriesIsIrregular) {
+  const Series s = Sine(10, 40, 0.0, 13);
+  EXPECT_FALSE(ClassifyPeriodicity(s).periodic);
+}
+
+TEST(PeriodDetectionTest, ConstantSeriesIsIrregular) {
+  EXPECT_FALSE(ClassifyPeriodicity(Series(300, 2.0)).periodic);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,88 @@
+#include "dbc/ts/series.h"
+
+#include <gtest/gtest.h>
+
+namespace dbc {
+namespace {
+
+TEST(SeriesTest, ConstructAndIndex) {
+  Series s({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  s[1] = 9.0;
+  EXPECT_DOUBLE_EQ(s[1], 9.0);
+}
+
+TEST(SeriesTest, FillConstructor) {
+  Series s(4, 1.5);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[3], 1.5);
+}
+
+TEST(SeriesTest, SliceClampsBounds) {
+  Series s({0.0, 1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.Slice(1, 3).values(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(s.Slice(3, 100).values(), (std::vector<double>{3.0, 4.0}));
+  EXPECT_TRUE(s.Slice(4, 2).empty());
+}
+
+TEST(SeriesTest, Tail) {
+  Series s({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.Tail(2).values(), (std::vector<double>{2.0, 3.0}));
+  EXPECT_EQ(s.Tail(10).size(), 3u);
+}
+
+TEST(SeriesTest, Stats) {
+  Series s({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 6.0);
+}
+
+TEST(SeriesTest, Diff) {
+  Series s({1.0, 4.0, 2.0});
+  EXPECT_EQ(s.Diff().values(), (std::vector<double>{3.0, -2.0}));
+  EXPECT_TRUE(Series({5.0}).Diff().empty());
+}
+
+TEST(SeriesTest, Arithmetic) {
+  Series a({1.0, 2.0});
+  Series b({10.0, 20.0});
+  EXPECT_EQ((a + b).values(), (std::vector<double>{11.0, 22.0}));
+  EXPECT_EQ((a * 3.0).values(), (std::vector<double>{3.0, 6.0}));
+}
+
+TEST(MultiSeriesTest, AddAndLookup) {
+  MultiSeries ms;
+  ms.Add("cpu", Series({1.0, 2.0}));
+  ms.Add("rps", Series({3.0, 4.0}));
+  EXPECT_EQ(ms.num_series(), 2u);
+  EXPECT_EQ(ms.length(), 2u);
+  EXPECT_EQ(ms.IndexOf("rps"), 1);
+  EXPECT_EQ(ms.IndexOf("nope"), -1);
+  EXPECT_EQ(ms.name(0), "cpu");
+}
+
+TEST(MultiSeriesTest, ColumnExtraction) {
+  MultiSeries ms;
+  ms.Add("a", Series({1.0, 2.0}));
+  ms.Add("b", Series({3.0, 4.0}));
+  EXPECT_EQ(ms.Column(1), (std::vector<double>{2.0, 4.0}));
+}
+
+TEST(MultiSeriesTest, SliceAllRows) {
+  MultiSeries ms;
+  ms.Add("a", Series({1.0, 2.0, 3.0}));
+  ms.Add("b", Series({4.0, 5.0, 6.0}));
+  const MultiSeries sliced = ms.Slice(1, 3);
+  EXPECT_EQ(sliced.length(), 2u);
+  EXPECT_DOUBLE_EQ(sliced.row(1)[0], 5.0);
+}
+
+TEST(MultiSeriesTest, EmptyLength) {
+  MultiSeries ms;
+  EXPECT_EQ(ms.length(), 0u);
+}
+
+}  // namespace
+}  // namespace dbc

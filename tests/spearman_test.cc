@@ -1,0 +1,48 @@
+#include "dbc/correlation/spearman.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+namespace {
+
+TEST(SpearmanTest, MonotonicMapIsPerfect) {
+  // Spearman sees through any monotone transform; Pearson does not.
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(std::exp(v));  // strictly increasing
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ReversedIsMinusOne) {
+  EXPECT_NEAR(SpearmanCorrelation(std::vector<double>{1.0, 2.0, 3.0}, std::vector<double>{9.0, 5.0, 1.0}), -1.0,
+              1e-12);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  const double r = SpearmanCorrelation(std::vector<double>{1.0, 2.0, 2.0, 3.0},
+                                       {1.0, 2.0, 2.0, 3.0});
+  EXPECT_NEAR(r, 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, IndependentIsNearZero) {
+  Rng rng(13);
+  std::vector<double> x(2000), y(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 0.0, 0.06);
+}
+
+TEST(SpearmanTest, SeriesOverload) {
+  const Series x({3.0, 1.0, 2.0});
+  const Series y({30.0, 10.0, 20.0});
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dbc

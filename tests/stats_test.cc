@@ -1,0 +1,93 @@
+#include "dbc/ts/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "dbc/common/mathutil.h"
+#include "dbc/common/rng.h"
+
+namespace dbc {
+namespace {
+
+TEST(RollingMeanTest, WindowOfOneIsIdentity) {
+  const Series s({1.0, 5.0, 3.0});
+  EXPECT_EQ(RollingMean(s, 1).values(), s.values());
+}
+
+TEST(RollingMeanTest, Basic) {
+  const Series out = RollingMean(Series({2.0, 4.0, 6.0, 8.0}), 2);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);   // partial prefix
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_DOUBLE_EQ(out[3], 7.0);
+}
+
+// Property: rolling stats match a naive recomputation on random data.
+class RollingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(RollingPropertyTest, MatchesNaive) {
+  const auto [seed, w] = GetParam();
+  Rng rng(seed);
+  std::vector<double> x(120);
+  for (double& v : x) v = rng.Uniform(-5.0, 5.0);
+  const Series s(x);
+  const Series mean = RollingMean(s, w);
+  const Series sd = RollingStddev(s, w);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const size_t lo = i + 1 >= w ? i + 1 - w : 0;
+    std::vector<double> window(x.begin() + static_cast<ptrdiff_t>(lo),
+                               x.begin() + static_cast<ptrdiff_t>(i) + 1);
+    EXPECT_NEAR(mean[i], Mean(window), 1e-9);
+    // The sliding sumsq formula cancels catastrophically near zero
+    // variance; sqrt turns ~1e-15 into ~3e-8, hence the loose tolerance.
+    EXPECT_NEAR(sd[i], Stddev(window), 2e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWindows, RollingPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(size_t{1}, size_t{5}, size_t{17})));
+
+TEST(EmaTest, AlphaOneIsIdentity) {
+  const Series s({1.0, 9.0, 4.0});
+  EXPECT_EQ(Ema(s, 1.0).values(), s.values());
+}
+
+TEST(EmaTest, SmoothsTowardsSignal) {
+  const Series out = Ema(Series({0.0, 10.0, 10.0, 10.0}), 0.5);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);
+  EXPECT_DOUBLE_EQ(out[2], 7.5);
+}
+
+TEST(OnlineStatsTest, MatchesBatch) {
+  Rng rng(42);
+  std::vector<double> x(500);
+  OnlineStats stats;
+  for (double& v : x) {
+    v = rng.Normal(3.0, 2.0);
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), x.size());
+  EXPECT_NEAR(stats.mean(), Mean(x), 1e-9);
+  EXPECT_NEAR(stats.variance(), Variance(x), 1e-9);
+}
+
+TEST(OnlineStatsTest, FewSamples) {
+  OnlineStats stats;
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  stats.Add(5.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(DownsampleMeanTest, GroupsOfTwo) {
+  const Series out = DownsampleMean(Series({1.0, 3.0, 5.0, 7.0, 9.0}), 2);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+  EXPECT_DOUBLE_EQ(out[2], 9.0);  // partial trailing group
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,50 @@
+#include "dbc/common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dbc {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t("demo");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| beta"), std::string::npos);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"x"});
+  t.AddRow({"longer-cell"});
+  const std::string out = t.ToString();
+  // Every rendered line between separators must be equally long.
+  size_t expected = 0;
+  for (size_t pos = 0; pos < out.size();) {
+    const size_t eol = out.find('\n', pos);
+    const std::string line = out.substr(pos, eol - pos);
+    if (expected == 0) expected = line.size();
+    EXPECT_EQ(line.size(), expected) << line;
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTableTest, HandlesRaggedRows) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| 1"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::Pct(0.831, 1), "83.1%");
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,123 @@
+#include "dbc/period/wavelet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+namespace {
+
+class WaveletRoundtripTest : public ::testing::TestWithParam<WaveletKind> {};
+
+TEST_P(WaveletRoundtripTest, DwtIdwtIsIdentity) {
+  Rng rng(7);
+  std::vector<double> x(64);
+  for (double& v : x) v = rng.Uniform(-2.0, 2.0);
+  const WaveletLevel level = DwtStep(x, GetParam());
+  EXPECT_EQ(level.approximation.size(), 32u);
+  EXPECT_EQ(level.detail.size(), 32u);
+  const std::vector<double> back = IdwtStep(level, GetParam());
+  ASSERT_EQ(back.size(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+TEST_P(WaveletRoundtripTest, EnergyPreserved) {
+  Rng rng(11);
+  std::vector<double> x(128);
+  double energy = 0.0;
+  for (double& v : x) {
+    v = rng.Normal();
+    energy += v * v;
+  }
+  const WaveletLevel level = DwtStep(x, GetParam());
+  double transformed = 0.0;
+  for (double v : level.approximation) transformed += v * v;
+  for (double v : level.detail) transformed += v * v;
+  EXPECT_NEAR(transformed, energy, 1e-9 * energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, WaveletRoundtripTest,
+                         ::testing::Values(WaveletKind::kHaar,
+                                           WaveletKind::kDb4));
+
+TEST(WaveletTest, ConstantSignalHasZeroDetail) {
+  std::vector<double> x(32, 3.0);
+  const WaveletLevel level = DwtStep(x, WaveletKind::kHaar);
+  for (double d : level.detail) EXPECT_NEAR(d, 0.0, 1e-12);
+}
+
+TEST(WaveletTest, DecomposeLevelsHalve) {
+  std::vector<double> x(64, 0.0);
+  const auto levels = WaveletDecompose(x, WaveletKind::kHaar);
+  ASSERT_GE(levels.size(), 4u);
+  EXPECT_EQ(levels[0].detail.size(), 32u);
+  EXPECT_EQ(levels[1].detail.size(), 16u);
+}
+
+TEST(WaveletTest, DetailEnergyLocalizesFrequency) {
+  // A fast oscillation (period 2) lives in the finest detail level; a slow
+  // one (period 32) lives in a deep level.
+  std::vector<double> fast(128), slow(128);
+  for (size_t i = 0; i < 128; ++i) {
+    fast[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    slow[i] = std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 32.0);
+  }
+  const auto ef = DetailEnergyFractions(
+      WaveletDecompose(fast, WaveletKind::kHaar));
+  const auto es = DetailEnergyFractions(
+      WaveletDecompose(slow, WaveletKind::kHaar));
+  EXPECT_GT(ef[0], 0.95);
+  // Slow signal: finest level nearly empty, energy deeper.
+  EXPECT_LT(es[0], 0.1);
+  size_t dominant = 0;
+  for (size_t j = 1; j < es.size(); ++j) {
+    if (es[j] > es[dominant]) dominant = j;
+  }
+  EXPECT_GE(dominant, 3u);
+}
+
+TEST(WaveletTest, FractionsSumToOne) {
+  Rng rng(13);
+  std::vector<double> x(100);
+  for (double& v : x) v = rng.Normal();
+  const auto fractions =
+      DetailEnergyFractions(WaveletDecompose(x, WaveletKind::kDb4));
+  double total = 0.0;
+  for (double f : fractions) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(WaveletTest, DenoiseRemovesPointNoiseKeepsTrend) {
+  std::vector<double> x(128);
+  for (size_t i = 0; i < 128; ++i) {
+    x[i] = std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 64.0);
+  }
+  std::vector<double> noisy = x;
+  Rng rng(17);
+  for (double& v : noisy) v += 0.3 * rng.Normal();
+  const Series denoised = WaveletDenoise(Series(noisy), WaveletKind::kHaar, 2);
+  double err_noisy = 0.0, err_denoised = 0.0;
+  for (size_t i = 0; i < 120; ++i) {  // skip padded tail
+    err_noisy += (noisy[i] - x[i]) * (noisy[i] - x[i]);
+    err_denoised += (denoised[i] - x[i]) * (denoised[i] - x[i]);
+  }
+  EXPECT_LT(err_denoised, err_noisy * 0.7);
+}
+
+TEST(WaveletTest, DenoiseZeroLevelsIsIdentity) {
+  const Series s({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(WaveletDenoise(s, WaveletKind::kHaar, 0).values(), s.values());
+}
+
+TEST(WaveletTest, OddLengthHandled) {
+  std::vector<double> x(65, 1.0);
+  const auto levels = WaveletDecompose(x, WaveletKind::kHaar);
+  EXPECT_FALSE(levels.empty());
+  const Series denoised = WaveletDenoise(Series(x), WaveletKind::kHaar, 1);
+  EXPECT_EQ(denoised.size(), 65u);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,74 @@
+#include "dbc/eval/window_eval.h"
+
+#include <gtest/gtest.h>
+
+namespace dbc {
+namespace {
+
+TEST(WindowTruthTest, AnyPointMakesWindowAbnormal) {
+  const std::vector<uint8_t> labels = {0, 0, 1, 0, 0};
+  EXPECT_TRUE(WindowTruth(labels, 0, 5));
+  EXPECT_TRUE(WindowTruth(labels, 2, 3));
+  EXPECT_FALSE(WindowTruth(labels, 3, 5));
+  EXPECT_FALSE(WindowTruth(labels, 0, 2));
+}
+
+TEST(WindowTruthTest, ClampsEnd) {
+  const std::vector<uint8_t> labels = {0, 1};
+  EXPECT_TRUE(WindowTruth(labels, 0, 100));
+}
+
+UnitData MakeLabeledUnit() {
+  UnitData unit;
+  unit.roles = {DbRole::kPrimary, DbRole::kReplica};
+  unit.labels = {std::vector<uint8_t>(40, 0), std::vector<uint8_t>(40, 0)};
+  // db 1 abnormal in [10, 20).
+  for (size_t t = 10; t < 20; ++t) unit.labels[1][t] = 1;
+  for (size_t db = 0; db < 2; ++db) {
+    MultiSeries ms;
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      ms.Add(KpiName(static_cast<Kpi>(k)), Series(40, 1.0));
+    }
+    unit.kpis.push_back(std::move(ms));
+  }
+  return unit;
+}
+
+TEST(ScoreVerdictsTest, CountsPerWindow) {
+  const UnitData unit = MakeLabeledUnit();
+  UnitVerdicts v;
+  v.per_db.resize(2);
+  // db0: both windows healthy claims -> tn, tn.
+  v.per_db[0].push_back({0, 20, false, 20});
+  v.per_db[0].push_back({20, 40, false, 20});
+  // db1: first window abnormal claim (tp), second abnormal claim (fp).
+  v.per_db[1].push_back({0, 20, true, 20});
+  v.per_db[1].push_back({20, 40, true, 20});
+  const Confusion c = ScoreVerdicts(unit, v);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 2u);
+  EXPECT_EQ(c.fn, 0u);
+}
+
+TEST(ScoreVerdictsTest, MissedAnomalyIsFalseNegative) {
+  const UnitData unit = MakeLabeledUnit();
+  UnitVerdicts v;
+  v.per_db.resize(2);
+  v.per_db[1].push_back({0, 20, false, 20});
+  const Confusion c = ScoreVerdicts(unit, v);
+  EXPECT_EQ(c.fn, 1u);
+}
+
+TEST(UnitVerdictsTest, AverageConsumed) {
+  UnitVerdicts v;
+  v.per_db.resize(2);
+  v.per_db[0].push_back({0, 20, false, 20});
+  v.per_db[1].push_back({0, 20, true, 60});
+  EXPECT_DOUBLE_EQ(v.AverageConsumed(), 40.0);
+  UnitVerdicts empty;
+  EXPECT_DOUBLE_EQ(empty.AverageConsumed(), 0.0);
+}
+
+}  // namespace
+}  // namespace dbc

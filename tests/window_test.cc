@@ -1,0 +1,62 @@
+#include "dbc/ts/window.h"
+
+#include <gtest/gtest.h>
+
+namespace dbc {
+namespace {
+
+TEST(RingWindowTest, FillsUpToCapacity) {
+  RingWindow w(3);
+  EXPECT_TRUE(w.empty());
+  w.Push(1.0);
+  w.Push(2.0);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_FALSE(w.full());
+  w.Push(3.0);
+  EXPECT_TRUE(w.full());
+}
+
+TEST(RingWindowTest, EvictsOldest) {
+  RingWindow w(3);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) w.Push(v);
+  EXPECT_EQ(w.ToVector(), (std::vector<double>{3.0, 4.0, 5.0}));
+  EXPECT_DOUBLE_EQ(w.At(0), 3.0);
+  EXPECT_DOUBLE_EQ(w.Back(), 5.0);
+}
+
+TEST(RingWindowTest, LastNChronological) {
+  RingWindow w(4);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) w.Push(v);
+  EXPECT_EQ(w.Last(2), (std::vector<double>{5.0, 6.0}));
+  EXPECT_EQ(w.Last(0), std::vector<double>{});
+}
+
+TEST(RingWindowTest, ClearResets) {
+  RingWindow w(2);
+  w.Push(1.0);
+  w.Clear();
+  EXPECT_TRUE(w.empty());
+  w.Push(7.0);
+  EXPECT_DOUBLE_EQ(w.Back(), 7.0);
+}
+
+TEST(RingWindowTest, CapacityOne) {
+  RingWindow w(1);
+  w.Push(1.0);
+  w.Push(2.0);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.Back(), 2.0);
+}
+
+TEST(RingWindowTest, ManyWrapsStayConsistent) {
+  RingWindow w(7);
+  for (int i = 0; i < 1000; ++i) w.Push(static_cast<double>(i));
+  const auto v = w.ToVector();
+  ASSERT_EQ(v.size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(v[i], static_cast<double>(993 + i));
+  }
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_periodic.dir/bench/bench_fig10_periodic.cpp.o"
+  "CMakeFiles/bench_fig10_periodic.dir/bench/bench_fig10_periodic.cpp.o.d"
+  "bench/bench_fig10_periodic"
+  "bench/bench_fig10_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_optimizers.dir/bench/bench_fig11_optimizers.cpp.o"
+  "CMakeFiles/bench_fig11_optimizers.dir/bench/bench_fig11_optimizers.cpp.o.d"
+  "bench/bench_fig11_optimizers"
+  "bench/bench_fig11_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

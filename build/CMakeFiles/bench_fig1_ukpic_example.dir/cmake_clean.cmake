@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_ukpic_example.dir/bench/bench_fig1_ukpic_example.cpp.o"
+  "CMakeFiles/bench_fig1_ukpic_example.dir/bench/bench_fig1_ukpic_example.cpp.o.d"
+  "bench/bench_fig1_ukpic_example"
+  "bench/bench_fig1_ukpic_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ukpic_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

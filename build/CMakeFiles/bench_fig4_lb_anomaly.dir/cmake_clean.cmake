@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lb_anomaly.dir/bench/bench_fig4_lb_anomaly.cpp.o"
+  "CMakeFiles/bench_fig4_lb_anomaly.dir/bench/bench_fig4_lb_anomaly.cpp.o.d"
+  "bench/bench_fig4_lb_anomaly"
+  "bench/bench_fig4_lb_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lb_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

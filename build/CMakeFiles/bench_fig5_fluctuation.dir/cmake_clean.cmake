@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fluctuation.dir/bench/bench_fig5_fluctuation.cpp.o"
+  "CMakeFiles/bench_fig5_fluctuation.dir/bench/bench_fig5_fluctuation.cpp.o.d"
+  "bench/bench_fig5_fluctuation"
+  "bench/bench_fig5_fluctuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_mixed_performance.dir/bench/bench_fig8_mixed_performance.cpp.o"
+  "CMakeFiles/bench_fig8_mixed_performance.dir/bench/bench_fig8_mixed_performance.cpp.o.d"
+  "bench/bench_fig8_mixed_performance"
+  "bench/bench_fig8_mixed_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mixed_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_irregular.dir/bench/bench_fig9_irregular.cpp.o"
+  "CMakeFiles/bench_fig9_irregular.dir/bench/bench_fig9_irregular.cpp.o.d"
+  "bench/bench_fig9_irregular"
+  "bench/bench_fig9_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

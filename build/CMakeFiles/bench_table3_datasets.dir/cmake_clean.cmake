@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_datasets.dir/bench/bench_table3_datasets.cpp.o"
+  "CMakeFiles/bench_table3_datasets.dir/bench/bench_table3_datasets.cpp.o.d"
+  "bench/bench_table3_datasets"
+  "bench/bench_table3_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/dbc_bench_common.dir/bench/bench_common.cc.o.d"
+  "libdbc_bench_common.a"
+  "libdbc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

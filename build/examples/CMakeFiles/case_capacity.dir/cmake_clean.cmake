@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_capacity.dir/case_capacity.cpp.o"
+  "CMakeFiles/case_capacity.dir/case_capacity.cpp.o.d"
+  "case_capacity"
+  "case_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_cpu_skew.dir/case_cpu_skew.cpp.o"
+  "CMakeFiles/case_cpu_skew.dir/case_cpu_skew.cpp.o.d"
+  "case_cpu_skew"
+  "case_cpu_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_cpu_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_roundtrip.dir/csv_roundtrip.cpp.o"
+  "CMakeFiles/csv_roundtrip.dir/csv_roundtrip.cpp.o.d"
+  "csv_roundtrip"
+  "csv_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbcatcher_cli.dir/dbcatcher_cli.cpp.o"
+  "CMakeFiles/dbcatcher_cli.dir/dbcatcher_cli.cpp.o.d"
+  "dbcatcher_cli"
+  "dbcatcher_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbcatcher_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbc/cloudsim/anomaly.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/anomaly.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/anomaly.cc.o.d"
+  "/root/repo/src/dbc/cloudsim/instance_model.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/instance_model.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/instance_model.cc.o.d"
+  "/root/repo/src/dbc/cloudsim/kpi.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/kpi.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/kpi.cc.o.d"
+  "/root/repo/src/dbc/cloudsim/load_balancer.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/load_balancer.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/load_balancer.cc.o.d"
+  "/root/repo/src/dbc/cloudsim/profile.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/profile.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/profile.cc.o.d"
+  "/root/repo/src/dbc/cloudsim/unit_data.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/unit_data.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/unit_data.cc.o.d"
+  "/root/repo/src/dbc/cloudsim/unit_sim.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/unit_sim.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/unit_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbc/common/CMakeFiles/dbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/ts/CMakeFiles/dbc_ts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_cloudsim.dir/anomaly.cc.o"
+  "CMakeFiles/dbc_cloudsim.dir/anomaly.cc.o.d"
+  "CMakeFiles/dbc_cloudsim.dir/instance_model.cc.o"
+  "CMakeFiles/dbc_cloudsim.dir/instance_model.cc.o.d"
+  "CMakeFiles/dbc_cloudsim.dir/kpi.cc.o"
+  "CMakeFiles/dbc_cloudsim.dir/kpi.cc.o.d"
+  "CMakeFiles/dbc_cloudsim.dir/load_balancer.cc.o"
+  "CMakeFiles/dbc_cloudsim.dir/load_balancer.cc.o.d"
+  "CMakeFiles/dbc_cloudsim.dir/profile.cc.o"
+  "CMakeFiles/dbc_cloudsim.dir/profile.cc.o.d"
+  "CMakeFiles/dbc_cloudsim.dir/unit_data.cc.o"
+  "CMakeFiles/dbc_cloudsim.dir/unit_data.cc.o.d"
+  "CMakeFiles/dbc_cloudsim.dir/unit_sim.cc.o"
+  "CMakeFiles/dbc_cloudsim.dir/unit_sim.cc.o.d"
+  "libdbc_cloudsim.a"
+  "libdbc_cloudsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_cloudsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

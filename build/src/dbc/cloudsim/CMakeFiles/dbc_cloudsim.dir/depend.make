@@ -1,0 +1,2 @@
+# Empty dependencies file for dbc_cloudsim.
+# This may be replaced when dependencies are built.

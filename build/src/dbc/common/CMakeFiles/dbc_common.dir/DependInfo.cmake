@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbc/common/csv.cc" "src/dbc/common/CMakeFiles/dbc_common.dir/csv.cc.o" "gcc" "src/dbc/common/CMakeFiles/dbc_common.dir/csv.cc.o.d"
+  "/root/repo/src/dbc/common/env.cc" "src/dbc/common/CMakeFiles/dbc_common.dir/env.cc.o" "gcc" "src/dbc/common/CMakeFiles/dbc_common.dir/env.cc.o.d"
+  "/root/repo/src/dbc/common/mathutil.cc" "src/dbc/common/CMakeFiles/dbc_common.dir/mathutil.cc.o" "gcc" "src/dbc/common/CMakeFiles/dbc_common.dir/mathutil.cc.o.d"
+  "/root/repo/src/dbc/common/rng.cc" "src/dbc/common/CMakeFiles/dbc_common.dir/rng.cc.o" "gcc" "src/dbc/common/CMakeFiles/dbc_common.dir/rng.cc.o.d"
+  "/root/repo/src/dbc/common/status.cc" "src/dbc/common/CMakeFiles/dbc_common.dir/status.cc.o" "gcc" "src/dbc/common/CMakeFiles/dbc_common.dir/status.cc.o.d"
+  "/root/repo/src/dbc/common/table.cc" "src/dbc/common/CMakeFiles/dbc_common.dir/table.cc.o" "gcc" "src/dbc/common/CMakeFiles/dbc_common.dir/table.cc.o.d"
+  "/root/repo/src/dbc/common/thread_pool.cc" "src/dbc/common/CMakeFiles/dbc_common.dir/thread_pool.cc.o" "gcc" "src/dbc/common/CMakeFiles/dbc_common.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

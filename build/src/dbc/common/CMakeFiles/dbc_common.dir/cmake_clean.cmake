@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_common.dir/csv.cc.o"
+  "CMakeFiles/dbc_common.dir/csv.cc.o.d"
+  "CMakeFiles/dbc_common.dir/env.cc.o"
+  "CMakeFiles/dbc_common.dir/env.cc.o.d"
+  "CMakeFiles/dbc_common.dir/mathutil.cc.o"
+  "CMakeFiles/dbc_common.dir/mathutil.cc.o.d"
+  "CMakeFiles/dbc_common.dir/rng.cc.o"
+  "CMakeFiles/dbc_common.dir/rng.cc.o.d"
+  "CMakeFiles/dbc_common.dir/status.cc.o"
+  "CMakeFiles/dbc_common.dir/status.cc.o.d"
+  "CMakeFiles/dbc_common.dir/table.cc.o"
+  "CMakeFiles/dbc_common.dir/table.cc.o.d"
+  "CMakeFiles/dbc_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dbc_common.dir/thread_pool.cc.o.d"
+  "libdbc_common.a"
+  "libdbc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbc/correlation/dtw.cc" "src/dbc/correlation/CMakeFiles/dbc_correlation.dir/dtw.cc.o" "gcc" "src/dbc/correlation/CMakeFiles/dbc_correlation.dir/dtw.cc.o.d"
+  "/root/repo/src/dbc/correlation/kcd.cc" "src/dbc/correlation/CMakeFiles/dbc_correlation.dir/kcd.cc.o" "gcc" "src/dbc/correlation/CMakeFiles/dbc_correlation.dir/kcd.cc.o.d"
+  "/root/repo/src/dbc/correlation/pearson.cc" "src/dbc/correlation/CMakeFiles/dbc_correlation.dir/pearson.cc.o" "gcc" "src/dbc/correlation/CMakeFiles/dbc_correlation.dir/pearson.cc.o.d"
+  "/root/repo/src/dbc/correlation/spearman.cc" "src/dbc/correlation/CMakeFiles/dbc_correlation.dir/spearman.cc.o" "gcc" "src/dbc/correlation/CMakeFiles/dbc_correlation.dir/spearman.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbc/common/CMakeFiles/dbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/ts/CMakeFiles/dbc_ts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_correlation.dir/dtw.cc.o"
+  "CMakeFiles/dbc_correlation.dir/dtw.cc.o.d"
+  "CMakeFiles/dbc_correlation.dir/kcd.cc.o"
+  "CMakeFiles/dbc_correlation.dir/kcd.cc.o.d"
+  "CMakeFiles/dbc_correlation.dir/pearson.cc.o"
+  "CMakeFiles/dbc_correlation.dir/pearson.cc.o.d"
+  "CMakeFiles/dbc_correlation.dir/spearman.cc.o"
+  "CMakeFiles/dbc_correlation.dir/spearman.cc.o.d"
+  "libdbc_correlation.a"
+  "libdbc_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_cs.dir/lsq.cc.o"
+  "CMakeFiles/dbc_cs.dir/lsq.cc.o.d"
+  "CMakeFiles/dbc_cs.dir/omp.cc.o"
+  "CMakeFiles/dbc_cs.dir/omp.cc.o.d"
+  "CMakeFiles/dbc_cs.dir/sampler.cc.o"
+  "CMakeFiles/dbc_cs.dir/sampler.cc.o.d"
+  "libdbc_cs.a"
+  "libdbc_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_datasets.dir/dataset.cc.o"
+  "CMakeFiles/dbc_datasets.dir/dataset.cc.o.d"
+  "CMakeFiles/dbc_datasets.dir/io.cc.o"
+  "CMakeFiles/dbc_datasets.dir/io.cc.o.d"
+  "libdbc_datasets.a"
+  "libdbc_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_dbcatcher.dir/config.cc.o"
+  "CMakeFiles/dbc_dbcatcher.dir/config.cc.o.d"
+  "CMakeFiles/dbc_dbcatcher.dir/correlation_matrix.cc.o"
+  "CMakeFiles/dbc_dbcatcher.dir/correlation_matrix.cc.o.d"
+  "CMakeFiles/dbc_dbcatcher.dir/dbcatcher.cc.o"
+  "CMakeFiles/dbc_dbcatcher.dir/dbcatcher.cc.o.d"
+  "CMakeFiles/dbc_dbcatcher.dir/diagnosis.cc.o"
+  "CMakeFiles/dbc_dbcatcher.dir/diagnosis.cc.o.d"
+  "CMakeFiles/dbc_dbcatcher.dir/feedback.cc.o"
+  "CMakeFiles/dbc_dbcatcher.dir/feedback.cc.o.d"
+  "CMakeFiles/dbc_dbcatcher.dir/levels.cc.o"
+  "CMakeFiles/dbc_dbcatcher.dir/levels.cc.o.d"
+  "CMakeFiles/dbc_dbcatcher.dir/observer.cc.o"
+  "CMakeFiles/dbc_dbcatcher.dir/observer.cc.o.d"
+  "CMakeFiles/dbc_dbcatcher.dir/service.cc.o"
+  "CMakeFiles/dbc_dbcatcher.dir/service.cc.o.d"
+  "CMakeFiles/dbc_dbcatcher.dir/streaming.cc.o"
+  "CMakeFiles/dbc_dbcatcher.dir/streaming.cc.o.d"
+  "libdbc_dbcatcher.a"
+  "libdbc_dbcatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_dbcatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

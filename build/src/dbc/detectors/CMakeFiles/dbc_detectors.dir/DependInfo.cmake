@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbc/detectors/combine.cc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/combine.cc.o" "gcc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/combine.cc.o.d"
+  "/root/repo/src/dbc/detectors/fft_detector.cc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/fft_detector.cc.o" "gcc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/fft_detector.cc.o.d"
+  "/root/repo/src/dbc/detectors/grid_search.cc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/grid_search.cc.o" "gcc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/grid_search.cc.o.d"
+  "/root/repo/src/dbc/detectors/jumpstarter_detector.cc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/jumpstarter_detector.cc.o" "gcc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/jumpstarter_detector.cc.o.d"
+  "/root/repo/src/dbc/detectors/omni_detector.cc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/omni_detector.cc.o" "gcc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/omni_detector.cc.o.d"
+  "/root/repo/src/dbc/detectors/registry.cc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/registry.cc.o" "gcc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/registry.cc.o.d"
+  "/root/repo/src/dbc/detectors/sr.cc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/sr.cc.o" "gcc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/sr.cc.o.d"
+  "/root/repo/src/dbc/detectors/sr_detector.cc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/sr_detector.cc.o" "gcc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/sr_detector.cc.o.d"
+  "/root/repo/src/dbc/detectors/srcnn_detector.cc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/srcnn_detector.cc.o" "gcc" "src/dbc/detectors/CMakeFiles/dbc_detectors.dir/srcnn_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbc/common/CMakeFiles/dbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/ts/CMakeFiles/dbc_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/fft/CMakeFiles/dbc_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/nn/CMakeFiles/dbc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/cs/CMakeFiles/dbc_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/datasets/CMakeFiles/dbc_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/eval/CMakeFiles/dbc_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

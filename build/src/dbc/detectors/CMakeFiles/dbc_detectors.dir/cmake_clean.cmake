@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_detectors.dir/combine.cc.o"
+  "CMakeFiles/dbc_detectors.dir/combine.cc.o.d"
+  "CMakeFiles/dbc_detectors.dir/fft_detector.cc.o"
+  "CMakeFiles/dbc_detectors.dir/fft_detector.cc.o.d"
+  "CMakeFiles/dbc_detectors.dir/grid_search.cc.o"
+  "CMakeFiles/dbc_detectors.dir/grid_search.cc.o.d"
+  "CMakeFiles/dbc_detectors.dir/jumpstarter_detector.cc.o"
+  "CMakeFiles/dbc_detectors.dir/jumpstarter_detector.cc.o.d"
+  "CMakeFiles/dbc_detectors.dir/omni_detector.cc.o"
+  "CMakeFiles/dbc_detectors.dir/omni_detector.cc.o.d"
+  "CMakeFiles/dbc_detectors.dir/registry.cc.o"
+  "CMakeFiles/dbc_detectors.dir/registry.cc.o.d"
+  "CMakeFiles/dbc_detectors.dir/sr.cc.o"
+  "CMakeFiles/dbc_detectors.dir/sr.cc.o.d"
+  "CMakeFiles/dbc_detectors.dir/sr_detector.cc.o"
+  "CMakeFiles/dbc_detectors.dir/sr_detector.cc.o.d"
+  "CMakeFiles/dbc_detectors.dir/srcnn_detector.cc.o"
+  "CMakeFiles/dbc_detectors.dir/srcnn_detector.cc.o.d"
+  "libdbc_detectors.a"
+  "libdbc_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

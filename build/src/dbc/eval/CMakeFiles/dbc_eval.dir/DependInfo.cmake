@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbc/eval/metrics.cc" "src/dbc/eval/CMakeFiles/dbc_eval.dir/metrics.cc.o" "gcc" "src/dbc/eval/CMakeFiles/dbc_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/dbc/eval/window_eval.cc" "src/dbc/eval/CMakeFiles/dbc_eval.dir/window_eval.cc.o" "gcc" "src/dbc/eval/CMakeFiles/dbc_eval.dir/window_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbc/common/CMakeFiles/dbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/ts/CMakeFiles/dbc_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

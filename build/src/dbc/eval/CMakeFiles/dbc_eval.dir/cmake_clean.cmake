@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_eval.dir/metrics.cc.o"
+  "CMakeFiles/dbc_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/dbc_eval.dir/window_eval.cc.o"
+  "CMakeFiles/dbc_eval.dir/window_eval.cc.o.d"
+  "libdbc_eval.a"
+  "libdbc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

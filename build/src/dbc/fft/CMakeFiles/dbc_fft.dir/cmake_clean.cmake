@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_fft.dir/dct.cc.o"
+  "CMakeFiles/dbc_fft.dir/dct.cc.o.d"
+  "CMakeFiles/dbc_fft.dir/fft.cc.o"
+  "CMakeFiles/dbc_fft.dir/fft.cc.o.d"
+  "libdbc_fft.a"
+  "libdbc_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbc/nn/activations.cc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/activations.cc.o" "gcc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/activations.cc.o.d"
+  "/root/repo/src/dbc/nn/conv1d.cc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/conv1d.cc.o" "gcc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/conv1d.cc.o.d"
+  "/root/repo/src/dbc/nn/dense.cc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/dense.cc.o" "gcc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/dense.cc.o.d"
+  "/root/repo/src/dbc/nn/gru.cc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/gru.cc.o" "gcc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/gru.cc.o.d"
+  "/root/repo/src/dbc/nn/gru_vae.cc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/gru_vae.cc.o" "gcc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/gru_vae.cc.o.d"
+  "/root/repo/src/dbc/nn/mat.cc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/mat.cc.o" "gcc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/mat.cc.o.d"
+  "/root/repo/src/dbc/nn/param.cc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/param.cc.o" "gcc" "src/dbc/nn/CMakeFiles/dbc_nn.dir/param.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbc/common/CMakeFiles/dbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

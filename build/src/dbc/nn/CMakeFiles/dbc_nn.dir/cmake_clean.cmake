@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_nn.dir/activations.cc.o"
+  "CMakeFiles/dbc_nn.dir/activations.cc.o.d"
+  "CMakeFiles/dbc_nn.dir/conv1d.cc.o"
+  "CMakeFiles/dbc_nn.dir/conv1d.cc.o.d"
+  "CMakeFiles/dbc_nn.dir/dense.cc.o"
+  "CMakeFiles/dbc_nn.dir/dense.cc.o.d"
+  "CMakeFiles/dbc_nn.dir/gru.cc.o"
+  "CMakeFiles/dbc_nn.dir/gru.cc.o.d"
+  "CMakeFiles/dbc_nn.dir/gru_vae.cc.o"
+  "CMakeFiles/dbc_nn.dir/gru_vae.cc.o.d"
+  "CMakeFiles/dbc_nn.dir/mat.cc.o"
+  "CMakeFiles/dbc_nn.dir/mat.cc.o.d"
+  "CMakeFiles/dbc_nn.dir/param.cc.o"
+  "CMakeFiles/dbc_nn.dir/param.cc.o.d"
+  "libdbc_nn.a"
+  "libdbc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbc/optimize/annealing.cc" "src/dbc/optimize/CMakeFiles/dbc_optimize.dir/annealing.cc.o" "gcc" "src/dbc/optimize/CMakeFiles/dbc_optimize.dir/annealing.cc.o.d"
+  "/root/repo/src/dbc/optimize/ga.cc" "src/dbc/optimize/CMakeFiles/dbc_optimize.dir/ga.cc.o" "gcc" "src/dbc/optimize/CMakeFiles/dbc_optimize.dir/ga.cc.o.d"
+  "/root/repo/src/dbc/optimize/genome.cc" "src/dbc/optimize/CMakeFiles/dbc_optimize.dir/genome.cc.o" "gcc" "src/dbc/optimize/CMakeFiles/dbc_optimize.dir/genome.cc.o.d"
+  "/root/repo/src/dbc/optimize/random_search.cc" "src/dbc/optimize/CMakeFiles/dbc_optimize.dir/random_search.cc.o" "gcc" "src/dbc/optimize/CMakeFiles/dbc_optimize.dir/random_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbc/common/CMakeFiles/dbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_optimize.dir/annealing.cc.o"
+  "CMakeFiles/dbc_optimize.dir/annealing.cc.o.d"
+  "CMakeFiles/dbc_optimize.dir/ga.cc.o"
+  "CMakeFiles/dbc_optimize.dir/ga.cc.o.d"
+  "CMakeFiles/dbc_optimize.dir/genome.cc.o"
+  "CMakeFiles/dbc_optimize.dir/genome.cc.o.d"
+  "CMakeFiles/dbc_optimize.dir/random_search.cc.o"
+  "CMakeFiles/dbc_optimize.dir/random_search.cc.o.d"
+  "libdbc_optimize.a"
+  "libdbc_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_period.dir/periodicity.cc.o"
+  "CMakeFiles/dbc_period.dir/periodicity.cc.o.d"
+  "CMakeFiles/dbc_period.dir/wavelet.cc.o"
+  "CMakeFiles/dbc_period.dir/wavelet.cc.o.d"
+  "libdbc_period.a"
+  "libdbc_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

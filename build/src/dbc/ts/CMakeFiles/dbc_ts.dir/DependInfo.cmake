@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbc/ts/lag.cc" "src/dbc/ts/CMakeFiles/dbc_ts.dir/lag.cc.o" "gcc" "src/dbc/ts/CMakeFiles/dbc_ts.dir/lag.cc.o.d"
+  "/root/repo/src/dbc/ts/normalize.cc" "src/dbc/ts/CMakeFiles/dbc_ts.dir/normalize.cc.o" "gcc" "src/dbc/ts/CMakeFiles/dbc_ts.dir/normalize.cc.o.d"
+  "/root/repo/src/dbc/ts/series.cc" "src/dbc/ts/CMakeFiles/dbc_ts.dir/series.cc.o" "gcc" "src/dbc/ts/CMakeFiles/dbc_ts.dir/series.cc.o.d"
+  "/root/repo/src/dbc/ts/stats.cc" "src/dbc/ts/CMakeFiles/dbc_ts.dir/stats.cc.o" "gcc" "src/dbc/ts/CMakeFiles/dbc_ts.dir/stats.cc.o.d"
+  "/root/repo/src/dbc/ts/window.cc" "src/dbc/ts/CMakeFiles/dbc_ts.dir/window.cc.o" "gcc" "src/dbc/ts/CMakeFiles/dbc_ts.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbc/common/CMakeFiles/dbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

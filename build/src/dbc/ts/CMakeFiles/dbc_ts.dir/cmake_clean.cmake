@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_ts.dir/lag.cc.o"
+  "CMakeFiles/dbc_ts.dir/lag.cc.o.d"
+  "CMakeFiles/dbc_ts.dir/normalize.cc.o"
+  "CMakeFiles/dbc_ts.dir/normalize.cc.o.d"
+  "CMakeFiles/dbc_ts.dir/series.cc.o"
+  "CMakeFiles/dbc_ts.dir/series.cc.o.d"
+  "CMakeFiles/dbc_ts.dir/stats.cc.o"
+  "CMakeFiles/dbc_ts.dir/stats.cc.o.d"
+  "CMakeFiles/dbc_ts.dir/window.cc.o"
+  "CMakeFiles/dbc_ts.dir/window.cc.o.d"
+  "libdbc_ts.a"
+  "libdbc_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_kinds_test.dir/anomaly_kinds_test.cc.o"
+  "CMakeFiles/anomaly_kinds_test.dir/anomaly_kinds_test.cc.o.d"
+  "anomaly_kinds_test"
+  "anomaly_kinds_test.pdb"
+  "anomaly_kinds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_kinds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsim_test.dir/cloudsim_test.cc.o"
+  "CMakeFiles/cloudsim_test.dir/cloudsim_test.cc.o.d"
+  "cloudsim_test"
+  "cloudsim_test.pdb"
+  "cloudsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_test.dir/dct_test.cc.o"
+  "CMakeFiles/dct_test.dir/dct_test.cc.o.d"
+  "dct_test"
+  "dct_test.pdb"
+  "dct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

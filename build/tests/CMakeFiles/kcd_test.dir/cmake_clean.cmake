@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcd_test.dir/kcd_test.cc.o"
+  "CMakeFiles/kcd_test.dir/kcd_test.cc.o.d"
+  "kcd_test"
+  "kcd_test.pdb"
+  "kcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

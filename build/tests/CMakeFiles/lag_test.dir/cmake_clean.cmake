@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_test.dir/lag_test.cc.o"
+  "CMakeFiles/lag_test.dir/lag_test.cc.o.d"
+  "lag_test"
+  "lag_test.pdb"
+  "lag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spearman_test.dir/spearman_test.cc.o"
+  "CMakeFiles/spearman_test.dir/spearman_test.cc.o.d"
+  "spearman_test"
+  "spearman_test.pdb"
+  "spearman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spearman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_eval_test.dir/window_eval_test.cc.o"
+  "CMakeFiles/window_eval_test.dir/window_eval_test.cc.o.d"
+  "window_eval_test"
+  "window_eval_test.pdb"
+  "window_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

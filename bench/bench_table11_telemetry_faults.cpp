@@ -1,0 +1,156 @@
+// Table XI (extension): detection quality on degraded telemetry feeds.
+//
+// The paper evaluates DBCatcher on clean collector feeds; a production fleet
+// delivers dropped ticks, NaN bursts, frozen collectors, bounded
+// out-of-order samples, and whole-feed blackouts. This bench degrades the
+// simulated units at increasing fault rates, routes them through the
+// ingestion front-end (alignment + imputation + quarantine), and reports
+// Precision / Recall / F-Measure against the injected anomaly ground truth.
+// Windows resolved as "no data" (quarantined feeds) are excluded: the system
+// explicitly declines to judge them instead of guessing.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dbc/cloudsim/telemetry.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/dbcatcher/ingest.h"
+#include "dbc/dbcatcher/streaming.h"
+
+namespace {
+
+dbc::UnitData SimUnit(bool periodic, size_t ticks, uint64_t seed) {
+  dbc::UnitSimConfig config;
+  config.ticks = ticks;
+  config.anomalies.target_ratio = 0.08;
+  dbc::Rng rng(seed);
+  std::unique_ptr<dbc::WorkloadProfile> profile;
+  if (periodic) {
+    profile = dbc::MakePeriodicProfile(dbc::PeriodicProfileParams{},
+                                       rng.Fork(1));
+  } else {
+    profile = dbc::MakeIrregularProfile(dbc::IrregularProfileParams{},
+                                        rng.Fork(1));
+  }
+  return dbc::SimulateUnit(config, *profile, periodic, rng.Fork(2));
+}
+
+struct FaultedRun {
+  dbc::Confusion confusion;
+  size_t nodata = 0;    // verdicts the detector declined to judge
+  size_t verdicts = 0;  // all verdicts, kNoData included
+};
+
+/// Degrades `unit` at `fault_ratio` and replays it through
+/// TelemetryIngestor -> DbcatcherStream, scoring verdicts against the
+/// injected anomaly labels.
+FaultedRun RunFaulted(const dbc::UnitData& unit, double fault_ratio,
+                      uint64_t seed) {
+  const dbc::DbcatcherConfig config =
+      dbc::DefaultDbcatcherConfig(dbc::kNumKpis);
+  dbc::DbcatcherStream stream(config, unit.roles);
+  dbc::TelemetryIngestor ingestor(unit.num_dbs());
+  FaultedRun run;
+
+  auto score = [&](const std::vector<dbc::StreamVerdict>& verdicts) {
+    for (const dbc::StreamVerdict& v : verdicts) {
+      ++run.verdicts;
+      if (v.state == dbc::DbState::kNoData) {
+        ++run.nodata;
+        continue;
+      }
+      run.confusion.Add(
+          v.window.abnormal,
+          dbc::WindowTruth(unit.labels[v.db], v.window.begin, v.window.end));
+    }
+  };
+  auto pump = [&](const std::vector<dbc::TelemetrySample>& batch) {
+    for (const dbc::TelemetrySample& sample : batch) {
+      ingestor.Offer(sample);  // late drops are expected
+    }
+    for (const dbc::AlignedTick& tick : ingestor.Drain()) {
+      stream.PushAligned(tick);
+    }
+    score(stream.Poll());
+  };
+
+  if (fault_ratio <= 0.0) {
+    // Clean feed: everything arrives on time and complete.
+    std::vector<dbc::TelemetrySample> batch(unit.num_dbs());
+    for (size_t t = 0; t < unit.length(); ++t) {
+      for (size_t db = 0; db < unit.num_dbs(); ++db) {
+        batch[db].tick = t;
+        batch[db].db = db;
+        for (size_t k = 0; k < dbc::kNumKpis; ++k) {
+          batch[db].values[k] = unit.kpis[db].row(k)[t];
+        }
+      }
+      pump(batch);
+    }
+  } else {
+    dbc::TelemetryFaultConfig faults;
+    faults.target_ratio = fault_ratio;
+    dbc::Rng rng(seed);
+    for (const auto& batch : dbc::DegradeUnit(unit, faults, rng)) pump(batch);
+  }
+  for (const dbc::AlignedTick& tick : ingestor.Flush()) {
+    stream.PushAligned(tick);
+  }
+  score(stream.Poll());
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const int repeats = std::max(1, dbc::BenchRepeats() / 2);
+  const size_t ticks =
+      static_cast<size_t>(800.0 * std::max(0.25, dbc::BenchScale()));
+  std::printf("=== Table XI: detection under telemetry faults"
+              " (%d repeats, %zu-tick units) ===\n\n",
+              repeats, ticks);
+
+  const double fault_rates[] = {0.0, 0.05, 0.10, 0.20};
+  double clean_f[2] = {0.0, 0.0};
+  double f_at_10[2] = {0.0, 0.0};
+
+  for (int periodic = 1; periodic >= 0; --periodic) {
+    dbc::TextTable table(periodic ? "Periodic units (type II)"
+                                  : "Irregular units (type I)");
+    table.SetHeader({"Fault rate", "Precision", "Recall", "F-Measure",
+                     "No-data verdicts"});
+    for (double rate : fault_rates) {
+      dbc::Spread precision, recall, f_measure, nodata;
+      for (int rep = 0; rep < repeats; ++rep) {
+        const uint64_t seed = dbc::BenchSeed() + 101 * (rep + 1) + periodic;
+        const dbc::UnitData unit = SimUnit(periodic != 0, ticks, seed);
+        const FaultedRun run = RunFaulted(unit, rate, seed + 7);
+        precision.Add(run.confusion.Precision());
+        recall.Add(run.confusion.Recall());
+        f_measure.Add(run.confusion.FMeasure());
+        nodata.Add(run.verdicts > 0 ? static_cast<double>(run.nodata) /
+                                          static_cast<double>(run.verdicts)
+                                    : 0.0);
+      }
+      if (rate == 0.0) clean_f[periodic] = f_measure.mean;
+      if (rate == 0.10) f_at_10[periodic] = f_measure.mean;
+      table.AddRow({dbc::TextTable::Pct(rate),
+                    dbc::TextTable::Pct(precision.mean),
+                    dbc::TextTable::Pct(recall.mean),
+                    dbc::TextTable::Pct(f_measure.mean),
+                    dbc::TextTable::Pct(nodata.mean)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::printf("F drop at 10%% faults: periodic %.3f (clean %.3f),"
+              " irregular %.3f (clean %.3f)\n",
+              clean_f[1] - f_at_10[1], clean_f[1], clean_f[0] - f_at_10[0],
+              clean_f[0]);
+  std::printf("\nPaper shape: the ingestion front-end (alignment + imputation"
+              " + quarantine) holds F within ~0.1 of the clean run at a 10%%"
+              " fault rate; blackout windows surface as no-data verdicts"
+              " instead of false alarms.\n");
+  return 0;
+}

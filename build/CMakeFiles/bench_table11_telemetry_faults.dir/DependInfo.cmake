@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table11_telemetry_faults.cpp" "CMakeFiles/bench_table11_telemetry_faults.dir/bench/bench_table11_telemetry_faults.cpp.o" "gcc" "CMakeFiles/bench_table11_telemetry_faults.dir/bench/bench_table11_telemetry_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/dbc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/detectors/CMakeFiles/dbc_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/period/CMakeFiles/dbc_period.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/correlation/CMakeFiles/dbc_correlation.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/optimize/CMakeFiles/dbc_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/datasets/CMakeFiles/dbc_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/eval/CMakeFiles/dbc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/nn/CMakeFiles/dbc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/cs/CMakeFiles/dbc_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/ts/CMakeFiles/dbc_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/fft/CMakeFiles/dbc_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/common/CMakeFiles/dbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

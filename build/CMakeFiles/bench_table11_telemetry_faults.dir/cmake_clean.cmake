@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_telemetry_faults.dir/bench/bench_table11_telemetry_faults.cpp.o"
+  "CMakeFiles/bench_table11_telemetry_faults.dir/bench/bench_table11_telemetry_faults.cpp.o.d"
+  "bench/bench_table11_telemetry_faults"
+  "bench/bench_table11_telemetry_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_telemetry_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

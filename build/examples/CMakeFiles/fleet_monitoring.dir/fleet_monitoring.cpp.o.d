@@ -211,12 +211,14 @@ examples/CMakeFiles/fleet_monitoring.dir/fleet_monitoring.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/dbc/common/status.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/dbc/dbcatcher/diagnosis.h \
  /root/repo/src/dbc/dbcatcher/correlation_matrix.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/dbc/correlation/kcd.h \
  /root/repo/src/dbc/dbcatcher/config.h \
@@ -224,7 +226,8 @@ examples/CMakeFiles/fleet_monitoring.dir/fleet_monitoring.cpp.o: \
  /root/repo/src/dbc/dbcatcher/levels.h \
  /root/repo/src/dbc/dbcatcher/feedback.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/dbc/eval/metrics.h \
+ /root/repo/src/dbc/eval/metrics.h /root/repo/src/dbc/dbcatcher/ingest.h \
+ /root/repo/src/dbc/cloudsim/telemetry.h \
  /root/repo/src/dbc/dbcatcher/streaming.h \
  /root/repo/src/dbc/dbcatcher/observer.h \
  /root/repo/src/dbc/eval/window_eval.h \

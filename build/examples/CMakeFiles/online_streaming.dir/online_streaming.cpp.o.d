@@ -208,15 +208,21 @@ examples/CMakeFiles/online_streaming.dir/online_streaming.cpp.o: \
  /root/repo/src/dbc/cloudsim/unit_data.h /root/repo/src/dbc/ts/series.h \
  /root/repo/src/dbc/dbcatcher/streaming.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/dbc/common/status.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/dbc/dbcatcher/correlation_matrix.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/dbc/correlation/kcd.h \
  /root/repo/src/dbc/dbcatcher/config.h \
  /root/repo/src/dbc/optimize/genome.h \
+ /root/repo/src/dbc/dbcatcher/ingest.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/dbc/cloudsim/telemetry.h \
  /root/repo/src/dbc/dbcatcher/observer.h \
  /root/repo/src/dbc/dbcatcher/levels.h \
  /root/repo/src/dbc/eval/window_eval.h /root/repo/src/dbc/eval/metrics.h

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/dbc/cloudsim/kpi.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/kpi.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/kpi.cc.o.d"
   "/root/repo/src/dbc/cloudsim/load_balancer.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/load_balancer.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/load_balancer.cc.o.d"
   "/root/repo/src/dbc/cloudsim/profile.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/profile.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/profile.cc.o.d"
+  "/root/repo/src/dbc/cloudsim/telemetry.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/telemetry.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/telemetry.cc.o.d"
   "/root/repo/src/dbc/cloudsim/unit_data.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/unit_data.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/unit_data.cc.o.d"
   "/root/repo/src/dbc/cloudsim/unit_sim.cc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/unit_sim.cc.o" "gcc" "src/dbc/cloudsim/CMakeFiles/dbc_cloudsim.dir/unit_sim.cc.o.d"
   )

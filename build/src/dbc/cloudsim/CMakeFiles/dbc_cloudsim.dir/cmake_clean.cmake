@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dbc_cloudsim.dir/load_balancer.cc.o.d"
   "CMakeFiles/dbc_cloudsim.dir/profile.cc.o"
   "CMakeFiles/dbc_cloudsim.dir/profile.cc.o.d"
+  "CMakeFiles/dbc_cloudsim.dir/telemetry.cc.o"
+  "CMakeFiles/dbc_cloudsim.dir/telemetry.cc.o.d"
   "CMakeFiles/dbc_cloudsim.dir/unit_data.cc.o"
   "CMakeFiles/dbc_cloudsim.dir/unit_data.cc.o.d"
   "CMakeFiles/dbc_cloudsim.dir/unit_sim.cc.o"

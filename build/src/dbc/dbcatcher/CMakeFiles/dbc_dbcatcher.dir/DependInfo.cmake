@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/dbc/dbcatcher/dbcatcher.cc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/dbcatcher.cc.o" "gcc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/dbcatcher.cc.o.d"
   "/root/repo/src/dbc/dbcatcher/diagnosis.cc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/diagnosis.cc.o" "gcc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/diagnosis.cc.o.d"
   "/root/repo/src/dbc/dbcatcher/feedback.cc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/feedback.cc.o" "gcc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/feedback.cc.o.d"
+  "/root/repo/src/dbc/dbcatcher/ingest.cc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/ingest.cc.o" "gcc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/ingest.cc.o.d"
   "/root/repo/src/dbc/dbcatcher/levels.cc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/levels.cc.o" "gcc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/levels.cc.o.d"
   "/root/repo/src/dbc/dbcatcher/observer.cc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/observer.cc.o" "gcc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/observer.cc.o.d"
   "/root/repo/src/dbc/dbcatcher/service.cc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/service.cc.o" "gcc" "src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/service.cc.o.d"

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dbc_dbcatcher.dir/diagnosis.cc.o.d"
   "CMakeFiles/dbc_dbcatcher.dir/feedback.cc.o"
   "CMakeFiles/dbc_dbcatcher.dir/feedback.cc.o.d"
+  "CMakeFiles/dbc_dbcatcher.dir/ingest.cc.o"
+  "CMakeFiles/dbc_dbcatcher.dir/ingest.cc.o.d"
   "CMakeFiles/dbc_dbcatcher.dir/levels.cc.o"
   "CMakeFiles/dbc_dbcatcher.dir/levels.cc.o.d"
   "CMakeFiles/dbc_dbcatcher.dir/observer.cc.o"

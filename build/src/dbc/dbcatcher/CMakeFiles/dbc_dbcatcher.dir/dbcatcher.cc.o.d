@@ -200,12 +200,12 @@ src/dbc/dbcatcher/CMakeFiles/dbc_dbcatcher.dir/dbcatcher.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/dbc/dbcatcher/config.h /usr/include/c++/12/cstddef \
- /root/repo/src/dbc/correlation/kcd.h /root/repo/src/dbc/ts/series.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /root/repo/src/dbc/correlation/kcd.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/dbc/optimize/genome.h \
- /root/repo/src/dbc/common/rng.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/dbc/ts/series.h \
+ /root/repo/src/dbc/optimize/genome.h /root/repo/src/dbc/common/rng.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/dbc/dbcatcher/feedback.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/dbc/eval/metrics.h \

@@ -1,0 +1,257 @@
+#include "dbc/cloudsim/telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace dbc {
+
+const std::string& TelemetryFaultKindName(TelemetryFaultKind kind) {
+  static const std::array<std::string, kNumTelemetryFaultKinds> kNames = {
+      "tick-dropout",
+      "nan-burst",
+      "stale-repeat",
+      "out-of-order",
+      "blackout",
+  };
+  return kNames[static_cast<size_t>(kind)];
+}
+
+namespace {
+
+/// Duration range (ticks) per kind; blackouts are long (a dead collector
+/// stays dead until someone restarts it), delivery glitches are short.
+void DurationRange(TelemetryFaultKind kind, size_t* lo, size_t* hi) {
+  switch (kind) {
+    case TelemetryFaultKind::kTickDropout:
+      *lo = 3;
+      *hi = 12;
+      return;
+    case TelemetryFaultKind::kNanBurst:
+      *lo = 2;
+      *hi = 8;
+      return;
+    case TelemetryFaultKind::kStaleRepeat:
+      *lo = 4;
+      *hi = 16;
+      return;
+    case TelemetryFaultKind::kOutOfOrder:
+      *lo = 4;
+      *hi = 14;
+      return;
+    case TelemetryFaultKind::kBlackout:
+      *lo = 30;
+      *hi = 90;
+      return;
+  }
+  *lo = 3;
+  *hi = 12;
+}
+
+}  // namespace
+
+std::vector<TelemetryFaultEvent> ScheduleTelemetryFaults(
+    const TelemetryFaultConfig& config, size_t num_dbs, size_t ticks,
+    Rng& rng) {
+  std::vector<TelemetryFaultKind> kinds = config.kinds;
+  if (kinds.empty()) {
+    for (size_t i = 0; i < kNumTelemetryFaultKinds; ++i) {
+      kinds.push_back(static_cast<TelemetryFaultKind>(i));
+    }
+  }
+  std::vector<double> weights = config.kind_weights;
+  if (weights.size() != kinds.size()) {
+    weights.assign(kinds.size(), 1.0);
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      if (kinds[i] == TelemetryFaultKind::kBlackout) weights[i] = 0.5;
+    }
+  }
+
+  const double budget =
+      config.target_ratio * static_cast<double>(num_dbs * ticks);
+
+  std::vector<TelemetryFaultEvent> events;
+  std::vector<std::vector<std::pair<size_t, size_t>>> busy(num_dbs);
+
+  double spent = 0.0;
+  size_t attempts = 0;
+  const size_t max_attempts = 50 * (num_dbs * ticks / 100 + 10);
+  while (spent < budget && attempts < max_attempts) {
+    ++attempts;
+    TelemetryFaultEvent ev;
+    ev.kind = kinds[rng.WeightedChoice(weights)];
+    ev.db = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(num_dbs) - 1));
+    size_t lo = 0, hi = 0;
+    DurationRange(ev.kind, &lo, &hi);
+    ev.duration = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+    if (config.head_clearance + ev.duration + 1 >= ticks) continue;
+    ev.start = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(config.head_clearance),
+                       static_cast<int64_t>(ticks - ev.duration - 1)));
+    ev.intensity = rng.Uniform(0.5, 1.0);
+
+    bool clash = false;
+    for (const auto& [b, e] : busy[ev.db]) {
+      if (ev.start < e + config.min_gap && b < ev.end() + config.min_gap) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+
+    busy[ev.db].push_back({ev.start, ev.end()});
+    events.push_back(ev);
+    spent += static_cast<double>(ev.duration);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TelemetryFaultEvent& a, const TelemetryFaultEvent& b) {
+              return a.start != b.start ? a.start < b.start : a.db < b.db;
+            });
+  return events;
+}
+
+TelemetryFaultInjector::TelemetryFaultInjector(
+    std::vector<TelemetryFaultEvent> events, size_t num_dbs,
+    size_t max_reorder, Rng rng)
+    : events_(std::move(events)),
+      num_dbs_(num_dbs),
+      max_reorder_(std::max<size_t>(1, max_reorder)),
+      rng_(rng),
+      last_delivered_(num_dbs),
+      has_delivered_(num_dbs, 0),
+      corrupted_(num_dbs) {}
+
+std::vector<TelemetrySample> TelemetryFaultInjector::Step(
+    size_t t, const std::vector<std::array<double, kNumKpis>>& clean) {
+  assert(clean.size() == num_dbs_);
+  std::vector<TelemetrySample> out;
+
+  // Late arrivals scheduled for this step surface first: they reach the
+  // service before the on-time samples the collector sent afterwards.
+  const auto due = delayed_.find(t);
+  if (due != delayed_.end()) {
+    out.insert(out.end(), due->second.begin(), due->second.end());
+    delayed_.erase(due);
+  }
+
+  for (size_t db = 0; db < num_dbs_; ++db) {
+    corrupted_[db].resize(std::max(corrupted_[db].size(), t + 1), 0);
+
+    const TelemetryFaultEvent* active = nullptr;
+    for (const TelemetryFaultEvent& ev : events_) {
+      if (ev.db == db && ev.ActiveAt(t)) {
+        active = &ev;
+        break;
+      }
+    }
+
+    TelemetrySample sample;
+    sample.tick = t;
+    sample.db = db;
+    sample.values = clean[db];
+
+    if (active == nullptr) {
+      out.push_back(sample);
+      last_delivered_[db] = sample.values;
+      has_delivered_[db] = 1;
+      continue;
+    }
+
+    switch (active->kind) {
+      case TelemetryFaultKind::kBlackout:
+        corrupted_[db][t] = 1;
+        break;  // nothing delivered
+      case TelemetryFaultKind::kTickDropout:
+        if (rng_.Bernoulli(active->intensity)) {
+          corrupted_[db][t] = 1;
+        } else {
+          out.push_back(sample);
+          last_delivered_[db] = sample.values;
+          has_delivered_[db] = 1;
+        }
+        break;
+      case TelemetryFaultKind::kNanBurst: {
+        const size_t forced = static_cast<size_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(kNumKpis) - 1));
+        for (size_t k = 0; k < kNumKpis; ++k) {
+          if (k == forced || rng_.Bernoulli(active->intensity)) {
+            sample.values[k] = std::numeric_limits<double>::quiet_NaN();
+          }
+        }
+        corrupted_[db][t] = 1;
+        out.push_back(sample);
+        break;
+      }
+      case TelemetryFaultKind::kStaleRepeat:
+        if (has_delivered_[db]) {
+          sample.values = last_delivered_[db];  // frozen collector
+          corrupted_[db][t] = 1;
+        }
+        out.push_back(sample);
+        break;
+      case TelemetryFaultKind::kOutOfOrder: {
+        const size_t delay = static_cast<size_t>(
+            rng_.UniformInt(1, static_cast<int64_t>(max_reorder_)));
+        delayed_[t + delay].push_back(sample);
+        corrupted_[db][t] = 1;
+        last_delivered_[db] = sample.values;
+        has_delivered_[db] = 1;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TelemetrySample> TelemetryFaultInjector::Flush() {
+  std::vector<TelemetrySample> out;
+  for (auto& [step, samples] : delayed_) {
+    out.insert(out.end(), samples.begin(), samples.end());
+  }
+  delayed_.clear();
+  return out;
+}
+
+bool TelemetryFaultInjector::FaultAt(size_t db, size_t t) const {
+  for (const TelemetryFaultEvent& ev : events_) {
+    if (ev.db == db && ev.ActiveAt(t)) return true;
+  }
+  return false;
+}
+
+bool TelemetryFaultInjector::CorruptedAt(size_t db, size_t t) const {
+  if (db >= corrupted_.size() || t >= corrupted_[db].size()) return false;
+  return corrupted_[db][t] != 0;
+}
+
+std::vector<std::vector<TelemetrySample>> DegradeUnit(
+    const UnitData& unit, const TelemetryFaultConfig& config, Rng& rng,
+    std::vector<TelemetryFaultEvent>* events_out) {
+  const size_t n = unit.num_dbs();
+  const size_t ticks = unit.length();
+  std::vector<TelemetryFaultEvent> events =
+      ScheduleTelemetryFaults(config, n, ticks, rng);
+  if (events_out != nullptr) *events_out = events;
+  TelemetryFaultInjector injector(std::move(events), n, config.max_reorder,
+                                  rng.Fork(0x7e1e));
+
+  std::vector<std::vector<TelemetrySample>> batches(ticks);
+  std::vector<std::array<double, kNumKpis>> clean(n);
+  for (size_t t = 0; t < ticks; ++t) {
+    for (size_t db = 0; db < n; ++db) {
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        clean[db][k] = unit.kpis[db].row(k)[t];
+      }
+    }
+    batches[t] = injector.Step(t, clean);
+  }
+  if (ticks > 0) {
+    const std::vector<TelemetrySample> tail = injector.Flush();
+    batches.back().insert(batches.back().end(), tail.begin(), tail.end());
+  }
+  return batches;
+}
+
+}  // namespace dbc

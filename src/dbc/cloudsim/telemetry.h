@@ -1,0 +1,136 @@
+// Telemetry fault injection: degrades a clean UnitData feed into the
+// imperfect sample stream a real collector fleet delivers.
+//
+// The paper's deployment (Fig. 2/6) consumes KPI feeds from per-database
+// collectors, which arrive with collection delays (§II-D) — and, in any real
+// fleet, also with dropped ticks, NaN bursts, frozen (stale-repeat) runs,
+// bounded out-of-order delivery, and whole-feed blackouts when a collector
+// dies. This module schedules such faults with ground-truth labels, mirroring
+// the AnomalyInjector API, so the ingestion layer and the detector's graceful
+// degradation can be validated chaos-style (cf. PerfCE's fault injection).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dbc/cloudsim/kpi.h"
+#include "dbc/cloudsim/unit_data.h"
+#include "dbc/common/rng.h"
+
+namespace dbc {
+
+/// Kinds of injected collector faults.
+enum class TelemetryFaultKind : int {
+  kTickDropout = 0,  // individual samples lost with high probability
+  kNanBurst,         // samples arrive but carry NaN / missing values
+  kStaleRepeat,      // collector freezes and re-sends the last vector
+  kOutOfOrder,       // delivery delayed by a bounded number of ticks
+  kBlackout,         // the database's feed disappears entirely
+};
+
+/// Number of telemetry fault kinds.
+inline constexpr size_t kNumTelemetryFaultKinds = 5;
+
+/// Display name ("tick-dropout", ...).
+const std::string& TelemetryFaultKindName(TelemetryFaultKind kind);
+
+/// One scheduled collector fault on one database's feed.
+struct TelemetryFaultEvent {
+  TelemetryFaultKind kind = TelemetryFaultKind::kTickDropout;
+  size_t db = 0;
+  size_t start = 0;
+  size_t duration = 1;
+  /// Kind-specific severity in (0, 1]: drop probability for dropouts, NaN
+  /// probability per KPI for bursts. Ignored by the other kinds.
+  double intensity = 0.7;
+
+  size_t end() const { return start + duration; }
+  bool ActiveAt(size_t t) const { return t >= start && t < end(); }
+};
+
+/// Fault-schedule configuration.
+struct TelemetryFaultConfig {
+  /// Target fraction of (database, tick) samples inside a fault event.
+  double target_ratio = 0.05;
+  /// Enabled kinds; empty = all kinds.
+  std::vector<TelemetryFaultKind> kinds;
+  /// Relative sampling weight per enabled kind (empty = uniform, except
+  /// blackouts 0.5x — whole-collector deaths are rarer than flaky delivery).
+  std::vector<double> kind_weights;
+  /// Ticks kept fault-free at the head of the trace (warm-up).
+  size_t head_clearance = 30;
+  /// Minimum clean gap between events on the same database's feed.
+  size_t min_gap = 10;
+  /// Maximum delivery delay (ticks) for out-of-order faults.
+  size_t max_reorder = 3;
+};
+
+/// Draws a non-overlapping per-database fault schedule hitting ~target_ratio.
+std::vector<TelemetryFaultEvent> ScheduleTelemetryFaults(
+    const TelemetryFaultConfig& config, size_t num_dbs, size_t ticks,
+    Rng& rng);
+
+/// One delivered collector sample: the KPI vector of one database stamped
+/// with its source tick. A degraded feed is a sequence of these — possibly
+/// with gaps, NaNs, duplicates of earlier values, and late arrivals.
+struct TelemetrySample {
+  size_t tick = 0;  // collector timestamp (source tick index)
+  size_t db = 0;
+  std::array<double, kNumKpis> values{};
+};
+
+/// Turns scheduled fault events into a degraded sample stream.
+///
+/// Drive it with one clean tick at a time; Step() returns the samples that
+/// reach the monitoring service at that wall-clock step (late samples from
+/// out-of-order faults surface here too). Flush() releases anything still
+/// delayed after the feed ends.
+class TelemetryFaultInjector {
+ public:
+  TelemetryFaultInjector(std::vector<TelemetryFaultEvent> events,
+                         size_t num_dbs, size_t max_reorder, Rng rng);
+
+  /// Degrades the clean tick `t` (values[db][kpi]); returns the samples
+  /// delivered at this step, in arrival order.
+  std::vector<TelemetrySample> Step(
+      size_t t, const std::vector<std::array<double, kNumKpis>>& clean);
+
+  /// Releases every still-delayed sample (end of feed).
+  std::vector<TelemetrySample> Flush();
+
+  /// True when `db`'s feed is inside any scheduled event at `t`.
+  bool FaultAt(size_t db, size_t t) const;
+
+  /// True when the sample (db, t) was actually corrupted (dropped, NaN'd,
+  /// frozen, or delayed) — the per-point ground truth; dropouts inside an
+  /// event window may still deliver clean samples.
+  bool CorruptedAt(size_t db, size_t t) const;
+
+  const std::vector<TelemetryFaultEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TelemetryFaultEvent> events_;
+  size_t num_dbs_ = 0;
+  size_t max_reorder_ = 3;
+  Rng rng_;
+  /// Samples held back by out-of-order faults, keyed by release step.
+  std::map<size_t, std::vector<TelemetrySample>> delayed_;
+  /// Last vector each collector delivered (what a frozen collector re-sends).
+  std::vector<std::array<double, kNumKpis>> last_delivered_;
+  std::vector<uint8_t> has_delivered_;
+  /// corrupted_[db] grows one flag per stepped tick.
+  std::vector<std::vector<uint8_t>> corrupted_;
+};
+
+/// Convenience: degrades a whole unit trace. batches[t] holds the samples
+/// arriving at step t; samples still delayed at the end are appended to the
+/// final batch. `events_out` (optional) receives the drawn fault schedule.
+std::vector<std::vector<TelemetrySample>> DegradeUnit(
+    const UnitData& unit, const TelemetryFaultConfig& config, Rng& rng,
+    std::vector<TelemetryFaultEvent>* events_out = nullptr);
+
+}  // namespace dbc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "dbc/ts/normalize.h"
 
@@ -37,6 +38,58 @@ double OverlapScore(const std::vector<double>& lead,
   return sxy / std::sqrt(sxx * syy);
 }
 
+/// Masked OverlapScore: index pairs where either side is masked out drop
+/// from the sums, the rest keep their positions. Returns NaN when fewer than
+/// min_overlap pairs survive, so the caller can skip the lag entirely.
+double MaskedOverlapScore(const std::vector<double>& lead,
+                          const std::vector<double>& follow,
+                          const std::vector<uint8_t>& lead_ok,
+                          const std::vector<uint8_t>& follow_ok, size_t s,
+                          size_t min_overlap) {
+  const size_t len = lead.size() - s;
+  size_t m = 0;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < len; ++i) {
+    if (lead_ok[i + s] == 0 || follow_ok[i] == 0) continue;
+    mx += lead[i + s];
+    my += follow[i];
+    ++m;
+  }
+  if (m < std::max<size_t>(min_overlap, 2)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  mx /= static_cast<double>(m);
+  my /= static_cast<double>(m);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < len; ++i) {
+    if (lead_ok[i + s] == 0 || follow_ok[i] == 0) continue;
+    const double dx = lead[i + s] - mx;
+    const double dy = follow[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+/// Eq. 1 over the unmasked points only; masked entries are left untouched
+/// (they never enter an overlap sum).
+void MaskedMinMaxNormalize(std::vector<double>& v,
+                           const std::vector<uint8_t>& ok) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (ok[i] == 0) continue;
+    lo = std::min(lo, v[i]);
+    hi = std::max(hi, v[i]);
+  }
+  if (!(hi > lo)) return;  // constant or empty: OverlapScore yields 0
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (ok[i] != 0) v[i] = (v[i] - lo) / (hi - lo);
+  }
+}
+
 }  // namespace
 
 KcdResult Kcd(const Series& x, const Series& y, const KcdOptions& options) {
@@ -44,6 +97,14 @@ KcdResult Kcd(const Series& x, const Series& y, const KcdOptions& options) {
   KcdResult result;
   const size_t n = x.size();
   if (n < options.min_overlap) return result;
+
+  // Degraded feeds can carry NaN/Inf points; min-max normalization would
+  // smear them across the whole window. Such windows carry no usable trend:
+  // return the "uncorrelatable" result instead of propagating NaN into the
+  // level classification.
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) return result;
+  }
 
   std::vector<double> nx = x.values();
   std::vector<double> ny = y.values();
@@ -69,6 +130,58 @@ KcdResult Kcd(const Series& x, const Series& y, const KcdOptions& options) {
       // y lagging x by s.
       const double bwd = OverlapScore(ny, nx, s);
       if (bwd > best) {
+        best = bwd;
+        best_lag = -static_cast<int>(s);
+      }
+    }
+  }
+  result.score = best <= -2.0 ? 0.0 : best;
+  result.best_lag = best_lag;
+  return result;
+}
+
+KcdResult KcdMasked(const Series& x, const Series& y,
+                    const std::vector<uint8_t>* mask_x,
+                    const std::vector<uint8_t>* mask_y,
+                    const KcdOptions& options) {
+  assert(x.size() == y.size());
+  KcdResult result;
+  const size_t n = x.size();
+  if (n < options.min_overlap) return result;
+
+  // Effective masks: the caller's mask (null = all-valid) AND finiteness.
+  std::vector<uint8_t> okx(n, 1), oky(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (mask_x != nullptr && i < mask_x->size() && (*mask_x)[i] == 0) okx[i] = 0;
+    if (mask_y != nullptr && i < mask_y->size() && (*mask_y)[i] == 0) oky[i] = 0;
+    if (!std::isfinite(x[i])) okx[i] = 0;
+    if (!std::isfinite(y[i])) oky[i] = 0;
+  }
+
+  std::vector<double> nx = x.values();
+  std::vector<double> ny = y.values();
+  if (options.normalize) {
+    MaskedMinMaxNormalize(nx, okx);
+    MaskedMinMaxNormalize(ny, oky);
+  }
+
+  const size_t max_delay = std::min(
+      n - options.min_overlap,
+      static_cast<size_t>(options.max_delay_fraction * static_cast<double>(n)));
+
+  double best = -2.0;
+  int best_lag = 0;
+  for (size_t s = 0; s <= max_delay; ++s) {
+    const double fwd =
+        MaskedOverlapScore(nx, ny, okx, oky, s, options.min_overlap);
+    if (!std::isnan(fwd) && fwd > best) {
+      best = fwd;
+      best_lag = static_cast<int>(s);
+    }
+    if (s > 0 && options.scan_negative) {
+      const double bwd =
+          MaskedOverlapScore(ny, nx, oky, okx, s, options.min_overlap);
+      if (!std::isnan(bwd) && bwd > best) {
         best = bwd;
         best_lag = -static_cast<int>(s);
       }

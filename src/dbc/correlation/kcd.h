@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "dbc/ts/series.h"
 
@@ -43,6 +45,18 @@ struct KcdResult {
 /// Computes the KCD of two equally sized windows. Requires x.size() ==
 /// y.size(); returns {0, 0} for windows shorter than options.min_overlap.
 KcdResult Kcd(const Series& x, const Series& y, const KcdOptions& options = {});
+
+/// Masked KCD for degraded telemetry: points whose mask entry is 0 (or whose
+/// value is non-finite) are excluded from the Eq. 1 normalization and from
+/// every lag's overlap, while the surviving points keep their original time
+/// positions — compressing them out instead would destroy the collection-
+/// delay alignment the lag scan exists to find. A lag whose masked overlap
+/// falls below options.min_overlap is not scored; if no lag qualifies the
+/// result is {0, 0}. Null masks mean all-valid.
+KcdResult KcdMasked(const Series& x, const Series& y,
+                    const std::vector<uint8_t>* mask_x,
+                    const std::vector<uint8_t>* mask_y,
+                    const KcdOptions& options = {});
 
 /// Convenience: score only.
 double KcdScore(const Series& x, const Series& y, const KcdOptions& options = {});

@@ -10,6 +10,12 @@ double PearsonCorrelation(const std::vector<double>& x,
   assert(x.size() == y.size());
   assert(!x.empty());
   const size_t n = x.size();
+  // Degraded-telemetry hardening: NaN/Inf points would silently poison the
+  // sums and propagate into state classification; such windows are simply
+  // uncorrelatable (0), like constant ones.
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) return 0.0;
+  }
   double mx = 0.0, my = 0.0;
   for (size_t i = 0; i < n; ++i) {
     mx += x[i];

@@ -1,5 +1,7 @@
 #include "dbc/correlation/spearman.h"
 
+#include <cmath>
+
 #include "dbc/common/mathutil.h"
 #include "dbc/correlation/pearson.h"
 
@@ -7,6 +9,11 @@ namespace dbc {
 
 double SpearmanCorrelation(const std::vector<double>& x,
                            const std::vector<double>& y) {
+  // NaN has no rank: ordering against it is unspecified, so the whole
+  // window is uncorrelatable rather than silently mis-ranked.
+  for (size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) return 0.0;
+  }
   return PearsonCorrelation(Ranks(x), Ranks(y));
 }
 

@@ -38,6 +38,17 @@ struct DbcatcherConfig {
   /// window is "existing but not in use" and is skipped (§III-C).
   double activity_epsilon = 1e-3;
 
+  /// Telemetry robustness: when a validity mask is installed on the
+  /// analyzer, a database participates in a window only if at least this
+  /// fraction of its ticks carry fresh (non-imputed) data. Repaired
+  /// stretches stay in the buffer but are flat/interpolated, so a window
+  /// dominated by them would read as a false decorrelation; past this floor
+  /// the window resolves to kNoData instead.
+  double min_valid_fraction = 0.8;
+  /// Minimum eligible peers for a UKPIC verdict: with fewer, the database's
+  /// aggregate score is undefined (kNoData) instead of a spurious level-1.
+  size_t min_peers = 1;
+
   /// What to do when a database is still "observable" at W_M: false (default)
   /// resolves to healthy — level-2 deviations that never escalate are treated
   /// as tolerated fluctuations; true resolves to abnormal.

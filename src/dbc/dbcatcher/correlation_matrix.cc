@@ -60,6 +60,18 @@ bool KcdCache::Lookup(uint64_t key, double* score) const {
 
 void KcdCache::Insert(uint64_t key, double score) { map_[key] = score; }
 
+void KcdCache::EvictBefore(size_t begin) {
+  const uint64_t floor = static_cast<uint64_t>(begin) & 0xFFFFFFF;
+  for (auto it = map_.begin(); it != map_.end();) {
+    const uint64_t entry_begin = (it->first >> 15) & 0xFFFFFFF;
+    if (entry_begin < floor) {
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 CorrelationAnalyzer::CorrelationAnalyzer(const UnitData& unit,
                                          const DbcatcherConfig& config,
                                          KcdCache* cache)
@@ -74,6 +86,18 @@ bool CorrelationAnalyzer::DbActive(size_t db, size_t begin, size_t len) const {
   return false;
 }
 
+bool CorrelationAnalyzer::DbValid(size_t db, size_t begin, size_t len) const {
+  if (validity_ == nullptr || len == 0) return true;
+  if (db >= validity_->size()) return true;
+  const std::vector<uint8_t>& mask = (*validity_)[db];
+  const size_t end = std::min(begin + len, mask.size());
+  if (begin >= end) return true;  // window past the mask: nothing to veto
+  size_t good = 0;
+  for (size_t t = begin; t < end; ++t) good += mask[t] != 0;
+  return static_cast<double>(good) >=
+         config_.min_valid_fraction * static_cast<double>(end - begin);
+}
+
 bool CorrelationAnalyzer::PairEligible(size_t kpi, size_t a, size_t b,
                                        size_t begin, size_t len) const {
   if (a == b) return false;
@@ -84,16 +108,59 @@ bool CorrelationAnalyzer::PairEligible(size_t kpi, size_t a, size_t b,
       return false;
     }
   }
+  if (!DbValid(a, begin, len) || !DbValid(b, begin, len)) return false;
   return DbActive(a, begin, len) && DbActive(b, begin, len);
+}
+
+bool CorrelationAnalyzer::MaskedAt(size_t db, size_t t) const {
+  if (validity_ == nullptr || db >= validity_->size()) return false;
+  const std::vector<uint8_t>& mask = (*validity_)[db];
+  return t < mask.size() && mask[t] == 0;
 }
 
 double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
                                       size_t begin, size_t len) {
-  const uint64_t key = KcdCache::Key(kpi, a, b, begin, len);
+  const uint64_t key = KcdCache::Key(kpi, a, b, begin + cache_offset_, len);
   double score = 0.0;
   if (cache_ != nullptr && cache_->Lookup(key, &score)) return score;
-  const Series xa = unit_.kpis[a].row(kpi).Slice(begin, begin + len);
-  const Series xb = unit_.kpis[b].row(kpi).Slice(begin, begin + len);
+
+  // Degraded telemetry: imputed ticks carry no UKPIC evidence (repairs
+  // cannot recover the shared fluctuation that correlates the databases), so
+  // the measure must run over the fresh ticks only. KCD keeps those ticks at
+  // their original time positions (masked overlaps) because its lag scan is
+  // what absorbs the per-database collection delay; the lag-free comparators
+  // compress to the jointly-fresh ticks instead.
+  bool degraded = false;
+  if (validity_ != nullptr) {
+    for (size_t t = begin; t < begin + len && !degraded; ++t) {
+      degraded = MaskedAt(a, t) || MaskedAt(b, t);
+    }
+  }
+  Series xa = unit_.kpis[a].row(kpi).Slice(begin, begin + len);
+  Series xb = unit_.kpis[b].row(kpi).Slice(begin, begin + len);
+  if (degraded && config_.measure == CorrelationMeasure::kKcd) {
+    std::vector<uint8_t> oka(len, 1), okb(len, 1);
+    for (size_t t = begin; t < begin + len; ++t) {
+      if (MaskedAt(a, t)) oka[t - begin] = 0;
+      if (MaskedAt(b, t)) okb[t - begin] = 0;
+    }
+    score = KcdMasked(xa, xb, &oka, &okb, config_.kcd).score;
+    if (cache_ != nullptr) cache_->Insert(key, score);
+    return score;
+  }
+  if (degraded) {
+    std::vector<double> va, vb;
+    va.reserve(len);
+    vb.reserve(len);
+    for (size_t t = begin; t < begin + len; ++t) {
+      if (MaskedAt(a, t) || MaskedAt(b, t)) continue;
+      va.push_back(unit_.kpis[a].row(kpi)[t]);
+      vb.push_back(unit_.kpis[b].row(kpi)[t]);
+    }
+    xa = Series(std::move(va));
+    xb = Series(std::move(vb));
+  }
+  const size_t joint = xa.size();
   switch (config_.measure) {
     case CorrelationMeasure::kKcd:
       score = KcdScore(xa, xb, config_.kcd);
@@ -103,7 +170,7 @@ double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
       score = PearsonCorrelation(xa, xb);
       break;
     case CorrelationMeasure::kDtw:
-      score = DtwSimilarity(xa, xb, /*band=*/std::max<size_t>(3, len / 8));
+      score = DtwSimilarity(xa, xb, /*band=*/std::max<size_t>(3, joint / 8));
       break;
   }
   if (cache_ != nullptr) cache_->Insert(key, score);
@@ -125,19 +192,25 @@ CorrelationMatrix CorrelationAnalyzer::Matrix(size_t kpi, size_t begin,
 
 double CorrelationAnalyzer::AggregateScore(size_t kpi, size_t db, size_t begin,
                                            size_t len) {
+  if (!DbValid(db, begin, len)) return kNan;
   if (!DbActive(db, begin, len)) return kNan;
   if (KpiCorrelation(static_cast<Kpi>(kpi)) ==
           KpiCorrelationType::kReplicaOnly &&
       unit_.roles[db] == DbRole::kPrimary) {
     return kNan;
   }
+  // Minimum-peers floor: with quarantined feeds excluded, a database needs
+  // at least config.min_peers usable peers for its score to mean anything.
   double best = kNan;
+  size_t peers = 0;
   const size_t n = unit_.num_dbs();
   for (size_t peer = 0; peer < n; ++peer) {
     if (!PairEligible(kpi, db, peer, begin, len)) continue;
+    ++peers;
     const double s = PairScore(kpi, db, peer, begin, len);
     if (std::isnan(best) || s > best) best = s;
   }
+  if (peers < std::max<size_t>(1, config_.min_peers)) return kNan;
   return best;
 }
 

@@ -48,6 +48,10 @@ class KcdCache {
   void Insert(uint64_t key, double score);
   size_t size() const { return map_.size(); }
 
+  /// Drops every memoized window beginning before `begin` (absolute ticks).
+  /// Called by the trimming stream so the memo stays bounded too.
+  void EvictBefore(size_t begin);
+
  private:
   std::unordered_map<uint64_t, double> map_;
 };
@@ -60,8 +64,28 @@ class CorrelationAnalyzer {
   CorrelationAnalyzer(const UnitData& unit, const DbcatcherConfig& config,
                       KcdCache* cache = nullptr);
 
+  /// Installs a telemetry-validity mask: validity[db][t] != 0 when the
+  /// sample at (db, t) is usable (fresh or in-budget imputed, and the
+  /// database is not quarantined). Indices are in the unit's (buffer)
+  /// coordinates. Databases whose valid fraction inside a window falls
+  /// below config.min_valid_fraction drop out of every peer set for that
+  /// window, so healthy replicas keep an uncontaminated UKPIC quorum.
+  /// Pass nullptr to clear. The mask must outlive the analyzer.
+  void SetValidity(const std::vector<std::vector<uint8_t>>* validity) {
+    validity_ = validity;
+  }
+
+  /// Offset added to window begins when forming cache keys. A trimming
+  /// stream passes its trim offset so buffer-relative coordinates never
+  /// collide with keys from earlier epochs.
+  void SetCacheTickOffset(size_t offset) { cache_offset_ = offset; }
+
   /// True when database `db` shows activity within [begin, begin+len).
   bool DbActive(size_t db, size_t begin, size_t len) const;
+
+  /// True when `db`'s telemetry inside [begin, begin+len) is usable (always
+  /// true without a validity mask).
+  bool DbValid(size_t db, size_t begin, size_t len) const;
 
   /// The CM of Eq. 5 for one KPI over [begin, begin+len).
   CorrelationMatrix Matrix(size_t kpi, size_t begin, size_t len);
@@ -80,11 +104,15 @@ class CorrelationAnalyzer {
   const UnitData& unit() const { return unit_; }
 
  private:
+  /// True when the validity mask marks (db, t) unusable.
+  bool MaskedAt(size_t db, size_t t) const;
   double PairScore(size_t kpi, size_t a, size_t b, size_t begin, size_t len);
 
   const UnitData& unit_;
   const DbcatcherConfig& config_;
   KcdCache* cache_;
+  const std::vector<std::vector<uint8_t>>* validity_ = nullptr;
+  size_t cache_offset_ = 0;
 };
 
 }  // namespace dbc

@@ -184,7 +184,9 @@ DiagnosticReport Diagnose(CorrelationAnalyzer& analyzer,
   const LevelSummary summary =
       SummarizeLevels(analyzer, db, begin, len, config.genome);
   report.state = DetermineState(summary, config.genome.tolerance);
-  if (report.state == DbState::kHealthy) return report;
+  if (report.state == DbState::kHealthy || report.state == DbState::kNoData) {
+    return report;
+  }
 
   const UnitData& unit = analyzer.unit();
   // Growth measured over window + one preceding window: bytes-per-window is
@@ -230,6 +232,9 @@ std::string DiagnosticReport::ToString() const {
   switch (state) {
     case DbState::kHealthy:
       out << "HEALTHY";
+      return out.str();
+    case DbState::kNoData:
+      out << "NO-DATA (feed quarantined or no usable peers)";
       return out.str();
     case DbState::kObservable:
       out << "OBSERVABLE";

@@ -1,0 +1,220 @@
+#include "dbc/dbcatcher/ingest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbc {
+
+const std::string& DataQualityEventName(DataQualityEvent::Kind kind) {
+  static const std::array<std::string, 3> kNames = {
+      "collector-down",
+      "quarantine-enter",
+      "quarantine-exit",
+  };
+  return kNames[static_cast<size_t>(kind)];
+}
+
+TelemetryIngestor::TelemetryIngestor(size_t num_dbs, IngestConfig config)
+    : num_dbs_(num_dbs), config_(config), dbs_(num_dbs) {}
+
+Status TelemetryIngestor::Offer(const TelemetrySample& sample) {
+  if (sample.db >= num_dbs_) {
+    return Status::InvalidArgument("sample for unknown database");
+  }
+  if (any_sample_ && sample.tick < next_seal_) {
+    ++late_drops_;
+    return Status::OutOfRange("sample older than the sealed horizon");
+  }
+  PendingFrame& frame = pending_[sample.tick];
+  if (frame.samples.empty()) frame.samples.resize(num_dbs_);
+  frame.samples[sample.db] = sample.values;  // last delivery wins
+  watermark_ = std::max(watermark_, sample.tick);
+  any_sample_ = true;
+  return Status::Ok();
+}
+
+Status TelemetryIngestor::OfferTick(
+    size_t tick, const std::vector<std::array<double, kNumKpis>>& values) {
+  if (values.size() != num_dbs_) {
+    return Status::InvalidArgument("tick has wrong database count");
+  }
+  for (size_t db = 0; db < num_dbs_; ++db) {
+    TelemetrySample sample;
+    sample.tick = tick;
+    sample.db = db;
+    sample.values = values[db];
+    const Status status = Offer(sample);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+bool TelemetryIngestor::Complete(const PendingFrame& frame) const {
+  if (frame.samples.size() != num_dbs_) return false;
+  for (const auto& sample : frame.samples) {
+    if (!sample.has_value()) return false;
+    for (double v : *sample) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return true;
+}
+
+size_t TelemetryIngestor::NextGoodAhead(size_t db, size_t kpi,
+                                        double* value) const {
+  // Bounded lookahead: anything beyond the reorder horizon plus the gap
+  // budget could not rescue this tick anyway.
+  const size_t limit = next_seal_ + config_.reorder_window + config_.max_gap;
+  for (auto it = pending_.upper_bound(next_seal_);
+       it != pending_.end() && it->first <= limit; ++it) {
+    if (it->second.samples.size() != num_dbs_) continue;
+    const auto& sample = it->second.samples[db];
+    if (!sample.has_value()) continue;
+    const double v = (*sample)[kpi];
+    if (!std::isfinite(v)) continue;
+    *value = v;
+    return it->first - next_seal_;
+  }
+  return 0;
+}
+
+AlignedTick TelemetryIngestor::Seal() {
+  const size_t tick = next_seal_;
+  AlignedTick out;
+  out.tick = tick;
+  out.values.resize(num_dbs_);
+  out.quality.assign(num_dbs_, SampleQuality::kFresh);
+  out.quarantined.assign(num_dbs_, 0);
+
+  const auto frame_it = pending_.find(tick);
+  const PendingFrame* frame =
+      frame_it == pending_.end() ? nullptr : &frame_it->second;
+
+  for (size_t db = 0; db < num_dbs_; ++db) {
+    DbTrack& track = dbs_[db];
+    const std::optional<std::array<double, kNumKpis>>* sample = nullptr;
+    if (frame != nullptr && frame->samples.size() == num_dbs_ &&
+        frame->samples[db].has_value()) {
+      sample = &frame->samples[db];
+    }
+
+    bool frozen = false;
+    if (sample != nullptr) {
+      track.missing_run = 0;
+      track.collector_down_raised = false;
+      // Stale detection: a real collector's vector never exactly repeats;
+      // an unchanged vector run marks a frozen feed.
+      bool identical = track.has_seen;
+      for (size_t k = 0; identical && k < kNumKpis; ++k) {
+        if ((**sample)[k] != track.last_seen[k]) identical = false;
+      }
+      track.repeat_run = identical ? track.repeat_run + 1 : 1;
+      track.last_seen = **sample;
+      track.has_seen = true;
+      frozen = track.repeat_run > config_.stale_run;
+    } else {
+      ++track.missing_run;
+    }
+
+    size_t fresh_kpis = 0;
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      const bool delivered = sample != nullptr && !frozen &&
+                             std::isfinite((**sample)[k]);
+      if (delivered) {
+        out.values[db][k] = (**sample)[k];
+        track.last_good[k] = (**sample)[k];
+        track.good_mask[k] = 1;
+        track.kpi_gap[k] = 0;
+        ++fresh_kpis;
+        continue;
+      }
+      // Impute: linear interpolation when the next good value is already
+      // buffered, carry-forward otherwise.
+      const double prev = track.good_mask[k] ? track.last_good[k] : 0.0;
+      double next = 0.0;
+      const size_t ahead = NextGoodAhead(db, k, &next);
+      if (ahead > 0 && track.good_mask[k]) {
+        const double back = static_cast<double>(track.kpi_gap[k] + 1);
+        out.values[db][k] =
+            prev + (next - prev) * back / (back + static_cast<double>(ahead));
+      } else if (ahead > 0) {
+        out.values[db][k] = next;  // no history yet: backfill
+      } else {
+        out.values[db][k] = prev;  // carry-forward (0 before any good value)
+      }
+      ++track.kpi_gap[k];
+    }
+
+    if (fresh_kpis == kNumKpis) {
+      out.quality[db] = SampleQuality::kFresh;
+      track.gap_run = 0;
+      ++track.fresh_run;
+    } else if (fresh_kpis > 0) {
+      // Partially repaired tick: usable, but not evidence of recovery.
+      out.quality[db] = SampleQuality::kImputed;
+      track.gap_run = 0;
+      track.fresh_run = 0;
+    } else {
+      ++track.gap_run;
+      track.fresh_run = 0;
+      out.quality[db] = track.gap_run <= config_.max_gap
+                            ? SampleQuality::kImputed
+                            : SampleQuality::kMissing;
+    }
+
+    // Collector-down: a wholly silent feed, reported once per outage.
+    if (!track.collector_down_raised &&
+        track.missing_run >= config_.quarantine_after) {
+      track.collector_down_raised = true;
+      events_.push_back({DataQualityEvent::Kind::kCollectorDown, db, tick,
+                         "no samples for " +
+                             std::to_string(track.missing_run) + " ticks"});
+    }
+    // Quarantine state machine: enter past the staleness budget, rejoin
+    // after a run of fresh ticks.
+    if (!track.quarantined && track.gap_run >= config_.quarantine_after) {
+      track.quarantined = true;
+      events_.push_back({DataQualityEvent::Kind::kQuarantineEnter, db, tick,
+                         "unusable for " + std::to_string(track.gap_run) +
+                             " ticks (budget " +
+                             std::to_string(config_.quarantine_after) + ")"});
+    } else if (track.quarantined &&
+               track.fresh_run >= config_.rejoin_after) {
+      track.quarantined = false;
+      events_.push_back({DataQualityEvent::Kind::kQuarantineExit, db, tick,
+                         "fresh for " + std::to_string(track.fresh_run) +
+                             " ticks"});
+    }
+    out.quarantined[db] = track.quarantined ? 1 : 0;
+  }
+
+  if (frame_it != pending_.end()) pending_.erase(frame_it);
+  ++next_seal_;
+  return out;
+}
+
+std::vector<AlignedTick> TelemetryIngestor::Drain() {
+  std::vector<AlignedTick> out;
+  while (any_sample_ && next_seal_ <= watermark_) {
+    const auto it = pending_.find(next_seal_);
+    const bool complete = it != pending_.end() && Complete(it->second);
+    const bool timed_out = watermark_ >= next_seal_ + config_.reorder_window;
+    if (!complete && !timed_out) break;
+    out.push_back(Seal());
+  }
+  return out;
+}
+
+std::vector<AlignedTick> TelemetryIngestor::Flush() {
+  std::vector<AlignedTick> out;
+  while (any_sample_ && next_seal_ <= watermark_) out.push_back(Seal());
+  return out;
+}
+
+std::vector<DataQualityEvent> TelemetryIngestor::DrainEvents() {
+  std::vector<DataQualityEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+}  // namespace dbc

@@ -1,0 +1,162 @@
+// Telemetry ingestion front-end: turns an imperfect collector sample stream
+// (gaps, NaNs, stale repeats, bounded out-of-order delivery, dead feeds) into
+// the aligned, complete ticks the streaming detector consumes.
+//
+// Pipeline position (Fig. 6): collectors -> TelemetryIngestor ->
+// DbcatcherStream. The ingestor maintains a per-tick alignment buffer with a
+// bounded reorder window: a frame seals as soon as every database reported a
+// finite vector, or once the watermark (newest tick seen) has advanced past
+// the reorder horizon. Sealed frames are repaired by quality-flagged
+// imputation — linear interpolation when the next good sample already sits in
+// the buffer, carry-forward otherwise — capped by a max-gap budget. A
+// database whose feed stays unusable past the staleness budget is
+// quarantined (the detector excludes it from peer sets and reports kNoData)
+// and rejoins automatically once fresh ticks resume; every transition is
+// surfaced as a data-quality event, a separate alert class from anomalies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dbc/cloudsim/telemetry.h"
+#include "dbc/common/status.h"
+
+namespace dbc {
+
+/// Ingestion / quarantine policy.
+struct IngestConfig {
+  /// Ticks an incomplete frame waits for late samples before sealing (the
+  /// bounded reorder window; also the tick timeout).
+  size_t reorder_window = 4;
+  /// Maximum consecutive imputed ticks per database before its values are
+  /// declared missing (the imputation budget).
+  size_t max_gap = 5;
+  /// Consecutive unusable (missing-quality) ticks before quarantine.
+  size_t quarantine_after = 8;
+  /// Consecutive fresh ticks required to leave quarantine.
+  size_t rejoin_after = 3;
+  /// Exact repeats of a database's full KPI vector before the feed is
+  /// treated as frozen (stale detection). Real noisy feeds never repeat a
+  /// full vector even once, so the budget is tight: every tick it stays
+  /// loose is a flat segment the correlation layer must swallow as fresh.
+  size_t stale_run = 2;
+};
+
+/// Quality of one database's vector within a sealed tick.
+enum class SampleQuality : uint8_t {
+  kFresh = 0,  // delivered, finite, and not a frozen repeat
+  kImputed,    // repaired within the max-gap budget
+  kMissing,    // gap budget exhausted; values are placeholders
+};
+
+/// One aligned, gap-free tick ready for the detector.
+struct AlignedTick {
+  size_t tick = 0;
+  /// values[db][kpi]; always finite (imputed where the feed was degraded).
+  std::vector<std::array<double, kNumKpis>> values;
+  /// Per-database quality of this tick.
+  std::vector<SampleQuality> quality;
+  /// Per-database quarantine flag as of this tick.
+  std::vector<uint8_t> quarantined;
+};
+
+/// Data-quality transition surfaced by the ingestor.
+struct DataQualityEvent {
+  enum class Kind {
+    kCollectorDown,    // a feed delivered nothing for quarantine_after ticks
+    kQuarantineEnter,  // staleness budget exceeded; db excluded from peers
+    kQuarantineExit,   // fresh ticks resumed; db rejoined the peer set
+  };
+  Kind kind = Kind::kQuarantineEnter;
+  size_t db = 0;
+  size_t tick = 0;  // tick at which the transition was decided
+  std::string detail;
+};
+
+/// Display name ("collector-down", ...).
+const std::string& DataQualityEventName(DataQualityEvent::Kind kind);
+
+/// Per-(db,kpi) alignment buffer + quality-flagged repair + quarantine.
+///
+/// Offer() samples in any arrival order; Drain() returns sealed frames in
+/// tick order. Flush() seals everything pending (end of feed).
+class TelemetryIngestor {
+ public:
+  explicit TelemetryIngestor(size_t num_dbs, IngestConfig config = {});
+
+  /// Accepts one collector sample. Fails with kInvalidArgument for an
+  /// out-of-range database and kOutOfRange for a sample older than the
+  /// already-sealed horizon (counted in late_drops()).
+  Status Offer(const TelemetrySample& sample);
+
+  /// Convenience: offers a complete clean tick (values[db][kpi]).
+  Status OfferTick(size_t tick,
+                   const std::vector<std::array<double, kNumKpis>>& values);
+
+  /// Seals and returns every frame that is complete or past the reorder
+  /// horizon, in tick order.
+  std::vector<AlignedTick> Drain();
+
+  /// Seals every buffered frame regardless of the horizon (end of feed).
+  std::vector<AlignedTick> Flush();
+
+  /// Data-quality transitions since the last call.
+  std::vector<DataQualityEvent> DrainEvents();
+
+  /// True while `db` is quarantined.
+  bool Quarantined(size_t db) const { return dbs_[db].quarantined; }
+
+  /// Newest tick seen so far (0 before any sample).
+  size_t watermark() const { return watermark_; }
+  /// Next tick that will seal.
+  size_t next_tick() const { return next_seal_; }
+  /// Samples discarded for arriving behind the sealed horizon.
+  size_t late_drops() const { return late_drops_; }
+
+  const IngestConfig& config() const { return config_; }
+
+ private:
+  struct PendingFrame {
+    std::vector<std::optional<std::array<double, kNumKpis>>> samples;
+  };
+
+  /// Per-database repair + staleness bookkeeping.
+  struct DbTrack {
+    std::array<double, kNumKpis> last_good{};      // carry-forward sources
+    std::array<uint8_t, kNumKpis> good_mask{};     // which sources exist
+    std::array<uint32_t, kNumKpis> kpi_gap{};      // imputed run per KPI
+    std::array<double, kNumKpis> last_seen{};      // stale-repeat detection
+    bool has_seen = false;
+    size_t repeat_run = 0;   // consecutive identical delivered vectors
+    size_t gap_run = 0;      // consecutive fully-unusable sealed ticks
+    size_t missing_run = 0;  // consecutive sealed ticks with no sample at all
+    size_t fresh_run = 0;    // consecutive fresh sealed ticks
+    bool quarantined = false;
+    bool collector_down_raised = false;
+  };
+
+  /// Seals the frame at next_seal_ (which may be absent = fully dropped).
+  AlignedTick Seal();
+  /// True when the pending frame at `tick` has a finite vector for every db.
+  bool Complete(const PendingFrame& frame) const;
+  /// Looks ahead in the pending buffer for the next finite value of
+  /// (db, kpi) strictly after next_seal_; returns its tick distance or 0.
+  size_t NextGoodAhead(size_t db, size_t kpi, double* value) const;
+
+  size_t num_dbs_;
+  IngestConfig config_;
+  std::map<size_t, PendingFrame> pending_;
+  std::vector<DbTrack> dbs_;
+  std::vector<DataQualityEvent> events_;
+  size_t watermark_ = 0;
+  bool any_sample_ = false;
+  size_t next_seal_ = 0;
+  size_t late_drops_ = 0;
+};
+
+}  // namespace dbc

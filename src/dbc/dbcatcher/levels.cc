@@ -50,6 +50,9 @@ LevelSummary SummarizeLevels(CorrelationAnalyzer& analyzer, size_t db,
 }
 
 DbState DetermineState(const LevelSummary& summary, int tolerance) {
+  if (summary.level1 + summary.level2 + summary.level3 == 0) {
+    return DbState::kNoData;
+  }
   if (summary.level1 > 0) return DbState::kAbnormal;
   if (summary.level2 == 0) return DbState::kHealthy;
   if (summary.level2 <= tolerance) return DbState::kObservable;

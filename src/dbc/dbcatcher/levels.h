@@ -31,7 +31,11 @@ struct LevelSummary {
 };
 
 /// Database state for one window (Fig. 7). "Observable" is transitional.
-enum class DbState { kHealthy, kObservable, kAbnormal };
+/// kNoData extends the paper's state set for degraded telemetry: the window
+/// had no usable correlation evidence (feed quarantined, database idle, or
+/// no eligible peer), so neither a healthy nor an abnormal verdict is
+/// justified.
+enum class DbState { kHealthy, kObservable, kAbnormal, kNoData };
 
 /// Literal Algorithm 1: per-peer levels for database j on one KPI matrix.
 std::vector<CorrelationLevel> CalculateLevels(const CorrelationMatrix& matrix,
@@ -46,6 +50,8 @@ LevelSummary SummarizeLevels(CorrelationAnalyzer& analyzer, size_t db,
 
 /// Fig. 7 decision: any level-1 -> abnormal; 0 < level-2 count <= tolerance
 /// -> observable; more level-2 than the tolerance -> abnormal; else healthy.
+/// A summary in which no KPI participated at all yields kNoData — there is
+/// no correlation evidence to judge on.
 DbState DetermineState(const LevelSummary& summary, int tolerance);
 
 }  // namespace dbc

@@ -1,42 +1,124 @@
 #include "dbc/dbcatcher/service.h"
 
 #include <cassert>
+#include <cmath>
 
 namespace dbc {
 
 MonitoringService::MonitoringService(MonitoringServiceConfig config)
     : config_(std::move(config)) {
   if (config_.detector.genome.alpha.empty()) {
-    config_.detector = DefaultDbcatcherConfig(kNumKpis);
+    const DbcatcherConfig defaults = DefaultDbcatcherConfig(kNumKpis);
+    const DbcatcherConfig supplied = config_.detector;
+    config_.detector = defaults;
+    // Preserve the robustness knobs a caller may have tuned before the
+    // genome default kicked in.
+    config_.detector.min_valid_fraction = supplied.min_valid_fraction;
+    config_.detector.min_peers = supplied.min_peers;
   }
 }
 
 void MonitoringService::RegisterUnit(const std::string& unit,
                                      std::vector<DbRole> roles) {
   UnitState state;
+  state.ingestor =
+      std::make_unique<TelemetryIngestor>(roles.size(), config_.ingest);
   state.stream =
       std::make_unique<DbcatcherStream>(config_.detector, std::move(roles));
   state.feedback = FeedbackModule(config_.feedback_capacity);
   units_[unit] = std::move(state);
 }
 
-void MonitoringService::Ingest(
+Status MonitoringService::PumpAligned(UnitState& state) {
+  for (const AlignedTick& tick : state.ingestor->Drain()) {
+    const Status status = state.stream->PushAligned(tick);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status MonitoringService::Ingest(
     const std::string& unit,
     const std::vector<std::array<double, kNumKpis>>& values) {
   const auto it = units_.find(unit);
-  assert(it != units_.end() && "unit not registered");
-  it->second.stream->Push(values);
+  if (it == units_.end()) {
+    return Status::NotFound("unit not registered: " + unit);
+  }
+  UnitState& state = it->second;
+  if (values.size() != state.stream->buffer().num_dbs()) {
+    return Status::InvalidArgument("tick has wrong database count");
+  }
+  for (const auto& db_values : values) {
+    for (double v : db_values) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            "non-finite KPI value in clean tick; use IngestSample for "
+            "degraded feeds");
+      }
+    }
+  }
+  const Status offered = state.ingestor->OfferTick(state.next_tick, values);
+  if (!offered.ok()) return offered;
+  ++state.next_tick;
+  return PumpAligned(state);
+}
+
+Status MonitoringService::IngestSample(const std::string& unit,
+                                       const TelemetrySample& sample) {
+  const auto it = units_.find(unit);
+  if (it == units_.end()) {
+    return Status::NotFound("unit not registered: " + unit);
+  }
+  UnitState& state = it->second;
+  const Status offered = state.ingestor->Offer(sample);
+  // A too-late sample is dropped (and counted) by the ingestor; the feed
+  // itself stays healthy, so only real failures propagate.
+  if (!offered.ok() && offered.code() != StatusCode::kOutOfRange) {
+    return offered;
+  }
+  state.next_tick = std::max(state.next_tick, sample.tick + 1);
+  return PumpAligned(state);
+}
+
+Status MonitoringService::FlushTelemetry(const std::string& unit) {
+  const auto it = units_.find(unit);
+  if (it == units_.end()) {
+    return Status::NotFound("unit not registered: " + unit);
+  }
+  UnitState& state = it->second;
+  for (const AlignedTick& tick : state.ingestor->Flush()) {
+    const Status status = state.stream->PushAligned(tick);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
 }
 
 std::vector<Alert> MonitoringService::Drain() {
   std::vector<Alert> alerts;
   for (auto& [name, state] : units_) {
+    // Data-quality transitions surface as their own alert class.
+    for (const DataQualityEvent& event : state.ingestor->DrainEvents()) {
+      Alert alert;
+      alert.alert_class = AlertClass::kDataQuality;
+      alert.unit = name;
+      alert.db = event.db;
+      alert.begin = event.tick;
+      alert.end = event.tick;
+      alert.message = DataQualityEventName(event.kind) + ": " + event.detail;
+      alerts.push_back(std::move(alert));
+    }
+
     const std::vector<StreamVerdict> verdicts = state.stream->Poll();
     if (verdicts.empty()) continue;
+    const size_t offset = state.stream->buffer_offset();
     CorrelationAnalyzer analyzer(state.stream->buffer(),
                                  state.stream->config());
+    analyzer.SetValidity(&state.stream->validity());
+    analyzer.SetCacheTickOffset(offset);
     for (const StreamVerdict& v : verdicts) {
       ++state.verdicts;
+      ++state.state_counts[static_cast<size_t>(v.state)];
+      if (v.state == DbState::kNoData) continue;  // nothing to judge or label
       state.pending[{v.db, v.window.begin, v.window.end}] = v.window.abnormal;
       if (!v.window.abnormal) continue;
       Alert alert;
@@ -45,11 +127,16 @@ std::vector<Alert> MonitoringService::Drain() {
       alert.begin = v.window.begin;
       alert.end = v.window.end;
       alert.consumed = v.window.consumed;
-      // Diagnose over the window actually judged: expansions widen it past
-      // the base tile.
-      alert.report = Diagnose(analyzer, state.stream->config(), v.db,
-                              v.window.begin,
-                              v.window.begin + v.window.consumed);
+      // Diagnose over the window actually judged (expansions widen it past
+      // the base tile), translated into the trimmed buffer's coordinates.
+      if (v.window.begin >= offset) {
+        alert.report =
+            Diagnose(analyzer, state.stream->config(), v.db,
+                     v.window.begin - offset,
+                     v.window.begin + v.window.consumed - offset);
+        alert.report.begin = v.window.begin;
+        alert.report.end = v.window.begin + v.window.consumed;
+      }
       alerts.push_back(std::move(alert));
     }
   }
@@ -91,17 +178,21 @@ OptimizeResult MonitoringService::RelearnThresholds(
   // Fitness: replay the labeled judgment windows under a candidate genome
   // against the unit's buffered trace. The KCD cache makes every genome
   // after the first nearly free (the windows are fixed, only thresholds
-  // move).
+  // move). Windows already trimmed from the bounded buffer are skipped.
   KcdCache cache;
   const UnitData& trace = state.stream->buffer();
+  const size_t offset = state.stream->buffer_offset();
   DbcatcherConfig candidate_config = state.stream->config();
   auto fitness = [&](const ThresholdGenome& genome) {
     candidate_config.genome = genome;
     CorrelationAnalyzer analyzer(trace, candidate_config, &cache);
+    analyzer.SetValidity(&state.stream->validity());
+    analyzer.SetCacheTickOffset(offset);
     Confusion confusion;
     for (const JudgmentRecord& record : state.feedback.records()) {
+      if (record.begin < offset) continue;  // trimmed out of the buffer
       const LevelSummary summary =
-          SummarizeLevels(analyzer, record.db, record.begin,
+          SummarizeLevels(analyzer, record.db, record.begin - offset,
                           record.end - record.begin, genome);
       const DbState db_state = DetermineState(summary, genome.tolerance);
       confusion.Add(db_state == DbState::kAbnormal, record.labeled_abnormal);
@@ -118,6 +209,19 @@ OptimizeResult MonitoringService::RelearnThresholds(
 size_t MonitoringService::VerdictCount(const std::string& unit) const {
   const auto it = units_.find(unit);
   return it == units_.end() ? 0 : it->second.verdicts;
+}
+
+size_t MonitoringService::VerdictStateCount(const std::string& unit,
+                                            DbState state) const {
+  const auto it = units_.find(unit);
+  if (it == units_.end()) return 0;
+  return it->second.state_counts[static_cast<size_t>(state)];
+}
+
+bool MonitoringService::Quarantined(const std::string& unit, size_t db) const {
+  const auto it = units_.find(unit);
+  if (it == units_.end()) return false;
+  return it->second.ingestor->Quarantined(db);
 }
 
 }  // namespace dbc

@@ -1,34 +1,50 @@
-// Cluster-level monitoring service: one DBCatcher stream per unit, alert
-// aggregation with diagnostics, and online feedback-driven threshold
-// relearning — the deployment shape of Fig. 2 + Fig. 6.
+// Cluster-level monitoring service: one DBCatcher stream per unit behind a
+// telemetry-ingestion front-end, alert aggregation with diagnostics, and
+// online feedback-driven threshold relearning — the deployment shape of
+// Fig. 2 + Fig. 6 hardened for degraded collector feeds.
 #pragma once
 
+#include <array>
 #include <map>
-#include <tuple>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "dbc/common/status.h"
 #include "dbc/dbcatcher/diagnosis.h"
 #include "dbc/dbcatcher/feedback.h"
+#include "dbc/dbcatcher/ingest.h"
 #include "dbc/dbcatcher/streaming.h"
 #include "dbc/optimize/optimizer.h"
 
 namespace dbc {
 
+/// What an alert reports: a detected anomaly, or a problem with the
+/// telemetry itself (collector down, quarantine transitions). Data-quality
+/// alerts mean "we cannot see", not "the database is sick" — operators page
+/// different teams for the two.
+enum class AlertClass { kAnomaly, kDataQuality };
+
 /// One alert raised by the service.
 struct Alert {
+  AlertClass alert_class = AlertClass::kAnomaly;
   std::string unit;
   size_t db = 0;
   size_t begin = 0;
   size_t end = 0;
   size_t consumed = 0;
+  /// Filled for kAnomaly alerts.
   DiagnosticReport report;
+  /// Filled for kDataQuality alerts ("collector-down", ...).
+  std::string message;
 };
 
 /// Service configuration.
 struct MonitoringServiceConfig {
   DbcatcherConfig detector;
+  /// Telemetry alignment / imputation / quarantine policy.
+  IngestConfig ingest;
   /// Feedback records kept per unit.
   size_t feedback_capacity = 4096;
   /// F-Measure criterion under which relearning triggers (§IV-D-3).
@@ -39,9 +55,10 @@ struct MonitoringServiceConfig {
 
 /// Multi-unit online detection front-end.
 ///
-/// Usage: RegisterUnit() per unit, Ingest() each collection tick, Drain()
-/// alerts. DBA labels flow back through AcknowledgeAlert(); when a unit's
-/// recent F-Measure falls below the criterion, RelearnThresholds() runs the
+/// Usage: RegisterUnit() per unit, Ingest() each collection tick (or
+/// IngestSample() individual, possibly degraded collector samples), Drain()
+/// alerts. DBA labels flow back through Acknowledge(); when a unit's recent
+/// F-Measure falls below the criterion, RelearnThresholds() runs the
 /// adaptive policy over the unit's recorded judgments.
 class MonitoringService {
  public:
@@ -51,12 +68,25 @@ class MonitoringService {
   /// the same name.
   void RegisterUnit(const std::string& unit, std::vector<DbRole> roles);
 
-  /// Feeds one tick of KPI vectors (values[db][kpi]) for `unit`.
-  void Ingest(const std::string& unit,
-              const std::vector<std::array<double, kNumKpis>>& values);
+  /// Feeds one complete tick of KPI vectors (values[db][kpi]) for `unit`.
+  /// Returns kNotFound for an unregistered unit and kInvalidArgument for a
+  /// malformed tick (wrong database count or non-finite values) — degraded
+  /// feeds belong on IngestSample, which tolerates them.
+  Status Ingest(const std::string& unit,
+                const std::vector<std::array<double, kNumKpis>>& values);
 
-  /// Resolves pending windows and returns newly raised abnormal alerts with
-  /// diagnostic reports. Healthy verdicts are recorded silently.
+  /// Feeds one collector sample (possibly late, NaN-laden, or stale); the
+  /// ingestion front-end aligns, repairs, and quarantines as needed.
+  Status IngestSample(const std::string& unit, const TelemetrySample& sample);
+
+  /// Seals every pending ingestion frame for `unit` (end of feed / forced
+  /// timeout); verdicts for the flushed ticks surface on the next Drain().
+  Status FlushTelemetry(const std::string& unit);
+
+  /// Resolves pending windows and returns newly raised alerts: anomaly
+  /// alerts with diagnostic reports, plus data-quality alerts for collector
+  /// outages and quarantine transitions. Healthy and kNoData verdicts are
+  /// recorded silently.
   std::vector<Alert> Drain();
 
   /// DBA feedback on a drained verdict: `truly_abnormal` marks the ground
@@ -69,6 +99,7 @@ class MonitoringService {
 
   /// Runs the adaptive threshold learning policy for `unit` using a fitness
   /// built from its recorded judgments; installs the resulting genome.
+  /// Judgment windows already trimmed from the stream buffer are skipped.
   /// Returns the optimizer outcome.
   OptimizeResult RelearnThresholds(const std::string& unit,
                                    ThresholdOptimizer& optimizer, Rng& rng);
@@ -76,17 +107,31 @@ class MonitoringService {
   /// Verdicts recorded so far for a unit (all, not only abnormal).
   size_t VerdictCount(const std::string& unit) const;
 
+  /// Verdicts recorded for a unit that resolved to `state` (e.g. how many
+  /// windows were kNoData while a feed was quarantined).
+  size_t VerdictStateCount(const std::string& unit, DbState state) const;
+
+  /// True while `db` of `unit` is quarantined by the ingestion layer.
+  bool Quarantined(const std::string& unit, size_t db) const;
+
   const MonitoringServiceConfig& config() const { return config_; }
 
  private:
   struct UnitState {
+    std::unique_ptr<TelemetryIngestor> ingestor;
     std::unique_ptr<DbcatcherStream> stream;
     FeedbackModule feedback;
     /// Pending (db, window) verdicts awaiting DBA labels, keyed for
     /// Acknowledge.
     std::map<std::tuple<size_t, size_t, size_t>, bool> pending;
     size_t verdicts = 0;
+    std::array<size_t, 4> state_counts{};  // indexed by DbState
+    /// Next source tick for the whole-tick Ingest() path.
+    size_t next_tick = 0;
   };
+
+  /// Moves sealed frames from the ingestor into the stream.
+  Status PumpAligned(UnitState& state);
 
   MonitoringServiceConfig config_;
   std::map<std::string, UnitState> units_;

@@ -1,6 +1,8 @@
 #include "dbc/dbcatcher/streaming.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace dbc {
 
@@ -13,6 +15,7 @@ DbcatcherStream::DbcatcherStream(const DbcatcherConfig& config,
   buffer_.roles = roles_;
   buffer_.kpis.resize(n);
   buffer_.labels.assign(n, {});
+  valid_.assign(n, {});
   for (size_t db = 0; db < n; ++db) {
     for (size_t k = 0; k < kNumKpis; ++k) {
       buffer_.kpis[db].Add(KpiName(static_cast<Kpi>(k)), Series());
@@ -20,15 +23,86 @@ DbcatcherStream::DbcatcherStream(const DbcatcherConfig& config,
   }
 }
 
-void DbcatcherStream::Push(
-    const std::vector<std::array<double, kNumKpis>>& values) {
-  assert(values.size() == roles_.size());
+void DbcatcherStream::AppendTick(
+    const std::vector<std::array<double, kNumKpis>>& values,
+    const std::vector<uint8_t>& valid) {
   for (size_t db = 0; db < values.size(); ++db) {
     for (size_t k = 0; k < kNumKpis; ++k) {
       buffer_.kpis[db].row(k).PushBack(values[db][k]);
     }
+    valid_[db].push_back(valid[db]);
   }
   ++ticks_;
+  MaybeTrim();
+}
+
+Status DbcatcherStream::Push(
+    const std::vector<std::array<double, kNumKpis>>& values) {
+  if (values.size() != roles_.size()) {
+    return Status::InvalidArgument("tick has wrong database count");
+  }
+  for (size_t db = 0; db < values.size(); ++db) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      if (!std::isfinite(values[db][k])) {
+        return Status::InvalidArgument(
+            "non-finite KPI value; route degraded feeds through "
+            "TelemetryIngestor / PushAligned");
+      }
+    }
+  }
+  AppendTick(values, std::vector<uint8_t>(roles_.size(), 1));
+  return Status::Ok();
+}
+
+Status DbcatcherStream::PushAligned(const AlignedTick& tick) {
+  if (tick.values.size() != roles_.size() ||
+      tick.quality.size() != roles_.size() ||
+      tick.quarantined.size() != roles_.size()) {
+    return Status::InvalidArgument("aligned tick has wrong database count");
+  }
+  if (tick.tick != ticks_) {
+    return Status::FailedPrecondition("aligned ticks must arrive in order");
+  }
+  std::vector<uint8_t> valid(roles_.size(), 1);
+  for (size_t db = 0; db < roles_.size(); ++db) {
+    // Only fresh ticks are correlation evidence: imputed stretches (carry-
+    // forward, frozen collectors) decorrelate from live peers and would read
+    // as false abnormalities. Windows dominated by repairs fall below the
+    // min_valid_fraction floor and resolve to kNoData instead.
+    const bool usable = tick.quality[db] == SampleQuality::kFresh &&
+                        tick.quarantined[db] == 0;
+    valid[db] = usable ? 1 : 0;
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      if (!std::isfinite(tick.values[db][k])) {
+        return Status::InvalidArgument("aligned tick carries non-finite value");
+      }
+    }
+  }
+  AppendTick(tick.values, valid);
+  return Status::Ok();
+}
+
+void DbcatcherStream::MaybeTrim() {
+  // Everything a future Poll, Diagnose, or threshold replay can still touch
+  // lies within 2*W_M of the earliest unresolved window; older ticks only
+  // grow the buffer (the unbounded growth noted in earlier revisions).
+  const size_t margin = 2 * std::max(config_.max_window, config_.initial_window);
+  const size_t min_t0 = *std::min_element(next_t0_.begin(), next_t0_.end());
+  const size_t retain_from = min_t0 > margin ? min_t0 - margin : 0;
+  const size_t drop = retain_from > offset_ ? retain_from - offset_ : 0;
+  // Amortize: erase in chunks of at least W_M so trims stay rare.
+  if (drop < std::max<size_t>(config_.max_window, 16)) return;
+
+  for (size_t db = 0; db < buffer_.kpis.size(); ++db) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      std::vector<double>& v = buffer_.kpis[db].row(k).values();
+      v.erase(v.begin(), v.begin() + static_cast<ptrdiff_t>(drop));
+    }
+    valid_[db].erase(valid_[db].begin(),
+                     valid_[db].begin() + static_cast<ptrdiff_t>(drop));
+  }
+  offset_ += drop;
+  cache_.EvictBefore(offset_);
 }
 
 std::vector<StreamVerdict> DbcatcherStream::Poll() {
@@ -37,13 +111,18 @@ std::vector<StreamVerdict> DbcatcherStream::Poll() {
   if (w == 0) return out;
 
   CorrelationAnalyzer analyzer(buffer_, config_, &cache_);
+  analyzer.SetValidity(&valid_);
+  analyzer.SetCacheTickOffset(offset_);
   for (size_t db = 0; db < roles_.size(); ++db) {
     while (next_t0_[db] + w <= ticks_) {
       const size_t t0 = next_t0_[db];
-      // Run the observer, but only finalize when the state resolved with the
-      // data at hand OR no further expansion is possible; an "observable"
-      // window at the data horizon waits for more pushes.
-      Observation obs = ObserveDatabase(analyzer, config_, db, t0, ticks_);
+      assert(t0 >= offset_ && "window trimmed before it resolved");
+      // Run the observer in buffer coordinates, but only finalize when the
+      // state resolved with the data at hand OR no further expansion is
+      // possible; an "observable" window at the data horizon waits for more
+      // pushes. Windows without usable telemetry resolve to kNoData.
+      Observation obs = ObserveDatabase(analyzer, config_, db, t0 - offset_,
+                                        ticks_ - offset_);
       if (obs.truncated) break;  // needs more data to resolve
 
       StreamVerdict verdict;

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "dbc/cloudsim/unit_data.h"
+#include "dbc/common/status.h"
 #include "dbc/dbcatcher/correlation_matrix.h"
+#include "dbc/dbcatcher/ingest.h"
 #include "dbc/dbcatcher/observer.h"
 
 namespace dbc {
@@ -23,18 +25,33 @@ struct StreamVerdict {
 
 /// Incremental DBCatcher over a live KPI feed of one unit.
 ///
-/// Push() one tick of all databases' KPI vectors at a time; Poll() drains
-/// verdicts whose windows have resolved. A base window whose state is
-/// "observable" waits for more data (the flexible expansion) before
-/// resolving, so Poll() may trail Push() by up to W_M ticks.
+/// Push() one tick of all databases' KPI vectors at a time (or PushAligned()
+/// quality-flagged ticks from a TelemetryIngestor); Poll() drains verdicts
+/// whose windows have resolved. A base window whose state is "observable"
+/// waits for more data (the flexible expansion) before resolving, so Poll()
+/// may trail Push() by up to W_M ticks.
+///
+/// The buffered trace is bounded: ticks older than the maximum window W_M
+/// (plus a diagnosis-context margin) behind the earliest unresolved window
+/// are trimmed. All verdict coordinates stay absolute; buffer_offset() maps
+/// them into the retained buffer.
 class DbcatcherStream {
  public:
   DbcatcherStream(const DbcatcherConfig& config, std::vector<DbRole> roles);
 
-  /// Appends one collection tick: values[db][kpi].
-  void Push(const std::vector<std::array<double, kNumKpis>>& values);
+  /// Appends one clean collection tick: values[db][kpi]. Fails with
+  /// kInvalidArgument on a wrong database count or non-finite values (a
+  /// degraded feed must come through PushAligned instead).
+  Status Push(const std::vector<std::array<double, kNumKpis>>& values);
 
-  /// Returns verdicts finalized since the last Poll.
+  /// Appends one ingestor-aligned tick. Values are always finite (imputed);
+  /// per-database quality and quarantine flags feed the validity mask that
+  /// excludes degraded databases from peer sets. Ticks must arrive in order.
+  Status PushAligned(const AlignedTick& tick);
+
+  /// Returns verdicts finalized since the last Poll. Databases whose window
+  /// lacks usable telemetry (quarantined / past the staleness budget)
+  /// resolve to DbState::kNoData rather than a spurious healthy/abnormal.
   std::vector<StreamVerdict> Poll();
 
   /// Ticks received so far.
@@ -46,22 +63,35 @@ class DbcatcherStream {
 
   const DbcatcherConfig& config() const { return config_; }
 
-  /// The buffered trace (roles + KPI series received so far). Labels are
-  /// empty; callers replaying judgments attach their own ground truth.
+  /// The retained trace window (roles + KPI series). Buffer index i holds
+  /// absolute tick buffer_offset() + i; everything older has been trimmed.
+  /// Labels are empty; callers replaying judgments attach their own ground
+  /// truth.
   const UnitData& buffer() const { return buffer_; }
 
+  /// Absolute tick of buffer index 0 (monotonically non-decreasing).
+  size_t buffer_offset() const { return offset_; }
+
+  /// Telemetry validity mask aligned with buffer(): valid_[db][i] != 0 when
+  /// the sample is usable. Installed on analyzers replaying the buffer.
+  const std::vector<std::vector<uint8_t>>& validity() const { return valid_; }
+
  private:
-  /// Materializes the buffered stream as a UnitData view for the analyzer.
-  void SyncBuffer();
+  void AppendTick(const std::vector<std::array<double, kNumKpis>>& values,
+                  const std::vector<uint8_t>& valid);
+  /// Drops buffered ticks no verdict or diagnosis can reference any more.
+  void MaybeTrim();
 
   DbcatcherConfig config_;
   std::vector<DbRole> roles_;
   size_t ticks_ = 0;
-  /// Next base-window start per database.
+  /// Next base-window start per database (absolute ticks).
   std::vector<size_t> next_t0_;
-  /// Buffered trace (grows with the stream; a production deployment would
-  /// trim everything older than W_M).
+  /// Retained trace window; index 0 is absolute tick offset_.
   UnitData buffer_;
+  /// Per-(db, buffer index) usability flags (parallel to buffer_).
+  std::vector<std::vector<uint8_t>> valid_;
+  size_t offset_ = 0;
   KcdCache cache_;
 };
 

@@ -1,0 +1,367 @@
+// Telemetry ingestion tests: reorder alignment, quality-flagged imputation,
+// the quarantine state machine, and degraded-feed detector behavior
+// end-to-end through DbcatcherStream.
+#include "dbc/dbcatcher/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "dbc/cloudsim/telemetry.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/dbcatcher/streaming.h"
+
+namespace dbc {
+namespace {
+
+TelemetrySample MakeSample(size_t tick, size_t db, double base) {
+  TelemetrySample sample;
+  sample.tick = tick;
+  sample.db = db;
+  for (size_t k = 0; k < kNumKpis; ++k) {
+    sample.values[k] = base + static_cast<double>(k);
+  }
+  return sample;
+}
+
+TEST(TelemetryIngestorTest, CompleteFramesSealImmediately) {
+  TelemetryIngestor ingestor(2);
+  for (size_t t = 0; t < 3; ++t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 10.0 * t)).ok());
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 1, 10.0 * t + 5.0)).ok());
+  }
+  const std::vector<AlignedTick> out = ingestor.Drain();
+  ASSERT_EQ(out.size(), 3u);  // zero added latency on a clean feed
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(out[t].tick, t);
+    EXPECT_EQ(out[t].quality[0], SampleQuality::kFresh);
+    EXPECT_EQ(out[t].quality[1], SampleQuality::kFresh);
+    EXPECT_DOUBLE_EQ(out[t].values[0][0], 10.0 * t);
+    EXPECT_DOUBLE_EQ(out[t].values[1][3], 10.0 * t + 5.0 + 3.0);
+    EXPECT_EQ(out[t].quarantined[0], 0);
+  }
+}
+
+TEST(TelemetryIngestorTest, ReassemblesOutOfOrderWithinWindow) {
+  TelemetryIngestor ingestor(2);
+  // db 1's tick-0 sample arrives two steps late; nothing seals until the
+  // frame completes (still inside the reorder window).
+  ASSERT_TRUE(ingestor.Offer(MakeSample(0, 0, 1.0)).ok());
+  ASSERT_TRUE(ingestor.Offer(MakeSample(1, 0, 2.0)).ok());
+  ASSERT_TRUE(ingestor.Offer(MakeSample(1, 1, 3.0)).ok());
+  EXPECT_TRUE(ingestor.Drain().empty());
+  ASSERT_TRUE(ingestor.Offer(MakeSample(0, 1, 4.0)).ok());
+  const std::vector<AlignedTick> out = ingestor.Drain();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].tick, 0u);
+  EXPECT_EQ(out[1].tick, 1u);
+  EXPECT_EQ(out[0].quality[1], SampleQuality::kFresh);
+  EXPECT_DOUBLE_EQ(out[0].values[1][0], 4.0);
+}
+
+TEST(TelemetryIngestorTest, TimeoutSealsWithCarryForward) {
+  IngestConfig config;
+  config.reorder_window = 4;
+  TelemetryIngestor ingestor(2, config);
+  ASSERT_TRUE(ingestor.OfferTick(0, {MakeSample(0, 0, 1.0).values,
+                                     MakeSample(0, 1, 7.0).values})
+                  .ok());
+  // db 1 goes silent; db 0 keeps reporting through tick 5.
+  for (size_t t = 1; t <= 5; ++t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 1.0 + t)).ok());
+  }
+  const std::vector<AlignedTick> out = ingestor.Drain();
+  // Tick 0 sealed complete; tick 1 sealed by timeout (watermark 5 >= 1 + 4).
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].tick, 1u);
+  EXPECT_EQ(out[1].quality[0], SampleQuality::kFresh);
+  EXPECT_EQ(out[1].quality[1], SampleQuality::kImputed);
+  // No future sample buffered for db 1: carry the tick-0 value forward.
+  EXPECT_DOUBLE_EQ(out[1].values[1][2], 7.0 + 2.0);
+}
+
+TEST(TelemetryIngestorTest, InterpolatesWhenNextGoodIsBuffered) {
+  TelemetryIngestor ingestor(1);
+  ASSERT_TRUE(ingestor.Offer(MakeSample(0, 0, 10.0)).ok());
+  ASSERT_TRUE(ingestor.Offer(MakeSample(3, 0, 40.0)).ok());
+  ASSERT_TRUE(ingestor.Offer(MakeSample(6, 0, 70.0)).ok());
+  ASSERT_TRUE(ingestor.Offer(MakeSample(7, 0, 80.0)).ok());
+  const std::vector<AlignedTick> out = ingestor.Drain();
+  ASSERT_GE(out.size(), 4u);
+  // Ticks 1 and 2 sit between good samples 10 (tick 0) and 40 (tick 3):
+  // the gap is repaired by linear interpolation, not a flat repeat.
+  EXPECT_EQ(out[1].quality[0], SampleQuality::kImputed);
+  EXPECT_DOUBLE_EQ(out[1].values[0][0], 20.0);
+  EXPECT_EQ(out[2].quality[0], SampleQuality::kImputed);
+  EXPECT_DOUBLE_EQ(out[2].values[0][0], 30.0);
+  EXPECT_EQ(out[3].quality[0], SampleQuality::kFresh);
+  EXPECT_DOUBLE_EQ(out[3].values[0][0], 40.0);
+}
+
+TEST(TelemetryIngestorTest, NanKpisAreRepairedPerKpi) {
+  TelemetryIngestor ingestor(1);
+  ASSERT_TRUE(ingestor.Offer(MakeSample(0, 0, 10.0)).ok());
+  TelemetrySample poisoned = MakeSample(1, 0, 20.0);
+  poisoned.values[4] = std::numeric_limits<double>::quiet_NaN();
+  ASSERT_TRUE(ingestor.Offer(poisoned).ok());
+  // Later ticks advance the watermark past the poisoned frame's horizon.
+  for (size_t t = 2; t <= 5; ++t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 10.0 * (t + 1))).ok());
+  }
+  const std::vector<AlignedTick> out = ingestor.Drain();
+  ASSERT_GE(out.size(), 2u);
+  // Partially poisoned tick: usable but flagged, and every value finite.
+  EXPECT_EQ(out[1].quality[0], SampleQuality::kImputed);
+  for (double v : out[1].values[0]) EXPECT_TRUE(std::isfinite(v));
+  // The healthy KPIs keep their delivered values.
+  EXPECT_DOUBLE_EQ(out[1].values[0][0], 20.0);
+  // KPI 4 interpolates between 10+4 (tick 0) and 30+4 (tick 2, buffered).
+  EXPECT_DOUBLE_EQ(out[1].values[0][4], 24.0);
+}
+
+TEST(TelemetryIngestorTest, GapBeyondBudgetBecomesMissing) {
+  IngestConfig config;
+  config.reorder_window = 2;
+  config.max_gap = 3;
+  TelemetryIngestor ingestor(1, config);
+  ASSERT_TRUE(ingestor.Offer(MakeSample(0, 0, 10.0)).ok());
+  ASSERT_TRUE(ingestor.Offer(MakeSample(12, 0, 50.0)).ok());
+  const std::vector<AlignedTick> out = ingestor.Drain();
+  ASSERT_GE(out.size(), 10u);
+  for (size_t t = 1; t <= 3; ++t) {
+    EXPECT_EQ(out[t].quality[0], SampleQuality::kImputed) << "t=" << t;
+  }
+  for (size_t t = 4; t < out.size() && out[t].tick < 12; ++t) {
+    EXPECT_EQ(out[t].quality[0], SampleQuality::kMissing) << "t=" << t;
+  }
+}
+
+TEST(TelemetryIngestorTest, QuarantineRoundTripRaisesEvents) {
+  IngestConfig config;
+  config.reorder_window = 2;
+  config.max_gap = 2;
+  config.quarantine_after = 4;
+  config.rejoin_after = 3;
+  TelemetryIngestor ingestor(2, config);
+  auto offer_both = [&](size_t t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 1.0 * t)).ok());
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 1, 2.0 * t)).ok());
+  };
+  auto offer_db0 = [&](size_t t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 1.0 * t)).ok());
+  };
+  for (size_t t = 0; t < 5; ++t) offer_both(t);
+  // db 1's collector dies for 10 ticks.
+  for (size_t t = 5; t < 15; ++t) offer_db0(t);
+  ingestor.Drain();
+  EXPECT_TRUE(ingestor.Quarantined(1));
+  EXPECT_FALSE(ingestor.Quarantined(0));
+  // The feed recovers.
+  for (size_t t = 15; t < 25; ++t) offer_both(t);
+  ingestor.Drain();
+  EXPECT_FALSE(ingestor.Quarantined(1));
+
+  const std::vector<DataQualityEvent> events = ingestor.DrainEvents();
+  bool down = false, enter = false, exit_seen = false;
+  size_t enter_tick = 0, exit_tick = 0;
+  for (const DataQualityEvent& ev : events) {
+    EXPECT_EQ(ev.db, 1u);
+    if (ev.kind == DataQualityEvent::Kind::kCollectorDown) down = true;
+    if (ev.kind == DataQualityEvent::Kind::kQuarantineEnter) {
+      enter = true;
+      enter_tick = ev.tick;
+    }
+    if (ev.kind == DataQualityEvent::Kind::kQuarantineExit) {
+      exit_seen = true;
+      exit_tick = ev.tick;
+    }
+  }
+  EXPECT_TRUE(down);
+  EXPECT_TRUE(enter);
+  EXPECT_TRUE(exit_seen);
+  EXPECT_LT(enter_tick, exit_tick);
+  EXPECT_TRUE(ingestor.DrainEvents().empty());  // drained exactly once
+}
+
+TEST(TelemetryIngestorTest, FrozenFeedEndsUpQuarantined) {
+  IngestConfig config;
+  config.stale_run = 3;
+  config.max_gap = 2;
+  config.quarantine_after = 4;
+  TelemetryIngestor ingestor(1, config);
+  // The collector freezes: the exact same vector arrives every tick.
+  for (size_t t = 0; t < 20; ++t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 42.0)).ok());
+  }
+  ingestor.Drain();
+  EXPECT_TRUE(ingestor.Quarantined(0));
+  bool entered = false;
+  for (const DataQualityEvent& ev : ingestor.DrainEvents()) {
+    entered |= ev.kind == DataQualityEvent::Kind::kQuarantineEnter;
+  }
+  EXPECT_TRUE(entered);
+}
+
+TEST(TelemetryIngestorTest, OfferRejectsBadDbAndLateSamples) {
+  TelemetryIngestor ingestor(2);
+  EXPECT_EQ(ingestor.Offer(MakeSample(0, 5, 1.0)).code(),
+            StatusCode::kInvalidArgument);
+  for (size_t t = 0; t < 3; ++t) {
+    ASSERT_TRUE(ingestor.OfferTick(t, {MakeSample(t, 0, 1.0).values,
+                                       MakeSample(t, 1, 2.0).values})
+                    .ok());
+  }
+  ingestor.Drain();  // seals through tick 2
+  EXPECT_EQ(ingestor.Offer(MakeSample(1, 0, 9.0)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ingestor.late_drops(), 1u);
+  EXPECT_EQ(ingestor.next_tick(), 3u);
+  EXPECT_EQ(ingestor.watermark(), 2u);
+}
+
+TEST(TelemetryIngestorTest, FlushSealsEverythingPending) {
+  TelemetryIngestor ingestor(1);
+  ASSERT_TRUE(ingestor.Offer(MakeSample(0, 0, 1.0)).ok());
+  ASSERT_TRUE(ingestor.Offer(MakeSample(2, 0, 3.0)).ok());
+  const size_t drained = ingestor.Drain().size();
+  const std::vector<AlignedTick> flushed = ingestor.Flush();
+  EXPECT_EQ(drained + flushed.size(), 3u);  // ticks 0, 1 (imputed), 2
+  EXPECT_TRUE(ingestor.Flush().empty());
+}
+
+// --- Degraded feeds end-to-end through the streaming detector. ---
+
+UnitData SimUnit(size_t ticks, double anomaly_ratio, uint64_t seed) {
+  UnitSimConfig config;
+  config.ticks = ticks;
+  config.anomalies.target_ratio = anomaly_ratio;
+  config.inject_anomalies = anomaly_ratio > 0.0;
+  PeriodicProfileParams pp;
+  Rng rng(seed);
+  auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+  return SimulateUnit(config, *profile, true, rng.Fork(2));
+}
+
+/// Replays `unit` through ingestor + stream with `dead_db`'s feed cut over
+/// [dead_from, dead_to).
+std::vector<StreamVerdict> ReplayWithDeadFeed(const UnitData& unit,
+                                              size_t dead_db, size_t dead_from,
+                                              size_t dead_to) {
+  const DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  DbcatcherStream stream(config, unit.roles);
+  TelemetryIngestor ingestor(unit.num_dbs());
+  std::vector<StreamVerdict> verdicts;
+  auto pump = [&] {
+    for (const AlignedTick& tick : ingestor.Drain()) {
+      EXPECT_TRUE(stream.PushAligned(tick).ok());
+    }
+    for (const StreamVerdict& v : stream.Poll()) verdicts.push_back(v);
+  };
+  for (size_t t = 0; t < unit.length(); ++t) {
+    for (size_t db = 0; db < unit.num_dbs(); ++db) {
+      if (db == dead_db && t >= dead_from && t < dead_to) continue;
+      TelemetrySample sample;
+      sample.tick = t;
+      sample.db = db;
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        sample.values[k] = unit.kpis[db].row(k)[t];
+      }
+      EXPECT_TRUE(ingestor.Offer(sample).ok());
+    }
+    pump();
+  }
+  for (const AlignedTick& tick : ingestor.Flush()) {
+    EXPECT_TRUE(stream.PushAligned(tick).ok());
+  }
+  for (const StreamVerdict& v : stream.Poll()) verdicts.push_back(v);
+  return verdicts;
+}
+
+TEST(DegradedStreamTest, DeadReplicaDegradesGracefully) {
+  const UnitData unit = SimUnit(300, 0.0, 29);
+  const size_t dead_db = unit.num_dbs() - 1;
+  const std::vector<StreamVerdict> verdicts =
+      ReplayWithDeadFeed(unit, dead_db, 100, 220);
+
+  size_t dead_nodata = 0, dead_abnormal = 0;
+  size_t healthy_verdicts = 0, survivor_abnormal = 0;
+  for (const StreamVerdict& v : verdicts) {
+    if (v.db == dead_db && v.window.begin >= 100 && v.window.end <= 220) {
+      // The quarantined feed must answer "no data", never a made-up verdict.
+      dead_nodata += v.state == DbState::kNoData;
+      dead_abnormal += v.state == DbState::kAbnormal;
+    }
+    if (v.db != dead_db) {
+      healthy_verdicts += v.state != DbState::kNoData;
+      survivor_abnormal += v.state == DbState::kAbnormal;
+    }
+  }
+  EXPECT_GE(dead_nodata, 3u);
+  EXPECT_EQ(dead_abnormal, 0u);
+  // The survivors keep producing real verdicts; a dead peer's imputed feed
+  // must not trigger spurious alarms on the healthy trace.
+  EXPECT_LE(survivor_abnormal, 2u);
+  // 4 surviving dbs x 300/20 tiles, minus the unresolvable tail.
+  EXPECT_GE(healthy_verdicts, 4 * (300 / 20) - 8u);
+}
+
+TEST(DegradedStreamTest, FaultedFeedKeepsDetectionQuality) {
+  const UnitData unit = SimUnit(600, 0.08, 31);
+  const DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+
+  // Clean baseline.
+  DbcatcherStream clean_stream(config, unit.roles);
+  Confusion clean;
+  for (size_t t = 0; t < unit.length(); ++t) {
+    std::vector<std::array<double, kNumKpis>> tick(unit.num_dbs());
+    for (size_t db = 0; db < unit.num_dbs(); ++db) {
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        tick[db][k] = unit.kpis[db].row(k)[t];
+      }
+    }
+    ASSERT_TRUE(clean_stream.Push(tick).ok());
+    for (const StreamVerdict& v : clean_stream.Poll()) {
+      clean.Add(v.window.abnormal,
+                WindowTruth(unit.labels[v.db], v.window.begin, v.window.end));
+    }
+  }
+
+  // Same trace at a 10% telemetry fault rate through the full pipeline.
+  TelemetryFaultConfig faults;
+  faults.target_ratio = 0.10;
+  Rng rng(33);
+  const auto batches = DegradeUnit(unit, faults, rng);
+  DbcatcherStream faulted_stream(config, unit.roles);
+  TelemetryIngestor ingestor(unit.num_dbs());
+  Confusion faulted;
+  auto score = [&](const std::vector<StreamVerdict>& verdicts) {
+    for (const StreamVerdict& v : verdicts) {
+      if (v.state == DbState::kNoData) continue;  // no basis to judge
+      faulted.Add(v.window.abnormal,
+                  WindowTruth(unit.labels[v.db], v.window.begin,
+                              v.window.end));
+    }
+  };
+  for (size_t t = 0; t < batches.size(); ++t) {
+    for (const TelemetrySample& sample : batches[t]) {
+      const Status status = ingestor.Offer(sample);
+      ASSERT_TRUE(status.ok() || status.code() == StatusCode::kOutOfRange);
+    }
+    for (const AlignedTick& tick : ingestor.Drain()) {
+      ASSERT_TRUE(faulted_stream.PushAligned(tick).ok());
+    }
+    score(faulted_stream.Poll());
+  }
+  for (const AlignedTick& tick : ingestor.Flush()) {
+    ASSERT_TRUE(faulted_stream.PushAligned(tick).ok());
+  }
+  score(faulted_stream.Poll());
+
+  EXPECT_GT(clean.FMeasure(), 0.5);
+  // Graceful degradation: a 10% fault rate costs limited detection quality.
+  EXPECT_GT(faulted.FMeasure(), clean.FMeasure() - 0.15);
+}
+
+}  // namespace
+}  // namespace dbc

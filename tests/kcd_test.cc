@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "dbc/common/rng.h"
 #include "dbc/correlation/pearson.h"
@@ -124,6 +125,69 @@ TEST(KcdTest, SymmetricScore) {
   const Series x = RandomWalk(50, 43);
   const Series y = ShiftEdgeFill(RandomWalk(50, 44), 2);
   EXPECT_NEAR(KcdScore(x, y), KcdScore(y, x), 1e-9);
+}
+
+TEST(KcdTest, NanInputYieldsUncorrelatable) {
+  // A degraded feed can hand KCD NaN/Inf points; the window must come back
+  // as "no usable trend" (score 0) instead of propagating NaN.
+  std::vector<double> xv = RandomWalk(40, 51).values();
+  const Series y = RandomWalk(40, 52);
+  xv[17] = std::numeric_limits<double>::quiet_NaN();
+  const KcdResult poisoned = Kcd(Series(xv), y);
+  EXPECT_EQ(poisoned.score, 0.0);
+  EXPECT_EQ(poisoned.best_lag, 0);
+  xv[17] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(KcdScore(Series(xv), y), 0.0);
+}
+
+TEST(KcdTest, MaskedRecoversLaggedCorrelationThroughGaps) {
+  // y trails x by 3 ticks; a few of x's points are imputed garbage. Masking
+  // them out must keep the points at their time positions so the lag scan
+  // still lands on the true collection delay — compressing the series
+  // instead would shear the alignment and lose the correlation.
+  const Series x = RandomWalk(40, 61);
+  std::vector<double> yv(40);
+  for (size_t i = 0; i < 40; ++i) yv[i] = i >= 3 ? x[i - 3] : x[0];
+  const Series y(std::move(yv));
+
+  std::vector<double> xv = x.values();
+  std::vector<uint8_t> mask_x(40, 1);
+  for (size_t i : {7, 8, 21, 30}) {
+    xv[i] = -1000.0;  // an imputation artifact, wildly off-trend
+    mask_x[i] = 0;
+  }
+  const KcdResult masked = KcdMasked(Series(xv), y, &mask_x, nullptr);
+  EXPECT_GT(masked.score, 0.95);
+  EXPECT_EQ(masked.best_lag, -3);
+  // The same garbage left unmasked drags the score down.
+  EXPECT_LT(KcdScore(Series(xv), y), masked.score);
+}
+
+TEST(KcdTest, MaskedMatchesPlainOnFullyValidInput) {
+  const Series x = RandomWalk(30, 62);
+  const Series y = RandomWalk(30, 63);
+  const KcdResult plain = Kcd(x, y);
+  const KcdResult masked = KcdMasked(x, y, nullptr, nullptr);
+  EXPECT_NEAR(masked.score, plain.score, 1e-9);
+  EXPECT_EQ(masked.best_lag, plain.best_lag);
+}
+
+TEST(KcdTest, MaskedTreatsNonFiniteAsInvalid) {
+  std::vector<double> xv = RandomWalk(40, 64).values();
+  const Series y = Series(xv);
+  xv[11] = std::numeric_limits<double>::quiet_NaN();
+  const KcdResult r = KcdMasked(Series(xv), y, nullptr, nullptr);
+  EXPECT_GT(r.score, 0.99);  // one poisoned point drops out, rest aligns
+  EXPECT_EQ(r.best_lag, 0);
+}
+
+TEST(KcdTest, MaskedAllInvalidYieldsUncorrelatable) {
+  const Series x = RandomWalk(20, 65);
+  const Series y = RandomWalk(20, 66);
+  const std::vector<uint8_t> none(20, 0);
+  const KcdResult r = KcdMasked(x, y, &none, nullptr);
+  EXPECT_EQ(r.score, 0.0);
+  EXPECT_EQ(r.best_lag, 0);
 }
 
 TEST(KcdTest, PreNormalizedInputSkipsEq1) {

@@ -36,6 +36,15 @@ TEST(DetermineStateTest, Fig7Rules) {
   EXPECT_EQ(DetermineState({0, 1, 13, 0}, 0), DbState::kAbnormal);
 }
 
+TEST(DetermineStateTest, AllSkippedIsNoData) {
+  // Every KPI skipped (quarantined feed / no eligible peer): there is no
+  // correlation evidence, so neither healthy nor abnormal is justified.
+  EXPECT_EQ(DetermineState({0, 0, 0, 14}, 2), DbState::kNoData);
+  EXPECT_EQ(DetermineState({0, 0, 0, 0}, 2), DbState::kNoData);
+  // A single participating KPI is still evidence.
+  EXPECT_EQ(DetermineState({0, 0, 1, 13}, 2), DbState::kHealthy);
+}
+
 TEST(CorrelationMatrixTest, SymmetricWithNanIneligible) {
   CorrelationMatrix cm(3);
   EXPECT_DOUBLE_EQ(cm.At(1, 1), 1.0);

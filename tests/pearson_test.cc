@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "dbc/common/rng.h"
 
 namespace dbc {
@@ -52,6 +54,17 @@ TEST(PearsonTest, AffineInvariance) {
   for (double& v : x_scaled) v = 5.0 * v - 7.0;
   EXPECT_NEAR(PearsonCorrelation(x, y), PearsonCorrelation(x_scaled, y),
               1e-12);
+}
+
+TEST(PearsonTest, NanInputGivesZero) {
+  // Degraded telemetry: a single NaN/Inf point makes the window
+  // uncorrelatable rather than poisoning the sums.
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  x[2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+  x[2] = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
 }
 
 TEST(PearsonTest, SeriesOverload) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "dbc/cloudsim/unit_sim.h"
 #include "dbc/optimize/ga.h"
 
@@ -105,6 +107,90 @@ TEST(MonitoringServiceTest, RelearnImprovesRecordedFitness) {
   const OptimizeResult result = service.RelearnThresholds("u", ga, rng);
   EXPECT_GT(result.evaluations, 10u);
   EXPECT_GE(result.best_fitness, 0.0);
+}
+
+TEST(MonitoringServiceTest, IngestValidatesUnitAndValues) {
+  MonitoringService service;
+  const UnitData unit = SimUnit(0.0, 21, 50);
+  service.RegisterUnit("u", unit.roles);
+
+  std::vector<std::array<double, kNumKpis>> tick(unit.num_dbs());
+  EXPECT_EQ(service.Ingest("nope", tick).code(), StatusCode::kNotFound);
+
+  std::vector<std::array<double, kNumKpis>> short_tick(unit.num_dbs() - 2);
+  EXPECT_EQ(service.Ingest("u", short_tick).code(),
+            StatusCode::kInvalidArgument);
+
+  tick[1][7] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(service.Ingest("u", tick).code(), StatusCode::kInvalidArgument);
+
+  tick[1][7] = 0.0;
+  EXPECT_TRUE(service.Ingest("u", tick).ok());
+
+  TelemetrySample sample;
+  EXPECT_EQ(service.IngestSample("nope", sample).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MonitoringServiceTest, DeadCollectorQuarantineRoundTrip) {
+  MonitoringService service;
+  const UnitData unit = SimUnit(0.0, 23, 320);
+  service.RegisterUnit("u", unit.roles);
+  const size_t dead_db = unit.num_dbs() - 1;
+
+  auto send = [&](size_t t, bool include_dead) {
+    for (size_t db = 0; db < unit.num_dbs(); ++db) {
+      if (db == dead_db && !include_dead) continue;
+      TelemetrySample sample;
+      sample.tick = t;
+      sample.db = db;
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        sample.values[k] = unit.kpis[db].row(k)[t];
+      }
+      ASSERT_TRUE(service.IngestSample("u", sample).ok());
+    }
+  };
+
+  // Clean warm-up, then the last replica's collector dies for 80 ticks.
+  for (size_t t = 0; t < 120; ++t) send(t, true);
+  EXPECT_FALSE(service.Quarantined("u", dead_db));
+  for (size_t t = 120; t < 200; ++t) send(t, false);
+  EXPECT_TRUE(service.Quarantined("u", dead_db));
+  for (size_t t = 200; t < 320; ++t) send(t, true);
+  ASSERT_TRUE(service.FlushTelemetry("u").ok());
+  EXPECT_FALSE(service.Quarantined("u", dead_db));  // rejoined
+
+  const std::vector<Alert> alerts = service.Drain();
+  bool enter = false, exit_seen = false, down = false;
+  for (const Alert& alert : alerts) {
+    if (alert.alert_class != AlertClass::kDataQuality) continue;
+    EXPECT_EQ(alert.unit, "u");
+    EXPECT_EQ(alert.db, dead_db);
+    if (alert.message.find("quarantine-enter") != std::string::npos) {
+      enter = true;
+    }
+    if (alert.message.find("quarantine-exit") != std::string::npos) {
+      exit_seen = true;
+    }
+    if (alert.message.find("collector-down") != std::string::npos) {
+      down = true;
+    }
+  }
+  EXPECT_TRUE(enter);
+  EXPECT_TRUE(exit_seen);
+  EXPECT_TRUE(down);
+
+  // The dead replica reports "no data" for the outage, never a fabricated
+  // verdict; the surviving databases keep producing real verdicts.
+  EXPECT_GT(service.VerdictStateCount("u", DbState::kNoData), 0u);
+  EXPECT_GT(service.VerdictStateCount("u", DbState::kHealthy),
+            (unit.num_dbs() - 1) * (320 / 20) - 10u);
+  // Anomaly alerts on this healthy trace stay rare even under the outage.
+  size_t anomaly_alerts = 0;
+  for (const Alert& alert : alerts) {
+    anomaly_alerts += alert.alert_class == AlertClass::kAnomaly;
+  }
+  EXPECT_LE(anomaly_alerts, 8u);
 }
 
 TEST(MonitoringServiceTest, AcknowledgeUnknownWindowIsNoop) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "dbc/common/rng.h"
 
@@ -36,6 +37,14 @@ TEST(SpearmanTest, IndependentIsNearZero) {
     y[i] = rng.Normal();
   }
   EXPECT_NEAR(SpearmanCorrelation(x, y), 0.0, 0.06);
+}
+
+TEST(SpearmanTest, NanInputGivesZero) {
+  // A NaN has no rank; the degraded window is uncorrelatable, not mis-ranked.
+  std::vector<double> x = {3.0, 1.0, 2.0, 4.0};
+  const std::vector<double> y = {30.0, 10.0, 20.0, 40.0};
+  x[1] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(x, y), 0.0);
 }
 
 TEST(SpearmanTest, SeriesOverload) {

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "dbc/cloudsim/unit_sim.h"
 #include "dbc/dbcatcher/observer.h"
 
@@ -118,6 +121,79 @@ TEST(DbcatcherStreamTest, SetGenomeTakesEffect) {
   size_t abnormal = 0;
   for (const StreamVerdict& v : verdicts) abnormal += v.window.abnormal;
   EXPECT_GT(abnormal, verdicts.size() / 2);
+}
+
+TEST(DbcatcherStreamTest, PushValidatesShapeAndFiniteness) {
+  const UnitData unit = SimUnit(10, 0.0, 19);
+  DbcatcherStream stream(DefaultDbcatcherConfig(kNumKpis), unit.roles);
+
+  std::vector<std::array<double, kNumKpis>> wrong_count(unit.num_dbs() - 1);
+  EXPECT_EQ(stream.Push(wrong_count).code(), StatusCode::kInvalidArgument);
+
+  std::vector<std::array<double, kNumKpis>> poisoned(unit.num_dbs());
+  poisoned[2][5] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(stream.Push(poisoned).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(stream.ticks(), 0u);  // rejected ticks are not appended
+
+  std::vector<std::array<double, kNumKpis>> clean(unit.num_dbs());
+  EXPECT_TRUE(stream.Push(clean).ok());
+  EXPECT_EQ(stream.ticks(), 1u);
+}
+
+TEST(DbcatcherStreamTest, BufferStaysBoundedOnLongStreams) {
+  const UnitData unit = SimUnit(2000, 0.05, 23);
+  const DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  DbcatcherStream stream(config, unit.roles);
+  std::vector<StreamVerdict> verdicts;
+  size_t peak_buffer = 0;
+  for (size_t t = 0; t < unit.length(); ++t) {
+    std::vector<std::array<double, kNumKpis>> tick(unit.num_dbs());
+    for (size_t db = 0; db < unit.num_dbs(); ++db) {
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        tick[db][k] = unit.kpis[db].row(k)[t];
+      }
+    }
+    ASSERT_TRUE(stream.Push(tick).ok());
+    for (const StreamVerdict& v : stream.Poll()) verdicts.push_back(v);
+    peak_buffer = std::max(peak_buffer, stream.buffer().length());
+  }
+  // The retained trace is bounded by the W_M + diagnosis-context margin, not
+  // by the stream length; old ticks were actually dropped.
+  EXPECT_LT(peak_buffer, 500u);
+  EXPECT_GT(stream.buffer_offset(), 1000u);
+  EXPECT_EQ(stream.buffer_offset() + stream.buffer().length(), 2000u);
+  EXPECT_EQ(stream.validity().front().size(), stream.buffer().length());
+
+  // Verdict coordinates stay absolute, contiguous, and per-db ordered.
+  std::vector<size_t> next_begin(unit.num_dbs(), 0);
+  for (const StreamVerdict& v : verdicts) {
+    EXPECT_EQ(v.window.begin, next_begin[v.db]);
+    next_begin[v.db] = v.window.end;
+  }
+  for (size_t begin : next_begin) EXPECT_GT(begin, 1900u);
+}
+
+TEST(DbcatcherStreamTest, TrimmedStreamMatchesUntrimmedVerdicts) {
+  const UnitData unit = SimUnit(900, 0.06, 27);
+  const DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  DbcatcherStream stream(config, unit.roles);
+  std::vector<StreamVerdict> verdicts;
+  Replay(unit, stream, &verdicts);
+  ASSERT_GT(stream.buffer_offset(), 0u);  // trimming actually engaged
+
+  // The bounded buffer must not change any verdict: compare against the
+  // offline detector over the full (untrimmed) trace.
+  const UnitVerdicts offline = DetectUnit(unit, config);
+  size_t compared = 0;
+  for (const StreamVerdict& sv : verdicts) {
+    for (const WindowVerdict& ov : offline.per_db[sv.db]) {
+      if (ov.begin != sv.window.begin || ov.end != sv.window.end) continue;
+      EXPECT_EQ(ov.abnormal, sv.window.abnormal)
+          << "db=" << sv.db << " begin=" << ov.begin;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, verdicts.size() / 2);
 }
 
 TEST(DbcatcherStreamTest, TicksAccumulate) {

@@ -1,0 +1,251 @@
+// Telemetry fault injection tests: schedule constraints, per-kind corruption
+// behavior, and ground-truth labeling.
+#include "dbc/cloudsim/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace dbc {
+namespace {
+
+/// Distinct, finite clean vector per (db, tick): values vary every tick so a
+/// frozen feed is detectable by exact comparison.
+std::vector<std::array<double, kNumKpis>> CleanTick(size_t num_dbs, size_t t) {
+  std::vector<std::array<double, kNumKpis>> tick(num_dbs);
+  for (size_t db = 0; db < num_dbs; ++db) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      tick[db][k] = 100.0 * static_cast<double>(db) +
+                    static_cast<double>(t) + 0.01 * static_cast<double>(k);
+    }
+  }
+  return tick;
+}
+
+TEST(TelemetryScheduleTest, RespectsHeadClearanceAndGap) {
+  TelemetryFaultConfig config;
+  config.target_ratio = 0.1;
+  config.head_clearance = 50;
+  config.min_gap = 10;
+  Rng rng(3);
+  const std::vector<TelemetryFaultEvent> events =
+      ScheduleTelemetryFaults(config, 5, 1000, rng);
+  ASSERT_FALSE(events.empty());
+  std::map<size_t, std::vector<const TelemetryFaultEvent*>> by_db;
+  for (const TelemetryFaultEvent& ev : events) {
+    EXPECT_GE(ev.start, config.head_clearance);
+    EXPECT_LE(ev.end(), 1000u);
+    EXPECT_GE(ev.duration, 1u);
+    EXPECT_GT(ev.intensity, 0.0);
+    EXPECT_LE(ev.intensity, 1.0);
+    by_db[ev.db].push_back(&ev);
+  }
+  for (auto& [db, list] : by_db) {
+    for (size_t i = 0; i + 1 < list.size(); ++i) {
+      // Events arrive sorted by start; same-feed events keep a clean gap.
+      EXPECT_GE(list[i + 1]->start, list[i]->end() + config.min_gap)
+          << "db=" << db;
+    }
+  }
+}
+
+TEST(TelemetryScheduleTest, HitsTargetRatioApproximately) {
+  TelemetryFaultConfig config;
+  config.target_ratio = 0.1;
+  Rng rng(7);
+  const std::vector<TelemetryFaultEvent> events =
+      ScheduleTelemetryFaults(config, 5, 2000, rng);
+  size_t faulted = 0;
+  for (const TelemetryFaultEvent& ev : events) faulted += ev.duration;
+  const double ratio = static_cast<double>(faulted) / (5.0 * 2000.0);
+  EXPECT_GT(ratio, 0.05);
+  EXPECT_LT(ratio, 0.2);
+}
+
+TEST(TelemetryScheduleTest, DeterministicForFixedSeed) {
+  TelemetryFaultConfig config;
+  config.target_ratio = 0.08;
+  Rng a(11), b(11);
+  const auto ea = ScheduleTelemetryFaults(config, 5, 500, a);
+  const auto eb = ScheduleTelemetryFaults(config, 5, 500, b);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].db, eb[i].db);
+    EXPECT_EQ(ea[i].start, eb[i].start);
+    EXPECT_EQ(ea[i].duration, eb[i].duration);
+    EXPECT_EQ(static_cast<int>(ea[i].kind), static_cast<int>(eb[i].kind));
+  }
+}
+
+TEST(TelemetryInjectorTest, CleanFeedPassesThroughUntouched) {
+  TelemetryFaultInjector injector({}, 2, 3, Rng(5));
+  for (size_t t = 0; t < 10; ++t) {
+    const auto clean = CleanTick(2, t);
+    const std::vector<TelemetrySample> out = injector.Step(t, clean);
+    ASSERT_EQ(out.size(), 2u);
+    for (const TelemetrySample& s : out) {
+      EXPECT_EQ(s.tick, t);
+      EXPECT_EQ(s.values, clean[s.db]);
+      EXPECT_FALSE(injector.CorruptedAt(s.db, t));
+    }
+  }
+  EXPECT_TRUE(injector.Flush().empty());
+}
+
+TEST(TelemetryInjectorTest, BlackoutDeliversNothing) {
+  TelemetryFaultEvent ev;
+  ev.kind = TelemetryFaultKind::kBlackout;
+  ev.db = 0;
+  ev.start = 5;
+  ev.duration = 10;
+  TelemetryFaultInjector injector({ev}, 2, 3, Rng(5));
+  for (size_t t = 0; t < 20; ++t) {
+    const std::vector<TelemetrySample> out = injector.Step(t, CleanTick(2, t));
+    size_t db0 = 0;
+    for (const TelemetrySample& s : out) db0 += s.db == 0;
+    if (ev.ActiveAt(t)) {
+      EXPECT_EQ(db0, 0u) << "t=" << t;
+      EXPECT_TRUE(injector.CorruptedAt(0, t));
+      EXPECT_TRUE(injector.FaultAt(0, t));
+    } else {
+      EXPECT_EQ(db0, 1u) << "t=" << t;
+      EXPECT_FALSE(injector.CorruptedAt(0, t));
+    }
+    // The other feed is untouched throughout.
+    size_t db1 = 0;
+    for (const TelemetrySample& s : out) db1 += s.db == 1;
+    EXPECT_EQ(db1, 1u);
+    EXPECT_FALSE(injector.CorruptedAt(1, t));
+  }
+}
+
+TEST(TelemetryInjectorTest, NanBurstDeliversNans) {
+  TelemetryFaultEvent ev;
+  ev.kind = TelemetryFaultKind::kNanBurst;
+  ev.db = 0;
+  ev.start = 3;
+  ev.duration = 4;
+  ev.intensity = 1.0;  // every KPI NaN'd
+  TelemetryFaultInjector injector({ev}, 1, 3, Rng(9));
+  for (size_t t = 0; t < 10; ++t) {
+    const std::vector<TelemetrySample> out = injector.Step(t, CleanTick(1, t));
+    ASSERT_EQ(out.size(), 1u);  // the sample still arrives, just poisoned
+    if (ev.ActiveAt(t)) {
+      for (double v : out[0].values) EXPECT_TRUE(std::isnan(v));
+      EXPECT_TRUE(injector.CorruptedAt(0, t));
+    } else {
+      for (double v : out[0].values) EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(TelemetryInjectorTest, StaleRepeatFreezesLastVector) {
+  TelemetryFaultEvent ev;
+  ev.kind = TelemetryFaultKind::kStaleRepeat;
+  ev.db = 0;
+  ev.start = 4;
+  ev.duration = 6;
+  TelemetryFaultInjector injector({ev}, 1, 3, Rng(13));
+  const auto frozen = CleanTick(1, 3)[0];  // last clean delivery before start
+  for (size_t t = 0; t < 12; ++t) {
+    const std::vector<TelemetrySample> out = injector.Step(t, CleanTick(1, t));
+    ASSERT_EQ(out.size(), 1u);
+    if (ev.ActiveAt(t)) {
+      EXPECT_EQ(out[0].values, frozen) << "t=" << t;
+      EXPECT_TRUE(injector.CorruptedAt(0, t));
+    } else {
+      EXPECT_EQ(out[0].values, CleanTick(1, t)[0]);
+    }
+  }
+}
+
+TEST(TelemetryInjectorTest, OutOfOrderArrivesLateWithinBound) {
+  TelemetryFaultEvent ev;
+  ev.kind = TelemetryFaultKind::kOutOfOrder;
+  ev.db = 0;
+  ev.start = 5;
+  ev.duration = 8;
+  const size_t max_reorder = 3;
+  TelemetryFaultInjector injector({ev}, 1, max_reorder, Rng(17));
+  std::map<size_t, size_t> arrival_step;  // source tick -> delivery step
+  for (size_t t = 0; t < 20; ++t) {
+    for (const TelemetrySample& s : injector.Step(t, CleanTick(1, t))) {
+      EXPECT_EQ(arrival_step.count(s.tick), 0u) << "duplicate " << s.tick;
+      arrival_step[s.tick] = t;
+      EXPECT_EQ(s.values, CleanTick(1, s.tick)[0]);  // values untouched
+    }
+  }
+  for (const TelemetrySample& s : injector.Flush()) {
+    arrival_step[s.tick] = 20;
+  }
+  // Every tick is delivered exactly once; faulted ticks late but bounded.
+  ASSERT_EQ(arrival_step.size(), 20u);
+  for (const auto& [tick, step] : arrival_step) {
+    if (ev.ActiveAt(tick)) {
+      EXPECT_GT(step, tick);
+      EXPECT_LE(step, tick + max_reorder);
+      EXPECT_TRUE(injector.CorruptedAt(0, tick));
+    } else {
+      EXPECT_EQ(step, tick);
+    }
+  }
+}
+
+TEST(TelemetryInjectorTest, DropoutIntensityControlsLossRate) {
+  TelemetryFaultEvent ev;
+  ev.kind = TelemetryFaultKind::kTickDropout;
+  ev.db = 0;
+  ev.start = 0;
+  ev.duration = 400;
+  ev.intensity = 0.7;
+  TelemetryFaultInjector injector({ev}, 1, 3, Rng(19));
+  size_t delivered = 0;
+  for (size_t t = 0; t < 400; ++t) {
+    delivered += injector.Step(t, CleanTick(1, t)).size();
+  }
+  // ~30% survive; corruption labels cover exactly the dropped ticks.
+  EXPECT_GT(delivered, 60u);
+  EXPECT_LT(delivered, 180u);
+  size_t corrupted = 0;
+  for (size_t t = 0; t < 400; ++t) corrupted += injector.CorruptedAt(0, t);
+  EXPECT_EQ(corrupted + delivered, 400u);
+}
+
+TEST(TelemetryDegradeUnitTest, BatchesCoverEveryStep) {
+  UnitData unit;
+  unit.kpis.resize(3);
+  for (size_t db = 0; db < 3; ++db) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      std::vector<double> values(64);
+      for (size_t t = 0; t < 64; ++t) {
+        values[t] = static_cast<double>(db + k) + 0.5 * static_cast<double>(t);
+      }
+      unit.kpis[db].Add(KpiName(static_cast<Kpi>(k)),
+                        Series(std::move(values)));
+    }
+  }
+  TelemetryFaultConfig config;
+  config.target_ratio = 0.1;
+  config.head_clearance = 10;
+  Rng rng(23);
+  std::vector<TelemetryFaultEvent> events;
+  const auto batches = DegradeUnit(unit, config, rng, &events);
+  ASSERT_EQ(batches.size(), 64u);
+  size_t total = 0;
+  for (const auto& batch : batches) {
+    for (const TelemetrySample& s : batch) {
+      EXPECT_LT(s.db, 3u);
+      EXPECT_LT(s.tick, 64u);
+      ++total;
+    }
+  }
+  // Nothing is delivered twice and only faulted samples can be missing.
+  EXPECT_LE(total, 3 * 64u);
+  size_t faulted = 0;
+  for (const TelemetryFaultEvent& ev : events) faulted += ev.duration;
+  EXPECT_GE(total + faulted, 3 * 64u);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -29,7 +29,11 @@ int main() {
   }
   const char* names[] = {"unit-alpha", "unit-beta", "unit-gamma"};
 
-  dbc::MonitoringService service;
+  // workers = 0 shards the drain across all hardware threads; the merged
+  // alert order is identical to the sequential (workers = 1) service.
+  dbc::MonitoringServiceConfig service_config;
+  service_config.workers = 0;
+  dbc::MonitoringService service(service_config);
   for (int u = 0; u < 3; ++u) service.RegisterUnit(names[u], units[u].roles);
 
   size_t alerts_total = 0, alerts_correct = 0;

@@ -38,15 +38,34 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
   std::vector<std::future<void>> futures;
   const size_t lanes = std::min(n, thread_count());
   futures.reserve(lanes);
   for (size_t lane = 0; lane < lanes; ++lane) {
     futures.push_back(Submit([&] {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
     }));
   }
+  // Every lane catches its own exceptions, so the joins below never throw;
+  // all lanes must be done before first_error (captured by reference) is
+  // rethrown or the locals go out of scope.
   for (auto& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::WorkerLoop() {

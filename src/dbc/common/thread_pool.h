@@ -28,6 +28,9 @@ class ThreadPool {
   std::future<void> Submit(std::function<void()> task);
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// If any fn(i) throws, remaining indices are abandoned, every lane is
+  /// joined, and the first exception is rethrown to the caller; the pool
+  /// stays usable afterwards.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t thread_count() const { return workers_.size(); }

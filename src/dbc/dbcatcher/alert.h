@@ -1,0 +1,36 @@
+// The alert record shared by every layer of the detection engine: produced
+// by UnitPipeline, merged deterministically by DetectionEngine, consumed by
+// AlertSink implementations and the MonitoringService facade.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "dbc/dbcatcher/diagnosis.h"
+
+namespace dbc {
+
+/// What an alert reports: a detected anomaly, or a problem with the
+/// telemetry itself (collector down, quarantine transitions). Data-quality
+/// alerts mean "we cannot see", not "the database is sick" — operators page
+/// different teams for the two.
+enum class AlertClass { kAnomaly, kDataQuality };
+
+/// Display name ("anomaly" / "data-quality").
+const std::string& AlertClassName(AlertClass alert_class);
+
+/// One alert raised by the detection engine.
+struct Alert {
+  AlertClass alert_class = AlertClass::kAnomaly;
+  std::string unit;
+  size_t db = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  size_t consumed = 0;
+  /// Filled for kAnomaly alerts.
+  DiagnosticReport report;
+  /// Filled for kDataQuality alerts ("collector-down", ...).
+  std::string message;
+};
+
+}  // namespace dbc

@@ -1,0 +1,119 @@
+#include "dbc/dbcatcher/alert_sink.h"
+
+#include <utility>
+
+namespace dbc {
+
+namespace {
+
+/// Short human summary: the data-quality message, or the top incident
+/// hypothesis of an anomaly report.
+std::string AlertDetail(const Alert& alert) {
+  if (alert.alert_class == AlertClass::kDataQuality) return alert.message;
+  if (!alert.report.hypotheses.empty()) {
+    return alert.report.hypotheses.front().family;
+  }
+  return "anomaly";
+}
+
+std::string EscapeCsv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string& AlertClassName(AlertClass alert_class) {
+  static const std::string kAnomalyName = "anomaly";
+  static const std::string kDataQualityName = "data-quality";
+  return alert_class == AlertClass::kAnomaly ? kAnomalyName : kDataQualityName;
+}
+
+BoundedAlertSink::BoundedAlertSink(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void BoundedAlertSink::Publish(const std::vector<Alert>& alerts) {
+  for (const Alert& alert : alerts) {
+    if (buffer_.size() == capacity_) {
+      buffer_.pop_front();
+      ++dropped_;
+    }
+    buffer_.push_back(alert);
+    ++published_;
+  }
+}
+
+std::vector<Alert> BoundedAlertSink::Take() {
+  std::vector<Alert> out(buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  return out;
+}
+
+FileAlertSink::FileAlertSink(const std::string& path, Format format)
+    : file_(std::fopen(path.c_str(), "w")), format_(format) {
+  if (file_ != nullptr && format_ == Format::kCsv) {
+    std::fputs("unit,class,db,begin,end,consumed,detail\n", file_);
+  }
+}
+
+FileAlertSink::~FileAlertSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileAlertSink::Publish(const std::vector<Alert>& alerts) {
+  if (file_ == nullptr) return;
+  for (const Alert& alert : alerts) {
+    const std::string line = format_ == Format::kCsv ? FormatAlertCsv(alert)
+                                                     : FormatAlertJson(alert);
+    std::fputs(line.c_str(), file_);
+    std::fputc('\n', file_);
+    ++written_;
+  }
+  std::fflush(file_);
+}
+
+std::string FormatAlertCsv(const Alert& alert) {
+  std::string row = EscapeCsv(alert.unit);
+  row += ',';
+  row += AlertClassName(alert.alert_class);
+  row += ',' + std::to_string(alert.db);
+  row += ',' + std::to_string(alert.begin);
+  row += ',' + std::to_string(alert.end);
+  row += ',' + std::to_string(alert.consumed);
+  row += ',' + EscapeCsv(AlertDetail(alert));
+  return row;
+}
+
+std::string FormatAlertJson(const Alert& alert) {
+  std::string obj = "{\"unit\":\"" + EscapeJson(alert.unit) + "\"";
+  obj += ",\"class\":\"" + AlertClassName(alert.alert_class) + "\"";
+  obj += ",\"db\":" + std::to_string(alert.db);
+  obj += ",\"begin\":" + std::to_string(alert.begin);
+  obj += ",\"end\":" + std::to_string(alert.end);
+  obj += ",\"consumed\":" + std::to_string(alert.consumed);
+  obj += ",\"detail\":\"" + EscapeJson(AlertDetail(alert)) + "\"}";
+  return obj;
+}
+
+}  // namespace dbc

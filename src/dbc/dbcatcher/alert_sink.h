@@ -1,0 +1,90 @@
+// Alert delivery layer: DetectionEngine publishes each drained batch (already
+// in deterministic merge order) to every attached sink. Replaces the grow-only
+// alert vector of the pre-engine MonitoringService — a long-running process
+// holds a bounded buffer with back-pressure counters, or streams to a file.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "dbc/dbcatcher/alert.h"
+
+namespace dbc {
+
+/// Pluggable consumer of drained alerts. Publish is called from the engine's
+/// drain thread only (never from pool workers), so implementations need no
+/// internal locking unless they are shared across engines.
+class AlertSink {
+ public:
+  virtual ~AlertSink() = default;
+
+  /// Delivers one drained batch, in deterministic (unit, tick) merge order.
+  virtual void Publish(const std::vector<Alert>& alerts) = 0;
+};
+
+/// In-memory sink bounded at `capacity` alerts. When the buffer is full the
+/// OLDEST alerts are evicted (a monitoring console wants the newest page),
+/// and every eviction is counted as back-pressure instead of growing without
+/// bound.
+class BoundedAlertSink : public AlertSink {
+ public:
+  explicit BoundedAlertSink(size_t capacity = 4096);
+
+  void Publish(const std::vector<Alert>& alerts) override;
+
+  /// Removes and returns the buffered alerts (oldest first).
+  std::vector<Alert> Take();
+
+  /// Alerts currently buffered.
+  size_t size() const { return buffer_.size(); }
+  /// Alerts ever delivered to this sink.
+  size_t published() const { return published_; }
+  /// Alerts evicted because the buffer was full (back-pressure signal).
+  size_t dropped() const { return dropped_; }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::deque<Alert> buffer_;
+  size_t published_ = 0;
+  size_t dropped_ = 0;
+};
+
+/// File sink for the bench harness: appends one CSV or JSONL record per
+/// alert. The CSV header is written on open; flushing happens per batch so a
+/// crashed run keeps everything already drained.
+class FileAlertSink : public AlertSink {
+ public:
+  enum class Format { kCsv, kJsonl };
+
+  FileAlertSink(const std::string& path, Format format = Format::kCsv);
+  ~FileAlertSink() override;
+
+  FileAlertSink(const FileAlertSink&) = delete;
+  FileAlertSink& operator=(const FileAlertSink&) = delete;
+
+  void Publish(const std::vector<Alert>& alerts) override;
+
+  /// True when the file opened successfully.
+  bool ok() const { return file_ != nullptr; }
+  /// Records written so far.
+  size_t written() const { return written_; }
+
+ private:
+  FILE* file_ = nullptr;
+  Format format_;
+  size_t written_ = 0;
+};
+
+/// One CSV row for `alert` (no trailing newline); column order matches
+/// FileAlertSink's header: unit,class,db,begin,end,consumed,detail.
+std::string FormatAlertCsv(const Alert& alert);
+
+/// One JSON object for `alert` (no trailing newline).
+std::string FormatAlertJson(const Alert& alert);
+
+}  // namespace dbc

@@ -111,6 +111,9 @@ class TelemetryIngestor {
   /// True while `db` is quarantined.
   bool Quarantined(size_t db) const { return dbs_[db].quarantined; }
 
+  /// Databases this ingestor aligns.
+  size_t num_dbs() const { return num_dbs_; }
+
   /// Newest tick seen so far (0 before any sample).
   size_t watermark() const { return watermark_; }
   /// Next tick that will seal.

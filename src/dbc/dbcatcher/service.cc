@@ -1,227 +1,87 @@
 #include "dbc/dbcatcher/service.h"
 
 #include <cassert>
-#include <cmath>
+#include <utility>
 
 namespace dbc {
 
+namespace {
+
+DetectionEngineConfig ToEngineConfig(const MonitoringServiceConfig& config) {
+  DetectionEngineConfig engine;
+  engine.pipeline.detector = config.detector;
+  engine.pipeline.ingest = config.ingest;
+  engine.pipeline.feedback_capacity = config.feedback_capacity;
+  engine.pipeline.retrain_criterion = config.retrain_criterion;
+  engine.pipeline.min_feedback_records = config.min_feedback_records;
+  engine.workers = config.workers;
+  return engine;
+}
+
+}  // namespace
+
 MonitoringService::MonitoringService(MonitoringServiceConfig config)
-    : config_(std::move(config)) {
-  if (config_.detector.genome.alpha.empty()) {
-    const DbcatcherConfig defaults = DefaultDbcatcherConfig(kNumKpis);
-    const DbcatcherConfig supplied = config_.detector;
-    config_.detector = defaults;
-    // Preserve the robustness knobs a caller may have tuned before the
-    // genome default kicked in.
-    config_.detector.min_valid_fraction = supplied.min_valid_fraction;
-    config_.detector.min_peers = supplied.min_peers;
-  }
+    : config_(std::move(config)), engine_(ToEngineConfig(config_)) {
+  // Reflect the engine's genome normalization back into the facade config.
+  config_.detector = engine_.config().pipeline.detector;
 }
 
 void MonitoringService::RegisterUnit(const std::string& unit,
                                      std::vector<DbRole> roles) {
-  UnitState state;
-  state.ingestor =
-      std::make_unique<TelemetryIngestor>(roles.size(), config_.ingest);
-  state.stream =
-      std::make_unique<DbcatcherStream>(config_.detector, std::move(roles));
-  state.feedback = FeedbackModule(config_.feedback_capacity);
-  units_[unit] = std::move(state);
-}
-
-Status MonitoringService::PumpAligned(UnitState& state) {
-  for (const AlignedTick& tick : state.ingestor->Drain()) {
-    const Status status = state.stream->PushAligned(tick);
-    if (!status.ok()) return status;
-  }
-  return Status::Ok();
+  engine_.RegisterUnit(unit, std::move(roles));
 }
 
 Status MonitoringService::Ingest(
     const std::string& unit,
     const std::vector<std::array<double, kNumKpis>>& values) {
-  const auto it = units_.find(unit);
-  if (it == units_.end()) {
-    return Status::NotFound("unit not registered: " + unit);
-  }
-  UnitState& state = it->second;
-  if (values.size() != state.stream->buffer().num_dbs()) {
-    return Status::InvalidArgument("tick has wrong database count");
-  }
-  for (const auto& db_values : values) {
-    for (double v : db_values) {
-      if (!std::isfinite(v)) {
-        return Status::InvalidArgument(
-            "non-finite KPI value in clean tick; use IngestSample for "
-            "degraded feeds");
-      }
-    }
-  }
-  const Status offered = state.ingestor->OfferTick(state.next_tick, values);
-  if (!offered.ok()) return offered;
-  ++state.next_tick;
-  return PumpAligned(state);
+  return engine_.Ingest(unit, values);
 }
 
 Status MonitoringService::IngestSample(const std::string& unit,
                                        const TelemetrySample& sample) {
-  const auto it = units_.find(unit);
-  if (it == units_.end()) {
-    return Status::NotFound("unit not registered: " + unit);
-  }
-  UnitState& state = it->second;
-  const Status offered = state.ingestor->Offer(sample);
-  // A too-late sample is dropped (and counted) by the ingestor; the feed
-  // itself stays healthy, so only real failures propagate.
-  if (!offered.ok() && offered.code() != StatusCode::kOutOfRange) {
-    return offered;
-  }
-  state.next_tick = std::max(state.next_tick, sample.tick + 1);
-  return PumpAligned(state);
+  return engine_.IngestSample(unit, sample);
 }
 
 Status MonitoringService::FlushTelemetry(const std::string& unit) {
-  const auto it = units_.find(unit);
-  if (it == units_.end()) {
-    return Status::NotFound("unit not registered: " + unit);
-  }
-  UnitState& state = it->second;
-  for (const AlignedTick& tick : state.ingestor->Flush()) {
-    const Status status = state.stream->PushAligned(tick);
-    if (!status.ok()) return status;
-  }
-  return Status::Ok();
+  return engine_.FlushTelemetry(unit);
 }
 
-std::vector<Alert> MonitoringService::Drain() {
-  std::vector<Alert> alerts;
-  for (auto& [name, state] : units_) {
-    // Data-quality transitions surface as their own alert class.
-    for (const DataQualityEvent& event : state.ingestor->DrainEvents()) {
-      Alert alert;
-      alert.alert_class = AlertClass::kDataQuality;
-      alert.unit = name;
-      alert.db = event.db;
-      alert.begin = event.tick;
-      alert.end = event.tick;
-      alert.message = DataQualityEventName(event.kind) + ": " + event.detail;
-      alerts.push_back(std::move(alert));
-    }
-
-    const std::vector<StreamVerdict> verdicts = state.stream->Poll();
-    if (verdicts.empty()) continue;
-    const size_t offset = state.stream->buffer_offset();
-    CorrelationAnalyzer analyzer(state.stream->buffer(),
-                                 state.stream->config());
-    analyzer.SetValidity(&state.stream->validity());
-    analyzer.SetCacheTickOffset(offset);
-    for (const StreamVerdict& v : verdicts) {
-      ++state.verdicts;
-      ++state.state_counts[static_cast<size_t>(v.state)];
-      if (v.state == DbState::kNoData) continue;  // nothing to judge or label
-      state.pending[{v.db, v.window.begin, v.window.end}] = v.window.abnormal;
-      if (!v.window.abnormal) continue;
-      Alert alert;
-      alert.unit = name;
-      alert.db = v.db;
-      alert.begin = v.window.begin;
-      alert.end = v.window.end;
-      alert.consumed = v.window.consumed;
-      // Diagnose over the window actually judged (expansions widen it past
-      // the base tile), translated into the trimmed buffer's coordinates.
-      if (v.window.begin >= offset) {
-        alert.report =
-            Diagnose(analyzer, state.stream->config(), v.db,
-                     v.window.begin - offset,
-                     v.window.begin + v.window.consumed - offset);
-        alert.report.begin = v.window.begin;
-        alert.report.end = v.window.begin + v.window.consumed;
-      }
-      alerts.push_back(std::move(alert));
-    }
-  }
-  return alerts;
-}
+std::vector<Alert> MonitoringService::Drain() { return engine_.Drain(); }
 
 void MonitoringService::Acknowledge(const std::string& unit, size_t db,
                                     size_t begin, size_t end,
                                     bool truly_abnormal) {
-  const auto it = units_.find(unit);
-  if (it == units_.end()) return;
-  UnitState& state = it->second;
-  const auto pending = state.pending.find({db, begin, end});
-  if (pending == state.pending.end()) return;
-
-  JudgmentRecord record;
-  record.db = db;
-  record.begin = begin;
-  record.end = end;
-  record.predicted_abnormal = pending->second;
-  record.labeled_abnormal = truly_abnormal;
-  state.feedback.Record(record);
-  state.pending.erase(pending);
+  UnitPipeline* pipeline = engine_.Find(unit);
+  if (pipeline == nullptr) return;
+  pipeline->Acknowledge(db, begin, end, truly_abnormal);
 }
 
 bool MonitoringService::NeedsRelearn(const std::string& unit) const {
-  const auto it = units_.find(unit);
-  if (it == units_.end()) return false;
-  return it->second.feedback.NeedsRetrain(config_.retrain_criterion,
-                                          config_.min_feedback_records);
+  const UnitPipeline* pipeline = engine_.Find(unit);
+  return pipeline != nullptr && pipeline->NeedsRelearn();
 }
 
 OptimizeResult MonitoringService::RelearnThresholds(
     const std::string& unit, ThresholdOptimizer& optimizer, Rng& rng) {
-  const auto it = units_.find(unit);
-  assert(it != units_.end() && "unit not registered");
-  UnitState& state = it->second;
-
-  // Fitness: replay the labeled judgment windows under a candidate genome
-  // against the unit's buffered trace. The KCD cache makes every genome
-  // after the first nearly free (the windows are fixed, only thresholds
-  // move). Windows already trimmed from the bounded buffer are skipped.
-  KcdCache cache;
-  const UnitData& trace = state.stream->buffer();
-  const size_t offset = state.stream->buffer_offset();
-  DbcatcherConfig candidate_config = state.stream->config();
-  auto fitness = [&](const ThresholdGenome& genome) {
-    candidate_config.genome = genome;
-    CorrelationAnalyzer analyzer(trace, candidate_config, &cache);
-    analyzer.SetValidity(&state.stream->validity());
-    analyzer.SetCacheTickOffset(offset);
-    Confusion confusion;
-    for (const JudgmentRecord& record : state.feedback.records()) {
-      if (record.begin < offset) continue;  // trimmed out of the buffer
-      const LevelSummary summary =
-          SummarizeLevels(analyzer, record.db, record.begin - offset,
-                          record.end - record.begin, genome);
-      const DbState db_state = DetermineState(summary, genome.tolerance);
-      confusion.Add(db_state == DbState::kAbnormal, record.labeled_abnormal);
-    }
-    return confusion.FMeasure();
-  };
-
-  OptimizeResult result = optimizer.Optimize(
-      state.stream->config().genome, GenomeRanges{}, fitness, rng);
-  state.stream->SetGenome(result.best);
-  return result;
+  UnitPipeline* pipeline = engine_.Find(unit);
+  assert(pipeline != nullptr && "unit not registered");
+  return pipeline->Relearn(optimizer, rng);
 }
 
 size_t MonitoringService::VerdictCount(const std::string& unit) const {
-  const auto it = units_.find(unit);
-  return it == units_.end() ? 0 : it->second.verdicts;
+  const UnitPipeline* pipeline = engine_.Find(unit);
+  return pipeline == nullptr ? 0 : pipeline->verdicts();
 }
 
 size_t MonitoringService::VerdictStateCount(const std::string& unit,
                                             DbState state) const {
-  const auto it = units_.find(unit);
-  if (it == units_.end()) return 0;
-  return it->second.state_counts[static_cast<size_t>(state)];
+  const UnitPipeline* pipeline = engine_.Find(unit);
+  return pipeline == nullptr ? 0 : pipeline->VerdictStateCount(state);
 }
 
 bool MonitoringService::Quarantined(const std::string& unit, size_t db) const {
-  const auto it = units_.find(unit);
-  if (it == units_.end()) return false;
-  return it->second.ingestor->Quarantined(db);
+  const UnitPipeline* pipeline = engine_.Find(unit);
+  return pipeline != nullptr && pipeline->Quarantined(db);
 }
 
 }  // namespace dbc

@@ -1,44 +1,20 @@
-// Cluster-level monitoring service: one DBCatcher stream per unit behind a
-// telemetry-ingestion front-end, alert aggregation with diagnostics, and
-// online feedback-driven threshold relearning — the deployment shape of
-// Fig. 2 + Fig. 6 hardened for degraded collector feeds.
+// Cluster-level monitoring service: a thin facade over the layered
+// DetectionEngine (UnitPipeline per unit, sharded drain, pluggable
+// AlertSinks) keeping the original single-object API — the deployment shape
+// of Fig. 2 + Fig. 6. New code that needs sinks or parallelism knobs should
+// talk to the engine directly (see engine()).
 #pragma once
 
 #include <array>
-#include <map>
-#include <memory>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "dbc/common/status.h"
-#include "dbc/dbcatcher/diagnosis.h"
-#include "dbc/dbcatcher/feedback.h"
-#include "dbc/dbcatcher/ingest.h"
-#include "dbc/dbcatcher/streaming.h"
+#include "dbc/dbcatcher/alert.h"
+#include "dbc/dbcatcher/detection_engine.h"
 #include "dbc/optimize/optimizer.h"
 
 namespace dbc {
-
-/// What an alert reports: a detected anomaly, or a problem with the
-/// telemetry itself (collector down, quarantine transitions). Data-quality
-/// alerts mean "we cannot see", not "the database is sick" — operators page
-/// different teams for the two.
-enum class AlertClass { kAnomaly, kDataQuality };
-
-/// One alert raised by the service.
-struct Alert {
-  AlertClass alert_class = AlertClass::kAnomaly;
-  std::string unit;
-  size_t db = 0;
-  size_t begin = 0;
-  size_t end = 0;
-  size_t consumed = 0;
-  /// Filled for kAnomaly alerts.
-  DiagnosticReport report;
-  /// Filled for kDataQuality alerts ("collector-down", ...).
-  std::string message;
-};
 
 /// Service configuration.
 struct MonitoringServiceConfig {
@@ -51,6 +27,9 @@ struct MonitoringServiceConfig {
   double retrain_criterion = 0.75;
   /// Minimum labeled records before the criterion is evaluated.
   size_t min_feedback_records = 64;
+  /// Worker threads for the sharded drain (1 = sequential, 0 = hardware
+  /// concurrency). Parallel output is bit-identical to sequential.
+  size_t workers = 1;
 };
 
 /// Multi-unit online detection front-end.
@@ -86,7 +65,8 @@ class MonitoringService {
   /// Resolves pending windows and returns newly raised alerts: anomaly
   /// alerts with diagnostic reports, plus data-quality alerts for collector
   /// outages and quarantine transitions. Healthy and kNoData verdicts are
-  /// recorded silently.
+  /// recorded silently. With workers > 1 units resolve in parallel; the
+  /// merged order is identical either way.
   std::vector<Alert> Drain();
 
   /// DBA feedback on a drained verdict: `truly_abnormal` marks the ground
@@ -116,25 +96,13 @@ class MonitoringService {
 
   const MonitoringServiceConfig& config() const { return config_; }
 
+  /// The underlying engine, for sinks and direct pipeline access.
+  DetectionEngine& engine() { return engine_; }
+  const DetectionEngine& engine() const { return engine_; }
+
  private:
-  struct UnitState {
-    std::unique_ptr<TelemetryIngestor> ingestor;
-    std::unique_ptr<DbcatcherStream> stream;
-    FeedbackModule feedback;
-    /// Pending (db, window) verdicts awaiting DBA labels, keyed for
-    /// Acknowledge.
-    std::map<std::tuple<size_t, size_t, size_t>, bool> pending;
-    size_t verdicts = 0;
-    std::array<size_t, 4> state_counts{};  // indexed by DbState
-    /// Next source tick for the whole-tick Ingest() path.
-    size_t next_tick = 0;
-  };
-
-  /// Moves sealed frames from the ingestor into the stream.
-  Status PumpAligned(UnitState& state);
-
   MonitoringServiceConfig config_;
-  std::map<std::string, UnitState> units_;
+  DetectionEngine engine_;
 };
 
 }  // namespace dbc

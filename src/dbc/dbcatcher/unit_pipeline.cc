@@ -1,0 +1,174 @@
+#include "dbc/dbcatcher/unit_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace dbc {
+
+UnitPipelineConfig NormalizePipelineConfig(UnitPipelineConfig config) {
+  if (config.detector.genome.alpha.empty()) {
+    const DbcatcherConfig defaults = DefaultDbcatcherConfig(kNumKpis);
+    const DbcatcherConfig supplied = config.detector;
+    config.detector = defaults;
+    config.detector.min_valid_fraction = supplied.min_valid_fraction;
+    config.detector.min_peers = supplied.min_peers;
+  }
+  return config;
+}
+
+UnitPipeline::UnitPipeline(std::string name, std::vector<DbRole> roles,
+                           const UnitPipelineConfig& config)
+    : name_(std::move(name)),
+      config_(config),
+      ingestor_(roles.size(), config.ingest),
+      stream_(config.detector, std::move(roles)),
+      feedback_(config.feedback_capacity) {}
+
+Status UnitPipeline::Pump() {
+  for (const AlignedTick& tick : ingestor_.Drain()) {
+    const Status status = stream_.PushAligned(tick);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status UnitPipeline::Tick(
+    const std::vector<std::array<double, kNumKpis>>& values) {
+  if (values.size() != num_dbs()) {
+    return Status::InvalidArgument("tick has wrong database count");
+  }
+  for (const auto& db_values : values) {
+    for (double v : db_values) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            "non-finite KPI value in clean tick; use Offer for degraded "
+            "feeds");
+      }
+    }
+  }
+  const Status offered = ingestor_.OfferTick(next_tick_, values);
+  if (!offered.ok()) return offered;
+  ++next_tick_;
+  return Pump();
+}
+
+Status UnitPipeline::Offer(const TelemetrySample& sample) {
+  const Status offered = ingestor_.Offer(sample);
+  // A too-late sample is dropped (and counted) by the ingestor; the feed
+  // itself stays healthy, so only real failures propagate.
+  if (!offered.ok() && offered.code() != StatusCode::kOutOfRange) {
+    return offered;
+  }
+  next_tick_ = std::max(next_tick_, sample.tick + 1);
+  return Pump();
+}
+
+Status UnitPipeline::Flush() {
+  for (const AlignedTick& tick : ingestor_.Flush()) {
+    const Status status = stream_.PushAligned(tick);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+std::vector<Alert> UnitPipeline::Drain() {
+  std::vector<Alert> alerts;
+
+  // Data-quality transitions surface as their own alert class.
+  for (const DataQualityEvent& event : ingestor_.DrainEvents()) {
+    Alert alert;
+    alert.alert_class = AlertClass::kDataQuality;
+    alert.unit = name_;
+    alert.db = event.db;
+    alert.begin = event.tick;
+    alert.end = event.tick;
+    alert.message = DataQualityEventName(event.kind) + ": " + event.detail;
+    alerts.push_back(std::move(alert));
+  }
+
+  const std::vector<StreamVerdict> verdicts = stream_.Poll();
+  if (verdicts.empty()) return alerts;
+  const size_t offset = stream_.buffer_offset();
+  CorrelationAnalyzer analyzer(stream_.buffer(), stream_.config());
+  analyzer.SetValidity(&stream_.validity());
+  analyzer.SetCacheTickOffset(offset);
+  for (const StreamVerdict& v : verdicts) {
+    ++verdicts_;
+    ++state_counts_[static_cast<size_t>(v.state)];
+    if (v.state == DbState::kNoData) continue;  // nothing to judge or label
+    pending_[{v.db, v.window.begin, v.window.end}] = v.window.abnormal;
+    if (!v.window.abnormal) continue;
+    Alert alert;
+    alert.unit = name_;
+    alert.db = v.db;
+    alert.begin = v.window.begin;
+    alert.end = v.window.end;
+    alert.consumed = v.window.consumed;
+    // Diagnose over the window actually judged (expansions widen it past
+    // the base tile), translated into the trimmed buffer's coordinates.
+    if (v.window.begin >= offset) {
+      alert.report = Diagnose(analyzer, stream_.config(), v.db,
+                              v.window.begin - offset,
+                              v.window.begin + v.window.consumed - offset);
+      alert.report.begin = v.window.begin;
+      alert.report.end = v.window.begin + v.window.consumed;
+    }
+    alerts.push_back(std::move(alert));
+  }
+  return alerts;
+}
+
+void UnitPipeline::Acknowledge(size_t db, size_t begin, size_t end,
+                               bool truly_abnormal) {
+  const auto pending = pending_.find({db, begin, end});
+  if (pending == pending_.end()) return;
+
+  JudgmentRecord record;
+  record.db = db;
+  record.begin = begin;
+  record.end = end;
+  record.predicted_abnormal = pending->second;
+  record.labeled_abnormal = truly_abnormal;
+  feedback_.Record(record);
+  pending_.erase(pending);
+}
+
+bool UnitPipeline::NeedsRelearn() const {
+  return feedback_.NeedsRetrain(config_.retrain_criterion,
+                                config_.min_feedback_records);
+}
+
+OptimizeResult UnitPipeline::Relearn(ThresholdOptimizer& optimizer, Rng& rng) {
+  // Fitness: replay the labeled judgment windows under a candidate genome
+  // against the unit's buffered trace. The KCD cache makes every genome
+  // after the first nearly free (the windows are fixed, only thresholds
+  // move). Windows already trimmed from the bounded buffer are skipped.
+  KcdCache cache;
+  const UnitData& trace = stream_.buffer();
+  const size_t offset = stream_.buffer_offset();
+  DbcatcherConfig candidate_config = stream_.config();
+  auto fitness = [&](const ThresholdGenome& genome) {
+    candidate_config.genome = genome;
+    CorrelationAnalyzer analyzer(trace, candidate_config, &cache);
+    analyzer.SetValidity(&stream_.validity());
+    analyzer.SetCacheTickOffset(offset);
+    Confusion confusion;
+    for (const JudgmentRecord& record : feedback_.records()) {
+      if (record.begin < offset) continue;  // trimmed out of the buffer
+      const LevelSummary summary =
+          SummarizeLevels(analyzer, record.db, record.begin - offset,
+                          record.end - record.begin, genome);
+      const DbState db_state = DetermineState(summary, genome.tolerance);
+      confusion.Add(db_state == DbState::kAbnormal, record.labeled_abnormal);
+    }
+    return confusion.FMeasure();
+  };
+
+  OptimizeResult result = optimizer.Optimize(stream_.config().genome,
+                                             GenomeRanges{}, fitness, rng);
+  stream_.SetGenome(result.best);
+  return result;
+}
+
+}  // namespace dbc

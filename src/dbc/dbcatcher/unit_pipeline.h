@@ -1,0 +1,117 @@
+// One unit's complete detection chain — ingest alignment, streaming verdict
+// resolution, diagnosis, and feedback-driven relearning — behind a narrow
+// Tick()/Drain() interface. A pipeline owns every piece of per-unit state
+// (quarantine flags, data-quality transitions, pending judgments, feedback
+// buffers) and touches nothing shared, so the DetectionEngine can run any
+// number of pipelines concurrently without locks on the hot path.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dbc/common/status.h"
+#include "dbc/dbcatcher/alert.h"
+#include "dbc/dbcatcher/feedback.h"
+#include "dbc/dbcatcher/ingest.h"
+#include "dbc/dbcatcher/streaming.h"
+#include "dbc/optimize/optimizer.h"
+
+namespace dbc {
+
+/// Per-unit detection policy: detector thresholds, telemetry ingestion, and
+/// the feedback/relearn criterion.
+struct UnitPipelineConfig {
+  DbcatcherConfig detector;
+  /// Telemetry alignment / imputation / quarantine policy.
+  IngestConfig ingest;
+  /// Feedback records kept per unit.
+  size_t feedback_capacity = 4096;
+  /// F-Measure criterion under which relearning triggers (§IV-D-3).
+  double retrain_criterion = 0.75;
+  /// Minimum labeled records before the criterion is evaluated.
+  size_t min_feedback_records = 64;
+};
+
+/// Fills in the default genome when the caller left it empty, preserving the
+/// robustness knobs (min_valid_fraction, min_peers) a caller may have tuned
+/// before the genome default kicked in.
+UnitPipelineConfig NormalizePipelineConfig(UnitPipelineConfig config);
+
+/// Self-contained ingest → stream → verdict → diagnosis → feedback chain for
+/// one unit. Not thread-safe per instance; distinct instances share nothing.
+class UnitPipeline {
+ public:
+  /// `config` should already be normalized (see NormalizePipelineConfig);
+  /// the DetectionEngine normalizes once and reuses it for every unit.
+  UnitPipeline(std::string name, std::vector<DbRole> roles,
+               const UnitPipelineConfig& config);
+
+  const std::string& name() const { return name_; }
+  size_t num_dbs() const { return ingestor_.num_dbs(); }
+
+  /// Feeds one complete collection tick of KPI vectors (values[db][kpi]).
+  /// Fails with kInvalidArgument for a malformed tick (wrong database count
+  /// or non-finite values) — degraded feeds belong on Offer().
+  Status Tick(const std::vector<std::array<double, kNumKpis>>& values);
+
+  /// Feeds one collector sample (possibly late, NaN-laden, or stale); the
+  /// ingestion front-end aligns, repairs, and quarantines as needed.
+  Status Offer(const TelemetrySample& sample);
+
+  /// Seals every pending ingestion frame (end of feed / forced timeout);
+  /// verdicts for the flushed ticks surface on the next Drain().
+  Status Flush();
+
+  /// Resolves pending windows and returns this unit's newly raised alerts in
+  /// deterministic order: data-quality transitions first, then anomaly
+  /// verdicts per database in tick order. Healthy and kNoData verdicts are
+  /// recorded silently.
+  std::vector<Alert> Drain();
+
+  /// DBA feedback on a drained verdict: `truly_abnormal` marks the ground
+  /// truth for the (db, window) judgment.
+  void Acknowledge(size_t db, size_t begin, size_t end, bool truly_abnormal);
+
+  /// True when recent feedback misses the retrain criterion.
+  bool NeedsRelearn() const;
+
+  /// Runs the adaptive threshold learning policy using a fitness built from
+  /// the recorded judgments; installs the resulting genome. Judgment windows
+  /// already trimmed from the stream buffer are skipped.
+  OptimizeResult Relearn(ThresholdOptimizer& optimizer, Rng& rng);
+
+  /// Verdicts recorded so far (all states, not only abnormal).
+  size_t verdicts() const { return verdicts_; }
+
+  /// Verdicts that resolved to `state` (e.g. how many windows were kNoData
+  /// while a feed was quarantined).
+  size_t VerdictStateCount(DbState state) const {
+    return state_counts_[static_cast<size_t>(state)];
+  }
+
+  /// True while `db` is quarantined by the ingestion layer.
+  bool Quarantined(size_t db) const { return ingestor_.Quarantined(db); }
+
+  const UnitPipelineConfig& config() const { return config_; }
+
+ private:
+  /// Moves sealed frames from the ingestor into the stream.
+  Status Pump();
+
+  std::string name_;
+  UnitPipelineConfig config_;
+  TelemetryIngestor ingestor_;
+  DbcatcherStream stream_;
+  FeedbackModule feedback_;
+  /// Pending (db, begin, end) verdicts awaiting DBA labels.
+  std::map<std::tuple<size_t, size_t, size_t>, bool> pending_;
+  size_t verdicts_ = 0;
+  std::array<size_t, 4> state_counts_{};  // indexed by DbState
+  /// Next source tick for the whole-tick Tick() path.
+  size_t next_tick_ = 0;
+};
+
+}  // namespace dbc

@@ -1,0 +1,141 @@
+// Alert-sink tests: bounded back-pressure behaviour and CSV/JSONL file
+// output formatting.
+#include "dbc/dbcatcher/alert_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dbc {
+namespace {
+
+Alert MakeAlert(size_t i, AlertClass alert_class = AlertClass::kAnomaly) {
+  Alert alert;
+  alert.alert_class = alert_class;
+  alert.unit = "unit-" + std::to_string(i % 3);
+  alert.db = i % 5;
+  alert.begin = 20 * i;
+  alert.end = 20 * (i + 1);
+  alert.consumed = 20;
+  if (alert_class == AlertClass::kDataQuality) {
+    alert.message = "quarantine-enter: db stale";
+  } else {
+    IncidentHypothesis hypothesis;
+    hypothesis.family = "resource-hogging queries";
+    hypothesis.confidence = 0.8;
+    alert.report.hypotheses.push_back(hypothesis);
+  }
+  return alert;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(BoundedAlertSinkTest, EvictsOldestAndCountsBackPressure) {
+  BoundedAlertSink sink(4);
+  std::vector<Alert> batch;
+  for (size_t i = 0; i < 10; ++i) batch.push_back(MakeAlert(i));
+  sink.Publish(batch);
+
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.published(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+
+  // The newest alerts survive; the oldest were evicted.
+  const std::vector<Alert> kept = sink.Take();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().begin, 20u * 6);
+  EXPECT_EQ(kept.back().begin, 20u * 9);
+  EXPECT_EQ(sink.size(), 0u);
+  // Counters survive Take (they describe lifetime back-pressure).
+  EXPECT_EQ(sink.dropped(), 6u);
+}
+
+TEST(BoundedAlertSinkTest, ZeroCapacityIsClampedToOne) {
+  BoundedAlertSink sink(0);
+  sink.Publish({MakeAlert(0), MakeAlert(1)});
+  EXPECT_EQ(sink.capacity(), 1u);
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.dropped(), 1u);
+}
+
+TEST(AlertFormatTest, CsvEscapesCommasAndQuotes) {
+  Alert alert = MakeAlert(1, AlertClass::kDataQuality);
+  alert.unit = "unit,with\"comma";
+  alert.message = "stale, db \"7\"";
+  const std::string row = FormatAlertCsv(alert);
+  EXPECT_EQ(row.find("\"unit,with\"\"comma\""), 0u);
+  EXPECT_NE(row.find("data-quality"), std::string::npos);
+  // A detail containing commas/quotes is quoted and quote-doubled.
+  EXPECT_NE(row.find("\"stale, db \"\"7\"\"\""), std::string::npos);
+  // A plain field stays unquoted.
+  EXPECT_NE(FormatAlertCsv(MakeAlert(1)).find(",anomaly,"),
+            std::string::npos);
+}
+
+TEST(AlertFormatTest, JsonEscapesSpecials) {
+  Alert alert = MakeAlert(2, AlertClass::kDataQuality);
+  alert.message = "line\nwith \"quotes\"";
+  const std::string obj = FormatAlertJson(alert);
+  EXPECT_NE(obj.find("\\n"), std::string::npos);
+  EXPECT_NE(obj.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_EQ(obj.front(), '{');
+  EXPECT_EQ(obj.back(), '}');
+}
+
+TEST(FileAlertSinkTest, WritesCsvWithHeader) {
+  const std::string path =
+      ::testing::TempDir() + "/dbc_alert_sink_test.csv";
+  {
+    FileAlertSink sink(path, FileAlertSink::Format::kCsv);
+    ASSERT_TRUE(sink.ok());
+    sink.Publish({MakeAlert(0), MakeAlert(1, AlertClass::kDataQuality)});
+    EXPECT_EQ(sink.written(), 2u);
+  }
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "unit,class,db,begin,end,consumed,detail");
+  EXPECT_NE(lines[1].find("anomaly"), std::string::npos);
+  EXPECT_NE(lines[1].find("resource-hogging queries"), std::string::npos);
+  EXPECT_NE(lines[2].find("data-quality"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FileAlertSinkTest, WritesJsonlRecords) {
+  const std::string path =
+      ::testing::TempDir() + "/dbc_alert_sink_test.jsonl";
+  {
+    FileAlertSink sink(path, FileAlertSink::Format::kJsonl);
+    ASSERT_TRUE(sink.ok());
+    sink.Publish({MakeAlert(0)});
+    sink.Publish({MakeAlert(1)});
+    EXPECT_EQ(sink.written(), 2u);
+  }
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"class\":\"anomaly\""), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileAlertSinkTest, UnwritablePathReportsNotOk) {
+  FileAlertSink sink("/nonexistent-dir/alerts.csv");
+  EXPECT_FALSE(sink.ok());
+  sink.Publish({MakeAlert(0)});  // must not crash
+  EXPECT_EQ(sink.written(), 0u);
+}
+
+}  // namespace
+}  // namespace dbc

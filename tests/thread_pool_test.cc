@@ -40,6 +40,40 @@ TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
   EXPECT_THROW(f.get(), std::runtime_error);
 }
 
+TEST(ThreadPoolTest, ParallelForPropagatesWorkerException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [&](size_t i) {
+                         if (i == 37) throw std::runtime_error("lane failed");
+                         ran.fetch_add(1);
+                       }),
+      std::runtime_error);
+  // The failure abandons remaining indices instead of running all 1000.
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ParallelForKeepsMessageOfFirstException) {
+  ThreadPool pool(2);
+  try {
+    pool.ParallelFor(8, [](size_t i) {
+      if (i == 0) throw std::runtime_error("index zero");
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index zero");
+  }
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterParallelForException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(16, [](size_t) { throw 42; }), int);
+  std::vector<int> hits(64, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
   std::atomic<int> counter{0};
   {

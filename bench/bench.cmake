@@ -29,6 +29,7 @@ dbc_bench(bench_table9_drift)
 dbc_bench(bench_table10_ablation)
 dbc_bench(bench_fig11_optimizers)
 dbc_bench(bench_table11_telemetry_faults)
+dbc_bench(bench_table12_topology_churn)
 dbc_bench(bench_throughput_units)
 
 # Micro-benchmarks (google-benchmark) for the component-time study.

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
 
 namespace dbc {
 namespace bench {
@@ -77,6 +80,87 @@ MethodResult RunProtocol(const std::string& method, const Dataset& dataset,
 std::string PctCell(const Spread& s) {
   return TextTable::Pct(s.mean) + " [" + TextTable::Pct(s.min) + ", " +
          TextTable::Pct(s.max) + "]";
+}
+
+std::string BenchGitSha() {
+  const char* env = std::getenv("DBC_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+  std::string sha = "unknown";
+  FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (!line.empty()) sha = line;
+    }
+    pclose(pipe);
+  }
+  return sha;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name, std::string config_string)
+    : name_(std::move(name)), config_(std::move(config_string)) {}
+
+void BenchReport::Add(const std::string& metric, double value) {
+  metrics_.emplace_back(metric, value);
+}
+
+std::string BenchReport::Write() const {
+  const char* out_dir = std::getenv("DBC_BENCH_OUT");
+  std::string dir = (out_dir != nullptr && out_dir[0] != '\0') ? out_dir : ".";
+  if (dir.back() != '/') dir += '/';
+  const std::string sha = BenchGitSha();
+  const std::string json_path = dir + "BENCH_" + name_ + ".json";
+  const std::string csv_path = dir + "BENCH_" + name_ + ".csv";
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) return "";
+  std::fprintf(json,
+               "{\"bench\":\"%s\",\"git_sha\":\"%s\",\"seed\":%llu,"
+               "\"scale\":%g,\"repeats\":%d,\"config\":\"%s\",\"metrics\":{",
+               JsonEscape(name_).c_str(), JsonEscape(sha).c_str(),
+               static_cast<unsigned long long>(BenchSeed()), BenchScale(),
+               BenchRepeats(), JsonEscape(config_).c_str());
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    std::fprintf(json, "%s\"%s\":%.6g", i == 0 ? "" : ",",
+                 JsonEscape(metrics_[i].first).c_str(), metrics_[i].second);
+  }
+  std::fprintf(json, "}}\n");
+  std::fclose(json);
+
+  FILE* csv = std::fopen(csv_path.c_str(), "w");
+  if (csv != nullptr) {
+    std::fputs("bench,git_sha,seed,scale,repeats,metric,value\n", csv);
+    for (const auto& [metric, value] : metrics_) {
+      std::fprintf(csv, "%s,%s,%llu,%g,%d,%s,%.6g\n", name_.c_str(),
+                   sha.c_str(), static_cast<unsigned long long>(BenchSeed()),
+                   BenchScale(), BenchRepeats(), metric.c_str(), value);
+    }
+    std::fclose(csv);
+  }
+  std::printf("[bench-report] %s (git %s)\n", json_path.c_str(), sha.c_str());
+  return json_path;
 }
 
 }  // namespace bench

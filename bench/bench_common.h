@@ -63,5 +63,33 @@ MethodResult RunProtocol(const std::string& method, const Dataset& dataset,
 /// Convenience: "mean [min, max]" percentage cell.
 std::string PctCell(const Spread& s);
 
+/// Short git SHA of the checkout the bench binary was run in: DBC_GIT_SHA
+/// when set, else `git rev-parse --short=12 HEAD`, else "unknown".
+std::string BenchGitSha();
+
+/// Machine-readable bench result trajectory. Collects named scalar metrics
+/// and writes BENCH_<name>.json and BENCH_<name>.csv into $DBC_BENCH_OUT
+/// (default: current directory), each stamped with the git SHA, base seed,
+/// scale, repeats, and a free-form config string — so a metric can be
+/// tracked across commits without re-parsing stdout tables.
+class BenchReport {
+ public:
+  /// `config_string` describes the knobs that shaped this run (fault rates,
+  /// churn settings, worker counts, ...).
+  BenchReport(std::string name, std::string config_string);
+
+  /// Records one scalar metric (insertion order is preserved).
+  void Add(const std::string& metric, double value);
+
+  /// Writes both files; returns the JSON path, or "" when nothing could be
+  /// written. Also echoes the path on stdout.
+  std::string Write() const;
+
+ private:
+  std::string name_;
+  std::string config_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 }  // namespace bench
 }  // namespace dbc

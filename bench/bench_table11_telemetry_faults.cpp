@@ -152,5 +152,14 @@ int main() {
               " + quarantine) holds F within ~0.1 of the clean run at a 10%%"
               " fault rate; blackout windows surface as no-data verdicts"
               " instead of false alarms.\n");
+
+  dbc::bench::BenchReport report(
+      "table11_telemetry_faults",
+      "fault_rates=0,0.05,0.10,0.20 ticks=" + std::to_string(ticks));
+  report.Add("f_clean_periodic", clean_f[1]);
+  report.Add("f_clean_irregular", clean_f[0]);
+  report.Add("f_at_10pct_periodic", f_at_10[1]);
+  report.Add("f_at_10pct_irregular", f_at_10[0]);
+  report.Write();
   return 0;
 }

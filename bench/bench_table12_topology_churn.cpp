@@ -1,0 +1,243 @@
+// Table XII (extension): detection quality under unit membership churn.
+//
+// DBCatcher's UKPIC signal assumes a stable unit; real fleets crash and
+// replace replicas, scale out, switch primaries, and rebalance load. This
+// bench injects mixed topology churn into simulated units, routes the feed
+// plus the control-plane updates through the full UnitPipeline (ingest
+// alignment, warm-up gating, live peer floors, switchover suppression), and
+// scores verdicts against the anomaly ground truth. A clean static-topology
+// twin of every run pins the reference F-Measure.
+//
+// Asserted robustness properties (exit code 1 on violation):
+//  - mean F under mixed churn stays within 0.05 of the clean runs;
+//  - joining replicas produce zero kAbnormal verdicts while warm-up gated;
+//  - false-positive anomaly alerts overlapping a switchover suppression
+//    window are bounded by kMaxFpPerSwitchover per run.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "dbc/cloudsim/topology.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/dbcatcher/unit_pipeline.h"
+
+namespace {
+
+constexpr size_t kMaxFpPerSwitchover = 1;
+
+dbc::UnitData SimUnit(bool periodic, bool churn, size_t ticks, uint64_t seed) {
+  dbc::UnitSimConfig config;
+  config.ticks = ticks;
+  config.anomalies.target_ratio = 0.08;
+  config.inject_topology = churn;
+  dbc::Rng rng(seed);
+  std::unique_ptr<dbc::WorkloadProfile> profile;
+  if (periodic) {
+    profile = dbc::MakePeriodicProfile(dbc::PeriodicProfileParams{},
+                                       rng.Fork(1));
+  } else {
+    profile = dbc::MakeIrregularProfile(dbc::IrregularProfileParams{},
+                                        rng.Fork(1));
+  }
+  return dbc::SimulateUnit(config, *profile, periodic, rng.Fork(2));
+}
+
+struct ChurnRun {
+  dbc::Confusion confusion;
+  size_t verdicts = 0;
+  size_t nodata = 0;
+  size_t warmup_abnormal = 0;    // must stay 0
+  size_t fp_in_suppression = 0;  // anomaly alerts inside switchover windows
+  size_t topology_alerts = 0;
+  size_t suppressed = 0;
+};
+
+/// Replays `unit` (with its control-plane updates, when churn was injected)
+/// through a full UnitPipeline and scores every resolved verdict.
+ChurnRun RunUnit(const dbc::UnitData& unit, size_t initial_dbs) {
+  dbc::UnitPipelineConfig config;
+  config.record_verdicts = true;
+  config = dbc::NormalizePipelineConfig(config);
+
+  std::vector<dbc::DbRole> roles(unit.roles.begin(),
+                                 unit.roles.begin() +
+                                     static_cast<ptrdiff_t>(std::min(
+                                         initial_dbs, unit.roles.size())));
+  dbc::UnitPipeline pipeline("unit", roles, config);
+  const std::vector<dbc::TopologyUpdate> updates =
+      dbc::ControlPlaneUpdates(unit.topology);
+
+  // Suppression windows around each switchover, for the FP-alert audit.
+  std::vector<std::pair<size_t, size_t>> switchover_windows;
+  for (const dbc::TopologyEvent& ev : unit.topology) {
+    if (ev.kind == dbc::TopologyEventKind::kPrimarySwitchover) {
+      switchover_windows.emplace_back(ev.start,
+                                      ev.start + config.topology_suppression);
+    }
+  }
+  // Warm-up horizons per joining database id.
+  std::vector<std::pair<size_t, size_t>> join_warmups;  // (db, horizon)
+  for (const dbc::TopologyEvent& ev : unit.topology) {
+    if (ev.kind == dbc::TopologyEventKind::kReplicaJoin) {
+      // The gate covers the announced traffic ramp plus the warm-up run.
+      join_warmups.emplace_back(
+          ev.db, ev.start + ev.duration + config.ingest.join_warmup);
+    }
+  }
+
+  ChurnRun run;
+  auto absorb_alerts = [&](const std::vector<dbc::Alert>& alerts) {
+    for (const dbc::Alert& alert : alerts) {
+      if (alert.alert_class == dbc::AlertClass::kTopologyChange) {
+        ++run.topology_alerts;
+        continue;
+      }
+      if (alert.alert_class != dbc::AlertClass::kAnomaly) continue;
+      const bool truly =
+          dbc::WindowTruth(unit.labels[alert.db], alert.begin, alert.end);
+      if (truly) continue;
+      for (const auto& window : switchover_windows) {
+        if (alert.begin < window.second && alert.end > window.first) {
+          ++run.fp_in_suppression;
+          break;
+        }
+      }
+    }
+  };
+
+  size_t next_update = 0;
+  dbc::TelemetrySample sample;
+  for (size_t t = 0; t < unit.length(); ++t) {
+    while (next_update < updates.size() && updates[next_update].tick <= t) {
+      pipeline.ApplyTopology(updates[next_update++]);
+    }
+    for (size_t db = 0; db < unit.num_dbs(); ++db) {
+      if (!unit.PresentAt(db, t)) continue;
+      sample.tick = t;
+      sample.db = db;
+      for (size_t k = 0; k < dbc::kNumKpis; ++k) {
+        sample.values[k] = unit.kpis[db].row(k)[t];
+      }
+      pipeline.Offer(sample);
+    }
+    absorb_alerts(pipeline.Drain());
+  }
+  pipeline.Flush();
+  absorb_alerts(pipeline.Drain());
+  run.suppressed = pipeline.suppressed_alerts();
+
+  for (const dbc::StreamVerdict& v : pipeline.verdict_log()) {
+    ++run.verdicts;
+    if (v.state == dbc::DbState::kNoData) {
+      ++run.nodata;
+      continue;
+    }
+    if (v.state == dbc::DbState::kAbnormal) {
+      for (const auto& [db, horizon] : join_warmups) {
+        if (v.db == db && v.window.begin < horizon) {
+          ++run.warmup_abnormal;
+          break;
+        }
+      }
+    }
+    run.confusion.Add(v.window.abnormal,
+                      dbc::WindowTruth(unit.labels[v.db], v.window.begin,
+                                       v.window.end));
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  // The F-delta assertion needs paired runs to average over; floor the
+  // repeat count so the default DBC_REPEATS still yields a stable estimate.
+  const int repeats = std::max(5, dbc::BenchRepeats() / 2);
+  const size_t ticks =
+      static_cast<size_t>(900.0 * std::max(0.5, dbc::BenchScale()));
+  const size_t initial_dbs = dbc::UnitSimConfig{}.num_databases;
+  std::printf("=== Table XII: detection under topology churn"
+              " (%d repeats, %zu-tick units) ===\n\n",
+              repeats, ticks);
+
+  dbc::Spread f_clean, f_churn, nodata_frac;
+  dbc::Spread topo_alerts, suppressed;
+  size_t warmup_abnormal_total = 0;
+  size_t fp_violations = 0;
+
+  dbc::TextTable table("Mixed churn (crash/replace, join, switchover,"
+                       " rebalance) vs clean twins");
+  table.SetHeader({"Workload", "F clean", "F churn", "No-data", "Topo alerts",
+                   "Suppressed", "Warm-up abn"});
+  for (int periodic = 1; periodic >= 0; --periodic) {
+    dbc::Spread row_clean, row_churn, row_nodata, row_topo, row_supp;
+    size_t row_warm = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const uint64_t seed = dbc::BenchSeed() + 211 * (rep + 1) + periodic;
+      const dbc::UnitData clean =
+          SimUnit(periodic != 0, /*churn=*/false, ticks, seed);
+      const dbc::UnitData churned =
+          SimUnit(periodic != 0, /*churn=*/true, ticks, seed);
+
+      const ChurnRun clean_run = RunUnit(clean, initial_dbs);
+      const ChurnRun churn_run = RunUnit(churned, initial_dbs);
+
+      row_clean.Add(clean_run.confusion.FMeasure());
+      row_churn.Add(churn_run.confusion.FMeasure());
+      row_nodata.Add(churn_run.verdicts > 0
+                         ? static_cast<double>(churn_run.nodata) /
+                               static_cast<double>(churn_run.verdicts)
+                         : 0.0);
+      row_topo.Add(static_cast<double>(churn_run.topology_alerts));
+      row_supp.Add(static_cast<double>(churn_run.suppressed));
+      row_warm += churn_run.warmup_abnormal;
+      if (churn_run.fp_in_suppression > kMaxFpPerSwitchover) ++fp_violations;
+    }
+    f_clean.Add(row_clean.mean);
+    f_churn.Add(row_churn.mean);
+    nodata_frac.Add(row_nodata.mean);
+    topo_alerts.Add(row_topo.mean);
+    suppressed.Add(row_supp.mean);
+    warmup_abnormal_total += row_warm;
+    table.AddRow({periodic ? "periodic" : "irregular",
+                  dbc::TextTable::Pct(row_clean.mean),
+                  dbc::TextTable::Pct(row_churn.mean),
+                  dbc::TextTable::Pct(row_nodata.mean),
+                  dbc::TextTable::Num(row_topo.mean, 1),
+                  dbc::TextTable::Num(row_supp.mean, 1),
+                  std::to_string(row_warm)});
+  }
+  table.Print();
+
+  const double delta = f_clean.mean - f_churn.mean;
+  std::printf("\nF delta (clean - churn): %.3f (budget 0.05);"
+              " warm-up abnormal verdicts: %zu (must be 0);"
+              " suppression FP violations: %zu (cap %zu per run)\n",
+              delta, warmup_abnormal_total, fp_violations,
+              kMaxFpPerSwitchover);
+  std::printf("\nShape: membership churn costs almost nothing — joins warm up"
+              " silently as kNoData, crashes retire feeds through quarantine"
+              " without alarms, switchover dips are suppressed as planned"
+              " events, and rebalances stay below the correlation"
+              " thresholds.\n");
+
+  dbc::bench::BenchReport report(
+      "table12_topology_churn",
+      "ticks=" + std::to_string(ticks) + " repeats=" +
+          std::to_string(repeats) + " max_events=4 suppression=30");
+  report.Add("f_clean", f_clean.mean);
+  report.Add("f_churn", f_churn.mean);
+  report.Add("f_delta", delta);
+  report.Add("nodata_fraction", nodata_frac.mean);
+  report.Add("topology_alerts_mean", topo_alerts.mean);
+  report.Add("suppressed_mean", suppressed.mean);
+  report.Add("warmup_abnormal", static_cast<double>(warmup_abnormal_total));
+  report.Add("fp_violations", static_cast<double>(fp_violations));
+  report.Write();
+
+  const bool ok = std::abs(delta) <= 0.05 && warmup_abnormal_total == 0 &&
+                  fp_violations == 0;
+  return ok ? 0 : 1;
+}

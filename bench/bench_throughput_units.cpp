@@ -116,6 +116,13 @@ int main() {
   std::printf("\nspeedup at 16 units / 4 workers: %.2fx"
               " (target >= 2x; %zu hardware threads)\n",
               speedup_16x4, cores);
+
+  dbc::bench::BenchReport report(
+      "throughput_units", "workers_max=" + std::to_string(workers_max) +
+                              " ticks=" + std::to_string(ticks));
+  report.Add("speedup_16units_4workers", speedup_16x4);
+  report.Add("hardware_threads", static_cast<double>(cores));
+  report.Write();
   std::printf("\nShape: drains are share-nothing per unit, so throughput"
               " scales with workers until the fleet runs out of cores or"
               " units; 1 worker reproduces the sequential service exactly.\n");

@@ -98,6 +98,9 @@ class InstanceModel {
                                     const KpiEffect& effect);
 
   DbRole role() const { return role_; }
+  /// Changes the role mid-stream (primary switchover). Takes effect on the
+  /// next Tick(); all other model state (capacity, EMA, noise) is kept.
+  void SetRole(DbRole role) { role_ = role; }
   double capacity_bytes() const { return capacity_bytes_; }
 
  private:

@@ -12,6 +12,8 @@ LoadBalancer::LoadBalancer(const LoadBalancerConfig& config, Rng rng) {
     shares_.emplace_back(1.0, config.imbalance_theta, config.imbalance_sigma,
                          rng.Fork(i + 1));
   }
+  active_.assign(config.num_databases, 1);
+  bias_.assign(config.num_databases, 1.0);
 }
 
 std::vector<double> LoadBalancer::Split(double unit_rate) {
@@ -19,12 +21,17 @@ std::vector<double> LoadBalancer::Split(double unit_rate) {
   std::vector<double> weights(n);
   double total = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    weights[i] = std::max(0.05, shares_[i].Step());
+    // Inactive members still step their OU share so that the stream of
+    // random draws (and therefore every other member's share) does not
+    // depend on who is currently in the unit.
+    const double share = std::max(0.05, shares_[i].Step());
+    weights[i] = active_[i] ? share * std::max(0.0, bias_[i]) : 0.0;
     total += weights[i];
   }
+  if (total <= 0.0) return std::vector<double>(n, 0.0);
   for (double& w : weights) w /= total;
 
-  if (skew_target_ >= 0) {
+  if (skew_target_ >= 0 && active_[static_cast<size_t>(skew_target_)]) {
     // Redirect skew_fraction of everyone else's share to the target.
     const size_t target = static_cast<size_t>(skew_target_);
     double moved = 0.0;
@@ -51,6 +58,22 @@ void LoadBalancer::SetSkew(size_t target, double skew_fraction) {
 void LoadBalancer::ClearSkew() {
   skew_target_ = -1;
   skew_fraction_ = 0.0;
+}
+
+void LoadBalancer::SetActive(size_t db, bool active) {
+  assert(db < active_.size());
+  active_[db] = active ? 1 : 0;
+}
+
+void LoadBalancer::SetBias(size_t db, double bias) {
+  assert(db < bias_.size());
+  bias_[db] = std::max(0.0, bias);
+}
+
+size_t LoadBalancer::active_count() const {
+  size_t count = 0;
+  for (uint8_t a : active_) count += a != 0;
+  return count;
 }
 
 }  // namespace dbc

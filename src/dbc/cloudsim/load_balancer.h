@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dbc/cloudsim/profile.h"
@@ -23,13 +24,13 @@ struct LoadBalancerConfig {
   double imbalance_theta = 0.1;
 };
 
-/// Stateful per-tick traffic splitter.
+/// Stateful per-tick traffic splitter over a dynamic member set.
 class LoadBalancer {
  public:
   LoadBalancer(const LoadBalancerConfig& config, Rng rng);
 
   /// Per-database request rates for the current tick given the unit rate.
-  /// Shares always sum to 1.
+  /// Shares of active members always sum to 1; inactive members get 0.
   std::vector<double> Split(double unit_rate);
 
   /// Activates a defective strategy: `skew_fraction` of the other databases'
@@ -38,10 +39,22 @@ class LoadBalancer {
   void ClearSkew();
   bool skewed() const { return skew_target_ >= 0; }
 
+  /// Membership churn: an inactive database receives no traffic (crashed,
+  /// or a scale-out slot that has not joined yet).
+  void SetActive(size_t db, bool active);
+  bool Active(size_t db) const { return active_[db] != 0; }
+
+  /// Multiplicative weight bias (>= 0) on one member's share: a joining
+  /// replica ramps from ~0 to 1, a rebalance shifts bias between members.
+  void SetBias(size_t db, double bias);
+
   size_t num_databases() const { return shares_.size(); }
+  size_t active_count() const;
 
  private:
   std::vector<OuProcess> shares_;
+  std::vector<uint8_t> active_;
+  std::vector<double> bias_;
   int skew_target_ = -1;
   double skew_fraction_ = 0.0;
 };

@@ -251,6 +251,18 @@ std::vector<std::vector<TelemetrySample>> DegradeUnit(
     const std::vector<TelemetrySample> tail = injector.Flush();
     batches.back().insert(batches.back().end(), tail.begin(), tail.end());
   }
+  // Under topology churn an absent database has no collector: drop samples
+  // for (db, tick) pairs outside the membership intervals. Filtering after
+  // the injector keeps its random stream independent of membership.
+  if (!unit.present.empty()) {
+    for (auto& batch : batches) {
+      batch.erase(std::remove_if(batch.begin(), batch.end(),
+                                 [&unit](const TelemetrySample& s) {
+                                   return !unit.PresentAt(s.db, s.tick);
+                                 }),
+                  batch.end());
+    }
+  }
   return batches;
 }
 

@@ -1,0 +1,159 @@
+#include "dbc/cloudsim/topology.h"
+
+#include <algorithm>
+#include <array>
+
+namespace dbc {
+
+const std::string& TopologyEventKindName(TopologyEventKind kind) {
+  static const std::array<std::string, kNumTopologyEventKinds> kNames = {
+      "replica-crash",
+      "replica-join",
+      "primary-switchover",
+      "lb-rebalance",
+  };
+  return kNames[static_cast<size_t>(kind)];
+}
+
+size_t TopologySlotCount(const std::vector<TopologyEvent>& events,
+                         size_t num_dbs) {
+  size_t slots = num_dbs;
+  for (const TopologyEvent& event : events) {
+    if (event.kind == TopologyEventKind::kReplicaJoin) ++slots;
+  }
+  return slots;
+}
+
+std::vector<TopologyEvent> ScheduleTopologyFaults(
+    const TopologyFaultConfig& config, size_t num_dbs, size_t ticks,
+    Rng& rng) {
+  std::vector<TopologyEvent> out;
+  if (num_dbs == 0 || ticks == 0 || config.max_events == 0) return out;
+
+  std::vector<TopologyEventKind> kinds = config.kinds;
+  if (kinds.empty()) {
+    kinds = {TopologyEventKind::kReplicaCrash, TopologyEventKind::kReplicaJoin,
+             TopologyEventKind::kPrimarySwitchover,
+             TopologyEventKind::kLbRebalance};
+  }
+  std::vector<double> weights = config.kind_weights;
+  weights.resize(kinds.size(), 1.0);
+
+  // Membership evolves as events are drawn; the schedule must stay
+  // consistent with it (no crashing a member twice, no promoting a ghost).
+  std::vector<uint8_t> alive(num_dbs, 1);
+  size_t primary = 0;
+  size_t next_join_id = num_dbs;
+  size_t live = num_dbs;
+
+  // Reservoir-style uniform pick over live members != exclude (pass
+  // alive.size() to exclude nobody). False when no candidate exists.
+  auto pick_live = [&](size_t exclude, size_t* out_db) {
+    size_t seen = 0;
+    size_t picked = 0;
+    for (size_t db = 0; db < alive.size(); ++db) {
+      if (!alive[db] || db == exclude) continue;
+      ++seen;
+      if (rng.UniformInt(1, static_cast<int64_t>(seen)) == 1) picked = db;
+    }
+    if (seen == 0) return false;
+    *out_db = picked;
+    return true;
+  };
+
+  size_t t = config.head_clearance;
+  const size_t tail = std::max<size_t>(config.min_gap, 40);
+  size_t drawn = 0;
+  while (drawn < config.max_events && t + tail < ticks) {
+    const TopologyEventKind kind = kinds[rng.WeightedChoice(weights)];
+    TopologyEvent event;
+    event.kind = kind;
+    event.start = t + static_cast<size_t>(rng.UniformInt(
+                          0, static_cast<int64_t>(config.min_gap / 4 + 1)));
+    if (event.start + tail >= ticks) break;
+    bool usable = true;
+    switch (kind) {
+      case TopologyEventKind::kReplicaCrash: {
+        size_t victim = 0;
+        if (live <= config.min_members || !pick_live(primary, &victim)) {
+          usable = false;
+          break;
+        }
+        event.db = victim;
+        event.duration = 0;
+        alive[victim] = 0;
+        --live;
+        out.push_back(event);
+        if (config.replace_after_crash) {
+          TopologyEvent join;
+          join.kind = TopologyEventKind::kReplicaJoin;
+          join.db = next_join_id++;
+          join.start = event.start + config.replace_delay;
+          join.duration = config.join_ramp;
+          join.magnitude = 1.0;
+          if (join.start + tail < ticks) {
+            alive.resize(join.db + 1, 0);
+            alive[join.db] = 1;
+            ++live;
+            out.push_back(join);
+            t = join.start;
+          }
+        }
+        break;
+      }
+      case TopologyEventKind::kReplicaJoin: {
+        event.db = next_join_id++;
+        event.duration = config.join_ramp;
+        event.magnitude = 1.0;
+        alive.resize(event.db + 1, 0);
+        alive[event.db] = 1;
+        ++live;
+        out.push_back(event);
+        break;
+      }
+      case TopologyEventKind::kPrimarySwitchover: {
+        size_t promoted = 0;
+        if (!pick_live(primary, &promoted)) {
+          usable = false;
+          break;
+        }
+        event.db = promoted;
+        event.peer = primary;
+        event.duration = config.switchover_dip;
+        event.magnitude = config.switchover_dip_magnitude;
+        primary = promoted;
+        out.push_back(event);
+        break;
+      }
+      case TopologyEventKind::kLbRebalance: {
+        size_t gainer = 0, loser = 0;
+        if (!pick_live(alive.size(), &gainer) || !pick_live(gainer, &loser)) {
+          usable = false;
+          break;
+        }
+        event.db = gainer;
+        event.peer = loser;
+        event.duration = config.rebalance_ramp;
+        event.magnitude = config.rebalance_shift;
+        out.push_back(event);
+        break;
+      }
+    }
+    if (!usable) {
+      // Kind not drawable under current membership (e.g. at the crash
+      // floor); still consume the slot so the loop terminates.
+      ++drawn;
+      continue;
+    }
+    ++drawn;
+    t = std::max(t, out.back().end()) + config.min_gap;
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TopologyEvent& a, const TopologyEvent& b) {
+                     return a.start < b.start;
+                   });
+  return out;
+}
+
+}  // namespace dbc

@@ -1,0 +1,105 @@
+// Topology fault injection: unit membership churn with ground-truth labels.
+//
+// DBCatcher's UKPIC signal assumes a stable unit — one primary plus a fixed
+// replica set behind a healthy load balancer — yet the disruptions cloud
+// databases actually suffer (primary switchover, replica crash/replace,
+// scale-out/in, balancer rebalancing) change exactly that membership. This
+// module schedules such events chaos-style (cf. PerfCE's injected topology
+// faults) so both the simulator and the detection pipeline can be exercised
+// against a *dynamic* per-tick member set:
+//  - replica crash: the database leaves the unit and its feed goes silent;
+//  - replica join (scale-out / replacement): a brand-new database id enters
+//    mid-stream with cold history and a warm-up traffic ramp;
+//  - primary switchover: the primary role moves to a replica, with a brief
+//    dip correlated across every member (a planned failover is not an
+//    anomaly of any single database);
+//  - load-balancer rebalance: weights shift between two members and back,
+//    temporarily decorrelating their trends while no database is anomalous.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dbc/common/rng.h"
+
+namespace dbc {
+
+/// Kinds of injected topology events.
+enum class TopologyEventKind : int {
+  kReplicaCrash = 0,   // member leaves; its collector feed disappears
+  kReplicaJoin,        // new database id joins with cold history + ramp
+  kPrimarySwitchover,  // role swap with a brief correlated dip
+  kLbRebalance,        // temporary weight shift; nothing is anomalous
+};
+
+/// Number of topology event kinds.
+inline constexpr size_t kNumTopologyEventKinds = 4;
+
+/// Display name ("replica-crash", ...).
+const std::string& TopologyEventKindName(TopologyEventKind kind);
+
+/// One scheduled membership event. Interpretation of the fields per kind:
+///  - kReplicaCrash: `db` leaves at `start`; duration is 0-length moment.
+///  - kReplicaJoin: `db` (a brand-new id) enters at `start`; `duration` is
+///    the warm-up ramp over which its traffic share climbs to full weight.
+///  - kPrimarySwitchover: `db` becomes primary at `start` (`peer` is the
+///    outgoing primary); `duration` is the correlated dip, `magnitude` its
+///    relative depth.
+///  - kLbRebalance: weight shifts from `peer` to `db` and back over
+///    [start, start+duration); `magnitude` is the peak shifted fraction.
+struct TopologyEvent {
+  TopologyEventKind kind = TopologyEventKind::kReplicaCrash;
+  size_t db = 0;
+  size_t peer = 0;
+  size_t start = 0;
+  size_t duration = 0;
+  double magnitude = 0.0;
+
+  size_t end() const { return start + duration; }
+  bool ActiveAt(size_t t) const { return t >= start && t < end(); }
+};
+
+/// Churn-schedule configuration.
+struct TopologyFaultConfig {
+  /// Events drawn per trace (replacement joins ride on top, see below).
+  size_t max_events = 4;
+  /// Enabled kinds; empty = all kinds.
+  std::vector<TopologyEventKind> kinds;
+  /// Relative sampling weight per enabled kind (empty = uniform).
+  std::vector<double> kind_weights;
+  /// Ticks kept churn-free at the head of the trace.
+  size_t head_clearance = 80;
+  /// Minimum quiet gap between consecutive events (unit-wide — real
+  /// orchestrators serialize membership operations).
+  size_t min_gap = 120;
+  /// Warm-up ramp of a joining replica (ticks to full traffic weight).
+  size_t join_ramp = 40;
+  /// Ticks between a crash and the replacement replica's join.
+  size_t replace_delay = 20;
+  /// When true every crash is followed by a replacement join — the
+  /// crash/replace cycle a managed fleet performs automatically.
+  bool replace_after_crash = true;
+  /// Correlated dip of a switchover: duration (ticks) and relative depth.
+  size_t switchover_dip = 4;
+  double switchover_dip_magnitude = 0.25;
+  /// Rebalance ramp length and the peak fraction of weight shifted.
+  size_t rebalance_ramp = 60;
+  double rebalance_shift = 0.35;
+  /// Crashes never shrink the unit below this many live members.
+  size_t min_members = 3;
+};
+
+/// Draws a serialized event schedule against an initially `num_dbs`-member
+/// unit (database 0 primary). Joining replicas receive fresh ids starting at
+/// `num_dbs`, in event order. The returned schedule is start-ordered and
+/// membership-consistent: crashed members are never re-targeted, switchover
+/// promotes a live replica, rebalances pick two live members.
+std::vector<TopologyEvent> ScheduleTopologyFaults(
+    const TopologyFaultConfig& config, size_t num_dbs, size_t ticks, Rng& rng);
+
+/// Total database slots a schedule touches: `num_dbs` plus one per join.
+size_t TopologySlotCount(const std::vector<TopologyEvent>& events,
+                         size_t num_dbs);
+
+}  // namespace dbc

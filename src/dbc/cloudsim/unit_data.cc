@@ -4,6 +4,15 @@
 
 namespace dbc {
 
+size_t UnitData::MembersAt(size_t t) const {
+  if (present.empty()) return num_dbs();
+  size_t count = 0;
+  for (const auto& db_present : present) {
+    count += (t < db_present.size() && db_present[t] != 0);
+  }
+  return count;
+}
+
 size_t UnitData::AbnormalPoints() const {
   size_t count = 0;
   for (const auto& db_labels : labels) {
@@ -35,6 +44,27 @@ UnitData UnitData::Slice(size_t begin, size_t end) const {
     ev.start = s - begin;
     ev.duration = e - s;
     out.events.push_back(ev);
+  }
+  for (const auto& db_present : present) {
+    const size_t lo = std::min(begin, db_present.size());
+    const size_t hi = std::min(end, db_present.size());
+    out.present.emplace_back(db_present.begin() + static_cast<ptrdiff_t>(lo),
+                             db_present.begin() + static_cast<ptrdiff_t>(hi));
+  }
+  if (!primary.empty()) {
+    const size_t lo = std::min(begin, primary.size());
+    const size_t hi = std::min(end, primary.size());
+    out.primary.assign(primary.begin() + static_cast<ptrdiff_t>(lo),
+                       primary.begin() + static_cast<ptrdiff_t>(hi));
+  }
+  for (TopologyEvent ev : topology) {
+    const size_t e = std::max(ev.end(), ev.start + 1);
+    if (e <= begin || ev.start >= end) continue;
+    const size_t s = std::max(ev.start, begin);
+    ev.duration = std::min(e, end) - s;
+    if (ev.kind == TopologyEventKind::kReplicaCrash) ev.duration = 0;
+    ev.start = s - begin;
+    out.topology.push_back(ev);
   }
   return out;
 }

@@ -8,6 +8,7 @@
 
 #include "dbc/cloudsim/anomaly.h"
 #include "dbc/cloudsim/instance_model.h"
+#include "dbc/cloudsim/topology.h"
 #include "dbc/ts/series.h"
 
 namespace dbc {
@@ -27,9 +28,32 @@ struct UnitData {
   std::vector<std::vector<uint8_t>> labels;
   /// The injected schedule (ground truth for case studies / debugging).
   std::vector<AnomalyEvent> events;
+  /// Dynamic membership: present[db][t] != 0 when `db` is a unit member with
+  /// a live collector feed at tick t. Empty = every database is always
+  /// present (the static-topology case).
+  std::vector<std::vector<uint8_t>> present;
+  /// Per-tick primary id. Empty = `roles` holds throughout (index 0).
+  std::vector<size_t> primary;
+  /// The injected membership churn schedule (ground truth).
+  std::vector<TopologyEvent> topology;
 
   size_t num_dbs() const { return kpis.size(); }
   size_t length() const { return kpis.empty() ? 0 : kpis.front().length(); }
+
+  /// True when `db` is a member with a live feed at tick `t`.
+  bool PresentAt(size_t db, size_t t) const {
+    if (present.empty()) return true;
+    return db < present.size() && t < present[db].size() &&
+           present[db][t] != 0;
+  }
+
+  /// The primary database id at tick `t`.
+  size_t PrimaryAt(size_t t) const {
+    return t < primary.size() ? primary[t] : 0;
+  }
+
+  /// Live member count at tick `t`.
+  size_t MembersAt(size_t t) const;
 
   /// Convenience: the series of `kpi` for database `db`.
   const Series& kpi(size_t db, Kpi k) const {

@@ -1,6 +1,7 @@
 #include "dbc/cloudsim/unit_sim.h"
 
 #include <cassert>
+#include <cmath>
 
 #include "dbc/ts/lag.h"
 
@@ -8,13 +9,54 @@ namespace dbc {
 
 UnitData SimulateUnit(const UnitSimConfig& config, WorkloadProfile& profile,
                       bool profile_is_periodic, Rng rng) {
-  const size_t n = config.num_databases;
+  const size_t n0 = config.num_databases;
   const size_t ticks = config.ticks;
-  assert(n > 0 && ticks > 0);
+  assert(n0 > 0 && ticks > 0);
+
+  // Membership churn schedule. Drawn from its own fork so that with
+  // inject_topology off the remaining random streams — and therefore the
+  // whole trace — are bit-identical to the static-topology simulator.
+  std::vector<TopologyEvent> topology;
+  if (config.inject_topology) {
+    Rng topo_rng = rng.Fork(6);
+    topology = ScheduleTopologyFaults(config.topology, n0, ticks, topo_rng);
+  }
+  // Total database slots ever used: initial members plus one per join.
+  const size_t n = TopologySlotCount(topology, n0);
+
+  // Membership interval [join, depart) per slot, and per-tick primary id.
+  std::vector<size_t> join_tick(n, 0);
+  std::vector<size_t> depart_tick(n, ticks);
+  for (size_t db = n0; db < n; ++db) join_tick[db] = ticks;
+  std::vector<size_t> primary_at(ticks, 0);
+  {
+    size_t primary = 0;
+    size_t next = 0;  // topology is start-ordered
+    for (size_t t = 0; t < ticks; ++t) {
+      while (next < topology.size() && topology[next].start <= t) {
+        const TopologyEvent& ev = topology[next++];
+        switch (ev.kind) {
+          case TopologyEventKind::kReplicaCrash:
+            depart_tick[ev.db] = ev.start;
+            break;
+          case TopologyEventKind::kReplicaJoin:
+            join_tick[ev.db] = ev.start;
+            break;
+          case TopologyEventKind::kPrimarySwitchover:
+            primary = ev.db;
+            break;
+          case TopologyEventKind::kLbRebalance:
+            break;
+        }
+      }
+      primary_at[t] = primary;
+    }
+  }
 
   LoadBalancerConfig lb_config = config.lb;
   lb_config.num_databases = n;
   LoadBalancer lb(lb_config, rng.Fork(1));
+  for (size_t db = n0; db < n; ++db) lb.SetActive(db, false);
 
   std::vector<InstanceModel> instances;
   instances.reserve(n);
@@ -26,7 +68,22 @@ UnitData SimulateUnit(const UnitSimConfig& config, WorkloadProfile& profile,
   std::vector<AnomalyEvent> schedule;
   if (config.inject_anomalies) {
     Rng sched_rng = rng.Fork(2);
-    schedule = ScheduleAnomalies(config.anomalies, n, ticks, sched_rng);
+    // Anomalies target the initial cohort (n0, not n): the schedule is then
+    // bit-identical to the static-topology run with the same seed, and churn
+    // only *removes* events (membership filtering below) instead of
+    // reshuffling the ground truth — clean vs churned runs stay paired.
+    schedule = ScheduleAnomalies(config.anomalies, n0, ticks, sched_rng);
+    // An absent database cannot be anomalous: keep only events that fall
+    // entirely within the target's membership interval.
+    if (!topology.empty()) {
+      std::vector<AnomalyEvent> kept;
+      for (const AnomalyEvent& ev : schedule) {
+        if (ev.start >= join_tick[ev.db] && ev.end() <= depart_tick[ev.db]) {
+          kept.push_back(ev);
+        }
+      }
+      schedule.swap(kept);
+    }
   }
   AnomalyInjector injector(schedule, n, rng.Fork(3));
 
@@ -42,6 +99,8 @@ UnitData SimulateUnit(const UnitSimConfig& config, WorkloadProfile& profile,
     for (auto& row : db_rows) row.reserve(ticks);
   }
   std::vector<std::vector<uint8_t>> labels(n, std::vector<uint8_t>(ticks, 0));
+  std::vector<std::vector<uint8_t>> present(n,
+                                            std::vector<uint8_t>(ticks, 0));
 
   Rng shared_rng = rng.Fork(5);
   for (size_t t = 0; t < ticks; ++t) {
@@ -51,6 +110,48 @@ UnitData SimulateUnit(const UnitSimConfig& config, WorkloadProfile& profile,
           std::max(0.05, 1.0 + config.shared_noise_sigma * shared_rng.Normal());
     }
     const TransactionMix mix = profile.MixAt(t);
+
+    // Apply membership/role changes and the transient weight effects of
+    // in-flight topology events.
+    for (const TopologyEvent& ev : topology) {
+      if (ev.start > t) break;
+      switch (ev.kind) {
+        case TopologyEventKind::kReplicaCrash:
+          if (ev.start == t) lb.SetActive(ev.db, false);
+          break;
+        case TopologyEventKind::kReplicaJoin:
+          if (ev.start == t) lb.SetActive(ev.db, true);
+          if (t >= ev.start && t < ev.end()) {
+            // Warm-up ramp: the joiner's traffic share climbs to full weight.
+            lb.SetBias(ev.db, static_cast<double>(t - ev.start + 1) /
+                                  static_cast<double>(ev.duration + 1));
+          } else if (t == ev.end()) {
+            lb.SetBias(ev.db, 1.0);
+          }
+          break;
+        case TopologyEventKind::kPrimarySwitchover:
+          if (ev.start == t) {
+            instances[ev.peer].SetRole(DbRole::kReplica);
+            instances[ev.db].SetRole(DbRole::kPrimary);
+          }
+          // Planned failover: a brief dip correlated across every member.
+          if (ev.ActiveAt(t)) unit_rate *= (1.0 - ev.magnitude);
+          break;
+        case TopologyEventKind::kLbRebalance:
+          if (t >= ev.start && t < ev.end()) {
+            // Triangular shift from `peer` to `db`, peaking mid-event.
+            const double u = static_cast<double>(t - ev.start) /
+                             static_cast<double>(ev.duration);
+            const double f = ev.magnitude * (1.0 - std::abs(2.0 * u - 1.0));
+            lb.SetBias(ev.db, 1.0 + f);
+            lb.SetBias(ev.peer, std::max(0.0, 1.0 - f));
+          } else if (t == ev.end()) {
+            lb.SetBias(ev.db, 1.0);
+            lb.SetBias(ev.peer, 1.0);
+          }
+          break;
+      }
+    }
 
     size_t skew_target = 0;
     double skew_fraction = 0.0;
@@ -62,6 +163,12 @@ UnitData SimulateUnit(const UnitSimConfig& config, WorkloadProfile& profile,
     const std::vector<double> rates = lb.Split(unit_rate);
 
     for (size_t db = 0; db < n; ++db) {
+      if (t < join_tick[db] || t >= depart_tick[db]) {
+        // Not a member: no feed, no label, flat zero placeholder values.
+        for (size_t k = 0; k < kNumKpis; ++k) raw[db][k].push_back(0.0);
+        continue;
+      }
+      present[db][t] = 1;
       KpiEffect effect = injector.EffectFor(db, t);
       if (config.inject_fluctuations) {
         effect.Combine(fluctuations[db].Step());
@@ -73,7 +180,8 @@ UnitData SimulateUnit(const UnitSimConfig& config, WorkloadProfile& profile,
   }
 
   // Collection delays: each database's measurements arrive `delay` points
-  // late (the shift the KCD lag scan must absorb).
+  // late (the shift the KCD lag scan must absorb). The presence mask shifts
+  // with the values — a delayed feed also appears and disappears late.
   Rng delay_rng = rng.Fork(4);
   UnitData out;
   out.profile = profile.Name();
@@ -92,11 +200,22 @@ UnitData SimulateUnit(const UnitSimConfig& config, WorkloadProfile& profile,
       if (delay > 0) s = ShiftEdgeFill(s, delay);
       ms.Add(KpiName(static_cast<Kpi>(k)), std::move(s));
     }
+    if (delay > 0 && config.inject_topology) {
+      auto& p = present[db];
+      const uint8_t head = p.front();
+      p.insert(p.begin(), static_cast<size_t>(delay), head);
+      p.resize(ticks);
+    }
     out.roles.push_back(db == 0 ? DbRole::kPrimary : DbRole::kReplica);
     out.kpis.push_back(std::move(ms));
   }
   out.labels = std::move(labels);
   out.events = schedule;
+  if (config.inject_topology) {
+    out.present = std::move(present);
+    out.primary = std::move(primary_at);
+    out.topology = std::move(topology);
+  }
   return out;
 }
 

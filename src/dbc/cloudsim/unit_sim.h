@@ -8,6 +8,7 @@
 #include "dbc/cloudsim/instance_model.h"
 #include "dbc/cloudsim/load_balancer.h"
 #include "dbc/cloudsim/profile.h"
+#include "dbc/cloudsim/topology.h"
 #include "dbc/cloudsim/unit_data.h"
 #include "dbc/common/rng.h"
 
@@ -33,6 +34,13 @@ struct UnitSimConfig {
   bool inject_anomalies = true;
   /// Disable the unlabeled temporal fluctuations (Fig. 5 ablations).
   bool inject_fluctuations = true;
+  /// Membership churn schedule; only consulted when inject_topology is set.
+  TopologyFaultConfig topology;
+  /// Enable unit membership churn (replica crash/replace, scale-out joins,
+  /// primary switchover, LB rebalancing). Off by default — the static
+  /// topology stream is bit-identical to traces produced before this knob
+  /// existed (churn draws from a separate RNG fork).
+  bool inject_topology = false;
 };
 
 /// Simulates one unit driven by `profile`. The profile's Name() and

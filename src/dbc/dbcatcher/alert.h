@@ -10,13 +10,14 @@
 
 namespace dbc {
 
-/// What an alert reports: a detected anomaly, or a problem with the
-/// telemetry itself (collector down, quarantine transitions). Data-quality
-/// alerts mean "we cannot see", not "the database is sick" — operators page
-/// different teams for the two.
-enum class AlertClass { kAnomaly, kDataQuality };
+/// What an alert reports: a detected anomaly, a problem with the telemetry
+/// itself (collector down, quarantine transitions), or a unit membership
+/// change (replica crash/join, primary switchover). Data-quality alerts mean
+/// "we cannot see", topology alerts mean "the unit changed shape" — neither
+/// means "the database is sick", and operators page different teams for each.
+enum class AlertClass { kAnomaly, kDataQuality, kTopologyChange };
 
-/// Display name ("anomaly" / "data-quality").
+/// Display name ("anomaly" / "data-quality" / "topology-change").
 const std::string& AlertClassName(AlertClass alert_class);
 
 /// One alert raised by the detection engine.
@@ -29,7 +30,8 @@ struct Alert {
   size_t consumed = 0;
   /// Filled for kAnomaly alerts.
   DiagnosticReport report;
-  /// Filled for kDataQuality alerts ("collector-down", ...).
+  /// Filled for kDataQuality ("collector-down", ...) and kTopologyChange
+  /// ("primary-switchover", ...) alerts.
   std::string message;
 };
 

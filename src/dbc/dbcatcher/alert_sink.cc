@@ -9,7 +9,7 @@ namespace {
 /// Short human summary: the data-quality message, or the top incident
 /// hypothesis of an anomaly report.
 std::string AlertDetail(const Alert& alert) {
-  if (alert.alert_class == AlertClass::kDataQuality) return alert.message;
+  if (alert.alert_class != AlertClass::kAnomaly) return alert.message;
   if (!alert.report.hypotheses.empty()) {
     return alert.report.hypotheses.front().family;
   }
@@ -45,9 +45,9 @@ std::string EscapeJson(const std::string& s) {
 }  // namespace
 
 const std::string& AlertClassName(AlertClass alert_class) {
-  static const std::string kAnomalyName = "anomaly";
-  static const std::string kDataQualityName = "data-quality";
-  return alert_class == AlertClass::kAnomaly ? kAnomalyName : kDataQualityName;
+  static const std::string kNames[] = {"anomaly", "data-quality",
+                                       "topology-change"};
+  return kNames[static_cast<size_t>(alert_class)];
 }
 
 BoundedAlertSink::BoundedAlertSink(size_t capacity)

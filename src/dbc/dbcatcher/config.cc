@@ -2,6 +2,46 @@
 
 namespace dbc {
 
+Status DbcatcherConfig::Validate() const {
+  if (initial_window == 0) {
+    return Status::InvalidArgument(
+        "initial_window must be > 0: a zero window has no correlation "
+        "content");
+  }
+  if (max_window < initial_window) {
+    return Status::InvalidArgument(
+        "max_window must be >= initial_window: flexible expansion cannot "
+        "shrink the window");
+  }
+  if (min_valid_fraction <= 0.0 || min_valid_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "min_valid_fraction must be in (0, 1]: 0 disables the imputation "
+        "floor entirely and > 1 rejects every window");
+  }
+  if (min_peers == 0) {
+    return Status::InvalidArgument(
+        "min_peers must be > 0: with zero required peers a fully isolated "
+        "database would be scored against nobody");
+  }
+  if (activity_epsilon < 0.0) {
+    return Status::InvalidArgument("activity_epsilon must be >= 0");
+  }
+  if (retrain_criterion < 0.0 || retrain_criterion > 1.0) {
+    return Status::InvalidArgument(
+        "retrain_criterion is an F-Measure and must be in [0, 1]");
+  }
+  for (double a : genome.alpha) {
+    if (a < 0.0 || a > 1.0) {
+      return Status::InvalidArgument(
+          "genome.alpha thresholds are correlation ratios in [0, 1]");
+    }
+  }
+  if (genome.theta < 0.0 || genome.theta > 1.0) {
+    return Status::InvalidArgument("genome.theta must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
 DbcatcherConfig DefaultDbcatcherConfig(size_t num_kpis) {
   DbcatcherConfig config;
   config.genome.alpha.assign(num_kpis, 0.7);

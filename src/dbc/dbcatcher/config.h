@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "dbc/common/status.h"
 #include "dbc/correlation/kcd.h"
 #include "dbc/optimize/genome.h"
 
@@ -61,6 +62,12 @@ struct DbcatcherConfig {
   size_t ExpansionStep() const {
     return expansion == 0 ? initial_window : expansion;
   }
+
+  /// Rejects degenerate settings: zero or inverted windows, quality floors
+  /// outside (0, 1], min_peers == 0 while the quality floors are enabled,
+  /// and out-of-range thresholds. Checked at service construction so a bad
+  /// deployment fails fast instead of silently detecting nothing.
+  Status Validate() const;
 };
 
 /// A config with paper-default windows and mid-range thresholds.

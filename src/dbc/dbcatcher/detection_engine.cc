@@ -1,5 +1,6 @@
 #include "dbc/dbcatcher/detection_engine.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace dbc {
@@ -7,6 +8,16 @@ namespace dbc {
 DetectionEngine::DetectionEngine(DetectionEngineConfig config)
     : config_(std::move(config)) {
   config_.pipeline = NormalizePipelineConfig(std::move(config_.pipeline));
+  const Status detector_ok = config_.pipeline.detector.Validate();
+  if (!detector_ok.ok()) {
+    throw std::invalid_argument("detector config: " +
+                                std::string(detector_ok.message()));
+  }
+  const Status ingest_ok = config_.pipeline.ingest.Validate();
+  if (!ingest_ok.ok()) {
+    throw std::invalid_argument("ingest config: " +
+                                std::string(ingest_ok.message()));
+  }
   if (config_.workers != 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers);
   }
@@ -53,6 +64,15 @@ Status DetectionEngine::FlushTelemetry(const std::string& unit) {
     return Status::NotFound("unit not registered: " + unit);
   }
   return pipeline->Flush();
+}
+
+Status DetectionEngine::ApplyTopology(const std::string& unit,
+                                      const TopologyUpdate& update) {
+  UnitPipeline* pipeline = Find(unit);
+  if (pipeline == nullptr) {
+    return Status::NotFound("unit not registered: " + unit);
+  }
+  return pipeline->ApplyTopology(update);
 }
 
 std::vector<Alert> DetectionEngine::Drain() {

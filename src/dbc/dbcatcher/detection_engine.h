@@ -33,6 +33,9 @@ struct DetectionEngineConfig {
 /// cross-unit synchronisation exists anywhere on the detection path.
 class DetectionEngine {
  public:
+  /// Throws std::invalid_argument when the (normalized) detector or ingest
+  /// config fails validation — a degenerate deployment fails fast instead of
+  /// silently detecting nothing.
   explicit DetectionEngine(DetectionEngineConfig config = {});
 
   /// Registers a unit with the given database roles. Replaces any unit with
@@ -53,6 +56,10 @@ class DetectionEngine {
 
   /// Seals every pending ingestion frame for `unit`.
   Status FlushTelemetry(const std::string& unit);
+
+  /// Applies a control-plane membership change to `unit` (join, leave,
+  /// switchover, feed rename); see UnitPipeline::ApplyTopology.
+  Status ApplyTopology(const std::string& unit, const TopologyUpdate& update);
 
   /// Resolves pending windows across all units — in parallel when workers
   /// > 1 — and returns the merged alerts in deterministic (unit, tick)

@@ -14,23 +14,126 @@ const std::string& DataQualityEventName(DataQualityEvent::Kind kind) {
   return kNames[static_cast<size_t>(kind)];
 }
 
+std::vector<TopologyUpdate> ControlPlaneUpdates(
+    const std::vector<TopologyEvent>& events) {
+  std::vector<TopologyUpdate> out;
+  for (const TopologyEvent& ev : events) {
+    TopologyUpdate update;
+    update.tick = ev.start;
+    update.db = ev.db;
+    update.peer = ev.peer;
+    switch (ev.kind) {
+      case TopologyEventKind::kReplicaCrash:
+        update.kind = TopologyUpdate::Kind::kLeave;
+        break;
+      case TopologyEventKind::kReplicaJoin:
+        update.kind = TopologyUpdate::Kind::kJoin;
+        update.ramp = ev.duration;
+        break;
+      case TopologyEventKind::kPrimarySwitchover:
+        update.kind = TopologyUpdate::Kind::kSwitchover;
+        break;
+      case TopologyEventKind::kLbRebalance:
+        continue;  // invisible to the control plane
+    }
+    out.push_back(update);
+  }
+  return out;
+}
+
+Status IngestConfig::Validate() const {
+  if (quarantine_after == 0) {
+    return Status::InvalidArgument(
+        "quarantine_after must be > 0: a zero staleness budget quarantines "
+        "every feed on its first degraded tick");
+  }
+  if (rejoin_after == 0) {
+    return Status::InvalidArgument(
+        "rejoin_after must be > 0: a zero rejoin threshold readmits a feed "
+        "without any evidence of recovery");
+  }
+  if (stale_run == 0) {
+    return Status::InvalidArgument(
+        "stale_run must be > 0: with a zero repeat budget every delivered "
+        "vector counts as frozen");
+  }
+  return Status::Ok();
+}
+
 TelemetryIngestor::TelemetryIngestor(size_t num_dbs, IngestConfig config)
     : num_dbs_(num_dbs), config_(config), dbs_(num_dbs) {}
 
+size_t TelemetryIngestor::RejoinThreshold(const DbTrack& track) const {
+  return std::max(config_.rejoin_after,
+                  config_.join_warmup +
+                      (track.warming_up ? track.warmup_extra : 0));
+}
+
 Status TelemetryIngestor::Offer(const TelemetrySample& sample) {
-  if (sample.db >= num_dbs_) {
+  size_t db = sample.db;
+  const auto alias = aliases_.find(db);
+  if (alias != aliases_.end()) db = alias->second;
+  if (db >= num_dbs_) {
     return Status::InvalidArgument("sample for unknown database");
+  }
+  if (dbs_[db].departed) {
+    ++late_drops_;
+    return Status::OutOfRange("sample for departed database");
   }
   if (any_sample_ && sample.tick < next_seal_) {
     ++late_drops_;
     return Status::OutOfRange("sample older than the sealed horizon");
   }
   PendingFrame& frame = pending_[sample.tick];
-  if (frame.samples.empty()) frame.samples.resize(num_dbs_);
-  frame.samples[sample.db] = sample.values;  // last delivery wins
+  if (frame.samples.size() < num_dbs_) frame.samples.resize(num_dbs_);
+  frame.samples[db] = sample.values;  // last delivery wins
   watermark_ = std::max(watermark_, sample.tick);
   any_sample_ = true;
   return Status::Ok();
+}
+
+size_t TelemetryIngestor::AddDb(size_t extra_warmup) {
+  const size_t db = num_dbs_++;
+  DbTrack track;
+  track.active_from = next_seal_;
+  if (config_.join_warmup > 0) {
+    // Warm-up gate: the joiner is quarantined until it has delivered a full
+    // warm-up run of fresh ticks — the detector reports kNoData, never
+    // kAbnormal, for a replica that is still filling its cold history. An
+    // announced traffic ramp extends the gate: while the balancer is still
+    // ramping its share, the feed's trends are not yet unit-representative
+    // (and would pollute every peer's correlation profile).
+    track.quarantined = true;
+    track.warming_up = true;
+    track.warmup_extra = extra_warmup;
+  }
+  dbs_.push_back(track);
+  return db;
+}
+
+Status TelemetryIngestor::RemoveDb(size_t db) {
+  if (db >= num_dbs_) {
+    return Status::InvalidArgument("removing unknown database");
+  }
+  DbTrack& track = dbs_[db];
+  track.departed = true;
+  track.quarantined = true;
+  track.warming_up = false;
+  return Status::Ok();
+}
+
+Status TelemetryIngestor::RenameFeed(size_t from, size_t to) {
+  if (to >= num_dbs_) {
+    return Status::InvalidArgument("renaming to unknown database");
+  }
+  aliases_[from] = to;
+  return Status::Ok();
+}
+
+size_t TelemetryIngestor::live_dbs() const {
+  size_t live = 0;
+  for (const DbTrack& track : dbs_) live += !track.departed;
+  return live;
 }
 
 Status TelemetryIngestor::OfferTick(
@@ -39,6 +142,7 @@ Status TelemetryIngestor::OfferTick(
     return Status::InvalidArgument("tick has wrong database count");
   }
   for (size_t db = 0; db < num_dbs_; ++db) {
+    if (dbs_[db].departed) continue;
     TelemetrySample sample;
     sample.tick = tick;
     sample.db = db;
@@ -50,10 +154,14 @@ Status TelemetryIngestor::OfferTick(
 }
 
 bool TelemetryIngestor::Complete(const PendingFrame& frame) const {
-  if (frame.samples.size() != num_dbs_) return false;
-  for (const auto& sample : frame.samples) {
-    if (!sample.has_value()) return false;
-    for (double v : *sample) {
+  for (size_t db = 0; db < num_dbs_; ++db) {
+    const DbTrack& track = dbs_[db];
+    // Departed and not-yet-joined members cannot block a frame.
+    if (track.departed || next_seal_ < track.active_from) continue;
+    if (db >= frame.samples.size() || !frame.samples[db].has_value()) {
+      return false;
+    }
+    for (double v : *frame.samples[db]) {
       if (!std::isfinite(v)) return false;
     }
   }
@@ -67,7 +175,7 @@ size_t TelemetryIngestor::NextGoodAhead(size_t db, size_t kpi,
   const size_t limit = next_seal_ + config_.reorder_window + config_.max_gap;
   for (auto it = pending_.upper_bound(next_seal_);
        it != pending_.end() && it->first <= limit; ++it) {
-    if (it->second.samples.size() != num_dbs_) continue;
+    if (db >= it->second.samples.size()) continue;
     const auto& sample = it->second.samples[db];
     if (!sample.has_value()) continue;
     const double v = (*sample)[kpi];
@@ -92,8 +200,16 @@ AlignedTick TelemetryIngestor::Seal() {
 
   for (size_t db = 0; db < num_dbs_; ++db) {
     DbTrack& track = dbs_[db];
+    if (track.departed || tick < track.active_from) {
+      // Not a member at this tick: a known-gone (or not-yet-joined) feed is
+      // silent by design — placeholder values, no quality-event spam.
+      out.values[db].fill(0.0);
+      out.quality[db] = SampleQuality::kMissing;
+      out.quarantined[db] = 1;
+      continue;
+    }
     const std::optional<std::array<double, kNumKpis>>* sample = nullptr;
-    if (frame != nullptr && frame->samples.size() == num_dbs_ &&
+    if (frame != nullptr && db < frame->samples.size() &&
         frame->samples[db].has_value()) {
       sample = &frame->samples[db];
     }
@@ -178,12 +294,14 @@ AlignedTick TelemetryIngestor::Seal() {
                          "unusable for " + std::to_string(track.gap_run) +
                              " ticks (budget " +
                              std::to_string(config_.quarantine_after) + ")"});
-    } else if (track.quarantined &&
-               track.fresh_run >= config_.rejoin_after) {
+    } else if (track.quarantined && track.fresh_run >= RejoinThreshold(track)) {
       track.quarantined = false;
+      const std::string what = track.warming_up
+                                   ? "warm-up complete: fresh for "
+                                   : "fresh for ";
+      track.warming_up = false;
       events_.push_back({DataQualityEvent::Kind::kQuarantineExit, db, tick,
-                         "fresh for " + std::to_string(track.fresh_run) +
-                             " ticks"});
+                         what + std::to_string(track.fresh_run) + " ticks"});
     }
     out.quarantined[db] = track.quarantined ? 1 : 0;
   }

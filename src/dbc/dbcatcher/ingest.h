@@ -24,9 +24,36 @@
 #include <vector>
 
 #include "dbc/cloudsim/telemetry.h"
+#include "dbc/cloudsim/topology.h"
 #include "dbc/common/status.h"
 
 namespace dbc {
+
+/// Control-plane notification of a unit membership change, as a fleet
+/// orchestrator would deliver it (cloudsim: derived from the injected churn
+/// schedule via ControlPlaneUpdates).
+struct TopologyUpdate {
+  enum class Kind {
+    kJoin,        // a brand-new database feed enters the unit
+    kLeave,       // a member departed (crash / scale-in); feed goes silent
+    kSwitchover,  // the primary role moved: db = new primary, peer = old
+    kRename,      // a feed id changed: peer = old id, db = new id
+  };
+  Kind kind = Kind::kJoin;
+  size_t tick = 0;
+  size_t db = 0;
+  size_t peer = 0;
+  /// kJoin only: announced traffic warm-up ramp (ticks until the joiner
+  /// carries its full share). The ingestor extends the join warm-up gate to
+  /// cover it — a ramping replica is not yet representative of the unit.
+  size_t ramp = 0;
+};
+
+/// Converts an injected cloudsim churn schedule into control-plane updates.
+/// LB rebalances produce none: weight shifts are invisible to the control
+/// plane — a pure robustness challenge for the detector.
+std::vector<TopologyUpdate> ControlPlaneUpdates(
+    const std::vector<TopologyEvent>& events);
 
 /// Ingestion / quarantine policy.
 struct IngestConfig {
@@ -45,6 +72,16 @@ struct IngestConfig {
   /// full vector even once, so the budget is tight: every tick it stays
   /// loose is a flat segment the correlation layer must swallow as fresh.
   size_t stale_run = 2;
+  /// Consecutive fresh ticks a newly-joined feed (AddDb) must deliver before
+  /// it leaves the warm-up gate and the detector may judge it. The same
+  /// floor applies to quarantine rejoin — the effective rejoin threshold is
+  /// max(rejoin_after, join_warmup). 0 = legacy behavior (rejoin_after
+  /// alone, joiners trusted immediately).
+  size_t join_warmup = 0;
+
+  /// Rejects degenerate settings (zero quarantine/rejoin/stale budgets)
+  /// that would make the quarantine state machine flap or never converge.
+  Status Validate() const;
 };
 
 /// Quality of one database's vector within a sealed tick.
@@ -108,8 +145,29 @@ class TelemetryIngestor {
   /// Data-quality transitions since the last call.
   std::vector<DataQualityEvent> DrainEvents();
 
-  /// True while `db` is quarantined.
+  /// Registers a brand-new database feed joining at the current seal
+  /// horizon; returns its id. With join_warmup > 0 the feed starts
+  /// warm-up-quarantined: the detector sees kNoData for it until it has
+  /// delivered join_warmup + `extra_warmup` fresh ticks (`extra_warmup`
+  /// covers an announced traffic ramp, see TopologyUpdate::ramp).
+  size_t AddDb(size_t extra_warmup = 0);
+
+  /// Marks a feed as departed (replica crash / scale-in): permanently
+  /// quarantined, excluded from frame completeness, and silent — no
+  /// collector-down or quarantine event spam for a database that is *known*
+  /// to be gone. Idempotent.
+  Status RemoveDb(size_t db);
+
+  /// Redirects samples arriving under feed id `from` to database `to`
+  /// (a collector that changed its reported id across a failover).
+  Status RenameFeed(size_t from, size_t to);
+
+  /// True while `db` is quarantined (including warm-up and departure).
   bool Quarantined(size_t db) const { return dbs_[db].quarantined; }
+  /// True once `db` has been removed.
+  bool Departed(size_t db) const { return dbs_[db].departed; }
+  /// Databases currently counted as members (not departed).
+  size_t live_dbs() const;
 
   /// Databases this ingestor aligns.
   size_t num_dbs() const { return num_dbs_; }
@@ -141,6 +199,10 @@ class TelemetryIngestor {
     size_t fresh_run = 0;    // consecutive fresh sealed ticks
     bool quarantined = false;
     bool collector_down_raised = false;
+    size_t active_from = 0;    // first sealed tick this feed is a member
+    bool departed = false;     // permanently gone (RemoveDb)
+    bool warming_up = false;   // quarantined because newly joined
+    size_t warmup_extra = 0;   // added warm-up ticks (announced ramp)
   };
 
   /// Seals the frame at next_seal_ (which may be absent = fully dropped).
@@ -150,11 +212,14 @@ class TelemetryIngestor {
   /// Looks ahead in the pending buffer for the next finite value of
   /// (db, kpi) strictly after next_seal_; returns its tick distance or 0.
   size_t NextGoodAhead(size_t db, size_t kpi, double* value) const;
+  /// Fresh run needed for `track` to leave quarantine (rejoin or warm-up).
+  size_t RejoinThreshold(const DbTrack& track) const;
 
   size_t num_dbs_;
   IngestConfig config_;
   std::map<size_t, PendingFrame> pending_;
   std::vector<DbTrack> dbs_;
+  std::map<size_t, size_t> aliases_;  // feed id -> database id
   std::vector<DataQualityEvent> events_;
   size_t watermark_ = 0;
   bool any_sample_ = false;

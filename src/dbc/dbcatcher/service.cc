@@ -14,6 +14,7 @@ DetectionEngineConfig ToEngineConfig(const MonitoringServiceConfig& config) {
   engine.pipeline.feedback_capacity = config.feedback_capacity;
   engine.pipeline.retrain_criterion = config.retrain_criterion;
   engine.pipeline.min_feedback_records = config.min_feedback_records;
+  engine.pipeline.topology_suppression = config.topology_suppression;
   engine.workers = config.workers;
   return engine;
 }
@@ -44,6 +45,11 @@ Status MonitoringService::IngestSample(const std::string& unit,
 
 Status MonitoringService::FlushTelemetry(const std::string& unit) {
   return engine_.FlushTelemetry(unit);
+}
+
+Status MonitoringService::ApplyTopology(const std::string& unit,
+                                        const TopologyUpdate& update) {
+  return engine_.ApplyTopology(unit, update);
 }
 
 std::vector<Alert> MonitoringService::Drain() { return engine_.Drain(); }
@@ -82,6 +88,11 @@ size_t MonitoringService::VerdictStateCount(const std::string& unit,
 bool MonitoringService::Quarantined(const std::string& unit, size_t db) const {
   const UnitPipeline* pipeline = engine_.Find(unit);
   return pipeline != nullptr && pipeline->Quarantined(db);
+}
+
+size_t MonitoringService::SuppressedAlerts(const std::string& unit) const {
+  const UnitPipeline* pipeline = engine_.Find(unit);
+  return pipeline == nullptr ? 0 : pipeline->suppressed_alerts();
 }
 
 }  // namespace dbc

@@ -30,6 +30,9 @@ struct MonitoringServiceConfig {
   /// Worker threads for the sharded drain (1 = sequential, 0 = hardware
   /// concurrency). Parallel output is bit-identical to sequential.
   size_t workers = 1;
+  /// Ticks after a primary switchover during which abnormal verdicts are
+  /// suppressed — a planned failover's correlated dip is not an anomaly.
+  size_t topology_suppression = 30;
 };
 
 /// Multi-unit online detection front-end.
@@ -41,6 +44,8 @@ struct MonitoringServiceConfig {
 /// adaptive policy over the unit's recorded judgments.
 class MonitoringService {
  public:
+  /// Throws std::invalid_argument when the detector or ingest config fails
+  /// validation (DbcatcherConfig::Validate / IngestConfig::Validate).
   explicit MonitoringService(MonitoringServiceConfig config = {});
 
   /// Registers a unit with the given database roles. Replaces any unit with
@@ -61,6 +66,12 @@ class MonitoringService {
   /// Seals every pending ingestion frame for `unit` (end of feed / forced
   /// timeout); verdicts for the flushed ticks surface on the next Drain().
   Status FlushTelemetry(const std::string& unit);
+
+  /// Applies a control-plane membership change to `unit`: a join grows the
+  /// unit with a warm-up-gated feed, a leave retires one, a switchover moves
+  /// the primary role and opens a suppression window, a rename re-routes a
+  /// feed id. A kTopologyChange alert surfaces on the next Drain().
+  Status ApplyTopology(const std::string& unit, const TopologyUpdate& update);
 
   /// Resolves pending windows and returns newly raised alerts: anomaly
   /// alerts with diagnostic reports, plus data-quality alerts for collector
@@ -93,6 +104,9 @@ class MonitoringService {
 
   /// True while `db` of `unit` is quarantined by the ingestion layer.
   bool Quarantined(const std::string& unit, size_t db) const;
+
+  /// Abnormal verdicts of `unit` swallowed by switchover suppression.
+  size_t SuppressedAlerts(const std::string& unit) const;
 
   const MonitoringServiceConfig& config() const { return config_; }
 

@@ -16,6 +16,9 @@ DbcatcherStream::DbcatcherStream(const DbcatcherConfig& config,
   buffer_.kpis.resize(n);
   buffer_.labels.assign(n, {});
   valid_.assign(n, {});
+  gated_.assign(n, {});
+  departed_.assign(n, 0);
+  depart_tick_.assign(n, 0);
   for (size_t db = 0; db < n; ++db) {
     for (size_t k = 0; k < kNumKpis; ++k) {
       buffer_.kpis[db].Add(KpiName(static_cast<Kpi>(k)), Series());
@@ -25,15 +28,77 @@ DbcatcherStream::DbcatcherStream(const DbcatcherConfig& config,
 
 void DbcatcherStream::AppendTick(
     const std::vector<std::array<double, kNumKpis>>& values,
-    const std::vector<uint8_t>& valid) {
+    const std::vector<uint8_t>& valid, const std::vector<uint8_t>& gated) {
   for (size_t db = 0; db < values.size(); ++db) {
     for (size_t k = 0; k < kNumKpis; ++k) {
       buffer_.kpis[db].row(k).PushBack(values[db][k]);
     }
     valid_[db].push_back(valid[db]);
+    gated_[db].push_back(gated[db]);
   }
   ++ticks_;
   MaybeTrim();
+}
+
+size_t DbcatcherStream::AddDb(DbRole role) {
+  const size_t db = roles_.size();
+  const size_t have = ticks_ - offset_;  // retained buffer length
+  roles_.push_back(role);
+  buffer_.roles.push_back(role);
+  MultiSeries ms;
+  for (size_t k = 0; k < kNumKpis; ++k) {
+    ms.Add(KpiName(static_cast<Kpi>(k)), Series(std::vector<double>(have, 0.0)));
+  }
+  buffer_.kpis.push_back(std::move(ms));
+  buffer_.labels.emplace_back();
+  // Backfilled history is invalid and gated: the joiner's first window can
+  // only start at the join tick, on data it actually produced.
+  valid_.emplace_back(have, 0);
+  gated_.emplace_back(have, 1);
+  departed_.push_back(0);
+  depart_tick_.push_back(0);
+  next_t0_.push_back(ticks_);
+  return db;
+}
+
+Status DbcatcherStream::RemoveDb(size_t db) {
+  if (db >= roles_.size()) {
+    return Status::InvalidArgument("removing unknown database");
+  }
+  if (!departed_[db]) {
+    departed_[db] = 1;
+    depart_tick_[db] = ticks_;
+  }
+  return Status::Ok();
+}
+
+Status DbcatcherStream::SetPrimary(size_t db) {
+  if (db >= roles_.size()) {
+    return Status::InvalidArgument("promoting unknown database");
+  }
+  for (size_t i = 0; i < roles_.size(); ++i) {
+    roles_[i] = i == db ? DbRole::kPrimary : DbRole::kReplica;
+    buffer_.roles[i] = roles_[i];
+  }
+  return Status::Ok();
+}
+
+size_t DbcatcherStream::live_dbs() const {
+  size_t live = 0;
+  for (uint8_t d : departed_) live += d == 0;
+  return live;
+}
+
+DbcatcherConfig DbcatcherStream::EffectiveConfig() const {
+  // A crash-shrunk unit must not pin every verdict at kNoData because the
+  // configured peer floor exceeds what membership can offer; the floor is
+  // re-evaluated against the live member count (a database's peer set
+  // excludes itself, hence live - 1).
+  DbcatcherConfig effective = config_;
+  const size_t live = live_dbs();
+  const size_t ceiling = live > 1 ? live - 1 : 1;
+  effective.min_peers = std::max<size_t>(1, std::min(config_.min_peers, ceiling));
+  return effective;
 }
 
 Status DbcatcherStream::Push(
@@ -50,7 +115,8 @@ Status DbcatcherStream::Push(
       }
     }
   }
-  AppendTick(values, std::vector<uint8_t>(roles_.size(), 1));
+  AppendTick(values, std::vector<uint8_t>(roles_.size(), 1),
+             std::vector<uint8_t>(roles_.size(), 0));
   return Status::Ok();
 }
 
@@ -64,6 +130,7 @@ Status DbcatcherStream::PushAligned(const AlignedTick& tick) {
     return Status::FailedPrecondition("aligned ticks must arrive in order");
   }
   std::vector<uint8_t> valid(roles_.size(), 1);
+  std::vector<uint8_t> gated(roles_.size(), 0);
   for (size_t db = 0; db < roles_.size(); ++db) {
     // Only fresh ticks are correlation evidence: imputed stretches (carry-
     // forward, frozen collectors) decorrelate from live peers and would read
@@ -72,13 +139,16 @@ Status DbcatcherStream::PushAligned(const AlignedTick& tick) {
     const bool usable = tick.quality[db] == SampleQuality::kFresh &&
                         tick.quarantined[db] == 0;
     valid[db] = usable ? 1 : 0;
+    // Quarantine doubles as the warm-up gate: any verdict overlapping a
+    // quarantined tick is forced to kNoData in Poll().
+    gated[db] = tick.quarantined[db] ? 1 : 0;
     for (size_t k = 0; k < kNumKpis; ++k) {
       if (!std::isfinite(tick.values[db][k])) {
         return Status::InvalidArgument("aligned tick carries non-finite value");
       }
     }
   }
-  AppendTick(tick.values, valid);
+  AppendTick(tick.values, valid, gated);
   return Status::Ok();
 }
 
@@ -87,7 +157,11 @@ void DbcatcherStream::MaybeTrim() {
   // lies within 2*W_M of the earliest unresolved window; older ticks only
   // grow the buffer (the unbounded growth noted in earlier revisions).
   const size_t margin = 2 * std::max(config_.max_window, config_.initial_window);
-  const size_t min_t0 = *std::min_element(next_t0_.begin(), next_t0_.end());
+  // Retired databases (kDone) no longer hold the buffer back.
+  size_t min_t0 = ticks_;
+  for (size_t t0 : next_t0_) {
+    if (t0 != kDone) min_t0 = std::min(min_t0, t0);
+  }
   const size_t retain_from = min_t0 > margin ? min_t0 - margin : 0;
   const size_t drop = retain_from > offset_ ? retain_from - offset_ : 0;
   // Amortize: erase in chunks of at least W_M so trims stay rare.
@@ -100,6 +174,8 @@ void DbcatcherStream::MaybeTrim() {
     }
     valid_[db].erase(valid_[db].begin(),
                      valid_[db].begin() + static_cast<ptrdiff_t>(drop));
+    gated_[db].erase(gated_[db].begin(),
+                     gated_[db].begin() + static_cast<ptrdiff_t>(drop));
   }
   offset_ += drop;
   cache_.EvictBefore(offset_);
@@ -110,18 +186,25 @@ std::vector<StreamVerdict> DbcatcherStream::Poll() {
   const size_t w = config_.initial_window;
   if (w == 0) return out;
 
-  CorrelationAnalyzer analyzer(buffer_, config_, &cache_);
+  const DbcatcherConfig effective = EffectiveConfig();
+  CorrelationAnalyzer analyzer(buffer_, effective, &cache_);
   analyzer.SetValidity(&valid_);
   analyzer.SetCacheTickOffset(offset_);
   for (size_t db = 0; db < roles_.size(); ++db) {
-    while (next_t0_[db] + w <= ticks_) {
+    while (next_t0_[db] != kDone && next_t0_[db] + w <= ticks_) {
       const size_t t0 = next_t0_[db];
+      if (departed_[db] && t0 >= depart_tick_[db]) {
+        // The member is gone and its last in-flight window has resolved:
+        // stop scheduling windows (and stop holding back the trim).
+        next_t0_[db] = kDone;
+        break;
+      }
       assert(t0 >= offset_ && "window trimmed before it resolved");
       // Run the observer in buffer coordinates, but only finalize when the
       // state resolved with the data at hand OR no further expansion is
       // possible; an "observable" window at the data horizon waits for more
       // pushes. Windows without usable telemetry resolve to kNoData.
-      Observation obs = ObserveDatabase(analyzer, config_, db, t0 - offset_,
+      Observation obs = ObserveDatabase(analyzer, effective, db, t0 - offset_,
                                         ticks_ - offset_);
       if (obs.truncated) break;  // needs more data to resolve
 
@@ -130,8 +213,21 @@ std::vector<StreamVerdict> DbcatcherStream::Poll() {
       verdict.window.begin = t0;
       verdict.window.end = t0 + w;
       verdict.window.consumed = obs.consumed;
-      verdict.window.abnormal = obs.final_state == DbState::kAbnormal;
       verdict.state = obs.final_state;
+      // Hard warm-up guarantee: a window that overlaps any gated tick
+      // (joining replica's cold start, quarantine) is never judged — the
+      // quality floors should already yield kNoData, but the gate makes it
+      // structural.
+      const size_t lo = t0 - offset_;
+      const size_t hi = std::min(lo + std::max<size_t>(obs.consumed, w),
+                                 gated_[db].size());
+      for (size_t i = lo; i < hi; ++i) {
+        if (gated_[db][i]) {
+          verdict.state = DbState::kNoData;
+          break;
+        }
+      }
+      verdict.window.abnormal = verdict.state == DbState::kAbnormal;
       out.push_back(verdict);
       next_t0_[db] = t0 + w;
     }

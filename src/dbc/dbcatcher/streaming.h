@@ -52,7 +52,33 @@ class DbcatcherStream {
   /// Returns verdicts finalized since the last Poll. Databases whose window
   /// lacks usable telemetry (quarantined / past the staleness budget)
   /// resolve to DbState::kNoData rather than a spurious healthy/abnormal.
+  /// Any window overlapping a warm-up/quarantine-gated tick is overridden to
+  /// kNoData — a joining replica is never judged abnormal on cold history.
   std::vector<StreamVerdict> Poll();
+
+  /// Registers a database joining mid-stream (scale-out / replacement).
+  /// History before the join is backfilled as invalid + gated; detection for
+  /// it starts at the current tick. Returns the new id.
+  size_t AddDb(DbRole role);
+
+  /// Marks a database as departed: its in-flight window may still resolve
+  /// (to kNoData), after which no further windows are scheduled for it and
+  /// it stops holding back the buffer trim. Idempotent.
+  Status RemoveDb(size_t db);
+
+  /// Moves the primary role to `db` (every other member becomes a replica);
+  /// pair eligibility of the R-R KPIs follows immediately.
+  Status SetPrimary(size_t db);
+
+  /// True once `db` has been removed.
+  bool Departed(size_t db) const { return departed_[db] != 0; }
+
+  /// Members not departed.
+  size_t live_dbs() const;
+
+  /// The config with min_peers floored against the live member count — the
+  /// settings verdicts are actually produced under.
+  DbcatcherConfig EffectiveConfig() const;
 
   /// Ticks received so far.
   size_t ticks() const { return ticks_; }
@@ -78,19 +104,29 @@ class DbcatcherStream {
 
  private:
   void AppendTick(const std::vector<std::array<double, kNumKpis>>& values,
-                  const std::vector<uint8_t>& valid);
+                  const std::vector<uint8_t>& valid,
+                  const std::vector<uint8_t>& gated);
   /// Drops buffered ticks no verdict or diagnosis can reference any more.
   void MaybeTrim();
+
+  /// next_t0_ value of a database that schedules no further windows.
+  static constexpr size_t kDone = static_cast<size_t>(-1);
 
   DbcatcherConfig config_;
   std::vector<DbRole> roles_;
   size_t ticks_ = 0;
-  /// Next base-window start per database (absolute ticks).
+  /// Next base-window start per database (absolute ticks; kDone = retired).
   std::vector<size_t> next_t0_;
   /// Retained trace window; index 0 is absolute tick offset_.
   UnitData buffer_;
   /// Per-(db, buffer index) usability flags (parallel to buffer_).
   std::vector<std::vector<uint8_t>> valid_;
+  /// Per-(db, buffer index) warm-up/quarantine gate (parallel to buffer_):
+  /// verdicts overlapping a gated tick are forced to kNoData.
+  std::vector<std::vector<uint8_t>> gated_;
+  /// Departure flags and the tick each departure took effect.
+  std::vector<uint8_t> departed_;
+  std::vector<size_t> depart_tick_;
   size_t offset_ = 0;
   KcdCache cache_;
 };

@@ -14,6 +14,11 @@ UnitPipelineConfig NormalizePipelineConfig(UnitPipelineConfig config) {
     config.detector.min_valid_fraction = supplied.min_valid_fraction;
     config.detector.min_peers = supplied.min_peers;
   }
+  // A joining replica warms up for one full base window by default: it must
+  // contribute a window of its own history before the detector judges it.
+  if (config.ingest.join_warmup == 0) {
+    config.ingest.join_warmup = config.detector.initial_window;
+  }
   return config;
 }
 
@@ -72,8 +77,66 @@ Status UnitPipeline::Flush() {
   return Status::Ok();
 }
 
+Status UnitPipeline::ApplyTopology(const TopologyUpdate& update) {
+  Alert alert;
+  alert.alert_class = AlertClass::kTopologyChange;
+  alert.unit = name_;
+  alert.db = update.db;
+  alert.begin = update.tick;
+  alert.end = update.tick;
+  switch (update.kind) {
+    case TopologyUpdate::Kind::kJoin: {
+      const size_t ingest_db = ingestor_.AddDb(update.ramp);
+      const size_t stream_db = stream_.AddDb(DbRole::kReplica);
+      if (ingest_db != stream_db) {
+        return Status::Internal("ingest/stream membership diverged");
+      }
+      alert.db = ingest_db;
+      alert.message =
+          "replica-join: db " + std::to_string(ingest_db) + " (warm-up " +
+          std::to_string(config_.ingest.join_warmup + update.ramp) +
+          " ticks)";
+      break;
+    }
+    case TopologyUpdate::Kind::kLeave: {
+      const Status removed = ingestor_.RemoveDb(update.db);
+      if (!removed.ok()) return removed;
+      const Status retired = stream_.RemoveDb(update.db);
+      if (!retired.ok()) return retired;
+      alert.message = "replica-leave: db " + std::to_string(update.db);
+      break;
+    }
+    case TopologyUpdate::Kind::kSwitchover: {
+      const Status promoted = stream_.SetPrimary(update.db);
+      if (!promoted.ok()) return promoted;
+      if (config_.topology_suppression > 0) {
+        suppression_.emplace_back(
+            update.tick, update.tick + config_.topology_suppression);
+      }
+      alert.message = "primary-switchover: db " + std::to_string(update.db) +
+                      " promoted (was db " + std::to_string(update.peer) +
+                      ")";
+      break;
+    }
+    case TopologyUpdate::Kind::kRename: {
+      const Status renamed = ingestor_.RenameFeed(update.peer, update.db);
+      if (!renamed.ok()) return renamed;
+      alert.message = "feed-rename: " + std::to_string(update.peer) + " -> " +
+                      std::to_string(update.db);
+      break;
+    }
+  }
+  topology_alerts_.push_back(std::move(alert));
+  return Status::Ok();
+}
+
 std::vector<Alert> UnitPipeline::Drain() {
   std::vector<Alert> alerts;
+
+  // Topology changes first: a membership alert should precede any verdict
+  // the changed membership produced.
+  for (Alert& alert : topology_alerts_) alerts.push_back(std::move(alert));
+  topology_alerts_.clear();
 
   // Data-quality transitions surface as their own alert class.
   for (const DataQualityEvent& event : ingestor_.DrainEvents()) {
@@ -90,13 +153,33 @@ std::vector<Alert> UnitPipeline::Drain() {
   const std::vector<StreamVerdict> verdicts = stream_.Poll();
   if (verdicts.empty()) return alerts;
   const size_t offset = stream_.buffer_offset();
-  CorrelationAnalyzer analyzer(stream_.buffer(), stream_.config());
+  const DbcatcherConfig effective = stream_.EffectiveConfig();
+  CorrelationAnalyzer analyzer(stream_.buffer(), effective);
   analyzer.SetValidity(&stream_.validity());
   analyzer.SetCacheTickOffset(offset);
   for (const StreamVerdict& v : verdicts) {
     ++verdicts_;
     ++state_counts_[static_cast<size_t>(v.state)];
+    if (config_.record_verdicts) verdict_log_.push_back(v);
     if (v.state == DbState::kNoData) continue;  // nothing to judge or label
+    if (v.window.abnormal) {
+      // Switchover suppression: a planned failover disturbs every member at
+      // once; verdicts overlapping the suppression window are not alertable
+      // evidence against any single database (and not fed back as pending
+      // judgments either — the disturbance has a known cause).
+      const size_t v_end = v.window.begin + v.window.consumed;
+      bool suppressed = false;
+      for (const auto& window : suppression_) {
+        if (v.window.begin < window.second && v_end > window.first) {
+          suppressed = true;
+          break;
+        }
+      }
+      if (suppressed) {
+        ++suppressed_alerts_;
+        continue;
+      }
+    }
     pending_[{v.db, v.window.begin, v.window.end}] = v.window.abnormal;
     if (!v.window.abnormal) continue;
     Alert alert;
@@ -108,7 +191,7 @@ std::vector<Alert> UnitPipeline::Drain() {
     // Diagnose over the window actually judged (expansions widen it past
     // the base tile), translated into the trimmed buffer's coordinates.
     if (v.window.begin >= offset) {
-      alert.report = Diagnose(analyzer, stream_.config(), v.db,
+      alert.report = Diagnose(analyzer, effective, v.db,
                               v.window.begin - offset,
                               v.window.begin + v.window.consumed - offset);
       alert.report.begin = v.window.begin;

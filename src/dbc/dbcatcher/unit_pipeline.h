@@ -33,6 +33,13 @@ struct UnitPipelineConfig {
   double retrain_criterion = 0.75;
   /// Minimum labeled records before the criterion is evaluated.
   size_t min_feedback_records = 64;
+  /// Ticks after a primary switchover during which abnormal verdicts are
+  /// suppressed (not alerted): a planned failover produces a known,
+  /// correlated disturbance that is not any database's anomaly.
+  size_t topology_suppression = 30;
+  /// Record every resolved StreamVerdict in verdict_log() — benches and
+  /// tests score per-verdict accuracy with it. Off by default (unbounded).
+  bool record_verdicts = false;
 };
 
 /// Fills in the default genome when the caller left it empty, preserving the
@@ -65,10 +72,17 @@ class UnitPipeline {
   /// verdicts for the flushed ticks surface on the next Drain().
   Status Flush();
 
+  /// Applies a control-plane membership change: joins grow the ingest and
+  /// stream state (warm-up gated), leaves retire a feed through the
+  /// quarantine machinery, switchovers move the primary role and open an
+  /// alert-suppression window, renames re-route a feed id. Raises a
+  /// kTopologyChange alert on the next Drain().
+  Status ApplyTopology(const TopologyUpdate& update);
+
   /// Resolves pending windows and returns this unit's newly raised alerts in
-  /// deterministic order: data-quality transitions first, then anomaly
-  /// verdicts per database in tick order. Healthy and kNoData verdicts are
-  /// recorded silently.
+  /// deterministic order: topology changes first, then data-quality
+  /// transitions, then anomaly verdicts per database in tick order. Healthy
+  /// and kNoData verdicts are recorded silently.
   std::vector<Alert> Drain();
 
   /// DBA feedback on a drained verdict: `truly_abnormal` marks the ground
@@ -95,6 +109,17 @@ class UnitPipeline {
   /// True while `db` is quarantined by the ingestion layer.
   bool Quarantined(size_t db) const { return ingestor_.Quarantined(db); }
 
+  /// Abnormal verdicts swallowed by a switchover suppression window.
+  size_t suppressed_alerts() const { return suppressed_alerts_; }
+
+  /// Every resolved verdict, when config().record_verdicts is set.
+  const std::vector<StreamVerdict>& verdict_log() const {
+    return verdict_log_;
+  }
+
+  /// The underlying stream (live membership, effective config).
+  const DbcatcherStream& stream() const { return stream_; }
+
   const UnitPipelineConfig& config() const { return config_; }
 
  private:
@@ -112,6 +137,12 @@ class UnitPipeline {
   std::array<size_t, 4> state_counts_{};  // indexed by DbState
   /// Next source tick for the whole-tick Tick() path.
   size_t next_tick_ = 0;
+  /// Topology alerts queued for the next Drain().
+  std::vector<Alert> topology_alerts_;
+  /// Switchover suppression intervals [begin, end) in absolute ticks.
+  std::vector<std::pair<size_t, size_t>> suppression_;
+  size_t suppressed_alerts_ = 0;
+  std::vector<StreamVerdict> verdict_log_;
 };
 
 }  // namespace dbc

@@ -1,0 +1,112 @@
+// Config validation tests: DbcatcherConfig::Validate, IngestConfig::Validate,
+// and the fail-fast construction of the engine/service facades.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dbc/dbcatcher/config.h"
+#include "dbc/dbcatcher/ingest.h"
+#include "dbc/dbcatcher/service.h"
+
+namespace dbc {
+namespace {
+
+DbcatcherConfig ValidDetector() { return DefaultDbcatcherConfig(kNumKpis); }
+
+TEST(DbcatcherConfigValidateTest, DefaultsPass) {
+  EXPECT_TRUE(ValidDetector().Validate().ok());
+  // An empty genome is valid too: it means "use the default thresholds".
+  EXPECT_TRUE(DbcatcherConfig{}.Validate().ok());
+}
+
+TEST(DbcatcherConfigValidateTest, RejectsZeroWindow) {
+  DbcatcherConfig config = ValidDetector();
+  config.initial_window = 0;
+  const Status status = config.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("initial_window"), std::string::npos);
+}
+
+TEST(DbcatcherConfigValidateTest, RejectsShrinkingMaxWindow) {
+  DbcatcherConfig config = ValidDetector();
+  config.initial_window = 30;
+  config.max_window = 20;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DbcatcherConfigValidateTest, RejectsBadValidFraction) {
+  DbcatcherConfig config = ValidDetector();
+  config.min_valid_fraction = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.min_valid_fraction = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config.min_valid_fraction = 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(DbcatcherConfigValidateTest, RejectsZeroMinPeers) {
+  DbcatcherConfig config = ValidDetector();
+  config.min_peers = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DbcatcherConfigValidateTest, RejectsNegativeActivityEpsilon) {
+  DbcatcherConfig config = ValidDetector();
+  config.activity_epsilon = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(DbcatcherConfigValidateTest, RejectsOutOfRangeRetrainCriterion) {
+  DbcatcherConfig config = ValidDetector();
+  config.retrain_criterion = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config.retrain_criterion = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(DbcatcherConfigValidateTest, RejectsBadGenome) {
+  DbcatcherConfig config = ValidDetector();
+  config.genome.alpha[3] = 1.2;  // correlation ratios live in [0, 1]
+  EXPECT_FALSE(config.Validate().ok());
+  config = ValidDetector();
+  config.genome.theta = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(IngestConfigValidateTest, DefaultsPass) {
+  EXPECT_TRUE(IngestConfig{}.Validate().ok());
+}
+
+TEST(IngestConfigValidateTest, RejectsZeroBudgets) {
+  IngestConfig config;
+  config.quarantine_after = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config = IngestConfig{};
+  config.rejoin_after = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = IngestConfig{};
+  config.stale_run = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ServiceValidationTest, ConstructionRejectsBadDetectorConfig) {
+  MonitoringServiceConfig config;
+  // A populated genome survives normalization, so the bad window reaches
+  // Validate() (an empty genome would be replaced wholesale by defaults).
+  config.detector = ValidDetector();
+  config.detector.initial_window = 0;
+  EXPECT_THROW(MonitoringService{config}, std::invalid_argument);
+}
+
+TEST(ServiceValidationTest, ConstructionRejectsBadIngestConfig) {
+  MonitoringServiceConfig config;
+  config.ingest.quarantine_after = 0;
+  EXPECT_THROW(MonitoringService{config}, std::invalid_argument);
+}
+
+TEST(ServiceValidationTest, DefaultConstructionSucceeds) {
+  EXPECT_NO_THROW(MonitoringService{});
+}
+
+}  // namespace
+}  // namespace dbc

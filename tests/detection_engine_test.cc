@@ -134,6 +134,100 @@ TEST(DetectionEngineTest, ParallelDrainIsBitIdenticalToSequential) {
   }
 }
 
+/// A fleet with live membership churn: units simulated with topology
+/// injection, their control-plane updates applied mid-stream. Every run
+/// replays identical feeds and updates, so output differences can only come
+/// from the engine's scheduling.
+struct ChurnScenario {
+  std::vector<UnitData> units;
+  std::vector<std::vector<TopologyUpdate>> updates;
+  size_t initial_dbs = 0;
+  size_t ticks = 0;
+};
+
+ChurnScenario BuildChurnScenario(size_t num_units, size_t ticks) {
+  ChurnScenario scenario;
+  scenario.ticks = ticks;
+  for (size_t u = 0; u < num_units; ++u) {
+    UnitSimConfig config;
+    config.ticks = ticks;
+    config.inject_topology = true;
+    config.topology.head_clearance = 60;
+    config.topology.min_gap = 80;
+    const double ratio = (u % 2 == 0) ? 0.08 : 0.0;
+    config.inject_anomalies = ratio > 0.0;
+    config.anomalies.target_ratio = ratio;
+    scenario.initial_dbs = config.num_databases;
+    Rng rng(5000 + 23 * u);
+    PeriodicProfileParams pp;
+    auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+    scenario.units.push_back(SimulateUnit(config, *profile, true, rng.Fork(2)));
+    scenario.updates.push_back(ControlPlaneUpdates(scenario.units.back().topology));
+  }
+  return scenario;
+}
+
+std::vector<Alert> RunChurnScenario(const ChurnScenario& scenario,
+                                    size_t workers) {
+  DetectionEngineConfig config;
+  config.workers = workers;
+  DetectionEngine engine(config);
+  for (size_t u = 0; u < scenario.units.size(); ++u) {
+    const UnitData& unit = scenario.units[u];
+    std::vector<DbRole> roles(
+        unit.roles.begin(),
+        unit.roles.begin() + static_cast<ptrdiff_t>(scenario.initial_dbs));
+    engine.RegisterUnit(Scenario::Name(u), roles);
+  }
+  std::vector<Alert> all;
+  std::vector<size_t> next_update(scenario.units.size(), 0);
+  for (size_t t = 0; t < scenario.ticks; ++t) {
+    for (size_t u = 0; u < scenario.units.size(); ++u) {
+      const UnitData& unit = scenario.units[u];
+      auto& next = next_update[u];
+      const auto& updates = scenario.updates[u];
+      while (next < updates.size() && updates[next].tick <= t) {
+        const Status status =
+            engine.ApplyTopology(Scenario::Name(u), updates[next++]);
+        EXPECT_TRUE(status.ok()) << status.message();
+      }
+      for (size_t db = 0; db < unit.num_dbs(); ++db) {
+        if (!unit.PresentAt(db, t)) continue;
+        TelemetrySample sample;
+        sample.tick = t;
+        sample.db = db;
+        for (size_t k = 0; k < kNumKpis; ++k) {
+          sample.values[k] = unit.kpis[db].row(k)[t];
+        }
+        EXPECT_TRUE(engine.IngestSample(Scenario::Name(u), sample).ok());
+      }
+    }
+    for (Alert& alert : engine.Drain()) all.push_back(std::move(alert));
+  }
+  for (size_t u = 0; u < scenario.units.size(); ++u) {
+    EXPECT_TRUE(engine.FlushTelemetry(Scenario::Name(u)).ok());
+  }
+  for (Alert& alert : engine.Drain()) all.push_back(std::move(alert));
+  return all;
+}
+
+TEST(DetectionEngineTest, ChurnFleetParallelDrainIsBitIdentical) {
+  const ChurnScenario scenario = BuildChurnScenario(6, 400);
+  const std::vector<Alert> sequential = RunChurnScenario(scenario, 1);
+  // The fleet must actually churn — otherwise the determinism claim says
+  // nothing about the membership paths.
+  size_t topology = 0;
+  for (const Alert& alert : sequential) {
+    topology += alert.alert_class == AlertClass::kTopologyChange;
+  }
+  EXPECT_GT(topology, 0u);
+
+  for (size_t workers : {2u, 8u}) {
+    const std::vector<Alert> parallel = RunChurnScenario(scenario, workers);
+    ExpectIdenticalAlerts(sequential, parallel, workers);
+  }
+}
+
 TEST(DetectionEngineTest, DrainPublishesMergedBatchToSinks) {
   const Scenario scenario = BuildDegradedScenario(4, 160);
   DetectionEngineConfig config;

@@ -230,6 +230,169 @@ TEST(TelemetryIngestorTest, FlushSealsEverythingPending) {
   EXPECT_TRUE(ingestor.Flush().empty());
 }
 
+// --- Membership: joins, leaves, renames, and the warm-up gate. ---
+
+TEST(TelemetryIngestorTest, RejoinWaitsForJoinWarmupFloor) {
+  IngestConfig config;
+  config.reorder_window = 2;
+  config.max_gap = 2;
+  config.quarantine_after = 4;
+  config.rejoin_after = 3;
+  config.join_warmup = 6;  // floor above rejoin_after
+  TelemetryIngestor ingestor(2, config);
+  size_t first_clear = 0;
+  auto pump = [&] {
+    for (const AlignedTick& tick : ingestor.Drain()) {
+      if (tick.tick >= 20 && tick.quarantined[1] == 0 && first_clear == 0) {
+        first_clear = tick.tick;
+      }
+    }
+  };
+  for (size_t t = 0; t < 10; ++t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 1.0 * t)).ok());
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 1, 2.0 * t)).ok());
+    pump();
+  }
+  for (size_t t = 10; t < 20; ++t) {  // db 1 goes dark past the budget
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 1.0 * t)).ok());
+    pump();
+  }
+  EXPECT_TRUE(ingestor.Quarantined(1));
+  for (size_t t = 20; t < 40; ++t) {  // recovery
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 1.0 * t)).ok());
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 1, 2.0 * t)).ok());
+    pump();
+  }
+  EXPECT_FALSE(ingestor.Quarantined(1));
+  // rejoin_after alone would readmit at tick 22; the warm-up floor holds the
+  // gate until 6 consecutive fresh ticks (20..25).
+  EXPECT_GE(first_clear, 25u);
+  EXPECT_LE(first_clear, 27u);
+}
+
+TEST(TelemetryIngestorTest, AddDbStartsWarmupGated) {
+  IngestConfig config;
+  config.join_warmup = 4;
+  TelemetryIngestor ingestor(2, config);
+  for (size_t t = 0; t < 5; ++t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 1.0)).ok());
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 1, 2.0)).ok());
+  }
+  ingestor.Drain();
+  const size_t joiner = ingestor.AddDb();
+  EXPECT_EQ(joiner, 2u);
+  EXPECT_EQ(ingestor.num_dbs(), 3u);
+  EXPECT_TRUE(ingestor.Quarantined(joiner));
+  EXPECT_EQ(ingestor.live_dbs(), 3u);
+
+  size_t first_clear = 0;
+  for (size_t t = 5; t < 20; ++t) {
+    for (size_t db = 0; db < 3; ++db) {
+      // Values vary per tick — a constant feed would trip the frozen-feed
+      // stale detector and (correctly) never count as fresh.
+      ASSERT_TRUE(ingestor.Offer(MakeSample(t, db, 1.0 * db + 0.25 * t)).ok());
+    }
+    for (const AlignedTick& tick : ingestor.Drain()) {
+      ASSERT_EQ(tick.quarantined.size(), 3u);
+      if (tick.quarantined[joiner] == 0 && first_clear == 0) {
+        first_clear = tick.tick;
+      }
+    }
+  }
+  EXPECT_FALSE(ingestor.Quarantined(joiner));
+  EXPECT_EQ(first_clear, 5u + config.join_warmup - 1);  // 4 fresh ticks
+
+  bool warmup_exit = false;
+  for (const DataQualityEvent& ev : ingestor.DrainEvents()) {
+    if (ev.db == joiner && ev.kind == DataQualityEvent::Kind::kQuarantineExit) {
+      warmup_exit = true;
+      EXPECT_NE(ev.detail.find("warm-up complete"), std::string::npos);
+    }
+    // A cold joiner must not spam collector-down alerts for its pre-join
+    // history.
+    if (ev.db == joiner) {
+      EXPECT_NE(ev.kind, DataQualityEvent::Kind::kCollectorDown);
+    }
+  }
+  EXPECT_TRUE(warmup_exit);
+}
+
+TEST(TelemetryIngestorTest, AddDbExtraWarmupCoversAnnouncedRamp) {
+  IngestConfig config;
+  config.join_warmup = 3;
+  TelemetryIngestor ingestor(1, config);
+  for (size_t t = 0; t < 5; ++t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 1.0)).ok());
+  }
+  ingestor.Drain();
+  const size_t joiner = ingestor.AddDb(/*extra_warmup=*/5);  // announced ramp
+  size_t first_clear = 0;
+  for (size_t t = 5; t < 25; ++t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 1.0)).ok());
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, joiner, 2.0 * t)).ok());
+    for (const AlignedTick& tick : ingestor.Drain()) {
+      if (tick.quarantined[joiner] == 0 && first_clear == 0) {
+        first_clear = tick.tick;
+      }
+    }
+  }
+  // Gate lifts only after join_warmup + ramp = 8 fresh ticks (5..12).
+  EXPECT_EQ(first_clear, 12u);
+}
+
+TEST(TelemetryIngestorTest, RemoveDbRetiresFeedSilently) {
+  TelemetryIngestor ingestor(3);
+  for (size_t t = 0; t < 5; ++t) {
+    for (size_t db = 0; db < 3; ++db) {
+      ASSERT_TRUE(ingestor.Offer(MakeSample(t, db, 1.0 * db)).ok());
+    }
+  }
+  ingestor.Drain();
+  ingestor.DrainEvents();
+
+  ASSERT_TRUE(ingestor.RemoveDb(1).ok());
+  EXPECT_TRUE(ingestor.Departed(1));
+  EXPECT_TRUE(ingestor.Quarantined(1));
+  EXPECT_EQ(ingestor.live_dbs(), 2u);
+  EXPECT_TRUE(ingestor.RemoveDb(1).ok());  // idempotent
+  EXPECT_EQ(ingestor.RemoveDb(9).code(), StatusCode::kInvalidArgument);
+
+  // Straggler samples from the dead feed are rejected, not buffered.
+  const size_t drops_before = ingestor.late_drops();
+  EXPECT_EQ(ingestor.Offer(MakeSample(5, 1, 9.0)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ingestor.late_drops(), drops_before + 1);
+
+  // Frames stay complete (and seal with zero latency) without the departed
+  // member, and its slot reads permanently quarantined.
+  size_t sealed = 0;
+  for (size_t t = 5; t < 25; ++t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 1.0)).ok());
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 2, 2.0)).ok());
+    for (const AlignedTick& tick : ingestor.Drain()) {
+      ++sealed;
+      EXPECT_EQ(tick.quarantined[1], 1);
+    }
+  }
+  EXPECT_EQ(sealed, 20u);
+  // A feed *known* to be gone produces no collector-down / quarantine spam.
+  for (const DataQualityEvent& ev : ingestor.DrainEvents()) {
+    EXPECT_NE(ev.db, 1u) << DataQualityEventName(ev.kind);
+  }
+}
+
+TEST(TelemetryIngestorTest, RenameFeedRoutesSamples) {
+  TelemetryIngestor ingestor(2);
+  EXPECT_EQ(ingestor.RenameFeed(3, 9).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(ingestor.RenameFeed(7, 1).ok());
+  ASSERT_TRUE(ingestor.Offer(MakeSample(0, 0, 1.0)).ok());
+  ASSERT_TRUE(ingestor.Offer(MakeSample(0, 7, 5.0)).ok());  // routed to db 1
+  const std::vector<AlignedTick> out = ingestor.Drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].quality[1], SampleQuality::kFresh);
+  EXPECT_DOUBLE_EQ(out[0].values[1][0], 5.0);
+}
+
 // --- Degraded feeds end-to-end through the streaming detector. ---
 
 UnitData SimUnit(size_t ticks, double anomaly_ratio, uint64_t seed) {
@@ -304,6 +467,67 @@ TEST(DegradedStreamTest, DeadReplicaDegradesGracefully) {
   EXPECT_LE(survivor_abnormal, 2u);
   // 4 surviving dbs x 300/20 tiles, minus the unresolvable tail.
   EXPECT_GE(healthy_verdicts, 4 * (300 / 20) - 8u);
+}
+
+// A feed that goes kNoData and then recovers must re-enter through the
+// warm-up gate: every window touching the outage or the warm-up run resolves
+// to kNoData — never a spurious kAbnormal tick — and healthy verdicts resume
+// once the gate lifts.
+TEST(DegradedStreamTest, RejoinPassesThroughWarmupWithoutSpuriousAbnormal) {
+  const UnitData unit = SimUnit(400, 0.0, 37);  // anomaly-free ground truth
+  const DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  IngestConfig ingest;
+  ingest.join_warmup = config.initial_window;  // rejoin refills a window
+  DbcatcherStream stream(config, unit.roles);
+  TelemetryIngestor ingestor(unit.num_dbs(), ingest);
+  const size_t dead_db = 2;
+  const size_t dead_from = 100, dead_to = 160;
+
+  std::vector<StreamVerdict> verdicts;
+  auto pump = [&] {
+    for (const AlignedTick& tick : ingestor.Drain()) {
+      ASSERT_TRUE(stream.PushAligned(tick).ok());
+    }
+    for (const StreamVerdict& v : stream.Poll()) verdicts.push_back(v);
+  };
+  for (size_t t = 0; t < unit.length(); ++t) {
+    for (size_t db = 0; db < unit.num_dbs(); ++db) {
+      if (db == dead_db && t >= dead_from && t < dead_to) continue;
+      TelemetrySample sample;
+      sample.tick = t;
+      sample.db = db;
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        sample.values[k] = unit.kpis[db].row(k)[t];
+      }
+      ASSERT_TRUE(ingestor.Offer(sample).ok());
+    }
+    pump();
+  }
+  for (const AlignedTick& tick : ingestor.Flush()) {
+    ASSERT_TRUE(stream.PushAligned(tick).ok());
+  }
+  for (const StreamVerdict& v : stream.Poll()) verdicts.push_back(v);
+
+  size_t nodata = 0, healthy_after = 0;
+  for (const StreamVerdict& v : verdicts) {
+    if (v.db != dead_db) continue;
+    // The entire trace is anomaly-free: any abnormal verdict on the
+    // recovering feed would be a warm-up artifact.
+    EXPECT_NE(v.state, DbState::kAbnormal)
+        << "window [" << v.window.begin << ", " << v.window.end << ")";
+    // Windows overlapping the outage or the warm-up run stay kNoData.
+    if (v.window.begin < dead_to + ingest.join_warmup &&
+        v.window.end > dead_from) {
+      EXPECT_EQ(v.state, DbState::kNoData)
+          << "window [" << v.window.begin << ", " << v.window.end << ")";
+      ++nodata;
+    }
+    if (v.window.begin >= dead_to + 2 * ingest.join_warmup) {
+      healthy_after += v.state == DbState::kHealthy;
+    }
+  }
+  EXPECT_GE(nodata, 3u);
+  EXPECT_GE(healthy_after, 3u);  // the feed rejoined the judged peer set
 }
 
 TEST(DegradedStreamTest, FaultedFeedKeepsDetectionQuality) {

@@ -1,0 +1,283 @@
+// Topology churn tests: the fault scheduler's membership consistency, the
+// simulator's dynamic per-tick member set, and the control-plane update
+// derivation the detection pipeline consumes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dbc/cloudsim/topology.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/dbcatcher/ingest.h"
+
+namespace dbc {
+namespace {
+
+TEST(TopologyScheduleTest, KindNamesAndSlotCount) {
+  EXPECT_EQ(TopologyEventKindName(TopologyEventKind::kReplicaCrash),
+            "replica-crash");
+  EXPECT_EQ(TopologyEventKindName(TopologyEventKind::kLbRebalance),
+            "lb-rebalance");
+  std::vector<TopologyEvent> events(2);
+  events[0].kind = TopologyEventKind::kReplicaJoin;
+  events[1].kind = TopologyEventKind::kPrimarySwitchover;
+  EXPECT_EQ(TopologySlotCount(events, 5), 6u);
+  EXPECT_EQ(TopologySlotCount({}, 5), 5u);
+}
+
+// Replays a schedule against the membership it claims to mutate and checks
+// every event is consistent with the state at its start tick.
+TEST(TopologyScheduleTest, ScheduleIsMembershipConsistent) {
+  TopologyFaultConfig config;
+  config.max_events = 8;
+  const size_t num_dbs = 5;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const auto events = ScheduleTopologyFaults(config, num_dbs, 4000, rng);
+    ASSERT_FALSE(events.empty()) << "seed " << seed;
+
+    EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                               [](const TopologyEvent& a,
+                                  const TopologyEvent& b) {
+                                 return a.start < b.start;
+                               }));
+    EXPECT_GE(events.front().start, config.head_clearance);
+
+    std::vector<uint8_t> alive(num_dbs, 1);
+    size_t primary = 0;
+    size_t live = num_dbs;
+    size_t next_join = num_dbs;
+    for (const TopologyEvent& ev : events) {
+      EXPECT_LT(ev.end(), 4000u);
+      switch (ev.kind) {
+        case TopologyEventKind::kReplicaCrash:
+          ASSERT_LT(ev.db, alive.size());
+          EXPECT_TRUE(alive[ev.db]) << "crashed a dead member";
+          EXPECT_NE(ev.db, primary) << "crashed the primary";
+          EXPECT_GT(live, config.min_members) << "crashed at the floor";
+          alive[ev.db] = 0;
+          --live;
+          break;
+        case TopologyEventKind::kReplicaJoin:
+          EXPECT_EQ(ev.db, next_join) << "join ids must be fresh, in order";
+          ++next_join;
+          alive.resize(ev.db + 1, 0);
+          alive[ev.db] = 1;
+          ++live;
+          EXPECT_EQ(ev.duration, config.join_ramp);
+          break;
+        case TopologyEventKind::kPrimarySwitchover:
+          ASSERT_LT(ev.db, alive.size());
+          EXPECT_TRUE(alive[ev.db]) << "promoted a dead member";
+          EXPECT_EQ(ev.peer, primary);
+          primary = ev.db;
+          break;
+        case TopologyEventKind::kLbRebalance:
+          ASSERT_LT(ev.db, alive.size());
+          ASSERT_LT(ev.peer, alive.size());
+          EXPECT_TRUE(alive[ev.db]);
+          EXPECT_TRUE(alive[ev.peer]);
+          EXPECT_NE(ev.db, ev.peer);
+          break;
+      }
+      EXPECT_GE(live, config.min_members);
+    }
+  }
+}
+
+TEST(TopologyScheduleTest, CrashScheduledWithReplacementJoin) {
+  TopologyFaultConfig config;
+  config.kinds = {TopologyEventKind::kReplicaCrash};
+  config.max_events = 2;
+  Rng rng(7);
+  const auto events = ScheduleTopologyFaults(config, 5, 2000, rng);
+  size_t crashes = 0, joins = 0;
+  for (const TopologyEvent& ev : events) {
+    if (ev.kind == TopologyEventKind::kReplicaCrash) {
+      ++crashes;
+      // The replacement join follows replace_delay ticks later.
+      const auto it = std::find_if(
+          events.begin(), events.end(), [&](const TopologyEvent& e) {
+            return e.kind == TopologyEventKind::kReplicaJoin &&
+                   e.start == ev.start + config.replace_delay;
+          });
+      EXPECT_NE(it, events.end());
+    }
+    if (ev.kind == TopologyEventKind::kReplicaJoin) ++joins;
+  }
+  EXPECT_GT(crashes, 0u);
+  EXPECT_EQ(crashes, joins);
+}
+
+TEST(TopologyScheduleTest, DeterministicForSeed) {
+  TopologyFaultConfig config;
+  Rng a(99), b(99);
+  const auto ea = ScheduleTopologyFaults(config, 5, 3000, a);
+  const auto eb = ScheduleTopologyFaults(config, 5, 3000, b);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].kind, eb[i].kind);
+    EXPECT_EQ(ea[i].db, eb[i].db);
+    EXPECT_EQ(ea[i].start, eb[i].start);
+  }
+}
+
+TEST(ControlPlaneUpdatesTest, MapsEventsAndSkipsRebalance) {
+  std::vector<TopologyEvent> events(4);
+  events[0] = {TopologyEventKind::kReplicaCrash, /*db=*/2, 0, /*start=*/100,
+               0, 0.0};
+  events[1] = {TopologyEventKind::kReplicaJoin, /*db=*/5, 0, /*start=*/120,
+               40, 1.0};
+  events[2] = {TopologyEventKind::kLbRebalance, /*db=*/1, /*peer=*/3,
+               /*start=*/300, 60, 0.35};
+  events[3] = {TopologyEventKind::kPrimarySwitchover, /*db=*/4, /*peer=*/0,
+               /*start=*/500, 4, 0.25};
+  const std::vector<TopologyUpdate> updates = ControlPlaneUpdates(events);
+  ASSERT_EQ(updates.size(), 3u);  // rebalance is not a membership change
+  EXPECT_EQ(updates[0].kind, TopologyUpdate::Kind::kLeave);
+  EXPECT_EQ(updates[0].db, 2u);
+  EXPECT_EQ(updates[0].tick, 100u);
+  EXPECT_EQ(updates[1].kind, TopologyUpdate::Kind::kJoin);
+  EXPECT_EQ(updates[1].db, 5u);
+  EXPECT_EQ(updates[2].kind, TopologyUpdate::Kind::kSwitchover);
+  EXPECT_EQ(updates[2].db, 4u);
+  EXPECT_EQ(updates[2].peer, 0u);
+}
+
+UnitData ChurnUnit(uint64_t seed, TopologyFaultConfig topology,
+                   size_t ticks = 1200) {
+  UnitSimConfig config;
+  config.ticks = ticks;
+  config.inject_topology = true;
+  config.topology = topology;
+  config.max_collection_delay = 0;  // exact tick alignment for assertions
+  PeriodicProfileParams pp;
+  Rng rng(seed);
+  auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+  return SimulateUnit(config, *profile, true, rng.Fork(2));
+}
+
+TEST(SimulateUnitChurnTest, PresentMaskTracksMembership) {
+  TopologyFaultConfig topo;
+  topo.kinds = {TopologyEventKind::kReplicaCrash};
+  topo.max_events = 2;
+  const UnitData unit = ChurnUnit(131, topo);
+  ASSERT_FALSE(unit.topology.empty());
+  EXPECT_EQ(unit.num_dbs(), TopologySlotCount(unit.topology, 5));
+  EXPECT_FALSE(unit.present.empty());
+
+  for (const TopologyEvent& ev : unit.topology) {
+    if (ev.kind == TopologyEventKind::kReplicaCrash) {
+      EXPECT_TRUE(unit.PresentAt(ev.db, ev.start - 1));
+      EXPECT_FALSE(unit.PresentAt(ev.db, ev.start));
+      EXPECT_FALSE(unit.PresentAt(ev.db, unit.length() - 1));
+    }
+    if (ev.kind == TopologyEventKind::kReplicaJoin) {
+      EXPECT_FALSE(unit.PresentAt(ev.db, ev.start - 1));
+      EXPECT_TRUE(unit.PresentAt(ev.db, ev.start));
+      // Cold history: placeholder zeros before the join.
+      for (size_t t = 0; t < ev.start; ++t) {
+        EXPECT_EQ(unit.kpi(ev.db, Kpi::kRequestsPerSecond)[t], 0.0);
+      }
+    }
+  }
+  // Labels only ever fire on present (db, t) points.
+  for (size_t db = 0; db < unit.num_dbs(); ++db) {
+    for (size_t t = 0; t < unit.length(); ++t) {
+      if (unit.labels[db][t]) EXPECT_TRUE(unit.PresentAt(db, t));
+    }
+  }
+}
+
+TEST(SimulateUnitChurnTest, PrimaryFollowsSwitchover) {
+  TopologyFaultConfig topo;
+  topo.kinds = {TopologyEventKind::kPrimarySwitchover};
+  topo.max_events = 1;
+  const UnitData unit = ChurnUnit(137, topo);
+  ASSERT_EQ(unit.topology.size(), 1u);
+  const TopologyEvent& ev = unit.topology.front();
+  EXPECT_EQ(unit.PrimaryAt(0), 0u);
+  EXPECT_EQ(unit.PrimaryAt(ev.start - 1), ev.peer);
+  EXPECT_EQ(unit.PrimaryAt(ev.start), ev.db);
+  EXPECT_EQ(unit.PrimaryAt(unit.length() - 1), ev.db);
+}
+
+TEST(SimulateUnitChurnTest, MembersAtCountsLiveFeeds) {
+  TopologyFaultConfig topo;
+  topo.kinds = {TopologyEventKind::kReplicaCrash};
+  topo.max_events = 1;
+  topo.replace_after_crash = false;
+  const UnitData unit = ChurnUnit(139, topo);
+  ASSERT_EQ(unit.topology.size(), 1u);
+  const TopologyEvent& crash = unit.topology.front();
+  EXPECT_EQ(unit.MembersAt(0), 5u);
+  EXPECT_EQ(unit.MembersAt(crash.start), 4u);
+  EXPECT_EQ(unit.MembersAt(unit.length() - 1), 4u);
+}
+
+TEST(SimulateUnitChurnTest, StaticTopologyLeavesFieldsEmpty) {
+  UnitSimConfig config;
+  config.ticks = 300;
+  config.inject_topology = false;
+  PeriodicProfileParams pp;
+  Rng rng(149);
+  auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+  const UnitData unit = SimulateUnit(config, *profile, true, rng.Fork(2));
+  EXPECT_TRUE(unit.present.empty());
+  EXPECT_TRUE(unit.primary.empty());
+  EXPECT_TRUE(unit.topology.empty());
+  EXPECT_EQ(unit.num_dbs(), 5u);
+  EXPECT_TRUE(unit.PresentAt(3, 100));  // empty mask means always present
+}
+
+// Turning churn on must not perturb the static random streams: a clean run
+// is bit-identical whether or not the topology feature exists in the config.
+TEST(SimulateUnitChurnTest, CleanRunUnchangedByFeatureFlag) {
+  UnitSimConfig config;
+  config.ticks = 400;
+  PeriodicProfileParams pp;
+  auto mk = [&](bool churn) {
+    UnitSimConfig c = config;
+    c.inject_topology = churn;
+    Rng rng(151);
+    auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+    return SimulateUnit(c, *profile, true, rng.Fork(2));
+  };
+  const UnitData off = mk(false);
+  const UnitData on = mk(true);
+  // The churned trace diverges, but only because events fire; the shared
+  // pre-churn head (before head_clearance) is bit-identical.
+  const size_t head = std::min<size_t>(UnitSimConfig{}.topology.head_clearance,
+                                       off.length());
+  for (size_t db = 0; db < 5; ++db) {
+    for (size_t t = 0; t + 8 < head; ++t) {
+      EXPECT_DOUBLE_EQ(off.kpi(db, Kpi::kCpuUtilization)[t],
+                       on.kpi(db, Kpi::kCpuUtilization)[t])
+          << "db " << db << " t " << t;
+    }
+  }
+}
+
+TEST(SimulateUnitChurnTest, SliceRebasesTopology) {
+  TopologyFaultConfig topo;
+  topo.max_events = 6;
+  const UnitData unit = ChurnUnit(157, topo, 2000);
+  ASSERT_FALSE(unit.topology.empty());
+  const size_t begin = 200, end = 1500;
+  const UnitData sliced = unit.Slice(begin, end);
+  EXPECT_EQ(sliced.length(), end - begin);
+  for (const TopologyEvent& ev : sliced.topology) {
+    EXPECT_LT(ev.start, end - begin);
+  }
+  for (size_t db = 0; db < sliced.num_dbs(); ++db) {
+    for (size_t t = 0; t < sliced.length(); ++t) {
+      EXPECT_EQ(sliced.PresentAt(db, t), unit.PresentAt(db, t + begin));
+    }
+  }
+  for (size_t t = 0; t < sliced.length(); ++t) {
+    EXPECT_EQ(sliced.PrimaryAt(t), unit.PrimaryAt(t + begin));
+  }
+}
+
+}  // namespace
+}  // namespace dbc

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <utility>
 
+#include "dbc/common/provenance.h"
+
 namespace dbc {
 namespace bench {
 
@@ -82,42 +84,7 @@ std::string PctCell(const Spread& s) {
          TextTable::Pct(s.max) + "]";
 }
 
-std::string BenchGitSha() {
-  const char* env = std::getenv("DBC_GIT_SHA");
-  if (env != nullptr && env[0] != '\0') return env;
-  std::string sha = "unknown";
-  FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r");
-  if (pipe != nullptr) {
-    char buf[64] = {};
-    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
-      std::string line(buf);
-      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
-        line.pop_back();
-      }
-      if (!line.empty()) sha = line;
-    }
-    pclose(pipe);
-  }
-  return sha;
-}
-
-namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out += c;
-  }
-  return out;
-}
-
-}  // namespace
+std::string BenchGitSha() { return CurrentGitSha(); }
 
 BenchReport::BenchReport(std::string name, std::string config_string)
     : name_(std::move(name)), config_(std::move(config_string)) {}

@@ -33,9 +33,10 @@ std::string UnitName(size_t u) { return "unit-" + std::to_string(u); }
 /// Streams every unit trace through the engine tick by tick, draining after
 /// each fleet-wide tick (the online cadence), and returns elapsed seconds.
 double RunFleet(const std::vector<dbc::UnitData>& units, size_t workers,
-                size_t* alerts_out) {
+                size_t* alerts_out, bool obs = false) {
   dbc::DetectionEngineConfig config;
   config.workers = workers;
+  config.obs.enabled = obs;
   dbc::DetectionEngine engine(config);
   for (size_t u = 0; u < units.size(); ++u) {
     engine.RegisterUnit(UnitName(u), units[u].roles);
@@ -117,11 +118,37 @@ int main() {
               " (target >= 2x; %zu hardware threads)\n",
               speedup_16x4, cores);
 
+  // Observability overhead: the same 16-unit fleet with the metrics registry
+  // on vs off, best-of-3 to shave scheduler noise. Budget: <= 5%.
+  const size_t obs_workers = std::min<size_t>(4, workers_max);
+  const std::vector<dbc::UnitData> obs_fleet(pool.begin(), pool.begin() + 16);
+  double dark_seconds = 1e300, lit_seconds = 1e300;
+  size_t dark_alerts = 0, lit_alerts = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    size_t alerts = 0;
+    dark_seconds = std::min(
+        dark_seconds, RunFleet(obs_fleet, obs_workers, &alerts, false));
+    dark_alerts = alerts;
+    lit_seconds =
+        std::min(lit_seconds, RunFleet(obs_fleet, obs_workers, &alerts, true));
+    lit_alerts = alerts;
+  }
+  const double overhead_pct =
+      (lit_seconds - dark_seconds) / dark_seconds * 100.0;
+  std::printf("\nobservability overhead (16 units, %zu workers, best of 3):"
+              " off %.3fs, on %.3fs -> %+.2f%% (budget <= 5%%);"
+              " alert streams %s\n",
+              obs_workers, dark_seconds, lit_seconds, overhead_pct,
+              dark_alerts == lit_alerts ? "agree" : "DIFFER");
+
   dbc::bench::BenchReport report(
       "throughput_units", "workers_max=" + std::to_string(workers_max) +
                               " ticks=" + std::to_string(ticks));
   report.Add("speedup_16units_4workers", speedup_16x4);
   report.Add("hardware_threads", static_cast<double>(cores));
+  report.Add("obs_overhead_pct", overhead_pct);
+  report.Add("obs_alert_count_delta",
+             static_cast<double>(lit_alerts) - static_cast<double>(dark_alerts));
   report.Write();
   std::printf("\nShape: drains are share-nothing per unit, so throughput"
               " scales with workers until the fleet runs out of cores or"

@@ -123,6 +123,11 @@ TelemetryFaultInjector::TelemetryFaultInjector(
       has_delivered_(num_dbs, 0),
       corrupted_(num_dbs) {}
 
+void TelemetryFaultInjector::CountCorrupted(TelemetryFaultKind kind) {
+  Inc(metrics_.samples_corrupted);
+  Inc(metrics_.corrupted_by_kind[static_cast<size_t>(kind)]);
+}
+
 std::vector<TelemetrySample> TelemetryFaultInjector::Step(
     size_t t, const std::vector<std::array<double, kNumKpis>>& clean) {
   assert(clean.size() == num_dbs_);
@@ -162,10 +167,12 @@ std::vector<TelemetrySample> TelemetryFaultInjector::Step(
     switch (active->kind) {
       case TelemetryFaultKind::kBlackout:
         corrupted_[db][t] = 1;
+        CountCorrupted(active->kind);
         break;  // nothing delivered
       case TelemetryFaultKind::kTickDropout:
         if (rng_.Bernoulli(active->intensity)) {
           corrupted_[db][t] = 1;
+          CountCorrupted(active->kind);
         } else {
           out.push_back(sample);
           last_delivered_[db] = sample.values;
@@ -181,6 +188,7 @@ std::vector<TelemetrySample> TelemetryFaultInjector::Step(
           }
         }
         corrupted_[db][t] = 1;
+        CountCorrupted(active->kind);
         out.push_back(sample);
         break;
       }
@@ -188,6 +196,7 @@ std::vector<TelemetrySample> TelemetryFaultInjector::Step(
         if (has_delivered_[db]) {
           sample.values = last_delivered_[db];  // frozen collector
           corrupted_[db][t] = 1;
+          CountCorrupted(active->kind);
         }
         out.push_back(sample);
         break;
@@ -196,12 +205,14 @@ std::vector<TelemetrySample> TelemetryFaultInjector::Step(
             rng_.UniformInt(1, static_cast<int64_t>(max_reorder_)));
         delayed_[t + delay].push_back(sample);
         corrupted_[db][t] = 1;
+        CountCorrupted(active->kind);
         last_delivered_[db] = sample.values;
         has_delivered_[db] = 1;
         break;
       }
     }
   }
+  Inc(metrics_.samples_delivered, out.size());
   return out;
 }
 
@@ -211,6 +222,7 @@ std::vector<TelemetrySample> TelemetryFaultInjector::Flush() {
     out.insert(out.end(), samples.begin(), samples.end());
   }
   delayed_.clear();
+  Inc(metrics_.samples_delivered, out.size());
   return out;
 }
 

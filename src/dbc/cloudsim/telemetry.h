@@ -20,6 +20,7 @@
 #include "dbc/cloudsim/kpi.h"
 #include "dbc/cloudsim/unit_data.h"
 #include "dbc/common/rng.h"
+#include "dbc/obs/metrics.h"
 
 namespace dbc {
 
@@ -83,6 +84,19 @@ struct TelemetrySample {
   std::array<double, kNumKpis> values{};
 };
 
+/// Injection-side ground-truth counters (null = off). Comparing these with
+/// the ingest layer's dbc_ingest_* counters closes the loop: faults injected
+/// vs. degradation actually detected downstream.
+struct TelemetryFaultMetrics {
+  /// Samples handed to the monitoring service (late arrivals included).
+  Counter* samples_delivered = nullptr;
+  /// Ground-truth corrupted (db, tick) points (dropped, NaN'd, frozen, or
+  /// delayed), all kinds.
+  Counter* samples_corrupted = nullptr;
+  /// The same, split by fault kind (indexed by TelemetryFaultKind).
+  std::array<Counter*, kNumTelemetryFaultKinds> corrupted_by_kind{};
+};
+
 /// Turns scheduled fault events into a degraded sample stream.
 ///
 /// Drive it with one clean tick at a time; Step() returns the samples that
@@ -93,6 +107,13 @@ class TelemetryFaultInjector {
  public:
   TelemetryFaultInjector(std::vector<TelemetryFaultEvent> events,
                          size_t num_dbs, size_t max_reorder, Rng rng);
+
+  /// Installs observability counters (copied; null members stay no-ops).
+  /// Counting never perturbs the random stream: degraded output is identical
+  /// with metrics on or off.
+  void set_metrics(const TelemetryFaultMetrics& metrics) {
+    metrics_ = metrics;
+  }
 
   /// Degrades the clean tick `t` (values[db][kpi]); returns the samples
   /// delivered at this step, in arrival order.
@@ -113,6 +134,9 @@ class TelemetryFaultInjector {
   const std::vector<TelemetryFaultEvent>& events() const { return events_; }
 
  private:
+  /// Records one ground-truth corruption (total + per-kind).
+  void CountCorrupted(TelemetryFaultKind kind);
+
   std::vector<TelemetryFaultEvent> events_;
   size_t num_dbs_ = 0;
   size_t max_reorder_ = 3;
@@ -124,6 +148,7 @@ class TelemetryFaultInjector {
   std::vector<uint8_t> has_delivered_;
   /// corrupted_[db] grows one flag per stepped tick.
   std::vector<std::vector<uint8_t>> corrupted_;
+  TelemetryFaultMetrics metrics_;
 };
 
 /// Convenience: degrades a whole unit trace. batches[t] holds the samples

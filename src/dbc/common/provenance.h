@@ -1,0 +1,26 @@
+// Run provenance: the git SHA + seed + config stamp shared by bench reports
+// (BENCH_*.json) and observability snapshots (metrics JSONL), so any recorded
+// number can be traced back to the exact commit and knobs that produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dbc {
+
+/// Short git SHA of the running checkout: $DBC_GIT_SHA when set (CI pins it),
+/// else `git rev-parse --short=12 HEAD`, else "unknown".
+std::string CurrentGitSha();
+
+/// Provenance stamp attached to machine-readable artifacts.
+struct RunProvenance {
+  std::string git_sha = CurrentGitSha();
+  uint64_t seed = 0;
+  /// Free-form description of the knobs that shaped the run.
+  std::string config;
+};
+
+/// Escapes a string for embedding in a JSON value.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace dbc

@@ -1,4 +1,8 @@
-// Wall-clock stopwatch used to time training / detection phases.
+// Monotonic stopwatch used to time training / detection phases and the
+// observability layer's stage histograms. Deliberately pinned to
+// std::chrono::steady_clock: a wall clock (system_clock) can jump backwards
+// under NTP adjustment, which would record negative stage durations and
+// poison latency histograms.
 #pragma once
 
 #include <chrono>
@@ -12,7 +16,8 @@ class Stopwatch {
 
   void Restart() { start_ = Clock::now(); }
 
-  /// Elapsed seconds since construction or the last Restart().
+  /// Elapsed seconds since construction or the last Restart(). Never
+  /// negative: the clock is steady by construction.
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
@@ -20,8 +25,21 @@ class Stopwatch {
   /// Elapsed milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Elapsed seconds since the last Lap()/Restart()/construction, resetting
+  /// the origin — the idiom for timing consecutive pipeline stages with one
+  /// clock read per boundary.
+  double LapSeconds() {
+    const Clock::time_point now = Clock::now();
+    const double seconds = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return seconds;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "stage timings require a monotonic clock; see histogram "
+                "sanity note above");
   Clock::time_point start_;
 };
 

@@ -36,6 +36,11 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(n, [&fn](size_t /*lane*/, size_t i) { fn(i); });
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
@@ -45,11 +50,11 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   const size_t lanes = std::min(n, thread_count());
   futures.reserve(lanes);
   for (size_t lane = 0; lane < lanes; ++lane) {
-    futures.push_back(Submit([&] {
+    futures.push_back(Submit([&, lane] {
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
         if (failed.load(std::memory_order_relaxed)) return;
         try {
-          fn(i);
+          fn(lane, i);
         } catch (...) {
           {
             std::lock_guard<std::mutex> lock(error_mu);

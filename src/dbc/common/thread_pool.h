@@ -33,6 +33,13 @@ class ThreadPool {
   /// stays usable afterwards.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// As above, but fn(lane, i) also receives the executing lane's index in
+  /// [0, min(n, thread_count())). Lanes map 1:1 to pool submissions for one
+  /// call, so per-lane accumulators (e.g. worker-utilization gauges) need no
+  /// synchronization beyond the join.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t)>& fn);
+
   size_t thread_count() const { return workers_.size(); }
 
  private:

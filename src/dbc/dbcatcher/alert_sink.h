@@ -23,6 +23,11 @@ class AlertSink {
 
   /// Delivers one drained batch, in deterministic (unit, tick) merge order.
   virtual void Publish(const std::vector<Alert>& alerts) = 0;
+
+  /// Alerts this sink has discarded under back-pressure (0 for sinks that
+  /// never drop). The engine's observability layer scrapes this after each
+  /// publish into the dbc_engine_sink_dropped_total gauge.
+  virtual size_t dropped() const { return 0; }
 };
 
 /// In-memory sink bounded at `capacity` alerts. When the buffer is full the
@@ -43,7 +48,7 @@ class BoundedAlertSink : public AlertSink {
   /// Alerts ever delivered to this sink.
   size_t published() const { return published_; }
   /// Alerts evicted because the buffer was full (back-pressure signal).
-  size_t dropped() const { return dropped_; }
+  size_t dropped() const override { return dropped_; }
 
   size_t capacity() const { return capacity_; }
 

@@ -60,16 +60,19 @@ bool KcdCache::Lookup(uint64_t key, double* score) const {
 
 void KcdCache::Insert(uint64_t key, double score) { map_[key] = score; }
 
-void KcdCache::EvictBefore(size_t begin) {
+size_t KcdCache::EvictBefore(size_t begin) {
   const uint64_t floor = static_cast<uint64_t>(begin) & 0xFFFFFFF;
+  size_t evicted = 0;
   for (auto it = map_.begin(); it != map_.end();) {
     const uint64_t entry_begin = (it->first >> 15) & 0xFFFFFFF;
     if (entry_begin < floor) {
       it = map_.erase(it);
+      ++evicted;
     } else {
       ++it;
     }
   }
+  return evicted;
 }
 
 CorrelationAnalyzer::CorrelationAnalyzer(const UnitData& unit,

@@ -49,8 +49,9 @@ class KcdCache {
   size_t size() const { return map_.size(); }
 
   /// Drops every memoized window beginning before `begin` (absolute ticks).
-  /// Called by the trimming stream so the memo stays bounded too.
-  void EvictBefore(size_t begin);
+  /// Called by the trimming stream so the memo stays bounded too. Returns
+  /// how many entries were evicted (the stream's eviction counter).
+  size_t EvictBefore(size_t begin);
 
  private:
   std::unordered_map<uint64_t, double> map_;

@@ -1,7 +1,11 @@
 #include "dbc/dbcatcher/detection_engine.h"
 
+#include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <utility>
+
+#include "dbc/common/stopwatch.h"
 
 namespace dbc {
 
@@ -21,12 +25,41 @@ DetectionEngine::DetectionEngine(DetectionEngineConfig config)
   if (config_.workers != 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers);
   }
+  if (config_.obs.enabled) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+    if (config_.obs.trace) {
+      trace_ = std::make_unique<TraceLog>(config_.obs.trace_capacity);
+    }
+    engine_metrics_.drains = metrics_->GetCounter("dbc_engine_drains_total");
+    engine_metrics_.alerts_published =
+        metrics_->GetCounter("dbc_engine_alerts_published_total");
+    engine_metrics_.drain_seconds =
+        metrics_->GetHistogram("dbc_engine_drain_seconds");
+    engine_metrics_.merge_seconds =
+        metrics_->GetHistogram("dbc_engine_merge_seconds");
+    engine_metrics_.unit_drain_seconds =
+        metrics_->GetHistogram("dbc_engine_unit_drain_seconds");
+    engine_metrics_.queue_depth = metrics_->GetGauge("dbc_engine_queue_depth");
+    engine_metrics_.utilization = metrics_->GetGauge("dbc_engine_utilization");
+    engine_metrics_.sink_dropped =
+        metrics_->GetGauge("dbc_engine_sink_dropped_total");
+    const size_t lanes = workers();
+    engine_metrics_.worker_busy.resize(lanes);
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      engine_metrics_.worker_busy[lane] = metrics_->GetGauge(
+          "dbc_engine_worker_busy_seconds", {{"worker", std::to_string(lane)}});
+    }
+  }
 }
 
 void DetectionEngine::RegisterUnit(const std::string& unit,
                                    std::vector<DbRole> roles) {
-  pipelines_[unit] = std::make_unique<UnitPipeline>(unit, std::move(roles),
-                                                    config_.pipeline);
+  auto pipeline = std::make_unique<UnitPipeline>(unit, std::move(roles),
+                                                 config_.pipeline);
+  if (metrics_ != nullptr) {
+    pipeline->EnableObservability(metrics_.get(), trace_.get());
+  }
+  pipelines_[unit] = std::move(pipeline);
 }
 
 UnitPipeline* DetectionEngine::Find(const std::string& unit) {
@@ -76,6 +109,9 @@ Status DetectionEngine::ApplyTopology(const std::string& unit,
 }
 
 std::vector<Alert> DetectionEngine::Drain() {
+  const bool observed = metrics_ != nullptr;
+  Stopwatch watch;  // read only on the observed path
+
   // Snapshot the name-ordered pipelines; slot i of `per_unit` belongs to
   // exactly one task, so workers never contend.
   std::vector<UnitPipeline*> order;
@@ -83,9 +119,55 @@ std::vector<Alert> DetectionEngine::Drain() {
   for (const auto& [name, pipeline] : pipelines_) order.push_back(pipeline.get());
 
   std::vector<std::vector<Alert>> per_unit(order.size());
+  Set(engine_metrics_.queue_depth, static_cast<double>(order.size()));
+  double busy_seconds = 0.0;
+  double fan_seconds = 0.0;
+  size_t lanes = 1;
   if (pool_ != nullptr && order.size() > 1) {
-    pool_->ParallelFor(order.size(),
-                       [&](size_t i) { per_unit[i] = order[i]->Drain(); });
+    lanes = std::min(order.size(), pool_->thread_count());
+    if (observed) {
+      // Lane-local busy accumulators: each lane owns its slot for the whole
+      // ParallelFor, so no synchronization beyond the join is needed. The
+      // queue-depth gauge and the unit histogram are relaxed atomics and may
+      // be written from any worker.
+      std::atomic<size_t> remaining{order.size()};
+      std::vector<double> lane_busy(pool_->thread_count(), 0.0);
+      pool_->ParallelFor(order.size(), [&](size_t lane, size_t i) {
+        Stopwatch unit_watch;
+        per_unit[i] = order[i]->Drain();
+        const double seconds = unit_watch.ElapsedSeconds();
+        lane_busy[lane] += seconds;
+        Observe(engine_metrics_.unit_drain_seconds, seconds);
+        Set(engine_metrics_.queue_depth,
+            static_cast<double>(
+                remaining.fetch_sub(1, std::memory_order_relaxed) - 1));
+      });
+      for (size_t lane = 0; lane < lane_busy.size(); ++lane) {
+        busy_seconds += lane_busy[lane];
+        if (lane_busy[lane] > 0.0 &&
+            lane < engine_metrics_.worker_busy.size()) {
+          engine_metrics_.worker_busy[lane]->Add(lane_busy[lane]);
+        }
+      }
+      fan_seconds = watch.LapSeconds();
+    } else {
+      pool_->ParallelFor(order.size(),
+                         [&](size_t i) { per_unit[i] = order[i]->Drain(); });
+    }
+  } else if (observed) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      Stopwatch unit_watch;
+      per_unit[i] = order[i]->Drain();
+      const double seconds = unit_watch.ElapsedSeconds();
+      busy_seconds += seconds;
+      Observe(engine_metrics_.unit_drain_seconds, seconds);
+      Set(engine_metrics_.queue_depth,
+          static_cast<double>(order.size() - i - 1));
+    }
+    if (busy_seconds > 0.0 && !engine_metrics_.worker_busy.empty()) {
+      engine_metrics_.worker_busy[0]->Add(busy_seconds);
+    }
+    fan_seconds = watch.LapSeconds();
   } else {
     for (size_t i = 0; i < order.size(); ++i) per_unit[i] = order[i]->Drain();
   }
@@ -100,7 +182,29 @@ std::vector<Alert> DetectionEngine::Drain() {
     for (Alert& alert : batch) merged.push_back(std::move(alert));
   }
 
+  ++drain_count_;
+  if (observed) {
+    const double merge_seconds = watch.LapSeconds();
+    Observe(engine_metrics_.merge_seconds, merge_seconds);
+    Observe(engine_metrics_.drain_seconds, fan_seconds + merge_seconds);
+    Inc(engine_metrics_.drains);
+    Inc(engine_metrics_.alerts_published, merged.size());
+    if (fan_seconds > 0.0) {
+      Set(engine_metrics_.utilization,
+          busy_seconds / (fan_seconds * static_cast<double>(lanes)));
+    }
+    if (trace_ != nullptr) {
+      trace_->Record({"", "engine-drain", drain_count_,
+                      fan_seconds + merge_seconds, merged.size()});
+    }
+  }
+
   for (const auto& sink : sinks_) sink->Publish(merged);
+  if (observed && !sinks_.empty()) {
+    size_t dropped = 0;
+    for (const auto& sink : sinks_) dropped += sink->dropped();
+    Set(engine_metrics_.sink_dropped, static_cast<double>(dropped));
+  }
   return merged;
 }
 

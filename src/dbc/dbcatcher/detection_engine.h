@@ -16,6 +16,8 @@
 #include "dbc/common/thread_pool.h"
 #include "dbc/dbcatcher/alert_sink.h"
 #include "dbc/dbcatcher/unit_pipeline.h"
+#include "dbc/obs/metrics.h"
+#include "dbc/obs/trace.h"
 
 namespace dbc {
 
@@ -26,6 +28,25 @@ struct DetectionEngineConfig {
   /// on the caller's thread (exactly the pre-engine behaviour); 0 = hardware
   /// concurrency.
   size_t workers = 1;
+  /// Self-observability. Off (default): no registry exists and the alert
+  /// stream is bit-identical to an uninstrumented build. On: the engine owns
+  /// a MetricsRegistry (+ TraceLog) wired through every registered pipeline.
+  ObsConfig obs;
+};
+
+/// Engine-level drain metrics (null = off); per-unit metrics live on the
+/// pipelines themselves.
+struct EngineMetrics {
+  Counter* drains = nullptr;            // Drain() batches completed
+  Counter* alerts_published = nullptr;  // merged alerts handed to sinks
+  Histogram* drain_seconds = nullptr;   // whole-drain wall time
+  Histogram* merge_seconds = nullptr;   // deterministic-merge wall time
+  Histogram* unit_drain_seconds = nullptr;  // one observation per unit task
+  Gauge* queue_depth = nullptr;   // units still pending in the current drain
+  Gauge* utilization = nullptr;   // busy-time / (lanes × fan-out wall time)
+  Gauge* sink_dropped = nullptr;  // sum of sinks' back-pressure drops
+  /// Cumulative busy seconds per pool lane ("worker" label = lane index).
+  std::vector<Gauge*> worker_busy;
 };
 
 /// Multi-unit detection engine. All methods must be called from one thread
@@ -78,6 +99,16 @@ class DetectionEngine {
 
   const DetectionEngineConfig& config() const { return config_; }
 
+  /// The engine's metric registry, or nullptr when config().obs.enabled is
+  /// false. Scrape with PrometheusText() / MetricsSnapshotJson() (see
+  /// obs/exposition.h); valid for the engine's lifetime.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// The structured per-stage trace ring, or nullptr when tracing is off.
+  TraceLog* trace_log() { return trace_.get(); }
+  const TraceLog* trace_log() const { return trace_.get(); }
+
  private:
   DetectionEngineConfig config_;
   /// Name-ordered, which fixes the merge order of Drain().
@@ -85,6 +116,12 @@ class DetectionEngine {
   /// Created only when config_.workers != 1.
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::shared_ptr<AlertSink>> sinks_;
+  /// Created only when config_.obs.enabled; outlives every pipeline.
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<TraceLog> trace_;
+  EngineMetrics engine_metrics_;
+  /// Drain batches completed (doubles as the trace tick for engine events).
+  size_t drain_count_ = 0;
 };
 
 }  // namespace dbc

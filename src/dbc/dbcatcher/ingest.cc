@@ -78,10 +78,12 @@ Status TelemetryIngestor::Offer(const TelemetrySample& sample) {
   }
   if (dbs_[db].departed) {
     ++late_drops_;
+    Inc(metrics_.samples_late_dropped);
     return Status::OutOfRange("sample for departed database");
   }
   if (any_sample_ && sample.tick < next_seal_) {
     ++late_drops_;
+    Inc(metrics_.samples_late_dropped);
     return Status::OutOfRange("sample older than the sealed horizon");
   }
   PendingFrame& frame = pending_[sample.tick];
@@ -89,6 +91,7 @@ Status TelemetryIngestor::Offer(const TelemetrySample& sample) {
   frame.samples[db] = sample.values;  // last delivery wins
   watermark_ = std::max(watermark_, sample.tick);
   any_sample_ = true;
+  Inc(metrics_.samples_accepted);
   return Status::Ok();
 }
 
@@ -108,6 +111,7 @@ size_t TelemetryIngestor::AddDb(size_t extra_warmup) {
     track.warmup_extra = extra_warmup;
   }
   dbs_.push_back(track);
+  Inc(metrics_.feeds_joined);
   return db;
 }
 
@@ -116,6 +120,7 @@ Status TelemetryIngestor::RemoveDb(size_t db) {
     return Status::InvalidArgument("removing unknown database");
   }
   DbTrack& track = dbs_[db];
+  if (!track.departed) Inc(metrics_.feeds_retired);
   track.departed = true;
   track.quarantined = true;
   track.warming_up = false;
@@ -277,11 +282,23 @@ AlignedTick TelemetryIngestor::Seal() {
                             ? SampleQuality::kImputed
                             : SampleQuality::kMissing;
     }
+    switch (out.quality[db]) {
+      case SampleQuality::kFresh:
+        Inc(metrics_.db_ticks_fresh);
+        break;
+      case SampleQuality::kImputed:
+        Inc(metrics_.db_ticks_imputed);
+        break;
+      case SampleQuality::kMissing:
+        Inc(metrics_.db_ticks_missing);
+        break;
+    }
 
     // Collector-down: a wholly silent feed, reported once per outage.
     if (!track.collector_down_raised &&
         track.missing_run >= config_.quarantine_after) {
       track.collector_down_raised = true;
+      Inc(metrics_.collector_down_events);
       events_.push_back({DataQualityEvent::Kind::kCollectorDown, db, tick,
                          "no samples for " +
                              std::to_string(track.missing_run) + " ticks"});
@@ -290,12 +307,14 @@ AlignedTick TelemetryIngestor::Seal() {
     // after a run of fresh ticks.
     if (!track.quarantined && track.gap_run >= config_.quarantine_after) {
       track.quarantined = true;
+      Inc(metrics_.quarantine_enters);
       events_.push_back({DataQualityEvent::Kind::kQuarantineEnter, db, tick,
                          "unusable for " + std::to_string(track.gap_run) +
                              " ticks (budget " +
                              std::to_string(config_.quarantine_after) + ")"});
     } else if (track.quarantined && track.fresh_run >= RejoinThreshold(track)) {
       track.quarantined = false;
+      Inc(metrics_.quarantine_exits);
       const std::string what = track.warming_up
                                    ? "warm-up complete: fresh for "
                                    : "fresh for ";
@@ -308,6 +327,7 @@ AlignedTick TelemetryIngestor::Seal() {
 
   if (frame_it != pending_.end()) pending_.erase(frame_it);
   ++next_seal_;
+  Inc(metrics_.ticks_sealed);
   return out;
 }
 

@@ -26,6 +26,7 @@
 #include "dbc/cloudsim/telemetry.h"
 #include "dbc/cloudsim/topology.h"
 #include "dbc/common/status.h"
+#include "dbc/obs/metrics.h"
 
 namespace dbc {
 
@@ -118,6 +119,25 @@ struct DataQualityEvent {
 /// Display name ("collector-down", ...).
 const std::string& DataQualityEventName(DataQualityEvent::Kind kind);
 
+/// Observability hooks for the ingestion front-end. Null pointers mean the
+/// metric is off (the default); every update is one relaxed atomic add, so
+/// the counters never perturb ingestion behaviour. DbTick counters are
+/// per-(db, sealed tick) and only count databases that are unit members at
+/// that tick.
+struct IngestMetrics {
+  Counter* samples_accepted = nullptr;     // Offer() successes
+  Counter* samples_late_dropped = nullptr; // behind the sealed horizon
+  Counter* ticks_sealed = nullptr;         // frames sealed (Drain/Flush)
+  Counter* db_ticks_fresh = nullptr;       // SampleQuality::kFresh rows
+  Counter* db_ticks_imputed = nullptr;     // SampleQuality::kImputed rows
+  Counter* db_ticks_missing = nullptr;     // SampleQuality::kMissing rows
+  Counter* quarantine_enters = nullptr;    // kQuarantineEnter events
+  Counter* quarantine_exits = nullptr;     // kQuarantineExit events
+  Counter* collector_down_events = nullptr;
+  Counter* feeds_joined = nullptr;         // AddDb() calls
+  Counter* feeds_retired = nullptr;        // first RemoveDb() per feed
+};
+
 /// Per-(db,kpi) alignment buffer + quality-flagged repair + quarantine.
 ///
 /// Offer() samples in any arrival order; Drain() returns sealed frames in
@@ -181,6 +201,9 @@ class TelemetryIngestor {
 
   const IngestConfig& config() const { return config_; }
 
+  /// Installs observability counters (copied; null members stay no-ops).
+  void set_metrics(const IngestMetrics& metrics) { metrics_ = metrics; }
+
  private:
   struct PendingFrame {
     std::vector<std::optional<std::array<double, kNumKpis>>> samples;
@@ -225,6 +248,7 @@ class TelemetryIngestor {
   bool any_sample_ = false;
   size_t next_seal_ = 0;
   size_t late_drops_ = 0;
+  IngestMetrics metrics_;
 };
 
 }  // namespace dbc

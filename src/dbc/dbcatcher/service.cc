@@ -16,6 +16,7 @@ DetectionEngineConfig ToEngineConfig(const MonitoringServiceConfig& config) {
   engine.pipeline.min_feedback_records = config.min_feedback_records;
   engine.pipeline.topology_suppression = config.topology_suppression;
   engine.workers = config.workers;
+  engine.obs = config.obs;
   return engine;
 }
 

@@ -33,6 +33,9 @@ struct MonitoringServiceConfig {
   /// Ticks after a primary switchover during which abnormal verdicts are
   /// suppressed — a planned failover's correlated dip is not an anomaly.
   size_t topology_suppression = 30;
+  /// Self-observability (metrics registry + trace ring on the engine). Off
+  /// by default; on or off, the alert stream is bit-identical.
+  ObsConfig obs;
 };
 
 /// Multi-unit online detection front-end.

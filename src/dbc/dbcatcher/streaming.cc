@@ -37,6 +37,8 @@ void DbcatcherStream::AppendTick(
     gated_[db].push_back(gated[db]);
   }
   ++ticks_;
+  Inc(metrics_.ticks_pushed);
+  Set(metrics_.buffer_ticks, static_cast<double>(ticks_ - offset_));
   MaybeTrim();
 }
 
@@ -178,7 +180,11 @@ void DbcatcherStream::MaybeTrim() {
                      gated_[db].begin() + static_cast<ptrdiff_t>(drop));
   }
   offset_ += drop;
-  cache_.EvictBefore(offset_);
+  Inc(metrics_.buffer_trims);
+  Inc(metrics_.ticks_trimmed, drop);
+  Set(metrics_.trim_offset, static_cast<double>(offset_));
+  Set(metrics_.buffer_ticks, static_cast<double>(ticks_ - offset_));
+  Inc(metrics_.cache_evictions, cache_.EvictBefore(offset_));
 }
 
 std::vector<StreamVerdict> DbcatcherStream::Poll() {
@@ -228,6 +234,8 @@ std::vector<StreamVerdict> DbcatcherStream::Poll() {
         }
       }
       verdict.window.abnormal = verdict.state == DbState::kAbnormal;
+      Inc(metrics_.windows_evaluated);
+      if (verdict.state == DbState::kNoData) Inc(metrics_.nodata_verdicts);
       out.push_back(verdict);
       next_t0_[db] = t0 + w;
     }

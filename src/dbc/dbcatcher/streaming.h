@@ -13,6 +13,7 @@
 #include "dbc/dbcatcher/correlation_matrix.h"
 #include "dbc/dbcatcher/ingest.h"
 #include "dbc/dbcatcher/observer.h"
+#include "dbc/obs/metrics.h"
 
 namespace dbc {
 
@@ -21,6 +22,20 @@ struct StreamVerdict {
   size_t db = 0;
   WindowVerdict window;
   DbState state = DbState::kHealthy;
+};
+
+/// Observability hooks for the streaming front-end (null = off). Counters
+/// never feed back into windowing decisions — observability on/off leaves
+/// the verdict stream bit-identical.
+struct StreamMetrics {
+  Counter* ticks_pushed = nullptr;       // Push/PushAligned successes
+  Counter* windows_evaluated = nullptr;  // verdicts resolved by Poll()
+  Counter* nodata_verdicts = nullptr;    // verdicts resolved to kNoData
+  Counter* buffer_trims = nullptr;       // MaybeTrim erasure batches
+  Counter* ticks_trimmed = nullptr;      // buffered ticks dropped by trims
+  Counter* cache_evictions = nullptr;    // KCD memo entries evicted on trim
+  Gauge* trim_offset = nullptr;          // absolute tick of buffer index 0
+  Gauge* buffer_ticks = nullptr;         // retained buffer length (ticks)
 };
 
 /// Incremental DBCatcher over a live KPI feed of one unit.
@@ -102,6 +117,9 @@ class DbcatcherStream {
   /// the sample is usable. Installed on analyzers replaying the buffer.
   const std::vector<std::vector<uint8_t>>& validity() const { return valid_; }
 
+  /// Installs observability counters (copied; null members stay no-ops).
+  void set_metrics(const StreamMetrics& metrics) { metrics_ = metrics; }
+
  private:
   void AppendTick(const std::vector<std::array<double, kNumKpis>>& values,
                   const std::vector<uint8_t>& valid,
@@ -129,6 +147,7 @@ class DbcatcherStream {
   std::vector<size_t> depart_tick_;
   size_t offset_ = 0;
   KcdCache cache_;
+  StreamMetrics metrics_;
 };
 
 }  // namespace dbc

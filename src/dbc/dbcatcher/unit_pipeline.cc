@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "dbc/common/stopwatch.h"
+
 namespace dbc {
 
 UnitPipelineConfig NormalizePipelineConfig(UnitPipelineConfig config) {
@@ -30,12 +32,99 @@ UnitPipeline::UnitPipeline(std::string name, std::vector<DbRole> roles,
       stream_(config.detector, std::move(roles)),
       feedback_(config.feedback_capacity) {}
 
-Status UnitPipeline::Pump() {
-  for (const AlignedTick& tick : ingestor_.Drain()) {
-    const Status status = stream_.PushAligned(tick);
-    if (!status.ok()) return status;
+void UnitPipeline::EnableObservability(MetricsRegistry* registry,
+                                       TraceLog* trace) {
+  if (registry == nullptr) return;
+  observed_ = true;
+  trace_ = trace;
+  const MetricLabels unit{{"unit", name_}};
+  auto stage = [&](const char* s) {
+    return registry->GetHistogram("dbc_pipeline_stage_seconds",
+                                  {{"stage", s}, {"unit", name_}});
+  };
+  metrics_.stage_ingest_seconds = stage("ingest");
+  metrics_.stage_stream_seconds = stage("stream");
+  metrics_.stage_verdict_seconds = stage("verdict");
+  metrics_.stage_diagnosis_seconds = stage("diagnosis");
+  metrics_.stage_feedback_seconds = stage("feedback");
+  static const char* const kClassNames[] = {"anomaly", "data-quality",
+                                            "topology-change"};
+  for (size_t c = 0; c < metrics_.alerts_by_class.size(); ++c) {
+    metrics_.alerts_by_class[c] = registry->GetCounter(
+        "dbc_pipeline_alerts_total", {{"class", kClassNames[c]},
+                                      {"unit", name_}});
   }
-  return Status::Ok();
+  static const char* const kStateNames[] = {"healthy", "observable",
+                                            "abnormal", "nodata"};
+  for (size_t s = 0; s < metrics_.verdicts_by_state.size(); ++s) {
+    metrics_.verdicts_by_state[s] = registry->GetCounter(
+        "dbc_pipeline_verdicts_total", {{"state", kStateNames[s]},
+                                        {"unit", name_}});
+  }
+  metrics_.suppressed_alerts =
+      registry->GetCounter("dbc_pipeline_suppressed_alerts_total", unit);
+  metrics_.relearns = registry->GetCounter("dbc_pipeline_relearns_total", unit);
+
+  IngestMetrics im;
+  im.samples_accepted =
+      registry->GetCounter("dbc_ingest_samples_accepted_total", unit);
+  im.samples_late_dropped =
+      registry->GetCounter("dbc_ingest_samples_late_dropped_total", unit);
+  im.ticks_sealed = registry->GetCounter("dbc_ingest_ticks_sealed_total", unit);
+  im.db_ticks_fresh = registry->GetCounter(
+      "dbc_ingest_db_ticks_total", {{"quality", "fresh"}, {"unit", name_}});
+  im.db_ticks_imputed = registry->GetCounter(
+      "dbc_ingest_db_ticks_total", {{"quality", "imputed"}, {"unit", name_}});
+  im.db_ticks_missing = registry->GetCounter(
+      "dbc_ingest_db_ticks_total", {{"quality", "missing"}, {"unit", name_}});
+  im.quarantine_enters = registry->GetCounter(
+      "dbc_ingest_quarantine_transitions_total",
+      {{"kind", "enter"}, {"unit", name_}});
+  im.quarantine_exits = registry->GetCounter(
+      "dbc_ingest_quarantine_transitions_total",
+      {{"kind", "exit"}, {"unit", name_}});
+  im.collector_down_events =
+      registry->GetCounter("dbc_ingest_collector_down_total", unit);
+  im.feeds_joined = registry->GetCounter("dbc_ingest_feeds_joined_total", unit);
+  im.feeds_retired =
+      registry->GetCounter("dbc_ingest_feeds_retired_total", unit);
+  ingestor_.set_metrics(im);
+
+  StreamMetrics sm;
+  sm.ticks_pushed = registry->GetCounter("dbc_stream_ticks_total", unit);
+  sm.windows_evaluated =
+      registry->GetCounter("dbc_stream_windows_evaluated_total", unit);
+  sm.nodata_verdicts =
+      registry->GetCounter("dbc_stream_nodata_verdicts_total", unit);
+  sm.buffer_trims = registry->GetCounter("dbc_stream_buffer_trims_total", unit);
+  sm.ticks_trimmed =
+      registry->GetCounter("dbc_stream_ticks_trimmed_total", unit);
+  sm.cache_evictions =
+      registry->GetCounter("dbc_stream_cache_evictions_total", unit);
+  sm.trim_offset = registry->GetGauge("dbc_stream_trim_offset", unit);
+  sm.buffer_ticks = registry->GetGauge("dbc_stream_buffer_ticks", unit);
+  stream_.set_metrics(sm);
+}
+
+Status UnitPipeline::Pump() {
+  if (!observed_) {
+    for (const AlignedTick& tick : ingestor_.Drain()) {
+      const Status status = stream_.PushAligned(tick);
+      if (!status.ok()) return status;
+    }
+    return Status::Ok();
+  }
+  // Observed path: split the chain's wall time at the ingest/stream boundary.
+  Stopwatch watch;
+  const std::vector<AlignedTick> sealed = ingestor_.Drain();
+  Observe(metrics_.stage_ingest_seconds, watch.LapSeconds());
+  Status status = Status::Ok();
+  for (const AlignedTick& tick : sealed) {
+    status = stream_.PushAligned(tick);
+    if (!status.ok()) break;
+  }
+  Observe(metrics_.stage_stream_seconds, watch.LapSeconds());
+  return status;
 }
 
 Status UnitPipeline::Tick(
@@ -135,7 +224,11 @@ std::vector<Alert> UnitPipeline::Drain() {
 
   // Topology changes first: a membership alert should precede any verdict
   // the changed membership produced.
-  for (Alert& alert : topology_alerts_) alerts.push_back(std::move(alert));
+  for (Alert& alert : topology_alerts_) {
+    Inc(metrics_.alerts_by_class[static_cast<size_t>(
+        AlertClass::kTopologyChange)]);
+    alerts.push_back(std::move(alert));
+  }
   topology_alerts_.clear();
 
   // Data-quality transitions surface as their own alert class.
@@ -147,10 +240,20 @@ std::vector<Alert> UnitPipeline::Drain() {
     alert.begin = event.tick;
     alert.end = event.tick;
     alert.message = DataQualityEventName(event.kind) + ": " + event.detail;
+    Inc(metrics_.alerts_by_class[static_cast<size_t>(AlertClass::kDataQuality)]);
     alerts.push_back(std::move(alert));
   }
 
+  Stopwatch watch;  // read only on the observed path
   const std::vector<StreamVerdict> verdicts = stream_.Poll();
+  if (observed_) {
+    const double seconds = watch.LapSeconds();
+    Observe(metrics_.stage_verdict_seconds, seconds);
+    if (trace_ != nullptr && !verdicts.empty()) {
+      trace_->Record(
+          {name_, "verdict", stream_.ticks(), seconds, verdicts.size()});
+    }
+  }
   if (verdicts.empty()) return alerts;
   const size_t offset = stream_.buffer_offset();
   const DbcatcherConfig effective = stream_.EffectiveConfig();
@@ -160,6 +263,7 @@ std::vector<Alert> UnitPipeline::Drain() {
   for (const StreamVerdict& v : verdicts) {
     ++verdicts_;
     ++state_counts_[static_cast<size_t>(v.state)];
+    Inc(metrics_.verdicts_by_state[static_cast<size_t>(v.state)]);
     if (config_.record_verdicts) verdict_log_.push_back(v);
     if (v.state == DbState::kNoData) continue;  // nothing to judge or label
     if (v.window.abnormal) {
@@ -177,6 +281,7 @@ std::vector<Alert> UnitPipeline::Drain() {
       }
       if (suppressed) {
         ++suppressed_alerts_;
+        Inc(metrics_.suppressed_alerts);
         continue;
       }
     }
@@ -197,7 +302,16 @@ std::vector<Alert> UnitPipeline::Drain() {
       alert.report.begin = v.window.begin;
       alert.report.end = v.window.begin + v.window.consumed;
     }
+    Inc(metrics_.alerts_by_class[static_cast<size_t>(AlertClass::kAnomaly)]);
     alerts.push_back(std::move(alert));
+  }
+  if (observed_) {
+    const double seconds = watch.LapSeconds();
+    Observe(metrics_.stage_diagnosis_seconds, seconds);
+    if (trace_ != nullptr) {
+      trace_->Record(
+          {name_, "diagnosis", stream_.ticks(), seconds, alerts.size()});
+    }
   }
   return alerts;
 }
@@ -248,9 +362,19 @@ OptimizeResult UnitPipeline::Relearn(ThresholdOptimizer& optimizer, Rng& rng) {
     return confusion.FMeasure();
   };
 
+  Stopwatch watch;  // read only on the observed path
   OptimizeResult result = optimizer.Optimize(stream_.config().genome,
                                              GenomeRanges{}, fitness, rng);
   stream_.SetGenome(result.best);
+  Inc(metrics_.relearns);
+  if (observed_) {
+    const double seconds = watch.LapSeconds();
+    Observe(metrics_.stage_feedback_seconds, seconds);
+    if (trace_ != nullptr) {
+      trace_->Record({name_, "feedback", stream_.ticks(), seconds,
+                      feedback_.records().size()});
+    }
+  }
   return result;
 }
 

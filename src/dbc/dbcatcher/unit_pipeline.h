@@ -17,9 +17,30 @@
 #include "dbc/dbcatcher/feedback.h"
 #include "dbc/dbcatcher/ingest.h"
 #include "dbc/dbcatcher/streaming.h"
+#include "dbc/obs/metrics.h"
+#include "dbc/obs/trace.h"
 #include "dbc/optimize/optimizer.h"
 
 namespace dbc {
+
+/// Per-unit stage timing and outcome metrics (null = off). Stage histograms
+/// split the chain's wall time at its layer boundaries: ingest (alignment /
+/// repair), stream (window buffer append), verdict (Poll window resolution),
+/// diagnosis (report construction for abnormal verdicts), feedback
+/// (label recording + relearning).
+struct PipelineMetrics {
+  Histogram* stage_ingest_seconds = nullptr;
+  Histogram* stage_stream_seconds = nullptr;
+  Histogram* stage_verdict_seconds = nullptr;
+  Histogram* stage_diagnosis_seconds = nullptr;
+  Histogram* stage_feedback_seconds = nullptr;
+  /// Alerts raised, by class (anomaly / data-quality / topology-change).
+  std::array<Counter*, 3> alerts_by_class{};
+  /// Verdicts recorded, by DbState (healthy / observable / abnormal / nodata).
+  std::array<Counter*, 4> verdicts_by_state{};
+  Counter* suppressed_alerts = nullptr;
+  Counter* relearns = nullptr;
+};
 
 /// Per-unit detection policy: detector thresholds, telemetry ingestion, and
 /// the feedback/relearn criterion.
@@ -122,6 +143,13 @@ class UnitPipeline {
 
   const UnitPipelineConfig& config() const { return config_; }
 
+  /// Wires this pipeline — and its ingest and stream layers — to `registry`,
+  /// creating per-unit labeled metrics (DESIGN.md §9 naming scheme). `trace`
+  /// may be null; when set, Drain() records one TraceEvent per stage. The
+  /// registry must outlive the pipeline. Counters never influence detection:
+  /// output with observability on is bit-identical to off.
+  void EnableObservability(MetricsRegistry* registry, TraceLog* trace);
+
  private:
   /// Moves sealed frames from the ingestor into the stream.
   Status Pump();
@@ -143,6 +171,11 @@ class UnitPipeline {
   std::vector<std::pair<size_t, size_t>> suppression_;
   size_t suppressed_alerts_ = 0;
   std::vector<StreamVerdict> verdict_log_;
+  PipelineMetrics metrics_;
+  TraceLog* trace_ = nullptr;
+  /// True once EnableObservability installed metrics — gates the Stopwatch
+  /// reads so the unobserved hot path never touches the clock.
+  bool observed_ = false;
 };
 
 }  // namespace dbc

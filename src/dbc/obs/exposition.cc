@@ -1,0 +1,152 @@
+#include "dbc/obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dbc {
+
+namespace {
+
+std::string LabelBlock(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Label block with an extra `le` label appended (histogram buckets).
+std::string LabelBlockLe(const MetricLabels& labels, const std::string& le) {
+  MetricLabels with = labels;
+  with.emplace_back("le", le);
+  return LabelBlock(with);
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Num(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  std::string last_typed;  // emit one # TYPE header per metric family
+  for (const MetricsRegistry::Entry& entry : registry.Entries()) {
+    const std::string labels = LabelBlock(entry.labels);
+    switch (entry.kind) {
+      case MetricsRegistry::Kind::kCounter:
+        if (entry.name != last_typed) {
+          out += "# TYPE " + entry.name + " counter\n";
+          last_typed = entry.name;
+        }
+        out += entry.name + labels + " " + Num(entry.counter->value()) + "\n";
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        if (entry.name != last_typed) {
+          out += "# TYPE " + entry.name + " gauge\n";
+          last_typed = entry.name;
+        }
+        out += entry.name + labels + " " + Num(entry.gauge->value()) + "\n";
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        if (entry.name != last_typed) {
+          out += "# TYPE " + entry.name + " histogram\n";
+          last_typed = entry.name;
+        }
+        const Histogram& h = *entry.histogram;
+        const std::vector<uint64_t> counts = h.BucketCounts();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += counts[i];
+          out += entry.name + "_bucket" +
+                 LabelBlockLe(entry.labels, Num(h.bounds()[i])) + " " +
+                 Num(cumulative) + "\n";
+        }
+        cumulative += counts.back();
+        out += entry.name + "_bucket" + LabelBlockLe(entry.labels, "+Inf") +
+               " " + Num(cumulative) + "\n";
+        out += entry.name + "_sum" + labels + " " + Num(h.sum()) + "\n";
+        out += entry.name + "_count" + labels + " " + Num(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshotJson(const MetricsRegistry& registry,
+                                const RunProvenance& provenance) {
+  std::string out = "{\"git_sha\":\"" + JsonEscape(provenance.git_sha) +
+                    "\",\"seed\":" + Num(provenance.seed) + ",\"config\":\"" +
+                    JsonEscape(provenance.config) + "\",\"metrics\":{";
+  bool first = true;
+  auto emit = [&](const std::string& key, const std::string& value) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(key) + "\":" + value;
+  };
+  for (const MetricsRegistry::Entry& entry : registry.Entries()) {
+    const std::string key = entry.name + LabelBlock(entry.labels);
+    switch (entry.kind) {
+      case MetricsRegistry::Kind::kCounter:
+        emit(key, Num(entry.counter->value()));
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        emit(key, Num(entry.gauge->value()));
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        emit(key + "_count", Num(h.count()));
+        emit(key + "_sum", Num(h.sum()));
+        emit(key + "_p50", Num(h.Quantile(0.50)));
+        emit(key + "_p95", Num(h.Quantile(0.95)));
+        emit(key + "_p99", Num(h.Quantile(0.99)));
+        break;
+      }
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+Status AppendMetricsSnapshot(const MetricsRegistry& registry,
+                             const RunProvenance& provenance,
+                             const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::Internal("cannot open metrics snapshot file: " + path);
+  }
+  const std::string line = MetricsSnapshotJson(registry, provenance);
+  const bool ok = std::fputs(line.c_str(), file) >= 0 &&
+                  std::fputc('\n', file) != EOF;
+  std::fclose(file);
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+std::string TraceJsonl(const TraceLog& trace) {
+  std::string out;
+  for (const TraceEvent& event : trace.Snapshot()) {
+    out += "{\"unit\":\"" + JsonEscape(event.unit) + "\",\"stage\":\"" +
+           JsonEscape(event.stage) + "\",\"tick\":" + Num(uint64_t{event.tick}) +
+           ",\"seconds\":" + Num(event.seconds) +
+           ",\"items\":" + Num(uint64_t{event.items}) + "}\n";
+  }
+  return out;
+}
+
+}  // namespace dbc

@@ -1,0 +1,38 @@
+// Scrape surfaces for the MetricsRegistry: a Prometheus-style text
+// exposition (for a pull-based scraper or a human with curl) and a
+// provenance-stamped JSONL snapshot (one JSON object per scrape, appended —
+// the same git-SHA/seed/config stamping the bench reports use, so a metric
+// can be tracked across commits next to BENCH_*.json trajectories).
+#pragma once
+
+#include <string>
+
+#include "dbc/common/provenance.h"
+#include "dbc/common/status.h"
+#include "dbc/obs/metrics.h"
+#include "dbc/obs/trace.h"
+
+namespace dbc {
+
+/// Prometheus text exposition format, version 0.0.4: `# TYPE` headers, one
+/// `name{labels} value` line per sample; histograms expand into cumulative
+/// `_bucket{le=...}` series plus `_sum`/`_count`. Output order is
+/// deterministic (registry key order) so scrapes diff cleanly.
+std::string PrometheusText(const MetricsRegistry& registry);
+
+/// One snapshot of the registry as a single-line JSON object:
+/// {"git_sha":...,"seed":...,"config":...,"metrics":{name{labels}:value,...}}
+/// Histograms contribute `<name>_count`, `<name>_sum`, and p50/p95/p99
+/// quantile estimates.
+std::string MetricsSnapshotJson(const MetricsRegistry& registry,
+                                const RunProvenance& provenance);
+
+/// Appends MetricsSnapshotJson + '\n' to `path` (creating it if needed).
+Status AppendMetricsSnapshot(const MetricsRegistry& registry,
+                             const RunProvenance& provenance,
+                             const std::string& path);
+
+/// Trace events as JSONL (one event object per line, oldest first).
+std::string TraceJsonl(const TraceLog& trace);
+
+}  // namespace dbc

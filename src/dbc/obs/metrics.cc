@@ -1,0 +1,173 @@
+#include "dbc/obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dbc {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  uint64_t running = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t next = running + counts[i];
+    if (static_cast<double>(next) >= rank && counts[i] > 0) {
+      if (i >= bounds_.size()) {
+        // +Inf bucket: clamp to the largest finite bound.
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double into =
+          (rank - static_cast<double>(running)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * into;
+    }
+    running = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+const std::vector<double>& DefaultLatencyBounds() {
+  // 1us .. ~8.4s, doubling: 24 buckets cover sub-microsecond kernels up to a
+  // pathological full-fleet drain without tuning per call site.
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> bounds;
+    double b = 1e-6;
+    for (int i = 0; i < 24; ++i) {
+      bounds.push_back(b);
+      b *= 2.0;
+    }
+    return bounds;
+  }();
+  return kBounds;
+}
+
+std::string MetricsRegistry::Key(const std::string& name,
+                                 const MetricLabels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';  // unit separator: cannot appear in a metric/label name
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[Key(name, labels)];
+  if (slot.counter == nullptr) {
+    slot.name = name;
+    slot.labels = labels;
+    slot.kind = Kind::kCounter;
+    slot.counter = std::make_unique<Counter>();
+  }
+  return slot.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[Key(name, labels)];
+  if (slot.gauge == nullptr) {
+    slot.name = name;
+    slot.labels = labels;
+    slot.kind = Kind::kGauge;
+    slot.gauge = std::make_unique<Gauge>();
+  }
+  return slot.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[Key(name, labels)];
+  if (slot.histogram == nullptr) {
+    slot.name = name;
+    slot.labels = labels;
+    slot.kind = Kind::kHistogram;
+    slot.histogram = std::make_unique<Histogram>(bounds);
+  }
+  return slot.histogram.get();
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(slots_.size());
+  for (const auto& [key, slot] : slots_) {
+    Entry entry;
+    entry.name = slot.name;
+    entry.labels = slot.labels;
+    entry.kind = slot.kind;
+    entry.counter = slot.counter.get();
+    entry.gauge = slot.gauge.get();
+    entry.histogram = slot.histogram.get();
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+const MetricsRegistry::Slot* MetricsRegistry::Find(const std::string& name,
+                                                   const MetricLabels& labels,
+                                                   Kind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(Key(name, labels));
+  if (it == slots_.end() || it->second.kind != kind) return nullptr;
+  return &it->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            const MetricLabels& labels) const {
+  const Slot* slot = Find(name, labels, Kind::kCounter);
+  return slot == nullptr ? nullptr : slot->counter.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name,
+                                        const MetricLabels& labels) const {
+  const Slot* slot = Find(name, labels, Kind::kGauge);
+  return slot == nullptr ? nullptr : slot->gauge.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name, const MetricLabels& labels) const {
+  const Slot* slot = Find(name, labels, Kind::kHistogram);
+  return slot == nullptr ? nullptr : slot->histogram.get();
+}
+
+}  // namespace dbc

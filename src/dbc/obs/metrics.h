@@ -1,0 +1,168 @@
+// Self-observability primitives for the detection engine: monotonic
+// counters, gauges, and fixed-bucket latency histograms behind a named
+// registry.
+//
+// Design constraints (DESIGN.md §9): the hot path is the sharded drain, so
+// every mutation is a single relaxed atomic op — no locks, no allocation.
+// The registry's mutex guards only metric *creation* (RegisterUnit time) and
+// snapshotting (scrape time); instrumented layers hold raw metric pointers,
+// which stay valid for the registry's lifetime. A null pointer means
+// "observability off": the `Inc`/`Set`/`Observe` helpers turn into a single
+// branch, so disabled observability leaves the detection output bit-identical
+// and the cost unmeasurable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dbc {
+
+/// Monotonic event counter (Prometheus counter semantics).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge; Add() accumulates (e.g. busy-seconds per worker).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    // fetch_add on atomic<double> is C++20; relaxed is enough — gauges are
+    // statistics, never synchronization.
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
+/// order; one implicit +Inf bucket catches the rest. Observe() is two relaxed
+/// atomic adds plus a branchless-ish bucket search over a handful of bounds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Quantile estimate in [0, 1] by linear interpolation inside the covering
+  /// bucket (the Prometheus histogram_quantile rule). Returns 0 when empty;
+  /// quantiles landing in the +Inf bucket clamp to the largest finite bound.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds().size() + 1 entries, last = +Inf bucket).
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default pipeline-stage latency buckets (seconds): 1us .. ~8s, doubling.
+const std::vector<double>& DefaultLatencyBounds();
+
+/// Label set attached to a metric instance, e.g. {{"unit", "unit-3"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Null-tolerant instrumentation helpers: the detection layers call these
+/// with possibly-null metric pointers, so "observability off" costs exactly
+/// one predictable branch per site.
+inline void Inc(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) c->Add(n);
+}
+inline void Set(Gauge* g, double v) {
+  if (g != nullptr) g->Set(v);
+}
+inline void Observe(Histogram* h, double v) {
+  if (h != nullptr) h->Observe(v);
+}
+
+/// Observability knobs, threaded from DetectionEngineConfig down to every
+/// layer. Off (the default) is the bit-identical zero-overhead mode.
+struct ObsConfig {
+  /// Master switch: when false no registry or trace log exists and every
+  /// instrumentation pointer stays null.
+  bool enabled = false;
+  /// Also record structured per-tick TraceEvents (see trace.h).
+  bool trace = true;
+  /// TraceLog ring capacity (events); oldest events are overwritten.
+  size_t trace_capacity = 4096;
+};
+
+/// Named metric store. Get*() returns a stable pointer, creating the metric
+/// on first use (same name + labels → same instance; a name must keep one
+/// kind). Exposition iterates entries in lexicographic key order, so scrapes
+/// are deterministic.
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  Counter* GetCounter(const std::string& name, const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels = {});
+  Histogram* GetHistogram(const std::string& name,
+                          const MetricLabels& labels = {},
+                          const std::vector<double>& bounds =
+                              DefaultLatencyBounds());
+
+  /// One registered metric instance, as seen by a scrape.
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    Kind kind = Kind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  /// Snapshot of every registered metric, ordered by (name, labels).
+  std::vector<Entry> Entries() const;
+
+  /// Number of registered metric instances.
+  size_t size() const;
+
+  /// Looks up an existing instance without creating it (nullptr if absent).
+  /// Handy for tests asserting a counter the scenario should have touched.
+  const Counter* FindCounter(const std::string& name,
+                             const MetricLabels& labels = {}) const;
+  const Gauge* FindGauge(const std::string& name,
+                         const MetricLabels& labels = {}) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const MetricLabels& labels = {}) const;
+
+ private:
+  struct Slot {
+    std::string name;
+    MetricLabels labels;
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  static std::string Key(const std::string& name, const MetricLabels& labels);
+  const Slot* Find(const std::string& name, const MetricLabels& labels,
+                   Kind kind) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace dbc

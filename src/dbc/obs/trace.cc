@@ -1,0 +1,35 @@
+#include "dbc/obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dbc {
+
+TraceLog::TraceLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+
+void TraceLog::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(event));
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+size_t TraceLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+size_t TraceLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace dbc

@@ -1,0 +1,60 @@
+// Structured per-tick trace of the detection chain: each pipeline stage
+// (ingest, stream, verdict, diagnosis, feedback) and each engine drain
+// records one event with its steady-clock duration. The log is a bounded
+// ring — a long-running monitor keeps the newest window of activity — and is
+// mutex-guarded: stages record once per drained batch, not per sample, so
+// the lock is far off the hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dbc {
+
+/// One recorded stage execution.
+struct TraceEvent {
+  /// Unit the stage ran for ("" for engine-level events).
+  std::string unit;
+  /// Stage name ("ingest", "stream", "verdict", "diagnosis", "feedback",
+  /// "drain", "merge", ...).
+  std::string stage;
+  /// Detector tick (stream ticks seen) when the event was recorded.
+  size_t tick = 0;
+  /// Stage wall time in seconds (steady clock; always >= 0).
+  double seconds = 0.0;
+  /// Items the stage touched (samples offered, verdicts resolved, alerts
+  /// merged — stage-dependent).
+  size_t items = 0;
+};
+
+/// Bounded ring of TraceEvents. Thread-safe; Record() from pool workers and
+/// Snapshot() from the scrape thread may interleave freely.
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 4096);
+
+  void Record(TraceEvent event);
+
+  /// Copy of the retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events ever recorded.
+  size_t recorded() const;
+  /// Events overwritten by the ring bound.
+  size_t dropped() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> ring_;
+  size_t recorded_ = 0;
+  size_t dropped_ = 0;
+};
+
+}  // namespace dbc

@@ -1,0 +1,304 @@
+// Golden end-to-end regression test: a fixed-seed 8-unit fleet with injected
+// anomalies, degraded telemetry feeds, AND topology churn is pushed through
+// the full engine; the canonically serialized alert stream must match the
+// checked-in fixture byte for byte, and must be identical across worker
+// counts {1, 2, 8} and with observability on or off.
+//
+// Regenerating the fixture (after an INTENTIONAL behaviour change only):
+//
+//   DBC_UPDATE_GOLDEN=1 ./build/tests/golden_regression_test
+//
+// then review the fixture diff like any other code change. On a mismatch the
+// test writes the actual stream to golden_regression_actual.txt in the
+// working directory so CI can upload it next to the fixture for diffing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dbc/cloudsim/telemetry.h"
+#include "dbc/cloudsim/topology.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/dbcatcher/detection_engine.h"
+#include "dbc/obs/exposition.h"
+
+#ifndef DBC_GOLDEN_DIR
+#define DBC_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace dbc {
+namespace {
+
+std::string UnitName(size_t u) { return "unit-" + std::to_string(u); }
+
+/// The whole scenario is a pure function of these constants.
+constexpr size_t kUnits = 8;
+constexpr size_t kTicks = 300;
+
+/// Pre-rendered inputs: every engine run replays the exact same degraded
+/// sample batches and control-plane updates, so any output difference can
+/// only come from the engine configuration under test.
+struct GoldenScenario {
+  std::vector<UnitData> units;
+  std::vector<std::vector<std::vector<TelemetrySample>>> batches;
+  std::vector<std::vector<TopologyUpdate>> updates;
+  size_t initial_dbs = 0;
+  size_t steps = 0;
+};
+
+GoldenScenario BuildScenario() {
+  GoldenScenario scenario;
+  for (size_t u = 0; u < kUnits; ++u) {
+    UnitSimConfig config;
+    config.ticks = kTicks;
+    // Mix anomalous and healthy units so every alert class appears.
+    const double ratio = (u % 2 == 0) ? 0.08 : 0.0;
+    config.inject_anomalies = ratio > 0.0;
+    config.anomalies.target_ratio = ratio;
+    // Churn half the fleet: joins, leaves, and switchovers mid-stream.
+    config.inject_topology = (u % 2 == 1);
+    config.topology.head_clearance = 60;
+    config.topology.min_gap = 80;
+    scenario.initial_dbs = config.num_databases;
+    Rng rng(42000 + 31 * u);
+    PeriodicProfileParams pp;
+    auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+    scenario.units.push_back(SimulateUnit(config, *profile, true, rng.Fork(2)));
+
+    TelemetryFaultConfig faults;
+    faults.target_ratio = 0.06;
+    Rng fault_rng(77000 + 13 * u);
+    scenario.batches.push_back(
+        DegradeUnit(scenario.units.back(), faults, fault_rng));
+    scenario.updates.push_back(
+        ControlPlaneUpdates(scenario.units.back().topology));
+    scenario.steps = std::max(scenario.steps, scenario.batches.back().size());
+  }
+  return scenario;
+}
+
+std::vector<Alert> RunScenario(const GoldenScenario& scenario, size_t workers,
+                               bool obs, DetectionEngine** engine_out = nullptr,
+                               std::unique_ptr<DetectionEngine>* keep = nullptr) {
+  DetectionEngineConfig config;
+  config.workers = workers;
+  config.obs.enabled = obs;
+  auto engine = std::make_unique<DetectionEngine>(config);
+  for (size_t u = 0; u < kUnits; ++u) {
+    std::vector<DbRole> roles(
+        scenario.units[u].roles.begin(),
+        scenario.units[u].roles.begin() +
+            static_cast<ptrdiff_t>(scenario.initial_dbs));
+    engine->RegisterUnit(UnitName(u), roles);
+  }
+  std::vector<Alert> all;
+  std::vector<size_t> next_update(kUnits, 0);
+  for (size_t step = 0; step < scenario.steps; ++step) {
+    for (size_t u = 0; u < kUnits; ++u) {
+      auto& next = next_update[u];
+      const auto& updates = scenario.updates[u];
+      while (next < updates.size() && updates[next].tick <= step) {
+        const Status status =
+            engine->ApplyTopology(UnitName(u), updates[next++]);
+        EXPECT_TRUE(status.ok()) << status.message();
+      }
+      if (step >= scenario.batches[u].size()) continue;
+      for (const TelemetrySample& sample : scenario.batches[u][step]) {
+        const Status status = engine->IngestSample(UnitName(u), sample);
+        EXPECT_TRUE(status.ok()) << status.message();
+      }
+    }
+    for (Alert& alert : engine->Drain()) all.push_back(std::move(alert));
+  }
+  for (size_t u = 0; u < kUnits; ++u) {
+    EXPECT_TRUE(engine->FlushTelemetry(UnitName(u)).ok());
+  }
+  for (Alert& alert : engine->Drain()) all.push_back(std::move(alert));
+  if (engine_out != nullptr && keep != nullptr) {
+    *keep = std::move(engine);
+    *engine_out = keep->get();
+  }
+  return all;
+}
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Canonical one-line-per-alert serialization. Every field that reaches an
+/// operator is included — doubles at full precision — so the fixture pins
+/// the whole observable behaviour, not just alert counts.
+std::string Serialize(const std::vector<Alert>& alerts) {
+  std::ostringstream out;
+  for (const Alert& a : alerts) {
+    out << AlertClassName(a.alert_class) << '|' << a.unit << "|db=" << a.db
+        << "|begin=" << a.begin << "|end=" << a.end
+        << "|consumed=" << a.consumed << "|msg=" << a.message;
+    const DiagnosticReport& r = a.report;
+    out << "|state=" << static_cast<int>(r.state) << "|rb=" << r.begin
+        << "|re=" << r.end << "|cap=" << Num(r.capacity_growth_vs_peers);
+    out << "|findings=";
+    for (size_t f = 0; f < r.findings.size(); ++f) {
+      if (f > 0) out << ';';
+      out << static_cast<int>(r.findings[f].kpi) << ':'
+          << Num(r.findings[f].score) << ':'
+          << static_cast<int>(r.findings[f].level) << ':'
+          << static_cast<int>(r.findings[f].shape) << ':'
+          << Num(r.findings[f].level_ratio);
+    }
+    out << "|hypotheses=";
+    for (size_t h = 0; h < r.hypotheses.size(); ++h) {
+      if (h > 0) out << ';';
+      out << r.hypotheses[h].family << ':' << Num(r.hypotheses[h].confidence);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+const std::string kFixturePath =
+    std::string(DBC_GOLDEN_DIR) + "/golden_alerts.txt";
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(GoldenRegressionTest, AlertStreamMatchesCheckedInFixture) {
+  const GoldenScenario scenario = BuildScenario();
+  const std::vector<Alert> alerts = RunScenario(scenario, /*workers=*/1,
+                                                /*obs=*/false);
+  // A fixture that pins a silent run would be vacuous: all three alert
+  // classes must be present.
+  size_t anomaly = 0, quality = 0, topology = 0;
+  for (const Alert& a : alerts) {
+    if (a.alert_class == AlertClass::kAnomaly) ++anomaly;
+    if (a.alert_class == AlertClass::kDataQuality) ++quality;
+    if (a.alert_class == AlertClass::kTopologyChange) ++topology;
+  }
+  ASSERT_GT(anomaly, 0u);
+  ASSERT_GT(quality, 0u);
+  ASSERT_GT(topology, 0u);
+
+  const std::string actual = Serialize(alerts);
+  if (std::getenv("DBC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kFixturePath, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << kFixturePath;
+    out << actual;
+    GTEST_LOG_(INFO) << "golden fixture regenerated at " << kFixturePath;
+    return;
+  }
+
+  const std::string expected = ReadFile(kFixturePath);
+  ASSERT_FALSE(expected.empty())
+      << "missing fixture " << kFixturePath
+      << " — regenerate with DBC_UPDATE_GOLDEN=1";
+  if (actual != expected) {
+    std::ofstream dump("golden_regression_actual.txt",
+                       std::ios::binary | std::ios::trunc);
+    dump << actual;
+    // Locate the first differing line for a readable failure message.
+    std::istringstream a_in(actual), e_in(expected);
+    std::string a_line, e_line;
+    size_t line = 1;
+    while (true) {
+      const bool a_ok = static_cast<bool>(std::getline(a_in, a_line));
+      const bool e_ok = static_cast<bool>(std::getline(e_in, e_line));
+      if (!a_ok && !e_ok) break;
+      if (!a_ok || !e_ok || a_line != e_line) {
+        FAIL() << "alert stream diverges from " << kFixturePath << " at line "
+               << line << "\n  expected: " << (e_ok ? e_line : "<eof>")
+               << "\n  actual:   " << (a_ok ? a_line : "<eof>")
+               << "\nfull actual stream written to "
+                  "golden_regression_actual.txt";
+      }
+      ++line;
+    }
+    FAIL() << "alert stream differs from fixture (same lines, different "
+              "bytes?); actual written to golden_regression_actual.txt";
+  }
+}
+
+TEST(GoldenRegressionTest, WorkerCountAndObservabilityDoNotChangeTheStream) {
+  const GoldenScenario scenario = BuildScenario();
+  const std::string baseline =
+      Serialize(RunScenario(scenario, /*workers=*/1, /*obs=*/false));
+  ASSERT_FALSE(baseline.empty());
+  for (size_t workers : {1u, 2u, 8u}) {
+    for (bool obs : {false, true}) {
+      if (workers == 1 && !obs) continue;  // that IS the baseline
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " obs=" + std::to_string(obs));
+      const std::string run = Serialize(RunScenario(scenario, workers, obs));
+      // Byte-for-byte: full-precision doubles included.
+      ASSERT_EQ(run, baseline);
+    }
+  }
+}
+
+TEST(GoldenRegressionTest, ObservedRunExportsConsistentMetrics) {
+  const GoldenScenario scenario = BuildScenario();
+  std::unique_ptr<DetectionEngine> keep;
+  DetectionEngine* engine = nullptr;
+  const std::vector<Alert> alerts =
+      RunScenario(scenario, /*workers=*/2, /*obs=*/true, &engine, &keep);
+  ASSERT_NE(engine, nullptr);
+  ASSERT_NE(engine->metrics(), nullptr);
+  ASSERT_NE(engine->trace_log(), nullptr);
+
+  // One engine drain per step plus the post-flush drain.
+  const Counter* drains =
+      engine->metrics()->FindCounter("dbc_engine_drains_total");
+  ASSERT_NE(drains, nullptr);
+  EXPECT_EQ(drains->value(), scenario.steps + 1);
+
+  // The merged stream the sinks saw equals what the caller collected.
+  const Counter* published =
+      engine->metrics()->FindCounter("dbc_engine_alerts_published_total");
+  ASSERT_NE(published, nullptr);
+  EXPECT_EQ(published->value(), alerts.size());
+
+  // Per-unit alert counters, summed over classes and units, agree too.
+  uint64_t counted = 0;
+  for (size_t u = 0; u < kUnits; ++u) {
+    for (const char* cls : {"anomaly", "data-quality", "topology-change"}) {
+      const Counter* c = engine->metrics()->FindCounter(
+          "dbc_pipeline_alerts_total", {{"class", cls}, {"unit", UnitName(u)}});
+      if (c != nullptr) counted += c->value();
+    }
+  }
+  EXPECT_EQ(counted, alerts.size());
+
+  // The scrape surfaces render and carry the provenance stamp.
+  const std::string text = PrometheusText(*engine->metrics());
+  EXPECT_NE(text.find("# TYPE dbc_engine_drains_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbc_stream_windows_evaluated_total"),
+            std::string::npos);
+  RunProvenance provenance;
+  provenance.seed = 42000;
+  provenance.config = "golden_regression";
+  const std::string json =
+      MetricsSnapshotJson(*engine->metrics(), provenance);
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"config\":\"golden_regression\""), std::string::npos);
+  EXPECT_GT(engine->trace_log()->recorded(), 0u);
+
+  // Persist the snapshot next to the binary: CI uploads it as an artifact on
+  // failure so a broken run ships its counters along with the alert diff.
+  EXPECT_TRUE(AppendMetricsSnapshot(*engine->metrics(), provenance,
+                                    "golden_regression_metrics.jsonl")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace dbc

@@ -11,6 +11,7 @@
 #include "dbc/cloudsim/telemetry.h"
 #include "dbc/cloudsim/unit_sim.h"
 #include "dbc/dbcatcher/streaming.h"
+#include "dbc/obs/metrics.h"
 
 namespace dbc {
 namespace {
@@ -391,6 +392,101 @@ TEST(TelemetryIngestorTest, RenameFeedRoutesSamples) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].quality[1], SampleQuality::kFresh);
   EXPECT_DOUBLE_EQ(out[0].values[1][0], 5.0);
+}
+
+// --- Metrics: counters must match the ground truth the test itself saw. ---
+
+IngestMetrics WireIngestMetrics(MetricsRegistry& registry) {
+  IngestMetrics m;
+  m.samples_accepted = registry.GetCounter("dbc_ingest_samples_accepted_total");
+  m.samples_late_dropped =
+      registry.GetCounter("dbc_ingest_samples_late_dropped_total");
+  m.ticks_sealed = registry.GetCounter("dbc_ingest_ticks_sealed_total");
+  m.db_ticks_fresh = registry.GetCounter("dbc_ingest_db_ticks_total",
+                                         {{"quality", "fresh"}});
+  m.db_ticks_imputed = registry.GetCounter("dbc_ingest_db_ticks_total",
+                                           {{"quality", "imputed"}});
+  m.db_ticks_missing = registry.GetCounter("dbc_ingest_db_ticks_total",
+                                           {{"quality", "missing"}});
+  m.quarantine_enters = registry.GetCounter(
+      "dbc_ingest_quarantine_transitions_total", {{"kind", "enter"}});
+  m.quarantine_exits = registry.GetCounter(
+      "dbc_ingest_quarantine_transitions_total", {{"kind", "exit"}});
+  m.collector_down_events =
+      registry.GetCounter("dbc_ingest_collector_down_total");
+  m.feeds_joined = registry.GetCounter("dbc_ingest_feeds_joined_total");
+  m.feeds_retired = registry.GetCounter("dbc_ingest_feeds_retired_total");
+  return m;
+}
+
+TEST(TelemetryIngestorTest, MetricsMatchObservedGroundTruth) {
+  MetricsRegistry registry;
+  IngestConfig config;
+  config.reorder_window = 2;
+  config.max_gap = 2;
+  config.quarantine_after = 4;
+  config.rejoin_after = 3;
+  TelemetryIngestor ingestor(2, config);
+  const IngestMetrics m = WireIngestMetrics(registry);
+  ingestor.set_metrics(m);
+
+  size_t offered = 0;
+  auto offer = [&](size_t t, size_t db) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, db, 1.0 * t + db)).ok());
+    ++offered;
+  };
+  for (size_t t = 0; t < 5; ++t) {
+    offer(t, 0);
+    offer(t, 1);
+  }
+  for (size_t t = 5; t < 15; ++t) offer(t, 0);  // db 1 dark past the budget
+  for (size_t t = 15; t < 25; ++t) {            // recovery
+    offer(t, 0);
+    offer(t, 1);
+  }
+  size_t sealed = 0;
+  size_t fresh = 0, imputed = 0, missing = 0;
+  for (const AlignedTick& tick : ingestor.Flush()) {
+    ++sealed;
+    for (SampleQuality q : tick.quality) {
+      fresh += q == SampleQuality::kFresh;
+      imputed += q == SampleQuality::kImputed;
+      missing += q == SampleQuality::kMissing;
+    }
+  }
+  size_t enters = 0, exits = 0, down = 0;
+  for (const DataQualityEvent& ev : ingestor.DrainEvents()) {
+    enters += ev.kind == DataQualityEvent::Kind::kQuarantineEnter;
+    exits += ev.kind == DataQualityEvent::Kind::kQuarantineExit;
+    down += ev.kind == DataQualityEvent::Kind::kCollectorDown;
+  }
+
+  EXPECT_EQ(m.samples_accepted->value(), offered);
+  EXPECT_EQ(m.ticks_sealed->value(), sealed);
+  EXPECT_EQ(sealed, 25u);
+  EXPECT_EQ(m.db_ticks_fresh->value(), fresh);
+  EXPECT_EQ(m.db_ticks_imputed->value(), imputed);
+  EXPECT_EQ(m.db_ticks_missing->value(), missing);
+  EXPECT_EQ(fresh + imputed + missing, sealed * 2);  // every row classified
+  EXPECT_GT(missing, 0u);  // the outage exceeded max_gap
+  EXPECT_EQ(m.quarantine_enters->value(), enters);
+  EXPECT_EQ(m.quarantine_exits->value(), exits);
+  EXPECT_EQ(enters, 1u);
+  EXPECT_EQ(exits, 1u);
+  EXPECT_EQ(m.collector_down_events->value(), down);
+  EXPECT_GE(down, 1u);
+
+  // Late stragglers and membership churn count too.
+  const size_t drops_before = m.samples_late_dropped->value();
+  EXPECT_EQ(ingestor.Offer(MakeSample(1, 0, 9.0)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(m.samples_late_dropped->value(), drops_before + 1);
+  EXPECT_EQ(m.samples_late_dropped->value(), ingestor.late_drops());
+  ingestor.AddDb();
+  ASSERT_TRUE(ingestor.RemoveDb(1).ok());
+  ASSERT_TRUE(ingestor.RemoveDb(1).ok());  // idempotent: not double-counted
+  EXPECT_EQ(m.feeds_joined->value(), 1u);
+  EXPECT_EQ(m.feeds_retired->value(), 1u);
 }
 
 // --- Degraded feeds end-to-end through the streaming detector. ---

@@ -1,0 +1,252 @@
+// Property tests for the correlation kernels (KCD / Pearson / Spearman).
+//
+// Every property runs over >= 100 seeded random cases with EXACT assertions
+// (bitwise equality, or a fixed deterministic bound where IEEE rounding
+// forbids bitwise) — no tolerance-based skips, no flaky margins. The inputs
+// are fully determined by dbc::Rng seeds, so a property that passes once
+// passes always.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "dbc/common/rng.h"
+#include "dbc/correlation/kcd.h"
+#include "dbc/correlation/pearson.h"
+#include "dbc/correlation/spearman.h"
+#include "dbc/ts/series.h"
+
+namespace dbc {
+namespace {
+
+constexpr size_t kCases = 120;
+
+/// Random series with a smooth component plus noise; smoothness makes lag
+/// recovery unambiguous while noise keeps autocorrelation decaying.
+std::vector<double> RandomSignal(Rng& rng, size_t n) {
+  std::vector<double> v(n);
+  double walk = 0.0;
+  const double freq = rng.Uniform(0.05, 0.3);
+  const double phase = rng.Uniform(0.0, 6.28);
+  for (size_t i = 0; i < n; ++i) {
+    walk += rng.Normal(0.0, 0.4);
+    v[i] = std::sin(freq * static_cast<double>(i) + phase) + 0.3 * walk +
+           rng.Normal(0.0, 0.15);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Symmetry under series swap: corr(x, y) == corr(y, x), bit for bit. For KCD
+// the swapped call evaluates the identical set of OverlapScore values (the
+// forward/backward lag scans trade roles), and the max of the same set of
+// doubles is exact; for Pearson/Spearman every term is symmetric because IEEE
+// multiplication commutes.
+// ---------------------------------------------------------------------------
+
+TEST(KernelPropertyTest, KcdSymmetricUnderSeriesSwap) {
+  Rng rng(0xA11CE);
+  for (size_t c = 0; c < kCases; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(8, 96));
+    const Series x(RandomSignal(rng, n));
+    const Series y(RandomSignal(rng, n));
+    const KcdResult xy = Kcd(x, y);
+    const KcdResult yx = Kcd(y, x);
+    ASSERT_EQ(xy.score, yx.score) << "case " << c << " n=" << n;
+    // The winning lag flips sign with the roles; the score never depends on
+    // the order of the scan.
+    ASSERT_EQ(std::abs(xy.best_lag), std::abs(yx.best_lag)) << "case " << c;
+  }
+}
+
+TEST(KernelPropertyTest, PearsonSymmetricUnderSeriesSwap) {
+  Rng rng(0xBEE5);
+  for (size_t c = 0; c < kCases; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(4, 128));
+    const std::vector<double> x = RandomSignal(rng, n);
+    const std::vector<double> y = RandomSignal(rng, n);
+    ASSERT_EQ(PearsonCorrelation(x, y), PearsonCorrelation(y, x))
+        << "case " << c << " n=" << n;
+  }
+}
+
+TEST(KernelPropertyTest, SpearmanSymmetricUnderSeriesSwap) {
+  Rng rng(0xC0FFEE);
+  for (size_t c = 0; c < kCases; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(4, 128));
+    const std::vector<double> x = RandomSignal(rng, n);
+    const std::vector<double> y = RandomSignal(rng, n);
+    ASSERT_EQ(SpearmanCorrelation(x, y), SpearmanCorrelation(y, x))
+        << "case " << c << " n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Affine-rescaling invariance. KCD min-max normalizes (Eq. 1) and Pearson
+// mean-centers, so y -> a*y + b with a > 0 must not change the score.
+// Scaling by a power of two with zero offset commutes with every IEEE
+// operation involved (no rounding), so those cases are BITWISE equal; a
+// general affine map perturbs normalization by a few ulp, bounded here by a
+// fixed deterministic 1e-9.
+// ---------------------------------------------------------------------------
+
+TEST(KernelPropertyTest, KcdBitIdenticalUnderPowerOfTwoRescale) {
+  Rng rng(0xD00D);
+  for (size_t c = 0; c < kCases; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(8, 96));
+    const Series x(RandomSignal(rng, n));
+    std::vector<double> scaled = RandomSignal(rng, n);
+    const Series y(scaled);
+    const double a = std::ldexp(1.0, static_cast<int>(rng.UniformInt(-3, 3)));
+    for (double& v : scaled) v *= a;
+    const Series ys(std::move(scaled));
+    ASSERT_EQ(KcdScore(x, y), KcdScore(x, ys))
+        << "case " << c << " scale=" << a;
+  }
+}
+
+TEST(KernelPropertyTest, KcdInvariantUnderGeneralAffineRescale) {
+  Rng rng(0xE66);
+  for (size_t c = 0; c < kCases; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(8, 96));
+    const Series x(RandomSignal(rng, n));
+    std::vector<double> mapped = RandomSignal(rng, n);
+    const Series y(mapped);
+    const double a = rng.Uniform(0.1, 50.0);
+    const double b = rng.Uniform(-100.0, 100.0);
+    for (double& v : mapped) v = a * v + b;
+    const Series ys(std::move(mapped));
+    ASSERT_NEAR(KcdScore(x, y), KcdScore(x, ys), 1e-9)
+        << "case " << c << " a=" << a << " b=" << b;
+  }
+}
+
+TEST(KernelPropertyTest, PearsonInvariantUnderGeneralAffineRescale) {
+  Rng rng(0xF00);
+  for (size_t c = 0; c < kCases; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(4, 128));
+    const std::vector<double> x = RandomSignal(rng, n);
+    std::vector<double> y = RandomSignal(rng, n);
+    const double base = PearsonCorrelation(x, y);
+    const double a = rng.Uniform(0.1, 50.0);
+    const double b = rng.Uniform(-100.0, 100.0);
+    for (double& v : y) v = a * v + b;
+    ASSERT_NEAR(base, PearsonCorrelation(x, y), 1e-9) << "case " << c;
+  }
+}
+
+TEST(KernelPropertyTest, SpearmanBitIdenticalUnderMonotoneRescale) {
+  // Ranks are integers: any strictly increasing map (affine with a > 0
+  // included) preserves them exactly, so Spearman is bitwise invariant.
+  Rng rng(0x5EA);
+  for (size_t c = 0; c < kCases; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(4, 128));
+    const std::vector<double> x = RandomSignal(rng, n);
+    std::vector<double> y = RandomSignal(rng, n);
+    const double base = SpearmanCorrelation(x, y);
+    const double a = rng.Uniform(0.1, 50.0);
+    const double b = rng.Uniform(-100.0, 100.0);
+    for (double& v : y) v = a * v + b;
+    ASSERT_EQ(base, SpearmanCorrelation(x, y)) << "case " << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Known-lag recovery: y built as a pure shift of x must be recovered at the
+// injected lag with near-perfect score (the overlap is an affine image of
+// itself). The signal is smooth-plus-noise, so no other lag can tie.
+// ---------------------------------------------------------------------------
+
+TEST(KernelPropertyTest, KcdRecoversInjectedCollectionDelay) {
+  Rng rng(0x1A6);
+  for (size_t c = 0; c < kCases; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(48, 128));
+    const size_t lag = static_cast<size_t>(rng.UniformInt(1, 8));
+    const std::vector<double> base = RandomSignal(rng, n + lag);
+    // x[i] = base[i], y[i] = base[i + lag]: y runs ahead, so the forward
+    // scan (x lagging y) peaks at s = lag.
+    std::vector<double> xv(base.begin(), base.begin() + static_cast<ptrdiff_t>(n));
+    std::vector<double> yv(base.begin() + static_cast<ptrdiff_t>(lag), base.end());
+    const KcdResult fwd = Kcd(Series(std::move(xv)), Series(std::move(yv)));
+    ASSERT_EQ(fwd.best_lag, static_cast<int>(lag)) << "case " << c;
+    ASSERT_GT(fwd.score, 0.99) << "case " << c;
+  }
+}
+
+TEST(KernelPropertyTest, KcdRecoversNegativeLagWhenRolesFlip) {
+  Rng rng(0x1A7);
+  for (size_t c = 0; c < kCases; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(48, 128));
+    const size_t lag = static_cast<size_t>(rng.UniformInt(1, 8));
+    const std::vector<double> base = RandomSignal(rng, n + lag);
+    std::vector<double> xv(base.begin() + static_cast<ptrdiff_t>(lag), base.end());
+    std::vector<double> yv(base.begin(), base.begin() + static_cast<ptrdiff_t>(n));
+    const KcdResult bwd = Kcd(Series(std::move(xv)), Series(std::move(yv)));
+    ASSERT_EQ(bwd.best_lag, -static_cast<int>(lag)) << "case " << c;
+    ASSERT_GT(bwd.score, 0.99) << "case " << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Masked-KCD consistency: with a SHARED mask on both series and the lag scan
+// pinned to s = 0, KcdMasked over the masked windows is BITWISE identical to
+// plain Kcd over the series compacted to the surviving points — the
+// normalization sets, the summation order, and every IEEE operation match
+// one for one. (With per-series masks or a live lag scan the two genuinely
+// differ: masked points keep their time positions, compaction destroys them
+// — that is the documented reason KcdMasked exists.)
+// ---------------------------------------------------------------------------
+
+TEST(KernelPropertyTest, KcdMaskedMatchesCompactedAtZeroLag) {
+  Rng rng(0x3A5C);
+  KcdOptions zero_lag;
+  zero_lag.max_delay_fraction = 0.0;
+  for (size_t c = 0; c < kCases; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(12, 96));
+    const std::vector<double> xv = RandomSignal(rng, n);
+    const std::vector<double> yv = RandomSignal(rng, n);
+    std::vector<uint8_t> mask(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.3)) mask[i] = 0;
+    }
+    const KcdResult masked =
+        KcdMasked(Series(xv), Series(yv), &mask, &mask, zero_lag);
+
+    std::vector<double> cx, cy;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask[i] == 0) continue;
+      cx.push_back(xv[i]);
+      cy.push_back(yv[i]);
+    }
+    const size_t kept = cx.size();
+    const KcdResult compact =
+        Kcd(Series(std::move(cx)), Series(std::move(cy)), zero_lag);
+    if (kept < std::max<size_t>(zero_lag.min_overlap, 2)) {
+      // Both paths must agree that the window carries no evidence.
+      ASSERT_EQ(masked.score, 0.0) << "case " << c;
+      ASSERT_EQ(compact.score, 0.0) << "case " << c;
+    } else {
+      ASSERT_EQ(masked.score, compact.score)
+          << "case " << c << " n=" << n << " kept=" << kept;
+    }
+  }
+}
+
+TEST(KernelPropertyTest, KcdMaskedWithAllValidMaskMatchesPlainKcd) {
+  Rng rng(0x3A5D);
+  for (size_t c = 0; c < kCases; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(8, 96));
+    const Series x(RandomSignal(rng, n));
+    const Series y(RandomSignal(rng, n));
+    const std::vector<uint8_t> all(n, 1);
+    const KcdResult masked = KcdMasked(x, y, &all, &all);
+    const KcdResult plain = Kcd(x, y);
+    ASSERT_EQ(masked.score, plain.score) << "case " << c;
+    ASSERT_EQ(masked.best_lag, plain.best_lag) << "case " << c;
+  }
+}
+
+}  // namespace
+}  // namespace dbc

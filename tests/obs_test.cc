@@ -1,0 +1,231 @@
+// Observability subsystem tests: registry identity and ordering, histogram
+// bucketing and quantiles, the null-pointer "off" contract, the Prometheus /
+// JSONL scrape surfaces, the trace ring bound, provenance stamping, and
+// concurrent mutation (the case the TSan job exercises).
+#include "dbc/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "dbc/common/provenance.h"
+#include "dbc/obs/exposition.h"
+#include "dbc/obs/trace.h"
+
+namespace dbc {
+namespace {
+
+TEST(MetricsRegistryTest, SameNameAndLabelsYieldSameInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("dbc_test_total", {{"unit", "u0"}});
+  Counter* b = registry.GetCounter("dbc_test_total", {{"unit", "u0"}});
+  Counter* c = registry.GetCounter("dbc_test_total", {{"unit", "u1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  a->Add(3);
+  EXPECT_EQ(b->value(), 3u);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotCreate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("absent"), nullptr);
+  EXPECT_EQ(registry.FindGauge("absent"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("absent"), nullptr);
+  EXPECT_EQ(registry.size(), 0u);
+  registry.GetGauge("present");
+  EXPECT_NE(registry.FindGauge("present"), nullptr);
+  // A name keeps one kind: looking it up as another kind finds nothing.
+  EXPECT_EQ(registry.FindCounter("present"), nullptr);
+}
+
+TEST(MetricsRegistryTest, EntriesAreOrderedDeterministically) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz_total");
+  registry.GetCounter("aa_total", {{"unit", "u1"}});
+  registry.GetCounter("aa_total", {{"unit", "u0"}});
+  const auto entries = registry.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "aa_total");
+  EXPECT_EQ(entries[0].labels[0].second, "u0");
+  EXPECT_EQ(entries[1].labels[0].second, "u1");
+  EXPECT_EQ(entries[2].name, "zz_total");
+}
+
+TEST(NullMetricHelpersTest, OffModeIsANoOp) {
+  // The instrumented layers call these with null pointers when observability
+  // is disabled; nothing may crash and nothing may be recorded.
+  Inc(static_cast<Counter*>(nullptr));
+  Inc(static_cast<Counter*>(nullptr), 17);
+  Set(static_cast<Gauge*>(nullptr), 3.5);
+  Observe(static_cast<Histogram*>(nullptr), 0.001);
+  Counter c;
+  Inc(&c, 2);
+  EXPECT_EQ(c.value(), 2u);
+  Gauge g;
+  Set(&g, 1.25);
+  EXPECT_EQ(g.value(), 1.25);
+  g.Add(0.75);
+  EXPECT_EQ(g.value(), 2.0);
+}
+
+TEST(HistogramTest, BucketsAreCumulativeAndQuantilesInterpolate) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.5, 1.5, 3.0, 8.0}) h.Observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 14.5);
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + the +Inf bucket
+  EXPECT_EQ(counts[0], 1u);      // <= 1
+  EXPECT_EQ(counts[1], 2u);      // (1, 2]
+  EXPECT_EQ(counts[2], 1u);      // (2, 4]
+  EXPECT_EQ(counts[3], 1u);      // +Inf
+  // Median falls in the (1, 2] bucket; p99 lands in +Inf and clamps to the
+  // largest finite bound.
+  EXPECT_GT(h.Quantile(0.5), 1.0);
+  EXPECT_LE(h.Quantile(0.5), 2.0);
+  EXPECT_EQ(h.Quantile(0.99), 4.0);
+  Histogram empty({1.0});
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreSortedMicrosecondsToSeconds) {
+  const std::vector<double>& bounds = DefaultLatencyBounds();
+  ASSERT_GT(bounds.size(), 8u);
+  EXPECT_LE(bounds.front(), 2e-6);
+  EXPECT_GE(bounds.back(), 1.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(ExpositionTest, PrometheusTextRendersAllThreeKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("dbc_events_total", {{"unit", "u0"}})->Add(7);
+  registry.GetGauge("dbc_depth")->Set(2.5);
+  // Bounds chosen exactly representable in binary so %.17g prints them short.
+  Histogram* h = registry.GetHistogram("dbc_latency_seconds", {}, {0.25, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE dbc_events_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("dbc_events_total{unit=\"u0\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dbc_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("dbc_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dbc_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbc_latency_seconds_bucket{le=\"0.25\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbc_latency_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbc_latency_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbc_latency_seconds_count 2\n"), std::string::npos);
+  // Deterministic: two scrapes of an unchanged registry are identical.
+  EXPECT_EQ(text, PrometheusText(registry));
+}
+
+TEST(ExpositionTest, SnapshotJsonCarriesProvenanceAndAppends) {
+  MetricsRegistry registry;
+  registry.GetCounter("dbc_events_total")->Add(4);
+  RunProvenance provenance;
+  provenance.git_sha = "abc123";
+  provenance.seed = 99;
+  provenance.config = "obs \"quoted\"";
+  const std::string json = MetricsSnapshotJson(registry, provenance);
+  EXPECT_NE(json.find("\"git_sha\":\"abc123\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":99"), std::string::npos);
+  EXPECT_NE(json.find("\"config\":\"obs \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"dbc_events_total\":4"), std::string::npos);
+
+  const std::string path = "obs_test_snapshot.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(AppendMetricsSnapshot(registry, provenance, path).ok());
+  ASSERT_TRUE(AppendMetricsSnapshot(registry, provenance, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line, json);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceLogTest, RingKeepsNewestAndCountsDrops) {
+  TraceLog trace(3);
+  for (size_t i = 0; i < 5; ++i) {
+    trace.Record({"u", "stage", i, 0.001, i});
+  }
+  EXPECT_EQ(trace.recorded(), 5u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  const std::vector<TraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().tick, 2u);
+  EXPECT_EQ(events.back().tick, 4u);
+  const std::string jsonl = TraceJsonl(trace);
+  EXPECT_NE(jsonl.find("\"stage\":\"stage\""), std::string::npos);
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(jsonl.begin(), jsonl.end(), '\n')),
+            3u);
+}
+
+TEST(ProvenanceTest, GitShaPrefersEnvOverride) {
+  // DBC_GIT_SHA lets CI pin the stamp without a .git directory.
+  setenv("DBC_GIT_SHA", "cafebabe0001", 1);
+  EXPECT_EQ(CurrentGitSha(), "cafebabe0001");
+  unsetenv("DBC_GIT_SHA");
+  // Without the override it falls back to git (this repo) or "unknown"
+  // (a tarball build) — either way it is non-empty.
+  EXPECT_FALSE(CurrentGitSha().empty());
+}
+
+TEST(ObsConcurrencyTest, RelaxedMutationsFromManyThreadsAddUp) {
+  // Mirrors the engine's sharing shape: workers mutate counters/histograms
+  // concurrently while a scraper reads. Run under TSan in CI.
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("dbc_contended_total");
+  Gauge* gauge = registry.GetGauge("dbc_contended_busy_seconds");
+  Histogram* histogram = registry.GetHistogram("dbc_contended_seconds");
+  TraceLog trace(128);
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kIters; ++i) {
+        counter->Add(1);
+        gauge->Add(0.5);
+        histogram->Observe(1e-6 * static_cast<double>(i % 64 + 1));
+        if (i % 256 == 0) {
+          trace.Record({"u" + std::to_string(t), "stage", i, 1e-6, 1});
+        }
+      }
+    });
+  }
+  // A scraper thread racing the writers: must be data-race-free.
+  threads.emplace_back([&] {
+    for (size_t i = 0; i < 50; ++i) {
+      const std::string text = PrometheusText(registry);
+      EXPECT_FALSE(text.empty());
+      (void)trace.Snapshot();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(), kThreads * kIters);
+  EXPECT_EQ(gauge->value(), 0.5 * static_cast<double>(kThreads * kIters));
+  EXPECT_EQ(histogram->count(), kThreads * kIters);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : histogram->BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, kThreads * kIters);
+}
+
+}  // namespace
+}  // namespace dbc

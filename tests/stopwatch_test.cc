@@ -1,0 +1,52 @@
+// Stopwatch regression tests: the observability layer's stage histograms
+// assume monotonic, non-negative durations — a wall clock stepping backwards
+// (NTP) would poison them. The Stopwatch is pinned to steady_clock by
+// static_assert; these tests pin the behavioural half of the contract.
+#include "dbc/common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dbc {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotonic) {
+  Stopwatch watch;
+  double last = watch.ElapsedSeconds();
+  EXPECT_GE(last, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double now = watch.ElapsedSeconds();
+    EXPECT_GE(now, last) << "iteration " << i;
+    last = now;
+  }
+}
+
+TEST(StopwatchTest, LapSecondsSplitsConsecutiveStagesNonNegatively) {
+  Stopwatch watch;
+  double total = 0.0;
+  for (int stage = 0; stage < 100; ++stage) {
+    const double lap = watch.LapSeconds();
+    EXPECT_GE(lap, 0.0) << "stage " << stage;
+    total += lap;
+  }
+  // Laps reset the origin: the residual elapsed time since the last lap
+  // cannot exceed the time the whole loop took — and never goes negative.
+  const double residual = watch.ElapsedSeconds();
+  EXPECT_GE(residual, 0.0);
+  EXPECT_GE(total, 0.0);
+}
+
+TEST(StopwatchTest, LapCoversSleepAndRestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double lap = watch.LapSeconds();
+  EXPECT_GE(lap, 0.004);  // steady clock must see (almost all of) the sleep
+  watch.Restart();
+  // A fresh origin: the next reading is tiny compared to the slept lap.
+  EXPECT_LT(watch.ElapsedSeconds(), lap);
+  EXPECT_GE(watch.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace dbc

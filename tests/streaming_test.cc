@@ -8,6 +8,7 @@
 
 #include "dbc/cloudsim/unit_sim.h"
 #include "dbc/dbcatcher/observer.h"
+#include "dbc/obs/metrics.h"
 
 namespace dbc {
 namespace {
@@ -202,6 +203,42 @@ TEST(DbcatcherStreamTest, TicksAccumulate) {
   std::vector<StreamVerdict> verdicts;
   Replay(unit, stream, &verdicts);
   EXPECT_EQ(stream.ticks(), 50u);
+}
+
+TEST(DbcatcherStreamTest, MetricsMatchObservedGroundTruth) {
+  // Long enough that the bounded buffer trims; counters must agree with what
+  // the accessors report directly.
+  const UnitData unit = SimUnit(2000, 0.05, 23);
+  const DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  DbcatcherStream stream(config, unit.roles);
+  MetricsRegistry registry;
+  StreamMetrics m;
+  m.ticks_pushed = registry.GetCounter("dbc_stream_ticks_total");
+  m.windows_evaluated = registry.GetCounter("dbc_stream_windows_evaluated_total");
+  m.nodata_verdicts = registry.GetCounter("dbc_stream_nodata_verdicts_total");
+  m.buffer_trims = registry.GetCounter("dbc_stream_buffer_trims_total");
+  m.ticks_trimmed = registry.GetCounter("dbc_stream_ticks_trimmed_total");
+  m.cache_evictions = registry.GetCounter("dbc_stream_cache_evictions_total");
+  m.trim_offset = registry.GetGauge("dbc_stream_trim_offset");
+  m.buffer_ticks = registry.GetGauge("dbc_stream_buffer_ticks");
+  stream.set_metrics(m);
+
+  std::vector<StreamVerdict> verdicts;
+  Replay(unit, stream, &verdicts);
+
+  EXPECT_EQ(m.ticks_pushed->value(), 2000u);
+  EXPECT_EQ(m.windows_evaluated->value(), verdicts.size());
+  size_t nodata = 0;
+  for (const StreamVerdict& v : verdicts) nodata += v.state == DbState::kNoData;
+  EXPECT_EQ(m.nodata_verdicts->value(), nodata);
+  // The gauges mirror the stream's own bookkeeping after the last trim.
+  EXPECT_GT(m.buffer_trims->value(), 0u);
+  EXPECT_EQ(m.ticks_trimmed->value(), stream.buffer_offset());
+  EXPECT_EQ(m.trim_offset->value(),
+            static_cast<double>(stream.buffer_offset()));
+  EXPECT_EQ(m.buffer_ticks->value(),
+            static_cast<double>(stream.buffer().length()));
+  EXPECT_GT(m.cache_evictions->value(), 0u);  // trims evicted KCD memo rows
 }
 
 }  // namespace

@@ -31,6 +31,7 @@ dbc_bench(bench_fig11_optimizers)
 dbc_bench(bench_table11_telemetry_faults)
 dbc_bench(bench_table12_topology_churn)
 dbc_bench(bench_throughput_units)
+dbc_bench(bench_kernel_microbench)
 
 # Micro-benchmarks (google-benchmark) for the component-time study.
 add_executable(bench_component_time

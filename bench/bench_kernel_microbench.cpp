@@ -1,0 +1,191 @@
+// KCD kernel microbenchmark: reference two-pass lag scan vs the prefix-sum
+// fast kernel, at the Table V window sizes the detector actually decides on.
+// Three configurations are timed per window size over the pairwise matrix of
+// a 16-database pool (120 pairs, the shape CorrelationAnalyzer::Matrix sees):
+//
+//   reference — Kcd(): two O(n) passes per lag,           O(n^2) per pair
+//   fast      — KcdFast(): prefix tables built per call,  O(n^2/const) scan
+//   batched   — BuildKcdWindowStats once per series, then
+//               KcdFastFromStats per pair (the analyzer's hot path)
+//
+// The masked kernels are compared once at the largest window. Results go to
+// BENCH_kernel.json / .csv (provenance-stamped) for cross-commit tracking.
+// Exit code: non-zero when the batched speedup at the largest window falls
+// under 2x — a lenient floor (the acceptance target is 3x) so CI flags a
+// regressed kernel without flaking on a noisy shared runner.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "dbc/common/rng.h"
+#include "dbc/common/stopwatch.h"
+#include "dbc/common/table.h"
+#include "dbc/correlation/kcd.h"
+#include "dbc/correlation/kcd_fast.h"
+
+namespace {
+
+constexpr size_t kPool = 16;  // databases => 120 pairs per window size
+
+std::vector<dbc::Series> MakePool(dbc::Rng& rng, size_t n) {
+  // Correlated load shapes with per-db noise and drift — the realistic case
+  // where the lag scan cannot early-out.
+  std::vector<double> base(n);
+  for (double& v : base) v = rng.Normal();
+  std::vector<dbc::Series> pool;
+  for (size_t db = 0; db < kPool; ++db) {
+    std::vector<double> v(n);
+    const double gain = rng.Uniform(0.5, 2.0);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = gain * base[i] + 0.3 * rng.Normal() +
+             0.01 * static_cast<double>(i) * rng.Uniform();
+    }
+    pool.emplace_back(std::move(v));
+  }
+  return pool;
+}
+
+struct Timing {
+  double ref_us_per_pair = 0;
+  double fast_us_per_pair = 0;
+  double batched_us_per_pair = 0;
+  double checksum = 0;  // defeats dead-code elimination; printed once
+};
+
+Timing TimeWindowSize(dbc::Rng& rng, size_t n, int reps) {
+  const std::vector<dbc::Series> pool = MakePool(rng, n);
+  const size_t pairs = kPool * (kPool - 1) / 2;
+  dbc::KcdOptions options;
+  Timing t;
+  dbc::Stopwatch watch;
+
+  for (int r = 0; r < reps; ++r) {
+    for (size_t a = 0; a < kPool; ++a) {
+      for (size_t b = a + 1; b < kPool; ++b) {
+        t.checksum += dbc::Kcd(pool[a], pool[b], options).score;
+      }
+    }
+  }
+  t.ref_us_per_pair = watch.LapSeconds() * 1e6 / (reps * pairs);
+
+  for (int r = 0; r < reps; ++r) {
+    for (size_t a = 0; a < kPool; ++a) {
+      for (size_t b = a + 1; b < kPool; ++b) {
+        t.checksum -= dbc::KcdFast(pool[a], pool[b], options).score;
+      }
+    }
+  }
+  t.fast_us_per_pair = watch.LapSeconds() * 1e6 / (reps * pairs);
+
+  for (int r = 0; r < reps; ++r) {
+    std::vector<dbc::KcdWindowStats> stats;
+    stats.reserve(kPool);
+    for (const dbc::Series& s : pool) {
+      stats.push_back(dbc::BuildKcdWindowStats(s, options.normalize));
+    }
+    for (size_t a = 0; a < kPool; ++a) {
+      for (size_t b = a + 1; b < kPool; ++b) {
+        t.checksum += dbc::KcdFastFromStats(stats[a], stats[b], options).score;
+      }
+    }
+  }
+  t.batched_us_per_pair = watch.LapSeconds() * 1e6 / (reps * pairs);
+  return t;
+}
+
+double TimeMasked(dbc::Rng& rng, size_t n, int reps, bool fast) {
+  const std::vector<dbc::Series> pool = MakePool(rng, n);
+  std::vector<std::vector<uint8_t>> masks(kPool, std::vector<uint8_t>(n, 1));
+  for (auto& mask : masks) {
+    for (auto& m : mask) m = rng.Bernoulli(0.2) ? 0 : 1;
+  }
+  const size_t pairs = kPool * (kPool - 1) / 2;
+  dbc::KcdOptions options;
+  double checksum = 0;
+  dbc::Stopwatch watch;
+  for (int r = 0; r < reps; ++r) {
+    for (size_t a = 0; a < kPool; ++a) {
+      for (size_t b = a + 1; b < kPool; ++b) {
+        checksum += fast ? dbc::KcdMaskedFast(pool[a], pool[b], &masks[a],
+                                              &masks[b], options)
+                               .score
+                         : dbc::KcdMasked(pool[a], pool[b], &masks[a],
+                                          &masks[b], options)
+                               .score;
+      }
+    }
+  }
+  const double us = watch.ElapsedSeconds() * 1e6 / (reps * pairs);
+  if (std::isnan(checksum)) std::printf("impossible\n");  // keep it live
+  return us;
+}
+
+}  // namespace
+
+int main() {
+  // Table V window sizes: the 15-25 range is where DBCatcher decides; 45-75
+  // covers the baselines' best-F windows and the flexible expansions.
+  const std::vector<size_t> sizes = {15, 20, 25, 45, 60, 75};
+  const size_t w_m = sizes.back();
+  dbc::Rng rng(dbc::BenchSeed());
+
+  std::printf("=== KCD kernel microbench: reference vs prefix-sum fast path"
+              " (%zu-db pool, %zu pairs) ===\n\n",
+              kPool, kPool * (kPool - 1) / 2);
+  dbc::bench::BenchReport report("kernel", "pool=16 reps=auto noise=0.3");
+  dbc::TextTable table;
+  table.SetHeader({"n", "reference us/pair", "fast us/pair", "batched us/pair",
+                   "fast speedup", "batched speedup"});
+
+  double checksum = 0;
+  double w_m_batched_speedup = 0;
+  for (size_t n : sizes) {
+    // Warm-up pass then measurement; reps shrink with n^2 so each cell costs
+    // roughly constant wall time.
+    const int reps = static_cast<int>(std::max<size_t>(8, 60000 / (n * n)));
+    TimeWindowSize(rng, n, 2);
+    const Timing t = TimeWindowSize(rng, n, reps);
+    checksum += t.checksum;
+    const double fast_speedup = t.ref_us_per_pair / t.fast_us_per_pair;
+    const double batched_speedup = t.ref_us_per_pair / t.batched_us_per_pair;
+    if (n == w_m) w_m_batched_speedup = batched_speedup;
+    table.AddRow({dbc::TextTable::Num(static_cast<double>(n), 0),
+                  dbc::TextTable::Num(t.ref_us_per_pair, 3),
+                  dbc::TextTable::Num(t.fast_us_per_pair, 3),
+                  dbc::TextTable::Num(t.batched_us_per_pair, 3),
+                  dbc::TextTable::Num(fast_speedup, 2),
+                  dbc::TextTable::Num(batched_speedup, 2)});
+    const std::string suffix = "_n" + std::to_string(n);
+    report.Add("ref_us_per_pair" + suffix, t.ref_us_per_pair);
+    report.Add("fast_us_per_pair" + suffix, t.fast_us_per_pair);
+    report.Add("batched_us_per_pair" + suffix, t.batched_us_per_pair);
+    report.Add("fast_speedup" + suffix, fast_speedup);
+    report.Add("batched_speedup" + suffix, batched_speedup);
+  }
+  table.Print();
+
+  const int masked_reps = 40;
+  TimeMasked(rng, w_m, 2, true);  // warm-up
+  const double masked_ref = TimeMasked(rng, w_m, masked_reps, false);
+  const double masked_fast = TimeMasked(rng, w_m, masked_reps, true);
+  std::printf("\nmasked kernels at n=%zu: reference %.3f us/pair, fused"
+              " single-pass %.3f us/pair (%.2fx)\n",
+              w_m, masked_ref, masked_fast, masked_ref / masked_fast);
+  report.Add("masked_ref_us_per_pair_n75", masked_ref);
+  report.Add("masked_fast_us_per_pair_n75", masked_fast);
+  report.Add("masked_speedup_n75", masked_ref / masked_fast);
+
+  report.Write();
+  std::printf("(score checksum %.6f)\n", checksum);
+
+  if (w_m_batched_speedup < 2.0) {
+    std::printf("FAIL: batched fast kernel only %.2fx at n=%zu (floor 2x,"
+                " target 3x)\n",
+                w_m_batched_speedup, w_m);
+    return 1;
+  }
+  std::printf("batched speedup at n=%zu: %.2fx (floor 2x, target 3x)\n", w_m,
+              w_m_batched_speedup);
+  return 0;
+}

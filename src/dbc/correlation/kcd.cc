@@ -9,21 +9,30 @@
 
 namespace dbc {
 
-namespace {
+namespace kcd_internal {
 
-/// Centered, L2-normalized inner product of the overlap of x and y at a
-/// non-negative lag s applied to `lead` (x when x lags y): compares
-/// lead[s..n) against follow[0..n-s). Returns 0 when either overlap is
-/// constant.
-double OverlapScore(const std::vector<double>& lead,
-                    const std::vector<double>& follow, size_t s) {
+// An exactly-constant overlap carries no trend information, but letting the
+// mean subtraction decide that is numerically treacherous: when the sum of a
+// constant run rounds, every residual collapses to the same epsilon and the
+// quotient cancels to a spurious +/-1. Both scorers therefore detect exact
+// constancy explicitly and return 0, which also gives the fast kernel a
+// bit-exact semantic to reproduce from its prefix tables.
+double ReferenceOverlapScore(const std::vector<double>& lead,
+                             const std::vector<double>& follow, size_t s) {
   const size_t n = lead.size();
   const size_t len = n - s;
+  if (len == 0) return 0.0;
+  const double lead0 = lead[s];
+  const double follow0 = follow[0];
+  bool lead_const = true, follow_const = true;
   double mx = 0.0, my = 0.0;
   for (size_t i = 0; i < len; ++i) {
     mx += lead[i + s];
     my += follow[i];
+    lead_const = lead_const && lead[i + s] == lead0;
+    follow_const = follow_const && follow[i] == follow0;
   }
+  if (lead_const || follow_const) return 0.0;
   mx /= static_cast<double>(len);
   my /= static_cast<double>(len);
   double sxy = 0.0, sxx = 0.0, syy = 0.0;
@@ -38,26 +47,32 @@ double OverlapScore(const std::vector<double>& lead,
   return sxy / std::sqrt(sxx * syy);
 }
 
-/// Masked OverlapScore: index pairs where either side is masked out drop
-/// from the sums, the rest keep their positions. Returns NaN when fewer than
-/// min_overlap pairs survive, so the caller can skip the lag entirely.
-double MaskedOverlapScore(const std::vector<double>& lead,
-                          const std::vector<double>& follow,
-                          const std::vector<uint8_t>& lead_ok,
-                          const std::vector<uint8_t>& follow_ok, size_t s,
-                          size_t min_overlap) {
+double ReferenceMaskedOverlapScore(const std::vector<double>& lead,
+                                   const std::vector<double>& follow,
+                                   const std::vector<uint8_t>& lead_ok,
+                                   const std::vector<uint8_t>& follow_ok,
+                                   size_t s, size_t min_overlap) {
   const size_t len = lead.size() - s;
   size_t m = 0;
   double mx = 0.0, my = 0.0;
+  double lead0 = 0.0, follow0 = 0.0;
+  bool lead_const = true, follow_const = true;
   for (size_t i = 0; i < len; ++i) {
     if (lead_ok[i + s] == 0 || follow_ok[i] == 0) continue;
+    if (m == 0) {
+      lead0 = lead[i + s];
+      follow0 = follow[i];
+    }
     mx += lead[i + s];
     my += follow[i];
+    lead_const = lead_const && lead[i + s] == lead0;
+    follow_const = follow_const && follow[i] == follow0;
     ++m;
   }
   if (m < std::max<size_t>(min_overlap, 2)) {
     return std::numeric_limits<double>::quiet_NaN();
   }
+  if (lead_const || follow_const) return 0.0;
   mx /= static_cast<double>(m);
   my /= static_cast<double>(m);
   double sxy = 0.0, sxx = 0.0, syy = 0.0;
@@ -73,8 +88,6 @@ double MaskedOverlapScore(const std::vector<double>& lead,
   return sxy / std::sqrt(sxx * syy);
 }
 
-/// Eq. 1 over the unmasked points only; masked entries are left untouched
-/// (they never enter an overlap sum).
 void MaskedMinMaxNormalize(std::vector<double>& v,
                            const std::vector<uint8_t>& ok) {
   double lo = std::numeric_limits<double>::infinity();
@@ -84,12 +97,26 @@ void MaskedMinMaxNormalize(std::vector<double>& v,
     lo = std::min(lo, v[i]);
     hi = std::max(hi, v[i]);
   }
-  if (!(hi > lo)) return;  // constant or empty: OverlapScore yields 0
+  if (!(hi > lo)) {
+    // Constant or empty unmasked set: zero it, exactly as
+    // MinMaxNormalizeInPlace does for whole windows, so constant feeds score
+    // 0 instead of riding on rounding residue.
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (ok[i] != 0) v[i] = 0.0;
+    }
+    return;
+  }
   for (size_t i = 0; i < v.size(); ++i) {
     if (ok[i] != 0) v[i] = (v[i] - lo) / (hi - lo);
   }
 }
 
+}  // namespace kcd_internal
+
+namespace {
+using kcd_internal::MaskedMinMaxNormalize;
+using kcd_internal::ReferenceMaskedOverlapScore;
+using kcd_internal::ReferenceOverlapScore;
 }  // namespace
 
 KcdResult Kcd(const Series& x, const Series& y, const KcdOptions& options) {
@@ -121,14 +148,14 @@ KcdResult Kcd(const Series& x, const Series& y, const KcdOptions& options) {
   int best_lag = 0;
   for (size_t s = 0; s <= max_delay; ++s) {
     // x lagging y by s.
-    const double fwd = OverlapScore(nx, ny, s);
+    const double fwd = ReferenceOverlapScore(nx, ny, s);
     if (fwd > best) {
       best = fwd;
       best_lag = static_cast<int>(s);
     }
     if (s > 0 && options.scan_negative) {
       // y lagging x by s.
-      const double bwd = OverlapScore(ny, nx, s);
+      const double bwd = ReferenceOverlapScore(ny, nx, s);
       if (bwd > best) {
         best = bwd;
         best_lag = -static_cast<int>(s);
@@ -173,14 +200,14 @@ KcdResult KcdMasked(const Series& x, const Series& y,
   int best_lag = 0;
   for (size_t s = 0; s <= max_delay; ++s) {
     const double fwd =
-        MaskedOverlapScore(nx, ny, okx, oky, s, options.min_overlap);
+        ReferenceMaskedOverlapScore(nx, ny, okx, oky, s, options.min_overlap);
     if (!std::isnan(fwd) && fwd > best) {
       best = fwd;
       best_lag = static_cast<int>(s);
     }
     if (s > 0 && options.scan_negative) {
       const double bwd =
-          MaskedOverlapScore(ny, nx, oky, okx, s, options.min_overlap);
+          ReferenceMaskedOverlapScore(ny, nx, oky, okx, s, options.min_overlap);
       if (!std::isnan(bwd) && bwd > best) {
         best = bwd;
         best_lag = -static_cast<int>(s);

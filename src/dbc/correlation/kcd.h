@@ -18,6 +18,14 @@
 
 namespace dbc {
 
+/// Which kernel evaluates the lag scan. Both implement the same measure:
+/// kReference is the two-pass textbook transcription of Eq. 2-4 (kept as the
+/// differential-testing oracle), kFast replaces the per-lag mean/L2 passes
+/// with O(1) prefix-sum lookups (see kcd_fast.h) and re-scores only the
+/// near-maximal candidate lags through the reference formula, so both the
+/// reported score and the selected lag are bit-identical to kReference.
+enum class KcdImpl { kFast, kReference };
+
 /// Tuning knobs for the KCD computation.
 struct KcdOptions {
   /// Maximum scanned delay as a fraction of the window length. The paper uses
@@ -31,6 +39,10 @@ struct KcdOptions {
   /// Overlaps shorter than this are not scored (avoids spurious +/-1 scores
   /// from two-point overlaps).
   size_t min_overlap = 4;
+  /// Kernel selection for dispatching call sites (CorrelationAnalyzer and the
+  /// streaming hot path). Kcd()/KcdMasked() below always run the reference
+  /// kernel regardless of this knob.
+  KcdImpl impl = KcdImpl::kFast;
 };
 
 /// Outcome of a KCD evaluation.
@@ -60,5 +72,34 @@ KcdResult KcdMasked(const Series& x, const Series& y,
 
 /// Convenience: score only.
 double KcdScore(const Series& x, const Series& y, const KcdOptions& options = {});
+
+namespace kcd_internal {
+
+/// Centered, L2-normalized inner product of the overlap of `lead` and
+/// `follow` at non-negative lag s (Eq. 4): compares lead[s..n) against
+/// follow[0..n-s). Returns 0 for empty or exactly-constant overlaps (no trend
+/// information). Shared by the reference kernel's scan and by the fast
+/// kernel's exact re-scoring of candidate lags, which makes the two kernels
+/// bit-identical on both the reported score and the selected lag.
+double ReferenceOverlapScore(const std::vector<double>& lead,
+                             const std::vector<double>& follow, size_t s);
+
+/// Masked ReferenceOverlapScore: index pairs where either side is masked out
+/// drop from the sums, the rest keep their positions. Returns NaN when fewer
+/// than max(min_overlap, 2) pairs survive; 0 when a surviving side is
+/// exactly constant.
+double ReferenceMaskedOverlapScore(const std::vector<double>& lead,
+                                   const std::vector<double>& follow,
+                                   const std::vector<uint8_t>& lead_ok,
+                                   const std::vector<uint8_t>& follow_ok,
+                                   size_t s, size_t min_overlap);
+
+/// Eq. 1 over the unmasked points only; masked entries are left untouched
+/// (they never enter an overlap sum). A constant (or empty) unmasked set is
+/// zeroed, matching MinMaxNormalizeInPlace.
+void MaskedMinMaxNormalize(std::vector<double>& v,
+                           const std::vector<uint8_t>& ok);
+
+}  // namespace kcd_internal
 
 }  // namespace dbc

@@ -1,0 +1,287 @@
+#include "dbc/correlation/kcd_fast.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "dbc/ts/normalize.h"
+
+namespace dbc {
+
+namespace {
+
+/// Raw-moment cancellation guard. The fast scorers compute variances as
+/// Σv² − (Σv)²/len; when the centered moment is more than ~4 orders below
+/// the raw moment the subtraction has shed enough digits that the score can
+/// drift past the candidate margin below (and with it, the lag-selection
+/// guarantee). Such overlaps re-run through the stable two-pass reference
+/// scorer instead. Post-Eq. 1 data (range exactly [0, 1]) only gets here for
+/// genuinely spike-dominated windows, so the fallback is cold.
+constexpr double kIllConditioned = 1e-4;
+
+/// Scores from non-fallback lags differ from the reference scorer by at most
+/// ~len·eps·1/kIllConditioned ≈ 1e-8 even at the 15-bit length ceiling, so
+/// any lag whose fast score trails the fast maximum by more than this margin
+/// provably cannot win the reference scan — only the candidates inside the
+/// margin need re-scoring through the reference formula.
+constexpr double kCandidateMargin = 1e-6;
+
+/// O(1)-prologue lag score: means, norms, and the exact-constancy test come
+/// from the prefix tables; only the cross term needs a pass, and that pass is
+/// a single fused multiply-add loop. Returns the same value class as the
+/// reference scorer (0 for empty/constant/degenerate overlaps) but may differ
+/// from it in the last few ulps on the general path — which is why the
+/// winning candidates are re-scored through the reference formula afterwards.
+double FastLagScore(const KcdWindowStats& lead, const KcdWindowStats& follow,
+                    size_t s) {
+  const size_t n = lead.size();
+  const size_t len = n - s;
+  if (len == 0) return 0.0;
+  // Range [s, n) of lead / [0, len) of follow is constant iff no value change
+  // falls inside it.
+  if (lead.changes[n - 1] == lead.changes[s]) return 0.0;
+  if (follow.changes[len - 1] == follow.changes[0]) return 0.0;
+  const double len_d = static_cast<double>(len);
+  const double sum_l = lead.prefix[n] - lead.prefix[s];
+  const double ss_l = lead.prefix_sq[n] - lead.prefix_sq[s];
+  const double sum_f = follow.prefix[len];
+  const double ss_f = follow.prefix_sq[len];
+  const double sxx = ss_l - sum_l * sum_l / len_d;
+  const double syy = ss_f - sum_f * sum_f / len_d;
+  if (sxx < kIllConditioned * ss_l || syy < kIllConditioned * ss_f) {
+    return kcd_internal::ReferenceOverlapScore(lead.values, follow.values, s);
+  }
+  const double* lv = lead.values.data() + s;
+  const double* fv = follow.values.data();
+  double dot = 0.0;
+  for (size_t i = 0; i < len; ++i) dot += lv[i] * fv[i];
+  const double sxy = dot - sum_l * sum_f / len_d;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+/// Fused single-pass masked lag score: the reference kernel's mean pass and
+/// moment pass collapse into one loop of raw moments over the surviving
+/// pairs. Skip (NaN) and constancy semantics are identical to
+/// ReferenceMaskedOverlapScore.
+double FusedMaskedLagScore(const std::vector<double>& lead,
+                           const std::vector<double>& follow,
+                           const std::vector<uint8_t>& lead_ok,
+                           const std::vector<uint8_t>& follow_ok, size_t s,
+                           size_t min_overlap) {
+  const size_t len = lead.size() - s;
+  size_t m = 0;
+  double sx = 0.0, sy = 0.0, sxy = 0.0, sxx = 0.0, syy = 0.0;
+  double lead0 = 0.0, follow0 = 0.0;
+  bool lead_const = true, follow_const = true;
+  for (size_t i = 0; i < len; ++i) {
+    if (lead_ok[i + s] == 0 || follow_ok[i] == 0) continue;
+    const double a = lead[i + s];
+    const double b = follow[i];
+    if (m == 0) {
+      lead0 = a;
+      follow0 = b;
+    }
+    lead_const = lead_const && a == lead0;
+    follow_const = follow_const && b == follow0;
+    sx += a;
+    sy += b;
+    sxy += a * b;
+    sxx += a * a;
+    syy += b * b;
+    ++m;
+  }
+  if (m < std::max<size_t>(min_overlap, 2)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (lead_const || follow_const) return 0.0;
+  const double md = static_cast<double>(m);
+  const double cxx = sxx - sx * sx / md;
+  const double cyy = syy - sy * sy / md;
+  if (cxx < kIllConditioned * sxx || cyy < kIllConditioned * syy) {
+    return kcd_internal::ReferenceMaskedOverlapScore(lead, follow, lead_ok,
+                                                     follow_ok, s, min_overlap);
+  }
+  const double cxy = sxy - sx * sy / md;
+  return cxy / std::sqrt(cxx * cyy);
+}
+
+size_t MaxDelay(size_t n, const KcdOptions& options) {
+  return std::min(n - options.min_overlap,
+                  static_cast<size_t>(options.max_delay_fraction *
+                                      static_cast<double>(n)));
+}
+
+}  // namespace
+
+KcdWindowStats BuildKcdWindowStats(const Series& window, bool normalize) {
+  KcdWindowStats stats;
+  const size_t n = window.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(window[i])) {
+      stats.finite = false;
+      return stats;  // tables stay unbuilt; the kernel returns {0, 0}
+    }
+  }
+  stats.values = window.values();
+  if (normalize) MinMaxNormalizeInPlace(stats.values);
+  stats.prefix.resize(n + 1);
+  stats.prefix_sq.resize(n + 1);
+  stats.changes.resize(n);
+  stats.prefix[0] = 0.0;
+  stats.prefix_sq[0] = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = stats.values[i];
+    stats.prefix[i + 1] = stats.prefix[i] + v;
+    stats.prefix_sq[i + 1] = stats.prefix_sq[i] + v * v;
+    stats.changes[i] =
+        i == 0 ? 0 : stats.changes[i - 1] + (v != stats.values[i - 1] ? 1 : 0);
+  }
+  return stats;
+}
+
+KcdResult KcdFastFromStats(const KcdWindowStats& sx, const KcdWindowStats& sy,
+                           const KcdOptions& options) {
+  KcdResult result;
+  if (!sx.finite || !sy.finite) return result;
+  assert(sx.size() == sy.size());
+  const size_t n = sx.size();
+  if (n < options.min_overlap) return result;
+
+  const size_t max_delay = MaxDelay(n, options);
+  // Approximate scan: record every lag's fast score in reference scan order
+  // (s ascending, forward before backward at each |s|).
+  std::vector<std::pair<int, double>> scan;
+  scan.reserve(options.scan_negative ? 2 * max_delay + 1 : max_delay + 1);
+  double best_fast = -2.0;  // below any achievable correlation
+  for (size_t s = 0; s <= max_delay; ++s) {
+    const double fwd = FastLagScore(sx, sy, s);
+    scan.emplace_back(static_cast<int>(s), fwd);
+    best_fast = std::max(best_fast, fwd);
+    if (s > 0 && options.scan_negative) {
+      const double bwd = FastLagScore(sy, sx, s);
+      scan.emplace_back(-static_cast<int>(s), bwd);
+      best_fast = std::max(best_fast, bwd);
+    }
+  }
+  if (best_fast <= -2.0) return result;
+  // Seal through the reference formula: every lag within the candidate
+  // margin of the fast maximum is re-scored exactly, and the reference
+  // kernel's own selection rule (first strictly-greater in scan order) is
+  // replayed over them. Lags outside the margin provably cannot win the
+  // reference scan, so best_lag — ties included — and the reported score are
+  // bit-identical to Kcd(). Usually the margin holds exactly one lag.
+  double best = -2.0;
+  int best_lag = 0;
+  for (const auto& [lag, fast_score] : scan) {
+    if (fast_score < best_fast - kCandidateMargin) continue;
+    const double exact =
+        lag >= 0 ? kcd_internal::ReferenceOverlapScore(sx.values, sy.values,
+                                                       static_cast<size_t>(lag))
+                 : kcd_internal::ReferenceOverlapScore(
+                       sy.values, sx.values, static_cast<size_t>(-lag));
+    if (exact > best) {
+      best = exact;
+      best_lag = lag;
+    }
+  }
+  result.best_lag = best_lag;
+  result.score = best;
+  return result;
+}
+
+KcdResult KcdFast(const Series& x, const Series& y, const KcdOptions& options) {
+  assert(x.size() == y.size());
+  if (x.size() < options.min_overlap) return {};
+  const KcdWindowStats sx = BuildKcdWindowStats(x, options.normalize);
+  const KcdWindowStats sy = BuildKcdWindowStats(y, options.normalize);
+  return KcdFastFromStats(sx, sy, options);
+}
+
+KcdResult KcdMaskedFast(const Series& x, const Series& y,
+                        const std::vector<uint8_t>* mask_x,
+                        const std::vector<uint8_t>* mask_y,
+                        const KcdOptions& options) {
+  assert(x.size() == y.size());
+  KcdResult result;
+  const size_t n = x.size();
+  if (n < options.min_overlap) return result;
+
+  // Effective masks: identical construction to KcdMasked.
+  std::vector<uint8_t> okx(n, 1), oky(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (mask_x != nullptr && i < mask_x->size() && (*mask_x)[i] == 0) okx[i] = 0;
+    if (mask_y != nullptr && i < mask_y->size() && (*mask_y)[i] == 0) oky[i] = 0;
+    if (!std::isfinite(x[i])) okx[i] = 0;
+    if (!std::isfinite(y[i])) oky[i] = 0;
+  }
+
+  std::vector<double> nx = x.values();
+  std::vector<double> ny = y.values();
+  if (options.normalize) {
+    kcd_internal::MaskedMinMaxNormalize(nx, okx);
+    kcd_internal::MaskedMinMaxNormalize(ny, oky);
+  }
+
+  const size_t max_delay = MaxDelay(n, options);
+  // Approximate scan in reference order, then exact re-scoring of the lags
+  // inside the candidate margin — same near-tie discipline as
+  // KcdFastFromStats. Lags under the overlap floor (NaN) never become
+  // candidates, exactly as the reference scan skips them.
+  std::vector<std::pair<int, double>> scan;
+  scan.reserve(options.scan_negative ? 2 * max_delay + 1 : max_delay + 1);
+  double best_fast = -2.0;
+  for (size_t s = 0; s <= max_delay; ++s) {
+    const double fwd =
+        FusedMaskedLagScore(nx, ny, okx, oky, s, options.min_overlap);
+    if (!std::isnan(fwd)) {
+      scan.emplace_back(static_cast<int>(s), fwd);
+      best_fast = std::max(best_fast, fwd);
+    }
+    if (s > 0 && options.scan_negative) {
+      const double bwd =
+          FusedMaskedLagScore(ny, nx, oky, okx, s, options.min_overlap);
+      if (!std::isnan(bwd)) {
+        scan.emplace_back(-static_cast<int>(s), bwd);
+        best_fast = std::max(best_fast, bwd);
+      }
+    }
+  }
+  if (best_fast <= -2.0) return result;  // no lag met the overlap floor
+  double best = -2.0;
+  int best_lag = 0;
+  for (const auto& [lag, fast_score] : scan) {
+    if (fast_score < best_fast - kCandidateMargin) continue;
+    const double exact =
+        lag >= 0 ? kcd_internal::ReferenceMaskedOverlapScore(
+                       nx, ny, okx, oky, static_cast<size_t>(lag),
+                       options.min_overlap)
+                 : kcd_internal::ReferenceMaskedOverlapScore(
+                       ny, nx, oky, okx, static_cast<size_t>(-lag),
+                       options.min_overlap);
+    if (exact > best) {
+      best = exact;
+      best_lag = lag;
+    }
+  }
+  result.best_lag = best_lag;
+  result.score = best;
+  return result;
+}
+
+KcdResult KcdCompute(const Series& x, const Series& y,
+                     const KcdOptions& options) {
+  return options.impl == KcdImpl::kReference ? Kcd(x, y, options)
+                                             : KcdFast(x, y, options);
+}
+
+KcdResult KcdMaskedCompute(const Series& x, const Series& y,
+                           const std::vector<uint8_t>* mask_x,
+                           const std::vector<uint8_t>* mask_y,
+                           const KcdOptions& options) {
+  return options.impl == KcdImpl::kReference
+             ? KcdMasked(x, y, mask_x, mask_y, options)
+             : KcdMaskedFast(x, y, mask_x, mask_y, options);
+}
+
+}  // namespace dbc

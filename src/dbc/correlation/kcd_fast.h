@@ -1,0 +1,100 @@
+// Fast-path KCD kernel (§III-B, Eq. 1-4).
+//
+// The reference kernel in kcd.h walks every candidate lag with two full
+// passes over the overlap: one for the means, one for the centered moments —
+// O(n) work per lag, O(n·s) per pair with s = n/2 lags. This kernel
+// precomputes, once per series, the Eq. 1-normalized values together with
+// prefix sums of v and v² and a prefix count of value changes. Each lag's
+// means, L2 norms, and exact-constancy test then become O(1) lookups and the
+// per-lag work collapses to a single fused multiply-add pass for the cross
+// term (the only quantity a shifted overlap cannot precompute). Every lag
+// whose approximate score lands within a small margin of the scan maximum is
+// then re-scored exactly through the reference formula
+// (kcd_internal::ReferenceOverlapScore) and the reference selection rule is
+// replayed over those candidates — usually just one lag. The result (score
+// AND best_lag, ties included) is therefore bit-identical to the reference
+// kernel, which keeps alert streams, thresholds, and golden fixtures stable
+// across kernels instead of merely "close".
+//
+// The prefix tables are independent of the pairing, so
+// CorrelationAnalyzer shares one table per (kpi, db, window) across all N-1
+// pairs that touch the series (see correlation_matrix.h); the reference path
+// rebuilds the normalization N-1 times.
+//
+// Numerical domain: the tables are exact-in-structure but the per-lag norms
+// use the raw-moment identity Σv² − (Σv)²/len, which cancels
+// catastrophically only when an overlap's variance is many orders below its
+// magnitude. Exactly-constant overlaps are caught structurally via the
+// change counts; an overlap whose centered moment falls 4+ orders below its
+// raw moment falls back to the stable two-pass scorer for that lag, so the
+// candidate-margin argument holds on arbitrary (even unnormalized) inputs.
+// Post-Eq. 1 data (min-max normalized to [0, 1]) never triggers the
+// fallback outside spike-dominated windows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dbc/correlation/kcd.h"
+#include "dbc/ts/series.h"
+
+namespace dbc {
+
+/// Per-series precomputation shared by every pair (and every lag) that
+/// touches the series within one KPI window.
+struct KcdWindowStats {
+  /// Eq. 1-normalized copy of the window (raw copy when normalize is off).
+  std::vector<double> values;
+  /// prefix[i] = Σ_{k<i} values[k]; size n+1.
+  std::vector<double> prefix;
+  /// prefix_sq[i] = Σ_{k<i} values[k]²; size n+1.
+  std::vector<double> prefix_sq;
+  /// changes[i] = |{j in [1, i] : values[j] != values[j-1]}|; size n
+  /// (empty when n == 0). The range [a, b) is exactly constant iff
+  /// changes[b-1] == changes[a] — the O(1) counterpart of the reference
+  /// kernel's per-lag constancy scan.
+  std::vector<uint32_t> changes;
+  /// False when the window carries a NaN/Inf point: the kernel returns the
+  /// uncorrelatable {0, 0} without touching the (unbuilt) tables.
+  bool finite = true;
+
+  size_t size() const { return values.size(); }
+};
+
+/// Builds the table for one window; applies Eq. 1 via MinMaxNormalizeInPlace
+/// when `normalize` is set (identically to the reference kernel, so the
+/// winning-lag re-evaluation sees bit-identical inputs).
+KcdWindowStats BuildKcdWindowStats(const Series& window, bool normalize);
+
+/// Fast KCD over two equally sized windows. Semantics match Kcd() exactly:
+/// same lag set, same skip rules, same tie-breaking (first strictly greater
+/// score in scan order wins, forward before backward at each |lag|).
+KcdResult KcdFast(const Series& x, const Series& y,
+                  const KcdOptions& options = {});
+
+/// Batched entry: both tables were built (with matching `normalize`) by
+/// BuildKcdWindowStats. Requires sx.size() == sy.size().
+KcdResult KcdFastFromStats(const KcdWindowStats& sx, const KcdWindowStats& sy,
+                           const KcdOptions& options = {});
+
+/// Fast masked KCD. Prefix tables cannot absorb a lag-dependent joint mask
+/// (the surviving-pair count is itself a cross term), so this variant fuses
+/// the reference kernel's two passes per lag into a single raw-moment pass
+/// and re-evaluates the winner through ReferenceMaskedOverlapScore for a
+/// bit-identical score. Same skip/NaN semantics as KcdMasked().
+KcdResult KcdMaskedFast(const Series& x, const Series& y,
+                        const std::vector<uint8_t>* mask_x,
+                        const std::vector<uint8_t>* mask_y,
+                        const KcdOptions& options = {});
+
+/// Dispatchers honouring options.impl — the knob call sites on the verdict
+/// path use, so a deployment (or a differential test) can flip kernels
+/// without code changes.
+KcdResult KcdCompute(const Series& x, const Series& y,
+                     const KcdOptions& options = {});
+KcdResult KcdMaskedCompute(const Series& x, const Series& y,
+                           const std::vector<uint8_t>* mask_x,
+                           const std::vector<uint8_t>* mask_y,
+                           const KcdOptions& options = {});
+
+}  // namespace dbc

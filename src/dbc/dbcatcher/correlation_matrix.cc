@@ -44,7 +44,11 @@ std::vector<double> CorrelationMatrix::PeerScores(size_t j) const {
 uint64_t KcdCache::Key(size_t kpi, size_t a, size_t b, size_t begin,
                        size_t len) {
   if (a > b) std::swap(a, b);
-  // 5 bits kpi | 8 bits a | 8 bits b | 28 bits begin | 15 bits len.
+  // 5 bits kpi | 8 bits a | 8 bits b | 28 bits begin | 15 bits len. Callers
+  // must pre-check KeyInBounds (PairScore skips the cache otherwise): the
+  // masks below make an out-of-range begin alias an early window, which
+  // would serve a stale epoch's score.
+  assert(KeyInBounds(kpi, a, b, begin, len));
   return (static_cast<uint64_t>(kpi) << 59) | (static_cast<uint64_t>(a) << 51) |
          (static_cast<uint64_t>(b) << 43) |
          (static_cast<uint64_t>(begin & 0xFFFFFFF) << 15) |
@@ -121,11 +125,37 @@ bool CorrelationAnalyzer::MaskedAt(size_t db, size_t t) const {
   return t < mask.size() && mask[t] == 0;
 }
 
+const KcdWindowStats& CorrelationAnalyzer::StatsFor(size_t kpi, size_t db,
+                                                    size_t begin, size_t len) {
+  const uint64_t key =
+      KcdCache::Key(kpi, db, db, begin + cache_offset_, len);
+  const auto it = stats_.find(key);
+  if (it != stats_.end()) {
+    ++stats_reused_;
+    Inc(metrics_.stats_reused);
+    return it->second;
+  }
+  ++stats_built_;
+  Inc(metrics_.stats_built);
+  return stats_
+      .emplace(key,
+               BuildKcdWindowStats(
+                   unit_.kpis[db].row(kpi).Slice(begin, begin + len),
+                   config_.kcd.normalize))
+      .first->second;
+}
+
 double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
                                       size_t begin, size_t len) {
-  const uint64_t key = KcdCache::Key(kpi, a, b, begin + cache_offset_, len);
+  const bool keyable =
+      KcdCache::KeyInBounds(kpi, a, b, begin + cache_offset_, len);
+  const uint64_t key =
+      keyable ? KcdCache::Key(kpi, a, b, begin + cache_offset_, len) : 0;
   double score = 0.0;
-  if (cache_ != nullptr && cache_->Lookup(key, &score)) return score;
+  if (keyable && cache_ != nullptr && cache_->Lookup(key, &score)) {
+    Inc(metrics_.cache_hits);
+    return score;
+  }
 
   // Degraded telemetry: imputed ticks carry no UKPIC evidence (repairs
   // cannot recover the shared fluctuation that correlates the databases), so
@@ -139,6 +169,21 @@ double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
       degraded = MaskedAt(a, t) || MaskedAt(b, t);
     }
   }
+  // The batched fast path skips the per-pair slice + normalization entirely:
+  // both series' prefix tables come from the shared memo.
+  if (!degraded && config_.measure == CorrelationMeasure::kKcd &&
+      config_.kcd.impl == KcdImpl::kFast && keyable) {
+    // Pre-clear at the cap so the two StatsFor references below can never
+    // dangle (clear() between the calls would invalidate the first).
+    if (stats_.size() + 2 > kStatsMemoCap) stats_.clear();
+    const KcdWindowStats& sa = StatsFor(kpi, a, begin, len);
+    const KcdWindowStats& sb = StatsFor(kpi, b, begin, len);
+    score = KcdFastFromStats(sa, sb, config_.kcd).score;
+    Inc(metrics_.kcd_fast_pairs);
+    if (cache_ != nullptr) cache_->Insert(key, score);
+    return score;
+  }
+
   Series xa = unit_.kpis[a].row(kpi).Slice(begin, begin + len);
   Series xb = unit_.kpis[b].row(kpi).Slice(begin, begin + len);
   if (degraded && config_.measure == CorrelationMeasure::kKcd) {
@@ -147,8 +192,9 @@ double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
       if (MaskedAt(a, t)) oka[t - begin] = 0;
       if (MaskedAt(b, t)) okb[t - begin] = 0;
     }
-    score = KcdMasked(xa, xb, &oka, &okb, config_.kcd).score;
-    if (cache_ != nullptr) cache_->Insert(key, score);
+    score = KcdMaskedCompute(xa, xb, &oka, &okb, config_.kcd).score;
+    Inc(metrics_.kcd_masked_pairs);
+    if (keyable && cache_ != nullptr) cache_->Insert(key, score);
     return score;
   }
   if (degraded) {
@@ -166,7 +212,11 @@ double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
   const size_t joint = xa.size();
   switch (config_.measure) {
     case CorrelationMeasure::kKcd:
-      score = KcdScore(xa, xb, config_.kcd);
+      // Reached by the reference impl, or by the fast impl when the window's
+      // coordinates exceed the packed-key bounds (no memoization possible).
+      score = KcdCompute(xa, xb, config_.kcd).score;
+      Inc(config_.kcd.impl == KcdImpl::kFast ? metrics_.kcd_fast_pairs
+                                             : metrics_.kcd_reference_pairs);
       break;
     case CorrelationMeasure::kPearson:
       // Pearson is scale-free, so Eq. 1 normalization is a no-op here.
@@ -176,7 +226,7 @@ double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
       score = DtwSimilarity(xa, xb, /*band=*/std::max<size_t>(3, joint / 8));
       break;
   }
-  if (cache_ != nullptr) cache_->Insert(key, score);
+  if (keyable && cache_ != nullptr) cache_->Insert(key, score);
   return score;
 }
 

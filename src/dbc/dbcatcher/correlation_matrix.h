@@ -13,7 +13,9 @@
 
 #include "dbc/cloudsim/unit_data.h"
 #include "dbc/correlation/kcd.h"
+#include "dbc/correlation/kcd_fast.h"
 #include "dbc/dbcatcher/config.h"
+#include "dbc/obs/metrics.h"
 
 namespace dbc {
 
@@ -41,7 +43,28 @@ class CorrelationMatrix {
 /// for each correlation once. Not thread-safe.
 class KcdCache {
  public:
-  /// Packs the key; begin/len are bounded by the trace length.
+  /// Bit budget of the packed key: 5 bits kpi | 8 bits db a | 8 bits db b |
+  /// 28 bits window begin | 15 bits window length. Within these bounds the
+  /// packing is injective (fields occupy disjoint bit ranges); outside them
+  /// it would silently alias, so Key() asserts the bounds and callers gate
+  /// cache use on KeyInBounds().
+  static constexpr size_t kMaxKpi = 1u << 5;
+  static constexpr size_t kMaxDb = 1u << 8;
+  static constexpr size_t kMaxBegin = 1u << 28;
+  static constexpr size_t kMaxLen = 1u << 15;
+
+  /// True when every field fits its bit range — the precondition under which
+  /// Key() provably cannot collide. A stream that outlives kMaxBegin ticks
+  /// (8.5 years at the paper's 5 s cadence) simply stops memoizing instead of
+  /// returning a stale epoch's score.
+  static bool KeyInBounds(size_t kpi, size_t a, size_t b, size_t begin,
+                          size_t len) {
+    return kpi < kMaxKpi && a < kMaxDb && b < kMaxDb && begin < kMaxBegin &&
+           len < kMaxLen;
+  }
+
+  /// Packs the key; (a, b) is unordered (the pair is symmetric). Asserts
+  /// KeyInBounds in debug builds.
   static uint64_t Key(size_t kpi, size_t a, size_t b, size_t begin, size_t len);
 
   bool Lookup(uint64_t key, double* score) const;
@@ -57,8 +80,27 @@ class KcdCache {
   std::unordered_map<uint64_t, double> map_;
 };
 
+/// Kernel-level observability hooks for one analyzer (null = off). Counters
+/// never influence scores; they are installed by the streaming layer so the
+/// kernel mix (fast / reference / masked), the prefix-table sharing rate, and
+/// the memo hit rate are scrapeable per unit.
+struct AnalyzerMetrics {
+  Counter* kcd_fast_pairs = nullptr;       // pair scores via the fast kernel
+  Counter* kcd_reference_pairs = nullptr;  // pair scores via the reference
+  Counter* kcd_masked_pairs = nullptr;     // degraded pairs (masked kernel)
+  Counter* cache_hits = nullptr;           // KcdCache lookups that hit
+  Counter* stats_built = nullptr;          // prefix tables built
+  Counter* stats_reused = nullptr;         // tables served from the memo
+};
+
 /// Computes correlation matrices and per-database aggregate scores for
 /// arbitrary windows of one unit.
+///
+/// When the configured measure is KCD and config.kcd.impl == KcdImpl::kFast,
+/// pair scores run through the prefix-sum kernel (kcd_fast.h) and the
+/// per-series tables are memoized per (kpi, db, window) — every series is
+/// touched by N-1 pairs of its KPI matrix, so Matrix()/AggregateScore() build
+/// each table once instead of N-1 times.
 class CorrelationAnalyzer {
  public:
   /// `cache` may be null. The unit must outlive the analyzer.
@@ -80,6 +122,14 @@ class CorrelationAnalyzer {
   /// stream passes its trim offset so buffer-relative coordinates never
   /// collide with keys from earlier epochs.
   void SetCacheTickOffset(size_t offset) { cache_offset_ = offset; }
+
+  /// Installs observability counters (copied; null members stay no-ops).
+  void set_metrics(const AnalyzerMetrics& metrics) { metrics_ = metrics; }
+
+  /// Prefix tables built so far (tests assert the batching actually shares).
+  size_t stats_built() const { return stats_built_; }
+  /// Table requests served from the memo.
+  size_t stats_reused() const { return stats_reused_; }
 
   /// True when database `db` shows activity within [begin, begin+len).
   bool DbActive(size_t db, size_t begin, size_t len) const;
@@ -105,15 +155,30 @@ class CorrelationAnalyzer {
   const UnitData& unit() const { return unit_; }
 
  private:
+  /// Memoized tables beyond this are dropped wholesale: windows advance
+  /// monotonically, so old tables are dead weight, and a bounded memo keeps
+  /// long offline replays (DetectUnit over multi-thousand-tick traces) flat.
+  static constexpr size_t kStatsMemoCap = 1024;
+
   /// True when the validity mask marks (db, t) unusable.
   bool MaskedAt(size_t db, size_t t) const;
   double PairScore(size_t kpi, size_t a, size_t b, size_t begin, size_t len);
+  /// The (possibly memoized) prefix table of one series' window slice.
+  const KcdWindowStats& StatsFor(size_t kpi, size_t db, size_t begin,
+                                 size_t len);
 
   const UnitData& unit_;
   const DbcatcherConfig& config_;
   KcdCache* cache_;
   const std::vector<std::vector<uint8_t>>* validity_ = nullptr;
   size_t cache_offset_ = 0;
+  /// Per-(kpi, db, window) prefix tables shared across the pairs of a KPI
+  /// matrix. unordered_map references stay valid across inserts (node-based);
+  /// PairScore pre-clears at the cap so two live references never dangle.
+  std::unordered_map<uint64_t, KcdWindowStats> stats_;
+  AnalyzerMetrics metrics_;
+  size_t stats_built_ = 0;
+  size_t stats_reused_ = 0;
 };
 
 }  // namespace dbc

@@ -196,6 +196,14 @@ std::vector<StreamVerdict> DbcatcherStream::Poll() {
   CorrelationAnalyzer analyzer(buffer_, effective, &cache_);
   analyzer.SetValidity(&valid_);
   analyzer.SetCacheTickOffset(offset_);
+  AnalyzerMetrics am;
+  am.kcd_fast_pairs = metrics_.kcd_fast_pairs;
+  am.kcd_reference_pairs = metrics_.kcd_reference_pairs;
+  am.kcd_masked_pairs = metrics_.kcd_masked_pairs;
+  am.cache_hits = metrics_.kcd_cache_hits;
+  am.stats_built = metrics_.kcd_stats_built;
+  am.stats_reused = metrics_.kcd_stats_reused;
+  analyzer.set_metrics(am);
   for (size_t db = 0; db < roles_.size(); ++db) {
     while (next_t0_[db] != kDone && next_t0_[db] + w <= ticks_) {
       const size_t t0 = next_t0_[db];

@@ -36,6 +36,13 @@ struct StreamMetrics {
   Counter* cache_evictions = nullptr;    // KCD memo entries evicted on trim
   Gauge* trim_offset = nullptr;          // absolute tick of buffer index 0
   Gauge* buffer_ticks = nullptr;         // retained buffer length (ticks)
+  // Kernel-level counters, forwarded to each Poll()'s CorrelationAnalyzer.
+  Counter* kcd_fast_pairs = nullptr;       // pair scores via the fast kernel
+  Counter* kcd_reference_pairs = nullptr;  // pair scores via the reference
+  Counter* kcd_masked_pairs = nullptr;     // degraded pairs (masked kernel)
+  Counter* kcd_cache_hits = nullptr;       // KcdCache lookups that hit
+  Counter* kcd_stats_built = nullptr;      // per-series prefix tables built
+  Counter* kcd_stats_reused = nullptr;     // tables served from the memo
 };
 
 /// Incremental DBCatcher over a live KPI feed of one unit.

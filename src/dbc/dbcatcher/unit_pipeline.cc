@@ -15,6 +15,9 @@ UnitPipelineConfig NormalizePipelineConfig(UnitPipelineConfig config) {
     config.detector = defaults;
     config.detector.min_valid_fraction = supplied.min_valid_fraction;
     config.detector.min_peers = supplied.min_peers;
+    // Kernel selection survives the defaulting: flipping it must never be
+    // undone by an empty genome (the golden regression relies on this).
+    config.detector.kcd.impl = supplied.kcd.impl;
   }
   // A joining replica warms up for one full base window by default: it must
   // contribute a window of its own history before the detector judges it.
@@ -103,6 +106,18 @@ void UnitPipeline::EnableObservability(MetricsRegistry* registry,
       registry->GetCounter("dbc_stream_cache_evictions_total", unit);
   sm.trim_offset = registry->GetGauge("dbc_stream_trim_offset", unit);
   sm.buffer_ticks = registry->GetGauge("dbc_stream_buffer_ticks", unit);
+  sm.kcd_fast_pairs = registry->GetCounter(
+      "dbc_stream_kcd_pairs_total", {{"kernel", "fast"}, {"unit", name_}});
+  sm.kcd_reference_pairs = registry->GetCounter(
+      "dbc_stream_kcd_pairs_total", {{"kernel", "reference"}, {"unit", name_}});
+  sm.kcd_masked_pairs = registry->GetCounter(
+      "dbc_stream_kcd_pairs_total", {{"kernel", "masked"}, {"unit", name_}});
+  sm.kcd_cache_hits =
+      registry->GetCounter("dbc_stream_kcd_cache_hits_total", unit);
+  sm.kcd_stats_built = registry->GetCounter(
+      "dbc_stream_kcd_stats_total", {{"kind", "built"}, {"unit", name_}});
+  sm.kcd_stats_reused = registry->GetCounter(
+      "dbc_stream_kcd_stats_total", {{"kind", "reused"}, {"unit", name_}});
   stream_.set_metrics(sm);
 }
 

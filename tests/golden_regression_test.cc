@@ -83,11 +83,13 @@ GoldenScenario BuildScenario() {
 }
 
 std::vector<Alert> RunScenario(const GoldenScenario& scenario, size_t workers,
-                               bool obs, DetectionEngine** engine_out = nullptr,
+                               bool obs, KcdImpl impl = KcdImpl::kFast,
+                               DetectionEngine** engine_out = nullptr,
                                std::unique_ptr<DetectionEngine>* keep = nullptr) {
   DetectionEngineConfig config;
   config.workers = workers;
   config.obs.enabled = obs;
+  config.pipeline.detector.kcd.impl = impl;
   auto engine = std::make_unique<DetectionEngine>(config);
   for (size_t u = 0; u < kUnits; ++u) {
     std::vector<DbRole> roles(
@@ -177,6 +179,11 @@ TEST(GoldenRegressionTest, AlertStreamMatchesCheckedInFixture) {
   const GoldenScenario scenario = BuildScenario();
   const std::vector<Alert> alerts = RunScenario(scenario, /*workers=*/1,
                                                 /*obs=*/false);
+  // The same scenario through the reference kernel must produce the same
+  // bytes: the fast kernel re-scores its winning lag through the reference
+  // formula, so kernel choice is not allowed to move the fixture.
+  const std::string reference_stream = Serialize(RunScenario(
+      scenario, /*workers=*/1, /*obs=*/false, KcdImpl::kReference));
   // A fixture that pins a silent run would be vacuous: all three alert
   // classes must be present.
   size_t anomaly = 0, quality = 0, topology = 0;
@@ -190,6 +197,8 @@ TEST(GoldenRegressionTest, AlertStreamMatchesCheckedInFixture) {
   ASSERT_GT(topology, 0u);
 
   const std::string actual = Serialize(alerts);
+  ASSERT_EQ(actual, reference_stream)
+      << "fast and reference KCD kernels disagree on the golden scenario";
   if (std::getenv("DBC_UPDATE_GOLDEN") != nullptr) {
     std::ofstream out(kFixturePath, std::ios::binary | std::ios::trunc);
     ASSERT_TRUE(out.good()) << "cannot write " << kFixturePath;
@@ -235,12 +244,18 @@ TEST(GoldenRegressionTest, WorkerCountAndObservabilityDoNotChangeTheStream) {
   ASSERT_FALSE(baseline.empty());
   for (size_t workers : {1u, 2u, 8u}) {
     for (bool obs : {false, true}) {
-      if (workers == 1 && !obs) continue;  // that IS the baseline
-      SCOPED_TRACE("workers=" + std::to_string(workers) +
-                   " obs=" + std::to_string(obs));
-      const std::string run = Serialize(RunScenario(scenario, workers, obs));
-      // Byte-for-byte: full-precision doubles included.
-      ASSERT_EQ(run, baseline);
+      for (KcdImpl impl : {KcdImpl::kFast, KcdImpl::kReference}) {
+        if (workers == 1 && !obs && impl == KcdImpl::kFast) {
+          continue;  // that IS the baseline
+        }
+        SCOPED_TRACE("workers=" + std::to_string(workers) +
+                     " obs=" + std::to_string(obs) + " kernel=" +
+                     (impl == KcdImpl::kFast ? "fast" : "reference"));
+        const std::string run =
+            Serialize(RunScenario(scenario, workers, obs, impl));
+        // Byte-for-byte: full-precision doubles included.
+        ASSERT_EQ(run, baseline);
+      }
     }
   }
 }
@@ -250,7 +265,8 @@ TEST(GoldenRegressionTest, ObservedRunExportsConsistentMetrics) {
   std::unique_ptr<DetectionEngine> keep;
   DetectionEngine* engine = nullptr;
   const std::vector<Alert> alerts =
-      RunScenario(scenario, /*workers=*/2, /*obs=*/true, &engine, &keep);
+      RunScenario(scenario, /*workers=*/2, /*obs=*/true, KcdImpl::kFast,
+                  &engine, &keep);
   ASSERT_NE(engine, nullptr);
   ASSERT_NE(engine->metrics(), nullptr);
   ASSERT_NE(engine->trace_log(), nullptr);
@@ -277,6 +293,22 @@ TEST(GoldenRegressionTest, ObservedRunExportsConsistentMetrics) {
     }
   }
   EXPECT_EQ(counted, alerts.size());
+
+  // The fast kernel actually carried the run: fast-pair counters fired and
+  // the reference counter stayed at zero (non-degraded pairs never fall back).
+  uint64_t fast_pairs = 0, reference_pairs = 0;
+  for (size_t u = 0; u < kUnits; ++u) {
+    const Counter* fast = engine->metrics()->FindCounter(
+        "dbc_stream_kcd_pairs_total",
+        {{"kernel", "fast"}, {"unit", UnitName(u)}});
+    if (fast != nullptr) fast_pairs += fast->value();
+    const Counter* reference = engine->metrics()->FindCounter(
+        "dbc_stream_kcd_pairs_total",
+        {{"kernel", "reference"}, {"unit", UnitName(u)}});
+    if (reference != nullptr) reference_pairs += reference->value();
+  }
+  EXPECT_GT(fast_pairs, 0u);
+  EXPECT_EQ(reference_pairs, 0u);
 
   // The scrape surfaces render and carry the provenance stamp.
   const std::string text = PrometheusText(*engine->metrics());

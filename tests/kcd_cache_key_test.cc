@@ -1,0 +1,90 @@
+// Property test for the KcdCache packed key: within the documented field
+// bounds the packing must be injective (two distinct (kpi, pair, window)
+// coordinates never share a key), symmetric in the database pair, and the
+// bounds predicate itself must reject exactly the coordinates whose masked
+// packing would alias.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbc/common/rng.h"
+#include "dbc/dbcatcher/correlation_matrix.h"
+
+namespace dbc {
+namespace {
+
+TEST(KcdCacheKeyTest, ExhaustiveInBoundsInjectivity) {
+  // Exhaustive over a realistic operating envelope (every KPI, a small fleet,
+  // a few hundred window starts, the window lengths the detector uses), plus
+  // begins sampled right up against the 28-bit ceiling. Any collision in
+  // this set would silently serve one window's score for another.
+  std::vector<size_t> begins;
+  for (size_t b = 0; b < 300; ++b) begins.push_back(b);
+  for (size_t b = KcdCache::kMaxBegin - 40; b < KcdCache::kMaxBegin; ++b) {
+    begins.push_back(b);
+  }
+  const std::vector<size_t> lens = {4, 15, 20, 25, 45, 60, 75,
+                                    KcdCache::kMaxLen - 1};
+
+  std::vector<uint64_t> keys;
+  keys.reserve(14 * 28 * begins.size() * lens.size());
+  for (size_t kpi = 0; kpi < 14; ++kpi) {
+    for (size_t a = 0; a < 8; ++a) {
+      for (size_t b = a; b < 8; ++b) {  // unordered pairs incl. self
+        for (size_t begin : begins) {
+          for (size_t len : lens) {
+            ASSERT_TRUE(KcdCache::KeyInBounds(kpi, a, b, begin, len));
+            keys.push_back(KcdCache::Key(kpi, a, b, begin, len));
+          }
+        }
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end())
+      << "packed keys collide within documented bounds";
+}
+
+TEST(KcdCacheKeyTest, FieldIsolation) {
+  // Flipping any single coordinate (within bounds) must change the key.
+  const size_t kpi = 13, a = 2, b = 6, begin = 12345, len = 75;
+  const uint64_t base = KcdCache::Key(kpi, a, b, begin, len);
+  EXPECT_NE(base, KcdCache::Key(kpi + 1, a, b, begin, len));
+  EXPECT_NE(base, KcdCache::Key(kpi, a + 1, b, begin, len));
+  EXPECT_NE(base, KcdCache::Key(kpi, a, b + 1, begin, len));
+  EXPECT_NE(base, KcdCache::Key(kpi, a, b, begin + 1, len));
+  EXPECT_NE(base, KcdCache::Key(kpi, a, b, begin, len + 1));
+  // Extremes of each field stay distinct.
+  EXPECT_NE(KcdCache::Key(0, 0, 0, 0, 0),
+            KcdCache::Key(0, 0, 0, KcdCache::kMaxBegin - 1, 0));
+  EXPECT_NE(KcdCache::Key(0, 0, 0, 0, 0),
+            KcdCache::Key(0, 0, 0, 0, KcdCache::kMaxLen - 1));
+}
+
+TEST(KcdCacheKeyTest, PairIsUnordered) {
+  Rng rng(0xCACEULL);
+  for (int i = 0; i < 200; ++i) {
+    const size_t kpi = static_cast<size_t>(rng.UniformInt(0, 31));
+    const size_t a = static_cast<size_t>(rng.UniformInt(0, 255));
+    const size_t b = static_cast<size_t>(rng.UniformInt(0, 255));
+    const size_t begin = static_cast<size_t>(rng.UniformInt(0, 1 << 20));
+    const size_t len = static_cast<size_t>(rng.UniformInt(0, 32767));
+    EXPECT_EQ(KcdCache::Key(kpi, a, b, begin, len),
+              KcdCache::Key(kpi, b, a, begin, len));
+  }
+}
+
+TEST(KcdCacheKeyTest, BoundsPredicateMatchesBitBudget) {
+  EXPECT_TRUE(KcdCache::KeyInBounds(31, 255, 255, KcdCache::kMaxBegin - 1,
+                                    KcdCache::kMaxLen - 1));
+  EXPECT_FALSE(KcdCache::KeyInBounds(32, 0, 0, 0, 0));
+  EXPECT_FALSE(KcdCache::KeyInBounds(0, 256, 0, 0, 0));
+  EXPECT_FALSE(KcdCache::KeyInBounds(0, 0, 256, 0, 0));
+  EXPECT_FALSE(KcdCache::KeyInBounds(0, 0, 0, KcdCache::kMaxBegin, 0));
+  EXPECT_FALSE(KcdCache::KeyInBounds(0, 0, 0, 0, KcdCache::kMaxLen));
+}
+
+}  // namespace
+}  // namespace dbc

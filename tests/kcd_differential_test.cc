@@ -1,0 +1,261 @@
+// Differential test: the fast prefix-sum KCD kernel against the reference
+// kernel, over thousands of seeded random windows. The fast kernel re-scores
+// its winning lag through the reference overlap formula, so whenever the two
+// kernels agree on the best lag the scores must be *bit-identical* — the test
+// asserts exact equality, not a tolerance. Lag agreement itself (including
+// tie-breaking: first strictly-greater score in scan order, forward before
+// backward) is asserted exactly.
+//
+// Generators deliberately avoid constructions where two distinct lags have
+// mathematically equal (or ulp-close) scores *through different arithmetic*:
+// exactly-duplicated series are safe (both directions compute bitwise-equal
+// scores), exactly-constant runs are safe (both kernels detect constancy
+// structurally and return 0), and everything else carries enough noise that
+// cross-lag score gaps dwarf the kernels' last-ulp differences.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbc/common/rng.h"
+#include "dbc/correlation/kcd.h"
+#include "dbc/correlation/kcd_fast.h"
+#include "dbc/ts/series.h"
+
+namespace dbc {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// One window from a family of shapes the detector actually sees: noise,
+// drifts, periodic load, flat idle KPIs, spiky counters, level shifts.
+std::vector<double> MakeWindow(Rng& rng, size_t n) {
+  std::vector<double> v(n);
+  const int family = static_cast<int>(rng.UniformInt(0, 6));
+  const double mean = rng.Uniform(-5.0, 5.0);
+  const double scale = rng.Uniform(0.1, 3.0);
+  switch (family) {
+    case 0:  // white noise
+      for (double& x : v) x = mean + scale * rng.Normal();
+      break;
+    case 1: {  // random walk
+      double acc = mean;
+      for (double& x : v) {
+        acc += scale * 0.2 * rng.Normal();
+        x = acc;
+      }
+      break;
+    }
+    case 2: {  // sinusoid + noise
+      const double freq = rng.Uniform(0.02, 0.4);
+      const double phase = rng.Uniform(0.0, 6.28318);
+      for (size_t i = 0; i < n; ++i) {
+        v[i] = mean + scale * std::sin(freq * static_cast<double>(i) + phase) +
+               0.05 * scale * rng.Normal();
+      }
+      break;
+    }
+    case 3:  // exactly constant (idle KPI)
+      for (double& x : v) x = mean;
+      break;
+    case 4: {  // constant with a few spikes
+      for (double& x : v) x = mean;
+      const int spikes = static_cast<int>(rng.UniformInt(1, 3));
+      for (int s = 0; s < spikes; ++s) {
+        v[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1))] =
+            mean + scale * rng.Uniform(2.0, 6.0);
+      }
+      break;
+    }
+    case 5: {  // single level shift (step)
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(1, std::max<int64_t>(1, static_cast<int64_t>(n) - 1)));
+      for (size_t i = 0; i < n; ++i) v[i] = i < at ? mean : mean + scale;
+      break;
+    }
+    default: {  // quantized levels + tiny jitter (jitter breaks exact
+                // cross-lag score ties without approaching ulp scale)
+      for (double& x : v) {
+        x = mean + scale * static_cast<double>(rng.UniformInt(0, 3)) +
+            1e-6 * rng.Normal();
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+// Either an independent window, or a lag-shifted (optionally noisy) copy of
+// the base — the shifted copies pin the true best lag away from 0.
+std::vector<double> MakePartner(Rng& rng, const std::vector<double>& base) {
+  const size_t n = base.size();
+  if (rng.Bernoulli(0.4)) return MakeWindow(rng, n);
+  const int64_t max_shift = std::min<int64_t>(static_cast<int64_t>(n) / 3, 12);
+  const int shift = static_cast<int>(rng.UniformInt(-max_shift, max_shift));
+  const bool noisy = rng.Bernoulli(0.5);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t j = static_cast<int64_t>(i) - shift;
+    v[i] = (j >= 0 && j < static_cast<int64_t>(n))
+               ? base[static_cast<size_t>(j)]
+               : base[i] + rng.Normal();  // edge fill: fresh noise
+    if (noisy) v[i] += 0.01 * rng.Normal();
+  }
+  return v;
+}
+
+KcdOptions MakeOptions(size_t case_id) {
+  KcdOptions options;
+  options.normalize = (case_id % 2) == 0;
+  options.scan_negative = (case_id % 4) < 3;  // mostly on (the default)
+  options.max_delay_fraction = (case_id % 5) == 0 ? 0.3 : 0.5;
+  static const size_t kOverlaps[] = {2, 4, 8};
+  options.min_overlap = kOverlaps[case_id % 3];
+  return options;
+}
+
+TEST(KcdDifferentialTest, FastMatchesReferenceOnRandomWindows) {
+  Rng rng(0xD1FFC0DEULL);
+  size_t nonzero_lags = 0;
+  for (size_t c = 0; c < 2400; ++c) {
+    const KcdOptions options = MakeOptions(c);
+    const size_t n = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(std::max<size_t>(4, options.min_overlap)), 120));
+    const Series x(MakeWindow(rng, n));
+    const Series y(MakePartner(rng, x.values()));
+
+    const KcdResult ref = Kcd(x, y, options);
+    const KcdResult fast = KcdFast(x, y, options);
+    ASSERT_EQ(ref.best_lag, fast.best_lag)
+        << "case " << c << " n=" << n << " min_overlap=" << options.min_overlap
+        << " normalize=" << options.normalize
+        << " scan_negative=" << options.scan_negative;
+    // Same lag + same sealed formula => exactly the same bits.
+    ASSERT_EQ(ref.score, fast.score)
+        << "case " << c << " lag=" << ref.best_lag
+        << " diff=" << std::abs(ref.score - fast.score);
+    if (ref.best_lag != 0) ++nonzero_lags;
+  }
+  // The generator must actually exercise the lag scan, not just lag 0.
+  EXPECT_GT(nonzero_lags, 200u);
+}
+
+TEST(KcdDifferentialTest, MaskedFastMatchesMaskedReference) {
+  Rng rng(0xFEEDFACEULL);
+  size_t scored = 0;
+  for (size_t c = 0; c < 1600; ++c) {
+    const KcdOptions options = MakeOptions(c);
+    const size_t n = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(std::max<size_t>(4, options.min_overlap)), 100));
+    std::vector<double> vx = MakeWindow(rng, n);
+    std::vector<double> vy = MakePartner(rng, vx);
+
+    // Occasional NaN points; the masked kernels must drop them identically.
+    if (rng.Bernoulli(0.15)) {
+      vx[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1))] = kNan;
+    }
+    if (rng.Bernoulli(0.15)) {
+      vy[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1))] = kNan;
+    }
+
+    // Mask shapes: random drop-out, contiguous outage block, shorter-than-
+    // series mask (trailing ticks implicitly valid), or no mask at all.
+    auto make_mask = [&](size_t len) {
+      std::vector<uint8_t> mask;
+      const int kind = static_cast<int>(rng.UniformInt(0, 3));
+      if (kind == 0) return mask;  // null mask: all valid
+      const size_t mlen =
+          kind == 2 ? static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(len)))
+                    : len;
+      mask.assign(mlen, 1);
+      if (kind == 1 && mlen > 0) {  // contiguous outage
+        const size_t b = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mlen) - 1));
+        const size_t e = std::min(mlen, b + static_cast<size_t>(rng.UniformInt(1, 8)));
+        for (size_t i = b; i < e; ++i) mask[i] = 0;
+      } else {
+        const double drop = rng.Uniform(0.1, 0.6);
+        for (auto& m : mask) m = rng.Bernoulli(drop) ? 0 : 1;
+      }
+      return mask;
+    };
+    const std::vector<uint8_t> mx = make_mask(n);
+    const std::vector<uint8_t> my = make_mask(n);
+    const std::vector<uint8_t>* pmx = mx.empty() ? nullptr : &mx;
+    const std::vector<uint8_t>* pmy = my.empty() ? nullptr : &my;
+
+    const Series x(vx), y(vy);
+    const KcdResult ref = KcdMasked(x, y, pmx, pmy, options);
+    const KcdResult fast = KcdMaskedFast(x, y, pmx, pmy, options);
+    ASSERT_EQ(ref.best_lag, fast.best_lag)
+        << "case " << c << " n=" << n << " min_overlap=" << options.min_overlap;
+    ASSERT_EQ(ref.score, fast.score)
+        << "case " << c << " lag=" << ref.best_lag
+        << " diff=" << std::abs(ref.score - fast.score);
+    if (ref.score != 0.0) ++scored;
+  }
+  EXPECT_GT(scored, 400u);  // the floors must not degenerate every case to 0
+}
+
+TEST(KcdDifferentialTest, HandlesDegenerateWindows) {
+  const KcdOptions options;
+  // Non-finite points: both kernels refuse the window with {0, 0}.
+  const Series bad({1.0, 2.0, kNan, 4.0, 5.0, 6.0});
+  const Series good({1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  for (const auto* s : {&bad, &good}) {
+    const KcdResult ref = Kcd(*s, s == &bad ? good : bad, options);
+    const KcdResult fast = KcdFast(*s, s == &bad ? good : bad, options);
+    EXPECT_EQ(ref.score, fast.score);
+    EXPECT_EQ(ref.best_lag, fast.best_lag);
+    EXPECT_EQ(0.0, fast.score);
+  }
+  // Constant windows: structural zero at lag 0 in both kernels.
+  const Series flat({3.0, 3.0, 3.0, 3.0, 3.0, 3.0});
+  EXPECT_EQ(Kcd(flat, good, options).score, KcdFast(flat, good, options).score);
+  EXPECT_EQ(0.0, KcdFast(flat, good, options).score);
+  EXPECT_EQ(0, KcdFast(flat, good, options).best_lag);
+  // Too short for the overlap floor.
+  const Series tiny({1.0, 2.0});
+  EXPECT_EQ(0.0, KcdFast(tiny, tiny, options).score);
+  EXPECT_EQ(Kcd(tiny, tiny, options).score, KcdFast(tiny, tiny, options).score);
+}
+
+TEST(KcdDifferentialTest, BatchedStatsMatchPerPairEntry) {
+  Rng rng(0xBA7C4ED5ULL);
+  for (size_t c = 0; c < 200; ++c) {
+    const KcdOptions options = MakeOptions(c);
+    const size_t n = static_cast<size_t>(rng.UniformInt(8, 90));
+    const Series x(MakeWindow(rng, n));
+    const Series y(MakePartner(rng, x.values()));
+    const KcdWindowStats sx = BuildKcdWindowStats(x, options.normalize);
+    const KcdWindowStats sy = BuildKcdWindowStats(y, options.normalize);
+    const KcdResult batched = KcdFastFromStats(sx, sy, options);
+    const KcdResult direct = KcdFast(x, y, options);
+    EXPECT_EQ(direct.best_lag, batched.best_lag) << "case " << c;
+    EXPECT_EQ(direct.score, batched.score) << "case " << c;
+  }
+}
+
+TEST(KcdDifferentialTest, DispatchersHonourImplKnob) {
+  Rng rng(0x15FA57ULL);
+  const size_t n = 60;
+  const Series x(MakeWindow(rng, n));
+  const Series y(MakePartner(rng, x.values()));
+  std::vector<uint8_t> mask(n, 1);
+  mask[7] = mask[8] = 0;
+
+  KcdOptions options;
+  options.impl = KcdImpl::kReference;
+  EXPECT_EQ(Kcd(x, y, options).score, KcdCompute(x, y, options).score);
+  EXPECT_EQ(KcdMasked(x, y, &mask, nullptr, options).score,
+            KcdMaskedCompute(x, y, &mask, nullptr, options).score);
+  options.impl = KcdImpl::kFast;
+  EXPECT_EQ(KcdFast(x, y, options).score, KcdCompute(x, y, options).score);
+  EXPECT_EQ(KcdMaskedFast(x, y, &mask, nullptr, options).score,
+            KcdMaskedCompute(x, y, &mask, nullptr, options).score);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -32,6 +32,8 @@ dbc_bench(bench_table11_telemetry_faults)
 dbc_bench(bench_table12_topology_churn)
 dbc_bench(bench_throughput_units)
 dbc_bench(bench_kernel_microbench)
+dbc_bench(bench_table13_serving_edge)
+target_link_libraries(bench_table13_serving_edge PRIVATE dbc_net)
 
 # Micro-benchmarks (google-benchmark) for the component-time study.
 add_executable(bench_component_time

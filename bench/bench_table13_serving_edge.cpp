@@ -1,0 +1,406 @@
+// Serving-edge bench (robustness extension): drives the loopback network
+// edge end to end — NetClient -> ingest NetServer/NetIngestSource ->
+// consumer -> NetAlertSink -> egress NetServer/AlertCollector — and reports
+// tick-to-alert latency plus overload-policy behaviour at 2x capacity.
+//
+// Three phases:
+//   1. sustained: one producer streams ticks through both edges; the
+//      tick-to-alert latency (send start -> alert record observed at the
+//      collector) is reported as p50/p95/p99.
+//   2. shed @ 2x: two producers overrun a consumer with a synthetic service
+//      floor (DBC_EDGE_SERVICE_MS of sleep per batch, so capacity is
+//      deterministic). Policy `shed` must NACK (clients retry), keep the
+//      committed queue at or under the watermark, and lose NOTHING.
+//   3. degrade @ 2x: same offered load, policy `degrade`. No NACKs are
+//      allowed; only the low-priority producer's batches may be shed, and
+//      every high-priority batch must commit.
+//
+// Any violated invariant is printed and makes the bench exit non-zero.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "dbc/net/client.h"
+#include "dbc/net/egress.h"
+#include "dbc/net/ingest_source.h"
+#include "dbc/net/server.h"
+#include "dbc/net/wire.h"
+
+namespace {
+
+/// Sorted-vector percentile (nearest-rank-ish; fine at bench sample sizes).
+double Pct(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t idx = std::min(values.size() - 1,
+                              static_cast<size_t>(pos + 0.5));
+  return values[idx];
+}
+
+/// A NetServer on its own serve thread, stopped and joined on destruction.
+struct Edge {
+  dbc::NetServer server;
+  std::thread serve;
+
+  Edge(const dbc::NetServerConfig& config, dbc::FrameHandler* handler)
+      : server(config, handler) {}
+  ~Edge() {
+    server.Stop();
+    if (serve.joinable()) serve.join();
+  }
+  bool Start() {
+    if (!server.Listen().ok()) return false;
+    serve = std::thread([this] { server.Run(); });
+    return true;
+  }
+};
+
+std::vector<uint8_t> TickPayload(size_t tick) {
+  dbc::TelemetryBatchPayload batch;
+  batch.unit = "edge-unit";
+  dbc::TelemetrySample sample;
+  sample.tick = tick;
+  sample.db = 0;
+  for (size_t k = 0; k < dbc::kNumKpis; ++k) {
+    sample.values[k] = static_cast<double>(tick + k);
+  }
+  batch.samples.push_back(sample);
+  return dbc::EncodeTelemetryBatchPayload(batch);
+}
+
+dbc::NetClientConfig ClientConfig(uint16_t port, uint64_t client_id) {
+  dbc::NetClientConfig config;
+  config.port = port;
+  config.client_id = client_id;
+  config.max_attempts = 1000;  // overload phases retry until admitted
+  config.base_backoff_ms = 1;
+  config.max_backoff_ms = 16;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: sustained tick-to-alert latency through both edges.
+
+struct SustainedResult {
+  size_t ticks = 0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  bool complete = false;  // every alert observed before the deadline
+};
+
+SustainedResult RunSustained(size_t ticks) {
+  SustainedResult result;
+  result.ticks = ticks;
+
+  dbc::NetIngestConfig ingest_config;
+  ingest_config.queue_high_watermark = 4096;  // never engages in this phase
+  dbc::NetIngestSource ingest(ingest_config);
+  Edge ingest_edge(dbc::NetServerConfig{}, &ingest);
+  dbc::AlertCollector collector;
+  Edge egress_edge(dbc::NetServerConfig{}, &collector);
+  if (!ingest_edge.Start() || !egress_edge.Start()) return result;
+
+  dbc::Stopwatch clock;
+  std::atomic<bool> producer_done{false};
+
+  // Consumer: committed batch -> one alert record shipped over egress.
+  std::thread consumer([&] {
+    dbc::NetClient egress_client(
+        ClientConfig(egress_edge.server.port(), 901));
+    dbc::NetAlertSink sink(dbc::NetAlertSinkConfig{}, &egress_client);
+    while (true) {
+      const std::vector<dbc::CommittedBatch> batches = ingest.TakeCommitted();
+      if (batches.empty()) {
+        if (producer_done.load(std::memory_order_relaxed) &&
+            ingest.queued() == 0) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      for (const dbc::CommittedBatch& batch : batches) {
+        dbc::Alert alert;
+        alert.unit = batch.unit;
+        alert.begin = batch.samples.empty() ? 0 : batch.samples.front().tick;
+        alert.end = alert.begin + 1;
+        alert.consumed = 1;
+        sink.Publish({alert});
+        (void)sink.Flush();  // one synchronous egress round trip per tick
+      }
+    }
+    (void)sink.Flush();
+  });
+
+  // Poller: stamps the arrival time of each alert record in order. With one
+  // producer and one egress client the edge preserves order, so record i IS
+  // tick i — no payload parsing needed.
+  std::vector<double> arrive_seconds;
+  arrive_seconds.reserve(ticks);
+  std::thread poller([&] {
+    while (arrive_seconds.size() < ticks) {
+      const size_t fresh = collector.TakeRecords().size();
+      const double now = clock.ElapsedSeconds();
+      for (size_t i = 0; i < fresh; ++i) arrive_seconds.push_back(now);
+      if (fresh == 0) {
+        if (now > 30.0) break;  // wedged edge: bail, flagged as incomplete
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  });
+
+  std::vector<double> send_seconds(ticks, 0.0);
+  dbc::NetClient producer(ClientConfig(ingest_edge.server.port(), 101));
+  for (size_t t = 0; t < ticks; ++t) {
+    send_seconds[t] = clock.ElapsedSeconds();
+    if (!producer.Send(dbc::FrameType::kTelemetryBatch, 1, TickPayload(t))
+             .ok()) {
+      break;
+    }
+  }
+  producer_done.store(true, std::memory_order_relaxed);
+  consumer.join();
+  poller.join();
+
+  result.complete = arrive_seconds.size() == ticks;
+  std::vector<double> latencies_ms;
+  for (size_t i = 0; i < arrive_seconds.size(); ++i) {
+    latencies_ms.push_back((arrive_seconds[i] - send_seconds[i]) * 1e3);
+  }
+  result.p50_ms = Pct(latencies_ms, 0.50);
+  result.p95_ms = Pct(latencies_ms, 0.95);
+  result.p99_ms = Pct(latencies_ms, 0.99);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Phases 2/3: two producers at 2x a deterministic service capacity.
+
+struct OverloadResult {
+  size_t committed = 0;
+  size_t shed_nacks = 0;      // retryable NACKs observed by the clients
+  size_t degraded = 0;        // ACK-degraded batches (degrade policy only)
+  size_t low_degraded = 0;    // split by producer priority
+  size_t high_degraded = 0;
+  size_t send_failures = 0;   // Send() gave up (must stay 0)
+  size_t max_queue = 0;       // committed-queue high-water mark sampled
+  double admit_p50_ms = 0.0;  // send start -> ACK, admitted batches
+  double admit_p99_ms = 0.0;
+  bool started = false;
+};
+
+OverloadResult RunOverload(dbc::OverloadPolicy policy, size_t batches_each,
+                           int service_ms) {
+  OverloadResult result;
+
+  dbc::NetIngestConfig ingest_config;
+  ingest_config.queue_high_watermark = 8;
+  ingest_config.policy = policy;
+  ingest_config.degrade_min_priority = 3;
+  dbc::NetIngestSource ingest(ingest_config);
+  dbc::NetServerConfig server_config;
+  server_config.retry_after_ms = 2;
+  Edge edge(server_config, &ingest);
+  if (!edge.Start()) return result;
+  result.started = true;
+
+  // Synthetic service floor: the consumer "spends" service_ms per batch, so
+  // capacity is 1000/service_ms batches/sec regardless of host speed. Two
+  // unthrottled loopback producers offer far more than 2x that.
+  std::atomic<bool> producers_done{false};
+  std::thread consumer([&] {
+    while (true) {
+      result.max_queue = std::max(result.max_queue, ingest.queued());
+      const std::vector<dbc::CommittedBatch> batches = ingest.TakeCommitted();
+      if (batches.empty()) {
+        if (producers_done.load(std::memory_order_relaxed) &&
+            ingest.queued() == 0) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      for (size_t i = 0; i < batches.size(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(service_ms));
+      }
+    }
+  });
+
+  // Producer 0 sends priority 1 (sheddable under degrade), producer 1 sends
+  // priority 5 (always above degrade_min_priority).
+  struct ProducerStats {
+    std::vector<double> admit_ms;
+    size_t degraded = 0;
+    size_t nacks = 0;
+    size_t failures = 0;
+  };
+  ProducerStats stats[2];
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      dbc::NetClient client(
+          ClientConfig(edge.server.port(), 201 + static_cast<uint64_t>(p)));
+      const uint8_t priority = p == 0 ? 1 : 5;
+      dbc::Stopwatch clock;
+      for (size_t b = 0; b < batches_each; ++b) {
+        const double start = clock.ElapsedSeconds();
+        const dbc::Result<dbc::SendOutcome> sent = client.Send(
+            dbc::FrameType::kTelemetryBatch, priority, TickPayload(b));
+        if (!sent.ok()) {
+          ++stats[p].failures;
+          continue;
+        }
+        if (sent.value().degraded) {
+          ++stats[p].degraded;
+        } else {
+          stats[p].admit_ms.push_back(
+              (clock.ElapsedSeconds() - start) * 1e3);
+        }
+      }
+      stats[p].nacks = client.nacks_overload_total();
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  producers_done.store(true, std::memory_order_relaxed);
+  consumer.join();
+
+  result.committed = ingest.committed_total();
+  result.shed_nacks = stats[0].nacks + stats[1].nacks;
+  result.degraded = ingest.degraded_total();
+  result.low_degraded = stats[0].degraded;
+  result.high_degraded = stats[1].degraded;
+  result.send_failures = stats[0].failures + stats[1].failures;
+  std::vector<double> admit_ms = stats[0].admit_ms;
+  admit_ms.insert(admit_ms.end(), stats[1].admit_ms.begin(),
+                  stats[1].admit_ms.end());
+  result.admit_p50_ms = Pct(admit_ms, 0.50);
+  result.admit_p99_ms = Pct(admit_ms, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const size_t ticks =
+      static_cast<size_t>(300.0 * std::max(0.25, dbc::BenchScale()));
+  const size_t burst =
+      static_cast<size_t>(120.0 * std::max(0.25, dbc::BenchScale()));
+  const int service_ms =
+      static_cast<int>(dbc::EnvInt("DBC_EDGE_SERVICE_MS", 2));
+  std::printf("=== Serving edge: loopback tick-to-alert latency and overload"
+              " policies (%zu ticks, %zux2 burst, %dms floor) ===\n\n",
+              ticks, burst, service_ms);
+
+  std::vector<std::string> violations;
+  const auto violate = [&violations](const std::string& what) {
+    violations.push_back(what);
+    std::printf("VIOLATION: %s\n", what.c_str());
+  };
+
+  // --- Phase 1: sustained latency -----------------------------------------
+  const SustainedResult sustained = RunSustained(ticks);
+  if (!sustained.complete) {
+    violate("sustained: not every tick produced an alert at the collector");
+  }
+  std::printf("sustained: %zu ticks through ingest+egress edges,"
+              " tick-to-alert p50 %.3fms p95 %.3fms p99 %.3fms\n",
+              sustained.ticks, sustained.p50_ms, sustained.p95_ms,
+              sustained.p99_ms);
+
+  // --- Phase 2: shed at 2x capacity ---------------------------------------
+  const OverloadResult shed =
+      RunOverload(dbc::OverloadPolicy::kShed, burst, service_ms);
+  if (!shed.started) violate("shed: edge failed to start");
+  if (shed.shed_nacks == 0) {
+    violate("shed: no overload NACKs at 2x capacity (policy never engaged)");
+  }
+  if (shed.committed != 2 * burst || shed.send_failures != 0) {
+    violate("shed: lost batches (shed must delay, never drop)");
+  }
+  if (shed.degraded != 0) violate("shed: unexpected degraded ACKs");
+  if (shed.max_queue > 8) {
+    violate("shed: committed queue exceeded the high watermark");
+  }
+  if (shed.admit_p99_ms > 2000.0) {
+    violate("shed: admitted p99 latency unbounded (> 2000ms)");
+  }
+  std::printf("shed @ 2x: committed %zu/%zu, overload NACKs %zu, max queue"
+              " %zu (watermark 8), admit p50 %.3fms p99 %.3fms\n",
+              shed.committed, 2 * burst, shed.shed_nacks, shed.max_queue,
+              shed.admit_p50_ms, shed.admit_p99_ms);
+
+  // --- Phase 3: degrade at 2x capacity ------------------------------------
+  const OverloadResult degrade =
+      RunOverload(dbc::OverloadPolicy::kDegrade, burst, service_ms);
+  if (!degrade.started) violate("degrade: edge failed to start");
+  if (degrade.shed_nacks != 0) {
+    violate("degrade: emitted overload NACKs (degrade must admit and shed)");
+  }
+  if (degrade.degraded == 0) {
+    violate("degrade: nothing degraded at 2x capacity");
+  }
+  if (degrade.high_degraded != 0) {
+    violate("degrade: high-priority batches were degraded");
+  }
+  if (degrade.low_degraded != degrade.degraded) {
+    violate("degrade: degraded count not fully explained by low priority");
+  }
+  if (degrade.committed + degrade.degraded != 2 * burst ||
+      degrade.send_failures != 0) {
+    violate("degrade: batches neither committed nor counted as degraded");
+  }
+  std::printf("degrade @ 2x: committed %zu + degraded %zu = %zu offered,"
+              " NACKs %zu, low/high degraded %zu/%zu\n",
+              degrade.committed, degrade.degraded, 2 * burst,
+              degrade.shed_nacks, degrade.low_degraded,
+              degrade.high_degraded);
+
+  dbc::TextTable table("Serving edge (loopback, 2 producers at 2x)");
+  table.SetHeader({"Phase", "Committed", "NACKs", "Degraded", "p50 ms",
+                   "p99 ms"});
+  table.AddRow({"sustained", std::to_string(sustained.ticks), "0", "0",
+                dbc::TextTable::Num(sustained.p50_ms, 3),
+                dbc::TextTable::Num(sustained.p99_ms, 3)});
+  table.AddRow({"shed 2x", std::to_string(shed.committed),
+                std::to_string(shed.shed_nacks), "0",
+                dbc::TextTable::Num(shed.admit_p50_ms, 3),
+                dbc::TextTable::Num(shed.admit_p99_ms, 3)});
+  table.AddRow({"degrade 2x", std::to_string(degrade.committed), "0",
+                std::to_string(degrade.degraded),
+                dbc::TextTable::Num(degrade.admit_p50_ms, 3),
+                dbc::TextTable::Num(degrade.admit_p99_ms, 3)});
+  table.Print();
+
+  dbc::bench::BenchReport report(
+      "table13_serving_edge",
+      "ticks=" + std::to_string(ticks) + " burst=" + std::to_string(burst) +
+          "x2 service_ms=" + std::to_string(service_ms) + " watermark=8");
+  report.Add("tick_to_alert_p50_ms", sustained.p50_ms);
+  report.Add("tick_to_alert_p95_ms", sustained.p95_ms);
+  report.Add("tick_to_alert_p99_ms", sustained.p99_ms);
+  report.Add("shed_nacks", static_cast<double>(shed.shed_nacks));
+  report.Add("shed_committed", static_cast<double>(shed.committed));
+  report.Add("shed_max_queue", static_cast<double>(shed.max_queue));
+  report.Add("shed_admit_p99_ms", shed.admit_p99_ms);
+  report.Add("degrade_nacks", static_cast<double>(degrade.shed_nacks));
+  report.Add("degrade_degraded", static_cast<double>(degrade.degraded));
+  report.Add("degrade_high_degraded",
+             static_cast<double>(degrade.high_degraded));
+  report.Add("degrade_committed", static_cast<double>(degrade.committed));
+  report.Add("violations", static_cast<double>(violations.size()));
+  report.Write();
+
+  std::printf("\nShape: shed trades latency (retry backoff) for zero loss;"
+              " degrade trades low-priority coverage for zero backpressure."
+              " Both keep the process and the high-priority plane healthy.\n");
+  if (!violations.empty()) {
+    std::printf("\n%zu invariant violation(s) — failing the bench.\n",
+                violations.size());
+    return 1;
+  }
+  return 0;
+}

@@ -54,6 +54,7 @@ BoundedAlertSink::BoundedAlertSink(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void BoundedAlertSink::Publish(const std::vector<Alert>& alerts) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const Alert& alert : alerts) {
     if (buffer_.size() == capacity_) {
       buffer_.pop_front();
@@ -65,9 +66,25 @@ void BoundedAlertSink::Publish(const std::vector<Alert>& alerts) {
 }
 
 std::vector<Alert> BoundedAlertSink::Take() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Alert> out(buffer_.begin(), buffer_.end());
   buffer_.clear();
   return out;
+}
+
+size_t BoundedAlertSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_.size();
+}
+
+size_t BoundedAlertSink::published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+size_t BoundedAlertSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 FileAlertSink::FileAlertSink(const std::string& path, Format format)

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdio>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,7 +34,10 @@ class AlertSink {
 /// In-memory sink bounded at `capacity` alerts. When the buffer is full the
 /// OLDEST alerts are evicted (a monitoring console wants the newest page),
 /// and every eviction is counted as back-pressure instead of growing without
-/// bound.
+/// bound. Internally locked: one sink instance may be shared across several
+/// engines' drain threads while a console thread polls dropped()/Take()
+/// concurrently, so the buffer and its counters must move together under one
+/// mutex (unsynchronised, a Publish racing a Take could lose evictions).
 class BoundedAlertSink : public AlertSink {
  public:
   explicit BoundedAlertSink(size_t capacity = 4096);
@@ -44,16 +48,17 @@ class BoundedAlertSink : public AlertSink {
   std::vector<Alert> Take();
 
   /// Alerts currently buffered.
-  size_t size() const { return buffer_.size(); }
+  size_t size() const;
   /// Alerts ever delivered to this sink.
-  size_t published() const { return published_; }
+  size_t published() const;
   /// Alerts evicted because the buffer was full (back-pressure signal).
-  size_t dropped() const override { return dropped_; }
+  size_t dropped() const override;
 
   size_t capacity() const { return capacity_; }
 
  private:
   size_t capacity_;
+  mutable std::mutex mu_;
   std::deque<Alert> buffer_;
   size_t published_ = 0;
   size_t dropped_ = 0;

@@ -74,16 +74,19 @@ Status TelemetryIngestor::Offer(const TelemetrySample& sample) {
   const auto alias = aliases_.find(db);
   if (alias != aliases_.end()) db = alias->second;
   if (db >= num_dbs_) {
+    Inc(metrics_.rejected_unknown_db);
     return Status::InvalidArgument("sample for unknown database");
   }
   if (dbs_[db].departed) {
     ++late_drops_;
     Inc(metrics_.samples_late_dropped);
+    Inc(metrics_.rejected_departed);
     return Status::OutOfRange("sample for departed database");
   }
   if (any_sample_ && sample.tick < next_seal_) {
     ++late_drops_;
     Inc(metrics_.samples_late_dropped);
+    Inc(metrics_.rejected_late);
     return Status::OutOfRange("sample older than the sealed horizon");
   }
   PendingFrame& frame = pending_[sample.tick];

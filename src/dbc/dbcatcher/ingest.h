@@ -136,6 +136,11 @@ struct IngestMetrics {
   Counter* collector_down_events = nullptr;
   Counter* feeds_joined = nullptr;         // AddDb() calls
   Counter* feeds_retired = nullptr;        // first RemoveDb() per feed
+  // Offer() rejections by reason (dbc_ingest_rejected_total{reason=...}):
+  // every reject path is counted, none is silent.
+  Counter* rejected_unknown_db = nullptr;  // db index outside the unit
+  Counter* rejected_departed = nullptr;    // feed already retired
+  Counter* rejected_late = nullptr;        // behind the sealed horizon
 };
 
 /// Per-(db,kpi) alignment buffer + quality-flagged repair + quarantine.

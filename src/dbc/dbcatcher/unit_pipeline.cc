@@ -91,6 +91,13 @@ void UnitPipeline::EnableObservability(MetricsRegistry* registry,
   im.feeds_joined = registry->GetCounter("dbc_ingest_feeds_joined_total", unit);
   im.feeds_retired =
       registry->GetCounter("dbc_ingest_feeds_retired_total", unit);
+  im.rejected_unknown_db = registry->GetCounter(
+      "dbc_ingest_rejected_total", {{"reason", "unknown-db"}, {"unit", name_}});
+  im.rejected_departed = registry->GetCounter(
+      "dbc_ingest_rejected_total",
+      {{"reason", "departed-db"}, {"unit", name_}});
+  im.rejected_late = registry->GetCounter(
+      "dbc_ingest_rejected_total", {{"reason", "late"}, {"unit", name_}});
   ingestor_.set_metrics(im);
 
   StreamMetrics sm;

@@ -1,0 +1,222 @@
+#include "dbc/net/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "dbc/common/stopwatch.h"
+
+namespace dbc {
+
+namespace {
+constexpr size_t kReplyChunk = 4096;
+constexpr size_t kGarbageBytes = 16;
+}  // namespace
+
+NetClient::NetClient(NetClientConfig config, NetFaultInjector* faults)
+    : config_(config), faults_(faults) {}
+
+NetClient::~NetClient() { Close(); }
+
+Status NetClient::Connect() {
+  Disconnect();
+  Result<Socket> sock = TcpConnect(config_.port, config_.connect_timeout_ms);
+  if (!sock.ok()) return sock.status();
+  socket_ = std::move(sock.value());
+  decoder_ = FrameDecoder(kWireDefaultMaxPayload);
+  // Hello handshake (seq 0, never deduped): binds this connection to the
+  // client_id whose session holds the retransmit-dedup cursor.
+  HelloPayload hello{config_.client_id};
+  const std::vector<uint8_t> frame = EncodeFrame(
+      FrameType::kHello, 0, /*priority=*/0, /*seq=*/0,
+      EncodeHelloPayload(hello));
+  size_t off = 0;
+  while (off < frame.size()) {
+    const IoResult io = WriteSome(socket_, frame.data() + off,
+                                  frame.size() - off);
+    if (io.bytes == 0) {
+      Disconnect();
+      return Status::IoError("hello write failed");
+    }
+    off += io.bytes;
+  }
+  const std::optional<Frame> reply = AwaitReply(/*seq=*/0);
+  if (!reply.has_value() || reply->header.type != FrameType::kAck) {
+    Disconnect();
+    return Status::IoError("hello not acknowledged");
+  }
+  return Status::Ok();
+}
+
+void NetClient::Close() { Disconnect(); }
+
+Result<SendOutcome> NetClient::Send(FrameType type, uint8_t priority,
+                                    const std::vector<uint8_t>& payload) {
+  if (type != FrameType::kTelemetryBatch && type != FrameType::kAlertBatch) {
+    return Status::InvalidArgument("Send takes data frames only");
+  }
+  const uint64_t seq = next_seq_;
+  const std::vector<uint8_t> frame =
+      EncodeFrame(type, 0, priority, seq, payload);
+  ++sends_total_;
+  SendOutcome outcome;
+  outcome.seq = seq;
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_total_;
+      ++outcome.retries;
+    }
+    if (!connected()) {
+      if (!Connect().ok()) {
+        Backoff(0);
+        continue;
+      }
+      if (attempt > 0) ++reconnects_total_;
+    }
+    const FaultKind fault =
+        faults_ != nullptr ? faults_->NextFault() : FaultKind::kNone;
+    bool wrote = true;
+    switch (fault) {
+      case FaultKind::kNone:
+      case FaultKind::kStall:
+        wrote = WriteFrameBytes(frame);
+        break;
+      case FaultKind::kPartialWrite: {
+        // Dribble the frame out byte-by-byte-ish; still a valid stream, so
+        // this exercises the server's incremental decoder, not retransmit.
+        size_t off = 0;
+        while (wrote && off < frame.size()) {
+          const size_t n =
+              std::min(faults_->NextChunkSize(), frame.size() - off);
+          wrote = WriteFrameBytes(
+              std::vector<uint8_t>(frame.begin() + static_cast<ptrdiff_t>(off),
+                                   frame.begin() +
+                                       static_cast<ptrdiff_t>(off + n)));
+          off += n;
+        }
+        break;
+      }
+      case FaultKind::kMidFrameDisconnect: {
+        const size_t prefix = faults_->NextPrefixLength(frame.size());
+        WriteFrameBytes(std::vector<uint8_t>(
+            frame.begin(), frame.begin() + static_cast<ptrdiff_t>(prefix)));
+        Disconnect();  // the server sees a truncated frame and moves on
+        wrote = false;
+        break;
+      }
+      case FaultKind::kGarbage: {
+        // Leading garbage poisons the server-side decoder: the connection is
+        // quarantined and the frame behind it is never applied. Recovery is
+        // reconnect + resend of the same seq.
+        std::vector<uint8_t> garbage(kGarbageBytes);
+        faults_->NextGarbage(garbage.data(), garbage.size());
+        WriteFrameBytes(garbage);
+        wrote = false;
+        Disconnect();
+        break;
+      }
+    }
+    if (!wrote) {
+      Backoff(0);
+      continue;
+    }
+    if (fault == FaultKind::kStall) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(faults_->config().stall_ms));
+    }
+    const std::optional<Frame> reply = AwaitReply(seq);
+    if (!reply.has_value()) {
+      // Lost reply (timeout, disconnect, or undecodable stream): the frame
+      // may or may not have been applied — resend and let the session dedup.
+      Disconnect();
+      Backoff(0);
+      continue;
+    }
+    if (reply->header.type == FrameType::kAck) {
+      next_seq_ = seq + 1;
+      backoff_ms_ = 0;
+      if ((reply->header.flags & kAckFlagDegraded) != 0) {
+        outcome.degraded = true;
+        ++degraded_total_;
+      }
+      return outcome;
+    }
+    NackPayload nack;
+    if (!DecodeNackPayload(reply->payload, &nack) ||
+        nack.reason != NackReason::kOverload) {
+      // Fatal NACK: this connection is done; a fresh one may fare better
+      // (e.g. the server quarantined us for bytes a fault injector mangled).
+      Disconnect();
+      Backoff(0);
+      continue;
+    }
+    ++nacks_overload_total_;
+    Backoff(nack.retry_after_ms);
+  }
+  return Status::IoError("frame not acknowledged after max attempts");
+}
+
+bool NetClient::WriteFrameBytes(const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const IoResult io =
+        WriteSome(socket_, bytes.data() + off, bytes.size() - off);
+    if (io.error || (io.bytes == 0 && !io.would_block)) {
+      Disconnect();
+      return false;
+    }
+    off += io.bytes;
+  }
+  return true;
+}
+
+std::optional<Frame> NetClient::AwaitReply(uint64_t seq) {
+  Stopwatch watch;
+  uint8_t chunk[kReplyChunk];
+  while (true) {
+    // Drain anything already buffered first.
+    while (true) {
+      Frame frame;
+      const WireVerdict verdict = decoder_.Next(&frame);
+      if (verdict == WireVerdict::kFrame) {
+        if (frame.header.type != FrameType::kAck &&
+            frame.header.type != FrameType::kNack) {
+          continue;  // servers only send replies; ignore anything else
+        }
+        if (frame.header.seq == seq) return frame;
+        continue;  // stale reply for an earlier attempt/frame
+      }
+      if (verdict == WireVerdict::kNeedMore) break;
+      return std::nullopt;  // poisoned reply stream: reconnect
+    }
+    const double elapsed_ms = watch.ElapsedSeconds() * 1000.0;
+    const int remaining =
+        config_.reply_timeout_ms - static_cast<int>(elapsed_ms);
+    if (remaining <= 0) return std::nullopt;
+    if (!WaitReadable(socket_, remaining)) return std::nullopt;
+    const IoResult io = ReadSome(socket_, chunk, sizeof(chunk));
+    if (io.bytes > 0) {
+      decoder_.Feed(chunk, io.bytes);
+      continue;
+    }
+    if (io.would_block) continue;
+    return std::nullopt;  // EOF or error
+  }
+}
+
+void NetClient::Backoff(uint32_t hint_ms) {
+  backoff_ms_ = backoff_ms_ == 0
+                    ? config_.base_backoff_ms
+                    : std::min(backoff_ms_ * 2, config_.max_backoff_ms);
+  const uint32_t wait = std::max(backoff_ms_, hint_ms);
+  if (wait > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+  }
+}
+
+void NetClient::Disconnect() {
+  socket_.Close();
+  decoder_ = FrameDecoder(kWireDefaultMaxPayload);
+}
+
+}  // namespace dbc

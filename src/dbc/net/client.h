@@ -1,0 +1,106 @@
+// Reliable frame client: at-least-once delivery with deterministic
+// exponential backoff, layered under the server's per-session dedup so the
+// pair gives exactly-once application. One NetClient is one logical sender
+// (one client_id); it is NOT thread-safe — callers serialize Send().
+//
+// The send loop for one frame:
+//   1. ensure a connection exists (dial + Hello handshake on demand);
+//   2. write the frame (optionally perturbed by a NetFaultInjector);
+//   3. wait for the matching ACK/NACK with a deadline;
+//   4. on a retryable NACK: back off (exponential, seeded by the server's
+//      retry_after hint) and resend the SAME sequence number;
+//   5. on timeout, disconnect, or a fatal NACK: reconnect and resend — if
+//      the server already applied the frame it re-ACKs the retransmission
+//      as a duplicate without applying it twice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dbc/common/status.h"
+#include "dbc/net/fault.h"
+#include "dbc/net/socket.h"
+#include "dbc/net/wire.h"
+
+namespace dbc {
+
+struct NetClientConfig {
+  uint16_t port = 0;
+  /// Session identity; must be unique per logical sender and non-zero.
+  uint64_t client_id = 1;
+  int connect_timeout_ms = 2000;
+  /// Deadline for the ACK/NACK of one attempt before it counts as lost.
+  int reply_timeout_ms = 2000;
+  /// Attempts per frame before Send gives up with kUnavailable.
+  int max_attempts = 64;
+  /// First retry delay; doubles per retryable failure up to the cap. A NACK
+  /// carrying a retry_after hint uses max(hint, current backoff).
+  uint32_t base_backoff_ms = 2;
+  uint32_t max_backoff_ms = 256;
+};
+
+/// What a successful Send observed.
+struct SendOutcome {
+  uint64_t seq = 0;
+  /// True when the server admitted the frame under its degrade policy (the
+  /// batch was accepted at the edge but shed before the pipeline).
+  bool degraded = false;
+  /// Attempts beyond the first that this frame needed.
+  size_t retries = 0;
+};
+
+class NetClient {
+ public:
+  explicit NetClient(NetClientConfig config,
+                     NetFaultInjector* faults = nullptr);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Dials and performs the Hello handshake. Send() calls this lazily, so
+  /// explicit use is only needed to fail fast.
+  Status Connect();
+
+  /// Reliably delivers one data frame (kTelemetryBatch or kAlertBatch).
+  /// Blocks through retries/backoff; fails only after max_attempts.
+  Result<SendOutcome> Send(FrameType type, uint8_t priority,
+                           const std::vector<uint8_t>& payload);
+
+  void Close();
+  bool connected() const { return socket_.valid(); }
+
+  size_t sends_total() const { return sends_total_; }
+  size_t retries_total() const { return retries_total_; }
+  size_t reconnects_total() const { return reconnects_total_; }
+  size_t nacks_overload_total() const { return nacks_overload_total_; }
+  size_t degraded_total() const { return degraded_total_; }
+
+  const NetClientConfig& config() const { return config_; }
+
+ private:
+  /// Writes raw bytes, applying at most one injected fault. Returns false
+  /// when the connection must be considered dead.
+  bool WriteFrameBytes(const std::vector<uint8_t>& bytes);
+  /// Reads until a reply frame for `seq` arrives or the deadline passes.
+  std::optional<Frame> AwaitReply(uint64_t seq);
+  void Backoff(uint32_t hint_ms);
+  void Disconnect();
+
+  NetClientConfig config_;
+  NetFaultInjector* faults_;
+  Socket socket_;
+  FrameDecoder decoder_;
+  uint64_t next_seq_ = 1;
+  uint32_t backoff_ms_ = 0;
+
+  size_t sends_total_ = 0;
+  size_t retries_total_ = 0;
+  size_t reconnects_total_ = 0;
+  size_t nacks_overload_total_ = 0;
+  size_t degraded_total_ = 0;
+};
+
+}  // namespace dbc

@@ -1,0 +1,124 @@
+#include "dbc/net/egress.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dbc {
+
+NetAlertSink::NetAlertSink(NetAlertSinkConfig config, NetClient* client)
+    : config_(config), client_(client) {}
+
+void NetAlertSink::Publish(const std::vector<Alert>& alerts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Alert& alert : alerts) {
+    if (spool_.size() >= config_.spool_capacity) {
+      // Bounded spool: evict oldest so a dead collector costs memory-capped
+      // history, never unbounded growth or a blocked drain thread.
+      spool_.pop_front();
+      ++dropped_total_;
+      Inc(dropped_metric_);
+    }
+    spool_.push_back(FormatAlertJson(alert));
+    ++published_total_;
+    Inc(published_metric_);
+  }
+  Set(spool_gauge_, static_cast<double>(spool_.size()));
+}
+
+size_t NetAlertSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_total_;
+}
+
+Status NetAlertSink::Flush() {
+  while (true) {
+    AlertBatchPayload batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (spool_.empty()) return Status::Ok();
+      const size_t take = std::min(
+          {spool_.size(), config_.batch_records, kWireMaxAlertRecords});
+      for (size_t i = 0; i < take; ++i) {
+        batch.records.push_back(spool_[i]);
+      }
+    }
+    const Result<SendOutcome> sent = client_->Send(
+        FrameType::kAlertBatch, config_.priority,
+        EncodeAlertBatchPayload(batch));
+    if (!sent.ok()) return sent.status();
+    std::lock_guard<std::mutex> lock(mu_);
+    // Only now remove the shipped prefix: a failed send leaves the spool
+    // intact for the next flush (at-least-once; the collector session layer
+    // dedups retransmitted frames, so records never double-apply).
+    spool_.erase(spool_.begin(),
+                 spool_.begin() + static_cast<ptrdiff_t>(batch.records.size()));
+    records_sent_total_ += batch.records.size();
+    ++flushes_total_;
+    Inc(sent_metric_, batch.records.size());
+    Set(spool_gauge_, static_cast<double>(spool_.size()));
+  }
+}
+
+size_t NetAlertSink::spooled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spool_.size();
+}
+
+size_t NetAlertSink::published_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_total_;
+}
+
+size_t NetAlertSink::records_sent_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_sent_total_;
+}
+
+size_t NetAlertSink::flushes_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushes_total_;
+}
+
+void NetAlertSink::EnableObservability(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  published_metric_ = registry->GetCounter("dbc_net_egress_alerts_total",
+                                           {{"outcome", "spooled"}});
+  dropped_metric_ = registry->GetCounter("dbc_net_egress_alerts_total",
+                                         {{"outcome", "evicted"}});
+  sent_metric_ = registry->GetCounter("dbc_net_egress_alerts_total",
+                                      {{"outcome", "sent"}});
+  spool_gauge_ = registry->GetGauge("dbc_net_egress_spool_alerts");
+}
+
+FrameDecision AlertCollector::OnFrame(const FrameContext& context,
+                                      const Frame& frame) {
+  (void)context;
+  if (frame.header.type != FrameType::kAlertBatch) {
+    return FrameDecision::kNackFatal;
+  }
+  AlertBatchPayload batch;
+  if (!DecodeAlertBatchPayload(frame.payload, &batch)) {
+    return FrameDecision::kNackFatal;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  records_total_ += batch.records.size();
+  for (std::string& record : batch.records) {
+    records_.push_back(std::move(record));
+  }
+  return FrameDecision::kAck;
+}
+
+std::vector<std::string> AlertCollector::TakeRecords() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out = std::move(records_);
+  records_.clear();
+  return out;
+}
+
+size_t AlertCollector::records_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_total_;
+}
+
+}  // namespace dbc

@@ -1,0 +1,90 @@
+// Alert egress over the serving edge. NetAlertSink plugs into
+// DetectionEngine::AddSink and spools drained alerts locally (bounded — the
+// engine's drain thread is never blocked by a slow collector); Flush()
+// ships the spool as kAlertBatch frames through a NetClient, whose
+// retry-with-exponential-backoff machinery rides out transient collector
+// failures. AlertCollector is the matching server-side FrameHandler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dbc/common/status.h"
+#include "dbc/dbcatcher/alert_sink.h"
+#include "dbc/net/client.h"
+#include "dbc/net/server.h"
+#include "dbc/obs/metrics.h"
+
+namespace dbc {
+
+struct NetAlertSinkConfig {
+  /// Alerts spooled before the oldest are evicted (dropped() back-pressure).
+  size_t spool_capacity = 8192;
+  /// Records per kAlertBatch frame (also capped by kWireMaxAlertRecords).
+  size_t batch_records = 256;
+  /// Priority stamped on egress frames (alerts outrank telemetry filler).
+  uint8_t priority = 4;
+};
+
+/// Engine-facing sink that spools alerts and ships them over a NetClient.
+/// Publish (engine drain thread) and Flush (egress thread) may race; the
+/// spool is mutex-guarded. The client itself is Flush-thread-only.
+class NetAlertSink : public AlertSink {
+ public:
+  NetAlertSink(NetAlertSinkConfig config, NetClient* client);
+
+  void Publish(const std::vector<Alert>& alerts) override;
+  size_t dropped() const override;
+
+  /// Ships every spooled record. Returns the first delivery failure (spool
+  /// keeps the unshipped remainder for the next flush).
+  Status Flush();
+
+  size_t spooled() const;
+  size_t published_total() const;
+  size_t records_sent_total() const;
+  size_t flushes_total() const;
+
+  /// Creates dbc_net_egress_* metrics on `registry`.
+  void EnableObservability(MetricsRegistry* registry);
+
+ private:
+  NetAlertSinkConfig config_;
+  NetClient* client_;
+
+  mutable std::mutex mu_;
+  std::deque<std::string> spool_;  // FormatAlertJson records
+  size_t published_total_ = 0;
+  size_t dropped_total_ = 0;
+  size_t records_sent_total_ = 0;
+  size_t flushes_total_ = 0;
+
+  Counter* published_metric_ = nullptr;
+  Counter* dropped_metric_ = nullptr;
+  Counter* sent_metric_ = nullptr;
+  Gauge* spool_gauge_ = nullptr;
+};
+
+/// Server-side alert collector: accepts kAlertBatch frames, accumulates the
+/// JSON records in arrival order. OnFrame runs on the serve thread; the
+/// accessors are safe from anywhere.
+class AlertCollector : public FrameHandler {
+ public:
+  FrameDecision OnFrame(const FrameContext& context,
+                        const Frame& frame) override;
+
+  /// Drains collected records in arrival order.
+  std::vector<std::string> TakeRecords();
+  size_t records_total() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> records_;
+  size_t records_total_ = 0;
+};
+
+}  // namespace dbc

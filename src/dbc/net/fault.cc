@@ -1,0 +1,59 @@
+#include "dbc/net/fault.h"
+
+#include <vector>
+
+#include "dbc/net/wire.h"
+
+namespace dbc {
+
+NetFaultInjector::NetFaultInjector(NetFaultConfig config)
+    : config_(config), rng_(config.seed) {}
+
+FaultKind NetFaultInjector::NextFault() {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (coin(rng_) >= config_.fault_rate) return FaultKind::kNone;
+  std::vector<FaultKind> menu;
+  if (config_.partial_writes) menu.push_back(FaultKind::kPartialWrite);
+  if (config_.mid_frame_disconnects) {
+    menu.push_back(FaultKind::kMidFrameDisconnect);
+  }
+  if (config_.garbage_bytes) menu.push_back(FaultKind::kGarbage);
+  if (config_.stalled_reads) menu.push_back(FaultKind::kStall);
+  if (menu.empty()) return FaultKind::kNone;
+  std::uniform_int_distribution<size_t> pick(0, menu.size() - 1);
+  const FaultKind kind = menu[pick(rng_)];
+  switch (kind) {
+    case FaultKind::kPartialWrite: ++injected_partial_; break;
+    case FaultKind::kMidFrameDisconnect: ++injected_disconnect_; break;
+    case FaultKind::kGarbage: ++injected_garbage_; break;
+    case FaultKind::kStall: ++injected_stall_; break;
+    case FaultKind::kNone: break;
+  }
+  return kind;
+}
+
+size_t NetFaultInjector::NextChunkSize() {
+  std::uniform_int_distribution<size_t> d(1, 7);
+  return d(rng_);
+}
+
+size_t NetFaultInjector::NextPrefixLength(size_t frame_size) {
+  // Always strictly shorter than the frame so the cut really lands mid-frame.
+  const size_t cap = frame_size > 1 ? frame_size - 1 : 1;
+  std::uniform_int_distribution<size_t> d(1, cap);
+  return d(rng_);
+}
+
+void NetFaultInjector::NextGarbage(uint8_t* out, size_t n) {
+  std::uniform_int_distribution<int> d(0, 255);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(d(rng_));
+  }
+  // Make sure the garbage cannot accidentally resynchronise as a valid
+  // header: corrupt the first magic byte if the roll happened to match.
+  if (n > 0 && out[0] == static_cast<uint8_t>(kWireMagic & 0xFF)) {
+    out[0] ^= 0xFF;
+  }
+}
+
+}  // namespace dbc

@@ -1,0 +1,75 @@
+// Deterministic client-side network chaos for the serving edge. The injector
+// perturbs the byte stream a NetClient emits — partial writes, mid-frame
+// disconnects, leading garbage, stalled reply reading — without ever touching
+// the application payloads. Combined with the client's retransmit machinery
+// the invariant under chaos is: faults may DELAY a batch, they can never
+// corrupt it or drop a committed tick (net_e2e_test proves this bit-exactly).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+
+namespace dbc {
+
+/// One perturbation choice for one outgoing frame.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kPartialWrite,        // dribble the frame out in tiny chunks
+  kMidFrameDisconnect,  // write a prefix of the frame, then close
+  kGarbage,             // prepend garbage bytes (poisons the connection)
+  kStall,               // sit on the reply socket before reading
+};
+
+struct NetFaultConfig {
+  uint64_t seed = 1;
+  /// Probability that any given send is perturbed at all.
+  double fault_rate = 0.0;
+  // Which perturbations are in the rotation.
+  bool partial_writes = true;
+  bool mid_frame_disconnects = true;
+  bool garbage_bytes = true;
+  bool stalled_reads = true;
+  /// How long a kStall fault sits before reading replies. Keep well under
+  /// the server's idle timeout: a stall should look slow, not dead.
+  uint32_t stall_ms = 20;
+};
+
+/// Seeded chaos source; every decision derives from the constructor seed so a
+/// failing run replays exactly.
+class NetFaultInjector {
+ public:
+  explicit NetFaultInjector(NetFaultConfig config);
+
+  /// Rolls the fault (if any) to apply to the next outgoing frame.
+  FaultKind NextFault();
+
+  /// Deterministic chunk size for a partial write, in [1, 7].
+  size_t NextChunkSize();
+  /// Deterministic prefix length for a mid-frame disconnect, in [1, cap).
+  size_t NextPrefixLength(size_t frame_size);
+  /// Fills `out` with `n` garbage bytes whose first four can never spell the
+  /// frame magic.
+  void NextGarbage(uint8_t* out, size_t n);
+
+  const NetFaultConfig& config() const { return config_; }
+
+  size_t injected_partial() const { return injected_partial_; }
+  size_t injected_disconnect() const { return injected_disconnect_; }
+  size_t injected_garbage() const { return injected_garbage_; }
+  size_t injected_stall() const { return injected_stall_; }
+  size_t injected_total() const {
+    return injected_partial_ + injected_disconnect_ + injected_garbage_ +
+           injected_stall_;
+  }
+
+ private:
+  NetFaultConfig config_;
+  std::mt19937_64 rng_;
+  size_t injected_partial_ = 0;
+  size_t injected_disconnect_ = 0;
+  size_t injected_garbage_ = 0;
+  size_t injected_stall_ = 0;
+};
+
+}  // namespace dbc

@@ -1,0 +1,110 @@
+#include "dbc/net/ingest_source.h"
+
+#include <utility>
+
+namespace dbc {
+
+bool ParseOverloadPolicy(const std::string& text, OverloadPolicy* out) {
+  if (text == "shed") {
+    *out = OverloadPolicy::kShed;
+    return true;
+  }
+  if (text == "degrade") {
+    *out = OverloadPolicy::kDegrade;
+    return true;
+  }
+  return false;
+}
+
+NetIngestSource::NetIngestSource(NetIngestConfig config) : config_(config) {}
+
+FrameDecision NetIngestSource::OnFrame(const FrameContext& context,
+                                       const Frame& frame) {
+  if (frame.header.type != FrameType::kTelemetryBatch) {
+    // The ingest edge speaks telemetry only; an alert batch here is a
+    // misdirected client.
+    return FrameDecision::kNackFatal;
+  }
+  TelemetryBatchPayload batch;
+  if (!DecodeTelemetryBatchPayload(frame.payload, &batch)) {
+    return FrameDecision::kNackFatal;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.size() >= config_.queue_high_watermark) {
+    if (config_.policy == OverloadPolicy::kShed) {
+      ++shed_total_;
+      Inc(shed_metric_);
+      return FrameDecision::kNackOverload;
+    }
+    if (context.priority < config_.degrade_min_priority) {
+      // Deliberate loss: the batch is acknowledged (no retransmit) and
+      // dropped before the pipeline ever sees it.
+      ++degraded_total_;
+      Inc(degraded_metric_);
+      return FrameDecision::kAckDegraded;
+    }
+  }
+  CommittedBatch committed;
+  committed.client_id = context.client_id;
+  committed.priority = context.priority;
+  committed.unit = std::move(batch.unit);
+  committed.samples = std::move(batch.samples);
+  const size_t samples = committed.samples.size();
+  queue_.push_back(std::move(committed));
+  ++committed_total_;
+  samples_committed_total_ += samples;
+  Inc(committed_metric_);
+  Inc(samples_metric_, samples);
+  Set(queue_gauge_, static_cast<double>(queue_.size()));
+  return FrameDecision::kAck;
+}
+
+std::vector<CommittedBatch> NetIngestSource::TakeCommitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CommittedBatch> out(std::make_move_iterator(queue_.begin()),
+                                  std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  Set(queue_gauge_, 0.0);
+  return out;
+}
+
+size_t NetIngestSource::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t NetIngestSource::committed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_total_;
+}
+
+size_t NetIngestSource::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_total_;
+}
+
+size_t NetIngestSource::degraded_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_total_;
+}
+
+size_t NetIngestSource::samples_committed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_committed_total_;
+}
+
+void NetIngestSource::EnableObservability(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_metric_ = registry->GetCounter("dbc_net_ingest_batches_total",
+                                           {{"outcome", "committed"}});
+  shed_metric_ = registry->GetCounter("dbc_net_ingest_batches_total",
+                                      {{"outcome", "shed"}});
+  degraded_metric_ = registry->GetCounter("dbc_net_ingest_batches_total",
+                                          {{"outcome", "degraded"}});
+  samples_metric_ =
+      registry->GetCounter("dbc_net_ingest_samples_committed_total");
+  queue_gauge_ = registry->GetGauge("dbc_net_ingest_queue_batches");
+}
+
+}  // namespace dbc

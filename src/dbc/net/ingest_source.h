@@ -1,0 +1,91 @@
+// Server-side admission layer between the serving edge and the detection
+// pipeline. NetIngestSource is the FrameHandler for the telemetry edge: it
+// decodes batches on the serve thread, applies the overload policy against a
+// bounded committed-batch queue, and hands committed work to the consumer
+// thread (which feeds TelemetryIngestor / DetectionEngine) via TakeCommitted.
+//
+// Overload policy knob (DESIGN.md §11):
+//   kShed    — over the watermark every batch gets a retryable NACK; nothing
+//              is lost, senders back off and the queue drains (latency cost).
+//   kDegrade — over the watermark the LOWEST-priority batches are admitted
+//              and deliberately dropped (ACK-degraded: the sender must not
+//              retransmit); higher priorities still commit (coverage cost).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dbc/cloudsim/telemetry.h"
+#include "dbc/net/server.h"
+#include "dbc/obs/metrics.h"
+
+namespace dbc {
+
+enum class OverloadPolicy : uint8_t { kShed, kDegrade };
+
+/// Parses "shed"/"degrade"; returns false on anything else.
+bool ParseOverloadPolicy(const std::string& text, OverloadPolicy* out);
+
+struct NetIngestConfig {
+  /// Committed batches buffered before the overload policy engages.
+  size_t queue_high_watermark = 256;
+  OverloadPolicy policy = OverloadPolicy::kShed;
+  /// Under kDegrade, batches with priority strictly below this are dropped
+  /// while the queue is over the watermark.
+  uint8_t degrade_min_priority = 1;
+};
+
+/// One admitted telemetry batch, in arrival (commit) order.
+struct CommittedBatch {
+  uint64_t client_id = 0;
+  uint8_t priority = 0;
+  std::string unit;
+  std::vector<TelemetrySample> samples;
+};
+
+class NetIngestSource : public FrameHandler {
+ public:
+  explicit NetIngestSource(NetIngestConfig config);
+
+  /// Serve-thread only (NetServer contract).
+  FrameDecision OnFrame(const FrameContext& context,
+                        const Frame& frame) override;
+
+  /// Drains every committed batch, in commit order. Any thread.
+  std::vector<CommittedBatch> TakeCommitted();
+
+  /// Committed batches currently waiting for the consumer. Any thread.
+  size_t queued() const;
+
+  size_t committed_total() const;
+  size_t shed_total() const;
+  size_t degraded_total() const;
+  size_t samples_committed_total() const;
+
+  /// Creates dbc_net_ingest_* metrics on `registry`.
+  void EnableObservability(MetricsRegistry* registry);
+
+  const NetIngestConfig& config() const { return config_; }
+
+ private:
+  NetIngestConfig config_;
+
+  mutable std::mutex mu_;
+  std::deque<CommittedBatch> queue_;
+  size_t committed_total_ = 0;
+  size_t shed_total_ = 0;
+  size_t degraded_total_ = 0;
+  size_t samples_committed_total_ = 0;
+
+  Counter* committed_metric_ = nullptr;
+  Counter* shed_metric_ = nullptr;
+  Counter* degraded_metric_ = nullptr;
+  Counter* samples_metric_ = nullptr;
+  Gauge* queue_gauge_ = nullptr;
+};
+
+}  // namespace dbc

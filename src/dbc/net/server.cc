@@ -1,0 +1,360 @@
+#include "dbc/net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <utility>
+
+namespace dbc {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+NetServer::NetServer(NetServerConfig config, FrameHandler* handler)
+    : config_(config), handler_(handler) {}
+
+NetServer::~NetServer() = default;
+
+Status NetServer::Listen() {
+  Result<Socket> listener = TcpListen(config_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener.value());
+  port_ = LocalPort(listener_);
+  return Status::Ok();
+}
+
+void NetServer::EnableObservability(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  metrics_.accepted = registry->GetCounter("dbc_net_connections_total",
+                                           {{"event", "accepted"}});
+  metrics_.rejected_flood = registry->GetCounter("dbc_net_connections_total",
+                                                 {{"event", "rejected-flood"}});
+  metrics_.closed_peer =
+      registry->GetCounter("dbc_net_closed_total", {{"reason", "peer"}});
+  metrics_.reaped_idle =
+      registry->GetCounter("dbc_net_closed_total", {{"reason", "idle"}});
+  metrics_.reaped_slow =
+      registry->GetCounter("dbc_net_closed_total", {{"reason", "slow"}});
+  metrics_.reaped_malformed =
+      registry->GetCounter("dbc_net_closed_total", {{"reason", "malformed"}});
+  metrics_.frames_hello =
+      registry->GetCounter("dbc_net_frames_total", {{"type", "hello"}});
+  metrics_.frames_telemetry =
+      registry->GetCounter("dbc_net_frames_total", {{"type", "telemetry"}});
+  metrics_.frames_alert =
+      registry->GetCounter("dbc_net_frames_total", {{"type", "alert"}});
+  metrics_.frames_malformed =
+      registry->GetCounter("dbc_net_frames_malformed_total");
+  metrics_.acks =
+      registry->GetCounter("dbc_net_replies_total", {{"kind", "ack"}});
+  metrics_.acks_degraded = registry->GetCounter("dbc_net_replies_total",
+                                                {{"kind", "ack-degraded"}});
+  metrics_.nacks_overload = registry->GetCounter(
+      "dbc_net_replies_total", {{"kind", "nack-overload"}});
+  metrics_.nacks_fatal =
+      registry->GetCounter("dbc_net_replies_total", {{"kind", "nack-fatal"}});
+  metrics_.duplicates = registry->GetCounter("dbc_net_duplicates_total");
+  metrics_.bytes_read = registry->GetCounter("dbc_net_bytes_total",
+                                             {{"direction", "read"}});
+  metrics_.bytes_written = registry->GetCounter("dbc_net_bytes_total",
+                                                {{"direction", "written"}});
+  metrics_.decode_seconds =
+      registry->GetHistogram("dbc_net_frame_decode_seconds");
+  metrics_.connections = registry->GetGauge("dbc_net_connections");
+  metrics_.buffered_bytes = registry->GetGauge("dbc_net_buffered_bytes");
+  observed_ = true;
+}
+
+size_t NetServer::PollOnce(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  fds.push_back({listener_.fd(), POLLIN, 0});
+  for (const auto& [fd, conn] : conns_) {
+    short events = 0;
+    // A quarantined connection only flushes its farewell NACK.
+    if (!conn.quarantined) events |= POLLIN;
+    if (conn.out.size() > conn.out_offset) events |= POLLOUT;
+    fds.push_back({fd, events, 0});
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  size_t dispatched = 0;
+  if (ready > 0) {
+    if ((fds[0].revents & POLLIN) != 0) AcceptPending();
+    for (size_t i = 1; i < fds.size(); ++i) {
+      const auto it = conns_.find(fds[i].fd);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      if ((fds[i].revents & POLLOUT) != 0) FlushWrites(conn);
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+          !conn.quarantined) {
+        dispatched += ServiceReads(conn);
+      }
+    }
+  }
+  ReapDeadConnections();
+  RecountBuffered();
+  Set(metrics_.connections, static_cast<double>(conns_.size()));
+  Set(metrics_.buffered_bytes, static_cast<double>(buffered_bytes_));
+  return dispatched;
+}
+
+void NetServer::Run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    PollOnce(/*timeout_ms=*/20);
+  }
+}
+
+void NetServer::AcceptPending() {
+  while (true) {
+    Socket conn(::accept(listener_.fd(), nullptr, nullptr));
+    if (!conn.valid()) return;  // EAGAIN or transient: next cycle
+    if (conns_.size() >= config_.max_connections) {
+      // Flood guard: shed at accept time, before any buffer exists for the
+      // connection. The close is the backpressure signal.
+      ++rejected_total_;
+      Inc(metrics_.rejected_flood);
+      continue;
+    }
+    if (!SetNonBlocking(conn, true).ok()) continue;
+    const int fd = conn.fd();
+    conns_.emplace(fd, Conn(std::move(conn), config_.max_payload, Now()));
+    connections_count_ = conns_.size();
+    ++accepted_total_;
+    Inc(metrics_.accepted);
+  }
+}
+
+size_t NetServer::ServiceReads(Conn& conn) {
+  uint8_t chunk[kReadChunk];
+  size_t dispatched = 0;
+  while (true) {
+    const IoResult io = ReadSome(conn.socket, chunk, sizeof(chunk));
+    if (io.bytes > 0) {
+      conn.last_activity = Now();
+      Inc(metrics_.bytes_read, io.bytes);
+      conn.decoder.Feed(chunk, io.bytes);
+      while (true) {
+        Frame frame;
+        Stopwatch decode_watch;
+        const WireVerdict verdict = conn.decoder.Next(&frame);
+        if (verdict == WireVerdict::kNeedMore) break;
+        if (verdict != WireVerdict::kFrame) {
+          ++malformed_frames_total_;
+          Inc(metrics_.frames_malformed);
+          Quarantine(conn, NackReason::kMalformed, /*seq=*/0);
+          return dispatched;
+        }
+        HandleFrame(conn, frame);
+        if (observed_) {
+          Observe(metrics_.decode_seconds, decode_watch.ElapsedSeconds());
+        }
+        ++dispatched;
+        if (conn.quarantined) return dispatched;
+      }
+      continue;
+    }
+    if (io.would_block) return dispatched;
+    // EOF or a connection-fatal errno: drop the connection.
+    conn.quarantined = true;
+    conn.out.clear();
+    conn.out_offset = 0;
+    Inc(metrics_.closed_peer);
+    return dispatched;
+  }
+}
+
+void NetServer::HandleFrame(Conn& conn, const Frame& frame) {
+  switch (frame.header.type) {
+    case FrameType::kHello: {
+      HelloPayload hello;
+      if (!DecodeHelloPayload(frame.payload, &hello) || hello.client_id == 0) {
+        ++malformed_frames_total_;
+        Inc(metrics_.frames_malformed);
+        Quarantine(conn, NackReason::kMalformed, frame.header.seq);
+        return;
+      }
+      Inc(metrics_.frames_hello);
+      conn.client_id = hello.client_id;
+      sessions_.try_emplace(hello.client_id);
+      SendReply(conn, FrameType::kAck, 0, frame.header.seq, {});
+      Inc(metrics_.acks);
+      return;
+    }
+    case FrameType::kTelemetryBatch:
+    case FrameType::kAlertBatch: {
+      Inc(frame.header.type == FrameType::kTelemetryBatch
+              ? metrics_.frames_telemetry
+              : metrics_.frames_alert);
+      if (conn.client_id == 0) {
+        // Data before Hello: no session to dedup against — protocol abuse.
+        Quarantine(conn, NackReason::kMalformed, frame.header.seq);
+        return;
+      }
+      Session& session = sessions_[conn.client_id];
+      if (frame.header.seq < session.next_seq) {
+        // Retransmission of an already-applied frame (the ACK was lost in a
+        // disconnect): re-ACK without re-applying — exactly-once semantics.
+        ++duplicates_total_;
+        Inc(metrics_.duplicates);
+        SendReply(conn, FrameType::kAck, 0, frame.header.seq, {});
+        Inc(metrics_.acks);
+        return;
+      }
+      if (frame.header.seq > session.next_seq) {
+        // A gap is impossible over one TCP stream unless the client is
+        // broken; admitting it would silently drop the missing frames.
+        Quarantine(conn, NackReason::kMalformed, frame.header.seq);
+        return;
+      }
+      if (buffered_bytes_ > config_.global_buffer_high_watermark) {
+        // Global watermark: protect server memory before the handler ever
+        // sees the frame. Retryable — the client backs off and resends.
+        NackPayload nack{NackReason::kOverload, config_.retry_after_ms};
+        SendReply(conn, FrameType::kNack, 0, frame.header.seq,
+                  EncodeNackPayload(nack));
+        Inc(metrics_.nacks_overload);
+        return;
+      }
+      FrameContext context;
+      context.client_id = conn.client_id;
+      context.seq = frame.header.seq;
+      context.priority = frame.header.priority;
+      switch (handler_->OnFrame(context, frame)) {
+        case FrameDecision::kAck:
+          session.next_seq = frame.header.seq + 1;
+          SendReply(conn, FrameType::kAck, 0, frame.header.seq, {});
+          Inc(metrics_.acks);
+          return;
+        case FrameDecision::kAckDegraded:
+          session.next_seq = frame.header.seq + 1;
+          SendReply(conn, FrameType::kAck, kAckFlagDegraded, frame.header.seq,
+                    {});
+          Inc(metrics_.acks_degraded);
+          return;
+        case FrameDecision::kNackOverload: {
+          NackPayload nack{NackReason::kOverload, config_.retry_after_ms};
+          SendReply(conn, FrameType::kNack, 0, frame.header.seq,
+                    EncodeNackPayload(nack));
+          Inc(metrics_.nacks_overload);
+          return;
+        }
+        case FrameDecision::kNackFatal:
+          Quarantine(conn, NackReason::kUnsupported, frame.header.seq);
+          return;
+      }
+      return;
+    }
+    case FrameType::kAck:
+    case FrameType::kNack:
+      // Replies flow server->client only; a client sending them is broken.
+      Quarantine(conn, NackReason::kUnsupported, frame.header.seq);
+      return;
+  }
+}
+
+void NetServer::SendReply(Conn& conn, FrameType type, uint8_t flags,
+                          uint64_t seq, const std::vector<uint8_t>& payload) {
+  if (conn.out.size() - conn.out_offset > config_.write_buffer_cap) {
+    // The peer stopped draining replies; queuing more would grow without
+    // bound. The reply is dropped — the client's timeout-and-retransmit
+    // machinery recovers once (if) the connection drains or is reaped.
+    return;
+  }
+  const std::vector<uint8_t> bytes = EncodeFrame(type, flags, /*priority=*/0,
+                                                 seq, payload);
+  conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+  FlushWrites(conn);
+}
+
+void NetServer::Quarantine(Conn& conn, NackReason reason, uint64_t seq) {
+  if (conn.quarantined) return;
+  ++quarantined_total_;
+  Inc(metrics_.reaped_malformed);
+  Inc(reason == NackReason::kOverload ? metrics_.nacks_overload
+                                      : metrics_.nacks_fatal);
+  NackPayload nack{reason, 0};
+  // Best-effort farewell so a well-meaning client learns why; the connection
+  // closes as soon as the write drains (or immediately if it cannot).
+  SendReply(conn, FrameType::kNack, 0, seq, EncodeNackPayload(nack));
+  conn.quarantined = true;
+}
+
+void NetServer::FlushWrites(Conn& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const IoResult io = WriteSome(conn.socket, conn.out.data() + conn.out_offset,
+                                  conn.out.size() - conn.out_offset);
+    if (io.bytes > 0) {
+      conn.out_offset += io.bytes;
+      conn.last_activity = Now();
+      Inc(metrics_.bytes_written, io.bytes);
+      continue;
+    }
+    if (io.would_block) break;
+    // Write error: the connection is dead; drop pending bytes so the reaper
+    // collects it as quarantined-with-nothing-to-flush.
+    conn.out.clear();
+    conn.out_offset = 0;
+    conn.quarantined = true;
+    return;
+  }
+  if (conn.out_offset == conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+  } else if (conn.out_offset > (1u << 16)) {
+    conn.out.erase(conn.out.begin(),
+                   conn.out.begin() + static_cast<ptrdiff_t>(conn.out_offset));
+    conn.out_offset = 0;
+  }
+}
+
+void NetServer::ReapDeadConnections() {
+  const double now = Now();
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Conn& conn = it->second;
+    const size_t pending = conn.out.size() - conn.out_offset;
+    // Slow-drain bookkeeping: note when the write buffer first crossed the
+    // cap, clear the mark once it drains back under.
+    if (pending > config_.write_buffer_cap) {
+      if (conn.slow_since < 0.0) conn.slow_since = now;
+    } else {
+      conn.slow_since = -1.0;
+    }
+
+    if (conn.quarantined && pending == 0) {
+      it = CloseConn(it);
+      continue;
+    }
+    if (conn.slow_since >= 0.0 &&
+        now - conn.slow_since > config_.slow_drain_timeout_seconds) {
+      ++reaped_slow_total_;
+      Inc(metrics_.reaped_slow);
+      it = CloseConn(it);
+      continue;
+    }
+    if (now - conn.last_activity > config_.idle_timeout_seconds) {
+      ++reaped_idle_total_;
+      Inc(metrics_.reaped_idle);
+      it = CloseConn(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
+std::map<int, NetServer::Conn>::iterator NetServer::CloseConn(
+    std::map<int, Conn>::iterator it) {
+  const auto next = conns_.erase(it);
+  connections_count_ = conns_.size();
+  return next;
+}
+
+void NetServer::RecountBuffered() {
+  size_t total = 0;
+  for (const auto& [fd, conn] : conns_) {
+    total += conn.decoder.buffered() + (conn.out.size() - conn.out_offset);
+  }
+  buffered_bytes_ = total;
+}
+
+}  // namespace dbc

@@ -1,0 +1,217 @@
+// Async serving edge: a poll(2)-based acceptor multiplexing every client
+// connection through one event loop, with explicit robustness machinery at
+// each layer (DESIGN.md §11):
+//
+//  - bounded per-connection read/write buffers — a client can never grow
+//    server memory past the watermarks;
+//  - idle and slow-drain deadlines with connection reaping;
+//  - malformed-frame hardening: any fatal FrameDecoder verdict quarantines
+//    exactly that connection (best-effort fatal NACK, then close) — the
+//    process never dies for a client's bytes;
+//  - sequence-numbered data frames with per-client sessions, so a client
+//    that retransmits after a lost ACK is re-ACKed without the frame being
+//    applied twice (exactly-once application, at-least-once delivery);
+//  - a global buffered-bytes watermark that NACKs new work with a retryable
+//    overload signal before memory runs away (connection storms).
+//
+// The loop runs wherever the caller wants it: PollOnce() for deterministic
+// single-thread tests, Run()/Stop() on a dedicated serve thread for benches
+// and the e2e path. All mutating methods are serve-thread-only; Stop() and
+// the stats accessors are safe from anywhere.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbc/common/status.h"
+#include "dbc/common/stopwatch.h"
+#include "dbc/net/socket.h"
+#include "dbc/net/wire.h"
+#include "dbc/obs/metrics.h"
+
+namespace dbc {
+
+/// What the application layer decided about one data frame.
+enum class FrameDecision : uint8_t {
+  kAck,           // applied; advance the session sequence
+  kAckDegraded,   // admitted but shed by the degrade policy; advances too
+  kNackOverload,  // retryable: client should back off and resend
+  kNackFatal,     // protocol abuse: NACK + quarantine the connection
+};
+
+/// Per-frame context handed to the handler.
+struct FrameContext {
+  uint64_t client_id = 0;
+  uint64_t seq = 0;
+  uint8_t priority = 0;
+};
+
+/// Application hook: the ingest edge and the alert collector both implement
+/// this. Called from the serve thread only, once per non-duplicate data
+/// frame; duplicates are re-ACKed by the server without a callback.
+class FrameHandler {
+ public:
+  virtual ~FrameHandler() = default;
+  virtual FrameDecision OnFrame(const FrameContext& context,
+                                const Frame& frame) = 0;
+};
+
+/// Serving-edge policy knobs.
+struct NetServerConfig {
+  /// Loopback port to bind; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+  /// Accepted connections beyond this are closed immediately (flood guard).
+  size_t max_connections = 64;
+  /// Per-frame payload cap handed to each connection's FrameDecoder.
+  size_t max_payload = kWireDefaultMaxPayload;
+  /// Per-connection pending-egress cap; beyond it the peer counts as slow.
+  size_t write_buffer_cap = 1u << 20;
+  /// Total buffered bytes (read + write, all connections) above which new
+  /// data frames are NACKed with a retryable overload signal.
+  size_t global_buffer_high_watermark = 8u << 20;
+  /// Reap a connection with no bytes in or out for this long.
+  double idle_timeout_seconds = 30.0;
+  /// Reap a connection whose write buffer has stayed above the cap this long
+  /// (a stalled reader that stopped draining its ACKs/alerts).
+  double slow_drain_timeout_seconds = 5.0;
+  /// Backoff hint stamped into retryable NACKs.
+  uint32_t retry_after_ms = 20;
+};
+
+/// Serve-side observability (null = off), DESIGN.md §9/§11 naming.
+struct NetServerMetrics {
+  Counter* accepted = nullptr;            // connections accepted
+  Counter* rejected_flood = nullptr;      // accept-and-close over the cap
+  Counter* closed_peer = nullptr;         // orderly peer close / error
+  Counter* reaped_idle = nullptr;
+  Counter* reaped_slow = nullptr;
+  Counter* reaped_malformed = nullptr;    // quarantined connections
+  Counter* frames_hello = nullptr;
+  Counter* frames_telemetry = nullptr;
+  Counter* frames_alert = nullptr;
+  Counter* frames_malformed = nullptr;    // fatal decode verdicts
+  Counter* acks = nullptr;
+  Counter* acks_degraded = nullptr;
+  Counter* nacks_overload = nullptr;
+  Counter* nacks_fatal = nullptr;
+  Counter* duplicates = nullptr;          // re-ACKed retransmissions
+  Counter* bytes_read = nullptr;
+  Counter* bytes_written = nullptr;
+  Histogram* decode_seconds = nullptr;    // per-frame decode+dispatch time
+  Gauge* connections = nullptr;
+  Gauge* buffered_bytes = nullptr;
+};
+
+/// poll(2)-multiplexed frame server. Construction does not touch the
+/// network; Listen() binds.
+class NetServer {
+ public:
+  NetServer(NetServerConfig config, FrameHandler* handler);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds the loopback listener. Fails with kIoError when the port is
+  /// taken.
+  Status Listen();
+
+  /// The bound port (valid after Listen(); resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// One event-loop cycle: accept, read + decode + dispatch, flush writes,
+  /// reap deadline violators. Returns the number of frames dispatched.
+  /// Serve-thread only.
+  size_t PollOnce(int timeout_ms);
+
+  /// Loops PollOnce until Stop(); meant for a dedicated serve thread.
+  void Run();
+
+  /// Signals Run() to return after the current cycle. Any thread.
+  void Stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Live connection count. Any thread (atomic mirror of the conn map).
+  size_t connections() const { return connections_count_; }
+  /// Total decoder + write-buffer bytes currently held. Any thread.
+  size_t buffered_bytes() const { return buffered_bytes_; }
+
+  /// Lifetime stats (also mirrored to the metrics registry when enabled).
+  size_t accepted_total() const { return accepted_total_; }
+  size_t rejected_total() const { return rejected_total_; }
+  size_t reaped_idle_total() const { return reaped_idle_total_; }
+  size_t reaped_slow_total() const { return reaped_slow_total_; }
+  size_t quarantined_total() const { return quarantined_total_; }
+  size_t malformed_frames_total() const { return malformed_frames_total_; }
+  size_t duplicates_total() const { return duplicates_total_; }
+
+  const NetServerConfig& config() const { return config_; }
+
+  /// Creates dbc_net_* metrics on `registry` (must outlive the server).
+  void EnableObservability(MetricsRegistry* registry);
+
+ private:
+  struct Conn {
+    Socket socket;
+    FrameDecoder decoder;
+    std::vector<uint8_t> out;     // pending egress bytes
+    size_t out_offset = 0;        // already-written prefix of `out`
+    double last_activity = 0.0;   // seconds on clock_
+    double slow_since = -1.0;     // when `out` first exceeded the cap
+    uint64_t client_id = 0;       // 0 until a Hello arrives
+    bool quarantined = false;     // stop reading; close once writes flush
+
+    explicit Conn(Socket s, size_t max_payload, double now)
+        : socket(std::move(s)), decoder(max_payload), last_activity(now) {}
+  };
+
+  /// Per-client (not per-connection) retransmit-dedup state.
+  struct Session {
+    uint64_t next_seq = 1;  // first unapplied data-frame sequence number
+  };
+
+  double Now() const { return clock_.ElapsedSeconds(); }
+
+  void AcceptPending();
+  /// Reads, decodes, and dispatches for one connection; returns frames
+  /// dispatched.
+  size_t ServiceReads(Conn& conn);
+  void HandleFrame(Conn& conn, const Frame& frame);
+  void SendReply(Conn& conn, FrameType type, uint8_t flags, uint64_t seq,
+                 const std::vector<uint8_t>& payload);
+  void Quarantine(Conn& conn, NackReason reason, uint64_t seq);
+  void FlushWrites(Conn& conn);
+  void ReapDeadConnections();
+  std::map<int, Conn>::iterator CloseConn(std::map<int, Conn>::iterator it);
+  void RecountBuffered();
+
+  NetServerConfig config_;
+  FrameHandler* handler_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  Stopwatch clock_;
+  std::map<int, Conn> conns_;           // keyed by fd
+  std::map<uint64_t, Session> sessions_;  // keyed by client_id
+  std::atomic<bool> stop_{false};
+
+  // Written by the serve thread only; atomic so the "any thread" stats
+  // accessors (tests and scrapers poll them live) read clean values.
+  std::atomic<size_t> buffered_bytes_{0};
+  std::atomic<size_t> connections_count_{0};
+  std::atomic<size_t> accepted_total_{0};
+  std::atomic<size_t> rejected_total_{0};
+  std::atomic<size_t> reaped_idle_total_{0};
+  std::atomic<size_t> reaped_slow_total_{0};
+  std::atomic<size_t> quarantined_total_{0};
+  std::atomic<size_t> malformed_frames_total_{0};
+  std::atomic<size_t> duplicates_total_{0};
+
+  NetServerMetrics metrics_;
+  bool observed_ = false;  // gates the decode-latency clock reads
+};
+
+}  // namespace dbc

@@ -1,0 +1,156 @@
+#include "dbc/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dbc {
+
+namespace {
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> TcpListen(uint16_t port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Status::IoError(ErrnoMessage("socket"));
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError(ErrnoMessage("bind"));
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    return Status::IoError(ErrnoMessage("listen"));
+  }
+  const Status status = SetNonBlocking(sock, true);
+  if (!status.ok()) return status;
+  return sock;
+}
+
+uint16_t LocalPort(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<Socket> TcpConnect(uint16_t port, int timeout_ms) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Status::IoError(ErrnoMessage("socket"));
+  Status status = SetNonBlocking(sock, true);
+  if (!status.ok()) return status;
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      return Status::IoError(ErrnoMessage("connect"));
+    }
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) return Status::IoError("connect timed out");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      errno = err;
+      return Status::IoError(ErrnoMessage("connect"));
+    }
+  }
+  status = SetNonBlocking(sock, false);
+  if (!status.ok()) return status;
+  // Frames are small and latency-sensitive: disable Nagle coalescing.
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Status SetNonBlocking(const Socket& socket, bool enable) {
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0) return Status::IoError(ErrnoMessage("fcntl(F_GETFL)"));
+  const int next = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(socket.fd(), F_SETFL, next) != 0) {
+    return Status::IoError(ErrnoMessage("fcntl(F_SETFL)"));
+  }
+  return Status::Ok();
+}
+
+IoResult ReadSome(const Socket& socket, uint8_t* buf, size_t cap) {
+  IoResult result;
+  while (true) {
+    const ssize_t n = ::read(socket.fd(), buf, cap);
+    if (n > 0) {
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      result.eof = true;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.would_block = true;
+      return result;
+    }
+    result.error = true;
+    return result;
+  }
+}
+
+IoResult WriteSome(const Socket& socket, const uint8_t* data, size_t size) {
+  IoResult result;
+  while (true) {
+    const ssize_t n = ::send(socket.fd(), data, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.would_block = true;
+      return result;
+    }
+    result.error = true;
+    return result;
+  }
+}
+
+bool WaitReadable(const Socket& socket, int timeout_ms) {
+  pollfd pfd{socket.fd(), POLLIN, 0};
+  while (true) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready > 0) return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    if (ready == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace dbc

@@ -1,0 +1,73 @@
+// Thin RAII wrapper over POSIX TCP sockets plus the handful of loopback
+// helpers the serving edge needs. Everything binds/dials 127.0.0.1 only: the
+// edge is exercised in-process (tests, benches) and an accidental external
+// bind would be a security hole, not a feature.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "dbc/common/status.h"
+
+namespace dbc {
+
+/// Owning file-descriptor handle (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one non-blocking read/write attempt.
+struct IoResult {
+  size_t bytes = 0;
+  bool would_block = false;  // EAGAIN/EWOULDBLOCK: retry after poll
+  bool eof = false;          // orderly shutdown by the peer (read only)
+  bool error = false;        // connection-fatal errno (reset, pipe, ...)
+};
+
+/// Creates a non-blocking loopback listener on `port` (0 = ephemeral).
+Result<Socket> TcpListen(uint16_t port, int backlog = 64);
+
+/// The locally bound port of a listening or connected socket.
+uint16_t LocalPort(const Socket& socket);
+
+/// Blocking loopback connect with a deadline; the returned socket is left in
+/// blocking mode (clients poll explicitly where they need timeouts).
+Result<Socket> TcpConnect(uint16_t port, int timeout_ms);
+
+/// Switches O_NONBLOCK on or off.
+Status SetNonBlocking(const Socket& socket, bool enable);
+
+/// One read(2) attempt of up to `cap` bytes, EINTR-retried.
+IoResult ReadSome(const Socket& socket, uint8_t* buf, size_t cap);
+
+/// One write(2) attempt, EINTR-retried; SIGPIPE suppressed.
+IoResult WriteSome(const Socket& socket, const uint8_t* data, size_t size);
+
+/// Waits until the socket is readable (POLLIN) or `timeout_ms` elapses.
+/// Returns true when readable.
+bool WaitReadable(const Socket& socket, int timeout_ms);
+
+}  // namespace dbc

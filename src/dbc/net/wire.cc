@@ -1,0 +1,366 @@
+#include "dbc/net/wire.h"
+
+#include <array>
+#include <cstring>
+
+namespace dbc {
+
+namespace {
+
+/// Byte-level little-endian writers. The wire format is explicitly
+/// little-endian regardless of host order.
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Bounds-checked sequential reader: every Read* either fills its output
+/// from bytes it provably owns or returns false. No decode path touches the
+/// underlying buffer directly, so the codecs cannot over-read by
+/// construction.
+class PayloadReader {
+ public:
+  PayloadReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+
+  bool ReadU16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = static_cast<uint16_t>(data_[pos_]) |
+         static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadF64(double* v) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(bits));
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string* out) {
+    if (remaining() < n) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+bool ValidFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kHello) &&
+         type <= static_cast<uint8_t>(FrameType::kNack);
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+const std::string& WireVerdictName(WireVerdict verdict) {
+  static const std::array<std::string, 9> kNames = {
+      "frame",     "need-more", "bad-magic",         "bad-version",
+      "bad-type",  "oversized", "bad-crc",           "malformed-payload",
+      "poisoned",
+  };
+  return kNames[static_cast<size_t>(verdict)];
+}
+
+bool WireVerdictFatal(WireVerdict verdict) {
+  switch (verdict) {
+    case WireVerdict::kFrame:
+    case WireVerdict::kNeedMore:
+      return false;
+    case WireVerdict::kBadMagic:
+    case WireVerdict::kBadVersion:
+    case WireVerdict::kBadType:
+    case WireVerdict::kOversized:
+    case WireVerdict::kBadCrc:
+    case WireVerdict::kMalformedPayload:
+    case WireVerdict::kPoisoned:
+      return true;
+  }
+  return true;
+}
+
+FrameDecoder::FrameDecoder(size_t max_payload) : max_payload_(max_payload) {}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t size) {
+  if (poisoned_ || size == 0) return;
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+void FrameDecoder::Feed(const std::vector<uint8_t>& data) {
+  Feed(data.data(), data.size());
+}
+
+WireVerdict FrameDecoder::Next(Frame* out) {
+  if (poisoned_) return WireVerdict::kPoisoned;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kWireHeaderSize) return WireVerdict::kNeedMore;
+
+  PayloadReader header(buffer_.data() + consumed_, kWireHeaderSize);
+  uint32_t magic = 0, payload_len = 0, payload_crc = 0;
+  uint8_t version = 0, type = 0, flags = 0, priority = 0;
+  uint64_t seq = 0;
+  // The header reader cannot fail — kWireHeaderSize bytes are present — but
+  // each field is still validated before the length field is trusted.
+  header.ReadU32(&magic);
+  header.ReadU8(&version);
+  header.ReadU8(&type);
+  header.ReadU8(&flags);
+  header.ReadU8(&priority);
+  header.ReadU64(&seq);
+  header.ReadU32(&payload_len);
+  header.ReadU32(&payload_crc);
+
+  if (magic != kWireMagic) {
+    poisoned_ = true;
+    return WireVerdict::kBadMagic;
+  }
+  if (version != kWireVersion) {
+    poisoned_ = true;
+    return WireVerdict::kBadVersion;
+  }
+  if (!ValidFrameType(type)) {
+    poisoned_ = true;
+    return WireVerdict::kBadType;
+  }
+  // Length is validated BEFORE any allocation or wait: an attacker-supplied
+  // 4 GiB length field costs nothing.
+  if (payload_len > max_payload_) {
+    poisoned_ = true;
+    return WireVerdict::kOversized;
+  }
+  if (available < kWireHeaderSize + payload_len) return WireVerdict::kNeedMore;
+
+  const uint8_t* payload = buffer_.data() + consumed_ + kWireHeaderSize;
+  if (Crc32(payload, payload_len) != payload_crc) {
+    poisoned_ = true;
+    return WireVerdict::kBadCrc;
+  }
+
+  out->header.version = version;
+  out->header.type = static_cast<FrameType>(type);
+  out->header.flags = flags;
+  out->header.priority = priority;
+  out->header.seq = seq;
+  out->header.payload_len = payload_len;
+  out->header.payload_crc = payload_crc;
+  out->payload.assign(payload, payload + payload_len);
+
+  consumed_ += kWireHeaderSize + payload_len;
+  // Compact once the dead prefix dominates, keeping the buffer bounded by
+  // one frame plus one read chunk.
+  if (consumed_ > (1u << 16) && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  ++frames_decoded_;
+  return WireVerdict::kFrame;
+}
+
+std::vector<uint8_t> EncodeFrame(FrameType type, uint8_t flags,
+                                 uint8_t priority, uint64_t seq,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kWireHeaderSize + payload.size());
+  PutU32(&out, kWireMagic);
+  PutU8(&out, kWireVersion);
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU8(&out, flags);
+  PutU8(&out, priority);
+  PutU64(&out, seq);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, Crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<uint8_t> EncodeHelloPayload(const HelloPayload& hello) {
+  std::vector<uint8_t> out;
+  PutU64(&out, hello.client_id);
+  return out;
+}
+
+bool DecodeHelloPayload(const std::vector<uint8_t>& bytes, HelloPayload* out) {
+  PayloadReader reader(bytes.data(), bytes.size());
+  if (!reader.ReadU64(&out->client_id)) return false;
+  return reader.remaining() == 0;
+}
+
+std::vector<uint8_t> EncodeTelemetryBatchPayload(
+    const TelemetryBatchPayload& batch) {
+  std::vector<uint8_t> out;
+  const size_t unit_len = std::min(batch.unit.size(), kWireMaxUnitName);
+  const size_t count = std::min(batch.samples.size(), kWireMaxBatchSamples);
+  out.reserve(4 + unit_len + count * (8 + 4 + 8 * kNumKpis));
+  PutU16(&out, static_cast<uint16_t>(unit_len));
+  out.insert(out.end(), batch.unit.begin(),
+             batch.unit.begin() + static_cast<ptrdiff_t>(unit_len));
+  PutU16(&out, static_cast<uint16_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const TelemetrySample& sample = batch.samples[i];
+    PutU64(&out, sample.tick);
+    PutU32(&out, static_cast<uint32_t>(sample.db));
+    for (double v : sample.values) PutF64(&out, v);
+  }
+  return out;
+}
+
+bool DecodeTelemetryBatchPayload(const std::vector<uint8_t>& bytes,
+                                 TelemetryBatchPayload* out) {
+  PayloadReader reader(bytes.data(), bytes.size());
+  uint16_t unit_len = 0;
+  if (!reader.ReadU16(&unit_len)) return false;
+  if (unit_len > kWireMaxUnitName) return false;
+  if (!reader.ReadBytes(unit_len, &out->unit)) return false;
+  uint16_t count = 0;
+  if (!reader.ReadU16(&count)) return false;
+  if (count > kWireMaxBatchSamples) return false;
+  out->samples.clear();
+  out->samples.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    TelemetrySample sample;
+    uint64_t tick = 0;
+    uint32_t db = 0;
+    if (!reader.ReadU64(&tick) || !reader.ReadU32(&db)) return false;
+    sample.tick = static_cast<size_t>(tick);
+    sample.db = static_cast<size_t>(db);
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      if (!reader.ReadF64(&sample.values[k])) return false;
+    }
+    out->samples.push_back(sample);
+  }
+  // Trailing junk means the producer and this decoder disagree on the
+  // format: reject rather than silently ignore.
+  return reader.remaining() == 0;
+}
+
+std::vector<uint8_t> EncodeAlertBatchPayload(const AlertBatchPayload& batch) {
+  std::vector<uint8_t> out;
+  const size_t count = std::min(batch.records.size(), kWireMaxAlertRecords);
+  PutU16(&out, static_cast<uint16_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const std::string& record = batch.records[i];
+    const size_t len = std::min(record.size(), kWireMaxAlertRecordBytes);
+    PutU32(&out, static_cast<uint32_t>(len));
+    out.insert(out.end(), record.begin(),
+               record.begin() + static_cast<ptrdiff_t>(len));
+  }
+  return out;
+}
+
+bool DecodeAlertBatchPayload(const std::vector<uint8_t>& bytes,
+                             AlertBatchPayload* out) {
+  PayloadReader reader(bytes.data(), bytes.size());
+  uint16_t count = 0;
+  if (!reader.ReadU16(&count)) return false;
+  if (count > kWireMaxAlertRecords) return false;
+  out->records.clear();
+  out->records.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!reader.ReadU32(&len)) return false;
+    if (len > kWireMaxAlertRecordBytes) return false;
+    std::string record;
+    if (!reader.ReadBytes(len, &record)) return false;
+    out->records.push_back(std::move(record));
+  }
+  return reader.remaining() == 0;
+}
+
+std::vector<uint8_t> EncodeNackPayload(const NackPayload& nack) {
+  std::vector<uint8_t> out;
+  PutU8(&out, static_cast<uint8_t>(nack.reason));
+  PutU32(&out, nack.retry_after_ms);
+  return out;
+}
+
+bool DecodeNackPayload(const std::vector<uint8_t>& bytes, NackPayload* out) {
+  PayloadReader reader(bytes.data(), bytes.size());
+  uint8_t reason = 0;
+  if (!reader.ReadU8(&reason)) return false;
+  if (reason < static_cast<uint8_t>(NackReason::kOverload) ||
+      reason > static_cast<uint8_t>(NackReason::kUnsupported)) {
+    return false;
+  }
+  out->reason = static_cast<NackReason>(reason);
+  if (!reader.ReadU32(&out->retry_after_ms)) return false;
+  return reader.remaining() == 0;
+}
+
+}  // namespace dbc

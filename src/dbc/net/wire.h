@@ -1,0 +1,179 @@
+// Length-prefixed binary wire protocol for the serving edge (DESIGN.md §11):
+// a versioned 24-byte frame header (magic, version, type, flags, priority,
+// sequence number, payload length, payload CRC32) followed by a typed
+// payload. Telemetry flows in as per-tick KPI batches, alerts flow out as
+// framed JSON records, and every data frame is acknowledged (ACK) or
+// rejected (NACK, retryable or fatal) so clients can retransmit without the
+// server ever applying a batch twice.
+//
+// Hardening contract: FrameDecoder is an incremental, bounds-checked parser.
+// It never reads past the bytes it was fed, never allocates more than the
+// configured payload cap, and classifies every failure as a typed
+// WireVerdict. Fatal verdicts (bad magic/version/type, oversized length, CRC
+// mismatch) poison the decoder: framing is lost and the owning connection
+// must be quarantined — the connection dies, the process never does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbc/cloudsim/telemetry.h"
+
+namespace dbc {
+
+/// First four bytes of every frame (little-endian on the wire).
+inline constexpr uint32_t kWireMagic = 0xDBC0F4A3u;
+/// Protocol version carried in every header.
+inline constexpr uint8_t kWireVersion = 1;
+/// Fixed header size in bytes.
+inline constexpr size_t kWireHeaderSize = 24;
+/// Default per-frame payload cap (decoder refuses larger length fields
+/// before allocating anything).
+inline constexpr size_t kWireDefaultMaxPayload = 1u << 20;
+
+/// Payload structural limits, enforced by the codecs on both sides.
+inline constexpr size_t kWireMaxUnitName = 256;
+inline constexpr size_t kWireMaxBatchSamples = 4096;
+inline constexpr size_t kWireMaxAlertRecords = 1024;
+inline constexpr size_t kWireMaxAlertRecordBytes = 1u << 16;
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) of `size` bytes.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+/// Frame types. kHello opens a session (client_id payload) so sequence-based
+/// retransmit deduplication survives reconnects; kTelemetryBatch / kAlertBatch
+/// are the data planes; kAck / kNack close the loop per data frame.
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kTelemetryBatch = 2,
+  kAlertBatch = 3,
+  kAck = 4,
+  kNack = 5,
+};
+
+/// ACK flag: the frame was admitted but its batch was dropped by the
+/// `degrade` overload policy (lowest-priority shedding). The client must NOT
+/// retransmit — the drop is deliberate, counted, and surfaced in metrics.
+inline constexpr uint8_t kAckFlagDegraded = 0x01;
+
+/// Why a frame was NACKed. kOverload is retryable (back off and resend);
+/// kMalformed and kUnsupported are fatal to the connection.
+enum class NackReason : uint8_t {
+  kOverload = 1,
+  kMalformed = 2,
+  kUnsupported = 3,
+};
+
+/// Decoded frame header (magic validated and stripped).
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  FrameType type = FrameType::kHello;
+  uint8_t flags = 0;
+  /// Batch priority (higher = more important); the `degrade` overload policy
+  /// sheds the lowest priorities first.
+  uint8_t priority = 0;
+  /// Per-session sequence number of data frames (1-based, contiguous);
+  /// echoes the request's seq on ACK/NACK. 0 for kHello.
+  uint64_t seq = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// One complete decoded frame.
+struct Frame {
+  FrameHeader header;
+  std::vector<uint8_t> payload;
+};
+
+/// Typed outcome of one FrameDecoder::Next() call.
+enum class WireVerdict : uint8_t {
+  kFrame = 0,         // *out holds a validated frame
+  kNeedMore,          // no complete frame buffered yet
+  kBadMagic,          // fatal: stream is not (or no longer) framed
+  kBadVersion,        // fatal: peer speaks a different protocol revision
+  kBadType,           // fatal: unknown frame type
+  kOversized,         // fatal: length field exceeds the payload cap
+  kBadCrc,            // fatal: payload corrupted in flight
+  kMalformedPayload,  // payload codec rejected the bytes (frame-level, fatal)
+  kPoisoned,          // a previous fatal verdict already killed the stream
+};
+
+/// Display name ("frame", "need-more", "bad-magic", ...).
+const std::string& WireVerdictName(WireVerdict verdict);
+
+/// True for verdicts that lose framing: the connection must be quarantined.
+bool WireVerdictFatal(WireVerdict verdict);
+
+/// Incremental frame parser over a bounded internal buffer. Feed() bytes as
+/// they arrive; Next() yields frames until kNeedMore. Any fatal verdict
+/// poisons the decoder permanently (framing cannot be recovered after
+/// corruption — the transport must reconnect).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kWireDefaultMaxPayload);
+
+  void Feed(const uint8_t* data, size_t size);
+  void Feed(const std::vector<uint8_t>& data);
+
+  /// Decodes the next buffered frame into *out (required non-null).
+  WireVerdict Next(Frame* out);
+
+  bool poisoned() const { return poisoned_; }
+  /// Bytes buffered but not yet consumed by a decoded frame.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+  size_t frames_decoded() const { return frames_decoded_; }
+  size_t max_payload() const { return max_payload_; }
+
+ private:
+  size_t max_payload_;
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+  bool poisoned_ = false;
+  size_t frames_decoded_ = 0;
+};
+
+/// Serializes a complete frame (header + CRC stamped) ready for the socket.
+std::vector<uint8_t> EncodeFrame(FrameType type, uint8_t flags,
+                                 uint8_t priority, uint64_t seq,
+                                 const std::vector<uint8_t>& payload);
+
+/// kHello payload: the stable client identity that keys retransmit
+/// deduplication across reconnects.
+struct HelloPayload {
+  uint64_t client_id = 0;
+};
+std::vector<uint8_t> EncodeHelloPayload(const HelloPayload& hello);
+bool DecodeHelloPayload(const std::vector<uint8_t>& bytes, HelloPayload* out);
+
+/// kTelemetryBatch payload: one unit's collector samples for (usually) one
+/// wall-clock step. Values round-trip bit-exactly, NaNs included — degraded
+/// feeds are the point of the ingest layer, not a wire error.
+struct TelemetryBatchPayload {
+  std::string unit;
+  std::vector<TelemetrySample> samples;
+};
+std::vector<uint8_t> EncodeTelemetryBatchPayload(
+    const TelemetryBatchPayload& batch);
+bool DecodeTelemetryBatchPayload(const std::vector<uint8_t>& bytes,
+                                 TelemetryBatchPayload* out);
+
+/// kAlertBatch payload: framed alert records (one JSON object per alert,
+/// FormatAlertJson) — the egress data plane.
+struct AlertBatchPayload {
+  std::vector<std::string> records;
+};
+std::vector<uint8_t> EncodeAlertBatchPayload(const AlertBatchPayload& batch);
+bool DecodeAlertBatchPayload(const std::vector<uint8_t>& bytes,
+                             AlertBatchPayload* out);
+
+/// kNack payload: reason + server backoff hint.
+struct NackPayload {
+  NackReason reason = NackReason::kOverload;
+  uint32_t retry_after_ms = 0;
+};
+std::vector<uint8_t> EncodeNackPayload(const NackPayload& nack);
+bool DecodeNackPayload(const std::vector<uint8_t>& bytes, NackPayload* out);
+
+}  // namespace dbc

@@ -1,5 +1,5 @@
-// Alert-sink tests: bounded back-pressure behaviour and CSV/JSONL file
-// output formatting.
+// Alert-sink tests: bounded back-pressure behaviour, multi-writer thread
+// safety (run under TSan in CI), and CSV/JSONL file output formatting.
 #include "dbc/dbcatcher/alert_sink.h"
 
 #include <gtest/gtest.h>
@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace dbc {
@@ -58,6 +59,53 @@ TEST(BoundedAlertSinkTest, EvictsOldestAndCountsBackPressure) {
   EXPECT_EQ(sink.size(), 0u);
   // Counters survive Take (they describe lifetime back-pressure).
   EXPECT_EQ(sink.dropped(), 6u);
+}
+
+TEST(BoundedAlertSinkTest, ConcurrentPublishersLoseNoUpdates) {
+  // One sink shared by several engines' drain threads while a console thread
+  // polls dropped() and Take(): the published/dropped counters and the
+  // buffer must stay mutually consistent. Before the sink was internally
+  // locked, a Publish racing another Publish (or a Take) could lose
+  // evictions — this test runs under TSan in CI to pin the fix.
+  constexpr size_t kWriters = 4;
+  constexpr size_t kBatches = 200;
+  constexpr size_t kPerBatch = 3;
+  BoundedAlertSink sink(16);
+
+  std::vector<Alert> taken;
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&sink, w] {
+      for (size_t b = 0; b < kBatches; ++b) {
+        std::vector<Alert> batch;
+        for (size_t i = 0; i < kPerBatch; ++i) {
+          batch.push_back(MakeAlert(w * kBatches + b + i));
+        }
+        sink.Publish(batch);
+        // Poll the back-pressure counter the way the engine's obs layer
+        // does after each publish.
+        (void)sink.dropped();
+      }
+    });
+  }
+  std::thread reader([&sink, &taken] {
+    for (int i = 0; i < 50; ++i) {
+      std::vector<Alert> page = sink.Take();
+      taken.insert(taken.end(), page.begin(), page.end());
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  reader.join();
+
+  const size_t expected = kWriters * kBatches * kPerBatch;
+  EXPECT_EQ(sink.published(), expected);
+  // Conservation: every published alert was either taken or evicted. A lost
+  // update breaks this identity.
+  const std::vector<Alert> rest = sink.Take();
+  taken.insert(taken.end(), rest.begin(), rest.end());
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(taken.size() + sink.dropped(), expected);
 }
 
 TEST(BoundedAlertSinkTest, ZeroCapacityIsClampedToOne) {

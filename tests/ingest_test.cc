@@ -416,7 +416,58 @@ IngestMetrics WireIngestMetrics(MetricsRegistry& registry) {
       registry.GetCounter("dbc_ingest_collector_down_total");
   m.feeds_joined = registry.GetCounter("dbc_ingest_feeds_joined_total");
   m.feeds_retired = registry.GetCounter("dbc_ingest_feeds_retired_total");
+  m.rejected_unknown_db = registry.GetCounter("dbc_ingest_rejected_total",
+                                              {{"reason", "unknown-db"}});
+  m.rejected_departed = registry.GetCounter("dbc_ingest_rejected_total",
+                                            {{"reason", "departed-db"}});
+  m.rejected_late =
+      registry.GetCounter("dbc_ingest_rejected_total", {{"reason", "late"}});
   return m;
+}
+
+TEST(TelemetryIngestorTest, EveryOfferRejectPathIsCounted) {
+  // No silent rejects: each Offer() failure reason has its own
+  // dbc_ingest_rejected_total{reason=...} counter. The unknown-db path in
+  // particular used to return InvalidArgument without touching any metric.
+  MetricsRegistry registry;
+  TelemetryIngestor ingestor(2);
+  ingestor.set_metrics(WireIngestMetrics(registry));
+
+  const Counter* unknown = registry.FindCounter("dbc_ingest_rejected_total",
+                                                {{"reason", "unknown-db"}});
+  const Counter* departed = registry.FindCounter("dbc_ingest_rejected_total",
+                                                 {{"reason", "departed-db"}});
+  const Counter* late =
+      registry.FindCounter("dbc_ingest_rejected_total", {{"reason", "late"}});
+  ASSERT_NE(unknown, nullptr);
+  ASSERT_NE(departed, nullptr);
+  ASSERT_NE(late, nullptr);
+
+  // unknown-db: index outside the unit.
+  EXPECT_EQ(ingestor.Offer(MakeSample(0, 7, 1.0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(unknown->value(), 1u);
+
+  // late: behind the sealed horizon.
+  for (size_t t = 0; t < 3; ++t) {
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 0, 1.0)).ok());
+    ASSERT_TRUE(ingestor.Offer(MakeSample(t, 1, 2.0)).ok());
+  }
+  ingestor.Drain();
+  EXPECT_EQ(ingestor.Offer(MakeSample(0, 0, 9.0)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(late->value(), 1u);
+
+  // departed-db: feed already retired.
+  ASSERT_TRUE(ingestor.RemoveDb(1).ok());
+  EXPECT_EQ(ingestor.Offer(MakeSample(5, 1, 3.0)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(departed->value(), 1u);
+
+  // Reject reasons are disjoint: one increment each, and the legacy
+  // late-drop counter agrees with the by-reason split it subsumes.
+  EXPECT_EQ(unknown->value(), 1u);
+  EXPECT_EQ(ingestor.late_drops(), 2u);  // late + departed
 }
 
 TEST(TelemetryIngestorTest, MetricsMatchObservedGroundTruth) {

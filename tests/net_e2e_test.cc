@@ -1,0 +1,305 @@
+// End-to-end loopback equivalence for the serving edge: a fixed-seed fleet
+// (anomalies + degraded feeds + topology churn) pushed through the network
+// ingest path must produce a BIT-IDENTICAL alert stream to the in-process
+// path — full-precision doubles included — and the alert egress leg must
+// deliver the exact same JSON records to a network collector. Both must hold
+// under NetFaultInjector chaos at a 10% fault rate: faults may delay a batch
+// (retransmits, reconnects, backoff), they may never corrupt it or drop a
+// committed tick.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dbc/cloudsim/telemetry.h"
+#include "dbc/cloudsim/topology.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/dbcatcher/detection_engine.h"
+#include "dbc/net/client.h"
+#include "dbc/net/egress.h"
+#include "dbc/net/fault.h"
+#include "dbc/net/ingest_source.h"
+#include "dbc/net/server.h"
+
+namespace dbc {
+namespace {
+
+std::string UnitName(size_t u) { return "unit-" + std::to_string(u); }
+
+constexpr size_t kUnits = 4;
+constexpr size_t kTicks = 120;
+
+struct Scenario {
+  std::vector<UnitData> units;
+  std::vector<std::vector<std::vector<TelemetrySample>>> batches;
+  std::vector<std::vector<TopologyUpdate>> updates;
+  size_t initial_dbs = 0;
+  size_t steps = 0;
+};
+
+Scenario BuildScenario() {
+  Scenario scenario;
+  for (size_t u = 0; u < kUnits; ++u) {
+    UnitSimConfig config;
+    config.ticks = kTicks;
+    const double ratio = (u % 2 == 0) ? 0.08 : 0.0;
+    config.inject_anomalies = ratio > 0.0;
+    config.anomalies.target_ratio = ratio;
+    config.inject_topology = (u % 2 == 1);
+    config.topology.head_clearance = 40;
+    config.topology.min_gap = 50;
+    scenario.initial_dbs = config.num_databases;
+    Rng rng(52000 + 31 * u);
+    PeriodicProfileParams pp;
+    auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+    scenario.units.push_back(SimulateUnit(config, *profile, true, rng.Fork(2)));
+
+    TelemetryFaultConfig faults;
+    faults.target_ratio = 0.06;
+    Rng fault_rng(87000 + 13 * u);
+    scenario.batches.push_back(
+        DegradeUnit(scenario.units.back(), faults, fault_rng));
+    scenario.updates.push_back(
+        ControlPlaneUpdates(scenario.units.back().topology));
+    scenario.steps = std::max(scenario.steps, scenario.batches.back().size());
+  }
+  return scenario;
+}
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Same canonical serialization as golden_regression_test: every field, full
+/// precision, so "bit-identical" means exactly that.
+std::string Serialize(const std::vector<Alert>& alerts) {
+  std::ostringstream out;
+  for (const Alert& a : alerts) {
+    out << AlertClassName(a.alert_class) << '|' << a.unit << "|db=" << a.db
+        << "|begin=" << a.begin << "|end=" << a.end
+        << "|consumed=" << a.consumed << "|msg=" << a.message;
+    const DiagnosticReport& r = a.report;
+    out << "|state=" << static_cast<int>(r.state) << "|rb=" << r.begin
+        << "|re=" << r.end << "|cap=" << Num(r.capacity_growth_vs_peers);
+    out << "|findings=";
+    for (size_t f = 0; f < r.findings.size(); ++f) {
+      if (f > 0) out << ';';
+      out << static_cast<int>(r.findings[f].kpi) << ':'
+          << Num(r.findings[f].score) << ':'
+          << static_cast<int>(r.findings[f].level) << ':'
+          << static_cast<int>(r.findings[f].shape) << ':'
+          << Num(r.findings[f].level_ratio);
+    }
+    out << "|hypotheses=";
+    for (size_t h = 0; h < r.hypotheses.size(); ++h) {
+      if (h > 0) out << ';';
+      out << r.hypotheses[h].family << ':' << Num(r.hypotheses[h].confidence);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::unique_ptr<DetectionEngine> MakeEngine(const Scenario& scenario) {
+  DetectionEngineConfig config;
+  config.workers = 2;
+  auto engine = std::make_unique<DetectionEngine>(config);
+  for (size_t u = 0; u < kUnits; ++u) {
+    std::vector<DbRole> roles(
+        scenario.units[u].roles.begin(),
+        scenario.units[u].roles.begin() +
+            static_cast<ptrdiff_t>(scenario.initial_dbs));
+    engine->RegisterUnit(UnitName(u), roles);
+  }
+  return engine;
+}
+
+void ApplyStepTopology(DetectionEngine* engine, const Scenario& scenario,
+                       std::vector<size_t>* next_update, size_t step) {
+  for (size_t u = 0; u < kUnits; ++u) {
+    auto& next = (*next_update)[u];
+    const auto& updates = scenario.updates[u];
+    while (next < updates.size() && updates[next].tick <= step) {
+      ASSERT_TRUE(engine->ApplyTopology(UnitName(u), updates[next++]).ok());
+    }
+  }
+}
+
+/// Reference: the whole scenario fed directly into the engine.
+std::vector<Alert> RunInProcess(const Scenario& scenario) {
+  auto engine = MakeEngine(scenario);
+  std::vector<Alert> all;
+  std::vector<size_t> next_update(kUnits, 0);
+  for (size_t step = 0; step < scenario.steps; ++step) {
+    ApplyStepTopology(engine.get(), scenario, &next_update, step);
+    for (size_t u = 0; u < kUnits; ++u) {
+      if (step >= scenario.batches[u].size()) continue;
+      for (const TelemetrySample& sample : scenario.batches[u][step]) {
+        EXPECT_TRUE(engine->IngestSample(UnitName(u), sample).ok());
+      }
+    }
+    for (Alert& alert : engine->Drain()) all.push_back(std::move(alert));
+  }
+  for (size_t u = 0; u < kUnits; ++u) {
+    EXPECT_TRUE(engine->FlushTelemetry(UnitName(u)).ok());
+  }
+  for (Alert& alert : engine->Drain()) all.push_back(std::move(alert));
+  return all;
+}
+
+/// The same scenario with BOTH data planes over loopback TCP: telemetry in
+/// through NetIngestSource, alerts out through NetAlertSink to a collector.
+/// `fault_rate` > 0 runs every client through seeded chaos.
+struct NetRunResult {
+  std::vector<Alert> alerts;           // drained engine-side (for identity)
+  std::vector<std::string> collected;  // JSON records at the collector
+  size_t faults_injected = 0;
+  size_t retries = 0;
+};
+
+NetRunResult RunOverNetwork(const Scenario& scenario, double fault_rate) {
+  NetRunResult result;
+
+  // Telemetry edge.
+  NetIngestSource source({});
+  NetServer ingest_server({}, &source);
+  EXPECT_TRUE(ingest_server.Listen().ok());
+  std::thread ingest_thread([&] { ingest_server.Run(); });
+
+  // Alert egress edge.
+  AlertCollector collector;
+  NetServer alert_server({}, &collector);
+  EXPECT_TRUE(alert_server.Listen().ok());
+  std::thread alert_thread([&] { alert_server.Run(); });
+
+  {
+    std::vector<std::unique_ptr<NetFaultInjector>> injectors;
+    std::vector<std::unique_ptr<NetClient>> clients;
+    for (size_t u = 0; u < kUnits; ++u) {
+      NetFaultConfig chaos;
+      chaos.seed = 900 + u;
+      chaos.fault_rate = fault_rate;
+      injectors.push_back(std::make_unique<NetFaultInjector>(chaos));
+      NetClientConfig config;
+      config.port = ingest_server.port();
+      config.client_id = 100 + u;
+      config.base_backoff_ms = 1;
+      config.max_backoff_ms = 16;
+      clients.push_back(
+          std::make_unique<NetClient>(config, injectors.back().get()));
+    }
+    NetFaultConfig egress_chaos;
+    egress_chaos.seed = 1700;
+    egress_chaos.fault_rate = fault_rate;
+    NetFaultInjector egress_injector(egress_chaos);
+    NetClientConfig egress_config;
+    egress_config.port = alert_server.port();
+    egress_config.client_id = 999;
+    egress_config.base_backoff_ms = 1;
+    egress_config.max_backoff_ms = 16;
+    NetClient egress_client(egress_config, &egress_injector);
+    auto sink = std::make_shared<NetAlertSink>(NetAlertSinkConfig{},
+                                               &egress_client);
+
+    auto engine = MakeEngine(scenario);
+    engine->AddSink(sink);
+    std::vector<size_t> next_update(kUnits, 0);
+    for (size_t step = 0; step < scenario.steps; ++step) {
+      ApplyStepTopology(engine.get(), scenario, &next_update, step);
+      // Per-step barrier: every unit's batch is shipped and acknowledged
+      // before the committed set is drained into the engine, so a step's
+      // sample set is exactly the in-process one regardless of what chaos
+      // did to individual deliveries.
+      for (size_t u = 0; u < kUnits; ++u) {
+        if (step >= scenario.batches[u].size()) continue;
+        if (scenario.batches[u][step].empty()) continue;
+        TelemetryBatchPayload batch;
+        batch.unit = UnitName(u);
+        batch.samples = scenario.batches[u][step];
+        const Result<SendOutcome> sent =
+            clients[u]->Send(FrameType::kTelemetryBatch, /*priority=*/1,
+                             EncodeTelemetryBatchPayload(batch));
+        EXPECT_TRUE(sent.ok()) << sent.status().message();
+        if (sent.ok()) {
+          EXPECT_FALSE(sent.value().degraded);
+        }
+      }
+      for (CommittedBatch& committed : source.TakeCommitted()) {
+        for (const TelemetrySample& sample : committed.samples) {
+          EXPECT_TRUE(engine->IngestSample(committed.unit, sample).ok());
+        }
+      }
+      for (Alert& alert : engine->Drain()) {
+        result.alerts.push_back(std::move(alert));
+      }
+      EXPECT_TRUE(sink->Flush().ok());
+    }
+    for (size_t u = 0; u < kUnits; ++u) {
+      EXPECT_TRUE(engine->FlushTelemetry(UnitName(u)).ok());
+    }
+    for (Alert& alert : engine->Drain()) {
+      result.alerts.push_back(std::move(alert));
+    }
+    EXPECT_TRUE(sink->Flush().ok());
+    EXPECT_EQ(sink->spooled(), 0u);
+
+    for (const auto& injector : injectors) {
+      result.faults_injected += injector->injected_total();
+    }
+    result.faults_injected += egress_injector.injected_total();
+    for (const auto& client : clients) {
+      result.retries += client->retries_total();
+    }
+    result.retries += egress_client.retries_total();
+  }
+
+  ingest_server.Stop();
+  alert_server.Stop();
+  ingest_thread.join();
+  alert_thread.join();
+  result.collected = collector.TakeRecords();
+  return result;
+}
+
+std::vector<std::string> JsonRecords(const std::vector<Alert>& alerts) {
+  std::vector<std::string> records;
+  records.reserve(alerts.size());
+  for (const Alert& alert : alerts) {
+    records.push_back(FormatAlertJson(alert));
+  }
+  return records;
+}
+
+TEST(NetE2E, LoopbackPathIsBitIdenticalToInProcess) {
+  const Scenario scenario = BuildScenario();
+  const std::vector<Alert> baseline = RunInProcess(scenario);
+  ASSERT_FALSE(baseline.empty());
+
+  const NetRunResult net = RunOverNetwork(scenario, /*fault_rate=*/0.0);
+  EXPECT_EQ(net.faults_injected, 0u);
+  ASSERT_EQ(Serialize(net.alerts), Serialize(baseline));
+  // Egress leg: the collector holds exactly the alerts, as JSON, in order.
+  EXPECT_EQ(net.collected, JsonRecords(baseline));
+}
+
+TEST(NetE2E, ChaosAtTenPercentDelaysButNeverCorruptsOrDrops) {
+  const Scenario scenario = BuildScenario();
+  const std::vector<Alert> baseline = RunInProcess(scenario);
+  ASSERT_FALSE(baseline.empty());
+
+  const NetRunResult net = RunOverNetwork(scenario, /*fault_rate=*/0.10);
+  // The chaos must actually have happened for this test to mean anything.
+  EXPECT_GT(net.faults_injected, 0u);
+  // And the output must not care: identical bytes, identical egress records.
+  ASSERT_EQ(Serialize(net.alerts), Serialize(baseline));
+  EXPECT_EQ(net.collected, JsonRecords(baseline));
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,358 @@
+// Serving-edge behaviour tests: handshake + ACK, retransmit deduplication,
+// malformed-byte quarantine (connection dies, process doesn't), connection
+// flood rejection, idle reaping, both overload policies, client
+// retry-with-backoff, and the dbc_net_* metric surfaces. Runs under TSan and
+// ASan+UBSan in CI — the serve thread and the client/test thread interact
+// through sockets and the locked commit queue only.
+#include "dbc/net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "dbc/net/client.h"
+#include "dbc/net/egress.h"
+#include "dbc/net/ingest_source.h"
+#include "dbc/net/socket.h"
+#include "dbc/net/wire.h"
+#include "dbc/obs/metrics.h"
+
+namespace dbc {
+namespace {
+
+using namespace std::chrono_literals;
+
+TelemetrySample MakeSample(size_t tick, size_t db, double base) {
+  TelemetrySample sample;
+  sample.tick = tick;
+  sample.db = db;
+  for (size_t k = 0; k < kNumKpis; ++k) {
+    sample.values[k] = base + static_cast<double>(k);
+  }
+  return sample;
+}
+
+std::vector<uint8_t> EncodeBatch(const std::string& unit, size_t tick) {
+  TelemetryBatchPayload batch;
+  batch.unit = unit;
+  batch.samples.push_back(MakeSample(tick, 0, 1.0));
+  return EncodeTelemetryBatchPayload(batch);
+}
+
+/// Server + serve thread with RAII shutdown.
+class ServerFixture {
+ public:
+  ServerFixture(NetServerConfig config, FrameHandler* handler)
+      : server_(config, handler) {
+    EXPECT_TRUE(server_.Listen().ok());
+    thread_ = std::thread([this] { server_.Run(); });
+  }
+
+  ~ServerFixture() {
+    server_.Stop();
+    thread_.join();
+  }
+
+  NetServer& server() { return server_; }
+  uint16_t port() const { return server_.port(); }
+
+ private:
+  NetServer server_;
+  std::thread thread_;
+};
+
+NetClientConfig FastClient(uint16_t port, uint64_t client_id,
+                           int max_attempts = 16) {
+  NetClientConfig config;
+  config.port = port;
+  config.client_id = client_id;
+  config.reply_timeout_ms = 2000;
+  config.max_attempts = max_attempts;
+  config.base_backoff_ms = 1;
+  config.max_backoff_ms = 8;
+  return config;
+}
+
+template <typename Pred>
+bool WaitFor(Pred pred, std::chrono::milliseconds deadline = 5000ms) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+TEST(NetServer, HelloThenBatchCommits) {
+  NetIngestSource source({});
+  ServerFixture fixture({}, &source);
+
+  NetClient client(FastClient(fixture.port(), 7));
+  ASSERT_TRUE(client.Connect().ok());
+  const Result<SendOutcome> sent = client.Send(
+      FrameType::kTelemetryBatch, /*priority=*/1, EncodeBatch("unit-a", 5));
+  ASSERT_TRUE(sent.ok());
+  EXPECT_FALSE(sent.value().degraded);
+  EXPECT_EQ(sent.value().seq, 1u);
+
+  const std::vector<CommittedBatch> committed = source.TakeCommitted();
+  ASSERT_EQ(committed.size(), 1u);
+  EXPECT_EQ(committed[0].unit, "unit-a");
+  EXPECT_EQ(committed[0].client_id, 7u);
+  EXPECT_EQ(committed[0].priority, 1);
+  ASSERT_EQ(committed[0].samples.size(), 1u);
+  EXPECT_EQ(committed[0].samples[0].tick, 5u);
+}
+
+TEST(NetServer, RetransmitAfterReconnectIsDeduplicated) {
+  NetIngestSource source({});
+  ServerFixture fixture({}, &source);
+
+  // First client delivers seq 1 and dies (simulating an ACK lost in a
+  // disconnect right after the server applied the frame).
+  {
+    NetClient client(FastClient(fixture.port(), 42));
+    ASSERT_TRUE(
+        client.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 1)).ok());
+  }
+  // A fresh connection for the same client_id retransmits seq 1: the session
+  // layer must re-ACK without re-committing the batch.
+  {
+    NetClient client(FastClient(fixture.port(), 42));
+    const Result<SendOutcome> resent =
+        client.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 1));
+    ASSERT_TRUE(resent.ok());
+  }
+  ASSERT_TRUE(WaitFor(
+      [&] { return fixture.server().duplicates_total() == 1; }));
+  EXPECT_EQ(source.committed_total(), 1u);
+  EXPECT_EQ(source.TakeCommitted().size(), 1u);
+}
+
+TEST(NetServer, GarbageBytesQuarantineTheConnectionOnly) {
+  NetIngestSource source({});
+  ServerFixture fixture({}, &source);
+
+  Result<Socket> raw = TcpConnect(fixture.port(), 2000);
+  ASSERT_TRUE(raw.ok());
+  // At least a full header of garbage: the decoder (correctly) withholds
+  // judgement on fewer than kWireHeaderSize bytes.
+  std::vector<uint8_t> garbage(kWireHeaderSize + 8, 0xFE);
+  garbage[0] = 0x00;
+  WriteSome(raw.value(), garbage.data(), garbage.size());
+  ASSERT_TRUE(WaitFor([&] {
+    return fixture.server().quarantined_total() == 1 &&
+           fixture.server().connections() == 0;
+  }));
+  EXPECT_EQ(fixture.server().malformed_frames_total(), 1u);
+
+  // The process (and the edge) survived: a well-formed client still works.
+  NetClient client(FastClient(fixture.port(), 2));
+  EXPECT_TRUE(
+      client.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 1)).ok());
+}
+
+TEST(NetServer, TruncatedFrameThenCleanReconnectRecovers) {
+  NetIngestSource source({});
+  ServerFixture fixture({}, &source);
+
+  {
+    Result<Socket> raw = TcpConnect(fixture.port(), 2000);
+    ASSERT_TRUE(raw.ok());
+    const std::vector<uint8_t> frame =
+        EncodeFrame(FrameType::kHello, 0, 0, 0, EncodeHelloPayload({9}));
+    // Half a frame, then vanish mid-write.
+    WriteSome(raw.value(), frame.data(), frame.size() / 2);
+  }
+  // The dropped connection must be collected without counting as malformed.
+  ASSERT_TRUE(WaitFor([&] { return fixture.server().connections() == 0; }));
+  EXPECT_EQ(fixture.server().malformed_frames_total(), 0u);
+
+  NetClient client(FastClient(fixture.port(), 9));
+  EXPECT_TRUE(
+      client.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 3)).ok());
+  EXPECT_EQ(source.TakeCommitted().size(), 1u);
+}
+
+TEST(NetServer, ConnectionFloodIsShedAtAccept) {
+  NetIngestSource source({});
+  NetServerConfig config;
+  config.max_connections = 2;
+  ServerFixture fixture(config, &source);
+
+  std::vector<Socket> held;
+  for (int i = 0; i < 2; ++i) {
+    Result<Socket> sock = TcpConnect(fixture.port(), 2000);
+    ASSERT_TRUE(sock.ok());
+    held.push_back(std::move(sock.value()));
+  }
+  ASSERT_TRUE(WaitFor([&] { return fixture.server().connections() == 2; }));
+
+  // Overflow connections are accepted and immediately closed.
+  for (int i = 0; i < 3; ++i) {
+    Result<Socket> extra = TcpConnect(fixture.port(), 2000);
+    ASSERT_TRUE(extra.ok());  // TCP connects; the server closes right after
+  }
+  ASSERT_TRUE(WaitFor([&] { return fixture.server().rejected_total() >= 3; }));
+  EXPECT_EQ(fixture.server().connections(), 2u);
+}
+
+TEST(NetServer, IdleConnectionsAreReaped) {
+  NetIngestSource source({});
+  NetServerConfig config;
+  config.idle_timeout_seconds = 0.05;
+  ServerFixture fixture(config, &source);
+
+  Result<Socket> idle = TcpConnect(fixture.port(), 2000);
+  ASSERT_TRUE(idle.ok());
+  ASSERT_TRUE(WaitFor([&] { return fixture.server().reaped_idle_total() == 1; }));
+  EXPECT_EQ(fixture.server().connections(), 0u);
+}
+
+TEST(NetServer, ShedPolicyNacksOverWatermarkAndRecovers) {
+  NetIngestConfig ingest;
+  ingest.queue_high_watermark = 1;
+  ingest.policy = OverloadPolicy::kShed;
+  NetIngestSource source(ingest);
+  ServerFixture fixture({}, &source);
+
+  NetClient client(FastClient(fixture.port(), 1));
+  ASSERT_TRUE(
+      client.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 1)).ok());
+
+  // Queue is at the watermark and nobody is draining: the next batch must be
+  // shed with retryable NACKs until the sender exhausts its attempts. (A
+  // distinct client_id — the same id would retransmit seq 1 and be deduped.)
+  NetClientConfig impatient = FastClient(fixture.port(), 2, /*max_attempts=*/3);
+  NetClient second(impatient);
+  const Result<SendOutcome> shed =
+      second.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 2));
+  EXPECT_FALSE(shed.ok());
+  EXPECT_GE(source.shed_total(), 3u);
+  EXPECT_GE(second.nacks_overload_total(), 3u);
+
+  // Draining the queue ends the overload: the SAME sequence number is then
+  // admitted — shed delayed the batch, it never lost it.
+  EXPECT_EQ(source.TakeCommitted().size(), 1u);
+  const Result<SendOutcome> retried =
+      second.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 2));
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(source.TakeCommitted().size(), 1u);
+}
+
+TEST(NetServer, DegradePolicyDropsOnlyLowPriority) {
+  NetIngestConfig ingest;
+  ingest.queue_high_watermark = 0;  // permanently over the watermark
+  ingest.policy = OverloadPolicy::kDegrade;
+  ingest.degrade_min_priority = 3;
+  NetIngestSource source(ingest);
+  ServerFixture fixture({}, &source);
+
+  NetClient client(FastClient(fixture.port(), 1));
+  const Result<SendOutcome> low = client.Send(
+      FrameType::kTelemetryBatch, /*priority=*/1, EncodeBatch("low", 1));
+  ASSERT_TRUE(low.ok());
+  EXPECT_TRUE(low.value().degraded);
+
+  const Result<SendOutcome> high = client.Send(
+      FrameType::kTelemetryBatch, /*priority=*/5, EncodeBatch("high", 1));
+  ASSERT_TRUE(high.ok());
+  EXPECT_FALSE(high.value().degraded);
+
+  // No NACKs under degrade; the low batch was deliberately dropped.
+  EXPECT_EQ(client.nacks_overload_total(), 0u);
+  EXPECT_EQ(source.degraded_total(), 1u);
+  const std::vector<CommittedBatch> committed = source.TakeCommitted();
+  ASSERT_EQ(committed.size(), 1u);
+  EXPECT_EQ(committed[0].unit, "high");
+}
+
+TEST(NetServer, AlertCollectorReceivesEgressBatches) {
+  AlertCollector collector;
+  ServerFixture fixture({}, &collector);
+
+  NetClient client(FastClient(fixture.port(), 3));
+  AlertBatchPayload batch;
+  batch.records = {"{\"unit\":\"u0\",\"db\":1}", "{\"unit\":\"u0\",\"db\":2}"};
+  ASSERT_TRUE(client
+                  .Send(FrameType::kAlertBatch, /*priority=*/4,
+                        EncodeAlertBatchPayload(batch))
+                  .ok());
+  EXPECT_EQ(collector.records_total(), 2u);
+  EXPECT_EQ(collector.TakeRecords(), batch.records);
+}
+
+TEST(NetServer, WrongDataPlaneIsFatal) {
+  // Telemetry sent to the alert collector gets the connection quarantined,
+  // and the client's retry loop eventually gives up (it is a programming
+  // error, not an overload).
+  AlertCollector collector;
+  ServerFixture fixture({}, &collector);
+
+  NetClient client(FastClient(fixture.port(), 3, /*max_attempts=*/2));
+  const Result<SendOutcome> sent =
+      client.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 1));
+  EXPECT_FALSE(sent.ok());
+  EXPECT_GE(fixture.server().quarantined_total(), 1u);
+}
+
+TEST(NetServer, MetricsSurfaceMatchesDesignNaming) {
+  MetricsRegistry registry;
+  NetIngestSource source({});
+  source.EnableObservability(&registry);
+  NetServerConfig config;
+  NetServer server(config, &source);
+  server.EnableObservability(&registry);
+  ASSERT_TRUE(server.Listen().ok());
+  std::thread serve([&] { server.Run(); });
+
+  bool sent_ok = false;
+  bool quarantine_seen = false;
+  {
+    NetClient client(FastClient(server.port(), 11));
+    sent_ok =
+        client.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 1)).ok();
+  }
+  {
+    Result<Socket> raw = TcpConnect(server.port(), 2000);
+    if (raw.ok()) {
+      const std::vector<uint8_t> garbage(kWireHeaderSize, 0x01);
+      WriteSome(raw.value(), garbage.data(), garbage.size());
+      quarantine_seen =
+          WaitFor([&] { return server.quarantined_total() == 1; });
+    }
+  }
+  // Join before asserting: an early ASSERT return would std::terminate on
+  // the un-joined serve thread.
+  server.Stop();
+  serve.join();
+  ASSERT_TRUE(sent_ok);
+  ASSERT_TRUE(quarantine_seen);
+
+  const Counter* accepted =
+      registry.FindCounter("dbc_net_connections_total", {{"event", "accepted"}});
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->value(), 2u);
+  const Counter* telemetry =
+      registry.FindCounter("dbc_net_frames_total", {{"type", "telemetry"}});
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_EQ(telemetry->value(), 1u);
+  const Counter* malformed =
+      registry.FindCounter("dbc_net_frames_malformed_total");
+  ASSERT_NE(malformed, nullptr);
+  EXPECT_EQ(malformed->value(), 1u);
+  const Counter* committed = registry.FindCounter(
+      "dbc_net_ingest_batches_total", {{"outcome", "committed"}});
+  ASSERT_NE(committed, nullptr);
+  EXPECT_EQ(committed->value(), 1u);
+  const Histogram* decode =
+      registry.FindHistogram("dbc_net_frame_decode_seconds");
+  ASSERT_NE(decode, nullptr);
+  EXPECT_GE(decode->count(), 2u);  // hello + telemetry
+  ASSERT_NE(registry.FindGauge("dbc_net_connections"), nullptr);
+  ASSERT_NE(registry.FindGauge("dbc_net_buffered_bytes"), nullptr);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,330 @@
+// Wire-protocol tests: frame/payload round-trips (NaNs included), the
+// incremental decoder, and the malformed-frame corpus the hardening contract
+// promises to survive — truncations at every byte boundary, oversized length
+// fields, corrupted magic/version/type/CRC, and seeded random garbage. The
+// decoder must never crash, never read past the bytes it was fed, and must
+// return the documented typed verdict for every corruption. This suite runs
+// under ASan+UBSan in CI (see .github/workflows/ci.yml).
+#include "dbc/net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+
+namespace dbc {
+namespace {
+
+TelemetrySample MakeSample(size_t tick, size_t db, double base) {
+  TelemetrySample sample;
+  sample.tick = tick;
+  sample.db = db;
+  for (size_t k = 0; k < kNumKpis; ++k) {
+    sample.values[k] = base + static_cast<double>(k) * 0.25;
+  }
+  return sample;
+}
+
+std::vector<uint8_t> EncodeTelemetryFrame(uint64_t seq = 1) {
+  TelemetryBatchPayload batch;
+  batch.unit = "unit-7";
+  batch.samples.push_back(MakeSample(11, 0, 1.5));
+  batch.samples.push_back(MakeSample(11, 1, -3.25));
+  return EncodeFrame(FrameType::kTelemetryBatch, 0, /*priority=*/2, seq,
+                     EncodeTelemetryBatchPayload(batch));
+}
+
+WireVerdict DecodeAll(const std::vector<uint8_t>& bytes, Frame* out) {
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  return decoder.Next(out);
+}
+
+TEST(WireCrc, MatchesKnownVector) {
+  // IEEE CRC32 of "123456789" is the classic check value.
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(data, sizeof(data)), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(WireRoundTrip, HelloPayload) {
+  HelloPayload hello{0x0123456789ABCDEFull};
+  HelloPayload out;
+  ASSERT_TRUE(DecodeHelloPayload(EncodeHelloPayload(hello), &out));
+  EXPECT_EQ(out.client_id, hello.client_id);
+}
+
+TEST(WireRoundTrip, TelemetryBatchBitExact) {
+  TelemetryBatchPayload batch;
+  batch.unit = "payments";
+  TelemetrySample weird = MakeSample(42, 3, 0.0);
+  weird.values[0] = std::numeric_limits<double>::quiet_NaN();
+  weird.values[1] = std::numeric_limits<double>::infinity();
+  weird.values[2] = -0.0;
+  weird.values[3] = std::numeric_limits<double>::denorm_min();
+  batch.samples.push_back(weird);
+
+  TelemetryBatchPayload out;
+  ASSERT_TRUE(
+      DecodeTelemetryBatchPayload(EncodeTelemetryBatchPayload(batch), &out));
+  EXPECT_EQ(out.unit, batch.unit);
+  ASSERT_EQ(out.samples.size(), 1u);
+  EXPECT_EQ(out.samples[0].tick, weird.tick);
+  EXPECT_EQ(out.samples[0].db, weird.db);
+  for (size_t k = 0; k < kNumKpis; ++k) {
+    // Bit-exact, not value-equal: NaN payloads and signed zeros must survive.
+    uint64_t a = 0;
+    uint64_t b = 0;
+    std::memcpy(&a, &batch.samples[0].values[k], sizeof(a));
+    std::memcpy(&b, &out.samples[0].values[k], sizeof(b));
+    EXPECT_EQ(a, b) << "kpi " << k;
+  }
+}
+
+TEST(WireRoundTrip, AlertBatchAndNack) {
+  AlertBatchPayload batch;
+  batch.records = {"{\"unit\":\"u0\"}", "{\"unit\":\"u1\",\"db\":3}"};
+  AlertBatchPayload alert_out;
+  ASSERT_TRUE(
+      DecodeAlertBatchPayload(EncodeAlertBatchPayload(batch), &alert_out));
+  EXPECT_EQ(alert_out.records, batch.records);
+
+  NackPayload nack{NackReason::kOverload, 125};
+  NackPayload nack_out;
+  ASSERT_TRUE(DecodeNackPayload(EncodeNackPayload(nack), &nack_out));
+  EXPECT_EQ(nack_out.reason, NackReason::kOverload);
+  EXPECT_EQ(nack_out.retry_after_ms, 125u);
+}
+
+TEST(WireRoundTrip, FullFrame) {
+  const std::vector<uint8_t> bytes = EncodeTelemetryFrame(/*seq=*/99);
+  Frame frame;
+  ASSERT_EQ(DecodeAll(bytes, &frame), WireVerdict::kFrame);
+  EXPECT_EQ(frame.header.version, kWireVersion);
+  EXPECT_EQ(frame.header.type, FrameType::kTelemetryBatch);
+  EXPECT_EQ(frame.header.priority, 2);
+  EXPECT_EQ(frame.header.seq, 99u);
+  TelemetryBatchPayload batch;
+  ASSERT_TRUE(DecodeTelemetryBatchPayload(frame.payload, &batch));
+  EXPECT_EQ(batch.unit, "unit-7");
+  EXPECT_EQ(batch.samples.size(), 2u);
+}
+
+TEST(WireDecoder, IncrementalOneBytePerFeed) {
+  const std::vector<uint8_t> bytes = EncodeTelemetryFrame();
+  FrameDecoder decoder;
+  Frame frame;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.Feed(&bytes[i], 1);
+    ASSERT_EQ(decoder.Next(&frame), WireVerdict::kNeedMore) << "byte " << i;
+  }
+  decoder.Feed(&bytes[bytes.size() - 1], 1);
+  ASSERT_EQ(decoder.Next(&frame), WireVerdict::kFrame);
+  EXPECT_EQ(decoder.buffered(), 0u);
+  EXPECT_EQ(decoder.frames_decoded(), 1u);
+}
+
+TEST(WireDecoder, BackToBackFramesInOneFeed) {
+  std::vector<uint8_t> stream = EncodeTelemetryFrame(1);
+  const std::vector<uint8_t> second = EncodeTelemetryFrame(2);
+  stream.insert(stream.end(), second.begin(), second.end());
+  FrameDecoder decoder;
+  decoder.Feed(stream);
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), WireVerdict::kFrame);
+  EXPECT_EQ(frame.header.seq, 1u);
+  ASSERT_EQ(decoder.Next(&frame), WireVerdict::kFrame);
+  EXPECT_EQ(frame.header.seq, 2u);
+  EXPECT_EQ(decoder.Next(&frame), WireVerdict::kNeedMore);
+}
+
+// --- malformed-frame corpus ------------------------------------------------
+
+TEST(WireMalformed, TruncationAtEveryBoundaryNeverCompletes) {
+  const std::vector<uint8_t> bytes = EncodeTelemetryFrame();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), cut);
+    Frame frame;
+    // A truncated prefix of a valid frame is always "need more", never a
+    // frame and never a crash — the decoder cannot know the peer died.
+    ASSERT_EQ(decoder.Next(&frame), WireVerdict::kNeedMore) << "cut " << cut;
+    ASSERT_FALSE(decoder.poisoned());
+  }
+}
+
+TEST(WireMalformed, BadMagicIsFatal) {
+  std::vector<uint8_t> bytes = EncodeTelemetryFrame();
+  bytes[0] ^= 0xFF;
+  Frame frame;
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  ASSERT_EQ(decoder.Next(&frame), WireVerdict::kBadMagic);
+  EXPECT_TRUE(decoder.poisoned());
+  // Poisoned is sticky: feeding a pristine frame afterwards cannot recover.
+  decoder.Feed(EncodeTelemetryFrame());
+  EXPECT_EQ(decoder.Next(&frame), WireVerdict::kPoisoned);
+}
+
+TEST(WireMalformed, BadVersionIsFatal) {
+  std::vector<uint8_t> bytes = EncodeTelemetryFrame();
+  bytes[4] = kWireVersion + 1;  // version byte follows the 4-byte magic
+  Frame frame;
+  EXPECT_EQ(DecodeAll(bytes, &frame), WireVerdict::kBadVersion);
+}
+
+TEST(WireMalformed, BadTypeIsFatal) {
+  std::vector<uint8_t> bytes = EncodeTelemetryFrame();
+  bytes[5] = 0xEE;  // type byte
+  Frame frame;
+  EXPECT_EQ(DecodeAll(bytes, &frame), WireVerdict::kBadType);
+}
+
+TEST(WireMalformed, OversizedLengthRejectedBeforeAllocation) {
+  std::vector<uint8_t> bytes = EncodeTelemetryFrame();
+  // payload_len field sits at offset 16 (after magic, ver, type, flags,
+  // priority, seq). A hostile length must be rejected from the header alone
+  // — long before the decoder would ever buffer that many bytes.
+  const uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(&bytes[16], &huge, sizeof(huge));
+  Frame frame;
+  EXPECT_EQ(DecodeAll(bytes, &frame), WireVerdict::kOversized);
+}
+
+TEST(WireMalformed, PayloadCapIsConfigurable) {
+  const std::vector<uint8_t> bytes = EncodeTelemetryFrame();
+  FrameDecoder tight(/*max_payload=*/8);
+  tight.Feed(bytes);
+  Frame frame;
+  EXPECT_EQ(tight.Next(&frame), WireVerdict::kOversized);
+}
+
+TEST(WireMalformed, CorruptedPayloadFailsCrc) {
+  std::vector<uint8_t> bytes = EncodeTelemetryFrame();
+  bytes[bytes.size() - 1] ^= 0x01;  // flip one payload bit
+  Frame frame;
+  EXPECT_EQ(DecodeAll(bytes, &frame), WireVerdict::kBadCrc);
+}
+
+TEST(WireMalformed, PayloadDecodersRejectTrailingBytes) {
+  std::vector<uint8_t> hello = EncodeHelloPayload(HelloPayload{7});
+  hello.push_back(0x00);
+  HelloPayload hello_out;
+  EXPECT_FALSE(DecodeHelloPayload(hello, &hello_out));
+
+  TelemetryBatchPayload batch;
+  batch.unit = "u";
+  batch.samples.push_back(MakeSample(1, 0, 0.0));
+  std::vector<uint8_t> telemetry = EncodeTelemetryBatchPayload(batch);
+  telemetry.push_back(0xAB);
+  TelemetryBatchPayload batch_out;
+  EXPECT_FALSE(DecodeTelemetryBatchPayload(telemetry, &batch_out));
+}
+
+TEST(WireMalformed, PayloadDecodersRejectTruncation) {
+  TelemetryBatchPayload batch;
+  batch.unit = "unit";
+  batch.samples.push_back(MakeSample(1, 0, 0.0));
+  const std::vector<uint8_t> full = EncodeTelemetryBatchPayload(batch);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    TelemetryBatchPayload out;
+    const std::vector<uint8_t> prefix(full.begin(),
+                                      full.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeTelemetryBatchPayload(prefix, &out)) << "cut " << cut;
+  }
+}
+
+TEST(WireMalformed, StructuralLimitsEnforced) {
+  // The encoder clamps its own output, so an over-limit field can only come
+  // from a hostile peer: craft the bytes by hand. A unit-name length above
+  // the structural cap must be rejected before any allocation sized by it.
+  const uint16_t unit_len = static_cast<uint16_t>(kWireMaxUnitName + 1);
+  std::vector<uint8_t> hostile;
+  hostile.push_back(static_cast<uint8_t>(unit_len));
+  hostile.push_back(static_cast<uint8_t>(unit_len >> 8));
+  hostile.insert(hostile.end(), unit_len, 'x');
+  hostile.push_back(0);  // count = 0
+  hostile.push_back(0);
+  TelemetryBatchPayload out;
+  EXPECT_FALSE(DecodeTelemetryBatchPayload(hostile, &out));
+
+  // Same for a hostile alert-record count.
+  std::vector<uint8_t> alerts;
+  const uint16_t too_many = static_cast<uint16_t>(kWireMaxAlertRecords + 1);
+  alerts.push_back(static_cast<uint8_t>(too_many));
+  alerts.push_back(static_cast<uint8_t>(too_many >> 8));
+  AlertBatchPayload alert_out;
+  EXPECT_FALSE(DecodeAlertBatchPayload(alerts, &alert_out));
+}
+
+TEST(WireMalformed, SeededFuzzNeverCrashes) {
+  // 10k random buffers through the full decode path. The assertion is the
+  // run itself (ASan/UBSan in CI): no crash, no over-read, and a frame
+  // verdict only when the buffer happens to be valid (never, for random
+  // bytes that cannot fake a CRC without also faking the magic).
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<size_t> length(0, 512);
+  size_t decoded_frames = 0;
+  for (int i = 0; i < 10000; ++i) {
+    std::vector<uint8_t> noise(length(rng));
+    for (uint8_t& b : noise) b = static_cast<uint8_t>(byte(rng));
+    FrameDecoder decoder;
+    decoder.Feed(noise);
+    Frame frame;
+    while (true) {
+      const WireVerdict verdict = decoder.Next(&frame);
+      if (verdict == WireVerdict::kFrame) {
+        ++decoded_frames;
+        continue;
+      }
+      break;
+    }
+  }
+  EXPECT_EQ(decoded_frames, 0u);
+}
+
+TEST(WireMalformed, EverySingleBitFlipOfValidFrame) {
+  // Exhaustive single-bit mutations of a valid frame: every flip must yield
+  // a typed verdict, and a frame only when the flipped field is one the
+  // protocol deliberately leaves unauthenticated (flags/priority/seq) — in
+  // which case the CRC still guarantees the payload itself is intact.
+  const std::vector<uint8_t> pristine = EncodeTelemetryFrame();
+  for (size_t pos = 0; pos < pristine.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mutated = pristine;
+      mutated[pos] ^= static_cast<uint8_t>(1u << bit);
+      FrameDecoder decoder;
+      decoder.Feed(mutated);
+      Frame frame;
+      const WireVerdict verdict = decoder.Next(&frame);
+      if (verdict == WireVerdict::kFrame) {
+        // Only the unauthenticated header fields may flip and still decode:
+        // flags/priority/seq (6..15), or a type-byte flip (5) that happens
+        // to land on another valid frame type — the payload codec for that
+        // type is the layer that rejects the mismatch.
+        const bool unauthenticated_field = (pos >= 5 && pos < 16);
+        EXPECT_TRUE(unauthenticated_field) << "pos " << pos << " bit " << bit;
+        if (frame.header.type == FrameType::kTelemetryBatch) {
+          TelemetryBatchPayload batch;
+          EXPECT_TRUE(DecodeTelemetryBatchPayload(frame.payload, &batch));
+        } else {
+          // Mistyped frame: the typed decoder must refuse the payload.
+          AlertBatchPayload batch;
+          EXPECT_FALSE(DecodeAlertBatchPayload(frame.payload, &batch));
+        }
+      } else if (verdict == WireVerdict::kNeedMore) {
+        // Legitimate only when the flip grew the length field: the decoder
+        // is now (forever) waiting for bytes that will not come — the
+        // transport's deadline reaps such connections.
+        const bool length_field = (pos >= 16 && pos < 20);
+        EXPECT_TRUE(length_field) << "pos " << pos << " bit " << bit;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbc

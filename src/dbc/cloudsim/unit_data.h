@@ -9,6 +9,7 @@
 #include "dbc/cloudsim/anomaly.h"
 #include "dbc/cloudsim/instance_model.h"
 #include "dbc/cloudsim/topology.h"
+#include "dbc/storage/series_view.h"
 #include "dbc/ts/series.h"
 
 namespace dbc {
@@ -58,6 +59,15 @@ struct UnitData {
   /// Convenience: the series of `kpi` for database `db`.
   const Series& kpi(size_t db, Kpi k) const {
     return kpis[db].row(KpiIndex(k));
+  }
+
+  /// Zero-copy stride-1 view of one series — the same shape the columnar
+  /// store's hot columns hand the kernels, so offline traces and the online
+  /// store feed identical entry points. No validity mask (simulated traces
+  /// are fully observed).
+  SeriesView view(size_t db, Kpi k) const {
+    const std::vector<double>& v = kpi(db, k).values();
+    return {v.data(), v.size(), nullptr, 0};
   }
 
   /// Count of labeled abnormal (db, t) points.

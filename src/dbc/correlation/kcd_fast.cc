@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "dbc/correlation/simd.h"
 #include "dbc/ts/normalize.h"
 
 namespace dbc {
@@ -54,55 +55,40 @@ double FastLagScore(const KcdWindowStats& lead, const KcdWindowStats& follow,
   }
   const double* lv = lead.values.data() + s;
   const double* fv = follow.values.data();
-  double dot = 0.0;
-  for (size_t i = 0; i < len; ++i) dot += lv[i] * fv[i];
+  const double dot = simd::Dot(lv, fv, len);
   const double sxy = dot - sum_l * sum_f / len_d;
   return sxy / std::sqrt(sxx * syy);
 }
 
-/// Fused single-pass masked lag score: the reference kernel's mean pass and
-/// moment pass collapse into one loop of raw moments over the surviving
-/// pairs. Skip (NaN) and constancy semantics are identical to
-/// ReferenceMaskedOverlapScore.
-double FusedMaskedLagScore(const std::vector<double>& lead,
-                           const std::vector<double>& follow,
-                           const std::vector<uint8_t>& lead_ok,
-                           const std::vector<uint8_t>& follow_ok, size_t s,
-                           size_t min_overlap) {
+/// Batched masked lag score: the surviving-pair count, all five raw moments,
+/// and both sides' surviving min/max come out of one branch-free fused pass
+/// over the zero-filled tables (simd::MaskedLagPass). Zeroed entries are
+/// exact no-ops in every sum — fma(x, 0, acc) == acc from a +0 start — and
+/// the pair count is an exact sum of 0/1 doubles, so the skip (NaN) and
+/// constancy (min == max over survivors; -0 == +0 numerically, matching the
+/// reference kernel's value-equality test) classifications are identical to
+/// ReferenceMaskedOverlapScore, not merely close.
+double BatchedMaskedLagScore(const KcdMaskedWindowStats& lead,
+                             const KcdMaskedWindowStats& follow, size_t s,
+                             size_t min_overlap) {
   const size_t len = lead.size() - s;
-  size_t m = 0;
-  double sx = 0.0, sy = 0.0, sxy = 0.0, sxx = 0.0, syy = 0.0;
-  double lead0 = 0.0, follow0 = 0.0;
-  bool lead_const = true, follow_const = true;
-  for (size_t i = 0; i < len; ++i) {
-    if (lead_ok[i + s] == 0 || follow_ok[i] == 0) continue;
-    const double a = lead[i + s];
-    const double b = follow[i];
-    if (m == 0) {
-      lead0 = a;
-      follow0 = b;
-    }
-    lead_const = lead_const && a == lead0;
-    follow_const = follow_const && b == follow0;
-    sx += a;
-    sy += b;
-    sxy += a * b;
-    sxx += a * a;
-    syy += b * b;
-    ++m;
-  }
-  if (m < std::max<size_t>(min_overlap, 2)) {
+  const simd::MaskedLagMoments mom = simd::MaskedLagPass(
+      lead.zeroed.data() + s, lead.zeroed_sq.data() + s,
+      lead.mask_d.data() + s, follow.zeroed.data(), follow.zeroed_sq.data(),
+      follow.mask_d.data(), len);
+  if (mom.m < static_cast<double>(std::max<size_t>(min_overlap, 2))) {
     return std::numeric_limits<double>::quiet_NaN();
   }
-  if (lead_const || follow_const) return 0.0;
-  const double md = static_cast<double>(m);
-  const double cxx = sxx - sx * sx / md;
-  const double cyy = syy - sy * sy / md;
-  if (cxx < kIllConditioned * sxx || cyy < kIllConditioned * syy) {
-    return kcd_internal::ReferenceMaskedOverlapScore(lead, follow, lead_ok,
-                                                     follow_ok, s, min_overlap);
+  if (mom.lead_min == mom.lead_max || mom.follow_min == mom.follow_max) {
+    return 0.0;
   }
-  const double cxy = sxy - sx * sy / md;
+  const double cxx = mom.sxx - mom.sx * mom.sx / mom.m;
+  const double cyy = mom.syy - mom.sy * mom.sy / mom.m;
+  if (cxx < kIllConditioned * mom.sxx || cyy < kIllConditioned * mom.syy) {
+    return kcd_internal::ReferenceMaskedOverlapScore(
+        lead.values, follow.values, lead.ok, follow.ok, s, min_overlap);
+  }
+  const double cxy = mom.sxy - mom.sx * mom.sy / mom.m;
   return cxy / std::sqrt(cxx * cyy);
 }
 
@@ -115,15 +101,19 @@ size_t MaxDelay(size_t n, const KcdOptions& options) {
 }  // namespace
 
 KcdWindowStats BuildKcdWindowStats(const Series& window, bool normalize) {
+  return BuildKcdWindowStats(window.values().data(), window.size(), normalize);
+}
+
+KcdWindowStats BuildKcdWindowStats(const double* data, size_t n,
+                                   bool normalize) {
   KcdWindowStats stats;
-  const size_t n = window.size();
   for (size_t i = 0; i < n; ++i) {
-    if (!std::isfinite(window[i])) {
+    if (!std::isfinite(data[i])) {
       stats.finite = false;
       return stats;  // tables stay unbuilt; the kernel returns {0, 0}
     }
   }
-  stats.values = window.values();
+  stats.values.assign(data, data + n);
   if (normalize) MinMaxNormalizeInPlace(stats.values);
   stats.prefix.resize(n + 1);
   stats.prefix_sq.resize(n + 1);
@@ -198,30 +188,38 @@ KcdResult KcdFast(const Series& x, const Series& y, const KcdOptions& options) {
   return KcdFastFromStats(sx, sy, options);
 }
 
-KcdResult KcdMaskedFast(const Series& x, const Series& y,
-                        const std::vector<uint8_t>* mask_x,
-                        const std::vector<uint8_t>* mask_y,
-                        const KcdOptions& options) {
-  assert(x.size() == y.size());
-  KcdResult result;
-  const size_t n = x.size();
-  if (n < options.min_overlap) return result;
-
-  // Effective masks: identical construction to KcdMasked.
-  std::vector<uint8_t> okx(n, 1), oky(n, 1);
+KcdMaskedWindowStats BuildKcdMaskedWindowStats(const double* values, size_t n,
+                                               std::vector<uint8_t> ok,
+                                               bool normalize) {
+  assert(ok.size() == n);
+  KcdMaskedWindowStats stats;
+  stats.values.assign(values, values + n);
+  // Effective mask: identical construction to KcdMasked — non-finite points
+  // drop out regardless of what the caller's validity mask says.
   for (size_t i = 0; i < n; ++i) {
-    if (mask_x != nullptr && i < mask_x->size() && (*mask_x)[i] == 0) okx[i] = 0;
-    if (mask_y != nullptr && i < mask_y->size() && (*mask_y)[i] == 0) oky[i] = 0;
-    if (!std::isfinite(x[i])) okx[i] = 0;
-    if (!std::isfinite(y[i])) oky[i] = 0;
+    if (!std::isfinite(stats.values[i])) ok[i] = 0;
   }
+  if (normalize) kcd_internal::MaskedMinMaxNormalize(stats.values, ok);
+  stats.ok = std::move(ok);
+  stats.zeroed.resize(n);
+  stats.zeroed_sq.resize(n);
+  stats.mask_d.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double v = stats.ok[i] != 0 ? stats.values[i] : 0.0;
+    stats.zeroed[i] = v;
+    stats.zeroed_sq[i] = v * v;
+    stats.mask_d[i] = stats.ok[i] != 0 ? 1.0 : 0.0;
+  }
+  return stats;
+}
 
-  std::vector<double> nx = x.values();
-  std::vector<double> ny = y.values();
-  if (options.normalize) {
-    kcd_internal::MaskedMinMaxNormalize(nx, okx);
-    kcd_internal::MaskedMinMaxNormalize(ny, oky);
-  }
+KcdResult KcdMaskedFastFromStats(const KcdMaskedWindowStats& sx,
+                                 const KcdMaskedWindowStats& sy,
+                                 const KcdOptions& options) {
+  assert(sx.size() == sy.size());
+  KcdResult result;
+  const size_t n = sx.size();
+  if (n < options.min_overlap) return result;
 
   const size_t max_delay = MaxDelay(n, options);
   // Approximate scan in reference order, then exact re-scoring of the lags
@@ -232,15 +230,13 @@ KcdResult KcdMaskedFast(const Series& x, const Series& y,
   scan.reserve(options.scan_negative ? 2 * max_delay + 1 : max_delay + 1);
   double best_fast = -2.0;
   for (size_t s = 0; s <= max_delay; ++s) {
-    const double fwd =
-        FusedMaskedLagScore(nx, ny, okx, oky, s, options.min_overlap);
+    const double fwd = BatchedMaskedLagScore(sx, sy, s, options.min_overlap);
     if (!std::isnan(fwd)) {
       scan.emplace_back(static_cast<int>(s), fwd);
       best_fast = std::max(best_fast, fwd);
     }
     if (s > 0 && options.scan_negative) {
-      const double bwd =
-          FusedMaskedLagScore(ny, nx, oky, okx, s, options.min_overlap);
+      const double bwd = BatchedMaskedLagScore(sy, sx, s, options.min_overlap);
       if (!std::isnan(bwd)) {
         scan.emplace_back(-static_cast<int>(s), bwd);
         best_fast = std::max(best_fast, bwd);
@@ -254,11 +250,11 @@ KcdResult KcdMaskedFast(const Series& x, const Series& y,
     if (fast_score < best_fast - kCandidateMargin) continue;
     const double exact =
         lag >= 0 ? kcd_internal::ReferenceMaskedOverlapScore(
-                       nx, ny, okx, oky, static_cast<size_t>(lag),
-                       options.min_overlap)
+                       sx.values, sy.values, sx.ok, sy.ok,
+                       static_cast<size_t>(lag), options.min_overlap)
                  : kcd_internal::ReferenceMaskedOverlapScore(
-                       ny, nx, oky, okx, static_cast<size_t>(-lag),
-                       options.min_overlap);
+                       sy.values, sx.values, sy.ok, sx.ok,
+                       static_cast<size_t>(-lag), options.min_overlap);
     if (exact > best) {
       best = exact;
       best_lag = lag;
@@ -267,6 +263,26 @@ KcdResult KcdMaskedFast(const Series& x, const Series& y,
   result.best_lag = best_lag;
   result.score = best;
   return result;
+}
+
+KcdResult KcdMaskedFast(const Series& x, const Series& y,
+                        const std::vector<uint8_t>* mask_x,
+                        const std::vector<uint8_t>* mask_y,
+                        const KcdOptions& options) {
+  assert(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < options.min_overlap) return {};
+
+  std::vector<uint8_t> okx(n, 1), oky(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (mask_x != nullptr && i < mask_x->size() && (*mask_x)[i] == 0) okx[i] = 0;
+    if (mask_y != nullptr && i < mask_y->size() && (*mask_y)[i] == 0) oky[i] = 0;
+  }
+  const KcdMaskedWindowStats sx = BuildKcdMaskedWindowStats(
+      x.values().data(), n, std::move(okx), options.normalize);
+  const KcdMaskedWindowStats sy = BuildKcdMaskedWindowStats(
+      y.values().data(), n, std::move(oky), options.normalize);
+  return KcdMaskedFastFromStats(sx, sy, options);
 }
 
 KcdResult KcdCompute(const Series& x, const Series& y,

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "dbc/correlation/kcd.h"
+#include "dbc/storage/series_view.h"
 #include "dbc/ts/series.h"
 
 namespace dbc {
@@ -65,6 +66,52 @@ struct KcdWindowStats {
 /// when `normalize` is set (identically to the reference kernel, so the
 /// winning-lag re-evaluation sees bit-identical inputs).
 KcdWindowStats BuildKcdWindowStats(const Series& window, bool normalize);
+/// Same, straight off a contiguous span — the zero-copy entry the columnar
+/// store's hot SeriesViews feed (no Series materialization, no re-copy
+/// before the prefix scan). The view's validity mask is ignored: clean-path
+/// stats are only built for fully valid windows.
+KcdWindowStats BuildKcdWindowStats(const double* data, size_t n,
+                                   bool normalize);
+inline KcdWindowStats BuildKcdWindowStats(const SeriesView& window,
+                                          bool normalize) {
+  return BuildKcdWindowStats(window.data, window.size, normalize);
+}
+
+/// Per-series precomputation for the masked kernel. Prefix sums cannot
+/// absorb a lag-dependent joint mask, but the per-lag pass can still be made
+/// branch-free and batched: alongside the masked-normalized values (masked
+/// entries untouched, exactly what the reference re-scorer expects) the
+/// table carries zero-filled copies — value, value², and the mask itself as
+/// 0/1 doubles — so every lag's surviving-pair count and raw moments become
+/// plain dot products over contiguous arrays (simd::MaskedLagPass), shared
+/// across all N-1 pairs that touch the series.
+struct KcdMaskedWindowStats {
+  /// Masked Eq. 1-normalized values; masked entries keep their original
+  /// (possibly non-finite) payloads and never enter a sum.
+  std::vector<double> values;
+  /// ok[i] != 0 when point i participates (caller mask ∧ finite).
+  std::vector<uint8_t> ok;
+  std::vector<double> zeroed;     // ok ? values : 0.0
+  std::vector<double> zeroed_sq;  // zeroed²
+  std::vector<double> mask_d;     // ok as 0.0 / 1.0
+  size_t size() const { return values.size(); }
+};
+
+/// Builds the masked table for one window. `ok` marks caller-valid points
+/// (from a telemetry validity mask); non-finite values are additionally
+/// masked out, identically to KcdMasked's effective-mask construction.
+KcdMaskedWindowStats BuildKcdMaskedWindowStats(const double* values, size_t n,
+                                               std::vector<uint8_t> ok,
+                                               bool normalize);
+
+/// Batched masked entry: both tables from BuildKcdMaskedWindowStats (with
+/// matching `normalize`). Bit-identical to KcdMasked() — the lag scan runs
+/// over the branch-free tables and the near-maximal candidates are re-scored
+/// through ReferenceMaskedOverlapScore, the same sealing discipline as the
+/// clean fast path.
+KcdResult KcdMaskedFastFromStats(const KcdMaskedWindowStats& sx,
+                                 const KcdMaskedWindowStats& sy,
+                                 const KcdOptions& options = {});
 
 /// Fast KCD over two equally sized windows. Semantics match Kcd() exactly:
 /// same lag set, same skip rules, same tie-breaking (first strictly greater

@@ -1,0 +1,221 @@
+#include "dbc/correlation/simd.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#if defined(DBC_SIMD_AVX2) && defined(__x86_64__) && defined(__GNUC__)
+#define DBC_SIMD_AVX2_COMPILED 1
+#include <immintrin.h>
+#endif
+
+namespace dbc::simd {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// IEEE min/max with the x86 vminpd/vmaxpd operand rule (`a OP b ? a : b`,
+/// second operand on ties), so the scalar fallback reproduces the vector
+/// lanes bit-for-bit — including the sign of zero.
+inline double MinPd(double a, double b) { return a < b ? a : b; }
+inline double MaxPd(double a, double b) { return a > b ? a : b; }
+
+/// Four-lane accumulator state of one masked pass; element i belongs to lane
+/// i mod 4. Shared by the scalar implementation (all elements) and the AVX2
+/// implementation (vector tail), so both walk the identical evaluation order.
+struct MaskedLanes {
+  double m[4] = {0, 0, 0, 0};
+  double sx[4] = {0, 0, 0, 0};
+  double sy[4] = {0, 0, 0, 0};
+  double sxy[4] = {0, 0, 0, 0};
+  double sxx[4] = {0, 0, 0, 0};
+  double syy[4] = {0, 0, 0, 0};
+  double lmin[4] = {kInf, kInf, kInf, kInf};
+  double lmax[4] = {-kInf, -kInf, -kInf, -kInf};
+  double fmin[4] = {kInf, kInf, kInf, kInf};
+  double fmax[4] = {-kInf, -kInf, -kInf, -kInf};
+
+  inline void Accumulate(size_t i, const double* lead_v, const double* lead_sq,
+                         const double* lead_m, const double* follow_v,
+                         const double* follow_sq, const double* follow_m) {
+    const size_t l = i & 3;
+    const double jm = lead_m[i] * follow_m[i];  // exactly 0.0 or 1.0
+    m[l] += jm;
+    sx[l] = std::fma(lead_v[i], follow_m[i], sx[l]);
+    sy[l] = std::fma(follow_v[i], lead_m[i], sy[l]);
+    sxy[l] = std::fma(lead_v[i], follow_v[i], sxy[l]);
+    sxx[l] = std::fma(lead_sq[i], follow_m[i], sxx[l]);
+    syy[l] = std::fma(follow_sq[i], lead_m[i], syy[l]);
+    const bool ok = jm != 0.0;
+    lmin[l] = MinPd(lmin[l], ok ? lead_v[i] : kInf);
+    lmax[l] = MaxPd(lmax[l], ok ? lead_v[i] : -kInf);
+    fmin[l] = MinPd(fmin[l], ok ? follow_v[i] : kInf);
+    fmax[l] = MaxPd(fmax[l], ok ? follow_v[i] : -kInf);
+  }
+
+  MaskedLagMoments Combine() const {
+    MaskedLagMoments out;
+    out.m = (m[0] + m[1]) + (m[2] + m[3]);
+    out.sx = (sx[0] + sx[1]) + (sx[2] + sx[3]);
+    out.sy = (sy[0] + sy[1]) + (sy[2] + sy[3]);
+    out.sxy = (sxy[0] + sxy[1]) + (sxy[2] + sxy[3]);
+    out.sxx = (sxx[0] + sxx[1]) + (sxx[2] + sxx[3]);
+    out.syy = (syy[0] + syy[1]) + (syy[2] + syy[3]);
+    out.lead_min = MinPd(MinPd(lmin[0], lmin[1]), MinPd(lmin[2], lmin[3]));
+    out.lead_max = MaxPd(MaxPd(lmax[0], lmax[1]), MaxPd(lmax[2], lmax[3]));
+    out.follow_min = MinPd(MinPd(fmin[0], fmin[1]), MinPd(fmin[2], fmin[3]));
+    out.follow_max = MaxPd(MaxPd(fmax[0], fmax[1]), MaxPd(fmax[2], fmax[3]));
+    return out;
+  }
+};
+
+bool RuntimeDisabledByEnv() {
+  const char* env = std::getenv("DBC_SIMD");
+  return env != nullptr &&
+         (std::strcmp(env, "off") == 0 || std::strcmp(env, "OFF") == 0 ||
+          std::strcmp(env, "0") == 0 || std::strcmp(env, "scalar") == 0);
+}
+
+bool DispatchAvx2() {
+#if DBC_SIMD_AVX2_COMPILED
+  static const bool enabled = Avx2Available() && !RuntimeDisabledByEnv();
+  return enabled;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool Avx2Available() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    lanes[i & 3] = std::fma(a[i], b[i], lanes[i & 3]);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+MaskedLagMoments MaskedLagPassScalar(const double* lead_v,
+                                     const double* lead_sq,
+                                     const double* lead_m,
+                                     const double* follow_v,
+                                     const double* follow_sq,
+                                     const double* follow_m, size_t n) {
+  MaskedLanes lanes;
+  for (size_t i = 0; i < n; ++i) {
+    lanes.Accumulate(i, lead_v, lead_sq, lead_m, follow_v, follow_sq,
+                     follow_m);
+  }
+  return lanes.Combine();
+}
+
+#if DBC_SIMD_AVX2_COMPILED
+
+__attribute__((target("avx2,fma"))) double DotAvx2(const double* a,
+                                                   const double* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc);
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  for (; i < n; ++i) {
+    lanes[i & 3] = std::fma(a[i], b[i], lanes[i & 3]);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+__attribute__((target("avx2,fma"))) MaskedLagMoments MaskedLagPassAvx2(
+    const double* lead_v, const double* lead_sq, const double* lead_m,
+    const double* follow_v, const double* follow_sq, const double* follow_m,
+    size_t n) {
+  const __m256d pos_inf = _mm256_set1_pd(kInf);
+  const __m256d neg_inf = _mm256_set1_pd(-kInf);
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d m = zero, sx = zero, sy = zero, sxy = zero, sxx = zero, syy = zero;
+  __m256d lmin = pos_inf, lmax = neg_inf, fmin = pos_inf, fmax = neg_inf;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d lv = _mm256_loadu_pd(lead_v + i);
+    const __m256d lq = _mm256_loadu_pd(lead_sq + i);
+    const __m256d lm = _mm256_loadu_pd(lead_m + i);
+    const __m256d fv = _mm256_loadu_pd(follow_v + i);
+    const __m256d fq = _mm256_loadu_pd(follow_sq + i);
+    const __m256d fm = _mm256_loadu_pd(follow_m + i);
+    const __m256d jm = _mm256_mul_pd(lm, fm);
+    m = _mm256_add_pd(m, jm);
+    sx = _mm256_fmadd_pd(lv, fm, sx);
+    sy = _mm256_fmadd_pd(fv, lm, sy);
+    sxy = _mm256_fmadd_pd(lv, fv, sxy);
+    sxx = _mm256_fmadd_pd(lq, fm, sxx);
+    syy = _mm256_fmadd_pd(fq, lm, syy);
+    const __m256d ok = _mm256_cmp_pd(jm, zero, _CMP_NEQ_OQ);
+    lmin = _mm256_min_pd(lmin, _mm256_blendv_pd(pos_inf, lv, ok));
+    lmax = _mm256_max_pd(lmax, _mm256_blendv_pd(neg_inf, lv, ok));
+    fmin = _mm256_min_pd(fmin, _mm256_blendv_pd(pos_inf, fv, ok));
+    fmax = _mm256_max_pd(fmax, _mm256_blendv_pd(neg_inf, fv, ok));
+  }
+  MaskedLanes lanes;
+  _mm256_storeu_pd(lanes.m, m);
+  _mm256_storeu_pd(lanes.sx, sx);
+  _mm256_storeu_pd(lanes.sy, sy);
+  _mm256_storeu_pd(lanes.sxy, sxy);
+  _mm256_storeu_pd(lanes.sxx, sxx);
+  _mm256_storeu_pd(lanes.syy, syy);
+  _mm256_storeu_pd(lanes.lmin, lmin);
+  _mm256_storeu_pd(lanes.lmax, lmax);
+  _mm256_storeu_pd(lanes.fmin, fmin);
+  _mm256_storeu_pd(lanes.fmax, fmax);
+  for (; i < n; ++i) {
+    lanes.Accumulate(i, lead_v, lead_sq, lead_m, follow_v, follow_sq,
+                     follow_m);
+  }
+  return lanes.Combine();
+}
+
+#else  // !DBC_SIMD_AVX2_COMPILED
+
+double DotAvx2(const double* a, const double* b, size_t n) {
+  return DotScalar(a, b, n);
+}
+
+MaskedLagMoments MaskedLagPassAvx2(const double* lead_v, const double* lead_sq,
+                                   const double* lead_m,
+                                   const double* follow_v,
+                                   const double* follow_sq,
+                                   const double* follow_m, size_t n) {
+  return MaskedLagPassScalar(lead_v, lead_sq, lead_m, follow_v, follow_sq,
+                             follow_m, n);
+}
+
+#endif  // DBC_SIMD_AVX2_COMPILED
+
+double Dot(const double* a, const double* b, size_t n) {
+  return DispatchAvx2() ? DotAvx2(a, b, n) : DotScalar(a, b, n);
+}
+
+MaskedLagMoments MaskedLagPass(const double* lead_v, const double* lead_sq,
+                               const double* lead_m, const double* follow_v,
+                               const double* follow_sq, const double* follow_m,
+                               size_t n) {
+  return DispatchAvx2()
+             ? MaskedLagPassAvx2(lead_v, lead_sq, lead_m, follow_v, follow_sq,
+                                 follow_m, n)
+             : MaskedLagPassScalar(lead_v, lead_sq, lead_m, follow_v,
+                                   follow_sq, follow_m, n);
+}
+
+const char* ActiveImplementation() { return DispatchAvx2() ? "avx2" : "scalar"; }
+
+}  // namespace dbc::simd

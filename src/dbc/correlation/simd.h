@@ -1,0 +1,71 @@
+// Explicitly vectorized inner loops of the KCD kernels, with bit-identical
+// scalar fallbacks.
+//
+// Bit-identity contract: every routine fixes its floating-point evaluation
+// order as four independent FMA lanes — element i accumulates into lane
+// i mod 4 — combined as (l0 + l1) + (l2 + l3). The AVX2 implementations
+// realize exactly that order with 256-bit vfmadd (one correctly rounded FMA
+// per element, same as std::fma on the scalar path), so the scalar fallback,
+// the AVX2 path, and any mix of the two produce identical bit patterns.
+// golden_regression_test and kcd_differential_test run under both the
+// DBC_SIMD=ON and =OFF CMake legs to keep that true forever.
+//
+// Dispatch: the AVX2 bodies are compiled with a function-level target
+// attribute (never a global -mavx2, which would let the compiler
+// autovectorize unrelated loops and drift their rounding), guarded at
+// runtime by cpuid and at build time by the DBC_SIMD CMake option. The
+// DBC_SIMD=off environment variable forces the scalar path at runtime.
+#pragma once
+
+#include <cstddef>
+
+namespace dbc::simd {
+
+/// Lane-split FMA dot product of two stride-1 spans.
+double Dot(const double* a, const double* b, size_t n);
+
+/// All moments one masked lag needs, gathered in a single fused pass (see
+/// kcd_fast.cc, KcdMaskedFastFromStats). Inputs are the branch-free tables of
+/// KcdMaskedWindowStats: `v` zeroed at invalid points, `sq` = v², `m` the
+/// 0/1 mask as doubles. For each index i the pass accumulates the joint mask
+/// m_i = lead_m[i]·follow_m[i] and the raw moments of the surviving pairs,
+/// plus the min/max of each side over surviving points (the exact-constancy
+/// test; ±inf when nothing survives).
+struct MaskedLagMoments {
+  double m = 0.0;    // surviving pair count (exact: sums of 0/1)
+  double sx = 0.0;   // Σ lead_v·follow_m
+  double sy = 0.0;   // Σ follow_v·lead_m
+  double sxy = 0.0;  // Σ lead_v·follow_v
+  double sxx = 0.0;  // Σ lead_v²·follow_m
+  double syy = 0.0;  // Σ follow_v²·lead_m
+  double lead_min = 0.0, lead_max = 0.0;
+  double follow_min = 0.0, follow_max = 0.0;
+};
+
+MaskedLagMoments MaskedLagPass(const double* lead_v, const double* lead_sq,
+                               const double* lead_m, const double* follow_v,
+                               const double* follow_sq, const double* follow_m,
+                               size_t n);
+
+/// What Dot/MaskedLagPass actually dispatch to: "avx2" or "scalar".
+const char* ActiveImplementation();
+
+// Both implementations are always linked so the differential suite can
+// compare them directly; the Avx2 entries fall back to scalar when the CPU
+// lacks AVX2+FMA (or the build did without DBC_SIMD).
+bool Avx2Available();
+double DotScalar(const double* a, const double* b, size_t n);
+double DotAvx2(const double* a, const double* b, size_t n);
+MaskedLagMoments MaskedLagPassScalar(const double* lead_v,
+                                     const double* lead_sq,
+                                     const double* lead_m,
+                                     const double* follow_v,
+                                     const double* follow_sq,
+                                     const double* follow_m, size_t n);
+MaskedLagMoments MaskedLagPassAvx2(const double* lead_v, const double* lead_sq,
+                                   const double* lead_m,
+                                   const double* follow_v,
+                                   const double* follow_sq,
+                                   const double* follow_m, size_t n);
+
+}  // namespace dbc::simd

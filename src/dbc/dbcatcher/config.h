@@ -55,6 +55,15 @@ struct DbcatcherConfig {
   /// as tolerated fluctuations; true resolves to abnormal.
   bool escalate_unresolved = false;
 
+  /// How many ticks of sealed (trimmed) telemetry the columnar store keeps
+  /// readable as Gorilla-compressed cold segments behind the hot window
+  /// (rounded up to whole segments). 0 (default) disables the cold tier:
+  /// trimming discards exactly what it always discarded, which keeps the
+  /// verdict/alert stream bit-identical to the pre-columnar layout. A
+  /// non-zero retention lets Relearn replay windows that have left the hot
+  /// tier, at ~10-20x less resident memory than keeping them hot.
+  size_t cold_retention_ticks = 0;
+
   /// Minimum acceptable F-Measure before the adaptive threshold learning
   /// policy activates (§IV-D-3 uses 75%).
   double retrain_criterion = 0.75;

@@ -82,10 +82,67 @@ size_t KcdCache::EvictBefore(size_t begin) {
 CorrelationAnalyzer::CorrelationAnalyzer(const UnitData& unit,
                                          const DbcatcherConfig& config,
                                          KcdCache* cache)
-    : unit_(unit), config_(config), cache_(cache) {}
+    : unit_(&unit), config_(config), cache_(cache) {}
+
+CorrelationAnalyzer::CorrelationAnalyzer(const ColumnStore& store,
+                                         const std::vector<DbRole>& roles,
+                                         const DbcatcherConfig& config,
+                                         KcdCache* cache)
+    : store_(&store), roles_(&roles), config_(config), cache_(cache) {}
+
+SeriesView CorrelationAnalyzer::WindowView(size_t kpi, size_t db, size_t begin,
+                                           size_t len,
+                                           std::vector<double>* scratch) const {
+  assert(store_ != nullptr);
+  const size_t end = std::min(begin + len, store_->end_tick());
+  if (begin >= end) return {};
+  len = end - begin;
+  if (begin >= store_->base_tick()) return store_->Hot(db, kpi, begin, len);
+  if (!store_->Read(db, kpi, begin, len, scratch).ok()) return {};
+  // Cold reads carry no mask words; ValidAt/MaskedAt answer validity
+  // questions directly off the store's bitmaps.
+  return {scratch->data(), scratch->size(), nullptr, 0};
+}
+
+Series CorrelationAnalyzer::WindowSeries(size_t kpi, size_t db, size_t begin,
+                                         size_t len) const {
+  if (store_ == nullptr) {
+    return unit_->kpis[db].row(kpi).Slice(begin, begin + len);
+  }
+  std::vector<double> scratch;
+  const SeriesView view = WindowView(kpi, db, begin, len, &scratch);
+  if (view.size != 0 && view.data == scratch.data()) {
+    return Series(std::move(scratch));
+  }
+  return Series(std::vector<double>(view.data, view.data + view.size));
+}
+
+std::vector<double> CorrelationAnalyzer::CopyWindow(size_t kpi, size_t db,
+                                                    size_t begin,
+                                                    size_t end) const {
+  end = std::min(end, length());
+  begin = std::min(std::max(begin, earliest()), end);
+  if (store_ == nullptr) {
+    const std::vector<double>& v = unit_->kpis[db].row(kpi).values();
+    return std::vector<double>(v.begin() + static_cast<ptrdiff_t>(begin),
+                               v.begin() + static_cast<ptrdiff_t>(end));
+  }
+  std::vector<double> scratch;
+  const SeriesView view = WindowView(kpi, db, begin, end - begin, &scratch);
+  return std::vector<double>(view.data, view.data + view.size);
+}
 
 bool CorrelationAnalyzer::DbActive(size_t db, size_t begin, size_t len) const {
-  const Series& rps = unit_.kpi(db, Kpi::kRequestsPerSecond);
+  if (store_ != nullptr) {
+    std::vector<double> scratch;
+    const SeriesView rps = WindowView(KpiIndex(Kpi::kRequestsPerSecond), db,
+                                      begin, len, &scratch);
+    for (size_t i = 0; i < rps.size; ++i) {
+      if (rps[i] > config_.activity_epsilon) return true;
+    }
+    return false;
+  }
+  const Series& rps = unit_->kpi(db, Kpi::kRequestsPerSecond);
   const size_t end = std::min(begin + len, rps.size());
   for (size_t t = begin; t < end; ++t) {
     if (rps[t] > config_.activity_epsilon) return true;
@@ -94,7 +151,15 @@ bool CorrelationAnalyzer::DbActive(size_t db, size_t begin, size_t len) const {
 }
 
 bool CorrelationAnalyzer::DbValid(size_t db, size_t begin, size_t len) const {
-  if (validity_ == nullptr || len == 0) return true;
+  if (len == 0) return true;
+  if (store_ != nullptr) {
+    const size_t end = std::min(begin + len, store_->end_tick());
+    if (begin >= end) return true;  // window past the trace: nothing to veto
+    const size_t good = store_->CountValid(db, begin, end - begin);
+    return static_cast<double>(good) >=
+           config_.min_valid_fraction * static_cast<double>(end - begin);
+  }
+  if (validity_ == nullptr) return true;
   if (db >= validity_->size()) return true;
   const std::vector<uint8_t>& mask = (*validity_)[db];
   const size_t end = std::min(begin + len, mask.size());
@@ -110,8 +175,7 @@ bool CorrelationAnalyzer::PairEligible(size_t kpi, size_t a, size_t b,
   if (a == b) return false;
   if (KpiCorrelation(static_cast<Kpi>(kpi)) ==
       KpiCorrelationType::kReplicaOnly) {
-    if (unit_.roles[a] == DbRole::kPrimary ||
-        unit_.roles[b] == DbRole::kPrimary) {
+    if (role(a) == DbRole::kPrimary || role(b) == DbRole::kPrimary) {
       return false;
     }
   }
@@ -120,6 +184,7 @@ bool CorrelationAnalyzer::PairEligible(size_t kpi, size_t a, size_t b,
 }
 
 bool CorrelationAnalyzer::MaskedAt(size_t db, size_t t) const {
+  if (store_ != nullptr) return !store_->ValidAt(db, t);
   if (validity_ == nullptr || db >= validity_->size()) return false;
   const std::vector<uint8_t>& mask = (*validity_)[db];
   return t < mask.size() && mask[t] == 0;
@@ -137,11 +202,54 @@ const KcdWindowStats& CorrelationAnalyzer::StatsFor(size_t kpi, size_t db,
   }
   ++stats_built_;
   Inc(metrics_.stats_built);
+  if (store_ != nullptr) {
+    // Hot windows build straight off the column (zero-copy stride-1 span);
+    // only a cold-reaching window pays a materialization.
+    std::vector<double> scratch;
+    const SeriesView view = WindowView(kpi, db, begin, len, &scratch);
+    return stats_
+        .emplace(key, BuildKcdWindowStats(view, config_.kcd.normalize))
+        .first->second;
+  }
   return stats_
       .emplace(key,
                BuildKcdWindowStats(
-                   unit_.kpis[db].row(kpi).Slice(begin, begin + len),
+                   unit_->kpis[db].row(kpi).Slice(begin, begin + len),
                    config_.kcd.normalize))
+      .first->second;
+}
+
+const KcdMaskedWindowStats& CorrelationAnalyzer::MaskedStatsFor(size_t kpi,
+                                                                size_t db,
+                                                                size_t begin,
+                                                                size_t len) {
+  const uint64_t key = KcdCache::Key(kpi, db, db, begin + cache_offset_, len);
+  const auto it = masked_stats_.find(key);
+  if (it != masked_stats_.end()) {
+    ++stats_reused_;
+    Inc(metrics_.stats_reused);
+    return it->second;
+  }
+  ++stats_built_;
+  Inc(metrics_.stats_built);
+  std::vector<double> scratch;
+  SeriesView view;
+  if (store_ != nullptr) {
+    view = WindowView(kpi, db, begin, len, &scratch);
+  } else {
+    const std::vector<double>& v = unit_->kpis[db].row(kpi).values();
+    const size_t end = std::min(begin + len, v.size());
+    view = {v.data() + std::min(begin, end), end - std::min(begin, end),
+            nullptr, 0};
+  }
+  std::vector<uint8_t> ok(view.size, 1);
+  for (size_t i = 0; i < view.size; ++i) {
+    if (MaskedAt(db, begin + i)) ok[i] = 0;
+  }
+  return masked_stats_
+      .emplace(key, BuildKcdMaskedWindowStats(view.data, view.size,
+                                              std::move(ok),
+                                              config_.kcd.normalize))
       .first->second;
 }
 
@@ -164,7 +272,7 @@ double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
   // what absorbs the per-database collection delay; the lag-free comparators
   // compress to the jointly-fresh ticks instead.
   bool degraded = false;
-  if (validity_ != nullptr) {
+  if (store_ != nullptr || validity_ != nullptr) {
     for (size_t t = begin; t < begin + len && !degraded; ++t) {
       degraded = MaskedAt(a, t) || MaskedAt(b, t);
     }
@@ -184,8 +292,23 @@ double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
     return score;
   }
 
-  Series xa = unit_.kpis[a].row(kpi).Slice(begin, begin + len);
-  Series xb = unit_.kpis[b].row(kpi).Slice(begin, begin + len);
+  // Degraded KCD pairs batch just like the clean path: the masked tables
+  // (values + effective mask + zero-filled moment columns) depend only on
+  // their own series, so they come from a shared memo and the per-lag joint
+  // moments run through the fused branch-free pass.
+  if (degraded && config_.measure == CorrelationMeasure::kKcd &&
+      config_.kcd.impl == KcdImpl::kFast && keyable) {
+    if (masked_stats_.size() + 2 > kStatsMemoCap) masked_stats_.clear();
+    const KcdMaskedWindowStats& sa = MaskedStatsFor(kpi, a, begin, len);
+    const KcdMaskedWindowStats& sb = MaskedStatsFor(kpi, b, begin, len);
+    score = KcdMaskedFastFromStats(sa, sb, config_.kcd).score;
+    Inc(metrics_.kcd_masked_pairs);
+    if (cache_ != nullptr) cache_->Insert(key, score);
+    return score;
+  }
+
+  Series xa = WindowSeries(kpi, a, begin, len);
+  Series xb = WindowSeries(kpi, b, begin, len);
   if (degraded && config_.measure == CorrelationMeasure::kKcd) {
     std::vector<uint8_t> oka(len, 1), okb(len, 1);
     for (size_t t = begin; t < begin + len; ++t) {
@@ -201,10 +324,12 @@ double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
     std::vector<double> va, vb;
     va.reserve(len);
     vb.reserve(len);
-    for (size_t t = begin; t < begin + len; ++t) {
+    const size_t joint_len = std::min(xa.size(), xb.size());
+    for (size_t i = 0; i < joint_len; ++i) {
+      const size_t t = begin + i;
       if (MaskedAt(a, t) || MaskedAt(b, t)) continue;
-      va.push_back(unit_.kpis[a].row(kpi)[t]);
-      vb.push_back(unit_.kpis[b].row(kpi)[t]);
+      va.push_back(xa[i]);
+      vb.push_back(xb[i]);
     }
     xa = Series(std::move(va));
     xb = Series(std::move(vb));
@@ -232,7 +357,7 @@ double CorrelationAnalyzer::PairScore(size_t kpi, size_t a, size_t b,
 
 CorrelationMatrix CorrelationAnalyzer::Matrix(size_t kpi, size_t begin,
                                               size_t len) {
-  const size_t n = unit_.num_dbs();
+  const size_t n = num_dbs();
   CorrelationMatrix cm(n);
   for (size_t a = 0; a < n; ++a) {
     for (size_t b = a + 1; b < n; ++b) {
@@ -249,14 +374,14 @@ double CorrelationAnalyzer::AggregateScore(size_t kpi, size_t db, size_t begin,
   if (!DbActive(db, begin, len)) return kNan;
   if (KpiCorrelation(static_cast<Kpi>(kpi)) ==
           KpiCorrelationType::kReplicaOnly &&
-      unit_.roles[db] == DbRole::kPrimary) {
+      role(db) == DbRole::kPrimary) {
     return kNan;
   }
   // Minimum-peers floor: with quarantined feeds excluded, a database needs
   // at least config.min_peers usable peers for its score to mean anything.
   double best = kNan;
   size_t peers = 0;
-  const size_t n = unit_.num_dbs();
+  const size_t n = num_dbs();
   for (size_t peer = 0; peer < n; ++peer) {
     if (!PairEligible(kpi, db, peer, begin, len)) continue;
     ++peers;

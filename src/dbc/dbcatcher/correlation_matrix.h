@@ -16,6 +16,7 @@
 #include "dbc/correlation/kcd_fast.h"
 #include "dbc/dbcatcher/config.h"
 #include "dbc/obs/metrics.h"
+#include "dbc/storage/column_store.h"
 
 namespace dbc {
 
@@ -107,6 +108,39 @@ class CorrelationAnalyzer {
   CorrelationAnalyzer(const UnitData& unit, const DbcatcherConfig& config,
                       KcdCache* cache = nullptr);
 
+  /// Store-backed analyzer: windows address absolute ticks of a ColumnStore
+  /// (the online path). Hot windows feed the kernels through zero-copy
+  /// SeriesViews; windows reaching into the cold tier are inflated
+  /// bit-exactly, so scores cannot depend on which tier served the bytes.
+  /// Validity comes from the store's bitmaps (SetValidity is for the
+  /// UnitData backend only). The store and roles must outlive the analyzer.
+  CorrelationAnalyzer(const ColumnStore& store,
+                      const std::vector<DbRole>& roles,
+                      const DbcatcherConfig& config, KcdCache* cache = nullptr);
+
+  /// Backend-independent trace geometry: [earliest(), length()) is the
+  /// addressable tick range (earliest() is 0 for a UnitData backend, the
+  /// store's retained floor otherwise). Diagnosis and the level summaries run
+  /// off these instead of reaching into UnitData.
+  size_t num_dbs() const {
+    return store_ != nullptr ? store_->num_dbs() : unit_->num_dbs();
+  }
+  size_t length() const {
+    return store_ != nullptr ? store_->end_tick() : unit_->length();
+  }
+  size_t earliest() const {
+    return store_ != nullptr ? store_->retained_from() : 0;
+  }
+  DbRole role(size_t db) const {
+    return store_ != nullptr ? (*roles_)[db] : unit_->roles[db];
+  }
+
+  /// Copies [begin, end) of one series (clamped to the addressable range;
+  /// cold ticks are inflated). The materializing accessor for consumers that
+  /// need owned data — diagnosis trend windows, capacity growth.
+  std::vector<double> CopyWindow(size_t kpi, size_t db, size_t begin,
+                                 size_t end) const;
+
   /// Installs a telemetry-validity mask: validity[db][t] != 0 when the
   /// sample at (db, t) is usable (fresh or in-budget imputed, and the
   /// database is not quarantined). Indices are in the unit's (buffer)
@@ -152,8 +186,6 @@ class CorrelationAnalyzer {
   bool PairEligible(size_t kpi, size_t a, size_t b, size_t begin,
                     size_t len) const;
 
-  const UnitData& unit() const { return unit_; }
-
  private:
   /// Memoized tables beyond this are dropped wholesale: windows advance
   /// monotonically, so old tables are dead weight, and a bounded memo keeps
@@ -166,8 +198,22 @@ class CorrelationAnalyzer {
   /// The (possibly memoized) prefix table of one series' window slice.
   const KcdWindowStats& StatsFor(size_t kpi, size_t db, size_t begin,
                                  size_t len);
+  /// The (possibly memoized) masked table — zero-filled batched moments plus
+  /// the effective mask — of one series' window slice.
+  const KcdMaskedWindowStats& MaskedStatsFor(size_t kpi, size_t db,
+                                             size_t begin, size_t len);
+  /// One window of one series as a stride-1 view: zero-copy off the store's
+  /// hot column when possible, otherwise materialized into `*scratch` (cold
+  /// reads, UnitData backend). Clamped to the addressable range; an
+  /// unreadable range yields an empty view.
+  SeriesView WindowView(size_t kpi, size_t db, size_t begin, size_t len,
+                        std::vector<double>* scratch) const;
+  /// Owned-Series variant for the measures that need Series inputs.
+  Series WindowSeries(size_t kpi, size_t db, size_t begin, size_t len) const;
 
-  const UnitData& unit_;
+  const UnitData* unit_ = nullptr;
+  const ColumnStore* store_ = nullptr;
+  const std::vector<DbRole>* roles_ = nullptr;
   const DbcatcherConfig& config_;
   KcdCache* cache_;
   const std::vector<std::vector<uint8_t>>* validity_ = nullptr;
@@ -176,6 +222,9 @@ class CorrelationAnalyzer {
   /// matrix. unordered_map references stay valid across inserts (node-based);
   /// PairScore pre-clears at the cap so two live references never dangle.
   std::unordered_map<uint64_t, KcdWindowStats> stats_;
+  /// Same sharing for degraded windows: masked tables depend only on their
+  /// own series and mask, so the N-1 pairs touching a series reuse one table.
+  std::unordered_map<uint64_t, KcdMaskedWindowStats> masked_stats_;
   AnalyzerMetrics metrics_;
   size_t stats_built_ = 0;
   size_t stats_reused_ = 0;

@@ -79,16 +79,20 @@ double FindingRatio(const DiagnosticReport& report, Kpi kpi) {
 
 /// Capacity growth of `db` in [begin, end) relative to the median growth of
 /// the other databases (growth measured as bytes added over the window).
-double CapacityGrowthVsPeers(const UnitData& unit, size_t db, size_t begin,
-                             size_t end) {
-  end = std::min(end, unit.length());
+/// Reads through the analyzer so the check works against either backend
+/// (UnitData trace or columnar store).
+double CapacityGrowthVsPeers(const CorrelationAnalyzer& analyzer, size_t db,
+                             size_t begin, size_t end) {
+  end = std::min(end, analyzer.length());
+  begin = std::max(begin, analyzer.earliest());
   if (end <= begin + 1) return 1.0;
   auto growth = [&](size_t which) {
-    const Series& cap = unit.kpi(which, Kpi::kRealCapacity);
-    return cap[end - 1] - cap[begin];
+    const std::vector<double> cap = analyzer.CopyWindow(
+        KpiIndex(Kpi::kRealCapacity), which, begin, end);
+    return cap.size() < 2 ? 0.0 : cap.back() - cap.front();
   };
   std::vector<double> peers;
-  for (size_t other = 0; other < unit.num_dbs(); ++other) {
+  for (size_t other = 0; other < analyzer.num_dbs(); ++other) {
     if (other != db) peers.push_back(growth(other));
   }
   const double peer_median = Median(std::move(peers));
@@ -188,11 +192,14 @@ DiagnosticReport Diagnose(CorrelationAnalyzer& analyzer,
     return report;
   }
 
-  const UnitData& unit = analyzer.unit();
   // Growth measured over window + one preceding window: bytes-per-window is
-  // small, so the longer horizon suppresses load-balancer noise.
-  report.capacity_growth_vs_peers = CapacityGrowthVsPeers(
-      unit, db, begin >= len ? begin - len : 0, end);
+  // small, so the longer horizon suppresses load-balancer noise. The context
+  // floor is the analyzer's earliest addressable tick (0 for offline traces,
+  // the retained floor for a trimming store).
+  const size_t ctx_begin =
+      std::max(begin >= len ? begin - len : 0, analyzer.earliest());
+  report.capacity_growth_vs_peers =
+      CapacityGrowthVsPeers(analyzer, db, ctx_begin, end);
   for (size_t kpi = 0; kpi < config.genome.alpha.size(); ++kpi) {
     const double score = analyzer.AggregateScore(kpi, db, begin, len);
     if (std::isnan(score)) continue;
@@ -205,14 +212,9 @@ DiagnosticReport Diagnose(CorrelationAnalyzer& analyzer,
     finding.score = score;
     finding.level = level;
 
-    const Series& series = unit.kpis[db].row(kpi);
-    const size_t ctx_begin = begin >= len ? begin - len : 0;
-    const std::vector<double> window(
-        series.values().begin() + static_cast<ptrdiff_t>(begin),
-        series.values().begin() + static_cast<ptrdiff_t>(end));
-    const std::vector<double> context(
-        series.values().begin() + static_cast<ptrdiff_t>(ctx_begin),
-        series.values().begin() + static_cast<ptrdiff_t>(begin));
+    const std::vector<double> window = analyzer.CopyWindow(kpi, db, begin, end);
+    const std::vector<double> context =
+        analyzer.CopyWindow(kpi, db, ctx_begin, begin);
     finding.shape = ClassifyTrend(window, context);
     const double ctx_mean = context.empty() ? 0.0 : Mean(context);
     finding.level_ratio = ctx_mean > 0.0 ? Mean(window) / ctx_mean : 1.0;

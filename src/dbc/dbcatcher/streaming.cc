@@ -8,55 +8,37 @@ namespace dbc {
 
 DbcatcherStream::DbcatcherStream(const DbcatcherConfig& config,
                                  std::vector<DbRole> roles)
-    : config_(config), roles_(std::move(roles)) {
+    : config_(config),
+      roles_(std::move(roles)),
+      store_(roles_.size(), kNumKpis, config_.cold_retention_ticks) {
   const size_t n = roles_.size();
   assert(n > 0);
   next_t0_.assign(n, 0);
-  buffer_.roles = roles_;
-  buffer_.kpis.resize(n);
-  buffer_.labels.assign(n, {});
-  valid_.assign(n, {});
-  gated_.assign(n, {});
   departed_.assign(n, 0);
   depart_tick_.assign(n, 0);
-  for (size_t db = 0; db < n; ++db) {
-    for (size_t k = 0; k < kNumKpis; ++k) {
-      buffer_.kpis[db].Add(KpiName(static_cast<Kpi>(k)), Series());
-    }
-  }
 }
 
 void DbcatcherStream::AppendTick(
     const std::vector<std::array<double, kNumKpis>>& values,
     const std::vector<uint8_t>& valid, const std::vector<uint8_t>& gated) {
   for (size_t db = 0; db < values.size(); ++db) {
-    for (size_t k = 0; k < kNumKpis; ++k) {
-      buffer_.kpis[db].row(k).PushBack(values[db][k]);
-    }
-    valid_[db].push_back(valid[db]);
-    gated_[db].push_back(gated[db]);
+    store_.AppendRow(db, values[db].data(), valid[db] != 0, gated[db] != 0);
   }
+  store_.CommitTick();
   ++ticks_;
   Inc(metrics_.ticks_pushed);
-  Set(metrics_.buffer_ticks, static_cast<double>(ticks_ - offset_));
+  Set(metrics_.buffer_ticks, static_cast<double>(store_.hot_ticks()));
   MaybeTrim();
 }
 
 size_t DbcatcherStream::AddDb(DbRole role) {
   const size_t db = roles_.size();
-  const size_t have = ticks_ - offset_;  // retained buffer length
   roles_.push_back(role);
-  buffer_.roles.push_back(role);
-  MultiSeries ms;
-  for (size_t k = 0; k < kNumKpis; ++k) {
-    ms.Add(KpiName(static_cast<Kpi>(k)), Series(std::vector<double>(have, 0.0)));
-  }
-  buffer_.kpis.push_back(std::move(ms));
-  buffer_.labels.emplace_back();
-  // Backfilled history is invalid and gated: the joiner's first window can
-  // only start at the join tick, on data it actually produced.
-  valid_.emplace_back(have, 0);
-  gated_.emplace_back(have, 1);
+  // Backfilled hot history is zeros, invalid and gated: the joiner's first
+  // window can only start at the join tick, on data it actually produced.
+  const size_t store_db = store_.AddDb();
+  (void)store_db;
+  assert(store_db == db);
   departed_.push_back(0);
   depart_tick_.push_back(0);
   next_t0_.push_back(ticks_);
@@ -80,7 +62,6 @@ Status DbcatcherStream::SetPrimary(size_t db) {
   }
   for (size_t i = 0; i < roles_.size(); ++i) {
     roles_[i] = i == db ? DbRole::kPrimary : DbRole::kReplica;
-    buffer_.roles[i] = roles_[i];
   }
   return Status::Ok();
 }
@@ -155,36 +136,31 @@ Status DbcatcherStream::PushAligned(const AlignedTick& tick) {
 }
 
 void DbcatcherStream::MaybeTrim() {
-  // Everything a future Poll, Diagnose, or threshold replay can still touch
-  // lies within 2*W_M of the earliest unresolved window; older ticks only
-  // grow the buffer (the unbounded growth noted in earlier revisions).
+  // Everything a future Poll, Diagnose, or threshold replay on the hot tier
+  // can still touch lies within 2*W_M of the earliest unresolved window;
+  // older ticks are sealed into the store's cold tier (and discarded when
+  // cold retention is off — the pre-columnar behavior).
   const size_t margin = 2 * std::max(config_.max_window, config_.initial_window);
-  // Retired databases (kDone) no longer hold the buffer back.
+  // Retired databases (kDone) no longer hold the hot window back.
   size_t min_t0 = ticks_;
   for (size_t t0 : next_t0_) {
     if (t0 != kDone) min_t0 = std::min(min_t0, t0);
   }
   const size_t retain_from = min_t0 > margin ? min_t0 - margin : 0;
-  const size_t drop = retain_from > offset_ ? retain_from - offset_ : 0;
-  // Amortize: erase in chunks of at least W_M so trims stay rare.
+  const size_t offset = store_.base_tick();
+  const size_t drop = retain_from > offset ? retain_from - offset : 0;
+  // Amortize: seal in chunks of at least W_M so trims stay rare (and cold
+  // segments hold meaningful spans).
   if (drop < std::max<size_t>(config_.max_window, 16)) return;
 
-  for (size_t db = 0; db < buffer_.kpis.size(); ++db) {
-    for (size_t k = 0; k < kNumKpis; ++k) {
-      std::vector<double>& v = buffer_.kpis[db].row(k).values();
-      v.erase(v.begin(), v.begin() + static_cast<ptrdiff_t>(drop));
-    }
-    valid_[db].erase(valid_[db].begin(),
-                     valid_[db].begin() + static_cast<ptrdiff_t>(drop));
-    gated_[db].erase(gated_[db].begin(),
-                     gated_[db].begin() + static_cast<ptrdiff_t>(drop));
-  }
-  offset_ += drop;
+  store_.SealTo(retain_from);
   Inc(metrics_.buffer_trims);
   Inc(metrics_.ticks_trimmed, drop);
-  Set(metrics_.trim_offset, static_cast<double>(offset_));
-  Set(metrics_.buffer_ticks, static_cast<double>(ticks_ - offset_));
-  Inc(metrics_.cache_evictions, cache_.EvictBefore(offset_));
+  Set(metrics_.trim_offset, static_cast<double>(store_.base_tick()));
+  Set(metrics_.buffer_ticks, static_cast<double>(store_.hot_ticks()));
+  // Memoized scores whose window left the *retained* span can never be asked
+  // for again; windows that merely went cold stay replayable and stay cached.
+  Inc(metrics_.cache_evictions, cache_.EvictBefore(store_.retained_from()));
 }
 
 std::vector<StreamVerdict> DbcatcherStream::Poll() {
@@ -193,9 +169,10 @@ std::vector<StreamVerdict> DbcatcherStream::Poll() {
   if (w == 0) return out;
 
   const DbcatcherConfig effective = EffectiveConfig();
-  CorrelationAnalyzer analyzer(buffer_, effective, &cache_);
-  analyzer.SetValidity(&valid_);
-  analyzer.SetCacheTickOffset(offset_);
+  // Store-backed analyzer: windows address absolute ticks, hot windows reach
+  // the kernels as zero-copy column views, and cache keys are absolute (the
+  // same keys the buffer-relative + trim-offset scheme used to produce).
+  CorrelationAnalyzer analyzer(store_, roles_, effective, &cache_);
   AnalyzerMetrics am;
   am.kcd_fast_pairs = metrics_.kcd_fast_pairs;
   am.kcd_reference_pairs = metrics_.kcd_reference_pairs;
@@ -213,13 +190,12 @@ std::vector<StreamVerdict> DbcatcherStream::Poll() {
         next_t0_[db] = kDone;
         break;
       }
-      assert(t0 >= offset_ && "window trimmed before it resolved");
-      // Run the observer in buffer coordinates, but only finalize when the
+      assert(t0 >= store_.base_tick() && "window trimmed before it resolved");
+      // Run the observer in absolute ticks, but only finalize when the
       // state resolved with the data at hand OR no further expansion is
       // possible; an "observable" window at the data horizon waits for more
       // pushes. Windows without usable telemetry resolve to kNoData.
-      Observation obs = ObserveDatabase(analyzer, effective, db, t0 - offset_,
-                                        ticks_ - offset_);
+      Observation obs = ObserveDatabase(analyzer, effective, db, t0, ticks_);
       if (obs.truncated) break;  // needs more data to resolve
 
       StreamVerdict verdict;
@@ -232,11 +208,10 @@ std::vector<StreamVerdict> DbcatcherStream::Poll() {
       // (joining replica's cold start, quarantine) is never judged — the
       // quality floors should already yield kNoData, but the gate makes it
       // structural.
-      const size_t lo = t0 - offset_;
-      const size_t hi = std::min(lo + std::max<size_t>(obs.consumed, w),
-                                 gated_[db].size());
-      for (size_t i = lo; i < hi; ++i) {
-        if (gated_[db][i]) {
+      const size_t hi = std::min(t0 + std::max<size_t>(obs.consumed, w),
+                                 store_.end_tick());
+      for (size_t t = t0; t < hi; ++t) {
+        if (store_.GatedAt(db, t)) {
           verdict.state = DbState::kNoData;
           break;
         }

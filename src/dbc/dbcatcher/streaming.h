@@ -14,6 +14,7 @@
 #include "dbc/dbcatcher/ingest.h"
 #include "dbc/dbcatcher/observer.h"
 #include "dbc/obs/metrics.h"
+#include "dbc/storage/column_store.h"
 
 namespace dbc {
 
@@ -53,10 +54,12 @@ struct StreamMetrics {
 /// waits for more data (the flexible expansion) before resolving, so Poll()
 /// may trail Push() by up to W_M ticks.
 ///
-/// The buffered trace is bounded: ticks older than the maximum window W_M
-/// (plus a diagnosis-context margin) behind the earliest unresolved window
-/// are trimmed. All verdict coordinates stay absolute; buffer_offset() maps
-/// them into the retained buffer.
+/// The retained trace is bounded: the hot columns of the backing
+/// ColumnStore cover ticks older than the maximum window W_M (plus a
+/// diagnosis-context margin) behind the earliest unresolved window; older
+/// ticks are sealed into the store's compressed cold tier (or discarded,
+/// with config.cold_retention_ticks == 0). All coordinates — verdicts,
+/// analyzer windows, cache keys — are absolute ticks.
 class DbcatcherStream {
  public:
   DbcatcherStream(const DbcatcherConfig& config, std::vector<DbRole> roles);
@@ -92,8 +95,11 @@ class DbcatcherStream {
   /// pair eligibility of the R-R KPIs follows immediately.
   Status SetPrimary(size_t db);
 
-  /// True once `db` has been removed.
-  bool Departed(size_t db) const { return departed_[db] != 0; }
+  /// True once `db` has been removed. Unknown ids have never been members,
+  /// so they report not-departed instead of indexing out of range.
+  bool Departed(size_t db) const {
+    return db < departed_.size() && departed_[db] != 0;
+  }
 
   /// Members not departed.
   size_t live_dbs() const;
@@ -111,27 +117,32 @@ class DbcatcherStream {
 
   const DbcatcherConfig& config() const { return config_; }
 
-  /// The retained trace window (roles + KPI series). Buffer index i holds
-  /// absolute tick buffer_offset() + i; everything older has been trimmed.
-  /// Labels are empty; callers replaying judgments attach their own ground
-  /// truth.
-  const UnitData& buffer() const { return buffer_; }
+  /// The columnar telemetry store backing the stream: hot columns over
+  /// [store().base_tick(), store().end_tick()), sealed cold segments behind
+  /// them. Analyzers and replays read it with absolute tick coordinates.
+  const ColumnStore& store() const { return store_; }
 
-  /// Absolute tick of buffer index 0 (monotonically non-decreasing).
-  size_t buffer_offset() const { return offset_; }
+  /// Current member roles (index = database id).
+  const std::vector<DbRole>& roles() const { return roles_; }
 
-  /// Telemetry validity mask aligned with buffer(): valid_[db][i] != 0 when
-  /// the sample is usable. Installed on analyzers replaying the buffer.
-  const std::vector<std::vector<uint8_t>>& validity() const { return valid_; }
+  /// Absolute tick of the first hot column entry (monotonically
+  /// non-decreasing; advances on trims).
+  size_t buffer_offset() const { return store_.base_tick(); }
 
   /// Installs observability counters (copied; null members stay no-ops).
   void set_metrics(const StreamMetrics& metrics) { metrics_ = metrics; }
+
+  /// Installs the store's dbc_store_* gauges/counters.
+  void set_store_metrics(const StoreMetrics& metrics) {
+    store_.set_metrics(metrics);
+  }
 
  private:
   void AppendTick(const std::vector<std::array<double, kNumKpis>>& values,
                   const std::vector<uint8_t>& valid,
                   const std::vector<uint8_t>& gated);
-  /// Drops buffered ticks no verdict or diagnosis can reference any more.
+  /// Seals hot ticks no verdict or diagnosis can reference any more into the
+  /// store's cold tier (or discards them, with cold retention off).
   void MaybeTrim();
 
   /// next_t0_ value of a database that schedules no further windows.
@@ -142,17 +153,12 @@ class DbcatcherStream {
   size_t ticks_ = 0;
   /// Next base-window start per database (absolute ticks; kDone = retired).
   std::vector<size_t> next_t0_;
-  /// Retained trace window; index 0 is absolute tick offset_.
-  UnitData buffer_;
-  /// Per-(db, buffer index) usability flags (parallel to buffer_).
-  std::vector<std::vector<uint8_t>> valid_;
-  /// Per-(db, buffer index) warm-up/quarantine gate (parallel to buffer_):
-  /// verdicts overlapping a gated tick are forced to kNoData.
-  std::vector<std::vector<uint8_t>> gated_;
+  /// Columnar telemetry: per-(db, KPI) hot columns + validity/gate bitmaps
+  /// + compressed cold segments.
+  ColumnStore store_;
   /// Departure flags and the tick each departure took effect.
   std::vector<uint8_t> departed_;
   std::vector<size_t> depart_tick_;
-  size_t offset_ = 0;
   KcdCache cache_;
   StreamMetrics metrics_;
 };

@@ -126,6 +126,15 @@ void UnitPipeline::EnableObservability(MetricsRegistry* registry,
   sm.kcd_stats_reused = registry->GetCounter(
       "dbc_stream_kcd_stats_total", {{"kind", "reused"}, {"unit", name_}});
   stream_.set_metrics(sm);
+
+  StoreMetrics stm;
+  stm.hot_bytes = registry->GetGauge("dbc_store_hot_bytes", unit);
+  stm.cold_bytes = registry->GetGauge("dbc_store_cold_bytes", unit);
+  stm.segments_sealed =
+      registry->GetCounter("dbc_store_segments_sealed_total", unit);
+  stm.decompress_hits =
+      registry->GetCounter("dbc_store_decompress_hits_total", unit);
+  stream_.set_store_metrics(stm);
 }
 
 Status UnitPipeline::Pump() {
@@ -277,11 +286,8 @@ std::vector<Alert> UnitPipeline::Drain() {
     }
   }
   if (verdicts.empty()) return alerts;
-  const size_t offset = stream_.buffer_offset();
   const DbcatcherConfig effective = stream_.EffectiveConfig();
-  CorrelationAnalyzer analyzer(stream_.buffer(), effective);
-  analyzer.SetValidity(&stream_.validity());
-  analyzer.SetCacheTickOffset(offset);
+  CorrelationAnalyzer analyzer(stream_.store(), stream_.roles(), effective);
   for (const StreamVerdict& v : verdicts) {
     ++verdicts_;
     ++state_counts_[static_cast<size_t>(v.state)];
@@ -316,13 +322,11 @@ std::vector<Alert> UnitPipeline::Drain() {
     alert.end = v.window.end;
     alert.consumed = v.window.consumed;
     // Diagnose over the window actually judged (expansions widen it past
-    // the base tile), translated into the trimmed buffer's coordinates.
-    if (v.window.begin >= offset) {
-      alert.report = Diagnose(analyzer, effective, v.db,
-                              v.window.begin - offset,
-                              v.window.begin + v.window.consumed - offset);
-      alert.report.begin = v.window.begin;
-      alert.report.end = v.window.begin + v.window.consumed;
+    // the base tile), in absolute ticks. Windows that left the retained
+    // span (hot + cold) can no longer be diagnosed.
+    if (v.window.begin >= stream_.store().retained_from()) {
+      alert.report = Diagnose(analyzer, effective, v.db, v.window.begin,
+                              v.window.begin + v.window.consumed);
     }
     Inc(metrics_.alerts_by_class[static_cast<size_t>(AlertClass::kAnomaly)]);
     alerts.push_back(std::move(alert));
@@ -364,19 +368,21 @@ OptimizeResult UnitPipeline::Relearn(ThresholdOptimizer& optimizer, Rng& rng) {
   // after the first nearly free (the windows are fixed, only thresholds
   // move). Windows already trimmed from the bounded buffer are skipped.
   KcdCache cache;
-  const UnitData& trace = stream_.buffer();
-  const size_t offset = stream_.buffer_offset();
+  // Replays read through the store in absolute ticks; with a cold tier
+  // configured, windows that left the hot columns inflate from the
+  // compressed segments bit-exactly, so retention — not the trim cadence —
+  // decides how much labeled history each relearn can use.
+  const size_t retained_from = stream_.store().retained_from();
   DbcatcherConfig candidate_config = stream_.config();
   auto fitness = [&](const ThresholdGenome& genome) {
     candidate_config.genome = genome;
-    CorrelationAnalyzer analyzer(trace, candidate_config, &cache);
-    analyzer.SetValidity(&stream_.validity());
-    analyzer.SetCacheTickOffset(offset);
+    CorrelationAnalyzer analyzer(stream_.store(), stream_.roles(),
+                                 candidate_config, &cache);
     Confusion confusion;
     for (const JudgmentRecord& record : feedback_.records()) {
-      if (record.begin < offset) continue;  // trimmed out of the buffer
+      if (record.begin < retained_from) continue;  // no longer retained
       const LevelSummary summary =
-          SummarizeLevels(analyzer, record.db, record.begin - offset,
+          SummarizeLevels(analyzer, record.db, record.begin,
                           record.end - record.begin, genome);
       const DbState db_state = DetermineState(summary, genome.tolerance);
       confusion.Add(db_state == DbState::kAbnormal, record.labeled_abnormal);

@@ -1,0 +1,243 @@
+#include "dbc/storage/column_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dbc/storage/gorilla.h"
+
+namespace dbc {
+
+ColumnStore::ColumnStore(size_t num_dbs, size_t num_kpis,
+                         size_t cold_retention_ticks)
+    : num_dbs_(num_dbs),
+      num_kpis_(num_kpis),
+      retention_(cold_retention_ticks),
+      columns_(num_dbs * num_kpis),
+      valid_bits_(num_dbs),
+      gated_bits_(num_dbs) {}
+
+void ColumnStore::AppendRow(size_t db, const double* kpi_values, bool valid,
+                            bool gated) {
+  assert(db < num_dbs_);
+  const size_t tick = end_tick();
+  for (size_t k = 0; k < num_kpis_; ++k) {
+    columns_[ColumnIndex(db, k)].push_back(kpi_values[k]);
+  }
+  const size_t bit = tick - mask_floor_;
+  valid_bits_[db].Append(bit, valid);
+  gated_bits_[db].Append(bit, gated);
+  ++pending_rows_;
+}
+
+void ColumnStore::CommitTick() {
+  assert(pending_rows_ == num_dbs_ && "every database must append once");
+  pending_rows_ = 0;
+  ++hot_len_;
+  PublishGauges();
+}
+
+size_t ColumnStore::AddDb() {
+  assert(pending_rows_ == 0 && "AddDb between ticks only");
+  const size_t db = num_dbs_++;
+  // Backfilled history is zero-valued, invalid, and gated: the joiner's
+  // first window can only start on data it actually produced.
+  for (size_t k = 0; k < num_kpis_; ++k) {
+    columns_.emplace_back(hot_len_, 0.0);
+  }
+  const size_t span = end_tick() - mask_floor_;
+  const size_t words = (span + 63) / 64;
+  Bitmap valid;
+  valid.words.assign(words, 0);
+  Bitmap gated;
+  gated.words.assign(words, ~uint64_t{0});
+  if (span & 63) {
+    // Bits past the current tick stay clear; they are appended later.
+    gated.words.back() = (uint64_t{1} << (span & 63)) - 1;
+  }
+  valid_bits_.push_back(std::move(valid));
+  gated_bits_.push_back(std::move(gated));
+  PublishGauges();
+  return db;
+}
+
+void ColumnStore::SealTo(size_t tick) {
+  assert(pending_rows_ == 0 && "SealTo between ticks only");
+  const size_t target = std::min(tick, end_tick());
+  if (target <= base_) return;
+  const size_t drop = target - base_;
+
+  if (retention_ > 0) {
+    std::vector<uint64_t> ticks(drop);
+    for (size_t i = 0; i < drop; ++i) ticks[i] = base_ + i;
+    ColdSegment seg;
+    seg.begin = base_;
+    seg.count = drop;
+    seg.num_dbs = num_dbs_;
+    seg.blocks.reserve(columns_.size());
+    for (const std::vector<double>& column : columns_) {
+      seg.blocks.push_back(GorillaCompress(ticks.data(), column.data(), drop));
+      cold_bytes_ += seg.blocks.back().size();
+      ++segments_sealed_;
+      Inc(metrics_.segments_sealed);
+    }
+    cold_.push_back(std::move(seg));
+  }
+  for (std::vector<double>& column : columns_) {
+    column.erase(column.begin(), column.begin() + static_cast<ptrdiff_t>(drop));
+  }
+  base_ = target;
+  hot_len_ -= drop;
+
+  // Age out segments wholly behind the retention horizon.
+  const size_t floor = base_ > retention_ ? base_ - retention_ : 0;
+  bool dropped_cold = false;
+  while (!cold_.empty() &&
+         cold_.front().begin + cold_.front().count <= floor) {
+    for (const std::vector<uint8_t>& block : cold_.front().blocks) {
+      cold_bytes_ -= block.size();
+    }
+    cold_.pop_front();
+    dropped_cold = true;
+  }
+  if (dropped_cold) {
+    decode_cache_.clear();
+    decode_fifo_.clear();
+  }
+
+  // Bitmaps shed whole words once no retained tick needs them.
+  const size_t new_floor = retained_from();
+  const size_t word_advance = (new_floor - mask_floor_) / 64;
+  if (word_advance > 0) {
+    for (size_t db = 0; db < num_dbs_; ++db) {
+      auto drop_words = [&](Bitmap& bits) {
+        const size_t n = std::min(word_advance, bits.words.size());
+        bits.words.erase(bits.words.begin(),
+                         bits.words.begin() + static_cast<ptrdiff_t>(n));
+      };
+      drop_words(valid_bits_[db]);
+      drop_words(gated_bits_[db]);
+    }
+    mask_floor_ += word_advance * 64;
+  }
+  PublishGauges();
+}
+
+SeriesView ColumnStore::Hot(size_t db, size_t kpi, size_t begin,
+                            size_t len) const {
+  assert(db < num_dbs_ && kpi < num_kpis_);
+  assert(begin >= base_ && begin + len <= end_tick() && "window not hot");
+  SeriesView view;
+  view.data = columns_[ColumnIndex(db, kpi)].data() + (begin - base_);
+  view.size = len;
+  view.mask_words = valid_bits_[db].words.data();
+  view.mask_offset = begin - mask_floor_;
+  return view;
+}
+
+const std::vector<double>* ColumnStore::DecodeColumn(const ColdSegment& seg,
+                                                     size_t db, size_t kpi,
+                                                     Status* status) const {
+  const uint64_t key =
+      (static_cast<uint64_t>(seg.begin) << 32) | ColumnIndex(db, kpi);
+  const auto it = decode_cache_.find(key);
+  if (it != decode_cache_.end()) return &it->second;
+
+  std::vector<double> values;
+  const std::vector<uint8_t>& block = seg.blocks[ColumnIndex(db, kpi)];
+  *status = GorillaDecompress(block.data(), block.size(), nullptr, &values);
+  if (status->ok() && values.size() != seg.count) {
+    *status = Status::IoError("cold segment decoded to wrong length");
+  }
+  if (!status->ok()) return nullptr;
+  ++decompress_hits_;
+  Inc(metrics_.decompress_hits);
+  if (decode_cache_.size() >= kDecodeCacheCap && !decode_fifo_.empty()) {
+    decode_cache_.erase(decode_fifo_.front());
+    decode_fifo_.pop_front();
+  }
+  decode_fifo_.push_back(key);
+  return &decode_cache_.emplace(key, std::move(values)).first->second;
+}
+
+Status ColumnStore::Read(size_t db, size_t kpi, size_t begin, size_t len,
+                         std::vector<double>* out) const {
+  if (db >= num_dbs_ || kpi >= num_kpis_) {
+    return Status::InvalidArgument("unknown column");
+  }
+  out->clear();
+  if (len == 0) return Status::Ok();
+  const size_t end = begin + len;
+  if (begin < retained_from() || end > end_tick()) {
+    return Status::OutOfRange("range not retained");
+  }
+  out->reserve(len);
+  // Cold part first (segments are ordered and contiguous), then hot.
+  for (const ColdSegment& seg : cold_) {
+    const size_t lo = std::max(begin, seg.begin);
+    const size_t hi = std::min(end, seg.begin + seg.count);
+    if (lo >= hi) continue;
+    if (db >= seg.num_dbs) {
+      // The database joined after this span was sealed: backfilled zeros,
+      // same as AddDb backfills the hot tier.
+      out->insert(out->end(), hi - lo, 0.0);
+      continue;
+    }
+    Status status = Status::Ok();
+    const std::vector<double>* values = DecodeColumn(seg, db, kpi, &status);
+    if (!status.ok()) return status;
+    out->insert(out->end(), values->begin() + (lo - seg.begin),
+                values->begin() + (hi - seg.begin));
+  }
+  if (end > base_) {
+    const size_t lo = std::max(begin, base_);
+    const std::vector<double>& column = columns_[ColumnIndex(db, kpi)];
+    out->insert(out->end(), column.begin() + (lo - base_),
+                column.begin() + (end - base_));
+  }
+  return Status::Ok();
+}
+
+bool ColumnStore::ValidAt(size_t db, size_t tick) const {
+  // Outside the retained bit span nothing can veto: mirrors the legacy
+  // vector masks, where an index past the mask was "not masked".
+  if (tick < mask_floor_ || tick >= end_tick()) return true;
+  return valid_bits_[db].Get(tick - mask_floor_);
+}
+
+bool ColumnStore::GatedAt(size_t db, size_t tick) const {
+  if (tick < mask_floor_ || tick >= end_tick()) return false;
+  return gated_bits_[db].Get(tick - mask_floor_);
+}
+
+size_t ColumnStore::CountValid(size_t db, size_t begin, size_t len) const {
+  const size_t end = std::min(begin + len, end_tick());
+  size_t count = 0;
+  for (size_t t = begin; t < end; ++t) {
+    count += ValidAt(db, t) ? 1 : 0;
+  }
+  return count;
+}
+
+size_t ColumnStore::hot_bytes() const {
+  size_t bytes = 0;
+  for (const std::vector<double>& column : columns_) {
+    bytes += column.size() * sizeof(double);
+  }
+  for (size_t db = 0; db < num_dbs_; ++db) {
+    bytes += (valid_bits_[db].words.size() + gated_bits_[db].words.size()) *
+             sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+void ColumnStore::set_metrics(const StoreMetrics& metrics) {
+  metrics_ = metrics;
+  PublishGauges();
+}
+
+void ColumnStore::PublishGauges() const {
+  Set(metrics_.hot_bytes, static_cast<double>(hot_bytes()));
+  Set(metrics_.cold_bytes, static_cast<double>(cold_bytes_));
+}
+
+}  // namespace dbc

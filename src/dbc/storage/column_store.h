@@ -1,0 +1,168 @@
+// Columnar struct-of-arrays telemetry store with a compressed cold tier.
+//
+// Layout (DESIGN.md §12). Each (database, KPI) series lives in its own
+// contiguous hot column covering absolute ticks [base_tick, end_tick); per
+// database, packed validity and warm-up-gate bitmaps run alongside (2 bits
+// per retained db-tick, shared by hot and cold). SealTo() compresses the hot
+// prefix of every column into one Gorilla block (gorilla.h) and advances
+// base_tick — with cold retention enabled the sealed segments stay readable
+// behind the hot window until they age past the retention horizon; with
+// retention 0 (the default) sealing degenerates to the pre-columnar trim.
+//
+// Hot() hands the KCD kernels a zero-copy stride-1 SeriesView straight off
+// the column (plus the bitmap words); Read() reassembles any retained range,
+// inflating cold segments through a small decode cache. Decompression is
+// bit-exact (u64 pattern), so a replay through the cold tier scores
+// identically to one that never left the hot tier.
+//
+// Not thread-safe: one store belongs to one unit pipeline (share-nothing),
+// like every other per-unit structure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "dbc/common/status.h"
+#include "dbc/obs/metrics.h"
+#include "dbc/storage/series_view.h"
+
+namespace dbc {
+
+/// Observability hooks (null = off; dbc_store_* metrics). Pure outputs —
+/// the store never reads them back, so obs on/off is behavior-identical.
+struct StoreMetrics {
+  Gauge* hot_bytes = nullptr;        // resident hot columns + bitmap words
+  Gauge* cold_bytes = nullptr;       // resident compressed segments
+  Counter* segments_sealed = nullptr;   // per-column Gorilla blocks written
+  Counter* decompress_hits = nullptr;   // cold reads that inflated a block
+};
+
+class ColumnStore {
+ public:
+  /// `cold_retention_ticks`: how far behind base_tick sealed data stays
+  /// readable (rounded up to whole segments). 0 = no cold tier.
+  ColumnStore(size_t num_dbs, size_t num_kpis, size_t cold_retention_ticks = 0);
+
+  size_t num_dbs() const { return num_dbs_; }
+  size_t num_kpis() const { return num_kpis_; }
+
+  /// First hot tick. Columns hold [base_tick(), end_tick()).
+  size_t base_tick() const { return base_; }
+  /// One past the newest committed tick.
+  size_t end_tick() const { return base_ + hot_len_; }
+  size_t hot_ticks() const { return hot_len_; }
+  /// Oldest tick still readable (cold floor; == base_tick() without a cold
+  /// tier).
+  size_t retained_from() const {
+    return cold_.empty() ? base_ : cold_.front().begin;
+  }
+
+  /// Appends tick end_tick() for one database; every database must be
+  /// appended exactly once per tick, then CommitTick() advances the clock.
+  void AppendRow(size_t db, const double* kpi_values, bool valid, bool gated);
+  void CommitTick();
+
+  /// Registers a database joining mid-stream. Its hot history is backfilled
+  /// with zeros, invalid + gated (same contract as the stream's AddDb); it
+  /// has no cold history. Returns the new id.
+  size_t AddDb();
+
+  /// Seals hot ticks [base_tick(), min(tick, end_tick())) into compressed
+  /// cold segments (or discards them when the cold tier is off) and drops
+  /// cold segments wholly behind the retention horizon.
+  void SealTo(size_t tick);
+
+  /// Zero-copy view of [begin, begin + len), which must lie entirely within
+  /// the hot tier. Mask words cover validity; invalidated on the next
+  /// CommitTick/SealTo/AddDb.
+  SeriesView Hot(size_t db, size_t kpi, size_t begin, size_t len) const;
+
+  /// Copies [begin, begin + len) into `out`, inflating cold segments as
+  /// needed (bit-exact). Fails with kOutOfRange when the range is not fully
+  /// retained and kIoError on a corrupt segment.
+  Status Read(size_t db, size_t kpi, size_t begin, size_t len,
+              std::vector<double>* out) const;
+
+  /// Validity of (db, tick). Ticks outside the retained range count as valid
+  /// — mirroring the legacy mask semantics where indices past the mask never
+  /// veto a window.
+  bool ValidAt(size_t db, size_t tick) const;
+  /// Warm-up/quarantine gate of (db, tick); false outside the retained range.
+  bool GatedAt(size_t db, size_t tick) const;
+  /// Number of valid ticks in [begin, begin + min(len, end_tick() - begin)).
+  size_t CountValid(size_t db, size_t begin, size_t len) const;
+
+  /// Resident footprint: hot column values + bitmap words.
+  size_t hot_bytes() const;
+  /// Resident footprint of the compressed cold tier.
+  size_t cold_bytes() const { return cold_bytes_; }
+  size_t segments_sealed() const { return segments_sealed_; }
+  size_t decompress_hits() const { return decompress_hits_; }
+
+  /// Installs observability gauges/counters (copied; nulls stay no-ops).
+  void set_metrics(const StoreMetrics& metrics);
+
+ private:
+  /// One sealed span: all columns that existed at seal time, one Gorilla
+  /// block each. Databases added later read as zeros inside it.
+  struct ColdSegment {
+    size_t begin = 0;
+    size_t count = 0;
+    size_t num_dbs = 0;
+    std::vector<std::vector<uint8_t>> blocks;  // [db * num_kpis + kpi]
+  };
+
+  /// Packed per-db bitmap over absolute ticks [floor_, ...); the floor only
+  /// advances by whole words (when cold data ages out), keeping bit offsets
+  /// cheap.
+  struct Bitmap {
+    std::vector<uint64_t> words;
+    bool Get(size_t bit) const {
+      return (words[bit >> 6] >> (bit & 63)) & 1u;
+    }
+    void Append(size_t bit, bool value) {
+      const size_t word = bit >> 6;
+      if (word >= words.size()) words.resize(word + 1, 0);
+      if (value) words[word] |= uint64_t{1} << (bit & 63);
+    }
+  };
+
+  size_t ColumnIndex(size_t db, size_t kpi) const {
+    return db * num_kpis_ + kpi;
+  }
+  void PublishGauges() const;
+  /// The decoded values of one cold segment's column (decode cache).
+  const std::vector<double>* DecodeColumn(const ColdSegment& seg, size_t db,
+                                          size_t kpi, Status* status) const;
+
+  size_t num_dbs_;
+  size_t num_kpis_;
+  size_t retention_;
+  size_t base_ = 0;
+  size_t hot_len_ = 0;
+  size_t pending_rows_ = 0;  // AppendRow calls since the last CommitTick
+  /// Hot columns, [db * num_kpis + kpi][t - base_].
+  std::vector<std::vector<double>> columns_;
+  /// Per-db validity / gate bitmaps over ticks [mask_floor_, end_tick()).
+  std::vector<Bitmap> valid_bits_;
+  std::vector<Bitmap> gated_bits_;
+  size_t mask_floor_ = 0;
+  std::deque<ColdSegment> cold_;
+  size_t cold_bytes_ = 0;
+  size_t segments_sealed_ = 0;
+  mutable size_t decompress_hits_ = 0;
+
+  /// FIFO decode cache: cold windows are re-read across pairs/genomes (the
+  /// Relearn replay), so a handful of inflated segments amortize the
+  /// decompression. Capped; not counted in cold_bytes().
+  static constexpr size_t kDecodeCacheCap = 16;
+  mutable std::unordered_map<uint64_t, std::vector<double>> decode_cache_;
+  mutable std::deque<uint64_t> decode_fifo_;
+
+  StoreMetrics metrics_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,227 @@
+#include "dbc/storage/gorilla.h"
+
+#include <array>
+#include <bit>
+#include <cassert>
+
+namespace dbc {
+
+namespace {
+
+/// Double-delta bucket boundaries (Gorilla §4.1.1, one extra wide bucket so
+/// arbitrary tick jumps still encode losslessly).
+constexpr int64_t kDod7 = 63;     // '10'   + 7 bits, dod in [-63, 64]
+constexpr int64_t kDod9 = 255;    // '110'  + 9 bits, dod in [-255, 256]
+constexpr int64_t kDod12 = 2047;  // '1110' + 12 bits, dod in [-2047, 2048]
+
+uint32_t CrcTableAt(size_t i) {
+  static const auto kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t n = 0; n < 256; ++n) {
+      uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[n] = c;
+    }
+    return table;
+  }();
+  return kTable[i];
+}
+
+void PutLe32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+uint32_t GorillaCrc32(const uint8_t* data, size_t size) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = CrcTableAt((crc ^ data[i]) & 0xFF) ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void BitWriter::WriteBits(uint64_t value, unsigned bits) {
+  assert(bits <= 64);
+  while (bits > 0) {
+    if (bit_fill_ == 0) bytes_.push_back(0);
+    const unsigned free_bits = 8 - bit_fill_;
+    const unsigned take = free_bits < bits ? free_bits : bits;
+    const uint64_t chunk =
+        (value >> (bits - take)) & ((uint64_t{1} << take) - 1);
+    bytes_.back() |= static_cast<uint8_t>(chunk << (free_bits - take));
+    bit_fill_ = (bit_fill_ + take) & 7;
+    bits -= take;
+  }
+}
+
+uint64_t BitReader::ReadBits(unsigned bits) {
+  assert(bits <= 64);
+  if (failed_ || pos_ + bits > size_bits_) {
+    failed_ = true;
+    return 0;
+  }
+  uint64_t out = 0;
+  unsigned remaining = bits;
+  while (remaining > 0) {
+    const uint8_t byte = data_[pos_ >> 3];
+    const unsigned avail = 8 - (pos_ & 7);
+    const unsigned take = avail < remaining ? avail : remaining;
+    const uint64_t chunk =
+        (byte >> (avail - take)) & ((uint64_t{1} << take) - 1);
+    out = (out << take) | chunk;
+    pos_ += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+std::vector<uint8_t> GorillaCompress(const uint64_t* ticks,
+                                     const double* values, size_t n) {
+  BitWriter w;
+  if (n > 0) {
+    w.WriteBits(ticks[0], 64);
+    w.WriteBits(std::bit_cast<uint64_t>(values[0]), 64);
+    // prev_delta starts at 1 so a dense cadence (the store's sealed hot
+    // prefixes) encodes its very first delta as the single '0' bit too.
+    uint64_t prev_tick = ticks[0];
+    int64_t prev_delta = 1;
+    uint64_t prev_bits = std::bit_cast<uint64_t>(values[0]);
+    unsigned win_lz = 0, win_tz = 0;
+    bool have_window = false;
+    for (size_t i = 1; i < n; ++i) {
+      assert(ticks[i] > prev_tick && "ticks must be strictly increasing");
+      const int64_t delta = static_cast<int64_t>(ticks[i] - prev_tick);
+      const int64_t dod = delta - prev_delta;
+      if (dod == 0) {
+        w.WriteBit(0);
+      } else if (dod >= -kDod7 && dod <= kDod7 + 1) {
+        w.WriteBits(0b10, 2);
+        w.WriteBits(static_cast<uint64_t>(dod + kDod7), 7);
+      } else if (dod >= -kDod9 && dod <= kDod9 + 1) {
+        w.WriteBits(0b110, 3);
+        w.WriteBits(static_cast<uint64_t>(dod + kDod9), 9);
+      } else if (dod >= -kDod12 && dod <= kDod12 + 1) {
+        w.WriteBits(0b1110, 4);
+        w.WriteBits(static_cast<uint64_t>(dod + kDod12), 12);
+      } else {
+        w.WriteBits(0b1111, 4);
+        w.WriteBits(static_cast<uint64_t>(delta), 64);
+      }
+      prev_delta = delta;
+      prev_tick = ticks[i];
+
+      const uint64_t bits = std::bit_cast<uint64_t>(values[i]);
+      const uint64_t x = bits ^ prev_bits;
+      prev_bits = bits;
+      if (x == 0) {
+        w.WriteBit(0);
+        continue;
+      }
+      w.WriteBit(1);
+      unsigned lz = static_cast<unsigned>(std::countl_zero(x));
+      const unsigned tz = static_cast<unsigned>(std::countr_zero(x));
+      if (lz > 31) lz = 31;  // 5-bit field; a wider window still round-trips
+      if (have_window && lz >= win_lz && tz >= win_tz) {
+        // The meaningful bits fit the previous window: reuse it.
+        w.WriteBit(0);
+        w.WriteBits(x >> win_tz, 64 - win_lz - win_tz);
+      } else {
+        const unsigned meaningful = 64 - lz - tz;
+        w.WriteBit(1);
+        w.WriteBits(lz, 5);
+        w.WriteBits(meaningful - 1, 6);
+        w.WriteBits(x >> tz, meaningful);
+        win_lz = lz;
+        win_tz = tz;
+        have_window = true;
+      }
+    }
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(8 + w.bytes().size());
+  PutLe32(out, static_cast<uint32_t>(n));
+  out.insert(out.end(), w.bytes().begin(), w.bytes().end());
+  PutLe32(out, GorillaCrc32(out.data(), out.size()));
+  return out;
+}
+
+Status GorillaDecompress(const uint8_t* data, size_t size,
+                         std::vector<uint64_t>* ticks,
+                         std::vector<double>* values) {
+  if (size < 8) return Status::IoError("gorilla block truncated");
+  const uint32_t stored_crc = GetLe32(data + size - 4);
+  if (GorillaCrc32(data, size - 4) != stored_crc) {
+    return Status::IoError("gorilla block crc mismatch");
+  }
+  const size_t n = GetLe32(data);
+  if (ticks != nullptr) {
+    ticks->clear();
+    ticks->reserve(n);
+  }
+  if (values != nullptr) {
+    values->clear();
+    values->reserve(n);
+  }
+  if (n == 0) return Status::Ok();
+
+  BitReader r(data + 4, size - 8);
+  uint64_t tick = r.ReadBits(64);
+  uint64_t bits = r.ReadBits(64);
+  int64_t prev_delta = 1;
+  unsigned win_lz = 0, win_tz = 0;
+  auto emit = [&] {
+    if (ticks != nullptr) ticks->push_back(tick);
+    if (values != nullptr) values->push_back(std::bit_cast<double>(bits));
+  };
+  emit();
+  for (size_t i = 1; i < n; ++i) {
+    int64_t delta;
+    if (r.ReadBit() == 0) {
+      delta = prev_delta;
+    } else if (r.ReadBit() == 0) {
+      delta = prev_delta + static_cast<int64_t>(r.ReadBits(7)) - kDod7;
+    } else if (r.ReadBit() == 0) {
+      delta = prev_delta + static_cast<int64_t>(r.ReadBits(9)) - kDod9;
+    } else if (r.ReadBit() == 0) {
+      delta = prev_delta + static_cast<int64_t>(r.ReadBits(12)) - kDod12;
+    } else {
+      delta = static_cast<int64_t>(r.ReadBits(64));
+    }
+    if (r.failed() || delta <= 0) {
+      return Status::IoError("gorilla timestamp stream malformed");
+    }
+    tick += static_cast<uint64_t>(delta);
+    prev_delta = delta;
+
+    if (r.ReadBit() != 0) {
+      if (r.ReadBit() == 0) {
+        bits ^= r.ReadBits(64 - win_lz - win_tz) << win_tz;
+      } else {
+        win_lz = static_cast<unsigned>(r.ReadBits(5));
+        const unsigned meaningful = static_cast<unsigned>(r.ReadBits(6)) + 1;
+        if (win_lz + meaningful > 64) {
+          return Status::IoError("gorilla value stream malformed");
+        }
+        win_tz = 64 - win_lz - meaningful;
+        bits ^= r.ReadBits(meaningful) << win_tz;
+      }
+    }
+    if (r.failed()) return Status::IoError("gorilla block truncated");
+    emit();
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbc

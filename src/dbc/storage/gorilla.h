@@ -1,0 +1,73 @@
+// Gorilla-style block codec for sealed cold segments (Facebook's in-memory
+// TSDB, VLDB'15): timestamps as double-delta with variable-width windows,
+// values as XOR against the previous value with reused leading/trailing-zero
+// windows. Values round-trip bit-exactly for every f64 payload — NaN payload
+// bits, infinities, -0.0, denormals — because the codec only ever touches the
+// raw u64 bit pattern (same guarantee the wire codec in dbc/net makes).
+//
+// Block layout: [u32 LE point count][bitstream][u32 LE CRC32 over everything
+// before it]. Any single-bit corruption anywhere in the block — count,
+// stream, or the CRC field itself — is rejected with kIoError rather than
+// decoded into silently wrong telemetry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dbc/common/status.h"
+
+namespace dbc {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `size` bytes.
+uint32_t GorillaCrc32(const uint8_t* data, size_t size);
+
+/// MSB-first bit appender backing the compressor.
+class BitWriter {
+ public:
+  /// Appends the low `bits` bits of `value`, most significant first.
+  void WriteBits(uint64_t value, unsigned bits);
+  void WriteBit(uint32_t bit) { WriteBits(bit, 1); }
+
+  /// The byte buffer, zero-padded to a byte boundary.
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  unsigned bit_fill_ = 0;  // bits used in the last byte (0 = byte-aligned)
+};
+
+/// MSB-first bit reader; overruns latch failed() instead of over-reading.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size_bytes)
+      : data_(data), size_bits_(size_bytes * 8) {}
+
+  /// Next `bits` bits as the low bits of the result; 0 once failed.
+  uint64_t ReadBits(unsigned bits);
+  uint32_t ReadBit() { return static_cast<uint32_t>(ReadBits(1)); }
+
+  bool failed() const { return failed_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_bits_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Compresses n (tick, value) points into one self-validating block. Ticks
+/// must be strictly increasing. n == 0 yields a valid empty block.
+std::vector<uint8_t> GorillaCompress(const uint64_t* ticks,
+                                     const double* values, size_t n);
+
+/// Decompresses a block produced by GorillaCompress. Returns kIoError on CRC
+/// mismatch, truncation, or a malformed bitstream; on success `ticks` /
+/// `values` (either may be null when the caller does not need it) are
+/// replaced with the decoded points, values bit-exact to the originals.
+Status GorillaDecompress(const uint8_t* data, size_t size,
+                         std::vector<uint64_t>* ticks,
+                         std::vector<double>* values);
+
+}  // namespace dbc

@@ -1,0 +1,42 @@
+// Zero-copy window view over one (database, KPI) series.
+//
+// The columnar store (column_store.h) keeps each series as a contiguous
+// struct-of-arrays hot column, so a window is just a pointer + length with
+// stride 1 — exactly what the prefix-sum KCD kernel's stats builders and the
+// vectorized cross-term pass want. Validity travels alongside as packed
+// bitmap words: bit (mask_offset + i) of mask_words corresponds to data[i].
+// A null mask means every point is valid (the clean-feed case).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dbc {
+
+struct SeriesView {
+  const double* data = nullptr;
+  size_t size = 0;
+  /// Packed validity bitmap; null = all valid. The view does not own the
+  /// words; the store (or whatever backs the view) must outlive it.
+  const uint64_t* mask_words = nullptr;
+  /// Bit position of data[0] within mask_words.
+  size_t mask_offset = 0;
+
+  double operator[](size_t i) const { return data[i]; }
+
+  bool ValidAt(size_t i) const {
+    if (mask_words == nullptr) return true;
+    const size_t bit = mask_offset + i;
+    return (mask_words[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  bool AllValid() const {
+    if (mask_words == nullptr) return true;
+    for (size_t i = 0; i < size; ++i) {
+      if (!ValidAt(i)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace dbc

@@ -22,6 +22,7 @@
 #include "dbc/common/rng.h"
 #include "dbc/correlation/kcd.h"
 #include "dbc/correlation/kcd_fast.h"
+#include "dbc/correlation/simd.h"
 #include "dbc/ts/series.h"
 
 namespace dbc {
@@ -236,6 +237,89 @@ TEST(KcdDifferentialTest, BatchedStatsMatchPerPairEntry) {
     EXPECT_EQ(direct.best_lag, batched.best_lag) << "case " << c;
     EXPECT_EQ(direct.score, batched.score) << "case " << c;
   }
+}
+
+TEST(KcdDifferentialTest, MaskedBatchedStatsMatchMaskedEntry) {
+  Rng rng(0xBA7CDA5CULL);
+  for (size_t c = 0; c < 400; ++c) {
+    const KcdOptions options = MakeOptions(c);
+    const size_t n = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(std::max<size_t>(4, options.min_overlap)), 90));
+    std::vector<double> vx = MakeWindow(rng, n);
+    std::vector<double> vy = MakePartner(rng, vx);
+    if (rng.Bernoulli(0.2)) {
+      vx[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1))] = kNan;
+    }
+    std::vector<uint8_t> mx(n, 1), my(n, 1);
+    const double drop = rng.Uniform(0.0, 0.5);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(drop)) mx[i] = 0;
+      if (rng.Bernoulli(drop)) my[i] = 0;
+    }
+
+    const KcdMaskedWindowStats sx =
+        BuildKcdMaskedWindowStats(vx.data(), n, mx, options.normalize);
+    const KcdMaskedWindowStats sy =
+        BuildKcdMaskedWindowStats(vy.data(), n, my, options.normalize);
+    const KcdResult batched = KcdMaskedFastFromStats(sx, sy, options);
+    const KcdResult direct =
+        KcdMaskedFast(Series(vx), Series(vy), &mx, &my, options);
+    EXPECT_EQ(direct.best_lag, batched.best_lag) << "case " << c;
+    EXPECT_EQ(direct.score, batched.score) << "case " << c;
+  }
+}
+
+TEST(KcdDifferentialTest, SimdPathsAreBitIdenticalToScalar) {
+  Rng rng(0x51D0D07ULL);
+  if (!simd::Avx2Available()) {
+    GTEST_SKIP() << "AVX2+FMA unavailable; scalar path is the only path "
+                 << "(active: " << simd::ActiveImplementation() << ")";
+  }
+  for (size_t c = 0; c < 500; ++c) {
+    // Awkward lengths on purpose: remainders of 0-3 exercise the tail.
+    const size_t n = static_cast<size_t>(rng.UniformInt(0, 130));
+    std::vector<double> a(n), b(n), am(n), bm(n), asq(n), bsq(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.Uniform(-1e3, 1e3);
+      b[i] = rng.Uniform(-1e3, 1e3);
+      const bool aok = rng.Bernoulli(0.8);
+      const bool bok = rng.Bernoulli(0.8);
+      if (!aok) a[i] = 0.0;
+      if (!bok) b[i] = 0.0;
+      am[i] = aok ? 1.0 : 0.0;
+      bm[i] = bok ? 1.0 : 0.0;
+      asq[i] = a[i] * a[i];
+      bsq[i] = b[i] * b[i];
+    }
+    const double ds = simd::DotScalar(a.data(), b.data(), n);
+    const double dv = simd::DotAvx2(a.data(), b.data(), n);
+    ASSERT_EQ(ds, dv) << "dot diverged, n=" << n;
+
+    const simd::MaskedLagMoments ms = simd::MaskedLagPassScalar(
+        a.data(), asq.data(), am.data(), b.data(), bsq.data(), bm.data(), n);
+    const simd::MaskedLagMoments mv = simd::MaskedLagPassAvx2(
+        a.data(), asq.data(), am.data(), b.data(), bsq.data(), bm.data(), n);
+    ASSERT_EQ(ms.m, mv.m) << n;
+    ASSERT_EQ(ms.sx, mv.sx) << n;
+    ASSERT_EQ(ms.sy, mv.sy) << n;
+    ASSERT_EQ(ms.sxy, mv.sxy) << n;
+    ASSERT_EQ(ms.sxx, mv.sxx) << n;
+    ASSERT_EQ(ms.syy, mv.syy) << n;
+    ASSERT_EQ(ms.lead_min, mv.lead_min) << n;
+    ASSERT_EQ(ms.lead_max, mv.lead_max) << n;
+    ASSERT_EQ(ms.follow_min, mv.follow_min) << n;
+    ASSERT_EQ(ms.follow_max, mv.follow_max) << n;
+  }
+  // Signed zeros follow the vminpd/vmaxpd operand rule identically.
+  const double z[4] = {-0.0, 0.0, -0.0, 0.0};
+  const double one[4] = {1.0, 1.0, 1.0, 1.0};
+  const double zsq[4] = {0.0, 0.0, 0.0, 0.0};
+  const simd::MaskedLagMoments zs =
+      simd::MaskedLagPassScalar(z, zsq, one, z, zsq, one, 4);
+  const simd::MaskedLagMoments zv =
+      simd::MaskedLagPassAvx2(z, zsq, one, z, zsq, one, 4);
+  EXPECT_EQ(std::signbit(zs.lead_min), std::signbit(zv.lead_min));
+  EXPECT_EQ(std::signbit(zs.lead_max), std::signbit(zv.lead_max));
 }
 
 TEST(KcdDifferentialTest, DispatchersHonourImplKnob) {

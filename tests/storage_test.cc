@@ -1,0 +1,325 @@
+// Storage layer tests: the Gorilla cold-tier codec (bit-exact round-trips,
+// every single-bit corruption rejected) and the ColumnStore (hot/cold
+// boundary reads, retention aging, mid-stream joins, bitmap semantics,
+// footprint metrics).
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbc/common/rng.h"
+#include "dbc/obs/metrics.h"
+#include "dbc/storage/column_store.h"
+#include "dbc/storage/gorilla.h"
+
+namespace dbc {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+double FromBits(uint64_t u) {
+  double v;
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+std::vector<uint64_t> MakeTicks(Rng& rng, size_t n, bool regular) {
+  std::vector<uint64_t> ticks(n);
+  uint64_t t = rng.UniformInt(0, 1 << 20);
+  for (size_t i = 0; i < n; ++i) {
+    t += regular ? 1 : static_cast<uint64_t>(rng.UniformInt(1, 5000));
+    ticks[i] = t;
+  }
+  return ticks;
+}
+
+// Seeded value families covering the shapes the store actually sees plus the
+// adversarial f64 payloads the codec promises to preserve bit-exactly.
+std::vector<double> MakeValues(Rng& rng, size_t n, int family) {
+  std::vector<double> v(n);
+  switch (family) {
+    case 0:  // exactly constant
+      for (double& x : v) x = 42.5;
+      break;
+    case 1: {  // ramp (double-delta friendly)
+      double acc = rng.Uniform(-100.0, 100.0);
+      const double step = rng.Uniform(0.001, 2.0);
+      for (double& x : v) x = acc += step;
+      break;
+    }
+    case 2:  // white noise
+      for (double& x : v) x = rng.Uniform(-1e6, 1e6);
+      break;
+    case 3:  // adversarial payloads: NaN payload bits, infs, -0, denormals
+      for (size_t i = 0; i < n; ++i) {
+        switch (i % 6) {
+          case 0: v[i] = FromBits(0x7ff8dead'beef0001ULL); break;  // NaN
+          case 1: v[i] = std::numeric_limits<double>::infinity(); break;
+          case 2: v[i] = -std::numeric_limits<double>::infinity(); break;
+          case 3: v[i] = -0.0; break;
+          case 4: v[i] = std::numeric_limits<double>::denorm_min(); break;
+          default: v[i] = rng.Normal(); break;
+        }
+      }
+      break;
+    default:  // fully random bit patterns (any u64 is a legal payload)
+      for (double& x : v) x = FromBits(rng.Next());
+      break;
+  }
+  return v;
+}
+
+TEST(GorillaCodecTest, RoundTripsBitExactAcrossFamilies) {
+  Rng rng(0xC01DC0DEULL);
+  for (size_t c = 0; c < 400; ++c) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(0, 300));
+    const int family = static_cast<int>(c % 5);
+    const std::vector<uint64_t> ticks = MakeTicks(rng, n, rng.Bernoulli(0.5));
+    const std::vector<double> values = MakeValues(rng, n, family);
+
+    const std::vector<uint8_t> block =
+        GorillaCompress(ticks.data(), values.data(), n);
+    std::vector<uint64_t> got_ticks;
+    std::vector<double> got_values;
+    ASSERT_TRUE(
+        GorillaDecompress(block.data(), block.size(), &got_ticks, &got_values)
+            .ok())
+        << "case " << c << " family " << family;
+    ASSERT_EQ(got_ticks.size(), n);
+    ASSERT_EQ(got_values.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(ticks[i], got_ticks[i]) << "case " << c << " i=" << i;
+      // Bit-pattern equality, not ==: NaNs and -0.0 must survive exactly.
+      ASSERT_EQ(Bits(values[i]), Bits(got_values[i]))
+          << "case " << c << " family " << family << " i=" << i;
+    }
+  }
+}
+
+TEST(GorillaCodecTest, DecodeSidesAreOptional) {
+  Rng rng(0x0B10C5ULL);
+  const size_t n = 64;
+  const std::vector<uint64_t> ticks = MakeTicks(rng, n, true);
+  const std::vector<double> values = MakeValues(rng, n, 2);
+  const std::vector<uint8_t> block =
+      GorillaCompress(ticks.data(), values.data(), n);
+
+  std::vector<double> got_values;
+  ASSERT_TRUE(
+      GorillaDecompress(block.data(), block.size(), nullptr, &got_values).ok());
+  ASSERT_EQ(got_values.size(), n);
+  EXPECT_EQ(Bits(values.back()), Bits(got_values.back()));
+
+  std::vector<uint64_t> got_ticks;
+  ASSERT_TRUE(
+      GorillaDecompress(block.data(), block.size(), &got_ticks, nullptr).ok());
+  ASSERT_EQ(got_ticks.size(), n);
+  EXPECT_EQ(ticks.back(), got_ticks.back());
+}
+
+TEST(GorillaCodecTest, RejectsEverySingleBitFlip) {
+  Rng rng(0xBADB17ULL);
+  const size_t n = 24;  // small block so every bit position stays affordable
+  const std::vector<uint64_t> ticks = MakeTicks(rng, n, false);
+  const std::vector<double> values = MakeValues(rng, n, 3);
+  const std::vector<uint8_t> block =
+      GorillaCompress(ticks.data(), values.data(), n);
+
+  for (size_t bit = 0; bit < block.size() * 8; ++bit) {
+    std::vector<uint8_t> corrupt = block;
+    corrupt[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    std::vector<uint64_t> got_ticks;
+    std::vector<double> got_values;
+    EXPECT_EQ(GorillaDecompress(corrupt.data(), corrupt.size(), &got_ticks,
+                                &got_values)
+                  .code(),
+              StatusCode::kIoError)
+        << "flip at bit " << bit << " decoded";
+  }
+  // Truncation at every byte boundary is rejected too.
+  for (size_t len = 0; len < block.size(); ++len) {
+    std::vector<uint64_t> got_ticks;
+    std::vector<double> got_values;
+    EXPECT_EQ(
+        GorillaDecompress(block.data(), len, &got_ticks, &got_values).code(),
+        StatusCode::kIoError)
+        << "truncated to " << len << " bytes decoded";
+  }
+}
+
+// --- ColumnStore ---
+
+// Deterministic per-(db, kpi, tick) value; any mismatch pinpoints itself.
+double Cell(size_t db, size_t kpi, size_t t) {
+  return static_cast<double>(db * 1000 + kpi) + static_cast<double>(t) * 0.5;
+}
+
+void PushTicks(ColumnStore& store, size_t count,
+               double (*cell)(size_t, size_t, size_t) = Cell) {
+  std::vector<double> row(store.num_kpis());
+  for (size_t i = 0; i < count; ++i) {
+    const size_t t = store.end_tick();
+    for (size_t db = 0; db < store.num_dbs(); ++db) {
+      for (size_t k = 0; k < store.num_kpis(); ++k) row[k] = cell(db, k, t);
+      store.AppendRow(db, row.data(), /*valid=*/t % 3 != 0, /*gated=*/t % 7 == 0);
+    }
+    store.CommitTick();
+  }
+}
+
+TEST(ColumnStoreTest, HotViewsAndReadsAgree) {
+  ColumnStore store(3, 4, 0);
+  PushTicks(store, 100);
+  EXPECT_EQ(store.base_tick(), 0u);
+  EXPECT_EQ(store.end_tick(), 100u);
+  EXPECT_EQ(store.hot_ticks(), 100u);
+
+  const SeriesView view = store.Hot(1, 2, 10, 50);
+  ASSERT_EQ(view.size, 50u);
+  std::vector<double> copied;
+  ASSERT_TRUE(store.Read(1, 2, 10, 50, &copied).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(view[i], Cell(1, 2, 10 + i));
+    EXPECT_EQ(copied[i], Cell(1, 2, 10 + i));
+    EXPECT_EQ(view.ValidAt(i), (10 + i) % 3 != 0);
+  }
+}
+
+TEST(ColumnStoreTest, SealReadsBackAcrossHotColdBoundary) {
+  ColumnStore store(2, 3, 1 << 20);
+  PushTicks(store, 200);
+  store.SealTo(120);
+  EXPECT_EQ(store.base_tick(), 120u);
+  EXPECT_EQ(store.hot_ticks(), 80u);
+  EXPECT_EQ(store.retained_from(), 0u);
+  EXPECT_GT(store.segments_sealed(), 0u);
+  EXPECT_GT(store.cold_bytes(), 0u);
+
+  // A read spanning cold + hot stitches both tiers bit-exactly.
+  for (size_t db = 0; db < 2; ++db) {
+    for (size_t k = 0; k < 3; ++k) {
+      std::vector<double> out;
+      ASSERT_TRUE(store.Read(db, k, 50, 150, &out).ok());
+      ASSERT_EQ(out.size(), 150u);
+      for (size_t i = 0; i < 150; ++i) {
+        ASSERT_EQ(out[i], Cell(db, k, 50 + i)) << "db=" << db << " k=" << k;
+      }
+    }
+  }
+  EXPECT_GT(store.decompress_hits(), 0u);
+
+  // Bitmap semantics survive sealing: cold ticks keep their bits.
+  for (size_t t = 0; t < 200; ++t) {
+    EXPECT_EQ(store.ValidAt(0, t), t % 3 != 0) << t;
+    EXPECT_EQ(store.GatedAt(0, t), t % 7 == 0) << t;
+  }
+  // Outside the retained range: valid (legacy mask semantics), not gated.
+  EXPECT_TRUE(store.ValidAt(0, 10000));
+  EXPECT_FALSE(store.GatedAt(0, 10000));
+}
+
+TEST(ColumnStoreTest, RetentionZeroDiscardsAndRetentionAgesOut) {
+  ColumnStore none(1, 2, 0);
+  PushTicks(none, 100);
+  none.SealTo(60);
+  EXPECT_EQ(none.base_tick(), 60u);
+  EXPECT_EQ(none.retained_from(), 60u);  // no cold tier at all
+  EXPECT_EQ(none.cold_bytes(), 0u);
+  std::vector<double> out;
+  EXPECT_EQ(none.Read(0, 0, 0, 10, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(none.Read(0, 0, 60, 40, &out).ok());
+
+  // Short retention: old segments age out as the horizon advances.
+  ColumnStore aged(1, 2, 50);
+  PushTicks(aged, 400);
+  aged.SealTo(100);
+  aged.SealTo(200);
+  aged.SealTo(300);
+  EXPECT_EQ(aged.base_tick(), 300u);
+  // Everything older than base - retention (= 250) is droppable; whole
+  // segments only, so the floor lands on a seal boundary <= 250.
+  EXPECT_GT(aged.retained_from(), 0u);
+  EXPECT_LE(aged.retained_from(), 250u);
+  EXPECT_EQ(aged.Read(0, 0, 0, 50, &out).code(), StatusCode::kOutOfRange);
+  const size_t from = aged.retained_from();
+  ASSERT_TRUE(aged.Read(0, 0, from, 400 - from, &out).ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], Cell(0, 0, from + i));
+  }
+}
+
+TEST(ColumnStoreTest, AddDbBackfillsInvalidGatedZeros) {
+  ColumnStore store(1, 2, 0);
+  PushTicks(store, 30);
+  const size_t joiner = store.AddDb();
+  EXPECT_EQ(joiner, 1u);
+  EXPECT_EQ(store.num_dbs(), 2u);
+
+  // Backfilled history: zero values, invalid, gated.
+  std::vector<double> out;
+  ASSERT_TRUE(store.Read(joiner, 0, 0, 30, &out).ok());
+  for (double v : out) EXPECT_EQ(v, 0.0);
+  for (size_t t = 0; t < 30; ++t) {
+    EXPECT_FALSE(store.ValidAt(joiner, t));
+    EXPECT_TRUE(store.GatedAt(joiner, t));
+  }
+  EXPECT_EQ(store.CountValid(joiner, 0, 30), 0u);
+
+  // New ticks land normally for both members.
+  PushTicks(store, 10);
+  EXPECT_EQ(store.end_tick(), 40u);
+  ASSERT_TRUE(store.Read(joiner, 1, 30, 10, &out).ok());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(out[i], Cell(joiner, 1, 30 + i));
+}
+
+TEST(ColumnStoreTest, CountValidMatchesBruteForce) {
+  ColumnStore store(2, 1, 0);
+  PushTicks(store, 130);  // crosses two 64-bit mask words
+  for (size_t begin = 0; begin < 130; begin += 7) {
+    for (size_t len : {0u, 1u, 5u, 63u, 64u, 65u, 200u}) {
+      size_t want = 0;
+      const size_t end = std::min<size_t>(130, begin + len);
+      for (size_t t = begin; t < end; ++t) want += t % 3 != 0;
+      EXPECT_EQ(store.CountValid(0, begin, len), want)
+          << "begin=" << begin << " len=" << len;
+    }
+  }
+}
+
+TEST(ColumnStoreTest, MetricsTrackFootprint) {
+  MetricsRegistry registry;
+  StoreMetrics m;
+  m.hot_bytes = registry.GetGauge("dbc_store_hot_bytes");
+  m.cold_bytes = registry.GetGauge("dbc_store_cold_bytes");
+  m.segments_sealed = registry.GetCounter("dbc_store_segments_sealed_total");
+  m.decompress_hits = registry.GetCounter("dbc_store_decompress_hits_total");
+
+  ColumnStore store(2, 3, 1 << 20);
+  store.set_metrics(m);
+  PushTicks(store, 200);
+  EXPECT_EQ(m.hot_bytes->value(), static_cast<double>(store.hot_bytes()));
+
+  store.SealTo(150);
+  EXPECT_EQ(m.hot_bytes->value(), static_cast<double>(store.hot_bytes()));
+  EXPECT_EQ(m.cold_bytes->value(), static_cast<double>(store.cold_bytes()));
+  EXPECT_EQ(m.segments_sealed->value(), store.segments_sealed());
+  EXPECT_GT(store.cold_bytes(), 0u);
+  // Sealing shrinks the resident footprint: compressed cold is much smaller
+  // than the hot columns it replaced (2 dbs x 3 kpis x 150 ticks x 8 B).
+  EXPECT_LT(store.cold_bytes(), 2 * 3 * 150 * sizeof(double));
+
+  std::vector<double> out;
+  ASSERT_TRUE(store.Read(0, 0, 0, 150, &out).ok());
+  EXPECT_EQ(m.decompress_hits->value(), store.decompress_hits());
+  EXPECT_GT(store.decompress_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -156,14 +156,16 @@ TEST(DbcatcherStreamTest, BufferStaysBoundedOnLongStreams) {
     }
     ASSERT_TRUE(stream.Push(tick).ok());
     for (const StreamVerdict& v : stream.Poll()) verdicts.push_back(v);
-    peak_buffer = std::max(peak_buffer, stream.buffer().length());
+    peak_buffer = std::max(peak_buffer, stream.store().hot_ticks());
   }
-  // The retained trace is bounded by the W_M + diagnosis-context margin, not
-  // by the stream length; old ticks were actually dropped.
+  // The retained hot span is bounded by the W_M + diagnosis-context margin,
+  // not by the stream length; old ticks were actually sealed away.
   EXPECT_LT(peak_buffer, 500u);
   EXPECT_GT(stream.buffer_offset(), 1000u);
-  EXPECT_EQ(stream.buffer_offset() + stream.buffer().length(), 2000u);
-  EXPECT_EQ(stream.validity().front().size(), stream.buffer().length());
+  EXPECT_EQ(stream.store().end_tick(), 2000u);
+  // Clean pushes are all valid: the hot bitmap agrees tick-for-tick.
+  const size_t hot = stream.store().hot_ticks();
+  EXPECT_EQ(stream.store().CountValid(0, stream.buffer_offset(), hot), hot);
 
   // Verdict coordinates stay absolute, contiguous, and per-db ordered.
   std::vector<size_t> next_begin(unit.num_dbs(), 0);
@@ -205,6 +207,67 @@ TEST(DbcatcherStreamTest, TicksAccumulate) {
   EXPECT_EQ(stream.ticks(), 50u);
 }
 
+TEST(DbcatcherStreamTest, DepartedRejectsUnknownIdsWithoutIndexing) {
+  const UnitData unit = SimUnit(10, 0.0, 31);
+  DbcatcherStream stream(DefaultDbcatcherConfig(kNumKpis), unit.roles);
+  // Regression: Departed() used to index departed_[db] unchecked, so an id
+  // past the member list read out of range. Unknown ids were never members
+  // and must report not-departed.
+  EXPECT_FALSE(stream.Departed(unit.num_dbs()));
+  EXPECT_FALSE(stream.Departed(static_cast<size_t>(-1)));
+  EXPECT_FALSE(stream.Departed(0));
+  ASSERT_TRUE(stream.RemoveDb(1).ok());
+  EXPECT_TRUE(stream.Departed(1));
+  EXPECT_FALSE(stream.Departed(unit.num_dbs()));  // still out of range
+}
+
+TEST(DbcatcherStreamTest, ColdRetentionReplaysTrimmedTicksBitExact) {
+  const UnitData unit = SimUnit(2000, 0.05, 23);
+  DbcatcherConfig config = DefaultDbcatcherConfig(kNumKpis);
+  config.cold_retention_ticks = 4000;  // keep everything sealed, compressed
+  DbcatcherStream stream(config, unit.roles);
+  std::vector<StreamVerdict> verdicts;
+  Replay(unit, stream, &verdicts);
+
+  ASSERT_GT(stream.buffer_offset(), 1000u);  // trims actually sealed data
+  const ColumnStore& store = stream.store();
+  EXPECT_EQ(store.retained_from(), 0u);      // ...but nothing left retention
+  EXPECT_GT(store.segments_sealed(), 0u);
+  EXPECT_GT(store.cold_bytes(), 0u);
+  // The compressed tier is the point: far smaller than the 8 B/tick raw span
+  // it replaced.
+  const size_t sealed_ticks = stream.buffer_offset();
+  EXPECT_LT(store.cold_bytes(),
+            sealed_ticks * unit.num_dbs() * kNumKpis * sizeof(double));
+
+  // Every sealed tick reads back bit-exactly through the cold tier.
+  for (size_t db = 0; db < unit.num_dbs(); ++db) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      std::vector<double> got;
+      ASSERT_TRUE(store.Read(db, k, 0, sealed_ticks, &got).ok());
+      ASSERT_EQ(got.size(), sealed_ticks);
+      const Series& want = unit.kpis[db].row(k);
+      for (size_t t = 0; t < sealed_ticks; ++t) {
+        ASSERT_EQ(want[t], got[t]) << "db=" << db << " kpi=" << k << " t=" << t;
+      }
+    }
+  }
+  EXPECT_GT(store.decompress_hits(), 0u);
+
+  // Cold retention must not perturb detection: the verdict stream matches a
+  // retention-off run bit-for-bit.
+  DbcatcherStream baseline(DefaultDbcatcherConfig(kNumKpis), unit.roles);
+  std::vector<StreamVerdict> base_verdicts;
+  Replay(unit, baseline, &base_verdicts);
+  ASSERT_EQ(verdicts.size(), base_verdicts.size());
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i].db, base_verdicts[i].db);
+    EXPECT_EQ(verdicts[i].window.begin, base_verdicts[i].window.begin);
+    EXPECT_EQ(verdicts[i].window.end, base_verdicts[i].window.end);
+    EXPECT_EQ(verdicts[i].state, base_verdicts[i].state);
+  }
+}
+
 TEST(DbcatcherStreamTest, MetricsMatchObservedGroundTruth) {
   // Long enough that the bounded buffer trims; counters must agree with what
   // the accessors report directly.
@@ -237,7 +300,7 @@ TEST(DbcatcherStreamTest, MetricsMatchObservedGroundTruth) {
   EXPECT_EQ(m.trim_offset->value(),
             static_cast<double>(stream.buffer_offset()));
   EXPECT_EQ(m.buffer_ticks->value(),
-            static_cast<double>(stream.buffer().length()));
+            static_cast<double>(stream.store().hot_ticks()));
   EXPECT_GT(m.cache_evictions->value(), 0u);  // trims evicted KCD memo rows
 }
 

@@ -98,15 +98,18 @@ std::string BenchReport::Write() const {
   std::string dir = (out_dir != nullptr && out_dir[0] != '\0') ? out_dir : ".";
   if (dir.back() != '/') dir += '/';
   const std::string sha = BenchGitSha();
+  const bool dirty = CurrentGitDirty();
   const std::string json_path = dir + "BENCH_" + name_ + ".json";
   const std::string csv_path = dir + "BENCH_" + name_ + ".csv";
 
   FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) return "";
   std::fprintf(json,
-               "{\"bench\":\"%s\",\"git_sha\":\"%s\",\"seed\":%llu,"
+               "{\"bench\":\"%s\",\"git_sha\":\"%s\",\"dirty\":%s,"
+               "\"seed\":%llu,"
                "\"scale\":%g,\"repeats\":%d,\"config\":\"%s\",\"metrics\":{",
                JsonEscape(name_).c_str(), JsonEscape(sha).c_str(),
+               dirty ? "true" : "false",
                static_cast<unsigned long long>(BenchSeed()), BenchScale(),
                BenchRepeats(), JsonEscape(config_).c_str());
   for (size_t i = 0; i < metrics_.size(); ++i) {
@@ -118,11 +121,12 @@ std::string BenchReport::Write() const {
 
   FILE* csv = std::fopen(csv_path.c_str(), "w");
   if (csv != nullptr) {
-    std::fputs("bench,git_sha,seed,scale,repeats,metric,value\n", csv);
+    std::fputs("bench,git_sha,dirty,seed,scale,repeats,metric,value\n", csv);
     for (const auto& [metric, value] : metrics_) {
-      std::fprintf(csv, "%s,%s,%llu,%g,%d,%s,%.6g\n", name_.c_str(),
-                   sha.c_str(), static_cast<unsigned long long>(BenchSeed()),
-                   BenchScale(), BenchRepeats(), metric.c_str(), value);
+      std::fprintf(csv, "%s,%s,%d,%llu,%g,%d,%s,%.6g\n", name_.c_str(),
+                   sha.c_str(), dirty ? 1 : 0,
+                   static_cast<unsigned long long>(BenchSeed()), BenchScale(),
+                   BenchRepeats(), metric.c_str(), value);
     }
     std::fclose(csv);
   }

@@ -1,0 +1,149 @@
+#include "dbc/common/binio.h"
+
+#include <cstring>
+
+namespace dbc {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const Crc32Table table;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table.entries[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void BinWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void BinWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void BinWriter::WriteF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinWriter::WriteBytes(const uint8_t* data, size_t size) {
+  WriteU64(size);
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
+void BinWriter::WriteString(const std::string& s) {
+  WriteBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+void BinWriter::WriteU64Vector(const std::vector<uint64_t>& v) {
+  WriteU64(v.size());
+  for (uint64_t x : v) WriteU64(x);
+}
+
+void BinWriter::WriteF64Vector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  for (double x : v) WriteF64(x);
+}
+
+bool BinReader::Require(size_t n) {
+  if (failed_ || size_ - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t BinReader::ReadU8() {
+  if (!Require(1)) return 0;
+  return data_[pos_++];
+}
+
+uint32_t BinReader::ReadU32() {
+  if (!Require(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+uint64_t BinReader::ReadU64() {
+  if (!Require(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+double BinReader::ReadF64() {
+  const uint64_t bits = ReadU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool BinReader::ReadCount(size_t elem_size, size_t* count) {
+  const uint64_t declared = ReadU64();
+  // Every element occupies at least `elem_size` bytes, so a declared count
+  // beyond remaining/elem_size is corrupt — reject before any allocation.
+  if (failed_ || (elem_size > 0 && declared > remaining() / elem_size)) {
+    failed_ = true;
+    *count = 0;
+    return false;
+  }
+  *count = static_cast<size_t>(declared);
+  return true;
+}
+
+bool BinReader::ReadBytes(std::vector<uint8_t>* out) {
+  size_t n = 0;
+  out->clear();
+  if (!ReadCount(1, &n) || !Require(n)) return false;
+  out->assign(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return true;
+}
+
+bool BinReader::ReadString(std::string* out) {
+  size_t n = 0;
+  out->clear();
+  if (!ReadCount(1, &n) || !Require(n)) return false;
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+bool BinReader::ReadU64Vector(std::vector<uint64_t>* out) {
+  size_t n = 0;
+  out->clear();
+  if (!ReadCount(8, &n)) return false;
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) out->push_back(ReadU64());
+  return !failed_;
+}
+
+bool BinReader::ReadF64Vector(std::vector<double>* out) {
+  size_t n = 0;
+  out->clear();
+  if (!ReadCount(8, &n)) return false;
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) out->push_back(ReadF64());
+  return !failed_;
+}
+
+}  // namespace dbc

@@ -1,0 +1,92 @@
+// Bounds-checked little-endian binary serialization for durable state
+// (checkpoint snapshots, WAL records, the durable alert log). A BinWriter
+// appends typed primitives to a byte buffer; a BinReader consumes them and
+// latches a typed error instead of over-reading — corrupt or truncated input
+// can make a load *fail*, never crash or fabricate lengths. Multi-byte
+// values are always little-endian, so state files are portable across hosts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbc/common/status.h"
+
+namespace dbc {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `size` bytes — the same
+/// polynomial the Gorilla block codec and the wire protocol use, kept in
+/// common so durable-state code does not pull in the storage layer.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+/// Appends typed primitives to a growing byte buffer.
+class BinWriter {
+ public:
+  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  /// Doubles are stored as their raw u64 bit pattern: every payload —
+  /// NaN bits, infinities, -0.0, denormals — round-trips bit-exactly.
+  void WriteF64(double v);
+  /// Length-prefixed (u64) byte string.
+  void WriteBytes(const uint8_t* data, size_t size);
+  void WriteString(const std::string& s);
+
+  void WriteU64Vector(const std::vector<uint64_t>& v);
+  void WriteF64Vector(const std::vector<double>& v);
+  void WriteByteVector(const std::vector<uint8_t>& v) {
+    WriteBytes(v.data(), v.size());
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Consumes primitives written by BinWriter. Every read is bounds-checked:
+/// the first overrun latches failed() and all further reads return zeros /
+/// empty values, so a decoder loop over corrupt input terminates cleanly.
+class BinReader {
+ public:
+  BinReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BinReader(const std::vector<uint8_t>& bytes)
+      : BinReader(bytes.data(), bytes.size()) {}
+
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  double ReadF64();
+  /// Reads a length-prefixed byte string into `out`. The declared length is
+  /// validated against the bytes actually remaining before any allocation,
+  /// so a corrupt length cannot trigger a giant resize.
+  bool ReadBytes(std::vector<uint8_t>* out);
+  bool ReadString(std::string* out);
+  bool ReadU64Vector(std::vector<uint64_t>* out);
+  bool ReadF64Vector(std::vector<double>* out);
+
+  /// Reads a u64 element count, failing unless count * elem_size bytes
+  /// remain. Use before reserving containers of non-primitive records.
+  bool ReadCount(size_t elem_size, size_t* count);
+
+  bool failed() const { return failed_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  /// kIoError once failed, OK otherwise (the uniform loader tail).
+  Status status() const {
+    return failed_ ? Status::IoError("truncated or corrupt state record")
+                   : Status::Ok();
+  }
+
+ private:
+  bool Require(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace dbc

@@ -24,6 +24,21 @@ std::string CurrentGitSha() {
   return sha;
 }
 
+bool CurrentGitDirty() {
+  const char* env = std::getenv("DBC_GIT_DIRTY");
+  if (env != nullptr && env[0] != '\0') {
+    const std::string v(env);
+    return v == "1" || v == "true" || v == "TRUE";
+  }
+  FILE* pipe = popen("git status --porcelain 2>/dev/null", "r");
+  if (pipe == nullptr) return true;  // cannot tell -> assume dirty
+  char buf[8] = {};
+  const bool any_output = std::fgets(buf, sizeof(buf), pipe) != nullptr;
+  const int rc = pclose(pipe);
+  if (rc != 0) return true;  // not a git tree / git failed -> assume dirty
+  return any_output;
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());

@@ -12,9 +12,18 @@ namespace dbc {
 /// else `git rev-parse --short=12 HEAD`, else "unknown".
 std::string CurrentGitSha();
 
+/// True when the working tree has uncommitted changes: $DBC_GIT_DIRTY when
+/// set ("1"/"true" = dirty, anything else = clean; CI pins it), else
+/// `git status --porcelain` non-empty. Unknown trees (no git) count as
+/// dirty — a committed BENCH_*.json must prove cleanliness, not assume it.
+bool CurrentGitDirty();
+
 /// Provenance stamp attached to machine-readable artifacts.
 struct RunProvenance {
   std::string git_sha = CurrentGitSha();
+  /// Uncommitted-tree flag next to the SHA: numbers from a dirty tree are
+  /// reproducible from no commit, and reviewers must be able to tell.
+  bool dirty = CurrentGitDirty();
   uint64_t seed = 0;
   /// Free-form description of the knobs that shaped the run.
   std::string config;

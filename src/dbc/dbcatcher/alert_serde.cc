@@ -1,0 +1,103 @@
+#include "dbc/dbcatcher/alert_serde.h"
+
+#include "dbc/cloudsim/kpi.h"
+#include "dbc/dbcatcher/levels.h"
+
+namespace dbc {
+
+namespace {
+
+void SaveReport(const DiagnosticReport& report, BinWriter& out) {
+  out.WriteU64(report.db);
+  out.WriteU64(report.begin);
+  out.WriteU64(report.end);
+  out.WriteU8(static_cast<uint8_t>(report.state));
+  out.WriteU64(report.findings.size());
+  for (const KpiFinding& finding : report.findings) {
+    out.WriteU8(static_cast<uint8_t>(finding.kpi));
+    out.WriteF64(finding.score);
+    out.WriteU8(static_cast<uint8_t>(finding.level));
+    out.WriteU8(static_cast<uint8_t>(finding.shape));
+    out.WriteF64(finding.level_ratio);
+  }
+  out.WriteF64(report.capacity_growth_vs_peers);
+  out.WriteU64(report.hypotheses.size());
+  for (const IncidentHypothesis& hypothesis : report.hypotheses) {
+    out.WriteString(hypothesis.family);
+    out.WriteF64(hypothesis.confidence);
+    out.WriteString(hypothesis.rationale);
+  }
+}
+
+Status LoadReport(BinReader& in, DiagnosticReport* report) {
+  report->db = in.ReadU64();
+  report->begin = in.ReadU64();
+  report->end = in.ReadU64();
+  const uint8_t state = in.ReadU8();
+  if (in.failed()) return in.status();
+  if (state > static_cast<uint8_t>(DbState::kNoData)) {
+    return Status::IoError("unknown db state in alert record");
+  }
+  report->state = static_cast<DbState>(state);
+  size_t findings = 0;
+  if (!in.ReadCount(19, &findings)) return in.status();
+  report->findings.resize(findings);
+  for (KpiFinding& finding : report->findings) {
+    const uint8_t kpi = in.ReadU8();
+    finding.score = in.ReadF64();
+    const uint8_t level = in.ReadU8();
+    const uint8_t shape = in.ReadU8();
+    finding.level_ratio = in.ReadF64();
+    if (in.failed()) return in.status();
+    if (kpi >= kNumKpis ||
+        level < static_cast<uint8_t>(CorrelationLevel::kExtremeDeviation) ||
+        level > static_cast<uint8_t>(CorrelationLevel::kCorrelated) ||
+        shape > static_cast<uint8_t>(TrendShape::kDrifting)) {
+      return Status::IoError("out-of-range enum in KPI finding");
+    }
+    finding.kpi = static_cast<Kpi>(kpi);
+    finding.level = static_cast<CorrelationLevel>(level);
+    finding.shape = static_cast<TrendShape>(shape);
+  }
+  report->capacity_growth_vs_peers = in.ReadF64();
+  size_t hypotheses = 0;
+  if (!in.ReadCount(24, &hypotheses)) return in.status();
+  report->hypotheses.resize(hypotheses);
+  for (IncidentHypothesis& hypothesis : report->hypotheses) {
+    if (!in.ReadString(&hypothesis.family)) return in.status();
+    hypothesis.confidence = in.ReadF64();
+    if (!in.ReadString(&hypothesis.rationale)) return in.status();
+  }
+  return in.status();
+}
+
+}  // namespace
+
+void SaveAlert(const Alert& alert, BinWriter& out) {
+  out.WriteU8(static_cast<uint8_t>(alert.alert_class));
+  out.WriteString(alert.unit);
+  out.WriteU64(alert.db);
+  out.WriteU64(alert.begin);
+  out.WriteU64(alert.end);
+  out.WriteU64(alert.consumed);
+  out.WriteString(alert.message);
+  SaveReport(alert.report, out);
+}
+
+Status LoadAlert(BinReader& in, Alert* alert) {
+  const uint8_t alert_class = in.ReadU8();
+  if (in.failed()) return in.status();
+  if (alert_class > static_cast<uint8_t>(AlertClass::kTopologyChange)) {
+    return Status::IoError("unknown alert class in alert record");
+  }
+  alert->alert_class = static_cast<AlertClass>(alert_class);
+  if (!in.ReadString(&alert->unit)) return in.status();
+  alert->db = in.ReadU64();
+  alert->begin = in.ReadU64();
+  alert->end = in.ReadU64();
+  alert->consumed = in.ReadU64();
+  if (!in.ReadString(&alert->message)) return in.status();
+  return LoadReport(in, &alert->report);
+}
+
+}  // namespace dbc

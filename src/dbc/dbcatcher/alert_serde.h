@@ -1,0 +1,20 @@
+// Binary serialization of Alert (including the nested DiagnosticReport) for
+// durable state: the checkpointed pipeline alert queues and the durable
+// alert log both carry full alerts, so a recovered engine re-emits records
+// byte-identical to what the uncrashed run would have produced.
+#pragma once
+
+#include "dbc/common/binio.h"
+#include "dbc/common/status.h"
+#include "dbc/dbcatcher/alert.h"
+
+namespace dbc {
+
+/// Appends one alert (class, coordinates, message, full diagnostic report).
+void SaveAlert(const Alert& alert, BinWriter& out);
+
+/// Decodes one alert written by SaveAlert. Enum fields outside their defined
+/// ranges fail with kIoError (corrupt input must never fabricate states).
+Status LoadAlert(BinReader& in, Alert* alert);
+
+}  // namespace dbc

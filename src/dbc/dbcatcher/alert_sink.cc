@@ -1,5 +1,7 @@
 #include "dbc/dbcatcher/alert_sink.h"
 
+#include <unistd.h>
+
 #include <utility>
 
 namespace dbc {
@@ -88,26 +90,59 @@ size_t BoundedAlertSink::dropped() const {
 }
 
 FileAlertSink::FileAlertSink(const std::string& path, Format format)
-    : file_(std::fopen(path.c_str(), "w")), format_(format) {
-  if (file_ != nullptr && format_ == Format::kCsv) {
-    std::fputs("unit,class,db,begin,end,consumed,detail\n", file_);
+    : path_(path),
+      tmp_path_(path + ".tmp"),
+      file_(std::fopen(tmp_path_.c_str(), "w")),
+      format_(format) {
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot create alert file: " + tmp_path_);
+    return;
+  }
+  if (format_ == Format::kCsv &&
+      std::fputs("unit,class,db,begin,end,consumed,detail\n", file_) < 0) {
+    status_ = Status::IoError("alert header write failed: " + tmp_path_);
   }
 }
 
-FileAlertSink::~FileAlertSink() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+FileAlertSink::~FileAlertSink() { Close(); }
 
 void FileAlertSink::Publish(const std::vector<Alert>& alerts) {
-  if (file_ == nullptr) return;
+  if (!status_.ok() || closed_) {
+    dropped_ += alerts.size();
+    return;
+  }
   for (const Alert& alert : alerts) {
     const std::string line = format_ == Format::kCsv ? FormatAlertCsv(alert)
                                                      : FormatAlertJson(alert);
-    std::fputs(line.c_str(), file_);
-    std::fputc('\n', file_);
+    if (std::fputs(line.c_str(), file_) < 0 ||
+        std::fputc('\n', file_) == EOF) {
+      status_ = Status::IoError("alert write failed: " + tmp_path_);
+      ++dropped_;
+      continue;  // keep counting the rest of the batch as dropped
+    }
     ++written_;
   }
-  std::fflush(file_);
+  if (status_.ok() && std::fflush(file_) != 0) {
+    status_ = Status::IoError("alert flush failed: " + tmp_path_);
+  }
+}
+
+Status FileAlertSink::Close() {
+  if (closed_) return status_;
+  closed_ = true;
+  if (file_ == nullptr) return status_;
+  const bool flushed =
+      std::fflush(file_) == 0 && fsync(fileno(file_)) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!flushed && status_.ok()) {
+    status_ = Status::IoError("alert fsync failed: " + tmp_path_);
+  }
+  if (!status_.ok()) return status_;
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    status_ = Status::IoError("alert rename failed: " + path_);
+  }
+  return status_;
 }
 
 std::string FormatAlertCsv(const Alert& alert) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "dbc/common/status.h"
 #include "dbc/dbcatcher/alert.h"
 
 namespace dbc {
@@ -64,30 +65,47 @@ class BoundedAlertSink : public AlertSink {
   size_t dropped_ = 0;
 };
 
-/// File sink for the bench harness: appends one CSV or JSONL record per
-/// alert. The CSV header is written on open; flushing happens per batch so a
-/// crashed run keeps everything already drained.
+/// Durable file sink: writes one CSV or JSONL record per alert into
+/// `<path>.tmp`, flushing per batch, and publishes the finished file with an
+/// explicit flush + fsync + atomic rename on Close() — a reader at `path`
+/// never observes a half-written file, and a crash before Close() leaves
+/// only the .tmp. IO failures are latched as a typed Status and every alert
+/// that could not be durably written is counted in dropped() (scraped into
+/// the engine's sink back-pressure gauge) instead of vanishing silently.
 class FileAlertSink : public AlertSink {
  public:
   enum class Format { kCsv, kJsonl };
 
   FileAlertSink(const std::string& path, Format format = Format::kCsv);
-  ~FileAlertSink() override;
+  ~FileAlertSink() override;  // best-effort Close()
 
   FileAlertSink(const FileAlertSink&) = delete;
   FileAlertSink& operator=(const FileAlertSink&) = delete;
 
   void Publish(const std::vector<Alert>& alerts) override;
 
-  /// True when the file opened successfully.
-  bool ok() const { return file_ != nullptr; }
+  /// Flushes, fsyncs, and atomically renames the temp file to `path`.
+  /// Idempotent; returns the first latched IO error if any write failed.
+  Status Close();
+
+  /// True while no IO failure has been latched.
+  bool ok() const { return status_.ok(); }
+  /// First IO failure (kIoError), or OK.
+  const Status& status() const { return status_; }
   /// Records written so far.
   size_t written() const { return written_; }
+  /// Alerts lost to IO failures (surfaced as sink back-pressure).
+  size_t dropped() const override { return dropped_; }
 
  private:
+  std::string path_;
+  std::string tmp_path_;
   FILE* file_ = nullptr;
   Format format_;
   size_t written_ = 0;
+  size_t dropped_ = 0;
+  bool closed_ = false;
+  Status status_;
 };
 
 /// One CSV row for `alert` (no trailing newline); column order matches

@@ -77,6 +77,11 @@ class KcdCache {
   /// how many entries were evicted (the stream's eviction counter).
   size_t EvictBefore(size_t begin);
 
+  /// Drops every memoized score. Safe at any point: the memo is
+  /// value-transparent (differentially tested against recomputation), so a
+  /// recovered stream that restarts with an empty cache scores identically.
+  void Clear() { map_.clear(); }
+
  private:
   std::unordered_map<uint64_t, double> map_;
 };

@@ -72,6 +72,13 @@ const UnitPipeline* DetectionEngine::Find(const std::string& unit) const {
   return it == pipelines_.end() ? nullptr : it->second.get();
 }
 
+std::vector<std::string> DetectionEngine::UnitNames() const {
+  std::vector<std::string> names;
+  names.reserve(pipelines_.size());
+  for (const auto& [name, pipeline] : pipelines_) names.push_back(name);
+  return names;
+}
+
 Status DetectionEngine::Ingest(
     const std::string& unit,
     const std::vector<std::array<double, kNumKpis>>& values) {

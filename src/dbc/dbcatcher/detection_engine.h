@@ -94,6 +94,15 @@ class DetectionEngine {
 
   size_t unit_count() const { return pipelines_.size(); }
 
+  /// Registered unit names in the deterministic merge order (name order).
+  /// The checkpoint writer iterates this to serialize per-unit state.
+  std::vector<std::string> UnitNames() const;
+
+  /// Drain batches completed so far (persisted across restart so the trace
+  /// tick and drain counters keep advancing monotonically).
+  size_t drain_count() const { return drain_count_; }
+  void set_drain_count(size_t count) { drain_count_ = count; }
+
   /// Effective parallelism (the pool's thread count, or 1 when sequential).
   size_t workers() const { return pool_ ? pool_->thread_count() : 1; }
 

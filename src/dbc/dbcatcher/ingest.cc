@@ -358,4 +358,135 @@ std::vector<DataQualityEvent> TelemetryIngestor::DrainEvents() {
   return out;
 }
 
+void TelemetryIngestor::SaveState(BinWriter& out) const {
+  out.WriteU64(num_dbs_);
+  out.WriteU64(pending_.size());
+  for (const auto& [tick, frame] : pending_) {
+    out.WriteU64(tick);
+    out.WriteU64(frame.samples.size());
+    for (const auto& sample : frame.samples) {
+      out.WriteU8(sample.has_value() ? 1 : 0);
+      if (sample.has_value()) {
+        for (double v : *sample) out.WriteF64(v);
+      }
+    }
+  }
+  out.WriteU64(dbs_.size());
+  for (const DbTrack& track : dbs_) {
+    for (double v : track.last_good) out.WriteF64(v);
+    for (uint8_t v : track.good_mask) out.WriteU8(v);
+    for (uint32_t v : track.kpi_gap) out.WriteU32(v);
+    for (double v : track.last_seen) out.WriteF64(v);
+    out.WriteU8(track.has_seen ? 1 : 0);
+    out.WriteU64(track.repeat_run);
+    out.WriteU64(track.gap_run);
+    out.WriteU64(track.missing_run);
+    out.WriteU64(track.fresh_run);
+    out.WriteU8(track.quarantined ? 1 : 0);
+    out.WriteU8(track.collector_down_raised ? 1 : 0);
+    out.WriteU64(track.active_from);
+    out.WriteU8(track.departed ? 1 : 0);
+    out.WriteU8(track.warming_up ? 1 : 0);
+    out.WriteU64(track.warmup_extra);
+  }
+  out.WriteU64(aliases_.size());
+  for (const auto& [from, to] : aliases_) {
+    out.WriteU64(from);
+    out.WriteU64(to);
+  }
+  out.WriteU64(events_.size());
+  for (const DataQualityEvent& event : events_) {
+    out.WriteU8(static_cast<uint8_t>(event.kind));
+    out.WriteU64(event.db);
+    out.WriteU64(event.tick);
+    out.WriteString(event.detail);
+  }
+  out.WriteU64(watermark_);
+  out.WriteU8(any_sample_ ? 1 : 0);
+  out.WriteU64(next_seal_);
+  out.WriteU64(late_drops_);
+}
+
+Status TelemetryIngestor::LoadState(BinReader& in) {
+  const size_t num_dbs = in.ReadU64();
+  size_t pending_count = 0;
+  if (!in.ReadCount(8, &pending_count)) return in.status();
+  std::map<size_t, PendingFrame> pending;
+  for (size_t i = 0; i < pending_count; ++i) {
+    const size_t tick = in.ReadU64();
+    size_t samples = 0;
+    if (!in.ReadCount(1, &samples)) return in.status();
+    PendingFrame frame;
+    frame.samples.resize(samples);
+    for (auto& sample : frame.samples) {
+      if (in.ReadU8() != 0) {
+        std::array<double, kNumKpis> values;
+        for (double& v : values) v = in.ReadF64();
+        sample = values;
+      }
+    }
+    if (in.failed()) return in.status();
+    pending.emplace(tick, std::move(frame));
+  }
+  size_t track_count = 0;
+  if (!in.ReadCount(1, &track_count)) return in.status();
+  std::vector<DbTrack> dbs(track_count);
+  for (DbTrack& track : dbs) {
+    for (double& v : track.last_good) v = in.ReadF64();
+    for (uint8_t& v : track.good_mask) v = in.ReadU8();
+    for (uint32_t& v : track.kpi_gap) v = in.ReadU32();
+    for (double& v : track.last_seen) v = in.ReadF64();
+    track.has_seen = in.ReadU8() != 0;
+    track.repeat_run = in.ReadU64();
+    track.gap_run = in.ReadU64();
+    track.missing_run = in.ReadU64();
+    track.fresh_run = in.ReadU64();
+    track.quarantined = in.ReadU8() != 0;
+    track.collector_down_raised = in.ReadU8() != 0;
+    track.active_from = in.ReadU64();
+    track.departed = in.ReadU8() != 0;
+    track.warming_up = in.ReadU8() != 0;
+    track.warmup_extra = in.ReadU64();
+  }
+  size_t alias_count = 0;
+  if (!in.ReadCount(16, &alias_count)) return in.status();
+  std::map<size_t, size_t> aliases;
+  for (size_t i = 0; i < alias_count; ++i) {
+    const size_t from = in.ReadU64();
+    aliases[from] = in.ReadU64();
+  }
+  size_t event_count = 0;
+  if (!in.ReadCount(25, &event_count)) return in.status();
+  std::vector<DataQualityEvent> events(event_count);
+  for (DataQualityEvent& event : events) {
+    const uint8_t kind = in.ReadU8();
+    if (kind > static_cast<uint8_t>(DataQualityEvent::Kind::kQuarantineExit)) {
+      return Status::IoError("unknown data-quality event kind in checkpoint");
+    }
+    event.kind = static_cast<DataQualityEvent::Kind>(kind);
+    event.db = in.ReadU64();
+    event.tick = in.ReadU64();
+    if (!in.ReadString(&event.detail)) return in.status();
+  }
+  const size_t watermark = in.ReadU64();
+  const bool any_sample = in.ReadU8() != 0;
+  const size_t next_seal = in.ReadU64();
+  const size_t late_drops = in.ReadU64();
+  if (in.failed()) return in.status();
+  if (dbs.size() != num_dbs) {
+    return Status::IoError("ingestor image track count mismatch");
+  }
+
+  num_dbs_ = num_dbs;
+  pending_ = std::move(pending);
+  dbs_ = std::move(dbs);
+  aliases_ = std::move(aliases);
+  events_ = std::move(events);
+  watermark_ = watermark;
+  any_sample_ = any_sample;
+  next_seal_ = next_seal;
+  late_drops_ = late_drops;
+  return Status::Ok();
+}
+
 }  // namespace dbc

@@ -25,6 +25,7 @@
 
 #include "dbc/cloudsim/telemetry.h"
 #include "dbc/cloudsim/topology.h"
+#include "dbc/common/binio.h"
 #include "dbc/common/status.h"
 #include "dbc/obs/metrics.h"
 
@@ -208,6 +209,15 @@ class TelemetryIngestor {
 
   /// Installs observability counters (copied; null members stay no-ops).
   void set_metrics(const IngestMetrics& metrics) { metrics_ = metrics; }
+
+  /// Serializes alignment buffer, per-feed quarantine/repair tracks, alias
+  /// table, undrained events, and watermarks for a durable checkpoint.
+  /// Config is construction-time policy, not state — it is not persisted.
+  void SaveState(BinWriter& out) const;
+
+  /// Restores a SaveState() image, replacing every field (config and
+  /// metrics keep their constructed values). kIoError on corrupt input.
+  Status LoadState(BinReader& in);
 
  private:
   struct PendingFrame {

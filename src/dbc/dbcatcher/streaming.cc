@@ -226,4 +226,64 @@ std::vector<StreamVerdict> DbcatcherStream::Poll() {
   return out;
 }
 
+void DbcatcherStream::SaveState(BinWriter& out) const {
+  out.WriteF64Vector(config_.genome.alpha);
+  out.WriteF64(config_.genome.theta);
+  out.WriteU64(static_cast<uint64_t>(config_.genome.tolerance));
+  out.WriteU64(roles_.size());
+  for (DbRole role : roles_) out.WriteU8(static_cast<uint8_t>(role));
+  out.WriteU64(ticks_);
+  out.WriteU64Vector(std::vector<uint64_t>(next_t0_.begin(), next_t0_.end()));
+  out.WriteU64(departed_.size());
+  for (uint8_t d : departed_) out.WriteU8(d);
+  out.WriteU64Vector(
+      std::vector<uint64_t>(depart_tick_.begin(), depart_tick_.end()));
+  store_.SaveState(out);
+}
+
+Status DbcatcherStream::LoadState(BinReader& in) {
+  ThresholdGenome genome;
+  if (!in.ReadF64Vector(&genome.alpha)) return in.status();
+  genome.theta = in.ReadF64();
+  genome.tolerance = static_cast<int>(in.ReadU64());
+  size_t role_count = 0;
+  if (!in.ReadCount(1, &role_count)) return in.status();
+  std::vector<DbRole> roles(role_count);
+  for (DbRole& role : roles) {
+    const uint8_t raw = in.ReadU8();
+    if (raw > static_cast<uint8_t>(DbRole::kReplica)) {
+      return Status::IoError("unknown database role in checkpoint");
+    }
+    role = static_cast<DbRole>(raw);
+  }
+  const size_t ticks = in.ReadU64();
+  std::vector<uint64_t> next_t0;
+  if (!in.ReadU64Vector(&next_t0)) return in.status();
+  size_t departed_count = 0;
+  if (!in.ReadCount(1, &departed_count)) return in.status();
+  std::vector<uint8_t> departed(departed_count);
+  for (uint8_t& d : departed) d = in.ReadU8();
+  std::vector<uint64_t> depart_tick;
+  if (!in.ReadU64Vector(&depart_tick)) return in.status();
+  if (in.failed()) return in.status();
+  if (roles.size() != next_t0.size() || roles.size() != departed.size() ||
+      roles.size() != depart_tick.size()) {
+    return Status::IoError("stream image member arrays disagree");
+  }
+  Status store_status = store_.LoadState(in);
+  if (!store_status.ok()) return store_status;
+  if (store_.num_dbs() != roles.size()) {
+    return Status::IoError("stream image store shape mismatch");
+  }
+
+  config_.genome = std::move(genome);
+  roles_ = std::move(roles);
+  ticks_ = ticks;
+  next_t0_.assign(next_t0.begin(), next_t0.end());
+  departed_ = std::move(departed);
+  depart_tick_.assign(depart_tick.begin(), depart_tick.end());
+  cache_.Clear();
+  return Status::Ok();
+}
+
 }  // namespace dbc

@@ -137,6 +137,17 @@ class DbcatcherStream {
     store_.set_metrics(metrics);
   }
 
+  /// Serializes verdict cursors, membership, the adaptive genome, and the
+  /// backing store for a durable checkpoint. The KCD memo cache is *not*
+  /// persisted: it is a value-transparent memo (differentially tested
+  /// against recomputation), so dropping it on recovery changes nothing.
+  void SaveState(BinWriter& out) const;
+
+  /// Restores a SaveState() image. The construction-time config (windows,
+  /// min_peers, retention) must match the original run; the genome is
+  /// restored from the image because feedback mutates it online.
+  Status LoadState(BinReader& in);
+
  private:
   void AppendTick(const std::vector<std::array<double, kNumKpis>>& values,
                   const std::vector<uint8_t>& valid,

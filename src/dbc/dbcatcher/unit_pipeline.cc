@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "dbc/common/stopwatch.h"
+#include "dbc/dbcatcher/alert_serde.h"
 
 namespace dbc {
 
@@ -404,6 +405,116 @@ OptimizeResult UnitPipeline::Relearn(ThresholdOptimizer& optimizer, Rng& rng) {
     }
   }
   return result;
+}
+
+void UnitPipeline::SaveState(BinWriter& out) const {
+  ingestor_.SaveState(out);
+  stream_.SaveState(out);
+  out.WriteU64(feedback_.records().size());
+  for (const JudgmentRecord& record : feedback_.records()) {
+    out.WriteU64(record.unit);
+    out.WriteU64(record.db);
+    out.WriteU64(record.begin);
+    out.WriteU64(record.end);
+    out.WriteU8(record.predicted_abnormal ? 1 : 0);
+    out.WriteU8(record.labeled_abnormal ? 1 : 0);
+  }
+  out.WriteU64(pending_.size());
+  for (const auto& [key, predicted] : pending_) {
+    out.WriteU64(std::get<0>(key));
+    out.WriteU64(std::get<1>(key));
+    out.WriteU64(std::get<2>(key));
+    out.WriteU8(predicted ? 1 : 0);
+  }
+  out.WriteU64(verdicts_);
+  for (size_t count : state_counts_) out.WriteU64(count);
+  out.WriteU64(next_tick_);
+  out.WriteU64(topology_alerts_.size());
+  for (const Alert& alert : topology_alerts_) SaveAlert(alert, out);
+  out.WriteU64(suppression_.size());
+  for (const auto& [begin, end] : suppression_) {
+    out.WriteU64(begin);
+    out.WriteU64(end);
+  }
+  out.WriteU64(suppressed_alerts_);
+  out.WriteU64(verdict_log_.size());
+  for (const StreamVerdict& verdict : verdict_log_) {
+    out.WriteU64(verdict.db);
+    out.WriteU64(verdict.window.begin);
+    out.WriteU64(verdict.window.end);
+    out.WriteU8(verdict.window.abnormal ? 1 : 0);
+    out.WriteU64(verdict.window.consumed);
+    out.WriteU8(static_cast<uint8_t>(verdict.state));
+  }
+}
+
+Status UnitPipeline::LoadState(BinReader& in) {
+  Status status = ingestor_.LoadState(in);
+  if (!status.ok()) return status;
+  status = stream_.LoadState(in);
+  if (!status.ok()) return status;
+  size_t feedback_count = 0;
+  if (!in.ReadCount(34, &feedback_count)) return in.status();
+  feedback_.Clear();
+  for (size_t i = 0; i < feedback_count; ++i) {
+    JudgmentRecord record;
+    record.unit = in.ReadU64();
+    record.db = in.ReadU64();
+    record.begin = in.ReadU64();
+    record.end = in.ReadU64();
+    record.predicted_abnormal = in.ReadU8() != 0;
+    record.labeled_abnormal = in.ReadU8() != 0;
+    if (in.failed()) return in.status();
+    feedback_.Record(record);
+  }
+  size_t pending_count = 0;
+  if (!in.ReadCount(25, &pending_count)) return in.status();
+  pending_.clear();
+  for (size_t i = 0; i < pending_count; ++i) {
+    const size_t db = in.ReadU64();
+    const size_t begin = in.ReadU64();
+    const size_t end = in.ReadU64();
+    const bool predicted = in.ReadU8() != 0;
+    if (in.failed()) return in.status();
+    pending_[{db, begin, end}] = predicted;
+  }
+  verdicts_ = in.ReadU64();
+  for (size_t& count : state_counts_) count = in.ReadU64();
+  next_tick_ = in.ReadU64();
+  size_t alert_count = 0;
+  if (!in.ReadCount(1, &alert_count)) return in.status();
+  topology_alerts_.clear();
+  topology_alerts_.resize(alert_count);
+  for (Alert& alert : topology_alerts_) {
+    status = LoadAlert(in, &alert);
+    if (!status.ok()) return status;
+  }
+  size_t suppression_count = 0;
+  if (!in.ReadCount(16, &suppression_count)) return in.status();
+  suppression_.clear();
+  for (size_t i = 0; i < suppression_count; ++i) {
+    const size_t begin = in.ReadU64();
+    suppression_.emplace_back(begin, in.ReadU64());
+  }
+  suppressed_alerts_ = in.ReadU64();
+  size_t verdict_count = 0;
+  if (!in.ReadCount(34, &verdict_count)) return in.status();
+  verdict_log_.clear();
+  verdict_log_.resize(verdict_count);
+  for (StreamVerdict& verdict : verdict_log_) {
+    verdict.db = in.ReadU64();
+    verdict.window.begin = in.ReadU64();
+    verdict.window.end = in.ReadU64();
+    verdict.window.abnormal = in.ReadU8() != 0;
+    verdict.window.consumed = in.ReadU64();
+    const uint8_t state = in.ReadU8();
+    if (in.failed()) return in.status();
+    if (state > static_cast<uint8_t>(DbState::kNoData)) {
+      return Status::IoError("unknown db state in verdict log");
+    }
+    verdict.state = static_cast<DbState>(state);
+  }
+  return in.status();
 }
 
 }  // namespace dbc

@@ -150,6 +150,17 @@ class UnitPipeline {
   /// output with observability on is bit-identical to off.
   void EnableObservability(MetricsRegistry* registry, TraceLog* trace);
 
+  /// Serializes the whole per-unit chain — ingest alignment, stream cursors
+  /// + store, feedback records, pending judgments, queued topology alerts,
+  /// suppression windows, counters — for a durable checkpoint. Call between
+  /// ticks (after a Drain), never mid-Tick.
+  void SaveState(BinWriter& out) const;
+
+  /// Restores a SaveState() image. The pipeline must have been constructed
+  /// with the same normalized config as the checkpointed one (config is
+  /// deployment policy, not durable state). kIoError on corrupt input.
+  Status LoadState(BinReader& in);
+
  private:
   /// Moves sealed frames from the ingestor into the stream.
   Status Pump();

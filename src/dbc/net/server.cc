@@ -357,4 +357,21 @@ void NetServer::RecountBuffered() {
   buffered_bytes_ = total;
 }
 
+std::vector<std::pair<uint64_t, uint64_t>> NetServer::ExportSessions() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [client_id, session] : sessions_) {
+    out.emplace_back(client_id, session.next_seq);
+  }
+  return out;
+}
+
+void NetServer::RestoreSessions(
+    const std::vector<std::pair<uint64_t, uint64_t>>& sessions) {
+  sessions_.clear();
+  for (const auto& [client_id, next_seq] : sessions) {
+    sessions_[client_id].next_seq = next_seq;
+  }
+}
+
 }  // namespace dbc

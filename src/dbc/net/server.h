@@ -26,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dbc/common/status.h"
@@ -153,6 +154,17 @@ class NetServer {
 
   /// Creates dbc_net_* metrics on `registry` (must outlive the server).
   void EnableObservability(MetricsRegistry* registry);
+
+  /// Per-client retransmit-dedup floors: (client_id, next unapplied seq)
+  /// pairs, in client-id order. Checkpointed so a restarted server re-ACKs —
+  /// without re-applying — frames a client retransmits across the restart.
+  /// Serve-thread only (or before the serve thread starts).
+  std::vector<std::pair<uint64_t, uint64_t>> ExportSessions() const;
+
+  /// Replaces the dedup table with checkpointed floors. Serve-thread only
+  /// (recovery installs it before serving resumes).
+  void RestoreSessions(
+      const std::vector<std::pair<uint64_t, uint64_t>>& sessions);
 
  private:
   struct Conn {

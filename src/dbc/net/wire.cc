@@ -101,33 +101,12 @@ class PayloadReader {
   size_t pos_ = 0;
 };
 
-std::array<uint32_t, 256> MakeCrcTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t crc = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
-    }
-    table[i] = crc;
-  }
-  return table;
-}
-
 bool ValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
          type <= static_cast<uint8_t>(FrameType::kNack);
 }
 
 }  // namespace
-
-uint32_t Crc32(const uint8_t* data, size_t size) {
-  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
-    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 const std::string& WireVerdictName(WireVerdict verdict) {
   static const std::array<std::string, 9> kNames = {

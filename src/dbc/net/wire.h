@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dbc/cloudsim/telemetry.h"
+#include "dbc/common/binio.h"
 
 namespace dbc {
 
@@ -39,8 +40,8 @@ inline constexpr size_t kWireMaxBatchSamples = 4096;
 inline constexpr size_t kWireMaxAlertRecords = 1024;
 inline constexpr size_t kWireMaxAlertRecordBytes = 1u << 16;
 
-/// CRC32 (IEEE 802.3 polynomial, reflected) of `size` bytes.
-uint32_t Crc32(const uint8_t* data, size_t size);
+// CRC32 over frame payloads is dbc::Crc32 (common/binio.h) — one IEEE 802.3
+// implementation shared by the wire protocol and the durable-state layer.
 
 /// Frame types. kHello opens a session (client_id payload) so sequence-based
 /// retransmit deduplication survives reconnects; kTelemetryBatch / kAlertBatch

@@ -91,7 +91,8 @@ std::string PrometheusText(const MetricsRegistry& registry) {
 std::string MetricsSnapshotJson(const MetricsRegistry& registry,
                                 const RunProvenance& provenance) {
   std::string out = "{\"git_sha\":\"" + JsonEscape(provenance.git_sha) +
-                    "\",\"seed\":" + Num(provenance.seed) + ",\"config\":\"" +
+                    "\",\"dirty\":" + (provenance.dirty ? "true" : "false") +
+                    ",\"seed\":" + Num(provenance.seed) + ",\"config\":\"" +
                     JsonEscape(provenance.config) + "\",\"metrics\":{";
   bool first = true;
   auto emit = [&](const std::string& key, const std::string& value) {

@@ -1,0 +1,285 @@
+#include "dbc/recovery/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "dbc/common/binio.h"
+
+namespace dbc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kCheckpointMagic = 0x4B434244u;  // "DBCK"
+constexpr uint32_t kCheckpointVersion = 1;
+
+/// Fsyncs a directory so a rename/create inside it is durable.
+Status SyncDir(const std::string& dir) {
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IoError("cannot open dir for fsync: " + dir);
+  const int rc = fsync(fd);
+  close(fd);
+  if (rc != 0) return Status::IoError("dir fsync failed: " + dir);
+  return Status::Ok();
+}
+
+/// Writes + fsyncs one checkpoint file. At the "checkpoint_file" crash point
+/// only half the bytes land (a torn state file inside the tmp dir).
+Status WriteFileDurable(const std::string& path,
+                        const std::vector<uint8_t>& bytes,
+                        CrashFaultInjector* injector) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Status::IoError("cannot create: " + path);
+  if (injector != nullptr && injector->Trigger("checkpoint_file")) {
+    std::fwrite(bytes.data(), 1, bytes.size() / 2, file);
+    std::fflush(file);
+    std::fclose(file);
+    throw CrashException("checkpoint_file");
+  }
+  const bool written =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), file) ==
+                           bytes.size();
+  const bool flushed = std::fflush(file) == 0 && fsync(fileno(file)) == 0;
+  std::fclose(file);
+  if (!written || !flushed) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status ReadFileAll(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("missing file: " + path);
+  std::fseek(file, 0, SEEK_END);
+  const long end = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  out->assign(end > 0 ? static_cast<size_t>(end) : 0, 0);
+  const bool read_ok =
+      out->empty() ||
+      std::fread(out->data(), 1, out->size(), file) == out->size();
+  std::fclose(file);
+  if (!read_ok) return Status::IoError("read failed: " + path);
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeEngineFile(const DetectionEngine& engine,
+                                      const CheckpointMeta& meta) {
+  BinWriter out;
+  out.WriteU64(meta.ops_committed);
+  out.WriteU64(meta.next_alert_seq);
+  out.WriteU64(meta.drain_count);
+  out.WriteU64(meta.net_sessions.size());
+  for (const auto& [client_id, next_seq] : meta.net_sessions) {
+    out.WriteU64(client_id);
+    out.WriteU64(next_seq);
+  }
+  const std::vector<std::string> units = engine.UnitNames();
+  out.WriteU64(units.size());
+  for (const std::string& unit : units) {
+    out.WriteString(unit);
+    const UnitPipeline* pipeline = engine.Find(unit);
+    const std::vector<DbRole>& roles = pipeline->stream().roles();
+    out.WriteU64(roles.size());
+    for (DbRole role : roles) out.WriteU8(static_cast<uint8_t>(role));
+  }
+  return out.Take();
+}
+
+}  // namespace
+
+std::string CheckpointDirName(const std::string& root, uint64_t n) {
+  return root + "/checkpoint-" + std::to_string(n);
+}
+
+Status WriteCheckpoint(const std::string& root, uint64_t n,
+                       const DetectionEngine& engine,
+                       const CheckpointMeta& meta,
+                       CrashFaultInjector* injector, size_t* bytes_written) {
+  const std::string final_dir = CheckpointDirName(root, n);
+  const std::string tmp_dir = final_dir + ".tmp";
+  std::error_code ec;
+  fs::remove_all(tmp_dir, ec);  // a previous crashed attempt
+  if (!fs::create_directories(tmp_dir, ec) && ec) {
+    return Status::IoError("cannot create checkpoint tmp dir: " + tmp_dir);
+  }
+
+  // File payloads first (so the MANIFEST can carry their CRCs), then the
+  // durable writes, then the manifest, then the atomic rename.
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> files;
+  files.emplace_back("engine.state", EncodeEngineFile(engine, meta));
+  const std::vector<std::string> units = engine.UnitNames();
+  for (size_t i = 0; i < units.size(); ++i) {
+    BinWriter unit_out;
+    engine.Find(units[i])->SaveState(unit_out);
+    files.emplace_back("unit-" + std::to_string(i) + ".state",
+                       unit_out.Take());
+  }
+
+  BinWriter manifest;
+  manifest.WriteU32(kCheckpointMagic);
+  manifest.WriteU32(kCheckpointVersion);
+  manifest.WriteU64(files.size());
+  size_t total_bytes = 0;
+  for (const auto& [name, bytes] : files) {
+    manifest.WriteString(name);
+    manifest.WriteU64(bytes.size());
+    manifest.WriteU32(Crc32(bytes.data(), bytes.size()));
+    total_bytes += bytes.size();
+  }
+  const std::vector<uint8_t>& body = manifest.bytes();
+  manifest.WriteU32(Crc32(body.data(), body.size()));
+
+  for (const auto& [name, bytes] : files) {
+    const Status written =
+        WriteFileDurable(tmp_dir + "/" + name, bytes, injector);
+    if (!written.ok()) return written;
+  }
+  const Status manifest_written =
+      WriteFileDurable(tmp_dir + "/MANIFEST", manifest.bytes(), injector);
+  if (!manifest_written.ok()) return manifest_written;
+  Status synced = SyncDir(tmp_dir);
+  if (!synced.ok()) return synced;
+
+  if (injector != nullptr && injector->Trigger("checkpoint_pre_rename")) {
+    // Complete tmp dir, no rename: the stale-leftover state recovery sweeps.
+    throw CrashException("checkpoint_pre_rename");
+  }
+  fs::rename(tmp_dir, final_dir, ec);
+  if (ec) return Status::IoError("checkpoint rename failed: " + final_dir);
+  synced = SyncDir(root);
+  if (!synced.ok()) return synced;
+  if (bytes_written != nullptr) {
+    *bytes_written = total_bytes + manifest.bytes().size();
+  }
+  return Status::Ok();
+}
+
+Status LoadCheckpoint(const std::string& root, uint64_t n,
+                      DetectionEngine& engine, CheckpointMeta* meta) {
+  const std::string dir = CheckpointDirName(root, n);
+  std::vector<uint8_t> manifest_bytes;
+  Status status = ReadFileAll(dir + "/MANIFEST", &manifest_bytes);
+  if (!status.ok()) return status;
+  if (manifest_bytes.size() < 4) {
+    return Status::IoError("manifest truncated: " + dir);
+  }
+  const size_t body_size = manifest_bytes.size() - 4;
+  BinReader trailer(manifest_bytes.data() + body_size, 4);
+  if (Crc32(manifest_bytes.data(), body_size) != trailer.ReadU32()) {
+    return Status::IoError("manifest CRC mismatch: " + dir);
+  }
+  BinReader manifest(manifest_bytes.data(), body_size);
+  if (manifest.ReadU32() != kCheckpointMagic) {
+    return Status::IoError("bad checkpoint magic: " + dir);
+  }
+  if (manifest.ReadU32() != kCheckpointVersion) {
+    return Status::IoError("unsupported checkpoint version: " + dir);
+  }
+  size_t file_count = 0;
+  if (!manifest.ReadCount(16, &file_count) || file_count == 0) {
+    return Status::IoError("manifest file table corrupt: " + dir);
+  }
+  std::vector<std::vector<uint8_t>> contents(file_count);
+  std::vector<std::string> names(file_count);
+  for (size_t i = 0; i < file_count; ++i) {
+    if (!manifest.ReadString(&names[i])) return manifest.status();
+    const uint64_t size = manifest.ReadU64();
+    const uint32_t crc = manifest.ReadU32();
+    if (manifest.failed()) return manifest.status();
+    if (names[i].find('/') != std::string::npos || names[i].empty()) {
+      return Status::IoError("manifest names a path, not a file: " + dir);
+    }
+    status = ReadFileAll(dir + "/" + names[i], &contents[i]);
+    if (!status.ok()) return status;
+    if (contents[i].size() != size ||
+        Crc32(contents[i].data(), contents[i].size()) != crc) {
+      return Status::IoError("checkpoint file corrupt: " + names[i]);
+    }
+  }
+  if (manifest.remaining() != 0) {
+    return Status::IoError("trailing bytes in manifest: " + dir);
+  }
+  if (names[0] != "engine.state") {
+    return Status::IoError("first checkpoint file must be engine.state");
+  }
+
+  BinReader engine_in(contents[0]);
+  CheckpointMeta loaded;
+  loaded.ops_committed = engine_in.ReadU64();
+  loaded.next_alert_seq = engine_in.ReadU64();
+  loaded.drain_count = engine_in.ReadU64();
+  size_t session_count = 0;
+  if (!engine_in.ReadCount(16, &session_count)) return engine_in.status();
+  loaded.net_sessions.reserve(session_count);
+  for (size_t i = 0; i < session_count; ++i) {
+    const uint64_t client_id = engine_in.ReadU64();
+    loaded.net_sessions.emplace_back(client_id, engine_in.ReadU64());
+  }
+  size_t unit_count = 0;
+  if (!engine_in.ReadCount(9, &unit_count)) return engine_in.status();
+  if (unit_count != file_count - 1) {
+    return Status::IoError("unit count disagrees with manifest file table");
+  }
+  for (size_t i = 0; i < unit_count; ++i) {
+    std::string unit;
+    if (!engine_in.ReadString(&unit)) return engine_in.status();
+    size_t role_count = 0;
+    if (!engine_in.ReadCount(1, &role_count)) return engine_in.status();
+    std::vector<DbRole> roles(role_count);
+    for (DbRole& role : roles) {
+      const uint8_t raw = engine_in.ReadU8();
+      if (raw > static_cast<uint8_t>(DbRole::kReplica)) {
+        return Status::IoError("unknown role in engine.state");
+      }
+      role = static_cast<DbRole>(raw);
+    }
+    if (engine_in.failed()) return engine_in.status();
+    engine.RegisterUnit(unit, std::move(roles));
+    BinReader unit_in(contents[i + 1]);
+    status = engine.Find(unit)->LoadState(unit_in);
+    if (!status.ok()) return status;
+    if (unit_in.remaining() != 0) {
+      return Status::IoError("trailing bytes in unit state: " + unit);
+    }
+  }
+  if (engine_in.remaining() != 0) {
+    return Status::IoError("trailing bytes in engine.state");
+  }
+  engine.set_drain_count(loaded.drain_count);
+  *meta = std::move(loaded);
+  return Status::Ok();
+}
+
+CheckpointScan ScanCheckpoints(const std::string& root) {
+  CheckpointScan scan;
+  std::error_code ec;
+  std::vector<std::pair<uint64_t, std::string>> complete;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("checkpoint-", 0) != 0) continue;
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      scan.stale.push_back(entry.path().string());
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long n =
+        std::strtoull(name.c_str() + 11, &end, 10);
+    if (end == nullptr || *end != '\0') continue;  // not ours; leave it
+    complete.emplace_back(n, entry.path().string());
+  }
+  for (const auto& [n, path] : complete) {
+    if (!scan.found || n > scan.latest) {
+      scan.found = true;
+      scan.latest = n;
+    }
+  }
+  for (const auto& [n, path] : complete) {
+    if (n != scan.latest) scan.stale.push_back(path);
+  }
+  return scan;
+}
+
+}  // namespace dbc

@@ -1,0 +1,74 @@
+// Versioned, CRC-guarded, atomically-renamed engine checkpoints (DESIGN.md
+// §13). A checkpoint is a directory `checkpoint-<n>` holding one state file
+// per unit (the UnitPipeline::SaveState image: ingest alignment, stream
+// cursors, ColumnStore hot/cold tiers, feedback, queued alerts), one
+// engine-level file (op/alert/drain counters, net-session dedup floors, the
+// unit registry), and a MANIFEST listing every file with its size and CRC32.
+//
+// Atomicity: everything is written into `checkpoint-<n>.tmp`, each file is
+// fsynced, then the directory is renamed to `checkpoint-<n>` and the parent
+// fsynced. A crash at any point leaves either the old checkpoint intact (a
+// stale .tmp is swept on recovery) or the new one complete — never a
+// half-checkpoint that validates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dbc/common/status.h"
+#include "dbc/dbcatcher/detection_engine.h"
+#include "dbc/recovery/crash_injector.h"
+
+namespace dbc {
+
+/// Engine-level durable counters carried alongside the per-unit state.
+struct CheckpointMeta {
+  /// Committed input ops at checkpoint time (the WAL epoch boundary: the
+  /// fresh WAL continues from here, and the harness resumes feeding here).
+  uint64_t ops_committed = 0;
+  /// Next global alert sequence number (alert-log dedup across restart).
+  uint64_t next_alert_seq = 1;
+  /// Engine drain batches completed.
+  uint64_t drain_count = 0;
+  /// NetServer per-client (client_id, next_seq) retransmit-dedup floors.
+  std::vector<std::pair<uint64_t, uint64_t>> net_sessions;
+};
+
+/// Directory name of checkpoint `n` under `root`.
+std::string CheckpointDirName(const std::string& root, uint64_t n);
+
+/// Writes `checkpoint-<n>` under `root` (which must exist): tmp dir →
+/// per-unit files + engine file + MANIFEST, fsync, atomic rename. Crash
+/// points: "checkpoint_file" (torn state file in the tmp dir) and
+/// "checkpoint_pre_rename" (complete tmp dir, no rename). `bytes_written`
+/// (optional) receives the checkpoint's total payload size.
+Status WriteCheckpoint(const std::string& root, uint64_t n,
+                       const DetectionEngine& engine,
+                       const CheckpointMeta& meta,
+                       CrashFaultInjector* injector = nullptr,
+                       size_t* bytes_written = nullptr);
+
+/// Loads `checkpoint-<n>` into a freshly-constructed engine: verifies the
+/// MANIFEST and every file CRC, re-registers each unit, and restores its
+/// pipeline state. Any mismatch — missing file, wrong size, CRC, truncated
+/// or trailing bytes — fails with kIoError and leaves nothing half-applied
+/// worth trusting (the caller discards the engine on failure).
+Status LoadCheckpoint(const std::string& root, uint64_t n,
+                      DetectionEngine& engine, CheckpointMeta* meta);
+
+/// What a recovery scan of `root` found.
+struct CheckpointScan {
+  bool found = false;    // at least one complete checkpoint dir exists
+  uint64_t latest = 0;   // highest complete checkpoint number
+  /// Stale `checkpoint-*.tmp` leftovers and superseded checkpoint dirs /
+  /// WAL files (everything recovery should sweep once a choice is made).
+  std::vector<std::string> stale;
+};
+
+/// Lists checkpoints under `root` (no validation — the loader validates).
+/// Missing root scans as empty.
+CheckpointScan ScanCheckpoints(const std::string& root);
+
+}  // namespace dbc

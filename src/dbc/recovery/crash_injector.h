@@ -1,0 +1,62 @@
+// Deterministic crash-fault injection for the durability layer (DESIGN.md
+// §13). The durable IO paths consult an injector at named crash points
+// (mid-WAL-append, mid-checkpoint-file, pre/post checkpoint rename, torn
+// alert-log tail); when the armed countdown for a point reaches zero the IO
+// layer performs the partial side effect a real power cut would leave —
+// half-written record, stale tmp directory — and throws CrashException.
+//
+// The harness (tests/crash_recovery_test.cc, bench_table14) catches the
+// exception, destroys the engine, and reopens it on the same directory: an
+// in-process kill that exercises the exact on-disk states of a kill -9,
+// while staying deterministic and ASan/TSan-friendly.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace dbc {
+
+/// Thrown by durable IO at an armed crash point, after the torn on-disk
+/// side effect has been applied. Nothing in the recovery layer catches it —
+/// it unwinds to the harness like a process death.
+struct CrashException : std::runtime_error {
+  explicit CrashException(const std::string& point)
+      : std::runtime_error("injected crash at " + point) {}
+};
+
+/// Countdown-armed crash points. Share-nothing with the engine: the injector
+/// only observes IO-layer calls, so an unarmed (or absent) injector leaves
+/// durable IO byte-identical to production.
+class CrashFaultInjector {
+ public:
+  /// Arms `point`: the `countdown`-th Trigger(point) call returns true
+  /// (1 = the very next one). Re-arming replaces the previous countdown.
+  void ArmAt(const std::string& point, size_t countdown) {
+    counts_[point] = countdown;
+  }
+
+  /// True when this call is the armed crash hit for `point`. The caller then
+  /// applies its torn side effect and throws CrashException — Trigger itself
+  /// never throws, so each IO site controls what "torn" means for it.
+  bool Trigger(const std::string& point) {
+    auto it = counts_.find(point);
+    if (it == counts_.end() || it->second == 0) return false;
+    return --it->second == 0;
+  }
+
+  /// Total hits still pending (0 = the injector is spent).
+  size_t armed() const {
+    size_t total = 0;
+    for (const auto& [point, count] : counts_) total += count;
+    return total;
+  }
+
+  void Clear() { counts_.clear(); }
+
+ private:
+  std::map<std::string, size_t> counts_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,260 @@
+#include "dbc/recovery/durable_engine.h"
+
+#include <filesystem>
+
+#include "dbc/common/stopwatch.h"
+#include "dbc/dbcatcher/alert_serde.h"
+
+namespace dbc {
+
+namespace fs = std::filesystem;
+
+DurableEngine::DurableEngine(DurableEngineConfig config,
+                             CrashFaultInjector* injector)
+    : config_(std::move(config)), injector_(injector) {}
+
+Status DurableEngine::Open() {
+  Stopwatch watch;
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  if (ec) return Status::IoError("cannot create state dir: " + config_.dir);
+
+  engine_ = std::make_unique<DetectionEngine>(config_.engine);
+  CheckpointMeta meta;
+  const CheckpointScan scan = ScanCheckpoints(config_.dir);
+  if (scan.found) {
+    const Status loaded =
+        LoadCheckpoint(config_.dir, scan.latest, *engine_, &meta);
+    if (!loaded.ok()) return loaded;
+    recovery_.checkpoint_loaded = true;
+    recovery_.checkpoint_epoch = scan.latest;
+    epoch_ = scan.latest;
+  }
+  ops_committed_ = meta.ops_committed;
+  next_alert_seq_ = meta.next_alert_seq;
+  recovered_sessions_ = meta.net_sessions;
+
+  // Sweep crash leftovers: half-written tmp dirs and superseded epochs.
+  for (const std::string& stale : scan.stale) {
+    fs::remove_all(stale, ec);
+    ++recovery_.stale_dirs_removed;
+  }
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 && name != "wal-" +
+        std::to_string(epoch_) + ".log") {
+      fs::remove(entry.path(), ec);
+      ++recovery_.stale_dirs_removed;
+    }
+  }
+
+  // Durable alert log: drop a torn tail, then find the durable seq floor —
+  // the highest alert the crashed run already persisted. Replayed drains
+  // regenerate those alerts; the floor stops them from being appended twice.
+  RecordLog::ScanResult alerts_scan;
+  Status status = RecordLog::Scan(alert_log_path(), &alerts_scan);
+  if (!status.ok()) return status;
+  if (alerts_scan.torn_bytes > 0) {
+    status = RecordLog::TruncateTo(alert_log_path(), alerts_scan.valid_bytes);
+    if (!status.ok()) return status;
+    recovery_.alert_torn_bytes_truncated = alerts_scan.torn_bytes;
+  }
+  if (!alerts_scan.records.empty()) {
+    BinReader last(alerts_scan.records.back());
+    durable_alert_floor_ = last.ReadU64();
+  }
+  recovery_.durable_alert_floor = durable_alert_floor_;
+
+  // WAL tail: truncate past the last committed record, then replay the
+  // committed ops through the normal engine path.
+  RecordLog::ScanResult wal_scan;
+  status = RecordLog::Scan(WalPath(epoch_), &wal_scan);
+  if (!status.ok()) return status;
+  if (wal_scan.torn_bytes > 0) {
+    status = RecordLog::TruncateTo(WalPath(epoch_), wal_scan.valid_bytes);
+    if (!status.ok()) return status;
+    recovery_.wal_torn_bytes_truncated = wal_scan.torn_bytes;
+  }
+  alert_log_ = std::make_unique<RecordLog>(alert_log_path(), config_.fsync,
+                                           injector_, "alert_append");
+  status = alert_log_->Open();
+  if (!status.ok()) return status;
+  for (const std::vector<uint8_t>& record : wal_scan.records) {
+    EngineOp op;
+    status = DecodeOp(record, &op);
+    if (!status.ok()) return status;
+    if (op.kind == EngineOp::Kind::kDrain) {
+      std::vector<Alert> replayed;
+      status = DrainDurable(&replayed);
+      ++drains_since_checkpoint_;
+    } else {
+      status = ApplyOp(*engine_, op);
+    }
+    if (!status.ok()) return status;
+    ++ops_committed_;
+    ++recovery_.wal_records_replayed;
+  }
+
+  wal_ = std::make_unique<RecordLog>(WalPath(epoch_), config_.fsync,
+                                     injector_, "wal_append");
+  status = wal_->Open();
+  if (!status.ok()) return status;
+  recovery_.recovery_seconds = watch.ElapsedSeconds();
+  open_ = true;
+  if (engine_->metrics() != nullptr) EnableObservability(engine_->metrics());
+  return Status::Ok();
+}
+
+Status DurableEngine::CommitOp(const EngineOp& op) {
+  if (!open_) return Status::FailedPrecondition("DurableEngine not Open()ed");
+  const Status appended = wal_->Append(EncodeOp(op));
+  if (!appended.ok()) return appended;
+  Inc(metrics_.wal_appends);
+  // The op is committed from here on: even if applying fails (a Status the
+  // caller sees either way), recovery will re-apply it to the same effect —
+  // an op that fails validation fails identically on replay.
+  ++ops_committed_;
+  if (op.kind == EngineOp::Kind::kDrain) return Status::Ok();
+  return ApplyOp(*engine_, op);
+}
+
+Status DurableEngine::RegisterUnit(const std::string& unit,
+                                   std::vector<DbRole> roles) {
+  EngineOp op;
+  op.kind = EngineOp::Kind::kRegisterUnit;
+  op.unit = unit;
+  op.roles = std::move(roles);
+  return CommitOp(op);
+}
+
+Status DurableEngine::Ingest(
+    const std::string& unit,
+    const std::vector<std::array<double, kNumKpis>>& values) {
+  EngineOp op;
+  op.kind = EngineOp::Kind::kTick;
+  op.unit = unit;
+  op.values = values;
+  return CommitOp(op);
+}
+
+Status DurableEngine::IngestSample(const std::string& unit,
+                                   const TelemetrySample& sample) {
+  EngineOp op;
+  op.kind = EngineOp::Kind::kSample;
+  op.unit = unit;
+  op.sample = sample;
+  return CommitOp(op);
+}
+
+Status DurableEngine::FlushTelemetry(const std::string& unit) {
+  EngineOp op;
+  op.kind = EngineOp::Kind::kFlush;
+  op.unit = unit;
+  return CommitOp(op);
+}
+
+Status DurableEngine::ApplyTopology(const std::string& unit,
+                                    const TopologyUpdate& update) {
+  EngineOp op;
+  op.kind = EngineOp::Kind::kTopology;
+  op.unit = unit;
+  op.update = update;
+  return CommitOp(op);
+}
+
+Status DurableEngine::DrainDurable(std::vector<Alert>* alerts) {
+  *alerts = engine_->Drain();
+  for (const Alert& alert : *alerts) {
+    const uint64_t seq = next_alert_seq_++;
+    if (seq <= durable_alert_floor_) continue;  // already durable pre-crash
+    BinWriter record;
+    record.WriteU64(seq);
+    SaveAlert(alert, record);
+    const Status appended = alert_log_->Append(record.bytes());
+    if (!appended.ok()) return appended;
+    Inc(metrics_.alert_appends);
+  }
+  return Status::Ok();
+}
+
+Status DurableEngine::Drain(std::vector<Alert>* alerts) {
+  EngineOp op;
+  op.kind = EngineOp::Kind::kDrain;
+  Status status = CommitOp(op);
+  if (!status.ok()) return status;
+  status = DrainDurable(alerts);
+  if (!status.ok()) return status;
+  ++drains_since_checkpoint_;
+  if (config_.checkpoint_every_drains > 0 &&
+      drains_since_checkpoint_ >= config_.checkpoint_every_drains) {
+    return Checkpoint();
+  }
+  return Status::Ok();
+}
+
+Status DurableEngine::Checkpoint() {
+  if (!open_) return Status::FailedPrecondition("DurableEngine not Open()ed");
+  Stopwatch watch;
+  CheckpointMeta meta;
+  meta.ops_committed = ops_committed_;
+  meta.next_alert_seq = next_alert_seq_;
+  meta.drain_count = engine_->drain_count();
+  if (session_provider_) meta.net_sessions = session_provider_();
+  // The alert log must be durable up to everything the snapshot claims:
+  // after this checkpoint, replay starts past these alerts forever.
+  Status status = alert_log_->Sync();
+  if (!status.ok()) return status;
+  const uint64_t next_epoch = epoch_ + 1;
+  size_t bytes = 0;
+  status = WriteCheckpoint(config_.dir, next_epoch, *engine_, meta,
+                           injector_, &bytes);
+  if (!status.ok()) return status;
+  if (injector_ != nullptr && injector_->Trigger("checkpoint_post_rename")) {
+    // New checkpoint durable, old WAL/checkpoint not yet collected — the
+    // overlap state recovery must resolve toward the newest epoch.
+    throw CrashException("checkpoint_post_rename");
+  }
+  const std::string old_wal = WalPath(epoch_);
+  epoch_ = next_epoch;
+  wal_ = std::make_unique<RecordLog>(WalPath(epoch_), config_.fsync,
+                                     injector_, "wal_append");
+  status = wal_->Open();
+  if (!status.ok()) return status;
+  std::error_code ec;
+  fs::remove(old_wal, ec);
+  fs::remove_all(CheckpointDirName(config_.dir, next_epoch - 1), ec);
+  drains_since_checkpoint_ = 0;
+  durable_alert_floor_ = 0;  // everything below next_alert_seq_ is snapshot
+  Inc(metrics_.checkpoints);
+  Set(metrics_.checkpoint_bytes, static_cast<double>(bytes));
+  Observe(metrics_.checkpoint_seconds, watch.ElapsedSeconds());
+  return Status::Ok();
+}
+
+void DurableEngine::EnableObservability(MetricsRegistry* registry) {
+  metrics_.wal_appends = registry->GetCounter("dbc_recovery_wal_appends_total");
+  metrics_.alert_appends =
+      registry->GetCounter("dbc_recovery_alert_appends_total");
+  metrics_.checkpoints =
+      registry->GetCounter("dbc_recovery_checkpoints_total");
+  metrics_.checkpoint_bytes =
+      registry->GetGauge("dbc_recovery_checkpoint_bytes");
+  metrics_.checkpoint_seconds =
+      registry->GetHistogram("dbc_recovery_checkpoint_seconds");
+  metrics_.wal_records_replayed =
+      registry->GetGauge("dbc_recovery_wal_records_replayed");
+  metrics_.wal_torn_bytes =
+      registry->GetGauge("dbc_recovery_wal_torn_bytes_truncated");
+  metrics_.recovery_seconds = registry->GetGauge("dbc_recovery_seconds");
+  metrics_.stale_dirs_removed =
+      registry->GetGauge("dbc_recovery_stale_dirs_removed");
+  Set(metrics_.wal_records_replayed,
+      static_cast<double>(recovery_.wal_records_replayed));
+  Set(metrics_.wal_torn_bytes,
+      static_cast<double>(recovery_.wal_torn_bytes_truncated));
+  Set(metrics_.recovery_seconds, recovery_.recovery_seconds);
+  Set(metrics_.stale_dirs_removed,
+      static_cast<double>(recovery_.stale_dirs_removed));
+}
+
+}  // namespace dbc

@@ -1,0 +1,157 @@
+// Crash-safe wrapper around DetectionEngine (DESIGN.md §13): every input op
+// is committed to a write-ahead log before it is applied, drained alerts are
+// appended to a durable sequence-numbered alert log, and Checkpoint() folds
+// the committed history into an atomic snapshot directory that truncates the
+// WAL. Open() performs recovery: sweep stale tmp dirs, load the latest valid
+// checkpoint, truncate torn log tails, and replay the WAL tail through the
+// normal engine path.
+//
+// Recovery invariant: the engine's state — and therefore the alert stream —
+// is a pure function of the committed op history. An op is committed iff its
+// WAL record is fully on disk with a valid CRC; a torn final record is *not*
+// committed, and ops_committed() tells the feeder exactly where to resume.
+// Alerts are assigned monotonic sequence numbers at drain time; on recovery
+// the replayed drains regenerate the same alerts with the same numbers, and
+// appends at or below the durable floor are suppressed — so the durable
+// alert log of a crashed-and-recovered run is bit-identical to an uncrashed
+// same-input run, which the crash-matrix test asserts byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dbc/common/status.h"
+#include "dbc/dbcatcher/detection_engine.h"
+#include "dbc/recovery/checkpoint.h"
+#include "dbc/recovery/crash_injector.h"
+#include "dbc/recovery/record_log.h"
+#include "dbc/recovery/wal.h"
+
+namespace dbc {
+
+/// Durability policy around a DetectionEngineConfig.
+struct DurableEngineConfig {
+  /// State directory (created if absent): checkpoints, WAL, alert log.
+  std::string dir;
+  DetectionEngineConfig engine;
+  /// Auto-checkpoint after this many drains (0 = manual Checkpoint() only).
+  size_t checkpoint_every_drains = 0;
+  /// WAL / alert-log fsync discipline (see FsyncPolicy).
+  FsyncPolicy fsync = FsyncPolicy::kOnRotate;
+};
+
+/// What Open() recovered, for assertions and the dbc_recovery_* metrics.
+struct RecoveryStats {
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_epoch = 0;
+  size_t wal_records_replayed = 0;
+  size_t wal_torn_bytes_truncated = 0;
+  size_t alert_torn_bytes_truncated = 0;
+  size_t stale_dirs_removed = 0;
+  uint64_t durable_alert_floor = 0;  // highest alert seq already durable
+  double recovery_seconds = 0.0;
+};
+
+class DurableEngine {
+ public:
+  explicit DurableEngine(DurableEngineConfig config,
+                         CrashFaultInjector* injector = nullptr);
+
+  /// Recovers on-disk state and opens the logs. Must be called (and return
+  /// OK) before any op. kIoError when the surviving checkpoint is corrupt —
+  /// typed rejection, never a crash or a silently half-loaded engine.
+  Status Open();
+
+  // --- The DetectionEngine input surface, each op WAL-committed first. ---
+  Status RegisterUnit(const std::string& unit, std::vector<DbRole> roles);
+  Status Ingest(const std::string& unit,
+                const std::vector<std::array<double, kNumKpis>>& values);
+  Status IngestSample(const std::string& unit, const TelemetrySample& sample);
+  Status FlushTelemetry(const std::string& unit);
+  Status ApplyTopology(const std::string& unit, const TopologyUpdate& update);
+
+  /// Commits a drain point, drains the engine, and appends the alerts to
+  /// the durable alert log with monotonic sequence numbers. Auto-checkpoints
+  /// per config.checkpoint_every_drains.
+  Status Drain(std::vector<Alert>* alerts);
+
+  /// Snapshots the engine into checkpoint-<epoch+1>, rotates the WAL, and
+  /// garbage-collects the superseded checkpoint + WAL.
+  Status Checkpoint();
+
+  /// Input ops committed so far (checkpoint + replayed + live). A feeder
+  /// resumes at this index after a crash: everything before is applied and
+  /// durable, everything after was never committed.
+  uint64_t ops_committed() const { return ops_committed_; }
+
+  /// Sequence number the next drained alert will take.
+  uint64_t next_alert_seq() const { return next_alert_seq_; }
+
+  const RecoveryStats& recovery() const { return recovery_; }
+  DetectionEngine& engine() { return *engine_; }
+  const DetectionEngine& engine() const { return *engine_; }
+  const DurableEngineConfig& config() const { return config_; }
+
+  std::string alert_log_path() const { return config_.dir + "/alerts.log"; }
+  std::string wal_path() const { return WalPath(epoch_); }
+
+  /// Checkpoints call this to capture the serving edge's per-client dedup
+  /// floors (NetServer::ExportSessions); unset = no net state persisted.
+  void set_session_provider(
+      std::function<std::vector<std::pair<uint64_t, uint64_t>>()> provider) {
+    session_provider_ = std::move(provider);
+  }
+
+  /// Dedup floors restored by Open() (NetServer::RestoreSessions input).
+  const std::vector<std::pair<uint64_t, uint64_t>>& recovered_sessions()
+      const {
+    return recovered_sessions_;
+  }
+
+  /// Creates the dbc_recovery_* metrics on `registry` and publishes the
+  /// recovery/checkpoint stats to them (must outlive this engine).
+  void EnableObservability(MetricsRegistry* registry);
+
+ private:
+  Status CommitOp(const EngineOp& op);
+  /// Engine drain + durable alert append (shared by live Drain and replay).
+  Status DrainDurable(std::vector<Alert>* alerts);
+  std::string WalPath(uint64_t epoch) const {
+    return config_.dir + "/wal-" + std::to_string(epoch) + ".log";
+  }
+
+  DurableEngineConfig config_;
+  CrashFaultInjector* injector_;
+  std::unique_ptr<DetectionEngine> engine_;
+  std::unique_ptr<RecordLog> wal_;
+  std::unique_ptr<RecordLog> alert_log_;
+  std::function<std::vector<std::pair<uint64_t, uint64_t>>()>
+      session_provider_;
+  std::vector<std::pair<uint64_t, uint64_t>> recovered_sessions_;
+  RecoveryStats recovery_;
+  uint64_t epoch_ = 0;
+  uint64_t ops_committed_ = 0;
+  uint64_t next_alert_seq_ = 1;
+  uint64_t durable_alert_floor_ = 0;
+  size_t drains_since_checkpoint_ = 0;
+  bool open_ = false;
+
+  struct RecoveryMetrics {
+    Counter* wal_appends = nullptr;
+    Counter* alert_appends = nullptr;
+    Counter* checkpoints = nullptr;
+    Gauge* checkpoint_bytes = nullptr;
+    Histogram* checkpoint_seconds = nullptr;
+    Gauge* wal_records_replayed = nullptr;
+    Gauge* wal_torn_bytes = nullptr;
+    Gauge* recovery_seconds = nullptr;
+    Gauge* stale_dirs_removed = nullptr;
+  };
+  RecoveryMetrics metrics_;
+};
+
+}  // namespace dbc

@@ -1,0 +1,85 @@
+// Append-only framed record log — the physical layer under both the WAL and
+// the durable alert log. Each record is [u32 payload_len][u32 payload_crc32]
+// [payload] (little-endian); a record is *committed* iff all of its bytes
+// are on disk with a matching CRC. Scan() walks a log from the start and
+// stops at the first torn or corrupt record, so recovery can truncate the
+// tail back to the last committed record — a half-written tail (power cut,
+// injected crash) costs exactly the uncommitted suffix, never the log.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dbc/common/status.h"
+#include "dbc/recovery/crash_injector.h"
+
+namespace dbc {
+
+/// Fsync discipline for durable appends (DESIGN.md §13). kEveryRecord makes
+/// each append durable before it is applied (no committed op can be lost to
+/// a crash); kOnRotate leaves flushing to the OS between checkpoints —
+/// cheaper, and still crash-*consistent* (the log prefix is always valid),
+/// but the tail since the last sync may be lost.
+enum class FsyncPolicy : uint8_t { kOnRotate = 0, kEveryRecord = 1 };
+
+/// Append side of a framed log. Not thread-safe (serve/feed thread only).
+class RecordLog {
+ public:
+  /// `crash_point`: injector label consulted on every append; when it
+  /// triggers, the append writes a torn prefix (header + half the payload),
+  /// flushes it, and throws CrashException.
+  RecordLog(std::string path, FsyncPolicy fsync,
+            CrashFaultInjector* injector = nullptr,
+            std::string crash_point = "");
+  ~RecordLog();
+
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+
+  /// Opens (creates) the file for append. kIoError on failure.
+  Status Open();
+
+  /// Appends one framed record, fsyncing under kEveryRecord. Throws
+  /// CrashException at an armed crash point *after* tearing the tail.
+  Status Append(const uint8_t* payload, size_t size);
+  Status Append(const std::vector<uint8_t>& payload) {
+    return Append(payload.data(), payload.size());
+  }
+
+  /// Flushes and fsyncs whatever has been appended (used at rotation).
+  Status Sync();
+
+  /// Records appended through this handle.
+  size_t appended() const { return appended_; }
+  const std::string& path() const { return path_; }
+
+  /// One scanned log: the committed records plus how the tail looked.
+  struct ScanResult {
+    std::vector<std::vector<uint8_t>> records;
+    size_t valid_bytes = 0;  // byte length of the committed prefix
+    size_t torn_bytes = 0;   // trailing bytes past the last committed record
+  };
+
+  /// Reads the committed prefix of `path`. A missing file scans as empty
+  /// (ok); a torn or CRC-corrupt tail stops the scan and is reported in
+  /// torn_bytes — never an over-read, never an exception.
+  static Status Scan(const std::string& path, ScanResult* out);
+
+  /// Truncates `path` to its committed prefix (recovery drops a torn tail
+  /// before new appends so the log stays a pure sequence of valid records).
+  static Status TruncateTo(const std::string& path, size_t bytes);
+
+ private:
+  Status Flush(bool force_sync);
+
+  std::string path_;
+  FsyncPolicy fsync_;
+  CrashFaultInjector* injector_;
+  std::string crash_point_;
+  std::FILE* file_ = nullptr;
+  size_t appended_ = 0;
+};
+
+}  // namespace dbc

@@ -1,0 +1,131 @@
+#include "dbc/recovery/wal.h"
+
+namespace dbc {
+
+std::vector<uint8_t> EncodeOp(const EngineOp& op) {
+  BinWriter out;
+  out.WriteU8(static_cast<uint8_t>(op.kind));
+  switch (op.kind) {
+    case EngineOp::Kind::kRegisterUnit:
+      out.WriteString(op.unit);
+      out.WriteU64(op.roles.size());
+      for (DbRole role : op.roles) out.WriteU8(static_cast<uint8_t>(role));
+      break;
+    case EngineOp::Kind::kTick:
+      out.WriteString(op.unit);
+      out.WriteU64(op.values.size());
+      for (const auto& row : op.values) {
+        for (double v : row) out.WriteF64(v);
+      }
+      break;
+    case EngineOp::Kind::kSample:
+      out.WriteString(op.unit);
+      out.WriteU64(op.sample.tick);
+      out.WriteU64(op.sample.db);
+      for (double v : op.sample.values) out.WriteF64(v);
+      break;
+    case EngineOp::Kind::kFlush:
+      out.WriteString(op.unit);
+      break;
+    case EngineOp::Kind::kTopology:
+      out.WriteString(op.unit);
+      out.WriteU8(static_cast<uint8_t>(op.update.kind));
+      out.WriteU64(op.update.tick);
+      out.WriteU64(op.update.db);
+      out.WriteU64(op.update.peer);
+      out.WriteU64(op.update.ramp);
+      break;
+    case EngineOp::Kind::kDrain:
+      break;
+  }
+  return out.Take();
+}
+
+Status DecodeOp(const std::vector<uint8_t>& payload, EngineOp* op) {
+  BinReader in(payload);
+  *op = EngineOp{};
+  const uint8_t kind = in.ReadU8();
+  if (in.failed()) return in.status();
+  if (kind > static_cast<uint8_t>(EngineOp::Kind::kDrain)) {
+    return Status::IoError("unknown WAL op kind");
+  }
+  op->kind = static_cast<EngineOp::Kind>(kind);
+  switch (op->kind) {
+    case EngineOp::Kind::kRegisterUnit: {
+      if (!in.ReadString(&op->unit)) return in.status();
+      size_t roles = 0;
+      if (!in.ReadCount(1, &roles)) return in.status();
+      op->roles.resize(roles);
+      for (DbRole& role : op->roles) {
+        const uint8_t raw = in.ReadU8();
+        if (raw > static_cast<uint8_t>(DbRole::kReplica)) {
+          return Status::IoError("unknown role in WAL op");
+        }
+        role = static_cast<DbRole>(raw);
+      }
+      break;
+    }
+    case EngineOp::Kind::kTick: {
+      if (!in.ReadString(&op->unit)) return in.status();
+      size_t dbs = 0;
+      if (!in.ReadCount(8 * kNumKpis, &dbs)) return in.status();
+      op->values.resize(dbs);
+      for (auto& row : op->values) {
+        for (double& v : row) v = in.ReadF64();
+      }
+      break;
+    }
+    case EngineOp::Kind::kSample:
+      if (!in.ReadString(&op->unit)) return in.status();
+      op->sample.tick = in.ReadU64();
+      op->sample.db = in.ReadU64();
+      for (double& v : op->sample.values) v = in.ReadF64();
+      break;
+    case EngineOp::Kind::kFlush:
+      if (!in.ReadString(&op->unit)) return in.status();
+      break;
+    case EngineOp::Kind::kTopology: {
+      if (!in.ReadString(&op->unit)) return in.status();
+      const uint8_t update_kind = in.ReadU8();
+      if (in.failed()) return in.status();
+      if (update_kind > static_cast<uint8_t>(TopologyUpdate::Kind::kRename)) {
+        return Status::IoError("unknown topology kind in WAL op");
+      }
+      op->update.kind = static_cast<TopologyUpdate::Kind>(update_kind);
+      op->update.tick = in.ReadU64();
+      op->update.db = in.ReadU64();
+      op->update.peer = in.ReadU64();
+      op->update.ramp = in.ReadU64();
+      break;
+    }
+    case EngineOp::Kind::kDrain:
+      break;
+  }
+  if (in.failed()) return in.status();
+  if (in.remaining() != 0) {
+    return Status::IoError("trailing bytes after WAL op");
+  }
+  return Status::Ok();
+}
+
+Status ApplyOp(DetectionEngine& engine, const EngineOp& op) {
+  switch (op.kind) {
+    case EngineOp::Kind::kRegisterUnit:
+      engine.RegisterUnit(op.unit, op.roles);
+      return Status::Ok();
+    case EngineOp::Kind::kTick:
+      return engine.Ingest(op.unit, op.values);
+    case EngineOp::Kind::kSample:
+      return engine.IngestSample(op.unit, op.sample);
+    case EngineOp::Kind::kFlush:
+      return engine.FlushTelemetry(op.unit);
+    case EngineOp::Kind::kTopology:
+      return engine.ApplyTopology(op.unit, op.update);
+    case EngineOp::Kind::kDrain:
+      return Status::FailedPrecondition(
+          "drain ops are applied by DurableEngine");
+  }
+  return Status::Internal("unhandled WAL op kind");
+}
+
+}  // namespace dbc

@@ -1,0 +1,53 @@
+// The write-ahead log's logical layer: every DetectionEngine input — unit
+// registration, whole ticks, collector samples, telemetry flushes, topology
+// updates, and drain points — is one EngineOp, serialized into a RecordLog
+// record *before* it is applied. The engine's state is a pure function of
+// its committed op history (every nondeterminism source — thread count, obs,
+// KCD memo — is proven behavior-transparent by the tier-1 suite), so
+// recovery = load the latest checkpoint + re-apply the WAL tail through the
+// normal pipeline path, and the recovered alert stream is bit-identical to
+// an uncrashed run's.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "dbc/cloudsim/telemetry.h"
+#include "dbc/common/binio.h"
+#include "dbc/common/status.h"
+#include "dbc/dbcatcher/detection_engine.h"
+#include "dbc/dbcatcher/ingest.h"
+
+namespace dbc {
+
+/// One committed engine input.
+struct EngineOp {
+  enum class Kind : uint8_t {
+    kRegisterUnit = 0,  // unit, roles
+    kTick = 1,          // unit, values[db][kpi]
+    kSample = 2,        // unit, sample
+    kFlush = 3,         // unit
+    kTopology = 4,      // unit, update
+    kDrain = 5,         // no payload: a drain point in the global order
+  };
+  Kind kind = Kind::kDrain;
+  std::string unit;
+  std::vector<DbRole> roles;
+  std::vector<std::array<double, kNumKpis>> values;
+  TelemetrySample sample;
+  TopologyUpdate update;
+};
+
+/// Serializes `op` into one WAL record payload.
+std::vector<uint8_t> EncodeOp(const EngineOp& op);
+
+/// Decodes a WAL record payload. kIoError on any truncation, trailing
+/// garbage, or out-of-range enum — corrupt records must never half-apply.
+Status DecodeOp(const std::vector<uint8_t>& payload, EngineOp* op);
+
+/// Applies a non-drain op to the engine exactly as the live path would
+/// (drain ops are handled by DurableEngine, which owns the alert log).
+Status ApplyOp(DetectionEngine& engine, const EngineOp& op);
+
+}  // namespace dbc

@@ -230,6 +230,114 @@ size_t ColumnStore::hot_bytes() const {
   return bytes;
 }
 
+void ColumnStore::SaveState(BinWriter& out) const {
+  assert(pending_rows_ == 0 && "checkpoint between ticks only");
+  out.WriteU64(num_dbs_);
+  out.WriteU64(num_kpis_);
+  out.WriteU64(retention_);
+  out.WriteU64(base_);
+  out.WriteU64(hot_len_);
+  out.WriteU64(mask_floor_);
+  out.WriteU64(segments_sealed_);
+  // Hot columns ride the same self-validating block codec as the cold tier;
+  // the checkpoint inherits its bit-exactness and per-block CRC for free.
+  std::vector<uint64_t> ticks(hot_len_);
+  for (size_t i = 0; i < hot_len_; ++i) ticks[i] = base_ + i;
+  for (const std::vector<double>& column : columns_) {
+    out.WriteByteVector(GorillaCompress(ticks.data(), column.data(), hot_len_));
+  }
+  for (size_t db = 0; db < num_dbs_; ++db) {
+    out.WriteU64Vector(valid_bits_[db].words);
+    out.WriteU64Vector(gated_bits_[db].words);
+  }
+  out.WriteU64(cold_.size());
+  for (const ColdSegment& seg : cold_) {
+    out.WriteU64(seg.begin);
+    out.WriteU64(seg.count);
+    out.WriteU64(seg.num_dbs);
+    out.WriteU64(seg.blocks.size());
+    for (const std::vector<uint8_t>& block : seg.blocks) {
+      out.WriteByteVector(block);
+    }
+  }
+}
+
+Status ColumnStore::LoadState(BinReader& in) {
+  const size_t num_dbs = in.ReadU64();
+  const size_t num_kpis = in.ReadU64();
+  const size_t retention = in.ReadU64();
+  const size_t base = in.ReadU64();
+  const size_t hot_len = in.ReadU64();
+  const size_t mask_floor = in.ReadU64();
+  const size_t segments_sealed = in.ReadU64();
+  if (in.failed()) return in.status();
+  // Each hot column costs at least one block header below; cap the counts
+  // against the remaining bytes so a corrupt image cannot drive a giant
+  // allocation before its first block read fails.
+  if (num_kpis == 0 || num_dbs > in.remaining() ||
+      num_kpis > in.remaining() || mask_floor > base) {
+    return Status::IoError("column store image has implausible shape");
+  }
+
+  std::vector<std::vector<double>> columns(num_dbs * num_kpis);
+  std::vector<uint8_t> block;
+  for (auto& column : columns) {
+    if (!in.ReadBytes(&block)) return in.status();
+    const Status decoded =
+        GorillaDecompress(block.data(), block.size(), nullptr, &column);
+    if (!decoded.ok()) return decoded;
+    if (column.size() != hot_len) {
+      return Status::IoError("hot column decoded to wrong length");
+    }
+  }
+  std::vector<Bitmap> valid_bits(num_dbs);
+  std::vector<Bitmap> gated_bits(num_dbs);
+  for (size_t db = 0; db < num_dbs; ++db) {
+    if (!in.ReadU64Vector(&valid_bits[db].words) ||
+        !in.ReadU64Vector(&gated_bits[db].words)) {
+      return in.status();
+    }
+  }
+  size_t cold_count = 0;
+  if (!in.ReadCount(8, &cold_count)) return in.status();
+  std::deque<ColdSegment> cold;
+  size_t cold_bytes = 0;
+  for (size_t i = 0; i < cold_count; ++i) {
+    ColdSegment seg;
+    seg.begin = in.ReadU64();
+    seg.count = in.ReadU64();
+    seg.num_dbs = in.ReadU64();
+    size_t blocks = 0;
+    if (!in.ReadCount(8, &blocks)) return in.status();
+    seg.blocks.resize(blocks);
+    for (auto& seg_block : seg.blocks) {
+      if (!in.ReadBytes(&seg_block)) return in.status();
+      cold_bytes += seg_block.size();
+    }
+    cold.push_back(std::move(seg));
+  }
+  if (in.failed()) return in.status();
+
+  num_dbs_ = num_dbs;
+  num_kpis_ = num_kpis;
+  retention_ = retention;
+  base_ = base;
+  hot_len_ = hot_len;
+  mask_floor_ = mask_floor;
+  segments_sealed_ = segments_sealed;
+  pending_rows_ = 0;
+  columns_ = std::move(columns);
+  valid_bits_ = std::move(valid_bits);
+  gated_bits_ = std::move(gated_bits);
+  cold_ = std::move(cold);
+  cold_bytes_ = cold_bytes;
+  decompress_hits_ = 0;
+  decode_cache_.clear();
+  decode_fifo_.clear();
+  PublishGauges();
+  return Status::Ok();
+}
+
 void ColumnStore::set_metrics(const StoreMetrics& metrics) {
   metrics_ = metrics;
   PublishGauges();

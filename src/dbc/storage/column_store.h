@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dbc/common/binio.h"
 #include "dbc/common/status.h"
 #include "dbc/obs/metrics.h"
 #include "dbc/storage/series_view.h"
@@ -104,6 +105,18 @@ class ColumnStore {
 
   /// Installs observability gauges/counters (copied; nulls stay no-ops).
   void set_metrics(const StoreMetrics& metrics);
+
+  /// Serializes the whole store for a durable checkpoint: hot columns are
+  /// written as Gorilla blocks (the same CRC-framed codec the cold tier
+  /// uses), bitmaps as raw words, cold segments byte-for-byte. Must be
+  /// called between ticks (no pending AppendRow).
+  void SaveState(BinWriter& out) const;
+
+  /// Restores a SaveState() image, replacing every field. Decompression is
+  /// bit-exact, so a recovered store reads identically to the original.
+  /// Returns kIoError on a truncated / corrupt image (the caller's CRC
+  /// check should already have rejected it — this is defense in depth).
+  Status LoadState(BinReader& in);
 
  private:
   /// One sealed span: all columns that existed at seal time, one Gorilla

@@ -143,11 +143,16 @@ TEST(AlertFormatTest, JsonEscapesSpecials) {
 TEST(FileAlertSinkTest, WritesCsvWithHeader) {
   const std::string path =
       ::testing::TempDir() + "/dbc_alert_sink_test.csv";
+  std::remove(path.c_str());
   {
     FileAlertSink sink(path, FileAlertSink::Format::kCsv);
     ASSERT_TRUE(sink.ok());
     sink.Publish({MakeAlert(0), MakeAlert(1, AlertClass::kDataQuality)});
     EXPECT_EQ(sink.written(), 2u);
+    // Durability contract: until Close(), only the temp file exists — a
+    // reader at `path` never sees a half-written alert file.
+    EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr);
+    EXPECT_TRUE(sink.Close().ok());
   }
   const std::vector<std::string> lines = ReadLines(path);
   ASSERT_EQ(lines.size(), 3u);
@@ -181,8 +186,12 @@ TEST(FileAlertSinkTest, WritesJsonlRecords) {
 TEST(FileAlertSinkTest, UnwritablePathReportsNotOk) {
   FileAlertSink sink("/nonexistent-dir/alerts.csv");
   EXPECT_FALSE(sink.ok());
+  EXPECT_EQ(sink.status().code(), StatusCode::kIoError);
   sink.Publish({MakeAlert(0)});  // must not crash
   EXPECT_EQ(sink.written(), 0u);
+  // The lost alert is surfaced as back-pressure, not silently swallowed.
+  EXPECT_EQ(sink.dropped(), 1u);
+  EXPECT_FALSE(sink.Close().ok());
 }
 
 }  // namespace

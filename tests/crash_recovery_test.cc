@@ -1,0 +1,276 @@
+// The crash matrix (DESIGN.md §13): a deterministic degraded-fleet scenario
+// is fed through DurableEngine while a CrashFaultInjector kills the engine
+// at seeded points — mid-WAL-append, mid-alert-append, mid-checkpoint-file,
+// just before and just after the checkpoint rename. The harness catches the
+// CrashException (the in-process stand-in for kill -9), reopens the engine
+// on the same directory, resumes feeding at ops_committed(), and asserts the
+// durable alert log is byte-identical to an uncrashed same-input run — at
+// workers 1, 2, and 8.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbc/cloudsim/telemetry.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/net/server.h"
+#include "dbc/recovery/durable_engine.h"
+
+namespace dbc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("dbc_crash_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+UnitData SimUnit(double anomaly_ratio, uint64_t seed, size_t ticks) {
+  UnitSimConfig config;
+  config.ticks = ticks;
+  config.inject_anomalies = anomaly_ratio > 0.0;
+  config.anomalies.target_ratio = anomaly_ratio;
+  Rng rng(seed);
+  PeriodicProfileParams pp;
+  auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+  return SimulateUnit(config, *profile, true, rng.Fork(2));
+}
+
+/// One engine input, replayable against any DurableEngine. The feed is the
+/// *entire* op history of a run; index i in this list is committed op i, so
+/// after a crash the harness resumes exactly at ops_committed().
+using FeedOp = std::function<Status(DurableEngine&)>;
+
+/// A fixed degraded 4-unit fleet flattened into the committed-op order:
+/// registrations, then per step every unit's samples followed by one drain,
+/// then final flushes and a last drain. Deterministic by construction.
+std::vector<FeedOp> BuildFeed(size_t num_units, size_t ticks) {
+  struct Fleet {
+    std::vector<UnitData> units;
+    std::vector<std::vector<std::vector<TelemetrySample>>> batches;
+  };
+  auto fleet = std::make_shared<Fleet>();
+  size_t steps = 0;
+  for (size_t u = 0; u < num_units; ++u) {
+    const double ratio = (u % 2 == 0) ? 0.08 : 0.0;
+    fleet->units.push_back(SimUnit(ratio, 1000 + 17 * u, ticks));
+    TelemetryFaultConfig faults;
+    faults.target_ratio = 0.08;
+    Rng rng(333 + u);
+    fleet->batches.push_back(DegradeUnit(fleet->units.back(), faults, rng));
+    steps = std::max(steps, fleet->batches.back().size());
+  }
+
+  auto name = [](size_t u) { return "unit-" + std::to_string(u); };
+  std::vector<FeedOp> ops;
+  for (size_t u = 0; u < num_units; ++u) {
+    ops.push_back([fleet, u, name](DurableEngine& durable) {
+      return durable.RegisterUnit(name(u), fleet->units[u].roles);
+    });
+  }
+  for (size_t step = 0; step < steps; ++step) {
+    for (size_t u = 0; u < num_units; ++u) {
+      if (step >= fleet->batches[u].size()) continue;
+      for (size_t s = 0; s < fleet->batches[u][step].size(); ++s) {
+        ops.push_back([fleet, u, step, s, name](DurableEngine& durable) {
+          return durable.IngestSample(name(u), fleet->batches[u][step][s]);
+        });
+      }
+    }
+    ops.push_back([](DurableEngine& durable) {
+      std::vector<Alert> batch;
+      return durable.Drain(&batch);
+    });
+  }
+  for (size_t u = 0; u < num_units; ++u) {
+    ops.push_back([u, name](DurableEngine& durable) {
+      return durable.FlushTelemetry(name(u));
+    });
+  }
+  ops.push_back([](DurableEngine& durable) {
+    std::vector<Alert> batch;
+    return durable.Drain(&batch);
+  });
+  return ops;
+}
+
+DurableEngineConfig MakeConfig(const std::string& dir, size_t workers,
+                               size_t checkpoint_every_drains) {
+  DurableEngineConfig config;
+  config.dir = dir;
+  config.engine.workers = workers;
+  config.fsync = FsyncPolicy::kEveryRecord;
+  config.checkpoint_every_drains = checkpoint_every_drains;
+  return config;
+}
+
+/// One injected kill: arm `point` so its `countdown`-th IO hit crashes.
+struct CrashPlan {
+  std::string point;
+  size_t countdown = 1;
+};
+
+/// Feeds `ops` to completion, crashing and recovering per `plans` (one plan
+/// armed per engine session, in order). Returns through out-params so gtest
+/// ASSERTs can live inside. `crashes` counts CrashExceptions survived;
+/// `last_recovery` is the final session's recovery stats.
+void RunFeed(const std::vector<FeedOp>& ops, const DurableEngineConfig& config,
+             const std::vector<CrashPlan>& plans, size_t* crashes,
+             RecoveryStats* last_recovery) {
+  CrashFaultInjector injector;
+  *crashes = 0;
+  size_t next_plan = 0;
+  for (size_t session = 0; session < plans.size() + 2; ++session) {
+    DurableEngine durable(config, &injector);
+    const Status opened = durable.Open();
+    ASSERT_TRUE(opened.ok()) << opened.message();
+    *last_recovery = durable.recovery();
+    if (next_plan < plans.size()) {
+      injector.ArmAt(plans[next_plan].point, plans[next_plan].countdown);
+      ++next_plan;
+    }
+    try {
+      ASSERT_LE(durable.ops_committed(), ops.size());
+      for (uint64_t i = durable.ops_committed(); i < ops.size(); ++i) {
+        const Status status = ops[i](durable);
+        ASSERT_TRUE(status.ok())
+            << "op " << i << " failed: " << status.message();
+      }
+      return;  // fed everything without a crash: done
+    } catch (const CrashException&) {
+      ++*crashes;  // engine "died"; the next session recovers
+    }
+  }
+  FAIL() << "feed never completed within the planned crash budget";
+}
+
+std::vector<uint8_t> AlertLogBytes(const DurableEngineConfig& config) {
+  return ReadAll(config.dir + "/alerts.log");
+}
+
+/// The ground truth every crash run is measured against: one uncrashed
+/// sequential run of the same feed.
+const std::vector<FeedOp>& SharedFeed() {
+  static const std::vector<FeedOp> feed = BuildFeed(4, 160);
+  return feed;
+}
+
+const std::vector<uint8_t>& BaselineAlertLog() {
+  static const std::vector<uint8_t> baseline = [] {
+    const DurableEngineConfig config =
+        MakeConfig(TestDir("baseline"), 1, 0);
+    size_t crashes = 0;
+    RecoveryStats recovery;
+    RunFeed(SharedFeed(), config, {}, &crashes, &recovery);
+    return AlertLogBytes(config);
+  }();
+  return baseline;
+}
+
+TEST(CrashRecoveryTest, UncrashedRunsAreIdenticalAcrossWorkersAndCadence) {
+  const std::vector<uint8_t>& baseline = BaselineAlertLog();
+  ASSERT_GT(baseline.size(), 0u);  // the scenario must actually alert
+  for (size_t workers : {2u, 8u}) {
+    const DurableEngineConfig config = MakeConfig(
+        TestDir("uncrashed_w" + std::to_string(workers)), workers, 60);
+    size_t crashes = 0;
+    RecoveryStats recovery;
+    RunFeed(SharedFeed(), config, {}, &crashes, &recovery);
+    EXPECT_EQ(crashes, 0u);
+    // Neither the drain parallelism nor the checkpoint cadence may leave a
+    // fingerprint in the durable alert stream.
+    EXPECT_EQ(AlertLogBytes(config), baseline) << "workers=" << workers;
+  }
+}
+
+TEST(CrashRecoveryTest, CrashMatrixRecoversBitIdentically) {
+  const std::vector<uint8_t>& baseline = BaselineAlertLog();
+  ASSERT_GT(baseline.size(), 0u);
+  // Each point's countdown places the kill mid-run: deep into the WAL, on an
+  // early alert append, and inside / around the first checkpoint.
+  const std::vector<CrashPlan> points = {
+      {"wal_append", 1000},         {"alert_append", 3},
+      {"checkpoint_file", 2},       {"checkpoint_pre_rename", 1},
+      {"checkpoint_post_rename", 1},
+  };
+  for (size_t workers : {1u, 2u, 8u}) {
+    for (const CrashPlan& plan : points) {
+      SCOPED_TRACE("point=" + plan.point +
+                   " workers=" + std::to_string(workers));
+      const DurableEngineConfig config = MakeConfig(
+          TestDir("matrix_" + plan.point + "_w" + std::to_string(workers)),
+          workers, 60);
+      size_t crashes = 0;
+      RecoveryStats recovery;
+      RunFeed(SharedFeed(), config, {plan}, &crashes, &recovery);
+      ASSERT_EQ(crashes, 1u) << "the armed point never fired (vacuous run)";
+      // The recovery after the kill saw the expected on-disk damage.
+      if (plan.point == "wal_append") {
+        EXPECT_GT(recovery.wal_torn_bytes_truncated, 0u);
+      } else if (plan.point == "alert_append") {
+        EXPECT_GT(recovery.alert_torn_bytes_truncated, 0u);
+      } else {
+        EXPECT_GE(recovery.stale_dirs_removed, 1u);
+      }
+      EXPECT_EQ(AlertLogBytes(config), baseline);
+    }
+  }
+}
+
+TEST(CrashRecoveryTest, RepeatedCrashesInOneRunStillConverge) {
+  const std::vector<uint8_t>& baseline = BaselineAlertLog();
+  // Three kills in one lifetime: during the first checkpoint, deep in the
+  // second epoch's WAL, then on an alert append after that recovery.
+  const std::vector<CrashPlan> plans = {
+      {"checkpoint_file", 2}, {"wal_append", 400}, {"alert_append", 2}};
+  const DurableEngineConfig config =
+      MakeConfig(TestDir("multi_crash"), 2, 60);
+  size_t crashes = 0;
+  RecoveryStats recovery;
+  RunFeed(SharedFeed(), config, plans, &crashes, &recovery);
+  EXPECT_EQ(crashes, plans.size());
+  EXPECT_EQ(AlertLogBytes(config), baseline);
+}
+
+TEST(CrashRecoveryTest, NetSessionFloorsSurviveTheRestart) {
+  // The serving edge's per-client dedup floors ride the checkpoint: a
+  // restarted server re-ACKs retransmitted frames without re-applying them.
+  const std::vector<std::pair<uint64_t, uint64_t>> floors = {{7, 41},
+                                                             {1000, 3}};
+  NetServerConfig net_config;
+  NetServer server(net_config, nullptr);  // construction binds nothing
+  server.RestoreSessions(floors);
+  EXPECT_EQ(server.ExportSessions(), floors);
+
+  const DurableEngineConfig config =
+      MakeConfig(TestDir("net_sessions"), 1, 0);
+  const UnitData data = SimUnit(0.0, 5, 60);
+  {
+    DurableEngine durable(config);
+    ASSERT_TRUE(durable.Open().ok());
+    durable.set_session_provider([&server] { return server.ExportSessions(); });
+    ASSERT_TRUE(durable.RegisterUnit("unit-a", data.roles).ok());
+    ASSERT_TRUE(durable.Checkpoint().ok());
+  }
+  DurableEngine durable(config);
+  ASSERT_TRUE(durable.Open().ok());
+  NetServer restarted(net_config, nullptr);
+  restarted.RestoreSessions(durable.recovered_sessions());
+  EXPECT_EQ(restarted.ExportSessions(), floors);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -9,12 +9,14 @@
 //   DBC_UPDATE_GOLDEN=1 ./build/tests/golden_regression_test
 //
 // then review the fixture diff like any other code change. On a mismatch the
-// test writes the actual stream to golden_regression_actual.txt in the
-// working directory so CI can upload it next to the fixture for diffing.
+// test writes the actual stream to golden_regression_actual.txt under the
+// test output dir (DBC_TEST_OUT env, defaulting to the build tree — never
+// the repo root) so CI can upload it next to the fixture for diffing.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -30,11 +32,25 @@
 #ifndef DBC_GOLDEN_DIR
 #define DBC_GOLDEN_DIR "tests/golden"
 #endif
+#ifndef DBC_TEST_OUT_DIR
+#define DBC_TEST_OUT_DIR "."
+#endif
 
 namespace dbc {
 namespace {
 
 std::string UnitName(size_t u) { return "unit-" + std::to_string(u); }
+
+/// Where test artifacts (metric snapshots, actual-stream dumps) land: the
+/// DBC_TEST_OUT env var when set, else the build dir baked in at compile
+/// time — never the source tree.
+std::string TestOutPath(const std::string& name) {
+  const char* env = std::getenv("DBC_TEST_OUT");
+  const std::string dir = env != nullptr ? env : DBC_TEST_OUT_DIR;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir + "/" + name;
+}
 
 /// The whole scenario is a pure function of these constants.
 constexpr size_t kUnits = 8;
@@ -212,8 +228,8 @@ TEST(GoldenRegressionTest, AlertStreamMatchesCheckedInFixture) {
       << "missing fixture " << kFixturePath
       << " — regenerate with DBC_UPDATE_GOLDEN=1";
   if (actual != expected) {
-    std::ofstream dump("golden_regression_actual.txt",
-                       std::ios::binary | std::ios::trunc);
+    const std::string dump_path = TestOutPath("golden_regression_actual.txt");
+    std::ofstream dump(dump_path, std::ios::binary | std::ios::trunc);
     dump << actual;
     // Locate the first differing line for a readable failure message.
     std::istringstream a_in(actual), e_in(expected);
@@ -227,13 +243,13 @@ TEST(GoldenRegressionTest, AlertStreamMatchesCheckedInFixture) {
         FAIL() << "alert stream diverges from " << kFixturePath << " at line "
                << line << "\n  expected: " << (e_ok ? e_line : "<eof>")
                << "\n  actual:   " << (a_ok ? a_line : "<eof>")
-               << "\nfull actual stream written to "
-                  "golden_regression_actual.txt";
+               << "\nfull actual stream written to " << dump_path;
       }
       ++line;
     }
     FAIL() << "alert stream differs from fixture (same lines, different "
-              "bytes?); actual written to golden_regression_actual.txt";
+              "bytes?); actual written to "
+           << dump_path;
   }
 }
 
@@ -325,10 +341,12 @@ TEST(GoldenRegressionTest, ObservedRunExportsConsistentMetrics) {
   EXPECT_NE(json.find("\"config\":\"golden_regression\""), std::string::npos);
   EXPECT_GT(engine->trace_log()->recorded(), 0u);
 
-  // Persist the snapshot next to the binary: CI uploads it as an artifact on
-  // failure so a broken run ships its counters along with the alert diff.
-  EXPECT_TRUE(AppendMetricsSnapshot(*engine->metrics(), provenance,
-                                    "golden_regression_metrics.jsonl")
+  // Persist the snapshot under the test output dir (build tree, not the
+  // repo root): CI uploads it as an artifact on failure so a broken run
+  // ships its counters along with the alert diff.
+  EXPECT_TRUE(AppendMetricsSnapshot(
+                  *engine->metrics(), provenance,
+                  TestOutPath("golden_regression_metrics.jsonl"))
                   .ok());
 }
 

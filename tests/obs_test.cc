@@ -135,10 +135,12 @@ TEST(ExpositionTest, SnapshotJsonCarriesProvenanceAndAppends) {
   registry.GetCounter("dbc_events_total")->Add(4);
   RunProvenance provenance;
   provenance.git_sha = "abc123";
+  provenance.dirty = true;
   provenance.seed = 99;
   provenance.config = "obs \"quoted\"";
   const std::string json = MetricsSnapshotJson(registry, provenance);
   EXPECT_NE(json.find("\"git_sha\":\"abc123\""), std::string::npos);
+  EXPECT_NE(json.find("\"dirty\":true"), std::string::npos);
   EXPECT_NE(json.find("\"seed\":99"), std::string::npos);
   EXPECT_NE(json.find("\"config\":\"obs \\\"quoted\\\"\""), std::string::npos);
   EXPECT_NE(json.find("\"dbc_events_total\":4"), std::string::npos);

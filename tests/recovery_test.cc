@@ -1,0 +1,794 @@
+// Recovery-layer tests (DESIGN.md §13): the framed record log, WAL op serde,
+// checkpoint write/load round-trips, restart-without-crash identity, and the
+// corruption corpus — every checkpoint/WAL byte bit-flipped and every file
+// truncated at every boundary must yield a typed kIoError (or a clean torn
+// tail), never a crash or an over-read. Run under ASan+UBSan in CI.
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "dbc/cloudsim/telemetry.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/common/binio.h"
+#include "dbc/dbcatcher/alert_serde.h"
+#include "dbc/recovery/durable_engine.h"
+
+namespace dbc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory under the system tmp root.
+std::string TestDir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("dbc_recovery_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------- binio ---
+
+TEST(BinIoTest, RoundTripsEveryPrimitive) {
+  BinWriter out;
+  out.WriteU8(0xAB);
+  out.WriteU32(0xDEADBEEFu);
+  out.WriteU64(0x0123456789ABCDEFull);
+  out.WriteF64(-0.0);
+  out.WriteF64(std::numeric_limits<double>::quiet_NaN());
+  out.WriteString("unit-α");
+  out.WriteU64Vector({1, 2, 3});
+  out.WriteF64Vector({0.5, -1.5});
+
+  BinReader in(out.bytes());
+  EXPECT_EQ(in.ReadU8(), 0xAB);
+  EXPECT_EQ(in.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.ReadU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(std::signbit(in.ReadF64()), true);  // -0.0 round-trips its sign
+  EXPECT_TRUE(std::isnan(in.ReadF64()));        // NaN payload survives
+  std::string s;
+  ASSERT_TRUE(in.ReadString(&s));
+  EXPECT_EQ(s, "unit-α");
+  std::vector<uint64_t> u64s;
+  ASSERT_TRUE(in.ReadU64Vector(&u64s));
+  EXPECT_EQ(u64s, (std::vector<uint64_t>{1, 2, 3}));
+  std::vector<double> f64s;
+  ASSERT_TRUE(in.ReadF64Vector(&f64s));
+  EXPECT_EQ(f64s, (std::vector<double>{0.5, -1.5}));
+  EXPECT_FALSE(in.failed());
+  EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(BinIoTest, OverrunLatchesFailureInsteadOfReadingPastTheEnd) {
+  BinWriter out;
+  out.WriteU32(7);
+  BinReader in(out.bytes());
+  EXPECT_EQ(in.ReadU64(), 0u);  // only 4 bytes present
+  EXPECT_TRUE(in.failed());
+  EXPECT_EQ(in.ReadU32(), 0u);  // latched: further reads stay zero
+  EXPECT_EQ(in.status().code(), StatusCode::kIoError);
+}
+
+TEST(BinIoTest, CorruptLengthCannotTriggerGiantAllocation) {
+  BinWriter out;
+  out.WriteU64(1ull << 60);  // declared length far beyond the buffer
+  BinReader in(out.bytes());
+  std::vector<uint8_t> bytes;
+  EXPECT_FALSE(in.ReadBytes(&bytes));
+  EXPECT_TRUE(bytes.empty());
+  EXPECT_TRUE(in.failed());
+
+  BinReader counts(out.bytes());
+  size_t count = 99;
+  EXPECT_FALSE(counts.ReadCount(8, &count));
+  EXPECT_EQ(count, 0u);
+}
+
+// ----------------------------------------------------------- record log ---
+
+TEST(RecordLogTest, AppendScanRoundTrip) {
+  const std::string dir = TestDir("recordlog_roundtrip");
+  const std::string path = dir + "/log";
+  std::vector<std::vector<uint8_t>> payloads = {
+      {1, 2, 3}, {}, std::vector<uint8_t>(300, 0x5A)};
+  {
+    RecordLog log(path, FsyncPolicy::kEveryRecord);
+    ASSERT_TRUE(log.Open().ok());
+    for (const auto& payload : payloads) {
+      ASSERT_TRUE(log.Append(payload).ok());
+    }
+    EXPECT_EQ(log.appended(), payloads.size());
+  }
+  RecordLog::ScanResult scan;
+  ASSERT_TRUE(RecordLog::Scan(path, &scan).ok());
+  EXPECT_EQ(scan.records, payloads);
+  EXPECT_EQ(scan.torn_bytes, 0u);
+  EXPECT_EQ(scan.valid_bytes, fs::file_size(path));
+}
+
+TEST(RecordLogTest, MissingFileScansAsEmptyLog) {
+  RecordLog::ScanResult scan;
+  ASSERT_TRUE(RecordLog::Scan(TestDir("recordlog_missing") + "/nope", &scan)
+                  .ok());
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_EQ(scan.torn_bytes, 0u);
+}
+
+TEST(RecordLogTest, TornTailIsReportedAndTruncatable) {
+  const std::string dir = TestDir("recordlog_torn");
+  const std::string path = dir + "/log";
+  {
+    RecordLog log(path, FsyncPolicy::kEveryRecord);
+    ASSERT_TRUE(log.Open().ok());
+    ASSERT_TRUE(log.Append(std::vector<uint8_t>{9, 9, 9}).ok());
+  }
+  const size_t committed = fs::file_size(path);
+  {
+    // A power cut mid-append: header promising 100 bytes, only 5 present.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const uint8_t torn[] = {100, 0, 0, 0, 1, 2, 3, 4, 0xAA, 0xBB,
+                            0xCC, 0xDD, 0xEE};
+    out.write(reinterpret_cast<const char*>(torn), sizeof(torn));
+  }
+  RecordLog::ScanResult scan;
+  ASSERT_TRUE(RecordLog::Scan(path, &scan).ok());
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, committed);
+  EXPECT_EQ(scan.torn_bytes, 13u);
+
+  ASSERT_TRUE(RecordLog::TruncateTo(path, scan.valid_bytes).ok());
+  RecordLog::ScanResult rescan;
+  ASSERT_TRUE(RecordLog::Scan(path, &rescan).ok());
+  EXPECT_EQ(rescan.records.size(), 1u);
+  EXPECT_EQ(rescan.torn_bytes, 0u);
+  // The truncated log accepts new appends seamlessly.
+  RecordLog log(path, FsyncPolicy::kOnRotate);
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Append(std::vector<uint8_t>{7}).ok());
+  ASSERT_TRUE(log.Sync().ok());
+  ASSERT_TRUE(RecordLog::Scan(path, &rescan).ok());
+  EXPECT_EQ(rescan.records.size(), 2u);
+}
+
+TEST(RecordLogTest, CrcCorruptionStopsTheScanAtTheLastGoodRecord) {
+  const std::string dir = TestDir("recordlog_crc");
+  const std::string path = dir + "/log";
+  {
+    RecordLog log(path, FsyncPolicy::kEveryRecord);
+    ASSERT_TRUE(log.Open().ok());
+    ASSERT_TRUE(log.Append(std::vector<uint8_t>{1, 1, 1, 1}).ok());
+    ASSERT_TRUE(log.Append(std::vector<uint8_t>{2, 2, 2, 2}).ok());
+    ASSERT_TRUE(log.Append(std::vector<uint8_t>{3, 3, 3, 3}).ok());
+  }
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes[8 + 4 + 8 + 1] ^= 0x10;  // flip a payload bit inside record #2
+  WriteAll(path, bytes);
+  RecordLog::ScanResult scan;
+  ASSERT_TRUE(RecordLog::Scan(path, &scan).ok());
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0], (std::vector<uint8_t>{1, 1, 1, 1}));
+  EXPECT_GT(scan.torn_bytes, 0u);
+}
+
+// The corruption corpus for the physical log layer: every single-bit flip
+// and every truncation boundary must scan cleanly (shorter, never longer),
+// without a crash or an over-read.
+TEST(RecordLogTest, CorruptionCorpusNeverCrashesTheScanner) {
+  const std::string dir = TestDir("recordlog_corpus");
+  const std::string path = dir + "/log";
+  {
+    RecordLog log(path, FsyncPolicy::kEveryRecord);
+    ASSERT_TRUE(log.Open().ok());
+    ASSERT_TRUE(log.Append(std::vector<uint8_t>{10, 20, 30}).ok());
+    ASSERT_TRUE(log.Append(std::vector<uint8_t>(40, 0x7F)).ok());
+  }
+  const std::vector<uint8_t> pristine = ReadAll(path);
+  const std::string mutant = dir + "/mutant";
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    for (uint8_t bit : {0x01, 0x80}) {
+      std::vector<uint8_t> flipped = pristine;
+      flipped[i] ^= bit;
+      WriteAll(mutant, flipped);
+      RecordLog::ScanResult scan;
+      ASSERT_TRUE(RecordLog::Scan(mutant, &scan).ok())
+          << "bit flip at byte " << i;
+      EXPECT_LE(scan.records.size(), 2u);
+      EXPECT_EQ(scan.valid_bytes + scan.torn_bytes, flipped.size());
+    }
+  }
+  for (size_t len = 0; len < pristine.size(); ++len) {
+    WriteAll(mutant, std::vector<uint8_t>(pristine.begin(),
+                                          pristine.begin() +
+                                              static_cast<ptrdiff_t>(len)));
+    RecordLog::ScanResult scan;
+    ASSERT_TRUE(RecordLog::Scan(mutant, &scan).ok()) << "truncated to " << len;
+    EXPECT_LE(scan.records.size(), 2u);
+    EXPECT_EQ(scan.valid_bytes + scan.torn_bytes, len);
+  }
+}
+
+// -------------------------------------------------------- crash injector ---
+
+TEST(CrashInjectorTest, CountdownTriggersExactlyOnce) {
+  CrashFaultInjector injector;
+  injector.ArmAt("wal_append", 3);
+  EXPECT_EQ(injector.armed(), 3u);
+  EXPECT_FALSE(injector.Trigger("wal_append"));
+  EXPECT_FALSE(injector.Trigger("other_point"));  // unarmed point never fires
+  EXPECT_FALSE(injector.Trigger("wal_append"));
+  EXPECT_TRUE(injector.Trigger("wal_append"));
+  EXPECT_FALSE(injector.Trigger("wal_append"));  // spent
+  EXPECT_EQ(injector.armed(), 0u);
+}
+
+// -------------------------------------------------------------- WAL serde ---
+
+std::vector<EngineOp> SampleOps() {
+  std::vector<EngineOp> ops;
+  EngineOp reg;
+  reg.kind = EngineOp::Kind::kRegisterUnit;
+  reg.unit = "unit-0";
+  reg.roles = {DbRole::kPrimary, DbRole::kReplica, DbRole::kReplica};
+  ops.push_back(reg);
+
+  EngineOp tick;
+  tick.kind = EngineOp::Kind::kTick;
+  tick.unit = "unit-0";
+  tick.values.resize(2);
+  for (size_t db = 0; db < 2; ++db) {
+    for (size_t k = 0; k < kNumKpis; ++k) {
+      tick.values[db][k] = 0.25 * static_cast<double>(db * kNumKpis + k);
+    }
+  }
+  ops.push_back(tick);
+
+  EngineOp sample;
+  sample.kind = EngineOp::Kind::kSample;
+  sample.unit = "unit-1";
+  sample.sample.tick = 42;
+  sample.sample.db = 1;
+  sample.sample.values[3] = std::numeric_limits<double>::quiet_NaN();
+  sample.sample.values[7] = -17.5;
+  ops.push_back(sample);
+
+  EngineOp flush;
+  flush.kind = EngineOp::Kind::kFlush;
+  flush.unit = "unit-1";
+  ops.push_back(flush);
+
+  EngineOp topology;
+  topology.kind = EngineOp::Kind::kTopology;
+  topology.unit = "unit-0";
+  topology.update.kind = TopologyUpdate::Kind::kSwitchover;
+  topology.update.tick = 99;
+  topology.update.db = 2;
+  topology.update.peer = 0;
+  topology.update.ramp = 5;
+  ops.push_back(topology);
+
+  EngineOp drain;
+  drain.kind = EngineOp::Kind::kDrain;
+  ops.push_back(drain);
+  return ops;
+}
+
+TEST(WalOpTest, EveryKindRoundTripsBitExactly) {
+  for (const EngineOp& op : SampleOps()) {
+    const std::vector<uint8_t> payload = EncodeOp(op);
+    EngineOp decoded;
+    const Status status = DecodeOp(payload, &decoded);
+    ASSERT_TRUE(status.ok()) << status.message();
+    EXPECT_EQ(decoded.kind, op.kind);
+    EXPECT_EQ(decoded.unit, op.unit);
+    EXPECT_EQ(decoded.roles, op.roles);
+    ASSERT_EQ(decoded.values.size(), op.values.size());
+    // Re-encoding the decode must reproduce the exact bytes: the WAL format
+    // is canonical, so replay sees precisely what the live path committed.
+    EXPECT_EQ(EncodeOp(decoded), payload);
+  }
+}
+
+TEST(WalOpTest, TruncationAtEveryBoundaryIsATypedError) {
+  for (const EngineOp& op : SampleOps()) {
+    const std::vector<uint8_t> payload = EncodeOp(op);
+    for (size_t len = 0; len < payload.size(); ++len) {
+      const std::vector<uint8_t> prefix(
+          payload.begin(), payload.begin() + static_cast<ptrdiff_t>(len));
+      EngineOp decoded;
+      const Status status = DecodeOp(prefix, &decoded);
+      EXPECT_FALSE(status.ok())
+          << "op kind " << static_cast<int>(op.kind) << " truncated to "
+          << len << " decoded";
+    }
+  }
+}
+
+TEST(WalOpTest, BitFlipsEitherFailOrDecodeCanonically) {
+  for (const EngineOp& op : SampleOps()) {
+    const std::vector<uint8_t> payload = EncodeOp(op);
+    for (size_t i = 0; i < payload.size(); ++i) {
+      std::vector<uint8_t> flipped = payload;
+      flipped[i] ^= 0x01;
+      EngineOp decoded;
+      const Status status = DecodeOp(flipped, &decoded);
+      // A flip the CRC layer would normally catch may still parse (e.g. a
+      // changed KPI value) — but then it must be a *consistent* decode that
+      // re-encodes to the same bytes. It must never crash or over-read.
+      if (status.ok()) {
+        EXPECT_EQ(EncodeOp(decoded), flipped) << "byte " << i;
+      }
+    }
+  }
+}
+
+TEST(WalOpTest, UnknownEnumsAreRejected) {
+  std::vector<uint8_t> bad_kind = {200};
+  EngineOp op;
+  EXPECT_EQ(DecodeOp(bad_kind, &op).code(), StatusCode::kIoError);
+
+  EngineOp reg;
+  reg.kind = EngineOp::Kind::kRegisterUnit;
+  reg.unit = "u";
+  reg.roles = {DbRole::kPrimary};
+  std::vector<uint8_t> payload = EncodeOp(reg);
+  payload.back() = 250;  // the role byte
+  EXPECT_EQ(DecodeOp(payload, &op).code(), StatusCode::kIoError);
+}
+
+TEST(WalOpTest, DrainOpsAreNotDirectlyApplicable) {
+  DetectionEngine engine;
+  EngineOp drain;
+  drain.kind = EngineOp::Kind::kDrain;
+  EXPECT_EQ(ApplyOp(engine, drain).code(), StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------------ alert serde ---
+
+Alert SampleAlert() {
+  Alert alert;
+  alert.alert_class = AlertClass::kAnomaly;
+  alert.unit = "unit-3";
+  alert.db = 2;
+  alert.begin = 100;
+  alert.end = 130;
+  alert.consumed = 17;
+  alert.message = "correlation collapse on primary";
+  alert.report.db = 2;
+  alert.report.begin = 100;
+  alert.report.end = 130;
+  alert.report.state = DbState::kAbnormal;
+  alert.report.capacity_growth_vs_peers = 0.375;
+  KpiFinding finding;
+  finding.kpi = static_cast<Kpi>(4);
+  finding.score = 0.9921875;
+  finding.level = CorrelationLevel::kExtremeDeviation;
+  finding.shape = TrendShape::kSpikeUp;
+  finding.level_ratio = 0.75;
+  alert.report.findings.push_back(finding);
+  IncidentHypothesis hypothesis;
+  hypothesis.family = "capacity";
+  hypothesis.confidence = 0.5;
+  hypothesis.rationale = "growth divergence";
+  alert.report.hypotheses.push_back(hypothesis);
+  return alert;
+}
+
+TEST(AlertSerdeTest, RoundTripsEveryField) {
+  const Alert alert = SampleAlert();
+  BinWriter out;
+  SaveAlert(alert, out);
+  BinReader in(out.bytes());
+  Alert loaded;
+  const Status status = LoadAlert(in, &loaded);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(in.remaining(), 0u);
+  EXPECT_EQ(loaded.alert_class, alert.alert_class);
+  EXPECT_EQ(loaded.unit, alert.unit);
+  EXPECT_EQ(loaded.db, alert.db);
+  EXPECT_EQ(loaded.begin, alert.begin);
+  EXPECT_EQ(loaded.end, alert.end);
+  EXPECT_EQ(loaded.consumed, alert.consumed);
+  EXPECT_EQ(loaded.message, alert.message);
+  EXPECT_EQ(loaded.report.state, alert.report.state);
+  EXPECT_EQ(loaded.report.capacity_growth_vs_peers,
+            alert.report.capacity_growth_vs_peers);
+  ASSERT_EQ(loaded.report.findings.size(), 1u);
+  EXPECT_EQ(loaded.report.findings[0].kpi, alert.report.findings[0].kpi);
+  EXPECT_EQ(loaded.report.findings[0].score, alert.report.findings[0].score);
+  EXPECT_EQ(loaded.report.findings[0].level, alert.report.findings[0].level);
+  EXPECT_EQ(loaded.report.findings[0].shape, alert.report.findings[0].shape);
+  ASSERT_EQ(loaded.report.hypotheses.size(), 1u);
+  EXPECT_EQ(loaded.report.hypotheses[0].family,
+            alert.report.hypotheses[0].family);
+  EXPECT_EQ(loaded.report.hypotheses[0].rationale,
+            alert.report.hypotheses[0].rationale);
+}
+
+TEST(AlertSerdeTest, TruncationAtEveryBoundaryIsATypedError) {
+  BinWriter out;
+  SaveAlert(SampleAlert(), out);
+  const std::vector<uint8_t>& payload = out.bytes();
+  for (size_t len = 0; len < payload.size(); ++len) {
+    BinReader in(payload.data(), len);
+    Alert loaded;
+    const Status status = LoadAlert(in, &loaded);
+    // Either the reader latched a bounds failure or the decode ran short;
+    // a strict prefix must never load as a full alert.
+    EXPECT_TRUE(!status.ok() || in.remaining() != 0 || len == payload.size())
+        << "truncated to " << len;
+  }
+}
+
+// ------------------------------------------------------------- checkpoint ---
+
+UnitData SimUnit(double anomaly_ratio, uint64_t seed, size_t ticks) {
+  UnitSimConfig config;
+  config.ticks = ticks;
+  config.inject_anomalies = anomaly_ratio > 0.0;
+  config.anomalies.target_ratio = anomaly_ratio;
+  Rng rng(seed);
+  PeriodicProfileParams pp;
+  auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+  return SimulateUnit(config, *profile, true, rng.Fork(2));
+}
+
+/// Feeds unit `data` ticks [begin, end) into `engine` and drains per tick.
+std::vector<Alert> FeedTicks(DetectionEngine& engine, const std::string& unit,
+                             const UnitData& data, size_t begin, size_t end) {
+  std::vector<Alert> all;
+  for (size_t t = begin; t < end; ++t) {
+    std::vector<std::array<double, kNumKpis>> tick(data.num_dbs());
+    for (size_t db = 0; db < data.num_dbs(); ++db) {
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        tick[db][k] = data.kpis[db].row(k)[t];
+      }
+    }
+    EXPECT_TRUE(engine.Ingest(unit, tick).ok());
+    for (Alert& alert : engine.Drain()) all.push_back(std::move(alert));
+  }
+  return all;
+}
+
+std::vector<uint8_t> SerializeAlerts(const std::vector<Alert>& alerts) {
+  BinWriter out;
+  for (const Alert& alert : alerts) SaveAlert(alert, out);
+  return out.Take();
+}
+
+TEST(CheckpointTest, RoundTripRestoresTheEngineBitIdentically) {
+  const std::string dir = TestDir("checkpoint_roundtrip");
+  const UnitData data = SimUnit(0.08, 4242, 220);
+  const size_t half = 110;
+
+  DetectionEngineConfig config;
+  DetectionEngine original(config);
+  original.RegisterUnit("unit-a", data.roles);
+  FeedTicks(original, "unit-a", data, 0, half);
+
+  CheckpointMeta meta;
+  meta.ops_committed = 777;
+  meta.next_alert_seq = 55;
+  meta.drain_count = original.drain_count();
+  meta.net_sessions = {{11, 4}, {29, 9}};
+  size_t bytes = 0;
+  ASSERT_TRUE(
+      WriteCheckpoint(dir, 1, original, meta, nullptr, &bytes).ok());
+  EXPECT_GT(bytes, 0u);
+
+  DetectionEngine restored(config);
+  CheckpointMeta loaded;
+  const Status status = LoadCheckpoint(dir, 1, restored, &loaded);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(loaded.ops_committed, meta.ops_committed);
+  EXPECT_EQ(loaded.next_alert_seq, meta.next_alert_seq);
+  EXPECT_EQ(loaded.drain_count, meta.drain_count);
+  EXPECT_EQ(loaded.net_sessions, meta.net_sessions);
+  EXPECT_EQ(restored.drain_count(), original.drain_count());
+  EXPECT_EQ(restored.UnitNames(), original.UnitNames());
+
+  // Both engines continue from the same state: the remaining feed must
+  // produce byte-identical alert streams.
+  const std::vector<Alert> tail_original =
+      FeedTicks(original, "unit-a", data, half, data.length());
+  const std::vector<Alert> tail_restored =
+      FeedTicks(restored, "unit-a", data, half, data.length());
+  EXPECT_GT(tail_original.size(), 0u);  // the claim must not be vacuous
+  EXPECT_EQ(SerializeAlerts(tail_restored), SerializeAlerts(tail_original));
+}
+
+TEST(CheckpointTest, ScanPicksTheLatestAndFlagsStaleLeftovers) {
+  const std::string dir = TestDir("checkpoint_scan");
+  fs::create_directories(dir + "/checkpoint-1");
+  fs::create_directories(dir + "/checkpoint-3");
+  fs::create_directories(dir + "/checkpoint-2.tmp");
+  fs::create_directories(dir + "/unrelated");
+  const CheckpointScan scan = ScanCheckpoints(dir);
+  EXPECT_TRUE(scan.found);
+  EXPECT_EQ(scan.latest, 3u);
+  ASSERT_EQ(scan.stale.size(), 2u);
+  // Stale = the crashed tmp and the superseded epoch; unrelated dirs stay.
+  std::vector<std::string> names;
+  for (const std::string& path : scan.stale) {
+    names.push_back(fs::path(path).filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"checkpoint-1", "checkpoint-2.tmp"}));
+
+  const CheckpointScan empty = ScanCheckpoints(dir + "/missing-root");
+  EXPECT_FALSE(empty.found);
+}
+
+TEST(CheckpointTest, LoadRejectsAMissingCheckpoint) {
+  const std::string dir = TestDir("checkpoint_missing");
+  DetectionEngine engine;
+  CheckpointMeta meta;
+  EXPECT_EQ(LoadCheckpoint(dir, 1, engine, &meta).code(),
+            StatusCode::kIoError);
+}
+
+// The checkpoint corruption corpus (satellite of DESIGN.md §13): every byte
+// of every checkpoint file bit-flipped, and every file truncated at every
+// boundary. The loader must return kIoError each time — never crash, hang,
+// or accept the corrupt image. Runs under ASan+UBSan in CI.
+TEST(CheckpointTest, CorruptionCorpusIsAlwaysATypedError) {
+  const std::string dir = TestDir("checkpoint_corpus");
+  // Deliberately tiny feed: the corpus is quadratic in checkpoint bytes.
+  const UnitData data = SimUnit(0.0, 99, 64);
+  DetectionEngine engine;
+  engine.RegisterUnit("unit-a", data.roles);
+  FeedTicks(engine, "unit-a", data, 0, 48);
+  CheckpointMeta meta;
+  meta.ops_committed = 48;
+  meta.net_sessions = {{5, 2}};
+  ASSERT_TRUE(WriteCheckpoint(dir, 1, engine, meta, nullptr, nullptr).ok());
+
+  const std::string cp_dir = CheckpointDirName(dir, 1);
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(cp_dir)) {
+    files.push_back(entry.path().string());
+  }
+  ASSERT_GE(files.size(), 3u);  // MANIFEST + engine.state + unit-0.state
+
+  DetectionEngineConfig config;
+  for (const std::string& path : files) {
+    const std::vector<uint8_t> pristine = ReadAll(path);
+    ASSERT_GT(pristine.size(), 0u) << path;
+    // Bit flips: cover every byte (strided only if the file is large, so
+    // the corpus stays sub-second while still touching every region).
+    const size_t stride = std::max<size_t>(1, pristine.size() / 4096);
+    for (size_t i = 0; i < pristine.size(); i += stride) {
+      std::vector<uint8_t> flipped = pristine;
+      flipped[i] ^= 0x20;
+      WriteAll(path, flipped);
+      DetectionEngine fresh(config);
+      CheckpointMeta out;
+      EXPECT_EQ(LoadCheckpoint(dir, 1, fresh, &out).code(),
+                StatusCode::kIoError)
+          << fs::path(path).filename() << " flip at byte " << i;
+    }
+    // Truncation at every boundary.
+    for (size_t len = 0; len < pristine.size(); len += stride) {
+      WriteAll(path, std::vector<uint8_t>(
+                         pristine.begin(),
+                         pristine.begin() + static_cast<ptrdiff_t>(len)));
+      DetectionEngine fresh(config);
+      CheckpointMeta out;
+      EXPECT_EQ(LoadCheckpoint(dir, 1, fresh, &out).code(),
+                StatusCode::kIoError)
+          << fs::path(path).filename() << " truncated to " << len;
+    }
+    WriteAll(path, pristine);  // restore for the next file's corpus
+  }
+  // After restoring everything the checkpoint loads again — the corpus
+  // itself did not damage the pristine image.
+  DetectionEngine fresh(config);
+  CheckpointMeta out;
+  EXPECT_TRUE(LoadCheckpoint(dir, 1, fresh, &out).ok());
+  // A missing file is as fatal as a corrupt one.
+  fs::remove(cp_dir + "/unit-0.state");
+  DetectionEngine fresh2(config);
+  EXPECT_EQ(LoadCheckpoint(dir, 1, fresh2, &out).code(),
+            StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------- durable engine ---
+
+/// Feeds sample ticks [begin, end) of `data` through the durable facade,
+/// draining per tick (discarding the returned batch — the durable alert log
+/// is the ground truth the tests compare).
+void FeedDurable(DurableEngine& durable, const std::string& unit,
+                 const UnitData& data, size_t begin, size_t end) {
+  for (size_t t = begin; t < end; ++t) {
+    std::vector<std::array<double, kNumKpis>> tick(data.num_dbs());
+    for (size_t db = 0; db < data.num_dbs(); ++db) {
+      for (size_t k = 0; k < kNumKpis; ++k) {
+        tick[db][k] = data.kpis[db].row(k)[t];
+      }
+    }
+    ASSERT_TRUE(durable.Ingest(unit, tick).ok());
+    std::vector<Alert> batch;
+    ASSERT_TRUE(durable.Drain(&batch).ok());
+  }
+}
+
+TEST(DurableEngineTest, RestartReplaysTheWalToTheIdenticalAlertLog) {
+  const UnitData data = SimUnit(0.08, 777, 200);
+  const size_t half = 100;
+
+  // Reference: one uninterrupted session.
+  DurableEngineConfig ref_config;
+  ref_config.dir = TestDir("durable_ref");
+  ref_config.fsync = FsyncPolicy::kEveryRecord;
+  {
+    DurableEngine durable(ref_config);
+    ASSERT_TRUE(durable.Open().ok());
+    ASSERT_TRUE(durable.RegisterUnit("unit-a", data.roles).ok());
+    FeedDurable(durable, "unit-a", data, 0, data.length());
+  }
+  const std::vector<uint8_t> reference =
+      ReadAll(ref_config.dir + "/alerts.log");
+  ASSERT_GT(reference.size(), 0u);  // the scenario must actually alert
+
+  // Restarted: same feed, torn into two sessions with a WAL replay between.
+  DurableEngineConfig config;
+  config.dir = TestDir("durable_restart");
+  config.fsync = FsyncPolicy::kEveryRecord;
+  uint64_t committed_at_close = 0;
+  {
+    DurableEngine durable(config);
+    ASSERT_TRUE(durable.Open().ok());
+    EXPECT_FALSE(durable.recovery().checkpoint_loaded);
+    ASSERT_TRUE(durable.RegisterUnit("unit-a", data.roles).ok());
+    FeedDurable(durable, "unit-a", data, 0, half);
+    committed_at_close = durable.ops_committed();
+  }
+  {
+    DurableEngine durable(config);
+    ASSERT_TRUE(durable.Open().ok());
+    // No checkpoint was written, so recovery replayed the entire op history.
+    EXPECT_FALSE(durable.recovery().checkpoint_loaded);
+    EXPECT_EQ(durable.recovery().wal_records_replayed, committed_at_close);
+    EXPECT_EQ(durable.ops_committed(), committed_at_close);
+    FeedDurable(durable, "unit-a", data, half, data.length());
+  }
+  EXPECT_EQ(ReadAll(config.dir + "/alerts.log"), reference);
+}
+
+TEST(DurableEngineTest, CheckpointRotatesTheWalAndCollectsTheOldEpoch) {
+  const UnitData data = SimUnit(0.08, 555, 160);
+  DurableEngineConfig config;
+  config.dir = TestDir("durable_checkpoint");
+  config.fsync = FsyncPolicy::kEveryRecord;
+  config.checkpoint_every_drains = 50;
+  uint64_t committed = 0;
+  {
+    DurableEngine durable(config);
+    ASSERT_TRUE(durable.Open().ok());
+    ASSERT_TRUE(durable.RegisterUnit("unit-a", data.roles).ok());
+    FeedDurable(durable, "unit-a", data, 0, data.length());
+    committed = durable.ops_committed();
+    // 160 drains at every-50 = three checkpoints; the live WAL is epoch 3's.
+    EXPECT_TRUE(fs::exists(config.dir + "/checkpoint-3"));
+    EXPECT_FALSE(fs::exists(config.dir + "/checkpoint-2"));
+    EXPECT_TRUE(fs::exists(config.dir + "/wal-3.log"));
+    EXPECT_FALSE(fs::exists(config.dir + "/wal-2.log"));
+  }
+  DurableEngine durable(config);
+  ASSERT_TRUE(durable.Open().ok());
+  EXPECT_TRUE(durable.recovery().checkpoint_loaded);
+  EXPECT_EQ(durable.recovery().checkpoint_epoch, 3u);
+  EXPECT_EQ(durable.ops_committed(), committed);
+  // Only the ops since checkpoint 3 replayed, not the whole history.
+  EXPECT_LT(durable.recovery().wal_records_replayed, committed);
+}
+
+TEST(DurableEngineTest, SessionFloorsRideTheCheckpoint) {
+  const UnitData data = SimUnit(0.0, 31, 80);
+  DurableEngineConfig config;
+  config.dir = TestDir("durable_sessions");
+  config.fsync = FsyncPolicy::kEveryRecord;
+  const std::vector<std::pair<uint64_t, uint64_t>> floors = {{3, 12},
+                                                             {900, 2}};
+  {
+    DurableEngine durable(config);
+    ASSERT_TRUE(durable.Open().ok());
+    durable.set_session_provider([&] { return floors; });
+    ASSERT_TRUE(durable.RegisterUnit("unit-a", data.roles).ok());
+    FeedDurable(durable, "unit-a", data, 0, 40);
+    ASSERT_TRUE(durable.Checkpoint().ok());
+  }
+  DurableEngine durable(config);
+  ASSERT_TRUE(durable.Open().ok());
+  EXPECT_EQ(durable.recovered_sessions(), floors);
+}
+
+TEST(DurableEngineTest, ObservabilityExportsRecoveryMetrics) {
+  const UnitData data = SimUnit(0.08, 123, 120);
+  DurableEngineConfig config;
+  config.dir = TestDir("durable_obs");
+  config.fsync = FsyncPolicy::kEveryRecord;
+  config.checkpoint_every_drains = 60;
+  config.engine.obs.enabled = true;
+  {
+    DurableEngine durable(config);
+    ASSERT_TRUE(durable.Open().ok());
+    ASSERT_TRUE(durable.RegisterUnit("unit-a", data.roles).ok());
+    FeedDurable(durable, "unit-a", data, 0, data.length());
+    MetricsRegistry* registry = durable.engine().metrics();
+    ASSERT_NE(registry, nullptr);
+    const Counter* wal_appends =
+        registry->FindCounter("dbc_recovery_wal_appends_total");
+    ASSERT_NE(wal_appends, nullptr);
+    EXPECT_EQ(wal_appends->value(), durable.ops_committed());
+    const Counter* checkpoints =
+        registry->FindCounter("dbc_recovery_checkpoints_total");
+    ASSERT_NE(checkpoints, nullptr);
+    EXPECT_EQ(checkpoints->value(), 2u);
+    EXPECT_NE(registry->FindGauge("dbc_recovery_checkpoint_bytes"), nullptr);
+    EXPECT_NE(registry->FindHistogram("dbc_recovery_checkpoint_seconds"),
+              nullptr);
+  }
+  DurableEngine durable(config);
+  ASSERT_TRUE(durable.Open().ok());
+  MetricsRegistry* registry = durable.engine().metrics();
+  ASSERT_NE(registry, nullptr);
+  const Gauge* replayed =
+      registry->FindGauge("dbc_recovery_wal_records_replayed");
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_EQ(replayed->value(),
+            static_cast<double>(durable.recovery().wal_records_replayed));
+  EXPECT_NE(registry->FindGauge("dbc_recovery_seconds"), nullptr);
+}
+
+TEST(DurableEngineTest, OpsBeforeOpenAreRejected) {
+  DurableEngineConfig config;
+  config.dir = TestDir("durable_unopened");
+  DurableEngine durable(config);
+  EXPECT_EQ(durable.RegisterUnit("u", {DbRole::kPrimary}).code(),
+            StatusCode::kFailedPrecondition);
+  std::vector<Alert> alerts;
+  EXPECT_EQ(durable.Drain(&alerts).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(durable.Checkpoint().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DurableEngineTest, CorruptCheckpointIsATypedOpenFailure) {
+  const UnitData data = SimUnit(0.0, 8, 60);
+  DurableEngineConfig config;
+  config.dir = TestDir("durable_corrupt_open");
+  config.fsync = FsyncPolicy::kEveryRecord;
+  {
+    DurableEngine durable(config);
+    ASSERT_TRUE(durable.Open().ok());
+    ASSERT_TRUE(durable.RegisterUnit("unit-a", data.roles).ok());
+    FeedDurable(durable, "unit-a", data, 0, 30);
+    ASSERT_TRUE(durable.Checkpoint().ok());
+  }
+  // Flip one byte of the MANIFEST: Open must fail typed, not half-load.
+  const std::string manifest = config.dir + "/checkpoint-1/MANIFEST";
+  std::vector<uint8_t> bytes = ReadAll(manifest);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x04;
+  WriteAll(manifest, bytes);
+  DurableEngine durable(config);
+  EXPECT_EQ(durable.Open().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -36,6 +36,8 @@ dbc_bench(bench_table13_serving_edge)
 target_link_libraries(bench_table13_serving_edge PRIVATE dbc_net)
 dbc_bench(bench_table14_crash_recovery)
 target_link_libraries(bench_table14_crash_recovery PRIVATE dbc_recovery)
+dbc_bench(bench_table15_triage)
+target_link_libraries(bench_table15_triage PRIVATE dbc_triage)
 
 # Micro-benchmarks (google-benchmark) for the component-time study.
 add_executable(bench_component_time

@@ -134,6 +134,26 @@ std::vector<AnomalyEvent> ScheduleAnomalies(const AnomalyScheduleConfig& config,
   return events;
 }
 
+const AnomalyEvent* DominantEventInWindow(
+    const std::vector<AnomalyEvent>& events, size_t begin, size_t end) {
+  const AnomalyEvent* best = nullptr;
+  size_t best_overlap = 0;
+  for (const AnomalyEvent& ev : events) {
+    const size_t lo = std::max(begin, ev.start);
+    const size_t hi = std::min(end, ev.end());
+    const size_t overlap = hi > lo ? hi - lo : 0;
+    if (overlap == 0) continue;
+    if (best == nullptr || overlap > best_overlap ||
+        (overlap == best_overlap &&
+         (ev.start < best->start ||
+          (ev.start == best->start && ev.db < best->db)))) {
+      best = &ev;
+      best_overlap = overlap;
+    }
+  }
+  return best;
+}
+
 AnomalyInjector::AnomalyInjector(std::vector<AnomalyEvent> events,
                                  size_t num_dbs, Rng rng)
     : events_(std::move(events)) {

@@ -70,6 +70,13 @@ std::vector<AnomalyEvent> ScheduleAnomalies(const AnomalyScheduleConfig& config,
                                             size_t num_dbs, size_t ticks,
                                             Rng& rng);
 
+/// The injected event that dominates incident window [begin, end): the one
+/// overlapping it for the most ticks, ties broken toward the earlier start
+/// and then the lower database id. Returns nullptr when no event overlaps.
+/// This is the triage bench's ground-truth "true driver" label.
+const AnomalyEvent* DominantEventInWindow(
+    const std::vector<AnomalyEvent>& events, size_t begin, size_t end);
+
 /// Turns scheduled events into per-tick KpiEffects and point labels.
 class AnomalyInjector {
  public:

@@ -294,6 +294,7 @@ std::vector<Alert> UnitPipeline::Drain() {
     ++state_counts_[static_cast<size_t>(v.state)];
     Inc(metrics_.verdicts_by_state[static_cast<size_t>(v.state)]);
     if (config_.record_verdicts) verdict_log_.push_back(v);
+    if (triage_tap_enabled_) triage_tap_.push_back(v);
     if (v.state == DbState::kNoData) continue;  // nothing to judge or label
     if (v.window.abnormal) {
       // Switchover suppression: a planned failover disturbs every member at

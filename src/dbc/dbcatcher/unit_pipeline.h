@@ -10,6 +10,7 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "dbc/common/status.h"
@@ -138,6 +139,15 @@ class UnitPipeline {
     return verdict_log_;
   }
 
+  /// Starts recording resolved verdicts for the triage rate aggregator
+  /// (idempotent; off by default so unattached pipelines buffer nothing).
+  /// Unlike verdict_log(), the tap is drained — TakeTriageTap() moves the
+  /// buffered verdicts out — so it stays bounded between Collect() calls.
+  void EnableTriageTap() { triage_tap_enabled_ = true; }
+  std::vector<StreamVerdict> TakeTriageTap() {
+    return std::exchange(triage_tap_, {});
+  }
+
   /// The underlying stream (live membership, effective config).
   const DbcatcherStream& stream() const { return stream_; }
 
@@ -182,6 +192,9 @@ class UnitPipeline {
   std::vector<std::pair<size_t, size_t>> suppression_;
   size_t suppressed_alerts_ = 0;
   std::vector<StreamVerdict> verdict_log_;
+  /// Verdicts buffered for the triage aggregator since the last take.
+  bool triage_tap_enabled_ = false;
+  std::vector<StreamVerdict> triage_tap_;
   PipelineMetrics metrics_;
   TraceLog* trace_ = nullptr;
   /// True once EnableObservability installed metrics — gates the Stopwatch

@@ -156,6 +156,61 @@ Result<SendOutcome> NetClient::Send(FrameType type, uint8_t priority,
   return Status::IoError("frame not acknowledged after max attempts");
 }
 
+Result<TriageResultPayload> NetClient::Query(const TriageQueryPayload& query) {
+  const uint64_t seq = next_seq_;
+  const std::vector<uint8_t> frame = EncodeFrame(
+      FrameType::kTriageQuery, 0, 0, seq, EncodeTriageQueryPayload(query));
+  ++sends_total_;
+  // Same retry/backoff skeleton as Send, minus fault injection (queries are
+  // an operator tool, not the plane the injector torments) and minus dedup
+  // concerns: the query is read-only, so a retransmit the server answers
+  // twice is harmless.
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) ++retries_total_;
+    if (!connected()) {
+      if (!Connect().ok()) {
+        Backoff(0);
+        continue;
+      }
+      if (attempt > 0) ++reconnects_total_;
+    }
+    if (!WriteFrameBytes(frame)) {
+      Backoff(0);
+      continue;
+    }
+    const std::optional<Frame> reply = AwaitReply(seq);
+    if (!reply.has_value()) {
+      Disconnect();
+      Backoff(0);
+      continue;
+    }
+    if (reply->header.type == FrameType::kTriageResult) {
+      TriageResultPayload result;
+      if (!DecodeTriageResultPayload(reply->payload, &result)) {
+        Disconnect();  // the reply stream is lying about the format
+        Backoff(0);
+        continue;
+      }
+      next_seq_ = seq + 1;
+      backoff_ms_ = 0;
+      return result;
+    }
+    NackPayload nack;
+    if (reply->header.type != FrameType::kNack ||
+        !DecodeNackPayload(reply->payload, &nack) ||
+        nack.reason != NackReason::kOverload) {
+      Disconnect();
+      Backoff(0);
+      continue;
+    }
+    // Retryable overload (watermark or the server's per-cycle sweep cap):
+    // honor the backoff hint like any other NACKed frame.
+    ++nacks_overload_total_;
+    Backoff(nack.retry_after_ms);
+  }
+  return Status::IoError("triage query not answered after max attempts");
+}
+
 bool NetClient::WriteFrameBytes(const std::vector<uint8_t>& bytes) {
   size_t off = 0;
   while (off < bytes.size()) {
@@ -180,7 +235,8 @@ std::optional<Frame> NetClient::AwaitReply(uint64_t seq) {
       const WireVerdict verdict = decoder_.Next(&frame);
       if (verdict == WireVerdict::kFrame) {
         if (frame.header.type != FrameType::kAck &&
-            frame.header.type != FrameType::kNack) {
+            frame.header.type != FrameType::kNack &&
+            frame.header.type != FrameType::kTriageResult) {
           continue;  // servers only send replies; ignore anything else
         }
         if (frame.header.seq == seq) return frame;

@@ -69,6 +69,12 @@ class NetClient {
   Result<SendOutcome> Send(FrameType type, uint8_t priority,
                            const std::vector<uint8_t>& payload);
 
+  /// Sends one fleet-triage query and blocks for its kTriageResult,
+  /// retrying with the usual backoff when the edge NACKs it as overloaded
+  /// (watermark or per-cycle sweep cap). The query is read-only, so the
+  /// at-least-once retransmit needs no dedup.
+  Result<TriageResultPayload> Query(const TriageQueryPayload& query);
+
   void Close();
   bool connected() const { return socket_.valid(); }
 

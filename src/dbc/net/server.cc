@@ -44,8 +44,12 @@ void NetServer::EnableObservability(MetricsRegistry* registry) {
       registry->GetCounter("dbc_net_frames_total", {{"type", "telemetry"}});
   metrics_.frames_alert =
       registry->GetCounter("dbc_net_frames_total", {{"type", "alert"}});
+  metrics_.frames_triage =
+      registry->GetCounter("dbc_net_frames_total", {{"type", "triage"}});
   metrics_.frames_malformed =
       registry->GetCounter("dbc_net_frames_malformed_total");
+  metrics_.triage_served = registry->GetCounter("dbc_triage_served_total");
+  metrics_.triage_rejected = registry->GetCounter("dbc_triage_rejected_total");
   metrics_.acks =
       registry->GetCounter("dbc_net_replies_total", {{"kind", "ack"}});
   metrics_.acks_degraded = registry->GetCounter("dbc_net_replies_total",
@@ -67,6 +71,7 @@ void NetServer::EnableObservability(MetricsRegistry* registry) {
 }
 
 size_t NetServer::PollOnce(int timeout_ms) {
+  triage_this_poll_ = 0;
   std::vector<pollfd> fds;
   fds.reserve(conns_.size() + 1);
   fds.push_back({listener_.fd(), POLLIN, 0});
@@ -245,8 +250,57 @@ void NetServer::HandleFrame(Conn& conn, const Frame& frame) {
       }
       return;
     }
+    case FrameType::kTriageQuery: {
+      Inc(metrics_.frames_triage);
+      TriageQueryPayload query;
+      if (!DecodeTriageQueryPayload(frame.payload, &query)) {
+        ++malformed_frames_total_;
+        Inc(metrics_.frames_malformed);
+        Quarantine(conn, NackReason::kMalformed, frame.header.seq);
+        return;
+      }
+      if (triage_handler_ == nullptr) {
+        // This edge does not serve triage: fatal, not retryable.
+        Quarantine(conn, NackReason::kUnsupported, frame.header.seq);
+        return;
+      }
+      // Admission: the global watermark (same signal ingest honors) plus
+      // the per-cycle sweep cap — a sweep walks every unit's store, so an
+      // uncapped query storm would starve the telemetry data plane. Both
+      // rejections reuse the retryable-NACK backoff machinery clients
+      // already implement.
+      const bool over_watermark =
+          buffered_bytes_ > config_.global_buffer_high_watermark;
+      if (over_watermark || triage_this_poll_ >= config_.max_triage_per_poll) {
+        ++triage_rejected_total_;
+        Inc(metrics_.triage_rejected);
+        NackPayload nack{NackReason::kOverload, config_.retry_after_ms};
+        SendReply(conn, FrameType::kNack, 0, frame.header.seq,
+                  EncodeNackPayload(nack));
+        Inc(metrics_.nacks_overload);
+        return;
+      }
+      ++triage_this_poll_;
+      TriageResultPayload result;
+      if (!triage_handler_->OnTriageQuery(query, &result)) {
+        // The application declined (its own overload policy): retryable.
+        ++triage_rejected_total_;
+        Inc(metrics_.triage_rejected);
+        NackPayload nack{NackReason::kOverload, config_.retry_after_ms};
+        SendReply(conn, FrameType::kNack, 0, frame.header.seq,
+                  EncodeNackPayload(nack));
+        Inc(metrics_.nacks_overload);
+        return;
+      }
+      ++triage_served_total_;
+      Inc(metrics_.triage_served);
+      SendReply(conn, FrameType::kTriageResult, 0, frame.header.seq,
+                EncodeTriageResultPayload(result));
+      return;
+    }
     case FrameType::kAck:
     case FrameType::kNack:
+    case FrameType::kTriageResult:
       // Replies flow server->client only; a client sending them is broken.
       Quarantine(conn, NackReason::kUnsupported, frame.header.seq);
       return;

@@ -62,6 +62,17 @@ class FrameHandler {
                                 const Frame& frame) = 0;
 };
 
+/// Application hook for fleet-triage queries (triage/query.h answers them
+/// with TriageEngine::RootCauses). Called from the serve thread only, at
+/// most `max_triage_per_poll` times per PollOnce cycle. Return false to
+/// decline the query — the server NACKs it as retryable overload.
+class TriageQueryHandler {
+ public:
+  virtual ~TriageQueryHandler() = default;
+  virtual bool OnTriageQuery(const TriageQueryPayload& query,
+                             TriageResultPayload* result) = 0;
+};
+
 /// Serving-edge policy knobs.
 struct NetServerConfig {
   /// Loopback port to bind; 0 picks an ephemeral port (see port()).
@@ -82,6 +93,11 @@ struct NetServerConfig {
   double slow_drain_timeout_seconds = 5.0;
   /// Backoff hint stamped into retryable NACKs.
   uint32_t retry_after_ms = 20;
+  /// Triage sweeps admitted per PollOnce cycle. A sweep walks every unit's
+  /// store on the serve thread, so capping it keeps a triage storm from
+  /// starving telemetry ingest; queries over the cap get a retryable
+  /// overload NACK carrying retry_after_ms.
+  size_t max_triage_per_poll = 1;
 };
 
 /// Serve-side observability (null = off), DESIGN.md §9/§11 naming.
@@ -95,7 +111,10 @@ struct NetServerMetrics {
   Counter* frames_hello = nullptr;
   Counter* frames_telemetry = nullptr;
   Counter* frames_alert = nullptr;
+  Counter* frames_triage = nullptr;       // kTriageQuery frames seen
   Counter* frames_malformed = nullptr;    // fatal decode verdicts
+  Counter* triage_served = nullptr;       // queries answered with a result
+  Counter* triage_rejected = nullptr;     // dbc_triage_rejected_total
   Counter* acks = nullptr;
   Counter* acks_degraded = nullptr;
   Counter* nacks_overload = nullptr;
@@ -114,6 +133,13 @@ class NetServer {
  public:
   NetServer(NetServerConfig config, FrameHandler* handler);
   ~NetServer();
+
+  /// Installs (or clears) the fleet-triage query hook. Without one, triage
+  /// queries are quarantined as unsupported. Serve-thread only (or before
+  /// the serve thread starts); the handler must outlive the server.
+  void SetTriageHandler(TriageQueryHandler* handler) {
+    triage_handler_ = handler;
+  }
 
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
@@ -149,6 +175,8 @@ class NetServer {
   size_t quarantined_total() const { return quarantined_total_; }
   size_t malformed_frames_total() const { return malformed_frames_total_; }
   size_t duplicates_total() const { return duplicates_total_; }
+  size_t triage_served_total() const { return triage_served_total_; }
+  size_t triage_rejected_total() const { return triage_rejected_total_; }
 
   const NetServerConfig& config() const { return config_; }
 
@@ -203,6 +231,9 @@ class NetServer {
 
   NetServerConfig config_;
   FrameHandler* handler_;
+  TriageQueryHandler* triage_handler_ = nullptr;
+  /// Sweeps admitted in the current PollOnce cycle (reset each cycle).
+  size_t triage_this_poll_ = 0;
   Socket listener_;
   uint16_t port_ = 0;
   Stopwatch clock_;
@@ -221,6 +252,8 @@ class NetServer {
   std::atomic<size_t> quarantined_total_{0};
   std::atomic<size_t> malformed_frames_total_{0};
   std::atomic<size_t> duplicates_total_{0};
+  std::atomic<size_t> triage_served_total_{0};
+  std::atomic<size_t> triage_rejected_total_{0};
 
   NetServerMetrics metrics_;
   bool observed_ = false;  // gates the decode-latency clock reads

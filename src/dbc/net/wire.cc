@@ -103,7 +103,7 @@ class PayloadReader {
 
 bool ValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kNack);
+         type <= static_cast<uint8_t>(FrameType::kTriageResult);
 }
 
 }  // namespace
@@ -319,6 +319,80 @@ bool DecodeAlertBatchPayload(const std::vector<uint8_t>& bytes,
     if (!reader.ReadBytes(len, &record)) return false;
     out->records.push_back(std::move(record));
   }
+  return reader.remaining() == 0;
+}
+
+std::vector<uint8_t> EncodeTriageQueryPayload(
+    const TriageQueryPayload& query) {
+  std::vector<uint8_t> out;
+  PutU64(&out, query.window_begin);
+  PutU64(&out, query.window_end);
+  PutU32(&out, query.top_k);
+  return out;
+}
+
+bool DecodeTriageQueryPayload(const std::vector<uint8_t>& bytes,
+                              TriageQueryPayload* out) {
+  PayloadReader reader(bytes.data(), bytes.size());
+  if (!reader.ReadU64(&out->window_begin)) return false;
+  if (!reader.ReadU64(&out->window_end)) return false;
+  if (out->window_end < out->window_begin) return false;
+  if (!reader.ReadU32(&out->top_k)) return false;
+  if (out->top_k > kWireMaxTriageTopK) return false;
+  return reader.remaining() == 0;
+}
+
+std::vector<uint8_t> EncodeTriageResultPayload(
+    const TriageResultPayload& result) {
+  std::vector<uint8_t> out;
+  const size_t count = std::min(result.entries.size(), kWireMaxTriageEntries);
+  PutU16(&out, static_cast<uint16_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const TriageEntryWire& entry = result.entries[i];
+    const size_t unit_len = std::min(entry.unit.size(), kWireMaxUnitName);
+    PutU16(&out, static_cast<uint16_t>(unit_len));
+    out.insert(out.end(), entry.unit.begin(),
+               entry.unit.begin() + static_cast<ptrdiff_t>(unit_len));
+    PutU32(&out, entry.db);
+    PutU32(&out, entry.kpi);
+    PutF64(&out, entry.ks);
+    PutF64(&out, entry.volume);
+    PutF64(&out, entry.severity);
+  }
+  PutU64(&out, result.series_swept);
+  PutU64(&out, result.series_scored);
+  PutU64(&out, result.series_skipped);
+  PutF64(&out, result.fleet_abnormal_rate);
+  return out;
+}
+
+bool DecodeTriageResultPayload(const std::vector<uint8_t>& bytes,
+                               TriageResultPayload* out) {
+  PayloadReader reader(bytes.data(), bytes.size());
+  uint16_t count = 0;
+  if (!reader.ReadU16(&count)) return false;
+  if (count > kWireMaxTriageEntries) return false;
+  out->entries.clear();
+  out->entries.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    TriageEntryWire entry;
+    uint16_t unit_len = 0;
+    if (!reader.ReadU16(&unit_len)) return false;
+    if (unit_len > kWireMaxUnitName) return false;
+    if (!reader.ReadBytes(unit_len, &entry.unit)) return false;
+    if (!reader.ReadU32(&entry.db) || !reader.ReadU32(&entry.kpi)) {
+      return false;
+    }
+    if (!reader.ReadF64(&entry.ks) || !reader.ReadF64(&entry.volume) ||
+        !reader.ReadF64(&entry.severity)) {
+      return false;
+    }
+    out->entries.push_back(std::move(entry));
+  }
+  if (!reader.ReadU64(&out->series_swept)) return false;
+  if (!reader.ReadU64(&out->series_scored)) return false;
+  if (!reader.ReadU64(&out->series_skipped)) return false;
+  if (!reader.ReadF64(&out->fleet_abnormal_rate)) return false;
   return reader.remaining() == 0;
 }
 

@@ -39,6 +39,8 @@ inline constexpr size_t kWireMaxUnitName = 256;
 inline constexpr size_t kWireMaxBatchSamples = 4096;
 inline constexpr size_t kWireMaxAlertRecords = 1024;
 inline constexpr size_t kWireMaxAlertRecordBytes = 1u << 16;
+inline constexpr size_t kWireMaxTriageEntries = 256;
+inline constexpr size_t kWireMaxTriageTopK = 1024;
 
 // CRC32 over frame payloads is dbc::Crc32 (common/binio.h) — one IEEE 802.3
 // implementation shared by the wire protocol and the durable-state layer.
@@ -46,12 +48,16 @@ inline constexpr size_t kWireMaxAlertRecordBytes = 1u << 16;
 /// Frame types. kHello opens a session (client_id payload) so sequence-based
 /// retransmit deduplication survives reconnects; kTelemetryBatch / kAlertBatch
 /// are the data planes; kAck / kNack close the loop per data frame.
+/// kTriageQuery / kTriageResult are the fleet-triage request/reply pair
+/// (stateless: no session, each query answered — or NACKed — individually).
 enum class FrameType : uint8_t {
   kHello = 1,
   kTelemetryBatch = 2,
   kAlertBatch = 3,
   kAck = 4,
   kNack = 5,
+  kTriageQuery = 6,
+  kTriageResult = 7,
 };
 
 /// ACK flag: the frame was admitted but its batch was dropped by the
@@ -168,6 +174,43 @@ struct AlertBatchPayload {
 std::vector<uint8_t> EncodeAlertBatchPayload(const AlertBatchPayload& batch);
 bool DecodeAlertBatchPayload(const std::vector<uint8_t>& bytes,
                              AlertBatchPayload* out);
+
+/// kTriageQuery payload: one ranked root-cause request (triage/query.h)
+/// addressed to the serving edge. Stateless — no Hello, no session sequence;
+/// the reply (kTriageResult or a NACK) echoes the query's seq.
+struct TriageQueryPayload {
+  uint64_t window_begin = 0;
+  uint64_t window_end = 0;
+  uint32_t top_k = 10;
+};
+std::vector<uint8_t> EncodeTriageQueryPayload(const TriageQueryPayload& query);
+bool DecodeTriageQueryPayload(const std::vector<uint8_t>& bytes,
+                              TriageQueryPayload* out);
+
+/// One ranked entry of a kTriageResult payload. Scores round-trip bit-exact
+/// (f64 bit patterns), so a wire hop never perturbs the ranked order.
+struct TriageEntryWire {
+  std::string unit;
+  uint32_t db = 0;
+  uint32_t kpi = 0;
+  double ks = 0.0;
+  double volume = 0.0;
+  double severity = 0.0;
+};
+
+/// kTriageResult payload: the severity-ranked root-cause list plus the sweep
+/// accounting of the query it answers.
+struct TriageResultPayload {
+  std::vector<TriageEntryWire> entries;
+  uint64_t series_swept = 0;
+  uint64_t series_scored = 0;
+  uint64_t series_skipped = 0;
+  double fleet_abnormal_rate = 0.0;
+};
+std::vector<uint8_t> EncodeTriageResultPayload(
+    const TriageResultPayload& result);
+bool DecodeTriageResultPayload(const std::vector<uint8_t>& bytes,
+                               TriageResultPayload* out);
 
 /// kNack payload: reason + server backoff hint.
 struct NackPayload {

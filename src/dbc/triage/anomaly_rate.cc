@@ -1,0 +1,98 @@
+#include "dbc/triage/anomaly_rate.h"
+
+#include <algorithm>
+
+namespace dbc {
+
+RateRing::RateRing(size_t capacity) : slots_(std::max<size_t>(capacity, 1)) {}
+
+void RateRing::Observe(size_t bucket, size_t bucket_ticks, DbState state) {
+  const size_t cap = slots_.size();
+  if (!any_) {
+    any_ = true;
+    newest_ = bucket;
+  } else if (bucket > newest_) {
+    newest_ = bucket;
+  } else if (bucket + cap <= newest_) {
+    // Behind the ring horizon: the slot this verdict would land in belongs
+    // to a newer bucket (or will before anyone reads it).
+    ++dropped_;
+    return;
+  }
+  Slot& slot = slots_[bucket % cap];
+  if (!slot.used || slot.bucket != bucket) {
+    slot.used = true;
+    slot.bucket = bucket;
+    slot.counts = RateBucket{};
+    slot.counts.begin_tick = bucket * bucket_ticks;
+  }
+  ++slot.counts.total;
+  if (state == DbState::kAbnormal) ++slot.counts.abnormal;
+  if (state == DbState::kNoData) ++slot.counts.nodata;
+}
+
+std::vector<RateBucket> RateRing::Series() const {
+  std::vector<RateBucket> series;
+  if (!any_) return series;
+  const size_t cap = slots_.size();
+  for (const Slot& slot : slots_) {
+    // A used slot whose tenant fell behind the horizon is stale — its ring
+    // position has simply not been rewritten yet.
+    if (!slot.used || slot.bucket > newest_ || slot.bucket + cap <= newest_) {
+      continue;
+    }
+    series.push_back(slot.counts);
+  }
+  std::sort(series.begin(), series.end(),
+            [](const RateBucket& a, const RateBucket& b) {
+              return a.begin_tick < b.begin_tick;
+            });
+  return series;
+}
+
+AnomalyRateAggregator::AnomalyRateAggregator(const AnomalyRateConfig& config)
+    : config_(config), fleet_(config.ring_buckets) {
+  if (config_.bucket_ticks == 0) config_.bucket_ticks = 1;
+}
+
+void AnomalyRateAggregator::ObserveVerdict(const std::string& node,
+                                           size_t tick, DbState state) {
+  ++observed_;
+  const size_t bucket = tick / config_.bucket_ticks;
+  fleet_.Observe(bucket, config_.bucket_ticks, state);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    it = nodes_.emplace(node, RateRing(config_.ring_buckets)).first;
+  }
+  it->second.Observe(bucket, config_.bucket_ticks, state);
+}
+
+std::vector<RateBucket> AnomalyRateAggregator::NodeSeries(
+    const std::string& node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? std::vector<RateBucket>{} : it->second.Series();
+}
+
+std::vector<std::string> AnomalyRateAggregator::Nodes() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, ring] : nodes_) names.push_back(name);
+  return names;
+}
+
+double AnomalyRateAggregator::WindowAbnormalRate(size_t begin_tick,
+                                                 size_t end_tick) const {
+  uint64_t total = 0;
+  uint64_t abnormal = 0;
+  for (const RateBucket& bucket : fleet_.Series()) {
+    const size_t bucket_end = bucket.begin_tick + config_.bucket_ticks;
+    if (bucket.begin_tick >= end_tick || bucket_end <= begin_tick) continue;
+    total += bucket.total;
+    abnormal += bucket.abnormal;
+  }
+  return total == 0
+             ? 0.0
+             : static_cast<double>(abnormal) / static_cast<double>(total);
+}
+
+}  // namespace dbc

@@ -1,0 +1,119 @@
+// Fleet- and node-level anomaly-rate aggregation (DESIGN.md §14).
+//
+// The detection layer answers "is unit U abnormal right now"; a fleet
+// operator's first question is the inversion: "how much of the fleet (or of
+// node N) is abnormal, and since when". The AnomalyRateAggregator folds the
+// per-unit verdict stream into ring-buffered rate series with configurable
+// tick bucketing: one fleet-wide ring plus one ring per node label.
+//
+// Determinism contract: a bucket is three commutative counters (total /
+// abnormal / nodata verdicts), so the series is invariant under any
+// permutation or sharding of the verdict feed — workers 1/2/8 produce
+// bit-identical rates as long as the same verdicts arrive (the engine's
+// drain guarantees exactly that).
+//
+// Not thread-safe: the aggregator belongs to the TriageEngine, which runs on
+// the engine's control thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dbc/dbcatcher/levels.h"
+
+namespace dbc {
+
+/// Bucketing policy for the rate rings.
+struct AnomalyRateConfig {
+  /// Collection ticks folded into one rate bucket.
+  size_t bucket_ticks = 10;
+  /// Buckets retained per ring (fleet and per node alike); verdicts older
+  /// than the ring horizon are dropped and counted.
+  size_t ring_buckets = 256;
+};
+
+/// One rate bucket: verdict counts over `bucket_ticks` collection ticks.
+struct RateBucket {
+  /// First tick covered by the bucket.
+  size_t begin_tick = 0;
+  uint64_t total = 0;     // all verdicts observed in the bucket
+  uint64_t abnormal = 0;  // verdicts that resolved kAbnormal
+  uint64_t nodata = 0;    // verdicts that resolved kNoData
+
+  double AbnormalRate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(abnormal) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Fixed-capacity ring over absolute bucket indices. Writes into a slot
+/// whose previous tenant aged out simply reset it; reads skip slots behind
+/// the newest-minus-capacity horizon, so no eager clearing pass exists.
+class RateRing {
+ public:
+  explicit RateRing(size_t capacity);
+
+  /// Folds one verdict into bucket `bucket` (absolute index). Verdicts
+  /// behind the ring horizon are dropped and counted.
+  void Observe(size_t bucket, size_t bucket_ticks, DbState state);
+
+  /// Retained buckets in ascending tick order (only buckets that saw at
+  /// least one verdict).
+  std::vector<RateBucket> Series() const;
+
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  struct Slot {
+    bool used = false;
+    size_t bucket = 0;  // absolute bucket index of the current tenant
+    RateBucket counts;
+  };
+
+  std::vector<Slot> slots_;
+  size_t newest_ = 0;  // highest bucket index observed
+  bool any_ = false;
+  uint64_t dropped_ = 0;
+};
+
+/// Folds per-unit verdicts into fleet- and node-level anomaly-rate series.
+class AnomalyRateAggregator {
+ public:
+  explicit AnomalyRateAggregator(const AnomalyRateConfig& config = {});
+
+  /// Folds one resolved verdict. `node` labels the failure domain the unit
+  /// runs on (empty = unlabeled, still counted fleet-wide). `tick` is the
+  /// verdict window's begin tick.
+  void ObserveVerdict(const std::string& node, size_t tick, DbState state);
+
+  /// Fleet-wide rate series, ascending tick order.
+  std::vector<RateBucket> FleetSeries() const { return fleet_.Series(); }
+
+  /// One node's rate series (empty when the node was never seen).
+  std::vector<RateBucket> NodeSeries(const std::string& node) const;
+
+  /// Node labels seen so far, in sorted order.
+  std::vector<std::string> Nodes() const;
+
+  /// Fleet abnormal-verdict fraction over the buckets overlapping
+  /// [begin_tick, end_tick); 0 when no retained bucket overlaps.
+  double WindowAbnormalRate(size_t begin_tick, size_t end_tick) const;
+
+  uint64_t observed() const { return observed_; }
+  /// Verdicts dropped behind the fleet ring horizon.
+  uint64_t dropped() const { return fleet_.dropped(); }
+
+  const AnomalyRateConfig& config() const { return config_; }
+
+ private:
+  AnomalyRateConfig config_;
+  RateRing fleet_;
+  std::map<std::string, RateRing> nodes_;
+  uint64_t observed_ = 0;
+};
+
+}  // namespace dbc

@@ -1,0 +1,75 @@
+#include "dbc/triage/query.h"
+
+#include "dbc/common/stopwatch.h"
+
+namespace dbc {
+
+TriageEngine::TriageEngine(DetectionEngine* engine, TriageConfig config)
+    : engine_(engine),
+      config_(config),
+      rates_(config.rate),
+      scorer_(config.scorer) {}
+
+void TriageEngine::SetNode(const std::string& unit, const std::string& node) {
+  node_of_[unit] = node;
+}
+
+void TriageEngine::Collect() {
+  for (const std::string& name : engine_->UnitNames()) {
+    UnitPipeline* pipeline = engine_->Find(name);
+    if (pipeline == nullptr) continue;
+    // Idempotent: taps enabled here start filling from the next Drain();
+    // units registered after the first Collect() are picked up the same way.
+    pipeline->EnableTriageTap();
+    const auto node_it = node_of_.find(name);
+    const std::string& node = node_it == node_of_.end() ? name
+                                                        : node_it->second;
+    for (const StreamVerdict& v : pipeline->TakeTriageTap()) {
+      rates_.ObserveVerdict(node, v.window.begin, v.state);
+      Inc(metrics_.verdicts_observed);
+    }
+  }
+}
+
+TriageResult TriageEngine::RootCauses(const TriageRequest& request) {
+  TriageResult result;
+  Inc(metrics_.queries);
+  Stopwatch watch;  // read only on the observed path
+  std::vector<KpiScore> scores;
+  SweepStats stats;
+  if (request.window_end > request.window_begin) {
+    for (const std::string& name : engine_->UnitNames()) {
+      const UnitPipeline* pipeline = engine_->Find(name);
+      if (pipeline == nullptr) continue;
+      scorer_.SweepStore(name, pipeline->stream().store(),
+                         request.window_begin, request.window_end, &scores,
+                         &stats);
+    }
+  }
+  RankScores(&scores, request.top_k);
+  result.root_causes = std::move(scores);
+  result.series_swept = stats.series_swept;
+  result.series_scored = stats.series_scored;
+  result.series_skipped = stats.series_skipped;
+  result.fleet_abnormal_rate =
+      rates_.WindowAbnormalRate(request.window_begin, request.window_end);
+  Inc(metrics_.series_scored, stats.series_scored);
+  Inc(metrics_.series_skipped, stats.series_skipped);
+  if (observed_) Observe(metrics_.sweep_seconds, watch.LapSeconds());
+  return result;
+}
+
+void TriageEngine::EnableObservability(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  metrics_.queries = registry->GetCounter("dbc_triage_queries_total");
+  metrics_.verdicts_observed =
+      registry->GetCounter("dbc_triage_verdicts_observed_total");
+  metrics_.series_scored =
+      registry->GetCounter("dbc_triage_series_scored_total");
+  metrics_.series_skipped =
+      registry->GetCounter("dbc_triage_series_skipped_total");
+  metrics_.sweep_seconds = registry->GetHistogram("dbc_triage_sweep_seconds");
+  observed_ = true;
+}
+
+}  // namespace dbc

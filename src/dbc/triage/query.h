@@ -1,0 +1,102 @@
+// Fleet triage queries: ranked root-cause lists over the detection engine
+// (DESIGN.md §14).
+//
+// The TriageEngine sits beside a DetectionEngine: Collect() pulls the
+// per-pipeline verdict taps (in the engine's deterministic unit-name order)
+// into the AnomalyRateAggregator, and RootCauses() answers the operator
+// query "given incident window W, which (unit, db, KPI) series drove it" by
+// sweeping every registered unit's ColumnStore through the TriageScorer and
+// returning the severity-ranked top-k with per-KPI attributions.
+//
+// Determinism: units sweep in name order, the rank is a strict total order,
+// and the scorer reads hot and cold tiers bit-exactly — so the ranked list
+// is bit-identical across drain worker counts, obs on/off, and hot-vs-cold
+// storage placement. The NetServer exposes this query as the
+// kTriageQuery/kTriageResult frame pair (net/server.h).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dbc/dbcatcher/detection_engine.h"
+#include "dbc/obs/metrics.h"
+#include "dbc/triage/anomaly_rate.h"
+#include "dbc/triage/scorer.h"
+
+namespace dbc {
+
+/// Triage policy: rate bucketing plus scoring.
+struct TriageConfig {
+  AnomalyRateConfig rate;
+  TriageScorerConfig scorer;
+};
+
+/// One root-cause query: incident window in absolute ticks, result size cap.
+struct TriageRequest {
+  size_t window_begin = 0;
+  size_t window_end = 0;
+  /// Ranked entries returned (0 = all scored series).
+  size_t top_k = 10;
+};
+
+/// Typed query result. An empty / out-of-retention / all-NoData window
+/// yields empty root_causes with the sweep accounting still filled — never
+/// an error, never a crash.
+struct TriageResult {
+  std::vector<KpiScore> root_causes;  // severity-ranked, ≤ top_k entries
+  size_t series_swept = 0;
+  size_t series_scored = 0;
+  size_t series_skipped = 0;
+  /// Fleet abnormal-verdict rate over the request window (aggregator view).
+  double fleet_abnormal_rate = 0.0;
+};
+
+/// dbc_triage_* observability hooks (null = off; pure outputs, so obs on/off
+/// leaves every query result bit-identical).
+struct TriageMetrics {
+  Counter* queries = nullptr;            // RootCauses() calls
+  Counter* verdicts_observed = nullptr;  // verdicts folded by Collect()
+  Counter* series_scored = nullptr;
+  Counter* series_skipped = nullptr;
+  Histogram* sweep_seconds = nullptr;    // whole-sweep wall time
+};
+
+/// Fleet triage front-end over one DetectionEngine. Same threading contract
+/// as the engine: all methods from the engine's control thread.
+class TriageEngine {
+ public:
+  /// `engine` must outlive the TriageEngine.
+  explicit TriageEngine(DetectionEngine* engine, TriageConfig config = {});
+
+  /// Labels `unit` with the failure domain (node) it runs on; unlabeled
+  /// units aggregate under their own name.
+  void SetNode(const std::string& unit, const std::string& node);
+
+  /// Pulls every pipeline's verdict tap (enabling taps that are not yet on)
+  /// into the rate aggregator, in unit-name order. Call after Drain().
+  void Collect();
+
+  /// Sweeps every registered unit's store over the request window and
+  /// returns the severity-ranked root-cause list.
+  TriageResult RootCauses(const TriageRequest& request);
+
+  const AnomalyRateAggregator& rates() const { return rates_; }
+  const TriageConfig& config() const { return config_; }
+
+  /// Creates dbc_triage_* metrics on `registry` (must outlive this engine).
+  void EnableObservability(MetricsRegistry* registry);
+
+ private:
+  DetectionEngine* engine_;
+  TriageConfig config_;
+  AnomalyRateAggregator rates_;
+  TriageScorer scorer_;
+  /// unit → node label; units absent here aggregate under their own name.
+  std::map<std::string, std::string> node_of_;
+  TriageMetrics metrics_;
+  bool observed_ = false;  // gates the sweep Stopwatch reads
+};
+
+}  // namespace dbc

@@ -1,0 +1,169 @@
+#include "dbc/triage/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+
+namespace dbc {
+namespace {
+
+/// The shared final step: both KS implementations reduce to the same integer
+/// maximum and must divide it by the same double product.
+double KsFromIntegerMax(uint64_t best, size_t n, size_t m) {
+  return static_cast<double>(best) /
+         (static_cast<double>(n) * static_cast<double>(m));
+}
+
+uint64_t AbsDiff(uint64_t a, uint64_t b) { return a > b ? a - b : b - a; }
+
+}  // namespace
+
+double KsStatisticReference(const std::vector<double>& baseline,
+                            const std::vector<double>& window) {
+  const size_t n = baseline.size();
+  const size_t m = window.size();
+  if (n == 0 || m == 0) return 0.0;
+  uint64_t best = 0;
+  const auto consider = [&](double x) {
+    uint64_t count_b = 0;
+    for (double v : baseline) count_b += (v <= x) ? 1 : 0;
+    uint64_t count_w = 0;
+    for (double v : window) count_w += (v <= x) ? 1 : 0;
+    best = std::max(best, AbsDiff(count_b * m, count_w * n));
+  };
+  // The supremum is attained at a sample point; scanning every sample of
+  // both arrays (duplicates included — they only re-evaluate the same
+  // threshold) covers all of them.
+  for (double x : baseline) consider(x);
+  for (double x : window) consider(x);
+  return KsFromIntegerMax(best, n, m);
+}
+
+double KsStatisticFast(const std::vector<double>& baseline,
+                       const std::vector<double>& window) {
+  const size_t n = baseline.size();
+  const size_t m = window.size();
+  if (n == 0 || m == 0) return 0.0;
+  std::vector<double> b = baseline;
+  std::vector<double> w = window;
+  std::sort(b.begin(), b.end());
+  std::sort(w.begin(), w.end());
+  uint64_t best = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < n || j < m) {
+    // Next distinct threshold = the smaller head; consume ALL samples equal
+    // to it from both arrays before evaluating, so ties move both empirical
+    // CDFs together exactly as the reference's `<= x` counts do.
+    const double x = (j >= m || (i < n && b[i] <= w[j])) ? b[i] : w[j];
+    while (i < n && b[i] <= x) ++i;
+    while (j < m && w[j] <= x) ++j;
+    best = std::max(best, AbsDiff(static_cast<uint64_t>(i) * m,
+                                  static_cast<uint64_t>(j) * n));
+  }
+  return KsFromIntegerMax(best, n, m);
+}
+
+double VolumeScore(const std::vector<double>& baseline,
+                   const std::vector<double>& window) {
+  if (baseline.empty() || window.empty()) return 0.0;
+  double sum_b = 0.0;
+  for (double v : baseline) sum_b += v;
+  double sum_w = 0.0;
+  for (double v : window) sum_w += v;
+  const double mean_b = sum_b / static_cast<double>(baseline.size());
+  const double mean_w = sum_w / static_cast<double>(window.size());
+  return std::abs(mean_w - mean_b) / (std::abs(mean_b) + 1e-9);
+}
+
+double CombineSeverity(double ks, double volume) {
+  // KS carries the decision (bounded, distribution-free); volume boosts big
+  // movers over merely-reshuffled series. The boost is capped so one huge
+  // relative shift on a near-zero-baseline KPI cannot drown out a clean
+  // distributional break elsewhere.
+  return ks * (1.0 + std::min(volume, 4.0));
+}
+
+bool TriageRankLess(const KpiScore& a, const KpiScore& b) {
+  if (a.severity != b.severity) return a.severity > b.severity;
+  if (a.ks != b.ks) return a.ks > b.ks;
+  if (a.volume != b.volume) return a.volume > b.volume;
+  return std::tie(a.unit, a.db, a.kpi) < std::tie(b.unit, b.db, b.kpi);
+}
+
+void RankScores(std::vector<KpiScore>* scores, size_t top_k) {
+  std::sort(scores->begin(), scores->end(), TriageRankLess);
+  if (top_k != 0 && scores->size() > top_k) scores->resize(top_k);
+}
+
+TriageScorer::TriageScorer(const TriageScorerConfig& config)
+    : config_(config) {
+  if (config_.min_points == 0) config_.min_points = 1;
+}
+
+std::vector<double> TriageScorer::Gather(const ColumnStore& store, size_t db,
+                                         size_t kpi, size_t begin,
+                                         size_t end) const {
+  std::vector<double> sample;
+  begin = std::max(begin, store.retained_from());
+  end = std::min(end, store.end_tick());
+  if (begin >= end) return sample;
+  const size_t len = end - begin;
+  const auto keep = [&](size_t tick, double value) {
+    if (!store.ValidAt(db, tick)) return;
+    if (store.GatedAt(db, tick)) return;
+    if (!std::isfinite(value)) return;
+    sample.push_back(value);
+  };
+  if (begin >= store.base_tick()) {
+    // Entirely hot: score straight off the column, zero copies.
+    const SeriesView view = store.Hot(db, kpi, begin, len);
+    for (size_t i = 0; i < len; ++i) keep(begin + i, view.data[i]);
+    return sample;
+  }
+  std::vector<double> values;
+  const Status status = store.Read(db, kpi, begin, len, &values);
+  if (!status.ok()) return sample;  // corrupt segment: skip, never throw
+  for (size_t i = 0; i < len; ++i) keep(begin + i, values[i]);
+  return sample;
+}
+
+void TriageScorer::SweepStore(const std::string& unit,
+                              const ColumnStore& store, size_t window_begin,
+                              size_t window_end, std::vector<KpiScore>* out,
+                              SweepStats* stats) const {
+  if (window_end <= window_begin) return;
+  const size_t baseline_begin = window_begin >= config_.baseline_ticks
+                                    ? window_begin - config_.baseline_ticks
+                                    : 0;
+  for (size_t db = 0; db < store.num_dbs(); ++db) {
+    for (size_t kpi = 0; kpi < store.num_kpis(); ++kpi) {
+      ++stats->series_swept;
+      const std::vector<double> baseline =
+          Gather(store, db, kpi, baseline_begin, window_begin);
+      const std::vector<double> window =
+          Gather(store, db, kpi, window_begin, window_end);
+      if (baseline.size() < config_.min_points ||
+          window.size() < config_.min_points) {
+        ++stats->series_skipped;
+        continue;
+      }
+      KpiScore score;
+      score.unit = unit;
+      score.db = db;
+      score.kpi = kpi;
+      score.ks = config_.impl == TriageImpl::kReference
+                     ? KsStatisticReference(baseline, window)
+                     : KsStatisticFast(baseline, window);
+      score.volume = VolumeScore(baseline, window);
+      score.severity = CombineSeverity(score.ks, score.volume);
+      score.window_points = window.size();
+      score.baseline_points = baseline.size();
+      ++stats->series_scored;
+      out->push_back(std::move(score));
+    }
+  }
+}
+
+}  // namespace dbc

@@ -1,0 +1,123 @@
+// Incident-window triage scoring over the ColumnStore (DESIGN.md §14).
+//
+// Given an incident window [begin, end), the TriageScorer sweeps every
+// (db, KPI) series a unit's store retains, splits each into a baseline
+// sample (the `baseline_ticks` ticks preceding the window) and a window
+// sample, and scores how far the window's value distribution moved:
+//
+//  - `ks`: the two-sample Kolmogorov–Smirnov statistic, computed in integer
+//    arithmetic (max over thresholds of |count_b·m − count_w·n| as a uint64,
+//    one final division by n·m) so the brute-force reference scorer and the
+//    sorted/merge fast path are bit-equal by construction — the same trick
+//    the KCD kernels use for their prefix-table fast path;
+//  - `volume`: the relative mean shift |mean_w − mean_b| / (|mean_b| + ε),
+//    a cheap magnitude signal the rank uses to separate big movers from
+//    merely-reshuffled distributions;
+//  - `severity`: the deterministic combination the ranked root-cause list
+//    sorts by.
+//
+// Samples honor the store's validity and warm-up-gate bitmaps and drop
+// non-finite values; hot-tier ranges are read through zero-copy Hot() views
+// and anything older through Read()'s bit-exact cold path, so a sweep over a
+// sealed store scores identically to one that never left the hot tier.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dbc/storage/column_store.h"
+
+namespace dbc {
+
+/// Which KS implementation a sweep uses. Both are exposed (rather than the
+/// reference living only in tests) so the differential suite, the bench, and
+/// the golden fixture can all pin either side.
+enum class TriageImpl : uint8_t {
+  kReference = 0,  // O((n+m)²) threshold scan, obviously-correct
+  kFast = 1,       // sort + linear merge, bit-equal to the reference
+};
+
+/// Scoring policy.
+struct TriageScorerConfig {
+  /// Baseline ticks gathered immediately before the incident window
+  /// (clamped to the store's retained range).
+  size_t baseline_ticks = 120;
+  /// Minimum usable points on BOTH sides for a series to be scored;
+  /// thinner series are counted as skipped, never scored on noise.
+  size_t min_points = 8;
+  TriageImpl impl = TriageImpl::kFast;
+};
+
+/// One scored (unit, db, KPI) series.
+struct KpiScore {
+  std::string unit;
+  size_t db = 0;
+  size_t kpi = 0;
+  double ks = 0.0;
+  double volume = 0.0;
+  double severity = 0.0;
+  size_t window_points = 0;
+  size_t baseline_points = 0;
+};
+
+/// Sweep accounting (also surfaced through dbc_triage_* metrics).
+struct SweepStats {
+  size_t series_swept = 0;    // (db, kpi) series examined
+  size_t series_scored = 0;   // scored with both samples ≥ min_points
+  size_t series_skipped = 0;  // too thin / out of retention / all-masked
+};
+
+/// Two-sample KS statistic, brute-force reference: for every sample value x
+/// in either array, |#{b ≤ x}·m − #{w ≤ x}·n| is evaluated exactly in
+/// integer arithmetic; the max is divided by n·m once at the end.
+double KsStatisticReference(const std::vector<double>& baseline,
+                            const std::vector<double>& window);
+
+/// Two-sample KS statistic, sorted/merge fast path. Bit-equal to the
+/// reference on every input (ties included): both evaluate the identical
+/// integer maximum and perform the identical final division.
+double KsStatisticFast(const std::vector<double>& baseline,
+                       const std::vector<double>& window);
+
+/// Relative mean shift |mean_w − mean_b| / (|mean_b| + 1e-9). Shared by both
+/// scorer implementations (a single sequential summation in tick order).
+double VolumeScore(const std::vector<double>& baseline,
+                   const std::vector<double>& window);
+
+/// The deterministic severity combination the ranking sorts by.
+double CombineSeverity(double ks, double volume);
+
+/// Strict total order of the ranked root-cause list: severity desc, ks desc,
+/// volume desc, then (unit, db, kpi) asc — ties always break the same way,
+/// so top_k results are a prefix of top_(k+1) results.
+bool TriageRankLess(const KpiScore& a, const KpiScore& b);
+
+/// Sorts by TriageRankLess and truncates to `top_k` (0 = keep all).
+void RankScores(std::vector<KpiScore>* scores, size_t top_k);
+
+/// Sweeps one unit's store; see the file comment for the sampling rules.
+class TriageScorer {
+ public:
+  explicit TriageScorer(const TriageScorerConfig& config = {});
+
+  /// Scores every (db, kpi) series of `store` over [window_begin,
+  /// window_end), appending to *out (unranked) and accumulating *stats.
+  /// Both out-params are required.
+  void SweepStore(const std::string& unit, const ColumnStore& store,
+                  size_t window_begin, size_t window_end,
+                  std::vector<KpiScore>* out, SweepStats* stats) const;
+
+  const TriageScorerConfig& config() const { return config_; }
+
+ private:
+  /// Usable sample of (db, kpi) over [begin, end): valid, ungated, finite
+  /// values in tick order, via Hot() when the range is hot and Read()
+  /// otherwise.
+  std::vector<double> Gather(const ColumnStore& store, size_t db, size_t kpi,
+                             size_t begin, size_t end) const;
+
+  TriageScorerConfig config_;
+};
+
+}  // namespace dbc

@@ -28,6 +28,7 @@
 #include "dbc/cloudsim/unit_sim.h"
 #include "dbc/dbcatcher/detection_engine.h"
 #include "dbc/obs/exposition.h"
+#include "dbc/triage/query.h"
 
 #ifndef DBC_GOLDEN_DIR
 #define DBC_GOLDEN_DIR "tests/golden"
@@ -274,6 +275,144 @@ TEST(GoldenRegressionTest, WorkerCountAndObservabilityDoNotChangeTheStream) {
       }
     }
   }
+}
+
+/// The golden scenario replayed with a TriageEngine riding the drain loop,
+/// then one fixed root-cause query. Pure function of (workers, obs, kernel
+/// impl, triage impl) — and required NOT to depend on any of them.
+std::string RunTriageScenario(const GoldenScenario& scenario, size_t workers,
+                              bool obs, KcdImpl impl, TriageImpl triage_impl) {
+  DetectionEngineConfig config;
+  config.workers = workers;
+  config.obs.enabled = obs;
+  config.pipeline.detector.kcd.impl = impl;
+  DetectionEngine engine(config);
+  TriageConfig triage_config;
+  triage_config.rate.bucket_ticks = 10;
+  triage_config.scorer.impl = triage_impl;
+  TriageEngine triage(&engine, triage_config);
+  if (obs) triage.EnableObservability(engine.metrics());
+  for (size_t u = 0; u < kUnits; ++u) {
+    std::vector<DbRole> roles(
+        scenario.units[u].roles.begin(),
+        scenario.units[u].roles.begin() +
+            static_cast<ptrdiff_t>(scenario.initial_dbs));
+    engine.RegisterUnit(UnitName(u), roles);
+    // Two failure domains, interleaved, so the node-level series is
+    // non-trivial in the fixture.
+    triage.SetNode(UnitName(u), u % 2 == 0 ? "node-even" : "node-odd");
+  }
+  triage.Collect();  // enables every pipeline's verdict tap
+  std::vector<size_t> next_update(kUnits, 0);
+  for (size_t step = 0; step < scenario.steps; ++step) {
+    for (size_t u = 0; u < kUnits; ++u) {
+      auto& next = next_update[u];
+      const auto& updates = scenario.updates[u];
+      while (next < updates.size() && updates[next].tick <= step) {
+        EXPECT_TRUE(engine.ApplyTopology(UnitName(u), updates[next++]).ok());
+      }
+      if (step >= scenario.batches[u].size()) continue;
+      for (const TelemetrySample& sample : scenario.batches[u][step]) {
+        EXPECT_TRUE(engine.IngestSample(UnitName(u), sample).ok());
+      }
+    }
+    engine.Drain();
+    triage.Collect();
+  }
+  for (size_t u = 0; u < kUnits; ++u) {
+    EXPECT_TRUE(engine.FlushTelemetry(UnitName(u)).ok());
+  }
+  engine.Drain();
+  triage.Collect();
+
+  TriageRequest request;
+  request.window_begin = 240;
+  request.window_end = 280;
+  request.top_k = 16;
+  const TriageResult result = triage.RootCauses(request);
+
+  // Canonical serialization: ranked entries at full double precision, plus
+  // the sweep accounting, the fleet rate, and the per-node rate series.
+  std::ostringstream out;
+  out << "query|begin=" << request.window_begin
+      << "|end=" << request.window_end << "|top_k=" << request.top_k
+      << "|swept=" << result.series_swept
+      << "|scored=" << result.series_scored
+      << "|skipped=" << result.series_skipped
+      << "|fleet_rate=" << Num(result.fleet_abnormal_rate) << '\n';
+  for (size_t i = 0; i < result.root_causes.size(); ++i) {
+    const KpiScore& s = result.root_causes[i];
+    out << "rank=" << i << '|' << s.unit << "|db=" << s.db
+        << "|kpi=" << s.kpi << "|ks=" << Num(s.ks)
+        << "|volume=" << Num(s.volume) << "|severity=" << Num(s.severity)
+        << "|wp=" << s.window_points << "|bp=" << s.baseline_points << '\n';
+  }
+  for (const std::string& node : triage.rates().Nodes()) {
+    out << "node=" << node;
+    for (const RateBucket& bucket : triage.rates().NodeSeries(node)) {
+      out << '|' << bucket.begin_tick << ':' << bucket.total << ':'
+          << bucket.abnormal << ':' << bucket.nodata;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+const std::string kTriageFixturePath =
+    std::string(DBC_GOLDEN_DIR) + "/golden_triage.txt";
+
+TEST(GoldenRegressionTest, TriageRootCauseListMatchesCheckedInFixture) {
+  const GoldenScenario scenario = BuildScenario();
+  const std::string actual = RunTriageScenario(
+      scenario, /*workers=*/1, /*obs=*/false, KcdImpl::kFast, TriageImpl::kFast);
+  // A fixture pinning an empty ranked list would be vacuous.
+  ASSERT_NE(actual.find("rank=0|"), std::string::npos);
+
+  if (std::getenv("DBC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kTriageFixturePath, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << kTriageFixturePath;
+    out << actual;
+    GTEST_LOG_(INFO) << "triage fixture regenerated at " << kTriageFixturePath;
+    return;
+  }
+  const std::string expected = ReadFile(kTriageFixturePath);
+  ASSERT_FALSE(expected.empty())
+      << "missing fixture " << kTriageFixturePath
+      << " — regenerate with DBC_UPDATE_GOLDEN=1";
+  if (actual != expected) {
+    const std::string dump_path = TestOutPath("golden_triage_actual.txt");
+    std::ofstream dump(dump_path, std::ios::binary | std::ios::trunc);
+    dump << actual;
+    FAIL() << "triage root-cause list diverges from " << kTriageFixturePath
+           << "; actual written to " << dump_path;
+  }
+}
+
+TEST(GoldenRegressionTest, TriageListIsInvariantAcrossWorkersObsAndImpls) {
+  const GoldenScenario scenario = BuildScenario();
+  const std::string baseline = RunTriageScenario(
+      scenario, /*workers=*/1, /*obs=*/false, KcdImpl::kFast, TriageImpl::kFast);
+  ASSERT_FALSE(baseline.empty());
+  for (size_t workers : {1u, 2u, 8u}) {
+    for (bool obs : {false, true}) {
+      for (TriageImpl triage_impl : {TriageImpl::kFast, TriageImpl::kReference}) {
+        if (workers == 1 && !obs && triage_impl == TriageImpl::kFast) {
+          continue;  // that IS the baseline
+        }
+        SCOPED_TRACE("workers=" + std::to_string(workers) +
+                     " obs=" + std::to_string(obs) + " triage=" +
+                     (triage_impl == TriageImpl::kFast ? "fast" : "reference"));
+        ASSERT_EQ(RunTriageScenario(scenario, workers, obs, KcdImpl::kFast,
+                                    triage_impl),
+                  baseline);
+      }
+    }
+  }
+  // The KCD kernel choice must not move the triage fixture either (the
+  // sweep reads the same stores either way).
+  ASSERT_EQ(RunTriageScenario(scenario, /*workers=*/1, /*obs=*/false,
+                              KcdImpl::kReference, TriageImpl::kFast),
+            baseline);
 }
 
 TEST(GoldenRegressionTest, ObservedRunExportsConsistentMetrics) {

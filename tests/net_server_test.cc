@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -297,6 +298,139 @@ TEST(NetServer, WrongDataPlaneIsFatal) {
   EXPECT_GE(fixture.server().quarantined_total(), 1u);
 }
 
+/// Canned triage backend: answers with a fixed ranked list after declining
+/// the first `decline_first` queries (exercising the retryable-NACK path).
+class CannedTriageHandler : public TriageQueryHandler {
+ public:
+  explicit CannedTriageHandler(int decline_first = 0)
+      : decline_remaining_(decline_first) {}
+
+  bool OnTriageQuery(const TriageQueryPayload& query,
+                     TriageResultPayload* result) override {
+    ++queries_;
+    if (decline_remaining_.fetch_sub(1) > 0) return false;
+    TriageEntryWire entry;
+    entry.unit = "unit-9";
+    entry.db = 2;
+    entry.kpi = 6;
+    entry.ks = 0.75;
+    entry.volume = 1.25;
+    entry.severity = 0.75 * 2.25;
+    result->entries.assign(query.top_k == 1 ? 1 : 2, entry);
+    if (result->entries.size() == 2) result->entries[1].kpi = 9;
+    result->series_swept = 70;
+    result->series_scored = 64;
+    result->series_skipped = 6;
+    result->fleet_abnormal_rate = 0.125;
+    return true;
+  }
+
+  int queries() const { return queries_; }
+
+ private:
+  std::atomic<int> decline_remaining_;
+  std::atomic<int> queries_{0};
+};
+
+TEST(NetServer, TriageQueryRoundTripsWithoutASession) {
+  NetIngestSource source({});
+  CannedTriageHandler handler;
+  ServerFixture fixture({}, &source);
+  fixture.server().SetTriageHandler(&handler);
+
+  // No Hello, no prior telemetry: the query plane is stateless.
+  NetClient client(FastClient(fixture.port(), 21));
+  TriageQueryPayload query;
+  query.window_begin = 240;
+  query.window_end = 280;
+  query.top_k = 5;
+  const Result<TriageResultPayload> result = client.Query(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().entries.size(), 2u);
+  EXPECT_EQ(result.value().entries[0].unit, "unit-9");
+  EXPECT_EQ(result.value().entries[0].db, 2u);
+  EXPECT_EQ(result.value().entries[0].kpi, 6u);
+  EXPECT_EQ(result.value().entries[0].ks, 0.75);
+  EXPECT_EQ(result.value().entries[0].severity, 0.75 * 2.25);
+  EXPECT_EQ(result.value().entries[1].kpi, 9u);
+  EXPECT_EQ(result.value().series_swept, 70u);
+  EXPECT_EQ(result.value().fleet_abnormal_rate, 0.125);
+  EXPECT_EQ(fixture.server().triage_served_total(), 1u);
+  EXPECT_EQ(fixture.server().triage_rejected_total(), 0u);
+}
+
+TEST(NetServer, DeclinedTriageQueryIsRetriedUntilServed) {
+  NetIngestSource source({});
+  CannedTriageHandler handler(/*decline_first=*/3);
+  ServerFixture fixture({}, &source);
+  fixture.server().SetTriageHandler(&handler);
+
+  NetClient client(FastClient(fixture.port(), 22));
+  TriageQueryPayload query;
+  query.window_end = 100;
+  const Result<TriageResultPayload> result = client.Query(query);
+  ASSERT_TRUE(result.ok());
+  // Three overload NACKs (each backed off and retried), then the answer.
+  EXPECT_EQ(fixture.server().triage_rejected_total(), 3u);
+  EXPECT_EQ(fixture.server().triage_served_total(), 1u);
+  EXPECT_GE(client.nacks_overload_total(), 3u);
+  EXPECT_EQ(handler.queries(), 4);
+}
+
+TEST(NetServer, SweepCapZeroRejectsEveryTriageQuery) {
+  NetIngestSource source({});
+  CannedTriageHandler handler;
+  NetServerConfig config;
+  config.max_triage_per_poll = 0;  // operator has disabled the query plane
+  ServerFixture fixture(config, &source);
+  fixture.server().SetTriageHandler(&handler);
+
+  NetClient client(FastClient(fixture.port(), 23, /*max_attempts=*/3));
+  TriageQueryPayload query;
+  query.window_end = 50;
+  const Result<TriageResultPayload> result = client.Query(query);
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(fixture.server().triage_rejected_total(), 3u);
+  EXPECT_EQ(fixture.server().triage_served_total(), 0u);
+  EXPECT_EQ(handler.queries(), 0);  // capped before the handler, not inside it
+}
+
+TEST(NetServer, TriageQueryWithoutABackendIsQuarantined) {
+  NetIngestSource source({});
+  ServerFixture fixture({}, &source);  // no SetTriageHandler
+
+  NetClient client(FastClient(fixture.port(), 24, /*max_attempts=*/2));
+  TriageQueryPayload query;
+  query.window_end = 10;
+  EXPECT_FALSE(client.Query(query).ok());
+  EXPECT_GE(fixture.server().quarantined_total(), 1u);
+  EXPECT_EQ(fixture.server().triage_served_total(), 0u);
+}
+
+TEST(NetServer, MalformedTriageQueryQuarantinesTheConnection) {
+  NetIngestSource source({});
+  CannedTriageHandler handler;
+  ServerFixture fixture({}, &source);
+  fixture.server().SetTriageHandler(&handler);
+
+  Result<Socket> raw = TcpConnect(fixture.port(), 2000);
+  ASSERT_TRUE(raw.ok());
+  // A kTriageQuery frame whose payload is garbage (wrong size, trailing
+  // junk): decode fails, the connection dies, the process survives.
+  const std::vector<uint8_t> frame =
+      EncodeFrame(FrameType::kTriageQuery, 0, 0, 1, {0xAB, 0xCD, 0xEF});
+  WriteSome(raw.value(), frame.data(), frame.size());
+  ASSERT_TRUE(WaitFor([&] {
+    return fixture.server().quarantined_total() == 1 &&
+           fixture.server().connections() == 0;
+  }));
+  EXPECT_EQ(fixture.server().malformed_frames_total(), 1u);
+  EXPECT_EQ(handler.queries(), 0);
+
+  NetClient client(FastClient(fixture.port(), 25));
+  EXPECT_TRUE(client.Query({}).ok());
+}
+
 TEST(NetServer, MetricsSurfaceMatchesDesignNaming) {
   MetricsRegistry registry;
   NetIngestSource source({});
@@ -304,15 +438,19 @@ TEST(NetServer, MetricsSurfaceMatchesDesignNaming) {
   NetServerConfig config;
   NetServer server(config, &source);
   server.EnableObservability(&registry);
+  CannedTriageHandler triage;
+  server.SetTriageHandler(&triage);
   ASSERT_TRUE(server.Listen().ok());
   std::thread serve([&] { server.Run(); });
 
   bool sent_ok = false;
+  bool queried_ok = false;
   bool quarantine_seen = false;
   {
     NetClient client(FastClient(server.port(), 11));
     sent_ok =
         client.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 1)).ok();
+    queried_ok = client.Query({}).ok();
   }
   {
     Result<Socket> raw = TcpConnect(server.port(), 2000);
@@ -328,6 +466,7 @@ TEST(NetServer, MetricsSurfaceMatchesDesignNaming) {
   server.Stop();
   serve.join();
   ASSERT_TRUE(sent_ok);
+  ASSERT_TRUE(queried_ok);
   ASSERT_TRUE(quarantine_seen);
 
   const Counter* accepted =
@@ -342,6 +481,17 @@ TEST(NetServer, MetricsSurfaceMatchesDesignNaming) {
       registry.FindCounter("dbc_net_frames_malformed_total");
   ASSERT_NE(malformed, nullptr);
   EXPECT_EQ(malformed->value(), 1u);
+  const Counter* triage_frames =
+      registry.FindCounter("dbc_net_frames_total", {{"type", "triage"}});
+  ASSERT_NE(triage_frames, nullptr);
+  EXPECT_EQ(triage_frames->value(), 1u);
+  const Counter* triage_served = registry.FindCounter("dbc_triage_served_total");
+  ASSERT_NE(triage_served, nullptr);
+  EXPECT_EQ(triage_served->value(), 1u);
+  const Counter* triage_rejected =
+      registry.FindCounter("dbc_triage_rejected_total");
+  ASSERT_NE(triage_rejected, nullptr);
+  EXPECT_EQ(triage_rejected->value(), 0u);
   const Counter* committed = registry.FindCounter(
       "dbc_net_ingest_batches_total", {{"outcome", "committed"}});
   ASSERT_NE(committed, nullptr);

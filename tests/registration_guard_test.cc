@@ -1,0 +1,94 @@
+// CMake registration guard: every tests/*_test.cc file must be registered
+// with dbc_test() in tests/CMakeLists.txt. Before this guard, a test file
+// that was added but never registered simply never ran — green CI, zero
+// coverage. The guard parses the CMakeLists at the source path baked in at
+// compile time, so it follows the checkout it was built from.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#ifndef DBC_TESTS_SOURCE_DIR
+#define DBC_TESTS_SOURCE_DIR "tests"
+#endif
+
+namespace dbc {
+namespace {
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Every dbc_test(<name>) registration in the CMakeLists, whitespace-
+/// tolerant. A hand-rolled scan beats a regex here: no escaping surprises,
+/// and the failure message can say exactly what it looked for.
+std::set<std::string> RegisteredTests(const std::string& cmake) {
+  std::set<std::string> names;
+  const std::string marker = "dbc_test(";
+  size_t pos = 0;
+  while ((pos = cmake.find(marker, pos)) != std::string::npos) {
+    pos += marker.size();
+    const size_t close = cmake.find(')', pos);
+    if (close == std::string::npos) break;
+    std::string name = cmake.substr(pos, close - pos);
+    // Trim whitespace (a registration split across lines still counts).
+    const size_t first = name.find_first_not_of(" \t\r\n");
+    const size_t last = name.find_last_not_of(" \t\r\n");
+    if (first != std::string::npos) {
+      names.insert(name.substr(first, last - first + 1));
+    }
+    pos = close;
+  }
+  return names;
+}
+
+TEST(RegistrationGuardTest, EveryTestSourceFileIsRegistered) {
+  const std::filesystem::path dir(DBC_TESTS_SOURCE_DIR);
+  ASSERT_TRUE(std::filesystem::exists(dir))
+      << "tests source dir not found: " << dir;
+  const std::string cmake = ReadFile(dir / "CMakeLists.txt");
+  ASSERT_FALSE(cmake.empty()) << "cannot read " << dir / "CMakeLists.txt";
+  const std::set<std::string> registered = RegisteredTests(cmake);
+  ASSERT_FALSE(registered.empty());
+
+  std::set<std::string> missing;
+  size_t sources = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string filename = entry.path().filename().string();
+    const std::string suffix = "_test.cc";
+    if (filename.size() <= suffix.size() ||
+        filename.compare(filename.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+      continue;
+    }
+    ++sources;
+    const std::string stem = filename.substr(0, filename.size() - 3);
+    if (registered.count(stem) == 0) missing.insert(stem);
+  }
+  ASSERT_GT(sources, 0u) << "no *_test.cc files found under " << dir;
+  EXPECT_TRUE(missing.empty())
+      << "tests present on disk but never registered with dbc_test() in "
+      << dir / "CMakeLists.txt" << " (they currently never run): "
+      << [&missing] {
+           std::string list;
+           for (const std::string& name : missing) {
+             if (!list.empty()) list += ", ";
+             list += name;
+           }
+           return list;
+         }();
+
+  // Sanity check in the other direction: this very test must have found
+  // itself both on disk and in the registration list.
+  EXPECT_EQ(registered.count("registration_guard_test"), 1u);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -1,0 +1,285 @@
+// Differential suite for the triage scorers: the sorted/merge KS fast path
+// must be BIT-equal to the brute-force reference — score and rank, ties
+// included — over thousands of seeded windows spanning the kernel-property
+// signal families, masked / NaN / gated inputs, and hot-vs-cold ColumnStore
+// reads. Equality is asserted on the u64 bit patterns of the doubles, not
+// within a tolerance: the two implementations compute the same integer
+// maximum and perform the same final division, so any divergence is a bug.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dbc/common/rng.h"
+#include "dbc/storage/column_store.h"
+#include "dbc/triage/scorer.h"
+
+namespace dbc {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+/// The signal families the kernel property suite exercises, plus
+/// tie-heavy and spiky shapes that stress the KS tie handling.
+enum class Family : int {
+  kConstant = 0,
+  kLinearTrend,
+  kSine,
+  kGaussian,
+  kRandomWalk,
+  kSpiky,
+  kQuantized,  // integer-valued: maximal ties
+  kHeavyTail,
+};
+constexpr int kNumFamilies = 8;
+
+std::vector<double> MakeSignal(Family family, size_t n, Rng& rng) {
+  std::vector<double> out;
+  out.reserve(n);
+  double walk = rng.Normal(0.0, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    switch (family) {
+      case Family::kConstant:
+        out.push_back(3.25);
+        break;
+      case Family::kLinearTrend:
+        out.push_back(0.5 * static_cast<double>(i) + rng.Normal(0.0, 0.2));
+        break;
+      case Family::kSine:
+        out.push_back(std::sin(0.31 * static_cast<double>(i)) +
+                      rng.Normal(0.0, 0.05));
+        break;
+      case Family::kGaussian:
+        out.push_back(rng.Normal(10.0, 2.0));
+        break;
+      case Family::kRandomWalk:
+        walk += rng.Normal(0.0, 0.5);
+        out.push_back(walk);
+        break;
+      case Family::kSpiky:
+        out.push_back(rng.Bernoulli(0.1) ? rng.Uniform(50.0, 200.0)
+                                         : rng.Normal(1.0, 0.1));
+        break;
+      case Family::kQuantized:
+        out.push_back(static_cast<double>(rng.UniformInt(0, 6)));
+        break;
+      case Family::kHeavyTail:
+        out.push_back(std::exp(rng.Normal(0.0, 1.5)));
+        break;
+    }
+  }
+  return out;
+}
+
+void ExpectBitEqualKs(const std::vector<double>& baseline,
+                      const std::vector<double>& window) {
+  const double reference = KsStatisticReference(baseline, window);
+  const double fast = KsStatisticFast(baseline, window);
+  ASSERT_EQ(Bits(reference), Bits(fast))
+      << "reference=" << reference << " fast=" << fast
+      << " n=" << baseline.size() << " m=" << window.size();
+  // KS is a probability-scale statistic on any input.
+  ASSERT_GE(reference, 0.0);
+  ASSERT_LE(reference, 1.0);
+}
+
+TEST(TriageDifferentialTest, FastKsBitEqualsReferenceAcrossSignalFamilies) {
+  size_t cases = 0;
+  Rng rng(90210);
+  for (int fb = 0; fb < kNumFamilies; ++fb) {
+    for (int fw = 0; fw < kNumFamilies; ++fw) {
+      for (int trial = 0; trial < 25; ++trial) {
+        const size_t n = static_cast<size_t>(rng.UniformInt(1, 60));
+        const size_t m = static_cast<size_t>(rng.UniformInt(1, 60));
+        Rng b_rng = rng.Fork(cases * 2 + 1);
+        Rng w_rng = rng.Fork(cases * 2 + 2);
+        ExpectBitEqualKs(MakeSignal(static_cast<Family>(fb), n, b_rng),
+                         MakeSignal(static_cast<Family>(fw), m, w_rng));
+        ++cases;
+      }
+    }
+  }
+  // 8 x 8 family pairs x 25 trials.
+  ASSERT_EQ(cases, 1600u);
+}
+
+TEST(TriageDifferentialTest, FastKsBitEqualsReferenceOnAdversarialEdges) {
+  // Hand-picked shapes the merge loop could plausibly get wrong: total
+  // overlap, zero overlap, every value tied, signed zeros, denormals, huge
+  // magnitudes, single points.
+  const std::vector<std::pair<std::vector<double>, std::vector<double>>>
+      cases = {
+          {{1.0}, {1.0}},
+          {{1.0}, {2.0}},
+          {{0.0, -0.0, 0.0}, {-0.0, 0.0}},
+          {{5.0, 5.0, 5.0, 5.0}, {5.0, 5.0}},
+          {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}},
+          {{4.0, 5.0, 6.0}, {1.0, 2.0, 3.0}},
+          {{1.0, 1.0, 2.0, 2.0, 3.0}, {2.0, 2.0, 2.0}},
+          {{std::numeric_limits<double>::denorm_min(), 0.0},
+           {std::numeric_limits<double>::min(), 0.0}},
+          {{1e308, -1e308, 0.0}, {1e308, 1e-308}},
+          {{-3.0, -2.0, -1.0}, {-2.5, -1.5}},
+      };
+  for (const auto& [baseline, window] : cases) {
+    ExpectBitEqualKs(baseline, window);
+  }
+  // Empty sides: both implementations define the score as 0.
+  ASSERT_EQ(KsStatisticReference({}, {1.0}), 0.0);
+  ASSERT_EQ(KsStatisticFast({}, {1.0}), 0.0);
+  ASSERT_EQ(KsStatisticReference({1.0}, {}), 0.0);
+  ASSERT_EQ(KsStatisticFast({1.0}, {}), 0.0);
+}
+
+TEST(TriageDifferentialTest, DisjointSamplesScoreExactlyOne) {
+  // Fully separated distributions: D = 1 exactly, on both paths.
+  const std::vector<double> low = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> high = {10.0, 11.0, 12.0};
+  ASSERT_EQ(KsStatisticReference(low, high), 1.0);
+  ASSERT_EQ(KsStatisticFast(low, high), 1.0);
+}
+
+/// One seeded store whose series mix signal families with masked (invalid),
+/// gated, and NaN points — the inputs a production sweep actually sees.
+struct StoreCase {
+  std::unique_ptr<ColumnStore> store;
+  size_t ticks = 0;
+};
+
+StoreCase BuildStore(uint64_t seed, size_t num_dbs, size_t num_kpis,
+                     size_t ticks, size_t cold_retention) {
+  StoreCase result;
+  result.store =
+      std::make_unique<ColumnStore>(num_dbs, num_kpis, cold_retention);
+  result.ticks = ticks;
+  Rng rng(seed);
+  std::vector<Rng> series_rng;
+  for (size_t db = 0; db < num_dbs; ++db) {
+    for (size_t k = 0; k < num_kpis; ++k) {
+      series_rng.push_back(rng.Fork(db * num_kpis + k + 1));
+    }
+  }
+  Rng mask_rng = rng.Fork(10001);
+  std::vector<double> row(num_kpis);
+  for (size_t t = 0; t < ticks; ++t) {
+    for (size_t db = 0; db < num_dbs; ++db) {
+      for (size_t k = 0; k < num_kpis; ++k) {
+        Rng& r = series_rng[db * num_kpis + k];
+        const Family family =
+            static_cast<Family>((db * num_kpis + k) % kNumFamilies);
+        double v = MakeSignal(family, 1, r)[0];
+        if (mask_rng.Bernoulli(0.02)) {
+          v = std::numeric_limits<double>::quiet_NaN();  // NaN yet "valid"
+        }
+        row[k] = v;
+      }
+      const bool valid = !mask_rng.Bernoulli(0.05);
+      const bool gated = mask_rng.Bernoulli(0.03);
+      result.store->AppendRow(db, row.data(), valid, gated);
+    }
+    result.store->CommitTick();
+  }
+  return result;
+}
+
+TEST(TriageDifferentialTest, StoreSweepsBitEqualAcrossImplAndTier) {
+  size_t windows_checked = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    constexpr size_t kDbs = 3;
+    constexpr size_t kKpis = 6;
+    constexpr size_t kTicks = 220;
+    // Hot twin: everything stays in the hot tier. Cold twin: identical
+    // bytes, but most of the history sealed into Gorilla segments.
+    const StoreCase hot = BuildStore(seed, kDbs, kKpis, kTicks, 0);
+    const StoreCase cold = BuildStore(seed, kDbs, kKpis, kTicks, 1024);
+    cold.store->SealTo(190);
+    ASSERT_EQ(cold.store->retained_from(), 0u);
+    ASSERT_GT(cold.store->cold_bytes(), 0u);
+
+    for (size_t window_begin : {60u, 120u, 150u, 185u}) {
+      const size_t window_end = window_begin + 30;
+      TriageScorerConfig ref_config;
+      ref_config.impl = TriageImpl::kReference;
+      TriageScorerConfig fast_config;
+      fast_config.impl = TriageImpl::kFast;
+      const TriageScorer reference(ref_config);
+      const TriageScorer fast(fast_config);
+
+      std::vector<KpiScore> ref_scores, fast_scores, cold_scores;
+      SweepStats ref_stats, fast_stats, cold_stats;
+      reference.SweepStore("unit", *hot.store, window_begin, window_end,
+                           &ref_scores, &ref_stats);
+      fast.SweepStore("unit", *hot.store, window_begin, window_end,
+                      &fast_scores, &fast_stats);
+      fast.SweepStore("unit", *cold.store, window_begin, window_end,
+                      &cold_scores, &cold_stats);
+
+      ASSERT_EQ(ref_stats.series_swept, kDbs * kKpis);
+      ASSERT_EQ(ref_stats.series_scored, fast_stats.series_scored);
+      ASSERT_EQ(ref_stats.series_scored, cold_stats.series_scored);
+      ASSERT_EQ(ref_scores.size(), fast_scores.size());
+      ASSERT_EQ(ref_scores.size(), cold_scores.size());
+      for (size_t i = 0; i < ref_scores.size(); ++i) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) +
+                     " wb=" + std::to_string(window_begin) +
+                     " i=" + std::to_string(i));
+        // Score: bit-equal between implementations AND between tiers.
+        ASSERT_EQ(ref_scores[i].db, fast_scores[i].db);
+        ASSERT_EQ(ref_scores[i].kpi, fast_scores[i].kpi);
+        ASSERT_EQ(Bits(ref_scores[i].ks), Bits(fast_scores[i].ks));
+        ASSERT_EQ(Bits(ref_scores[i].volume), Bits(fast_scores[i].volume));
+        ASSERT_EQ(Bits(ref_scores[i].severity), Bits(fast_scores[i].severity));
+        ASSERT_EQ(Bits(ref_scores[i].ks), Bits(cold_scores[i].ks));
+        ASSERT_EQ(Bits(ref_scores[i].volume), Bits(cold_scores[i].volume));
+        ASSERT_EQ(ref_scores[i].window_points, cold_scores[i].window_points);
+        windows_checked += 1;
+      }
+      // Rank: ties included — the full sorted order must match entry for
+      // entry, not just the score multiset.
+      RankScores(&ref_scores, 0);
+      RankScores(&fast_scores, 0);
+      RankScores(&cold_scores, 0);
+      for (size_t i = 0; i < ref_scores.size(); ++i) {
+        ASSERT_EQ(ref_scores[i].db, fast_scores[i].db);
+        ASSERT_EQ(ref_scores[i].kpi, fast_scores[i].kpi);
+        ASSERT_EQ(ref_scores[i].db, cold_scores[i].db);
+        ASSERT_EQ(ref_scores[i].kpi, cold_scores[i].kpi);
+      }
+    }
+  }
+  // 8 seeds x 4 windows x (3 dbs x 6 kpis) series, minus thin skips — the
+  // store sweep leg alone covers hundreds of (series, window) cases on top
+  // of the 1600 kernel-level pairs.
+  ASSERT_GE(windows_checked, 400u);
+}
+
+TEST(TriageDifferentialTest, MaskedAndGatedPointsNeverReachTheSample) {
+  // A window whose every point is masked or gated must be skipped, not
+  // scored on garbage.
+  ColumnStore store(1, 1, 0);
+  const double v = 7.0;
+  for (size_t t = 0; t < 100; ++t) {
+    const bool in_window = t >= 60;
+    store.AppendRow(0, &v, /*valid=*/!in_window, /*gated=*/in_window);
+    store.CommitTick();
+  }
+  const TriageScorer scorer;
+  std::vector<KpiScore> scores;
+  SweepStats stats;
+  scorer.SweepStore("unit", store, 60, 100, &scores, &stats);
+  EXPECT_TRUE(scores.empty());
+  EXPECT_EQ(stats.series_skipped, 1u);
+}
+
+}  // namespace
+}  // namespace dbc

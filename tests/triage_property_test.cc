@@ -1,0 +1,358 @@
+// Seeded property suite for the triage engine:
+//  - rate aggregation is permutation- and shard-invariant (the same verdict
+//    multiset in any order — and a fleet drained by 1, 2, or 8 workers —
+//    produces bit-identical rate series);
+//  - KS scores are invariant under order-preserving affine maps where the
+//    arithmetic is exact (power-of-two scales; integer offsets on integer
+//    data), asserted on bit patterns;
+//  - top_k results are a strict prefix of top_(k+1);
+//  - empty, out-of-retention, and all-NoData windows return typed empty
+//    results, never crash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbc/cloudsim/telemetry.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/common/rng.h"
+#include "dbc/dbcatcher/detection_engine.h"
+#include "dbc/storage/column_store.h"
+#include "dbc/triage/anomaly_rate.h"
+#include "dbc/triage/query.h"
+#include "dbc/triage/scorer.h"
+
+namespace dbc {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+std::string UnitName(size_t u) { return "unit-" + std::to_string(u); }
+
+bool SameBucket(const RateBucket& a, const RateBucket& b) {
+  return a.begin_tick == b.begin_tick && a.total == b.total &&
+         a.abnormal == b.abnormal && a.nodata == b.nodata;
+}
+
+bool SameSeries(const std::vector<RateBucket>& a,
+                const std::vector<RateBucket>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!SameBucket(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+TEST(TriagePropertyTest, AggregationIsPermutationInvariant) {
+  struct Verdict {
+    std::string node;
+    size_t tick;
+    DbState state;
+  };
+  Rng rng(5150);
+  std::vector<Verdict> verdicts;
+  const std::vector<std::string> nodes = {"node-a", "node-b", "node-c"};
+  for (size_t i = 0; i < 500; ++i) {
+    Verdict v;
+    v.node = nodes[static_cast<size_t>(rng.UniformInt(0, 2))];
+    v.tick = static_cast<size_t>(rng.UniformInt(0, 900));
+    const int s = static_cast<int>(rng.UniformInt(0, 3));
+    v.state = static_cast<DbState>(s);
+    verdicts.push_back(std::move(v));
+  }
+  AnomalyRateConfig config;
+  config.bucket_ticks = 25;
+  config.ring_buckets = 64;
+  AnomalyRateAggregator in_order(config);
+  for (const Verdict& v : verdicts) {
+    in_order.ObserveVerdict(v.node, v.tick, v.state);
+  }
+  for (uint64_t trial = 0; trial < 10; ++trial) {
+    std::vector<Verdict> shuffled = verdicts;
+    Rng shuffle_rng(7000 + trial);
+    shuffle_rng.Shuffle(shuffled);
+    AnomalyRateAggregator permuted(config);
+    for (const Verdict& v : shuffled) {
+      permuted.ObserveVerdict(v.node, v.tick, v.state);
+    }
+    ASSERT_TRUE(SameSeries(in_order.FleetSeries(), permuted.FleetSeries()));
+    for (const std::string& node : nodes) {
+      ASSERT_TRUE(
+          SameSeries(in_order.NodeSeries(node), permuted.NodeSeries(node)));
+    }
+    ASSERT_EQ(in_order.observed(), permuted.observed());
+  }
+}
+
+TEST(TriagePropertyTest, RingDropsOnlyBehindTheHorizon) {
+  AnomalyRateConfig config;
+  config.bucket_ticks = 10;
+  config.ring_buckets = 4;
+  AnomalyRateAggregator agg(config);
+  agg.ObserveVerdict("n", 500, DbState::kAbnormal);  // bucket 50
+  agg.ObserveVerdict("n", 495, DbState::kHealthy);   // bucket 49: retained
+  agg.ObserveVerdict("n", 100, DbState::kHealthy);   // bucket 10: dropped
+  EXPECT_EQ(agg.dropped(), 1u);
+  const std::vector<RateBucket> series = agg.FleetSeries();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].begin_tick, 490u);
+  EXPECT_EQ(series[1].begin_tick, 500u);
+  EXPECT_EQ(series[1].abnormal, 1u);
+  EXPECT_EQ(agg.WindowAbnormalRate(490, 510), 0.5);
+}
+
+/// A small simulated fleet driven through engines at different worker
+/// counts; verdict taps feed per-engine triage engines.
+struct FleetRun {
+  std::unique_ptr<DetectionEngine> engine;
+  std::unique_ptr<TriageEngine> triage;
+};
+
+FleetRun RunFleet(size_t workers) {
+  constexpr size_t kUnits = 4;
+  constexpr size_t kTicks = 200;
+  DetectionEngineConfig config;
+  config.workers = workers;
+  FleetRun run;
+  run.engine = std::make_unique<DetectionEngine>(config);
+  TriageConfig triage_config;
+  triage_config.rate.bucket_ticks = 10;
+  run.triage = std::make_unique<TriageEngine>(run.engine.get(), triage_config);
+
+  std::vector<UnitData> units;
+  for (size_t u = 0; u < kUnits; ++u) {
+    UnitSimConfig sim;
+    sim.ticks = kTicks;
+    sim.inject_anomalies = (u % 2 == 0);
+    sim.anomalies.target_ratio = 0.06;
+    Rng rng(31000 + 17 * u);
+    PeriodicProfileParams pp;
+    auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+    units.push_back(SimulateUnit(sim, *profile, true, rng.Fork(2)));
+    run.engine->RegisterUnit(UnitName(u), units.back().roles);
+    run.triage->SetNode(UnitName(u), u < 2 ? "node-a" : "node-b");
+  }
+  // Collect() before any drain enables every pipeline's tap.
+  run.triage->Collect();
+  for (size_t t = 0; t < kTicks; ++t) {
+    for (size_t u = 0; u < kUnits; ++u) {
+      std::vector<std::array<double, kNumKpis>> tick(units[u].kpis.size());
+      for (size_t db = 0; db < units[u].kpis.size(); ++db) {
+        for (size_t k = 0; k < kNumKpis; ++k) {
+          tick[db][k] = units[u].kpis[db].row(k)[t];
+        }
+      }
+      EXPECT_TRUE(run.engine->Ingest(UnitName(u), tick).ok());
+    }
+    run.engine->Drain();
+    run.triage->Collect();
+  }
+  return run;
+}
+
+TEST(TriagePropertyTest, ShardingDoesNotChangeRatesOrRankedRootCauses) {
+  const FleetRun baseline = RunFleet(1);
+  ASSERT_GT(baseline.triage->rates().observed(), 0u);
+  TriageRequest request;
+  request.window_begin = 140;
+  request.window_end = 180;
+  request.top_k = 12;
+  const TriageResult expected = baseline.triage->RootCauses(request);
+  ASSERT_FALSE(expected.root_causes.empty());
+  for (size_t workers : {2u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const FleetRun run = RunFleet(workers);
+    // Rate series: bit-identical bucket by bucket, fleet and per node.
+    ASSERT_TRUE(SameSeries(baseline.triage->rates().FleetSeries(),
+                           run.triage->rates().FleetSeries()));
+    for (const char* node : {"node-a", "node-b"}) {
+      ASSERT_TRUE(SameSeries(baseline.triage->rates().NodeSeries(node),
+                             run.triage->rates().NodeSeries(node)));
+    }
+    // Ranked root causes: same entries, same order, same bits.
+    const TriageResult actual = run.triage->RootCauses(request);
+    ASSERT_EQ(actual.root_causes.size(), expected.root_causes.size());
+    for (size_t i = 0; i < expected.root_causes.size(); ++i) {
+      ASSERT_EQ(actual.root_causes[i].unit, expected.root_causes[i].unit);
+      ASSERT_EQ(actual.root_causes[i].db, expected.root_causes[i].db);
+      ASSERT_EQ(actual.root_causes[i].kpi, expected.root_causes[i].kpi);
+      ASSERT_EQ(Bits(actual.root_causes[i].severity),
+                Bits(expected.root_causes[i].severity));
+    }
+    ASSERT_EQ(Bits(actual.fleet_abnormal_rate),
+              Bits(expected.fleet_abnormal_rate));
+  }
+}
+
+TEST(TriagePropertyTest, KsIsBitInvariantUnderExactAffineMaps) {
+  Rng rng(424242);
+  for (uint64_t trial = 0; trial < 200; ++trial) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(2, 40));
+    const size_t m = static_cast<size_t>(rng.UniformInt(2, 40));
+    // Integer-valued samples: scaling by powers of two and adding integer
+    // offsets is exact in doubles, so the order (and tie) structure — all
+    // KS sees — is preserved exactly.
+    std::vector<double> baseline(n), window(m);
+    for (double& v : baseline) {
+      v = static_cast<double>(rng.UniformInt(-50, 50));
+    }
+    for (double& v : window) {
+      v = static_cast<double>(rng.UniformInt(-30, 70));
+    }
+    const double ks = KsStatisticFast(baseline, window);
+    const double scale = trial % 2 == 0 ? 4.0 : 0.5;
+    const double offset = static_cast<double>(rng.UniformInt(-100, 100));
+    std::vector<double> baseline_t = baseline;
+    std::vector<double> window_t = window;
+    for (double& v : baseline_t) v = scale * v + offset;
+    for (double& v : window_t) v = scale * v + offset;
+    ASSERT_EQ(Bits(ks), Bits(KsStatisticFast(baseline_t, window_t)));
+    ASSERT_EQ(Bits(ks), Bits(KsStatisticReference(baseline_t, window_t)));
+  }
+}
+
+TEST(TriagePropertyTest, TopKIsAPrefixOfTopKPlusOne) {
+  Rng rng(777);
+  for (uint64_t trial = 0; trial < 20; ++trial) {
+    ColumnStore store(3, 5, 0);
+    std::vector<double> row(5);
+    Rng data = rng.Fork(trial + 1);
+    for (size_t t = 0; t < 160; ++t) {
+      for (size_t db = 0; db < 3; ++db) {
+        for (double& v : row) {
+          v = data.Normal(10.0, 3.0) + (t >= 120 ? data.Uniform() * 8.0 : 0.0);
+        }
+        store.AppendRow(db, row.data(), true, false);
+      }
+      store.CommitTick();
+    }
+    const TriageScorer scorer;
+    std::vector<KpiScore> scores;
+    SweepStats stats;
+    scorer.SweepStore("unit", store, 120, 160, &scores, &stats);
+    ASSERT_EQ(scores.size(), 15u);
+    for (size_t k = 1; k + 1 < scores.size(); ++k) {
+      std::vector<KpiScore> top_k = scores;
+      std::vector<KpiScore> top_k1 = scores;
+      RankScores(&top_k, k);
+      RankScores(&top_k1, k + 1);
+      ASSERT_EQ(top_k.size(), k);
+      ASSERT_EQ(top_k1.size(), k + 1);
+      for (size_t i = 0; i < k; ++i) {
+        ASSERT_EQ(top_k[i].db, top_k1[i].db);
+        ASSERT_EQ(top_k[i].kpi, top_k1[i].kpi);
+        ASSERT_EQ(Bits(top_k[i].severity), Bits(top_k1[i].severity));
+      }
+    }
+  }
+}
+
+TEST(TriagePropertyTest, DegenerateWindowsReturnTypedEmptyResults) {
+  DetectionEngineConfig config;
+  DetectionEngine engine(config);
+  TriageEngine triage(&engine, {});
+
+  // No units at all.
+  TriageRequest request;
+  request.window_begin = 10;
+  request.window_end = 40;
+  TriageResult result = triage.RootCauses(request);
+  EXPECT_TRUE(result.root_causes.empty());
+  EXPECT_EQ(result.series_swept, 0u);
+
+  // Inverted and empty windows.
+  engine.RegisterUnit("unit-0", {DbRole::kPrimary, DbRole::kReplica});
+  request.window_begin = 40;
+  request.window_end = 40;
+  result = triage.RootCauses(request);
+  EXPECT_TRUE(result.root_causes.empty());
+  request.window_begin = 50;
+  request.window_end = 40;
+  result = triage.RootCauses(request);
+  EXPECT_TRUE(result.root_causes.empty());
+
+  // A window entirely outside the retained data: swept but all skipped.
+  request.window_begin = 1000;
+  request.window_end = 1040;
+  result = triage.RootCauses(request);
+  EXPECT_TRUE(result.root_causes.empty());
+  EXPECT_EQ(result.series_scored, 0u);
+  EXPECT_EQ(result.series_skipped, result.series_swept);
+  EXPECT_EQ(result.fleet_abnormal_rate, 0.0);
+}
+
+TEST(TriagePropertyTest, ObservabilityDoesNotChangeTheRankedList) {
+  // Same fleet with engine obs on and a triage metrics registry attached:
+  // every score bit matches the unobserved run.
+  const FleetRun plain = RunFleet(1);
+  constexpr size_t kUnits = 4;
+  constexpr size_t kTicks = 200;
+  DetectionEngineConfig config;
+  config.workers = 1;
+  config.obs.enabled = true;
+  DetectionEngine engine(config);
+  TriageConfig triage_config;
+  triage_config.rate.bucket_ticks = 10;
+  TriageEngine triage(&engine, triage_config);
+  triage.EnableObservability(engine.metrics());
+  std::vector<UnitData> units;
+  for (size_t u = 0; u < kUnits; ++u) {
+    UnitSimConfig sim;
+    sim.ticks = kTicks;
+    sim.inject_anomalies = (u % 2 == 0);
+    sim.anomalies.target_ratio = 0.06;
+    Rng rng(31000 + 17 * u);
+    PeriodicProfileParams pp;
+    auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+    units.push_back(SimulateUnit(sim, *profile, true, rng.Fork(2)));
+    engine.RegisterUnit(UnitName(u), units.back().roles);
+    triage.SetNode(UnitName(u), u < 2 ? "node-a" : "node-b");
+  }
+  triage.Collect();
+  for (size_t t = 0; t < kTicks; ++t) {
+    for (size_t u = 0; u < kUnits; ++u) {
+      std::vector<std::array<double, kNumKpis>> tick(units[u].kpis.size());
+      for (size_t db = 0; db < units[u].kpis.size(); ++db) {
+        for (size_t k = 0; k < kNumKpis; ++k) {
+          tick[db][k] = units[u].kpis[db].row(k)[t];
+        }
+      }
+      ASSERT_TRUE(engine.Ingest(UnitName(u), tick).ok());
+    }
+    engine.Drain();
+    triage.Collect();
+  }
+  TriageRequest request;
+  request.window_begin = 140;
+  request.window_end = 180;
+  request.top_k = 12;
+  const TriageResult expected = plain.triage->RootCauses(request);
+  const TriageResult observed = triage.RootCauses(request);
+  ASSERT_EQ(observed.root_causes.size(), expected.root_causes.size());
+  for (size_t i = 0; i < expected.root_causes.size(); ++i) {
+    EXPECT_EQ(observed.root_causes[i].unit, expected.root_causes[i].unit);
+    EXPECT_EQ(Bits(observed.root_causes[i].severity),
+              Bits(expected.root_causes[i].severity));
+  }
+  // And the dbc_triage_* counters actually moved.
+  const Counter* queries =
+      engine.metrics()->FindCounter("dbc_triage_queries_total");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->value(), 1u);
+  const Counter* verdicts =
+      engine.metrics()->FindCounter("dbc_triage_verdicts_observed_total");
+  ASSERT_NE(verdicts, nullptr);
+  EXPECT_GT(verdicts->value(), 0u);
+}
+
+}  // namespace
+}  // namespace dbc

@@ -40,7 +40,7 @@ Status NetClient::Connect() {
     }
     off += io.bytes;
   }
-  const std::optional<Frame> reply = AwaitReply(/*seq=*/0);
+  const std::optional<Frame> reply = AwaitReply(/*seq=*/0, ReplyPlane::kData);
   if (!reply.has_value() || reply->header.type != FrameType::kAck) {
     Disconnect();
     return Status::IoError("hello not acknowledged");
@@ -124,7 +124,7 @@ Result<SendOutcome> NetClient::Send(FrameType type, uint8_t priority,
       std::this_thread::sleep_for(
           std::chrono::milliseconds(faults_->config().stall_ms));
     }
-    const std::optional<Frame> reply = AwaitReply(seq);
+    const std::optional<Frame> reply = AwaitReply(seq, ReplyPlane::kData);
     if (!reply.has_value()) {
       // Lost reply (timeout, disconnect, or undecodable stream): the frame
       // may or may not have been applied — resend and let the session dedup.
@@ -157,7 +157,12 @@ Result<SendOutcome> NetClient::Send(FrameType type, uint8_t priority,
 }
 
 Result<TriageResultPayload> NetClient::Query(const TriageQueryPayload& query) {
-  const uint64_t seq = next_seq_;
+  // Queries draw from their own sequence space: the server's triage plane is
+  // stateless and never advances the session's dedup cursor, so taking a seq
+  // from next_seq_ would desynchronize the data plane — the Send after a
+  // successful Query would present seq == next_seq + 1, which the server
+  // quarantines as an impossible gap.
+  const uint64_t seq = query_seq_;
   const std::vector<uint8_t> frame = EncodeFrame(
       FrameType::kTriageQuery, 0, 0, seq, EncodeTriageQueryPayload(query));
   ++sends_total_;
@@ -178,7 +183,7 @@ Result<TriageResultPayload> NetClient::Query(const TriageQueryPayload& query) {
       Backoff(0);
       continue;
     }
-    const std::optional<Frame> reply = AwaitReply(seq);
+    const std::optional<Frame> reply = AwaitReply(seq, ReplyPlane::kTriage);
     if (!reply.has_value()) {
       Disconnect();
       Backoff(0);
@@ -191,22 +196,32 @@ Result<TriageResultPayload> NetClient::Query(const TriageQueryPayload& query) {
         Backoff(0);
         continue;
       }
-      next_seq_ = seq + 1;
+      query_seq_ = seq + 1;
       backoff_ms_ = 0;
       return result;
     }
     NackPayload nack;
-    if (reply->header.type != FrameType::kNack ||
-        !DecodeNackPayload(reply->payload, &nack) ||
-        nack.reason != NackReason::kOverload) {
+    if (reply->header.type == FrameType::kNack &&
+        DecodeNackPayload(reply->payload, &nack)) {
+      if (nack.reason == NackReason::kOverload) {
+        // Retryable overload (watermark or the server's per-cycle sweep
+        // cap): honor the backoff hint like any other NACKed frame.
+        ++nacks_overload_total_;
+        Backoff(nack.retry_after_ms);
+        continue;
+      }
+      // Fatal NACK: the server rejected the query itself (kUnsupported — no
+      // triage backend behind this edge; kMalformed — the payload failed
+      // decode). A retransmit resends the same bytes to the same verdict, so
+      // fail fast instead of burning max_attempts on guaranteed rejections.
       Disconnect();
-      Backoff(0);
-      continue;
+      return Status::IoError(nack.reason == NackReason::kUnsupported
+                                 ? "triage query unsupported by this edge"
+                                 : "triage query rejected as malformed");
     }
-    // Retryable overload (watermark or the server's per-cycle sweep cap):
-    // honor the backoff hint like any other NACKed frame.
-    ++nacks_overload_total_;
-    Backoff(nack.retry_after_ms);
+    // Undecodable or unexpected reply: treat it as lost and retry fresh.
+    Disconnect();
+    Backoff(0);
   }
   return Status::IoError("triage query not answered after max attempts");
 }
@@ -225,7 +240,13 @@ bool NetClient::WriteFrameBytes(const std::vector<uint8_t>& bytes) {
   return true;
 }
 
-std::optional<Frame> NetClient::AwaitReply(uint64_t seq) {
+std::optional<Frame> NetClient::AwaitReply(uint64_t seq, ReplyPlane plane) {
+  // Data and query sequence spaces are independent counters, so the same seq
+  // value can be live on both planes at once; the expected reply type
+  // disambiguates (kAck answers data frames, kTriageResult answers queries,
+  // kNack is shared but only matched on the plane that is waiting).
+  const FrameType want = plane == ReplyPlane::kData ? FrameType::kAck
+                                                    : FrameType::kTriageResult;
   Stopwatch watch;
   uint8_t chunk[kReplyChunk];
   while (true) {
@@ -234,10 +255,9 @@ std::optional<Frame> NetClient::AwaitReply(uint64_t seq) {
       Frame frame;
       const WireVerdict verdict = decoder_.Next(&frame);
       if (verdict == WireVerdict::kFrame) {
-        if (frame.header.type != FrameType::kAck &&
-            frame.header.type != FrameType::kNack &&
-            frame.header.type != FrameType::kTriageResult) {
-          continue;  // servers only send replies; ignore anything else
+        if (frame.header.type != want &&
+            frame.header.type != FrameType::kNack) {
+          continue;  // replies for the other plane, or not a reply at all
         }
         if (frame.header.seq == seq) return frame;
         continue;  // stale reply for an earlier attempt/frame

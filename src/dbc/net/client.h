@@ -72,7 +72,10 @@ class NetClient {
   /// Sends one fleet-triage query and blocks for its kTriageResult,
   /// retrying with the usual backoff when the edge NACKs it as overloaded
   /// (watermark or per-cycle sweep cap). The query is read-only, so the
-  /// at-least-once retransmit needs no dedup.
+  /// at-least-once retransmit needs no dedup; queries number themselves from
+  /// a sequence space separate from Send's, because the server's triage
+  /// plane is stateless and never advances the session's dedup cursor. A
+  /// fatal NACK (kUnsupported, kMalformed) fails fast without retrying.
   Result<TriageResultPayload> Query(const TriageQueryPayload& query);
 
   void Close();
@@ -87,11 +90,17 @@ class NetClient {
   const NetClientConfig& config() const { return config_; }
 
  private:
+  /// Which request/reply plane a wait belongs to. Data frames are answered
+  /// by kAck, triage queries by kTriageResult; the two planes number their
+  /// frames independently, so seq alone cannot disambiguate a reply.
+  enum class ReplyPlane { kData, kTriage };
+
   /// Writes raw bytes, applying at most one injected fault. Returns false
   /// when the connection must be considered dead.
   bool WriteFrameBytes(const std::vector<uint8_t>& bytes);
-  /// Reads until a reply frame for `seq` arrives or the deadline passes.
-  std::optional<Frame> AwaitReply(uint64_t seq);
+  /// Reads until a reply frame for `seq` on `plane` arrives or the deadline
+  /// passes.
+  std::optional<Frame> AwaitReply(uint64_t seq, ReplyPlane plane);
   void Backoff(uint32_t hint_ms);
   void Disconnect();
 
@@ -99,7 +108,12 @@ class NetClient {
   NetFaultInjector* faults_;
   Socket socket_;
   FrameDecoder decoder_;
+  /// Data-plane sequence counter: shared with the server's per-session dedup
+  /// cursor, advanced only by acknowledged Sends.
   uint64_t next_seq_ = 1;
+  /// Query-plane sequence counter: reply matching only — the triage plane is
+  /// stateless server-side, so it must never touch next_seq_.
+  uint64_t query_seq_ = 1;
   uint32_t backoff_ms_ = 0;
 
   size_t sends_total_ = 0;

@@ -1,5 +1,6 @@
 #include "dbc/net/wire.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -339,6 +340,10 @@ bool DecodeTriageQueryPayload(const std::vector<uint8_t>& bytes,
   if (out->window_end < out->window_begin) return false;
   if (!reader.ReadU32(&out->top_k)) return false;
   if (out->top_k > kWireMaxTriageTopK) return false;
+  // A reply carries at most kWireMaxTriageEntries entries; clamp here so an
+  // in-range but oversized top_k can never be silently truncated at encode.
+  out->top_k = std::min(out->top_k,
+                        static_cast<uint32_t>(kWireMaxTriageEntries));
   return reader.remaining() == 0;
 }
 

@@ -40,6 +40,11 @@ inline constexpr size_t kWireMaxBatchSamples = 4096;
 inline constexpr size_t kWireMaxAlertRecords = 1024;
 inline constexpr size_t kWireMaxAlertRecordBytes = 1u << 16;
 inline constexpr size_t kWireMaxTriageEntries = 256;
+/// Sanity ceiling on a query's requested top_k: larger values fail decode as
+/// malformed. In-range values above kWireMaxTriageEntries are clamped down
+/// to it at decode time, since a reply frame cannot carry more entries than
+/// that — the serve path never computes a list the encoder would silently
+/// truncate.
 inline constexpr size_t kWireMaxTriageTopK = 1024;
 
 // CRC32 over frame payloads is dbc::Crc32 (common/binio.h) — one IEEE 802.3

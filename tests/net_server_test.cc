@@ -399,12 +399,51 @@ TEST(NetServer, TriageQueryWithoutABackendIsQuarantined) {
   NetIngestSource source({});
   ServerFixture fixture({}, &source);  // no SetTriageHandler
 
-  NetClient client(FastClient(fixture.port(), 24, /*max_attempts=*/2));
+  NetClient client(FastClient(fixture.port(), 24, /*max_attempts=*/8));
   TriageQueryPayload query;
   query.window_end = 10;
   EXPECT_FALSE(client.Query(query).ok());
-  EXPECT_GE(fixture.server().quarantined_total(), 1u);
+  // The kUnsupported NACK is fatal: the client fails fast on the first
+  // attempt instead of re-querying an edge that will never answer.
+  EXPECT_EQ(client.retries_total(), 0u);
+  EXPECT_EQ(fixture.server().quarantined_total(), 1u);
   EXPECT_EQ(fixture.server().triage_served_total(), 0u);
+}
+
+TEST(NetServer, QueryAndSendInterleaveOnOneClient) {
+  // Regression: Query used to draw its seq from the data-plane counter, but
+  // the stateless triage plane never advances the session's dedup cursor —
+  // so the Send after a successful Query presented an impossible gap and was
+  // quarantined on every retry. Queries now number themselves independently.
+  NetIngestSource source({});
+  CannedTriageHandler handler;
+  NetServerConfig config;
+  // Default max_triage_per_poll = 1 can race this test: when both queries
+  // land in one server poll cycle the second is NACKed overload and retried,
+  // which is correct behavior but noise for the seq-space assertions below.
+  config.max_triage_per_poll = 16;
+  ServerFixture fixture(config, &source);
+  fixture.server().SetTriageHandler(&handler);
+
+  NetClient client(FastClient(fixture.port(), 26));
+  TriageQueryPayload query;
+  query.window_end = 30;
+  ASSERT_TRUE(client.Query(query).ok());
+  // Both planes are now at seq 1 on the same connection: the reply-type
+  // filter (kAck vs kTriageResult) must keep them from matching each other.
+  const Result<SendOutcome> first =
+      client.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 1));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().seq, 1u);
+  ASSERT_TRUE(client.Query(query).ok());
+  const Result<SendOutcome> second =
+      client.Send(FrameType::kTelemetryBatch, 0, EncodeBatch("u", 2));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().seq, 2u);
+  EXPECT_EQ(client.retries_total(), 0u);
+  EXPECT_EQ(fixture.server().quarantined_total(), 0u);
+  EXPECT_EQ(fixture.server().triage_served_total(), 2u);
+  EXPECT_EQ(source.committed_total(), 2u);
 }
 
 TEST(NetServer, MalformedTriageQueryQuarantinesTheConnection) {

@@ -98,6 +98,28 @@ TEST(WireRoundTrip, AlertBatchAndNack) {
   EXPECT_EQ(nack_out.retry_after_ms, 125u);
 }
 
+TEST(WireRoundTrip, TriageQueryTopKClampsToReplyCapacity) {
+  TriageQueryPayload query;
+  query.window_begin = 10;
+  query.window_end = 20;
+  query.top_k = 5;
+  TriageQueryPayload out;
+  ASSERT_TRUE(DecodeTriageQueryPayload(EncodeTriageQueryPayload(query), &out));
+  EXPECT_EQ(out.window_begin, 10u);
+  EXPECT_EQ(out.window_end, 20u);
+  EXPECT_EQ(out.top_k, 5u);
+
+  // A reply frame carries at most kWireMaxTriageEntries entries, so an
+  // in-range top_k above that is clamped at decode rather than letting the
+  // result encoder silently truncate the ranked list.
+  query.top_k = static_cast<uint32_t>(kWireMaxTriageTopK);
+  ASSERT_TRUE(DecodeTriageQueryPayload(EncodeTriageQueryPayload(query), &out));
+  EXPECT_EQ(out.top_k, kWireMaxTriageEntries);
+
+  query.top_k = static_cast<uint32_t>(kWireMaxTriageTopK) + 1;
+  EXPECT_FALSE(DecodeTriageQueryPayload(EncodeTriageQueryPayload(query), &out));
+}
+
 TEST(WireRoundTrip, FullFrame) {
   const std::vector<uint8_t> bytes = EncodeTelemetryFrame(/*seq=*/99);
   Frame frame;

@@ -2,16 +2,48 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+
+#include "dbc/common/rng.h"
+#include "dbc/common/stopwatch.h"
 
 namespace dbc {
 
-ThreadPool::ThreadPool(size_t threads) {
+namespace {
+
+/// Identifies the pool and worker index of the current thread, so tasks can
+/// attribute per-worker statistics to the worker actually executing them.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  size_t index = ThreadPool::kNotAWorker;
+};
+thread_local WorkerIdentity t_worker;
+
+/// Cheap per-worker deterministic stream (splitmix64 over a local state);
+/// used for victim selection and chaos rolls. Distinct from dbc::Rng to keep
+/// the per-task cost to a couple of arithmetic ops.
+inline uint64_t NextU64(uint64_t& state) { return SplitMix64(state); }
+
+inline double NextUnit(uint64_t& state) {
+  return static_cast<double>(NextU64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads, uint64_t steal_seed,
+                       SchedulerChaos chaos)
+    : steal_seed_(steal_seed), chaos_(chaos) {
   if (threads == 0) {
     threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
+  lanes_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  counters_ = std::make_unique<Counters[]>(threads);
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -24,15 +56,36 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-std::future<void> ThreadPool::Submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> future = packaged.get_future();
+void ThreadPool::Enqueue(size_t lane_hint, std::function<void()> fn) {
+  Lane& lane = *lanes_[lane_hint % lanes_.size()];
+  {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.tasks.push_back(Task{std::move(fn)});
+  }
+  // The task is findable before pending_ admits a claimer, so a woken worker
+  // can always satisfy its claim (see AcquireAndRun).
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(packaged));
+    ++pending_;
   }
   cv_.notify_one();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  return Submit(0, std::move(task));
+}
+
+std::future<void> ThreadPool::Submit(size_t lane_hint,
+                                     std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  Enqueue(lane_hint, [packaged] { (*packaged)(); });
   return future;
+}
+
+void ThreadPool::Post(size_t lane_hint, std::function<void()> task) {
+  Enqueue(lane_hint, std::move(task));
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -50,7 +103,7 @@ void ThreadPool::ParallelFor(size_t n,
   const size_t lanes = std::min(n, thread_count());
   futures.reserve(lanes);
   for (size_t lane = 0; lane < lanes; ++lane) {
-    futures.push_back(Submit([&, lane] {
+    futures.push_back(Submit(lane, [&, lane] {
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
         if (failed.load(std::memory_order_relaxed)) return;
         try {
@@ -73,17 +126,115 @@ void ThreadPool::ParallelFor(size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
-void ThreadPool::WorkerLoop() {
+size_t ThreadPool::CurrentWorker() const {
+  return t_worker.pool == this ? t_worker.index : kNotAWorker;
+}
+
+std::vector<WorkerStats> ThreadPool::Stats() const {
+  std::vector<WorkerStats> stats(workers_.size());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    stats[i].executed = counters_[i].executed.load(std::memory_order_relaxed);
+    stats[i].stolen = counters_[i].stolen.load(std::memory_order_relaxed);
+    stats[i].busy_seconds =
+        counters_[i].busy_seconds.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+uint64_t ThreadPool::steals() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    total += counters_[i].stolen.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ThreadPool::WorkerLoop(size_t me) {
+  t_worker = {this, me};
+  // Seeded per-worker stream: victim order and chaos rolls are deterministic
+  // for a (steal_seed, chaos.seed, worker) triple, so a fuzzed schedule can
+  // be replayed exactly.
+  uint64_t rng_state =
+      steal_seed_ ^ (chaos_.seed * 0x9E3779B97F4A7C15ULL) ^
+      (0xD1B54A32D192ED03ULL * (me + 1));
   for (;;) {
-    std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+      if (pending_ == 0) return;  // stop_ set and every deque drained
+      --pending_;  // claim one unit of work; a matching task exists
     }
-    task();
+    AcquireAndRun(me, rng_state);
+  }
+}
+
+void ThreadPool::AcquireAndRun(size_t me, uint64_t& rng_state) {
+  const size_t n = lanes_.size();
+  Task task;
+  bool stolen = false;
+  // The claim made in WorkerLoop guarantees at least one task stays in some
+  // deque until we take one (every pop is preceded by its own claim), but a
+  // single scan can transiently miss when a concurrent thief empties a deque
+  // we already passed — hence the outer retry loop, which is near-cold.
+  for (bool found = false; !found;) {
+    const bool force_steal =
+        chaos_.enabled && n > 1 && NextUnit(rng_state) < chaos_.force_steal_prob;
+    // Own deque first (FIFO pop) unless chaos forces victims first.
+    if (!force_steal) {
+      std::lock_guard<std::mutex> lock(lanes_[me]->mu);
+      if (!lanes_[me]->tasks.empty()) {
+        task = std::move(lanes_[me]->tasks.front());
+        lanes_[me]->tasks.pop_front();
+        found = true;
+      }
+    }
+    if (!found && n > 1) {
+      // Victims in seeded rotation; steal from the back to stay off the
+      // owner's end of the deque.
+      const size_t start = NextU64(rng_state) % n;
+      for (size_t k = 0; k < n && !found; ++k) {
+        const size_t victim = (start + k) % n;
+        if (victim == me) continue;
+        std::unique_lock<std::mutex> lock(lanes_[victim]->mu,
+                                          std::try_to_lock);
+        if (!lock.owns_lock() || lanes_[victim]->tasks.empty()) continue;
+        task = std::move(lanes_[victim]->tasks.back());
+        lanes_[victim]->tasks.pop_back();
+        found = true;
+        stolen = true;
+      }
+    }
+    if (!found && force_steal) {
+      // Forced steal found no victim work: fall back to the own deque.
+      std::lock_guard<std::mutex> lock(lanes_[me]->mu);
+      if (!lanes_[me]->tasks.empty()) {
+        task = std::move(lanes_[me]->tasks.front());
+        lanes_[me]->tasks.pop_front();
+        found = true;
+      }
+    }
+    if (!found) std::this_thread::yield();
+  }
+  if (chaos_.enabled) {
+    const double roll = NextUnit(rng_state);
+    if (roll < chaos_.stall_prob) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          1 + NextU64(rng_state) % std::max(1u, chaos_.max_stall_us)));
+    } else if (roll < chaos_.stall_prob + chaos_.yield_prob) {
+      std::this_thread::yield();
+    }
+  }
+  // Attribute counts to the *executing* worker: under stealing, the owning
+  // lane says nothing about where the work ran. Counted before the task runs
+  // so a caller synchronized on task completion (a future) sees them.
+  counters_[me].executed.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) counters_[me].stolen.fetch_add(1, std::memory_order_relaxed);
+  Stopwatch watch;
+  task.fn();
+  counters_[me].busy_seconds.fetch_add(watch.ElapsedSeconds(),
+                                       std::memory_order_relaxed);
+  if (chaos_.enabled && NextUnit(rng_state) < chaos_.yield_prob) {
+    std::this_thread::yield();  // randomize completion publication order
   }
 }
 

@@ -1,31 +1,88 @@
-// Fixed-size thread pool for parallelising per-unit detection work.
+// Work-stealing thread pool for parallelising per-unit detection work.
+//
+// Each worker owns a deque of tasks; Submit() places a task on the deque
+// named by its lane hint, the owning worker pops from the front (FIFO, so
+// older epochs retire first), and idle workers steal from the back of a
+// victim chosen in seeded-random order. Stealing is "lock-free-ish": every
+// deque has its own small mutex, thieves only try_lock, and the one global
+// lock guards nothing but the pending-task count and the idle wait — no lock
+// is ever held while a task runs. The schedule (which worker runs which
+// task, in what interleaving) is deliberately unspecified; callers that need
+// deterministic output must make it a pure function of task *content*, which
+// is exactly what the DetectionEngine's epoch reorder buffer does and what
+// scheduler_fuzz_test proves by perturbing the schedule with SchedulerChaos.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace dbc {
 
-/// Fixed-size worker pool. Tasks are std::function<void()>; Submit returns a
-/// future for completion/exception propagation. The destructor drains the
-/// queue and joins all workers.
+/// Deterministic schedule-chaos knobs (the scheduler test wall): seeded
+/// yield/stall injection before task execution and after completion, plus
+/// forced stealing (a worker skips its own deque and scans victims first).
+/// Chaos perturbs *timing and placement only* — it must never change any
+/// result, and scheduler_fuzz_test asserts exactly that over hundreds of
+/// seeds.
+struct SchedulerChaos {
+  bool enabled = false;
+  uint64_t seed = 0;
+  /// Probability of a sched_yield before running a task.
+  double yield_prob = 0.25;
+  /// Probability of sleeping up to max_stall_us instead (a "slow worker").
+  double stall_prob = 0.05;
+  unsigned max_stall_us = 200;
+  /// Probability that an acquiring worker scans victims before its own
+  /// deque, forcing steals even when local work is available.
+  double force_steal_prob = 0.25;
+};
+
+/// Per-worker scheduler statistics, cumulative since pool construction.
+/// `stolen` counts tasks this worker took from another worker's deque;
+/// `busy_seconds` is wall time spent inside tasks (attributed to the
+/// *executing* worker, stolen or not).
+struct WorkerStats {
+  uint64_t executed = 0;
+  uint64_t stolen = 0;
+  double busy_seconds = 0.0;
+};
+
+/// Fixed-size work-stealing worker pool. Tasks are std::function<void()>;
+/// Submit returns a future for completion/exception propagation (exceptions
+/// propagate identically whether the task ran on its home lane or was
+/// stolen). The destructor drains every deque and joins all workers.
 class ThreadPool {
  public:
   /// Creates `threads` workers (at least 1; 0 means hardware concurrency).
-  explicit ThreadPool(size_t threads = 0);
+  /// `steal_seed` seeds victim selection — it reshuffles the schedule, never
+  /// the results. `chaos` injects seeded schedule perturbations for tests.
+  explicit ThreadPool(size_t threads = 0, uint64_t steal_seed = 0,
+                      SchedulerChaos chaos = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; returns a future completed when the task finishes.
+  /// Enqueues a task on an arbitrary lane; returns a future completed when
+  /// the task finishes.
   std::future<void> Submit(std::function<void()> task);
+
+  /// As above with a placement hint: the task lands on the deque of worker
+  /// `lane_hint % thread_count()` and runs there unless stolen. Hints give
+  /// per-unit locality; they never pin execution.
+  std::future<void> Submit(size_t lane_hint, std::function<void()> task);
+
+  /// Fire-and-forget submission (no future allocation). The task must not
+  /// throw; used by the epoch scheduler, whose tasks trap their own errors.
+  void Post(size_t lane_hint, std::function<void()> task);
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// If any fn(i) throws, remaining indices are abandoned, every lane is
@@ -35,20 +92,61 @@ class ThreadPool {
 
   /// As above, but fn(lane, i) also receives the executing lane's index in
   /// [0, min(n, thread_count())). Lanes map 1:1 to pool submissions for one
-  /// call, so per-lane accumulators (e.g. worker-utilization gauges) need no
-  /// synchronization beyond the join.
+  /// call, so per-lane accumulators need no synchronization beyond the join.
+  /// NOTE: the lane is the *submission* slot, not the executing worker — a
+  /// stolen lane runs somewhere else. Attribute per-worker statistics (busy
+  /// time, and so on) with CurrentWorker() instead.
   void ParallelFor(size_t n,
                    const std::function<void(size_t, size_t)>& fn);
+
+  /// The executing worker's index when called from a task running on this
+  /// pool, kNotAWorker otherwise. This is the correct key for per-worker
+  /// attribution under stealing (DESIGN.md §15).
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+  size_t CurrentWorker() const;
+
+  /// Cumulative per-worker counters (executed / stolen / busy seconds).
+  std::vector<WorkerStats> Stats() const;
+  /// Total tasks executed off a foreign deque, across all workers.
+  uint64_t steals() const;
 
   size_t thread_count() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  struct Task {
+    std::function<void()> fn;
+  };
+  /// One worker's deque behind its own mutex. Owner pops front; thieves
+  /// try_lock and steal from the back, so owner and thieves rarely contend.
+  struct Lane {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+  /// Cache-line-separated per-worker counters, mutated only by the owning
+  /// worker, read by Stats() with relaxed atomics.
+  struct alignas(64) Counters {
+    std::atomic<uint64_t> executed{0};
+    std::atomic<uint64_t> stolen{0};
+    std::atomic<double> busy_seconds{0.0};
+  };
 
+  void WorkerLoop(size_t me);
+  /// Claims one task (own deque first unless chaos forces a steal, then
+  /// victims in seeded order) and runs it. A claim is guaranteed to succeed:
+  /// the caller holds one unit of pending_ (see WorkerLoop).
+  void AcquireAndRun(size_t me, uint64_t& rng_state);
+  void Enqueue(size_t lane_hint, std::function<void()> fn);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::unique_ptr<Counters[]> counters_;
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mu_;
+  uint64_t steal_seed_ = 0;
+  SchedulerChaos chaos_;
+  /// Guards pending_/stop_ and backs the idle wait; never held during task
+  /// execution or deque access.
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  size_t pending_ = 0;
   bool stop_ = false;
 };
 

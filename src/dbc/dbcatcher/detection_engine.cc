@@ -23,7 +23,9 @@ DetectionEngine::DetectionEngine(DetectionEngineConfig config)
                                 std::string(ingest_ok.message()));
   }
   if (config_.workers != 1) {
-    pool_ = std::make_unique<ThreadPool>(config_.workers);
+    pool_ = std::make_unique<ThreadPool>(config_.workers,
+                                         config_.scheduler.steal_seed,
+                                         config_.scheduler.chaos);
   }
   if (config_.obs.enabled) {
     metrics_ = std::make_unique<MetricsRegistry>();
@@ -33,6 +35,7 @@ DetectionEngine::DetectionEngine(DetectionEngineConfig config)
     engine_metrics_.drains = metrics_->GetCounter("dbc_engine_drains_total");
     engine_metrics_.alerts_published =
         metrics_->GetCounter("dbc_engine_alerts_published_total");
+    engine_metrics_.steals = metrics_->GetCounter("dbc_engine_steals_total");
     engine_metrics_.drain_seconds =
         metrics_->GetHistogram("dbc_engine_drain_seconds");
     engine_metrics_.merge_seconds =
@@ -40,6 +43,7 @@ DetectionEngine::DetectionEngine(DetectionEngineConfig config)
     engine_metrics_.unit_drain_seconds =
         metrics_->GetHistogram("dbc_engine_unit_drain_seconds");
     engine_metrics_.queue_depth = metrics_->GetGauge("dbc_engine_queue_depth");
+    engine_metrics_.epoch_lag = metrics_->GetGauge("dbc_engine_epoch_lag");
     engine_metrics_.utilization = metrics_->GetGauge("dbc_engine_utilization");
     engine_metrics_.sink_dropped =
         metrics_->GetGauge("dbc_engine_sink_dropped_total");
@@ -52,8 +56,21 @@ DetectionEngine::DetectionEngine(DetectionEngineConfig config)
   }
 }
 
+DetectionEngine::~DetectionEngine() {
+  // Quiesce before members destruct: in-flight epoch tasks touch the metrics
+  // registry and scheduler state, which die before pool_ joins its workers.
+  WaitIdle();
+}
+
 void DetectionEngine::RegisterUnit(const std::string& unit,
                                    std::vector<DbRole> roles) {
+  const auto old = pipelines_.find(unit);
+  if (old != pipelines_.end()) {
+    // Replacing: the outgoing pipeline may have queued epoch tasks.
+    WaitUnitIdle(old->second.get());
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    unit_sched_.erase(old->second.get());
+  }
   auto pipeline = std::make_unique<UnitPipeline>(unit, std::move(roles),
                                                  config_.pipeline);
   if (metrics_ != nullptr) {
@@ -64,12 +81,19 @@ void DetectionEngine::RegisterUnit(const std::string& unit,
 
 UnitPipeline* DetectionEngine::Find(const std::string& unit) {
   const auto it = pipelines_.find(unit);
-  return it == pipelines_.end() ? nullptr : it->second.get();
+  if (it == pipelines_.end()) return nullptr;
+  // The caller may read or mutate the pipeline (ingest, flush, topology,
+  // triage taps), and UnitPipeline is not thread-safe: serialize against any
+  // in-flight epoch task for this unit.
+  WaitUnitIdle(it->second.get());
+  return it->second.get();
 }
 
 const UnitPipeline* DetectionEngine::Find(const std::string& unit) const {
   const auto it = pipelines_.find(unit);
-  return it == pipelines_.end() ? nullptr : it->second.get();
+  if (it == pipelines_.end()) return nullptr;
+  WaitUnitIdle(it->second.get());
+  return it->second.get();
 }
 
 std::vector<std::string> DetectionEngine::UnitNames() const {
@@ -116,6 +140,10 @@ Status DetectionEngine::ApplyTopology(const std::string& unit,
 }
 
 std::vector<Alert> DetectionEngine::Drain() {
+  return pipelined() ? DrainPipelined() : DrainBarrier();
+}
+
+std::vector<Alert> DetectionEngine::DrainBarrier() {
   const bool observed = metrics_ != nullptr;
   Stopwatch watch;  // read only on the observed path
 
@@ -133,27 +161,30 @@ std::vector<Alert> DetectionEngine::Drain() {
   if (pool_ != nullptr && order.size() > 1) {
     lanes = std::min(order.size(), pool_->thread_count());
     if (observed) {
-      // Lane-local busy accumulators: each lane owns its slot for the whole
-      // ParallelFor, so no synchronization beyond the join is needed. The
+      // Worker-local busy accumulators, indexed by the *executing* worker
+      // (under stealing the ParallelFor lane says nothing about where the
+      // task ran). A worker executes one task at a time and only writes its
+      // own slot, so no synchronization beyond the join is needed. The
       // queue-depth gauge and the unit histogram are relaxed atomics and may
       // be written from any worker.
       std::atomic<size_t> remaining{order.size()};
-      std::vector<double> lane_busy(pool_->thread_count(), 0.0);
-      pool_->ParallelFor(order.size(), [&](size_t lane, size_t i) {
+      std::vector<double> worker_busy_acc(pool_->thread_count(), 0.0);
+      pool_->ParallelFor(order.size(), [&](size_t i) {
         Stopwatch unit_watch;
         per_unit[i] = order[i]->Drain();
         const double seconds = unit_watch.ElapsedSeconds();
-        lane_busy[lane] += seconds;
+        const size_t me = pool_->CurrentWorker();
+        if (me < worker_busy_acc.size()) worker_busy_acc[me] += seconds;
         Observe(engine_metrics_.unit_drain_seconds, seconds);
         Set(engine_metrics_.queue_depth,
             static_cast<double>(
                 remaining.fetch_sub(1, std::memory_order_relaxed) - 1));
       });
-      for (size_t lane = 0; lane < lane_busy.size(); ++lane) {
-        busy_seconds += lane_busy[lane];
-        if (lane_busy[lane] > 0.0 &&
-            lane < engine_metrics_.worker_busy.size()) {
-          engine_metrics_.worker_busy[lane]->Add(lane_busy[lane]);
+      for (size_t w = 0; w < worker_busy_acc.size(); ++w) {
+        busy_seconds += worker_busy_acc[w];
+        if (worker_busy_acc[w] > 0.0 &&
+            w < engine_metrics_.worker_busy.size()) {
+          engine_metrics_.worker_busy[w]->Add(worker_busy_acc[w]);
         }
       }
       fan_seconds = watch.LapSeconds();
@@ -195,24 +226,243 @@ std::vector<Alert> DetectionEngine::Drain() {
     Observe(engine_metrics_.merge_seconds, merge_seconds);
     Observe(engine_metrics_.drain_seconds, fan_seconds + merge_seconds);
     Inc(engine_metrics_.drains);
-    Inc(engine_metrics_.alerts_published, merged.size());
     if (fan_seconds > 0.0) {
       Set(engine_metrics_.utilization,
           busy_seconds / (fan_seconds * static_cast<double>(lanes)));
     }
+    RefreshSchedulerMetrics();
     if (trace_ != nullptr) {
       trace_->Record({"", "engine-drain", drain_count_,
                       fan_seconds + merge_seconds, merged.size()});
     }
   }
 
+  Publish(merged);
+  return merged;
+}
+
+std::vector<Alert> DetectionEngine::DrainPipelined() {
+  const bool observed = metrics_ != nullptr;
+  Stopwatch watch;  // read only on the observed path
+
+  // Enqueue epoch E: one (unit, epoch) task per pipeline, hinted to a
+  // per-unit home lane. A unit with an activation already live just grows
+  // its FIFO — the activation loop keeps the unit's epochs ordered and
+  // non-concurrent.
+  uint64_t epoch;
+  {
+    std::unique_lock<std::mutex> lock(sched_mu_);
+    epoch = next_epoch_++;
+    EpochJob& job = inflight_[epoch];
+    job.batches.resize(pipelines_.size());
+    job.remaining = pipelines_.size();
+    size_t slot = 0;
+    for (const auto& [name, pipeline] : pipelines_) {
+      UnitPipeline* p = pipeline.get();
+      UnitSched& us = unit_sched_[p];
+      us.pending.emplace_back(epoch, slot);
+      ++sched_pending_tasks_;
+      if (!us.active) {
+        us.active = true;
+        // Safe under sched_mu_: pool locks are only ever taken after it,
+        // and tasks take sched_mu_ with no pool lock held.
+        pool_->Post(slot, [this, p] { RunUnitTasks(p); });
+      }
+      ++slot;
+    }
+    if (job.remaining == 0) inflight_.erase(epoch);  // empty fleet
+  }
+
+  // Emit epoch E - lead. The wait target depends only on call count and
+  // config, never on timing, so batch boundaries are deterministic; lead=0
+  // is exactly the barrier behaviour.
+  std::vector<Alert> merged;
+  const uint64_t lead = config_.scheduler.max_epoch_lead;
+  if (epoch >= lead) CollectThrough(epoch - lead, &merged);
+  MaybeRethrow();
+
+  ++drain_count_;
+  if (observed) {
+    const double total_seconds = watch.ElapsedSeconds();
+    Observe(engine_metrics_.drain_seconds, total_seconds);
+    Inc(engine_metrics_.drains);
+    RefreshSchedulerMetrics();
+    if (trace_ != nullptr) {
+      trace_->Record(
+          {"", "engine-drain", drain_count_, total_seconds, merged.size()});
+    }
+  }
+
+  Publish(merged);
+  return merged;
+}
+
+std::vector<Alert> DetectionEngine::FinishDrains() {
+  std::vector<Alert> merged;
+  if (!pipelined()) return merged;
+  uint64_t target;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (next_epoch_ == 0) return merged;
+    target = next_epoch_ - 1;
+  }
+  CollectThrough(target, &merged);
+  MaybeRethrow();
+  if (metrics_ != nullptr) RefreshSchedulerMetrics();
+  if (!merged.empty()) Publish(merged);
+  return merged;
+}
+
+void DetectionEngine::RunUnitTasks(UnitPipeline* pipeline) {
+  const bool observed = metrics_ != nullptr;
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  // The map node survives while this activation is live: RegisterUnit only
+  // erases a unit's entry after WaitUnitIdle saw it inactive.
+  UnitSched& us = unit_sched_[pipeline];
+  for (;;) {
+    if (us.pending.empty()) {
+      us.active = false;
+      sched_cv_.notify_all();
+      return;
+    }
+    const uint64_t epoch = us.pending.front().first;
+    const size_t slot = us.pending.front().second;
+    us.pending.pop_front();
+    lock.unlock();
+
+    std::vector<Alert> batch;
+    try {
+      Stopwatch unit_watch;  // read only on the observed path
+      batch = pipeline->Drain();
+      if (observed) {
+        const double seconds = unit_watch.ElapsedSeconds();
+        Observe(engine_metrics_.unit_drain_seconds, seconds);
+        const size_t me = pool_->CurrentWorker();
+        if (me < engine_metrics_.worker_busy.size()) {
+          engine_metrics_.worker_busy[me]->Add(seconds);
+        }
+      }
+    } catch (...) {
+      lock.lock();
+      if (!sched_error_) sched_error_ = std::current_exception();
+      lock.unlock();
+      batch.clear();  // the slot still retires so collectors never deadlock
+    }
+
+    lock.lock();
+    const auto it = inflight_.find(epoch);
+    if (it != inflight_.end()) {
+      it->second.batches[slot] = std::move(batch);
+      if (--it->second.remaining == 0) sched_cv_.notify_all();
+    }
+    --sched_pending_tasks_;
+  }
+}
+
+void DetectionEngine::CollectThrough(uint64_t target,
+                                     std::vector<Alert>* merged) {
+  const bool observed = metrics_ != nullptr;
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  sched_cv_.wait(lock, [this, target] {
+    for (auto it = inflight_.begin();
+         it != inflight_.end() && it->first <= target; ++it) {
+      if (it->second.remaining != 0) return false;
+    }
+    return true;
+  });
+  Stopwatch merge_watch;  // wait time excluded; read only when observed
+  // Pop retired epochs in order; inside an epoch slots are already in
+  // unit-name order, so the concatenation equals the sequential walk.
+  while (!inflight_.empty() && inflight_.begin()->first <= target) {
+    EpochJob job = std::move(inflight_.begin()->second);
+    inflight_.erase(inflight_.begin());
+    lock.unlock();
+    size_t total = merged->size();
+    for (const auto& batch : job.batches) total += batch.size();
+    merged->reserve(total);
+    for (auto& batch : job.batches) {
+      for (Alert& alert : batch) merged->push_back(std::move(alert));
+    }
+    lock.lock();
+  }
+  lock.unlock();
+  if (observed) {
+    Observe(engine_metrics_.merge_seconds, merge_watch.ElapsedSeconds());
+  }
+}
+
+void DetectionEngine::WaitUnitIdle(UnitPipeline* pipeline) const {
+  if (!pipelined()) return;
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  const auto it = unit_sched_.find(pipeline);
+  if (it == unit_sched_.end()) return;
+  sched_cv_.wait(lock, [&it] {
+    return !it->second.active && it->second.pending.empty();
+  });
+}
+
+void DetectionEngine::WaitIdle() const {
+  if (pool_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  sched_cv_.wait(lock, [this] {
+    if (sched_pending_tasks_ != 0) return false;
+    for (const auto& [pipeline, us] : unit_sched_) {
+      if (us.active) return false;
+    }
+    return true;
+  });
+}
+
+void DetectionEngine::MaybeRethrow() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(sched_mu_);
+    if (!sched_error_) return;
+    // Mirror ParallelFor: join everything in flight, then rethrow the first
+    // failure. Outstanding epochs are discarded (their state is partial);
+    // the engine stays usable.
+    sched_cv_.wait(lock, [this] {
+      if (sched_pending_tasks_ != 0) return false;
+      for (const auto& [pipeline, us] : unit_sched_) {
+        if (us.active) return false;
+      }
+      return true;
+    });
+    inflight_.clear();
+    error = std::exchange(sched_error_, nullptr);
+  }
+  std::rethrow_exception(error);
+}
+
+void DetectionEngine::Publish(const std::vector<Alert>& merged) {
+  Inc(engine_metrics_.alerts_published, merged.size());
   for (const auto& sink : sinks_) sink->Publish(merged);
-  if (observed && !sinks_.empty()) {
+  if (metrics_ != nullptr && !sinks_.empty()) {
     size_t dropped = 0;
     for (const auto& sink : sinks_) dropped += sink->dropped();
     Set(engine_metrics_.sink_dropped, static_cast<double>(dropped));
   }
-  return merged;
+}
+
+void DetectionEngine::RefreshSchedulerMetrics() {
+  if (metrics_ == nullptr) return;
+  if (pool_ != nullptr) {
+    const uint64_t steals_now = pool_->steals();
+    if (steals_now > steals_seen_) {
+      Inc(engine_metrics_.steals, steals_now - steals_seen_);
+      steals_seen_ = steals_now;
+    }
+  }
+  if (pipelined()) {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    Set(engine_metrics_.queue_depth,
+        static_cast<double>(sched_pending_tasks_));
+    Set(engine_metrics_.epoch_lag, static_cast<double>(inflight_.size()));
+  }
+}
+
+std::vector<WorkerStats> DetectionEngine::SchedulerStats() const {
+  return pool_ != nullptr ? pool_->Stats() : std::vector<WorkerStats>{};
 }
 
 void DetectionEngine::AddSink(std::shared_ptr<AlertSink> sink) {

@@ -1,15 +1,37 @@
 // Sharded detection engine: owns one UnitPipeline per registered unit and
-// fans Drain() out across a ThreadPool. Units are share-nothing, so the hot
-// path takes no locks — one task per unit per drain, each writing its own
-// result slot — and the per-unit alert batches are merged deterministically
-// in unit-name order, making parallel output bit-identical to sequential.
-// Drained batches are published to every attached AlertSink.
+// fans Drain() out across the work-stealing ThreadPool. Units are
+// share-nothing, so the hot path takes no cross-unit locks.
+//
+// Two scheduling modes (DESIGN.md §15):
+//
+//  - Barrier fan-out (scheduler.enabled = false, the pre-epoch behaviour):
+//    one task per unit per drain via ParallelFor; Drain() returns when every
+//    unit finished, merged deterministically in unit-name order.
+//
+//  - Epoch pipelining (scheduler.enabled = true, workers != 1): every
+//    Drain() call enqueues one (unit, epoch) task per pipeline onto the
+//    work-stealing deques and waits only for the epoch `max_epoch_lead`
+//    behind it, so a slow unit no longer barriers its drain-mates — fast
+//    units run up to `max_epoch_lead` epochs ahead. A reorder buffer at the
+//    merge emits epochs strictly in order (unit-name order inside an epoch),
+//    which keeps the emitted alert stream bit-identical to workers=1 at
+//    every (workers, lead, steal-seed, chaos) point; lead = 0 reduces
+//    exactly to the barrier behaviour, batch boundaries included. With
+//    lead > 0 the last `lead` epochs stay buffered until the next Drain() or
+//    FinishDrains().
+//
+// Drained batches are published to every attached AlertSink at emission.
 #pragma once
 
 #include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dbc/common/status.h"
@@ -21,6 +43,25 @@
 
 namespace dbc {
 
+/// Epoch-pipelined work-stealing scheduler knobs. The schedule these shape
+/// is an implementation detail: the alert stream is required to be invariant
+/// under every setting (scheduler_fuzz_test), so they are pure
+/// latency/throughput knobs.
+struct SchedulerConfig {
+  /// Use the epoch scheduler (workers != 1). Off = barrier fan-out per
+  /// drain, exactly the previous engine behaviour.
+  bool enabled = false;
+  /// How many epochs a unit may run ahead of the oldest unemitted epoch.
+  /// 0 = every Drain() barriers on its own epoch (pre-epoch semantics,
+  /// batch boundaries included); L > 0 = Drain() #k returns epoch k-L and
+  /// up to L epochs stay in flight, so one slow unit stalls nobody.
+  size_t max_epoch_lead = 0;
+  /// Seeds work-stealing victim selection; reshuffles the schedule only.
+  uint64_t steal_seed = 0;
+  /// Seeded schedule-chaos injection (tests); see thread_pool.h.
+  SchedulerChaos chaos;
+};
+
 /// Engine configuration: the per-unit policy plus the sharding degree.
 struct DetectionEngineConfig {
   UnitPipelineConfig pipeline;
@@ -28,6 +69,8 @@ struct DetectionEngineConfig {
   /// on the caller's thread (exactly the pre-engine behaviour); 0 = hardware
   /// concurrency.
   size_t workers = 1;
+  /// Epoch-pipelined work-stealing scheduler (effective when workers != 1).
+  SchedulerConfig scheduler;
   /// Self-observability. Off (default): no registry exists and the alert
   /// stream is bit-identical to an uninstrumented build. On: the engine owns
   /// a MetricsRegistry (+ TraceLog) wired through every registered pipeline.
@@ -39,13 +82,16 @@ struct DetectionEngineConfig {
 struct EngineMetrics {
   Counter* drains = nullptr;            // Drain() batches completed
   Counter* alerts_published = nullptr;  // merged alerts handed to sinks
+  Counter* steals = nullptr;            // tasks executed off a foreign deque
   Histogram* drain_seconds = nullptr;   // whole-drain wall time
   Histogram* merge_seconds = nullptr;   // deterministic-merge wall time
   Histogram* unit_drain_seconds = nullptr;  // one observation per unit task
-  Gauge* queue_depth = nullptr;   // units still pending in the current drain
+  Gauge* queue_depth = nullptr;   // (unit, epoch) tasks still pending
+  Gauge* epoch_lag = nullptr;     // epochs enqueued but not yet emitted
   Gauge* utilization = nullptr;   // busy-time / (lanes × fan-out wall time)
   Gauge* sink_dropped = nullptr;  // sum of sinks' back-pressure drops
-  /// Cumulative busy seconds per pool lane ("worker" label = lane index).
+  /// Cumulative busy seconds per pool worker ("worker" label = the worker
+  /// that executed the task, which under stealing is not the owning lane).
   std::vector<Gauge*> worker_busy;
 };
 
@@ -59,12 +105,18 @@ class DetectionEngine {
   /// silently detecting nothing.
   explicit DetectionEngine(DetectionEngineConfig config = {});
 
+  /// Quiesces any in-flight epoch tasks; unemitted epochs are discarded
+  /// (call FinishDrains() first to keep them).
+  ~DetectionEngine();
+
   /// Registers a unit with the given database roles. Replaces any unit with
-  /// the same name.
+  /// the same name (after quiescing that unit's in-flight epochs).
   void RegisterUnit(const std::string& unit, std::vector<DbRole> roles);
 
   /// The unit's pipeline, or nullptr when unregistered. The pointer stays
-  /// valid until the unit is re-registered or the engine dies.
+  /// valid until the unit is re-registered or the engine dies. In pipelined
+  /// mode this waits for the unit's in-flight epoch tasks first, so the
+  /// returned pipeline is safe to read or mutate from the caller's thread.
   UnitPipeline* Find(const std::string& unit);
   const UnitPipeline* Find(const std::string& unit) const;
 
@@ -83,11 +135,26 @@ class DetectionEngine {
   Status ApplyTopology(const std::string& unit, const TopologyUpdate& update);
 
   /// Resolves pending windows across all units — in parallel when workers
-  /// > 1 — and returns the merged alerts in deterministic (unit, tick)
-  /// order. The batch is also published to every attached sink. A pipeline
-  /// exception (impossible telemetry state, bug) propagates to the caller
-  /// after all in-flight unit tasks finish.
+  /// > 1 — and returns merged alerts in deterministic (epoch, unit, tick)
+  /// order. Barrier mode and lead=0 return this call's epoch; with
+  /// max_epoch_lead = L > 0 the call enqueues its epoch and returns the
+  /// epoch L drains back (the first L calls return empty batches — the
+  /// concatenated stream over a whole run is unchanged). The batch is also
+  /// published to every attached sink. A pipeline exception (impossible
+  /// telemetry state, bug) propagates to the caller after all in-flight
+  /// unit tasks finish.
   std::vector<Alert> Drain();
+
+  /// Completes and emits every outstanding epoch (the tail the pipelined
+  /// mode is still holding), publishing to sinks as usual. Returns the
+  /// merged tail, empty when nothing is outstanding (always in barrier
+  /// mode). Call at end of stream — and before checkpointing, so durable
+  /// state never hides emitted-but-unlogged alerts.
+  std::vector<Alert> FinishDrains();
+
+  /// Blocks until no (unit, epoch) task is queued or running. Unlike
+  /// FinishDrains() this emits nothing — retired epochs stay buffered.
+  void WaitIdle() const;
 
   /// Attaches a sink; every subsequent Drain() batch is published to it.
   void AddSink(std::shared_ptr<AlertSink> sink);
@@ -106,6 +173,16 @@ class DetectionEngine {
   /// Effective parallelism (the pool's thread count, or 1 when sequential).
   size_t workers() const { return pool_ ? pool_->thread_count() : 1; }
 
+  /// True when the epoch scheduler is active (scheduler.enabled and a pool
+  /// exists). workers == 1 always runs sequentially on the caller's thread.
+  bool pipelined() const {
+    return pool_ != nullptr && config_.scheduler.enabled;
+  }
+
+  /// Per-worker scheduler counters (executed / stolen / busy seconds) from
+  /// the pool; empty when sequential. Cheap enough for benches without obs.
+  std::vector<WorkerStats> SchedulerStats() const;
+
   const DetectionEngineConfig& config() const { return config_; }
 
   /// The engine's metric registry, or nullptr when config().obs.enabled is
@@ -119,9 +196,51 @@ class DetectionEngine {
   const TraceLog* trace_log() const { return trace_.get(); }
 
  private:
+  /// One enqueued epoch: a result slot per unit in the name-order snapshot
+  /// taken at Drain() time (units registered later join the next epoch), and
+  /// the count of slots still unfilled. Retired when remaining == 0.
+  struct EpochJob {
+    std::vector<std::vector<Alert>> batches;
+    size_t remaining = 0;
+  };
+  /// Per-unit scheduler state: the FIFO of (epoch, slot) tasks and whether
+  /// an activation is live on the pool. The FIFO + single activation
+  /// serialize a unit's epochs, so a pipeline never runs concurrently with
+  /// itself.
+  struct UnitSched {
+    std::deque<std::pair<uint64_t, size_t>> pending;
+    bool active = false;
+  };
+
+  std::vector<Alert> DrainBarrier();
+  std::vector<Alert> DrainPipelined();
+  /// Pool-side activation: runs the unit's queued epochs to exhaustion.
+  void RunUnitTasks(UnitPipeline* pipeline);
+  /// Waits until every epoch <= `target` retired, then pops them from the
+  /// reorder buffer in order and appends their batches to `merged`.
+  void CollectThrough(uint64_t target, std::vector<Alert>* merged);
+  /// Waits for a unit's queued/running epoch tasks (no-op when sequential).
+  void WaitUnitIdle(UnitPipeline* pipeline) const;
+  /// Publishes to sinks and updates emission-side metrics.
+  void Publish(const std::vector<Alert>& merged);
+  /// Rethrows the first pipeline exception after quiescing, engine usable
+  /// afterwards (mirrors ParallelFor semantics).
+  void MaybeRethrow();
+  void RefreshSchedulerMetrics();
+
   DetectionEngineConfig config_;
   /// Name-ordered, which fixes the merge order of Drain().
   std::map<std::string, std::unique_ptr<UnitPipeline>> pipelines_;
+  /// Epoch scheduler state. Declared before pool_ so in-flight tasks (joined
+  /// by ~ThreadPool) never outlive what they touch.
+  mutable std::mutex sched_mu_;
+  mutable std::condition_variable sched_cv_;
+  std::map<uint64_t, EpochJob> inflight_;
+  std::map<const UnitPipeline*, UnitSched> unit_sched_;
+  uint64_t next_epoch_ = 0;  // epochs enqueued so far
+  size_t sched_pending_tasks_ = 0;
+  std::exception_ptr sched_error_;
+  uint64_t steals_seen_ = 0;  // last pool steal count folded into metrics
   /// Created only when config_.workers != 1.
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::shared_ptr<AlertSink>> sinks_;

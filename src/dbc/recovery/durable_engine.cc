@@ -162,9 +162,8 @@ Status DurableEngine::ApplyTopology(const std::string& unit,
   return CommitOp(op);
 }
 
-Status DurableEngine::DrainDurable(std::vector<Alert>* alerts) {
-  *alerts = engine_->Drain();
-  for (const Alert& alert : *alerts) {
+Status DurableEngine::AppendAlerts(const std::vector<Alert>& alerts) {
+  for (const Alert& alert : alerts) {
     const uint64_t seq = next_alert_seq_++;
     if (seq <= durable_alert_floor_) continue;  // already durable pre-crash
     BinWriter record;
@@ -175,6 +174,17 @@ Status DurableEngine::DrainDurable(std::vector<Alert>* alerts) {
     Inc(metrics_.alert_appends);
   }
   return Status::Ok();
+}
+
+Status DurableEngine::DrainDurable(std::vector<Alert>* alerts) {
+  *alerts = engine_->Drain();
+  return AppendAlerts(*alerts);
+}
+
+Status DurableEngine::FinishDrains(std::vector<Alert>* alerts) {
+  if (!open_) return Status::FailedPrecondition("DurableEngine not Open()ed");
+  *alerts = engine_->FinishDrains();
+  return AppendAlerts(*alerts);
 }
 
 Status DurableEngine::Drain(std::vector<Alert>* alerts) {
@@ -195,6 +205,13 @@ Status DurableEngine::Drain(std::vector<Alert>* alerts) {
 Status DurableEngine::Checkpoint() {
   if (!open_) return Status::FailedPrecondition("DurableEngine not Open()ed");
   Stopwatch watch;
+  // Flush the pipelined tail: the snapshot below captures pipelines that
+  // already consumed these windows, and replay restarts past this point —
+  // an alert not in the log now would be lost forever. Emission stays in
+  // epoch order, so the log bytes match an uncheckpointed run exactly.
+  std::vector<Alert> tail = engine_->FinishDrains();
+  Status flushed = AppendAlerts(tail);
+  if (!flushed.ok()) return flushed;
   CheckpointMeta meta;
   meta.ops_committed = ops_committed_;
   meta.next_alert_seq = next_alert_seq_;

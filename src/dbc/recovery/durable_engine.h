@@ -79,8 +79,18 @@ class DurableEngine {
   /// per config.checkpoint_every_drains.
   Status Drain(std::vector<Alert>* alerts);
 
+  /// Emits and durably appends every epoch the pipelined engine is still
+  /// holding (empty in barrier mode / lead 0). Call at end of stream. Not a
+  /// WAL op: replayed drains regenerate the same alerts in the same order,
+  /// and the durable floor suppresses re-appends, so crash recovery stays
+  /// byte-identical whether or not this ran before the crash.
+  Status FinishDrains(std::vector<Alert>* alerts);
+
   /// Snapshots the engine into checkpoint-<epoch+1>, rotates the WAL, and
-  /// garbage-collects the superseded checkpoint + WAL.
+  /// garbage-collects the superseded checkpoint + WAL. Flushes outstanding
+  /// epochs (FinishDrains) first: the snapshot's pipelines have already
+  /// consumed those windows, so their alerts must hit the durable log before
+  /// replay is truncated past them forever.
   Status Checkpoint();
 
   /// Input ops committed so far (checkpoint + replayed + live). A feeder
@@ -120,6 +130,8 @@ class DurableEngine {
   Status CommitOp(const EngineOp& op);
   /// Engine drain + durable alert append (shared by live Drain and replay).
   Status DrainDurable(std::vector<Alert>* alerts);
+  /// Seq-stamps and appends alerts above the durable floor, in order.
+  Status AppendAlerts(const std::vector<Alert>& alerts);
   std::string WalPath(uint64_t epoch) const {
     return config_.dir + "/wal-" + std::to_string(epoch) + ".log";
   }

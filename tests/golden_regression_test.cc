@@ -102,9 +102,11 @@ GoldenScenario BuildScenario() {
 std::vector<Alert> RunScenario(const GoldenScenario& scenario, size_t workers,
                                bool obs, KcdImpl impl = KcdImpl::kFast,
                                DetectionEngine** engine_out = nullptr,
-                               std::unique_ptr<DetectionEngine>* keep = nullptr) {
+                               std::unique_ptr<DetectionEngine>* keep = nullptr,
+                               SchedulerConfig scheduler = {}) {
   DetectionEngineConfig config;
   config.workers = workers;
+  config.scheduler = scheduler;
   config.obs.enabled = obs;
   config.pipeline.detector.kcd.impl = impl;
   auto engine = std::make_unique<DetectionEngine>(config);
@@ -138,6 +140,9 @@ std::vector<Alert> RunScenario(const GoldenScenario& scenario, size_t workers,
     EXPECT_TRUE(engine->FlushTelemetry(UnitName(u)).ok());
   }
   for (Alert& alert : engine->Drain()) all.push_back(std::move(alert));
+  // With max_epoch_lead > 0 the pipelined engine still holds the last `lead`
+  // epochs; the tail completes the stream (no-op in barrier mode).
+  for (Alert& alert : engine->FinishDrains()) all.push_back(std::move(alert));
   if (engine_out != nullptr && keep != nullptr) {
     *keep = std::move(engine);
     *engine_out = keep->get();
@@ -271,6 +276,41 @@ TEST(GoldenRegressionTest, WorkerCountAndObservabilityDoNotChangeTheStream) {
         const std::string run =
             Serialize(RunScenario(scenario, workers, obs, impl));
         // Byte-for-byte: full-precision doubles included.
+        ASSERT_EQ(run, baseline);
+      }
+    }
+  }
+}
+
+// The epoch-pipelined scheduler across the full matrix — on/off × workers
+// {1, 2, 8} × max_epoch_lead {0, 4} — against the *unchanged* golden
+// fixture: the scheduler ships only if it is invisible in the stream the
+// fixture pins. lead=0 must reduce to the barrier behaviour; workers=1 with
+// the scheduler enabled must stay the sequential path.
+TEST(GoldenRegressionTest, SchedulerMatrixMatchesTheFixtureStream) {
+  const GoldenScenario scenario = BuildScenario();
+  const std::string baseline =
+      Serialize(RunScenario(scenario, /*workers=*/1, /*obs=*/false));
+  ASSERT_FALSE(baseline.empty());
+  const std::string fixture = ReadFile(kFixturePath);
+  if (!fixture.empty()) {
+    ASSERT_EQ(baseline, fixture) << "baseline drifted from the fixture";
+  }
+  for (bool enabled : {false, true}) {
+    for (size_t workers : {1u, 2u, 8u}) {
+      for (size_t lead : {0u, 4u}) {
+        if (!enabled && lead > 0) continue;  // lead is a scheduler knob
+        if (!enabled && workers == 1) continue;  // that IS the baseline
+        SchedulerConfig scheduler;
+        scheduler.enabled = enabled;
+        scheduler.max_epoch_lead = lead;
+        scheduler.steal_seed = 1234;
+        SCOPED_TRACE("scheduler=" + std::to_string(enabled) +
+                     " workers=" + std::to_string(workers) +
+                     " lead=" + std::to_string(lead));
+        const std::string run =
+            Serialize(RunScenario(scenario, workers, /*obs=*/false,
+                                  KcdImpl::kFast, nullptr, nullptr, scheduler));
         ASSERT_EQ(run, baseline);
       }
     }

@@ -6,13 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <future>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "dbc/common/provenance.h"
+#include "dbc/common/thread_pool.h"
 #include "dbc/obs/exposition.h"
 #include "dbc/obs/trace.h"
 
@@ -227,6 +232,55 @@ TEST(ObsConcurrencyTest, RelaxedMutationsFromManyThreadsAddUp) {
   uint64_t bucket_total = 0;
   for (uint64_t c : histogram->BucketCounts()) bucket_total += c;
   EXPECT_EQ(bucket_total, kThreads * kIters);
+}
+
+// The worker_busy attribution contract (DESIGN.md §15): busy time lands on
+// the gauge of the worker that *executed* the task. Under work-stealing the
+// submission lane is only a placement hint — attributing by lane (the old
+// scheme) would book a stolen task's time to a worker that never ran it.
+// Deterministic setup: park one worker, hint every task at its deque, and
+// the other worker must steal and absorb all the busy time.
+TEST(ObsTest, WorkerBusyAttributionFollowsExecutingWorker) {
+  MetricsRegistry registry;
+  ThreadPool pool(2);
+  std::vector<Gauge*> worker_busy(pool.thread_count());
+  for (size_t w = 0; w < worker_busy.size(); ++w) {
+    worker_busy[w] = registry.GetGauge("dbc_engine_worker_busy_seconds",
+                                      {{"worker", std::to_string(w)}});
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<size_t> victim{static_cast<size_t>(-1)};
+  auto parked = pool.Submit(0, [&] {
+    victim.store(pool.CurrentWorker());
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return open; });
+  });
+  while (victim.load() == static_cast<size_t>(-1)) std::this_thread::yield();
+  ASSERT_LT(victim.load(), 2u);
+
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 6; ++i) {
+    // Every task is hinted at the parked worker's lane; the engine's
+    // attribution rule (gauge indexed by CurrentWorker()) must follow the
+    // steal to the executing worker.
+    futures.push_back(pool.Submit(victim.load(), [&] {
+      worker_busy[pool.CurrentWorker()]->Add(1.0 / 1024.0);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    open = true;
+  }
+  cv.notify_all();
+  parked.get();
+
+  const size_t thief = 1 - victim.load();
+  EXPECT_EQ(worker_busy[victim.load()]->value(), 0.0);
+  EXPECT_EQ(worker_busy[thief]->value(), 6.0 / 1024.0);
+  EXPECT_GE(pool.steals(), 6u);
 }
 
 }  // namespace

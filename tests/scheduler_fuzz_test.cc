@@ -1,0 +1,289 @@
+// The scheduler determinism wall (DESIGN.md §15): the epoch-pipelined
+// work-stealing scheduler must be invisible in the output. A fixed degraded
+// fleet is replayed through the engine while SchedulerChaos perturbs the
+// schedule — forced steals, injected worker stalls, randomized yield points
+// — across hundreds of seeded (workers, max_epoch_lead, steal_seed, chaos)
+// configurations, and every run is asserted bit-identical to the sequential
+// workers=1 stream. Batch *boundaries* are pinned too: lead=0 must reproduce
+// the barrier-per-drain batching exactly, and lead=L must be the same
+// batches delayed by L drains with the tail emitted by FinishDrains().
+//
+// This test runs under TSan in CI: the schedule chaos is what drives the
+// interleavings a data race needs to surface.
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbc/cloudsim/telemetry.h"
+#include "dbc/cloudsim/unit_sim.h"
+#include "dbc/common/rng.h"
+#include "dbc/dbcatcher/detection_engine.h"
+
+namespace dbc {
+namespace {
+
+UnitData SimUnit(double anomaly_ratio, uint64_t seed, size_t ticks) {
+  UnitSimConfig config;
+  config.ticks = ticks;
+  config.inject_anomalies = anomaly_ratio > 0.0;
+  config.anomalies.target_ratio = anomaly_ratio;
+  Rng rng(seed);
+  PeriodicProfileParams pp;
+  auto profile = MakePeriodicProfile(pp, rng.Fork(1));
+  return SimulateUnit(config, *profile, true, rng.Fork(2));
+}
+
+/// The fixed fleet every fuzzed run replays: small enough that hundreds of
+/// runs stay fast, degraded enough that both alert classes appear.
+struct Scenario {
+  std::vector<UnitData> units;
+  std::vector<std::vector<std::vector<TelemetrySample>>> batches;
+  size_t steps = 0;
+
+  static std::string Name(size_t u) { return "unit-" + std::to_string(u); }
+};
+
+Scenario BuildScenario(size_t num_units, size_t ticks) {
+  Scenario scenario;
+  for (size_t u = 0; u < num_units; ++u) {
+    const double ratio = (u % 2 == 0) ? 0.08 : 0.0;
+    scenario.units.push_back(SimUnit(ratio, 1000 + 17 * u, ticks));
+    TelemetryFaultConfig faults;
+    faults.target_ratio = 0.08;
+    Rng rng(333 + u);
+    scenario.batches.push_back(
+        DegradeUnit(scenario.units.back(), faults, rng));
+    scenario.steps = std::max(scenario.steps, scenario.batches.back().size());
+  }
+  return scenario;
+}
+
+const Scenario& SharedScenario() {
+  static const Scenario scenario = BuildScenario(4, 160);
+  return scenario;
+}
+
+/// Canonical bit-exact alert image: every field, doubles in hexfloat so two
+/// alerts serialize equal iff they are equal bit for bit.
+std::string Fingerprint(const Alert& alert) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << static_cast<int>(alert.alert_class) << '|' << alert.unit << '|'
+      << alert.db << '|' << alert.begin << '|' << alert.end << '|'
+      << alert.consumed << '|' << alert.message << '|'
+      << static_cast<int>(alert.report.state) << '|' << alert.report.begin
+      << '|' << alert.report.end << '|'
+      << alert.report.capacity_growth_vs_peers;
+  for (const auto& finding : alert.report.findings) {
+    out << "|f:" << static_cast<int>(finding.kpi) << ',' << finding.score
+        << ',' << static_cast<int>(finding.level) << ','
+        << static_cast<int>(finding.shape) << ',' << finding.level_ratio;
+  }
+  for (const auto& hypothesis : alert.report.hypotheses) {
+    out << "|h:" << hypothesis.family << ',' << hypothesis.confidence;
+  }
+  return out.str();
+}
+
+struct RunResult {
+  std::vector<std::string> stream;       // fingerprints, emission order
+  std::vector<size_t> drain_sizes;       // one entry per Drain() call
+  size_t tail_size = 0;                  // alerts emitted by FinishDrains()
+  uint64_t steals = 0;
+};
+
+RunResult RunScenario(const Scenario& scenario,
+                      const DetectionEngineConfig& config) {
+  DetectionEngine engine(config);
+  for (size_t u = 0; u < scenario.units.size(); ++u) {
+    engine.RegisterUnit(Scenario::Name(u), scenario.units[u].roles);
+  }
+  RunResult result;
+  auto append = [&result](const std::vector<Alert>& batch) {
+    for (const Alert& alert : batch) result.stream.push_back(Fingerprint(alert));
+  };
+  for (size_t step = 0; step < scenario.steps; ++step) {
+    for (size_t u = 0; u < scenario.units.size(); ++u) {
+      if (step >= scenario.batches[u].size()) continue;
+      for (const TelemetrySample& sample : scenario.batches[u][step]) {
+        const Status status = engine.IngestSample(Scenario::Name(u), sample);
+        EXPECT_TRUE(status.ok()) << status.message();
+      }
+    }
+    const std::vector<Alert> batch = engine.Drain();
+    result.drain_sizes.push_back(batch.size());
+    append(batch);
+  }
+  for (size_t u = 0; u < scenario.units.size(); ++u) {
+    EXPECT_TRUE(engine.FlushTelemetry(Scenario::Name(u)).ok());
+  }
+  const std::vector<Alert> last = engine.Drain();
+  result.drain_sizes.push_back(last.size());
+  append(last);
+  const std::vector<Alert> tail = engine.FinishDrains();
+  result.tail_size = tail.size();
+  append(tail);
+  for (const WorkerStats& w : engine.SchedulerStats()) result.steals += w.stolen;
+  return result;
+}
+
+const RunResult& SequentialBaseline() {
+  static const RunResult baseline = [] {
+    DetectionEngineConfig config;
+    config.workers = 1;
+    return RunScenario(SharedScenario(), config);
+  }();
+  return baseline;
+}
+
+/// One fuzzed configuration, a pure function of the seed: worker count,
+/// epoch lead, steal seed, and chaos intensities all derive from it, so a
+/// failing seed replays its exact schedule distribution.
+DetectionEngineConfig FuzzConfig(uint64_t seed) {
+  uint64_t state = seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  auto next = [&state] { return SplitMix64(state); };
+  auto unit = [&next] {
+    return static_cast<double>(next() % 10000) / 10000.0;
+  };
+  DetectionEngineConfig config;
+  const size_t workers[] = {2, 3, 8};
+  config.workers = workers[next() % 3];
+  const size_t leads[] = {0, 1, 2, 4};
+  config.scheduler.enabled = true;
+  config.scheduler.max_epoch_lead = leads[next() % 4];
+  config.scheduler.steal_seed = next();
+  config.scheduler.chaos.enabled = true;
+  config.scheduler.chaos.seed = next();
+  config.scheduler.chaos.yield_prob = 0.1 + 0.4 * unit();
+  config.scheduler.chaos.stall_prob = 0.02 + 0.08 * unit();
+  config.scheduler.chaos.max_stall_us = 20 + next() % 120;
+  config.scheduler.chaos.force_steal_prob = 0.1 + 0.6 * unit();
+  return config;
+}
+
+std::string Describe(const DetectionEngineConfig& config) {
+  std::ostringstream out;
+  out << "workers=" << config.workers
+      << " lead=" << config.scheduler.max_epoch_lead
+      << " steal_seed=" << config.scheduler.steal_seed
+      << " chaos_seed=" << config.scheduler.chaos.seed
+      << " force_steal=" << config.scheduler.chaos.force_steal_prob;
+  return out.str();
+}
+
+size_t FuzzSeeds() {
+  // Floor of 200 fuzzed schedules per the acceptance bar; DBC_SCHED_FUZZ_SEEDS
+  // raises it for soak runs (never lowers it below the bar).
+  size_t seeds = 200;
+  if (const char* env = std::getenv("DBC_SCHED_FUZZ_SEEDS")) {
+    const long parsed = std::atol(env);
+    if (parsed > static_cast<long>(seeds)) seeds = static_cast<size_t>(parsed);
+  }
+  return seeds;
+}
+
+TEST(SchedulerFuzzTest, BaselineScenarioIsNotVacuous) {
+  const RunResult& baseline = SequentialBaseline();
+  ASSERT_GT(baseline.stream.size(), 20u);
+  // Sequential mode holds nothing back.
+  EXPECT_EQ(baseline.tail_size, 0u);
+  EXPECT_EQ(baseline.steals, 0u);
+  // Both alert classes must appear or the determinism claim is weak.
+  size_t anomalies = 0;
+  for (const std::string& fp : baseline.stream) {
+    anomalies += fp.rfind("0|", 0) == 0;  // AlertClass::kAnomaly == 0
+  }
+  EXPECT_GT(anomalies, 0u);
+  EXPECT_LT(anomalies, baseline.stream.size());
+}
+
+// The acceptance grid, pinned explicitly (the random sweep below almost
+// surely covers it, but the matrix points must never rotate out): workers
+// {2, 8} × lead {0, 1, 4} with default-intensity chaos.
+TEST(SchedulerFuzzTest, AcceptanceGridIsBitIdenticalToSequential) {
+  const RunResult& baseline = SequentialBaseline();
+  for (size_t workers : {2u, 8u}) {
+    for (size_t lead : {0u, 1u, 4u}) {
+      DetectionEngineConfig config;
+      config.workers = workers;
+      config.scheduler.enabled = true;
+      config.scheduler.max_epoch_lead = lead;
+      config.scheduler.steal_seed = 42;
+      config.scheduler.chaos.enabled = true;
+      config.scheduler.chaos.seed = 7;
+      SCOPED_TRACE(Describe(config));
+      const RunResult run = RunScenario(SharedScenario(), config);
+      ASSERT_EQ(run.stream, baseline.stream);
+    }
+  }
+}
+
+TEST(SchedulerFuzzTest, FuzzedSchedulesAreBitIdenticalToSequential) {
+  const RunResult& baseline = SequentialBaseline();
+  const size_t seeds = FuzzSeeds();
+  uint64_t total_steals = 0;
+  for (uint64_t seed = 0; seed < seeds; ++seed) {
+    const DetectionEngineConfig config = FuzzConfig(seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " " + Describe(config));
+    const RunResult run = RunScenario(SharedScenario(), config);
+    ASSERT_EQ(run.stream.size(), baseline.stream.size());
+    for (size_t i = 0; i < run.stream.size(); ++i) {
+      ASSERT_EQ(run.stream[i], baseline.stream[i]) << "alert #" << i;
+    }
+    total_steals += run.steals;
+  }
+  // The sweep must actually exercise the steal path, or the wall proves
+  // nothing about stealing.
+  EXPECT_GT(total_steals, 0u);
+}
+
+// Batch boundaries are part of the contract, not just the concatenation:
+// lead=0 must reproduce the barrier batching exactly, and lead=L must be the
+// identical batch sequence delayed by L drains (L leading empties) with the
+// final L batches emitted as the FinishDrains tail.
+TEST(SchedulerFuzzTest, BatchBoundariesAreAPureFunctionOfLead) {
+  const RunResult& baseline = SequentialBaseline();
+  for (size_t lead : {0u, 1u, 4u}) {
+    for (uint64_t seed : {1u, 99u}) {
+      DetectionEngineConfig config = FuzzConfig(seed);
+      config.workers = 4;
+      config.scheduler.max_epoch_lead = lead;
+      SCOPED_TRACE("lead=" + std::to_string(lead) + " " + Describe(config));
+      const RunResult run = RunScenario(SharedScenario(), config);
+      ASSERT_EQ(run.drain_sizes.size(), baseline.drain_sizes.size());
+      size_t expected_tail = 0;
+      for (size_t d = 0; d < run.drain_sizes.size(); ++d) {
+        if (d < lead) {
+          EXPECT_EQ(run.drain_sizes[d], 0u) << "drain #" << d;
+        } else {
+          EXPECT_EQ(run.drain_sizes[d], baseline.drain_sizes[d - lead])
+              << "drain #" << d;
+        }
+      }
+      const size_t n = baseline.drain_sizes.size();
+      for (size_t d = n < lead ? 0 : n - lead; d < n; ++d) {
+        expected_tail += baseline.drain_sizes[d];
+      }
+      EXPECT_EQ(run.tail_size, expected_tail);
+      EXPECT_EQ(run.stream, baseline.stream);
+    }
+  }
+}
+
+// Same seed, same config → the same schedule statistics: the chaos is
+// replayable, which is what makes a failing seed debuggable.
+TEST(SchedulerFuzzTest, SameSeedReplaysDeterministically) {
+  const DetectionEngineConfig config = FuzzConfig(17);
+  const RunResult first = RunScenario(SharedScenario(), config);
+  const RunResult second = RunScenario(SharedScenario(), config);
+  EXPECT_EQ(first.stream, second.stream);
+  EXPECT_EQ(first.drain_sizes, second.drain_sizes);
+  EXPECT_EQ(first.tail_size, second.tail_size);
+}
+
+}  // namespace
+}  // namespace dbc

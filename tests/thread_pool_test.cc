@@ -3,10 +3,36 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 
 namespace dbc {
 namespace {
+
+/// A manually released barrier for pinning scheduler states: a gate task
+/// parks its worker until Release(), making "worker X is busy" a fact the
+/// test controls instead of a race it hopes for.
+class Gate {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
 
 TEST(ThreadPoolTest, RunsSubmittedTasks) {
   ThreadPool pool(4);
@@ -88,6 +114,143 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
 TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.thread_count(), 1u);
+}
+
+// --- Work-stealing deque path ---
+
+TEST(ThreadPoolTest, IdleWorkerStealsFromABusyWorkersDeque) {
+  ThreadPool pool(2);
+  Gate gate;
+  std::atomic<size_t> busy_worker{ThreadPool::kNotAWorker};
+  // Park whichever worker picks up the gate; its deque then receives tasks
+  // only the *other* worker can run — every one of them is a forced steal.
+  auto parked = pool.Submit(0, [&] {
+    busy_worker.store(pool.CurrentWorker());
+    gate.Wait();
+  });
+  while (busy_worker.load() == ThreadPool::kNotAWorker) {
+    std::this_thread::yield();
+  }
+  const size_t victim = busy_worker.load();
+  ASSERT_LT(victim, 2u);
+  std::vector<std::future<void>> futures;
+  std::atomic<int> wrong_worker{0};
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit(victim, [&] {
+      if (pool.CurrentWorker() == victim) wrong_worker.fetch_add(1);
+    }));
+  }
+  for (auto& f : futures) f.get();  // completes while the victim is parked
+  gate.Release();
+  parked.get();
+  EXPECT_EQ(wrong_worker.load(), 0);
+  EXPECT_GE(pool.steals(), 8u);
+  // Stats attribute the steals to the executing (thief) worker.
+  const std::vector<WorkerStats> stats = pool.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GE(stats[1 - victim].stolen, 8u);
+  EXPECT_GE(stats[1 - victim].executed, 8u);
+}
+
+TEST(ThreadPoolTest, ExceptionFromStolenTaskPropagates) {
+  ThreadPool pool(2);
+  Gate gate;
+  std::atomic<size_t> busy_worker{ThreadPool::kNotAWorker};
+  auto parked = pool.Submit(0, [&] {
+    busy_worker.store(pool.CurrentWorker());
+    gate.Wait();
+  });
+  while (busy_worker.load() == ThreadPool::kNotAWorker) {
+    std::this_thread::yield();
+  }
+  // Hinted at the parked worker's lane, so the throwing task is stolen.
+  auto f = pool.Submit(busy_worker.load(),
+                       [] { throw std::runtime_error("stolen boom"); });
+  try {
+    f.get();
+    FAIL() << "expected the stolen task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "stolen boom");
+  }
+  gate.Release();
+  parked.get();
+  EXPECT_GE(pool.steals(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsNonEmptyDeques) {
+  std::atomic<int> counter{0};
+  Gate gate;
+  std::thread releaser;
+  {
+    ThreadPool pool(2);
+    pool.Submit(0, [&] { gate.Wait(); });
+    pool.Submit(1, [&] { gate.Wait(); });
+    // Both workers are parked (the second gate can only run on the second
+    // worker), so all 50 tasks sit in the deques when ~ThreadPool begins.
+    for (int i = 0; i < 50; ++i) {
+      pool.Post(static_cast<size_t>(i), [&] { counter.fetch_add(1); });
+    }
+    releaser = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      gate.Release();
+    });
+  }  // destructor: stop + drain both deques + join
+  releaser.join();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, EmptyQueueStealRacesAreClean) {
+  // force_steal_prob=1 makes every acquisition scan victims first, so
+  // thieves continuously try_lock deques that are mostly empty — the racy
+  // path TSan needs to see. Results must still be exactly-once.
+  SchedulerChaos chaos;
+  chaos.enabled = true;
+  chaos.seed = 99;
+  chaos.force_steal_prob = 1.0;
+  chaos.yield_prob = 0.5;
+  chaos.stall_prob = 0.0;
+  ThreadPool pool(4, /*steal_seed=*/7, chaos);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(2000);
+  for (int i = 0; i < 2000; ++i) {
+    futures.push_back(
+        pool.Submit(static_cast<size_t>(i), [&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 2000);
+  uint64_t executed = 0;
+  for (const WorkerStats& w : pool.Stats()) executed += w.executed;
+  EXPECT_EQ(executed, 2000u);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIdentifiesTheExecutingThread) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.CurrentWorker(), ThreadPool::kNotAWorker);
+  std::atomic<size_t> inside{ThreadPool::kNotAWorker};
+  pool.Submit([&] { inside.store(pool.CurrentWorker()); }).get();
+  EXPECT_LT(inside.load(), 2u);
+  // A foreign pool's workers are not this pool's workers.
+  ThreadPool other(1);
+  std::atomic<size_t> cross{0};
+  other.Submit([&] { cross.store(pool.CurrentWorker()); }).get();
+  EXPECT_EQ(cross.load(), ThreadPool::kNotAWorker);
+}
+
+TEST(ThreadPoolTest, LaneAwareParallelForSemanticsUnchanged) {
+  ThreadPool pool(3);
+  std::vector<int> hits(500, 0);
+  std::atomic<size_t> max_lane{0};
+  pool.ParallelFor(hits.size(), [&](size_t lane, size_t i) {
+    // Lanes map 1:1 to submissions: always < min(n, thread_count()).
+    size_t seen = max_lane.load();
+    while (lane > seen && !max_lane.compare_exchange_weak(seen, lane)) {
+    }
+    hits[i] += 1;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 500);
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_LT(max_lane.load(), 3u);
 }
 
 }  // namespace
